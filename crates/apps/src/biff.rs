@@ -1,0 +1,382 @@
+//! BIFF — the Butterfly Image File Format package (Olson, BPR 9; §3.1).
+//!
+//! "The BIFF package contains Uniform System-based parallel versions of
+//! the standard IFF filters. A researcher at a workstation can download an
+//! image into the Butterfly, apply a complex sequence of operations, and
+//! upload the result in a tiny fraction of the time required to perform
+//! the same operations locally." Filters compose as pipelines, reading an
+//! image from their input and writing to their output — the Unix-filter
+//! model extended into parallel processing.
+//!
+//! Filters here: threshold, 3×3 box blur, Sobel gradient magnitude, and
+//! histogram. Each parallelizes over row bands with block copies and halo
+//! rows; every filter is verified against a host-side reference.
+
+use std::rc::Rc;
+
+use bfly_chrysalis::Os;
+use bfly_machine::{GAddr, Machine, MachineConfig};
+use bfly_sim::{Sim, SimTime};
+use bfly_uniform::{task, Us};
+
+/// Per-pixel filter cost.
+const PIXEL_OP: SimTime = 1_200;
+
+/// An image held in scattered Butterfly memory, one row per segment.
+pub struct BiffImage {
+    /// Width.
+    pub w: u32,
+    /// Height.
+    pub h: u32,
+    rows: Vec<GAddr>,
+}
+
+/// A filter in a BIFF pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Filter {
+    /// Binarize at a threshold.
+    Threshold(u8),
+    /// 3×3 box blur (truncating mean).
+    BoxBlur,
+    /// Sobel gradient magnitude, clamped to 255.
+    Sobel,
+}
+
+/// Host-side reference implementation of one filter.
+pub fn reference_filter(f: Filter, img: &[u8], w: u32, h: u32) -> Vec<u8> {
+    let at = |x: i64, y: i64| -> i64 {
+        let x = x.clamp(0, w as i64 - 1);
+        let y = y.clamp(0, h as i64 - 1);
+        img[(y as u32 * w + x as u32) as usize] as i64
+    };
+    let mut out = vec![0u8; (w * h) as usize];
+    for y in 0..h as i64 {
+        for x in 0..w as i64 {
+            let v = match f {
+                Filter::Threshold(t) => {
+                    if at(x, y) >= t as i64 {
+                        255
+                    } else {
+                        0
+                    }
+                }
+                Filter::BoxBlur => {
+                    let mut s = 0;
+                    for dy in -1..=1 {
+                        for dx in -1..=1 {
+                            s += at(x + dx, y + dy);
+                        }
+                    }
+                    s / 9
+                }
+                Filter::Sobel => {
+                    let gx = at(x + 1, y - 1) + 2 * at(x + 1, y) + at(x + 1, y + 1)
+                        - at(x - 1, y - 1)
+                        - 2 * at(x - 1, y)
+                        - at(x - 1, y + 1);
+                    let gy = at(x - 1, y + 1) + 2 * at(x, y + 1) + at(x + 1, y + 1)
+                        - at(x - 1, y - 1)
+                        - 2 * at(x, y - 1)
+                        - at(x + 1, y - 1);
+                    (gx.abs() + gy.abs()).min(255)
+                }
+            };
+            out[(y as u32 * w + x as u32) as usize] = v as u8;
+        }
+    }
+    out
+}
+
+/// The BIFF runtime: a Uniform System instance plus image management.
+pub struct Biff {
+    us: Rc<Us>,
+    machine: Rc<Machine>,
+}
+
+impl Biff {
+    /// Bring up BIFF on `nprocs` processors of a 128-node machine.
+    pub fn new(sim: &Sim, nprocs: u16) -> Biff {
+        let machine = Machine::new(sim, MachineConfig::rochester());
+        let os = Os::boot(&machine);
+        let us = Us::init(&os, nprocs);
+        Biff { us, machine }
+    }
+
+    /// The underlying OS (for drivers).
+    pub fn os(&self) -> &Rc<Os> {
+        &self.us.os
+    }
+
+    /// Download an image into scattered shared memory (host-side, as from
+    /// the workstation over the Ethernet).
+    pub fn download(&self, data: &[u8], w: u32, h: u32) -> BiffImage {
+        assert_eq!(data.len() as u32, w * h);
+        let mem = self.us.memory_nodes().to_vec();
+        let rows = (0..h)
+            .map(|y| {
+                let a = self
+                    .machine
+                    .node(mem[y as usize % mem.len()])
+                    .alloc(w)
+                    .expect("image row");
+                self.machine
+                    .poke(a, &data[(y * w) as usize..((y + 1) * w) as usize]);
+                a
+            })
+            .collect();
+        BiffImage { w, h, rows }
+    }
+
+    /// Upload an image back to the workstation (host-side).
+    pub fn upload(&self, img: &BiffImage) -> Vec<u8> {
+        let mut out = vec![0u8; (img.w * img.h) as usize];
+        for y in 0..img.h {
+            self.machine.peek(
+                img.rows[y as usize],
+                &mut out[(y * img.w) as usize..((y + 1) * img.w) as usize],
+            );
+        }
+        out
+    }
+
+    /// Allocate an output image of the same shape.
+    fn alloc_like(&self, img: &BiffImage) -> BiffImage {
+        let mem = self.us.memory_nodes().to_vec();
+        BiffImage {
+            w: img.w,
+            h: img.h,
+            rows: (0..img.h)
+                .map(|y| {
+                    self.machine
+                        .node(mem[(y as usize + 3) % mem.len()])
+                        .alloc(img.w)
+                        .expect("output row")
+                })
+                .collect(),
+        }
+    }
+
+    /// Apply one filter in parallel (bands of rows; 3×3 filters copy one
+    /// halo row on each side).
+    pub async fn apply(&self, f: Filter, input: &BiffImage, driver: &Rc<bfly_chrysalis::Proc>) -> BiffImage {
+        let _ = driver;
+        let out = self.alloc_like(input);
+        let (w, h) = (input.w, input.h);
+        let in_rows = Rc::new(input.rows.clone());
+        let out_rows = Rc::new(out.rows.clone());
+        let halo = !matches!(f, Filter::Threshold(_));
+        self.us
+            .gen_on_n(
+                h as u64, // one task per row
+                task(move |p, y| {
+                    let in_rows = in_rows.clone();
+                    let out_rows = out_rows.clone();
+                    async move {
+                        let y = y as u32;
+                        // Copy the row band (with halo) into local memory.
+                        let y0 = if halo { y.saturating_sub(1) } else { y };
+                        let y1 = if halo { (y + 1).min(h - 1) } else { y };
+                        let mut band = Vec::new();
+                        for yy in y0..=y1 {
+                            let mut row = vec![0u8; w as usize];
+                            p.read_block(in_rows[yy as usize], &mut row).await;
+                            band.push(row);
+                        }
+                        let at = |x: i64, yy: i64| -> i64 {
+                            let x = x.clamp(0, w as i64 - 1) as usize;
+                            let yy = (yy.clamp(y0 as i64, y1 as i64) - y0 as i64) as usize;
+                            band[yy][x] as i64
+                        };
+                        let mut outrow = vec![0u8; w as usize];
+                        for x in 0..w as i64 {
+                            let yy = y as i64;
+                            let v = match f {
+                                Filter::Threshold(t) => {
+                                    if at(x, yy) >= t as i64 {
+                                        255
+                                    } else {
+                                        0
+                                    }
+                                }
+                                Filter::BoxBlur => {
+                                    let mut s = 0;
+                                    for dy in -1..=1 {
+                                        for dx in -1..=1 {
+                                            s += at(x + dx, yy + dy);
+                                        }
+                                    }
+                                    s / 9
+                                }
+                                Filter::Sobel => {
+                                    let gx = at(x + 1, yy - 1) + 2 * at(x + 1, yy)
+                                        + at(x + 1, yy + 1)
+                                        - at(x - 1, yy - 1)
+                                        - 2 * at(x - 1, yy)
+                                        - at(x - 1, yy + 1);
+                                    let gy = at(x - 1, yy + 1) + 2 * at(x, yy + 1)
+                                        + at(x + 1, yy + 1)
+                                        - at(x - 1, yy - 1)
+                                        - 2 * at(x, yy - 1)
+                                        - at(x + 1, yy - 1);
+                                    (gx.abs() + gy.abs()).min(255)
+                                }
+                            };
+                            outrow[x as usize] = v as u8;
+                        }
+                        p.compute(w as SimTime * PIXEL_OP).await;
+                        p.write_block(out_rows[y as usize], &outrow).await;
+                    }
+                }),
+            )
+            .await;
+        out
+    }
+
+    /// Parallel 256-bin histogram (per-task local bins merged through
+    /// shared memory — the Linda-ish cache-out idiom).
+    pub async fn histogram(&self, input: &BiffImage) -> [u64; 256] {
+        let bins_addr = self
+            .machine
+            .node(self.us.memory_nodes()[0])
+            .alloc(256 * 4)
+            .expect("histogram bins");
+        for i in 0..256 {
+            self.machine.poke_u32(bins_addr.add(4 * i), 0);
+        }
+        let (w, h) = (input.w, input.h);
+        let in_rows = Rc::new(input.rows.clone());
+        self.us
+            .gen_on_n(
+                h as u64,
+                task(move |p, y| {
+                    let in_rows = in_rows.clone();
+                    async move {
+                        let mut row = vec![0u8; w as usize];
+                        p.read_block(in_rows[y as usize], &mut row).await;
+                        let mut local = [0u32; 256];
+                        for &b in &row {
+                            local[b as usize] += 1;
+                        }
+                        p.compute(w as SimTime * 400).await;
+                        for (v, &c) in local.iter().enumerate() {
+                            if c > 0 {
+                                p.fetch_add(bins_addr.add(4 * v as u32), c).await;
+                            }
+                        }
+                    }
+                }),
+            )
+            .await;
+        let mut out = [0u64; 256];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.machine.peek_u32(bins_addr.add(4 * i as u32)) as u64;
+        }
+        out
+    }
+
+    /// Shut the Uniform System down so the simulation can quiesce.
+    pub fn shutdown(&self) {
+        self.us.shutdown();
+    }
+}
+
+/// Generate a test image (soft gradient + shapes).
+pub fn test_image(w: u32, h: u32, seed: u64) -> Vec<u8> {
+    let mut rng = bfly_sim::SplitMix64::new(seed);
+    let mut img: Vec<u8> = (0..w * h)
+        .map(|i| (((i % w) + (i / w)) % 256) as u8)
+        .collect();
+    for _ in 0..6 {
+        let cx = rng.next_below(w as u64) as i64;
+        let cy = rng.next_below(h as u64) as i64;
+        let r = 2 + rng.next_below(5) as i64;
+        for y in (cy - r).max(0)..(cy + r).min(h as i64) {
+            for x in (cx - r).max(0)..(cx + r).min(w as i64) {
+                img[(y as u32 * w + x as u32) as usize] = 255;
+            }
+        }
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_filter(f: Filter) {
+        let sim = Sim::new();
+        let biff = Rc::new(Biff::new(&sim, 8));
+        let (w, h) = (32, 24);
+        let data = test_image(w, h, 5);
+        let img = biff.download(&data, w, h);
+        let expect = reference_filter(f, &data, w, h);
+        let b2 = biff.clone();
+        let mut out_h = biff.os().boot_process(0, "driver", move |p| async move {
+            let out = b2.apply(f, &img, &p).await;
+            b2.shutdown();
+            b2.upload(&out)
+        });
+        sim.run();
+        assert_eq!(out_h.try_take().unwrap(), expect, "{f:?} mismatch");
+    }
+
+    #[test]
+    fn threshold_matches_reference() {
+        run_filter(Filter::Threshold(128));
+    }
+
+    #[test]
+    fn blur_matches_reference() {
+        run_filter(Filter::BoxBlur);
+    }
+
+    #[test]
+    fn sobel_matches_reference() {
+        run_filter(Filter::Sobel);
+    }
+
+    #[test]
+    fn pipeline_composes_filters() {
+        let sim = Sim::new();
+        let biff = Rc::new(Biff::new(&sim, 8));
+        let (w, h) = (24, 24);
+        let data = test_image(w, h, 9);
+        let img = biff.download(&data, w, h);
+        // Reference: blur then sobel then threshold.
+        let r1 = reference_filter(Filter::BoxBlur, &data, w, h);
+        let r2 = reference_filter(Filter::Sobel, &r1, w, h);
+        let expect = reference_filter(Filter::Threshold(100), &r2, w, h);
+        let b2 = biff.clone();
+        let mut out_h = biff.os().boot_process(0, "driver", move |p| async move {
+            let a = b2.apply(Filter::BoxBlur, &img, &p).await;
+            let b = b2.apply(Filter::Sobel, &a, &p).await;
+            let c = b2.apply(Filter::Threshold(100), &b, &p).await;
+            b2.shutdown();
+            b2.upload(&c)
+        });
+        sim.run();
+        assert_eq!(out_h.try_take().unwrap(), expect);
+    }
+
+    #[test]
+    fn histogram_counts_every_pixel() {
+        let sim = Sim::new();
+        let biff = Rc::new(Biff::new(&sim, 4));
+        let (w, h) = (20, 20);
+        let data = test_image(w, h, 3);
+        let mut expect = [0u64; 256];
+        for &b in &data {
+            expect[b as usize] += 1;
+        }
+        let img = biff.download(&data, w, h);
+        let b2 = biff.clone();
+        let mut out_h = biff.os().boot_process(0, "driver", move |p| async move {
+            let _ = p;
+            let hist = b2.histogram(&img).await;
+            b2.shutdown();
+            hist
+        });
+        sim.run();
+        assert_eq!(out_h.try_take().unwrap(), expect);
+    }
+}

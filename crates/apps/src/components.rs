@@ -1,0 +1,348 @@
+//! Connected-component labeling (Bukys, BPR 11 — a DARPA vision benchmark,
+//! §3.1).
+//!
+//! Uniform System structure: the binary image is scattered in row bands;
+//! phase 1 labels each band locally (tasks block-copy their band in, label,
+//! copy labels out); phase 2 scans band boundaries and records label
+//! equivalences in a shared union-find protected by a spin lock; phase 3
+//! host-resolves the equivalences (the paper's version did a parallel
+//! pointer-jumping pass; the measured phases are 1 and 2).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bfly_chrysalis::{Os, SpinLock};
+use bfly_machine::{GAddr, Machine, MachineConfig};
+use bfly_sim::{Sim, SimTime};
+use bfly_uniform::{task, Us};
+
+/// Per-pixel labeling compute cost.
+const PIXEL_OP: SimTime = 2_000;
+
+/// Result of a labeling run.
+#[derive(Debug, Clone)]
+pub struct CcResult {
+    /// Simulated time.
+    pub time_ns: SimTime,
+    /// Number of connected components found.
+    pub components: u32,
+}
+
+/// Host-side reference: 4-connected component count by flood fill.
+pub fn reference_components(img: &[u8], w: u32, h: u32) -> u32 {
+    let mut seen = vec![false; (w * h) as usize];
+    let mut count = 0;
+    for start in 0..(w * h) {
+        if img[start as usize] == 0 || seen[start as usize] {
+            continue;
+        }
+        count += 1;
+        let mut stack = vec![start];
+        seen[start as usize] = true;
+        while let Some(p) = stack.pop() {
+            let (x, y) = (p % w, p / w);
+            let mut push = |nx: i64, ny: i64| {
+                if nx < 0 || ny < 0 || nx >= w as i64 || ny >= h as i64 {
+                    return;
+                }
+                let q = (ny as u32 * w + nx as u32) as usize;
+                if img[q] != 0 && !seen[q] {
+                    seen[q] = true;
+                    stack.push(q as u32);
+                }
+            };
+            push(x as i64 - 1, y as i64);
+            push(x as i64 + 1, y as i64);
+            push(x as i64, y as i64 - 1);
+            push(x as i64, y as i64 + 1);
+        }
+    }
+    count
+}
+
+/// Build a random blobby binary image.
+pub fn build_image(w: u32, h: u32, seed: u64) -> Vec<u8> {
+    let mut rng = bfly_sim::SplitMix64::new(seed);
+    let mut img = vec![0u8; (w * h) as usize];
+    // Plant rectangles.
+    for _ in 0..(w * h / 256).max(3) {
+        let x0 = rng.next_below(w as u64) as u32;
+        let y0 = rng.next_below(h as u64) as u32;
+        let dw = 1 + rng.next_below(6) as u32;
+        let dh = 1 + rng.next_below(6) as u32;
+        for y in y0..(y0 + dh).min(h) {
+            for x in x0..(x0 + dw).min(w) {
+                img[(y * w + x) as usize] = 1;
+            }
+        }
+    }
+    img
+}
+
+struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: u32) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+    fn find(&mut self, x: u32) -> u32 {
+        let mut r = x;
+        while self.parent[r as usize] != r {
+            r = self.parent[r as usize];
+        }
+        let mut c = x;
+        while self.parent[c as usize] != r {
+            let next = self.parent[c as usize];
+            self.parent[c as usize] = r;
+            c = next;
+        }
+        r
+    }
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[rb as usize] = ra;
+        }
+    }
+}
+
+/// Label the components of a `w × h` image on `nprocs` processors.
+pub fn connected_components(nprocs: u16, w: u32, h: u32, seed: u64) -> CcResult {
+    let sim = Sim::with_seed(seed);
+    let machine = Machine::new(&sim, MachineConfig::rochester());
+    let os = Os::boot(&machine);
+    let us = Us::init(&os, nprocs);
+
+    let img = build_image(w, h, seed);
+    let expected = reference_components(&img, w, h);
+
+    // Image rows and label rows (u32 per pixel), scattered.
+    let mem = us.memory_nodes().to_vec();
+    let img_rows: Rc<Vec<GAddr>> = Rc::new(
+        (0..h)
+            .map(|y| {
+                let a = machine
+                    .node(mem[y as usize % mem.len()])
+                    .alloc(w)
+                    .expect("img row");
+                machine.poke(a, &img[(y * w) as usize..((y + 1) * w) as usize]);
+                a
+            })
+            .collect(),
+    );
+    let lab_rows: Rc<Vec<GAddr>> = Rc::new(
+        (0..h)
+            .map(|y| {
+                machine
+                    .node(mem[(y as usize + 1) % mem.len()])
+                    .alloc(w * 4)
+                    .expect("label row")
+            })
+            .collect(),
+    );
+
+    // Shared union-find: host-side structure guarded by a simulated spin
+    // lock (each union charges the lock + two remote refs, as the real
+    // shared-memory structure would).
+    let uf = Rc::new(RefCell::new(UnionFind::new(w * h)));
+    let lock_word = machine.node(mem[0]).alloc(4).unwrap();
+    machine.poke_u32(lock_word, 0);
+    let lock = SpinLock::new(lock_word).with_backoff(15_000);
+    // Representative location of the shared union-find's hot data (touched
+    // under the lock so the traffic lands on the owning node).
+    let uf_addr = machine.node(mem[0]).alloc(8).unwrap();
+
+    // One band per processor, capped: extra bands only add boundary-merge
+    // serialization (phase 2 funnels through one lock — the §4.1 lesson).
+    let bands = (nprocs as u32).clamp(1, (h / 2).clamp(1, 64));
+    let rows_per_band = h.div_ceil(bands);
+
+    let us2 = us.clone();
+    let (ir, lr, uf2) = (img_rows.clone(), lab_rows.clone(), uf.clone());
+    os.boot_process(0, "cc-driver", move |_p| async move {
+        // Phase 1: local labeling per band.
+        let (ir1, lr1) = (ir.clone(), lr.clone());
+        us2.gen_on_n(
+            bands as u64,
+            task(move |p, band| {
+                let (ir, lr) = (ir1.clone(), lr1.clone());
+                async move {
+                    let y0 = band as u32 * rows_per_band;
+                    if y0 >= h {
+                        return; // ceil rounding can leave trailing empty bands
+                    }
+                    let y1 = (y0 + rows_per_band).min(h);
+                    // Copy the band in.
+                    let mut pix = Vec::new();
+                    for y in y0..y1 {
+                        let mut row = vec![0u8; w as usize];
+                        p.read_block(ir[y as usize], &mut row).await;
+                        pix.extend(row);
+                    }
+                    // Local two-pass labeling with a band-local union-find;
+                    // initial label of pixel (x,y) is its global index.
+                    let rows = y1 - y0;
+                    let mut labels = vec![0u32; (rows * w) as usize];
+                    let mut local_uf = UnionFind::new(w * h);
+                    for ly in 0..rows {
+                        for x in 0..w {
+                            let i = (ly * w + x) as usize;
+                            if pix[i] == 0 {
+                                continue;
+                            }
+                            let gid = (y0 + ly) * w + x;
+                            labels[i] = gid;
+                            if x > 0 && pix[i - 1] != 0 {
+                                local_uf.union(labels[i - 1], gid);
+                            }
+                            if ly > 0 && pix[i - w as usize] != 0 {
+                                local_uf.union(labels[i - w as usize], gid);
+                            }
+                        }
+                    }
+                    for (i, l) in labels.iter_mut().enumerate() {
+                        if pix[i] != 0 {
+                            *l = local_uf.find(*l);
+                        }
+                    }
+                    p.compute(rows as SimTime * w as SimTime * PIXEL_OP).await;
+                    // Write the label rows out.
+                    for ly in 0..rows {
+                        let mut bytes = Vec::with_capacity(w as usize * 4);
+                        for x in 0..w {
+                            bytes.extend_from_slice(
+                                &labels[(ly * w + x) as usize].to_le_bytes(),
+                            );
+                        }
+                        p.write_block(lr[(y0 + ly) as usize], &bytes).await;
+                    }
+                }
+            }),
+        )
+        .await;
+
+        // Phase 2: merge across band boundaries through the shared
+        // union-find.
+        let (ir2, lr2, uf3) = (ir.clone(), lr.clone(), uf2.clone());
+        us2.gen_on_n(
+            (bands - 1) as u64,
+            task(move |p, b| {
+                let (ir, lr, uf) = (ir2.clone(), lr2.clone(), uf3.clone());
+                async move {
+                    let boundary = (b as u32 + 1) * rows_per_band;
+                    if boundary >= h {
+                        return;
+                    }
+                    let (ya, yb) = (boundary - 1, boundary);
+                    let mut pa = vec![0u8; w as usize];
+                    let mut pb = vec![0u8; w as usize];
+                    p.read_block(ir[ya as usize], &mut pa).await;
+                    p.read_block(ir[yb as usize], &mut pb).await;
+                    let mut la = vec![0u8; (w * 4) as usize];
+                    let mut lb = vec![0u8; (w * 4) as usize];
+                    p.read_block(lr[ya as usize], &mut la).await;
+                    p.read_block(lr[yb as usize], &mut lb).await;
+                    // Collect this boundary's equivalences, then apply them
+                    // under ONE lock acquisition (per-pixel locking would
+                    // re-create the Amdahl bottleneck of §4.1).
+                    let mut pairs = Vec::new();
+                    for x in 0..w as usize {
+                        if pa[x] != 0 && pb[x] != 0 {
+                            let a = u32::from_le_bytes(la[4 * x..4 * x + 4].try_into().unwrap());
+                            let c = u32::from_le_bytes(lb[4 * x..4 * x + 4].try_into().unwrap());
+                            pairs.push((a, c));
+                        }
+                    }
+                    // Distinct equivalences only (labels are per-band
+                    // canonical, so duplicates are common along a run).
+                    pairs.sort_unstable();
+                    pairs.dedup();
+                    p.compute(pairs.len() as SimTime * 2_000).await; // local dedup
+                    if !pairs.is_empty() {
+                        lock.acquire(&p).await;
+                        p.read_u32(uf_addr).await; // structure traffic
+                        for &(a, c) in &pairs {
+                            uf.borrow_mut().union(a, c);
+                        }
+                        p.compute(pairs.len() as SimTime * 1_000).await;
+                        p.write_u32(uf_addr, 0).await;
+                        lock.release(&p).await;
+                    }
+                }
+            }),
+        )
+        .await;
+
+        // Also fold each band's internal equivalences into the global
+        // structure (phase 1 produced canonical per-band labels already,
+        // so bands only need boundary unions — done above).
+        us2.shutdown();
+    });
+    sim.run();
+
+    // Phase 3 (host): count distinct roots among labeled pixels.
+    let mut uf = uf.borrow_mut();
+    let mut roots = std::collections::HashSet::new();
+    for y in 0..h {
+        let mut row = vec![0u8; (w * 4) as usize];
+        machine.peek(lab_rows[y as usize], &mut row);
+        for x in 0..w {
+            let i = (y * w + x) as usize;
+            if img[i] != 0 {
+                let l = u32::from_le_bytes(
+                    row[(4 * x) as usize..(4 * x + 4) as usize].try_into().unwrap(),
+                );
+                roots.insert(uf.find(l));
+            }
+        }
+    }
+    let found = roots.len() as u32;
+    assert_eq!(
+        found, expected,
+        "parallel labeling must match the flood-fill reference"
+    );
+    CcResult {
+        time_ns: sim.now(),
+        components: found,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_counts_simple_shapes() {
+        // Two separate dots and an L.
+        #[rustfmt::skip]
+        let img = vec![
+            1, 0, 0, 1,
+            0, 0, 0, 0,
+            1, 0, 0, 0,
+            1, 1, 0, 0,
+        ];
+        assert_eq!(reference_components(&img, 4, 4), 3);
+    }
+
+    #[test]
+    fn parallel_matches_reference_on_random_images() {
+        for seed in [1, 2, 3] {
+            let r = connected_components(8, 40, 40, seed);
+            assert!(r.components > 0);
+        }
+    }
+
+    #[test]
+    fn more_processors_help() {
+        let t1 = connected_components(2, 64, 64, 7).time_ns;
+        let t8 = connected_components(16, 64, 64, 7).time_ns;
+        assert!(
+            t8 * 2 < t1,
+            "16 procs must be at least 2x faster than 2 ({t1} vs {t8})"
+        );
+    }
+}

@@ -1,0 +1,191 @@
+//! The Connectionist Network Simulator (Fanty, TR 164) — "the first
+//! significant application developed for the Butterfly at Rochester ...
+//! With 120 Mbytes of physical memory we were able to build networks that
+//! had led to hopeless thrashing on a VAX. With 120-way parallelism, we
+//! were able to simulate in minutes networks that had previously taken
+//! hours." (§3.1)
+//!
+//! Units with activations, links with weights; simulation proceeds in
+//! rounds: every unit computes a new activation from its in-links. Units
+//! are scattered over node memories; each round is a Uniform System
+//! generator over unit blocks; in-link source activations are read from
+//! shared memory (the activations of the previous round, double-buffered).
+//! Speedups past 100 processors (experiment T11) come from exactly this
+//! structure.
+
+use std::rc::Rc;
+
+use bfly_chrysalis::Os;
+use bfly_machine::{GAddr, Machine, MachineConfig};
+use bfly_sim::{Sim, SimTime};
+use bfly_uniform::{task, Us};
+
+/// Cost of one weighted-sum step (fixed-point multiply-accumulate — the
+/// simulator used scaled integers to avoid software floating point).
+const LINK_OP: SimTime = 4_000;
+/// Sigmoid / threshold application per unit.
+const UNIT_OP: SimTime = 12_000;
+
+/// A connectionist network: `n` units, each with a fixed in-degree.
+#[derive(Debug, Clone)]
+pub struct Network {
+    /// Unit count.
+    pub n: u32,
+    /// In-links: `links[u] = [(src, weight_milli)]` (weights in 1/1000).
+    pub links: Vec<Vec<(u32, i32)>>,
+}
+
+impl Network {
+    /// Random network with `indegree` in-links per unit.
+    pub fn random(n: u32, indegree: u32, seed: u64) -> Network {
+        let mut rng = bfly_sim::SplitMix64::new(seed);
+        Network {
+            n,
+            links: (0..n)
+                .map(|_| {
+                    (0..indegree)
+                        .map(|_| {
+                            (
+                                rng.next_below(n as u64) as u32,
+                                rng.next_below(2001) as i32 - 1000,
+                            )
+                        })
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// Host-side reference simulation (scaled-integer arithmetic).
+    pub fn reference(&self, rounds: u32) -> Vec<i32> {
+        let mut act: Vec<i32> = (0..self.n).map(|u| (u % 100) as i32).collect();
+        for _ in 0..rounds {
+            let mut next = vec![0i32; self.n as usize];
+            for (u, slot) in next.iter_mut().enumerate() {
+                let mut sum: i64 = 0;
+                for &(src, w) in &self.links[u] {
+                    sum += act[src as usize] as i64 * w as i64;
+                }
+                *slot = ((sum / 1000).clamp(-1000, 1000)) as i32;
+            }
+            act = next;
+        }
+        act
+    }
+}
+
+/// Result of a parallel network simulation.
+#[derive(Debug, Clone)]
+pub struct NetResult {
+    /// Simulated time.
+    pub time_ns: SimTime,
+    /// Final activations (must equal the reference).
+    pub activations: Vec<i32>,
+}
+
+/// Simulate `rounds` rounds on `nprocs` processors.
+pub fn simulate(net: &Network, rounds: u32, nprocs: u16, seed: u64) -> NetResult {
+    let sim = Sim::with_seed(seed);
+    let machine = Machine::new(&sim, MachineConfig::rochester());
+    let os = Os::boot(&machine);
+    let us = Us::init(&os, nprocs);
+    let n = net.n;
+    let mem = us.memory_nodes().to_vec();
+
+    // Double-buffered activations, scattered one word per unit.
+    let buf = |tag: usize| -> Vec<GAddr> {
+        (0..n)
+            .map(|u| {
+                machine
+                    .node(mem[(u as usize + tag) % mem.len()])
+                    .alloc(4)
+                    .expect("activation word")
+            })
+            .collect()
+    };
+    let act: Rc<[Vec<GAddr>; 2]> = Rc::new([buf(0), buf(1)]);
+    for u in 0..n {
+        machine.poke_u32(act[0][u as usize], (u % 100) as i32 as u32);
+    }
+
+    let links = Rc::new(net.links.clone());
+    let us2 = us.clone();
+    let act2 = act.clone();
+    os.boot_process(0, "net-driver", move |_p| async move {
+        for round in 0..rounds {
+            let (cur, nxt) = ((round % 2) as usize, ((round + 1) % 2) as usize);
+            let links = links.clone();
+            let act = act2.clone();
+            // One task per block of 4 units keeps task granularity at "a
+            // single subroutine call" (§2.3).
+            let blocks = n.div_ceil(4);
+            us2.gen_on_n(
+                blocks as u64,
+                task(move |p, b| {
+                    let links = links.clone();
+                    let act = act.clone();
+                    async move {
+                        for u in (b as u32 * 4)..((b as u32 + 1) * 4).min(n) {
+                            let mut sum: i64 = 0;
+                            for &(src, w) in &links[u as usize] {
+                                let a = p.read_u32(act[cur][src as usize]).await as i32;
+                                p.compute(LINK_OP).await;
+                                sum += a as i64 * w as i64;
+                            }
+                            p.compute(UNIT_OP).await;
+                            let v = ((sum / 1000).clamp(-1000, 1000)) as i32;
+                            p.write_u32(act[nxt][u as usize], v as u32).await;
+                        }
+                    }
+                }),
+            )
+            .await;
+        }
+        us2.shutdown();
+    });
+    sim.run();
+
+    let last = (rounds % 2) as usize;
+    let activations = (0..n)
+        .map(|u| machine.peek_u32(act[last][u as usize]) as i32)
+        .collect();
+    NetResult {
+        time_ns: sim.now(),
+        activations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_matches_reference() {
+        let net = Network::random(48, 4, 7);
+        let expect = net.reference(3);
+        let got = simulate(&net, 3, 8, 7);
+        assert_eq!(got.activations, expect);
+    }
+
+    #[test]
+    fn speedup_is_substantial_at_high_processor_counts() {
+        let net = Network::random(128, 6, 3);
+        let t4 = simulate(&net, 2, 4, 3).time_ns;
+        let t64 = simulate(&net, 2, 64, 3).time_ns;
+        let speedup = t4 as f64 / t64 as f64 * 4.0;
+        assert!(
+            speedup > 24.0,
+            "64 procs must give substantial speedup (got {speedup:.1} vs ideal 64)"
+        );
+    }
+
+    #[test]
+    fn zero_rounds_is_identity() {
+        let net = Network::random(16, 2, 1);
+        let got = simulate(&net, 0, 2, 1);
+        assert_eq!(
+            got.activations,
+            (0..16).map(|u| u % 100).collect::<Vec<_>>()
+        );
+    }
+}

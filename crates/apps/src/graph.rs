@@ -1,0 +1,309 @@
+//! Graph algorithms (DARPA benchmark §3.1: minimum-cost path; pedagogical
+//! transitive closure).
+//!
+//! Two styles, per the paper's observation that graph problems motivated
+//! Ant Farm (§3.2, §4.2):
+//!
+//! * [`shortest_path_antfarm`] — one lightweight thread per vertex,
+//!   asynchronous distance relaxation by message passing: the style "none
+//!   of the programming environments available on the Butterfly supported"
+//!   before Ant Farm.
+//! * [`transitive_closure_us`] — Uniform System data-parallel Warshall
+//!   passes over a shared boolean matrix.
+//!
+//! Both verify against host-side references.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bfly_antfarm::{AntChannel, AntFarm};
+use bfly_chrysalis::Os;
+use bfly_machine::{GAddr, Machine, MachineConfig, NodeId};
+use bfly_sim::{Sim, SimTime};
+use bfly_uniform::{task, Us};
+
+/// A weighted directed graph.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    /// Vertex count.
+    pub n: u32,
+    /// Adjacency: `adj[u] = [(v, w), ...]`.
+    pub adj: Vec<Vec<(u32, u32)>>,
+}
+
+impl Graph {
+    /// Random connected-ish digraph.
+    pub fn random(n: u32, degree: u32, seed: u64) -> Graph {
+        let mut rng = bfly_sim::SplitMix64::new(seed);
+        let mut adj = vec![Vec::new(); n as usize];
+        // A ring for connectivity plus random chords.
+        for u in 0..n {
+            adj[u as usize].push(((u + 1) % n, 1 + rng.next_below(9) as u32));
+            for _ in 0..degree {
+                let v = rng.next_below(n as u64) as u32;
+                if v != u {
+                    adj[u as usize].push((v, 1 + rng.next_below(9) as u32));
+                }
+            }
+        }
+        Graph { n, adj }
+    }
+
+    /// Host-side Dijkstra (reference).
+    pub fn dijkstra(&self, src: u32) -> Vec<u32> {
+        let mut dist = vec![u32::MAX; self.n as usize];
+        dist[src as usize] = 0;
+        let mut heap = std::collections::BinaryHeap::new();
+        heap.push(std::cmp::Reverse((0u32, src)));
+        while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+            if d > dist[u as usize] {
+                continue;
+            }
+            for &(v, w) in &self.adj[u as usize] {
+                let nd = d + w;
+                if nd < dist[v as usize] {
+                    dist[v as usize] = nd;
+                    heap.push(std::cmp::Reverse((nd, v)));
+                }
+            }
+        }
+        dist
+    }
+}
+
+/// Result of a parallel graph run.
+#[derive(Debug, Clone)]
+pub struct GraphResult {
+    /// Simulated time.
+    pub time_ns: SimTime,
+    /// Messages (relaxations) sent.
+    pub messages: u64,
+}
+
+/// One Ant Farm thread per vertex: asynchronous Bellman-Ford. Each vertex
+/// keeps its best-known distance; on improvement it sends `d+w` to every
+/// successor. Termination: a host-side count of in-flight messages.
+pub fn shortest_path_antfarm(g: &Graph, src: u32, nodes: u16, seed: u64) -> (Vec<u32>, GraphResult) {
+    let sim = Sim::with_seed(seed);
+    let machine = Machine::new(&sim, MachineConfig::small(nodes));
+    let os = Os::boot(&machine);
+    let af = AntFarm::new(&os);
+
+    let chans: Vec<AntChannel<u32>> = (0..g.n)
+        .map(|v| AntChannel::new((v % nodes as u32) as NodeId))
+        .collect();
+    let dists: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(vec![u32::MAX; g.n as usize]));
+    // In-flight message counter for distributed termination (the real
+    // implementation used a termination wave; a shared counter is the
+    // standard simplification and costs one atomic per send/receive).
+    let inflight = machine.node(0).alloc(4).unwrap();
+    machine.poke_u32(inflight, 1); // the seed message
+    let msgs = Rc::new(std::cell::Cell::new(0u64));
+
+    chans[src as usize].send_host(0);
+    let all: Rc<Vec<AntChannel<u32>>> = Rc::new(chans.clone());
+    for v in 0..g.n {
+        let inbox = chans[v as usize].clone();
+        let out: Vec<(AntChannel<u32>, u32)> = g.adj[v as usize]
+            .iter()
+            .map(|&(to, w)| (chans[to as usize].clone(), w))
+            .collect();
+        let dists = dists.clone();
+        let msgs = msgs.clone();
+        let all = all.clone();
+        af.spawn((v % nodes as u32) as NodeId, move |ant| async move {
+            loop {
+                let d = inbox.recv(&ant).await;
+                if d == u32::MAX {
+                    break; // poison: computation finished
+                }
+                let improved = {
+                    let mut ds = dists.borrow_mut();
+                    if d < ds[v as usize] {
+                        ds[v as usize] = d;
+                        true
+                    } else {
+                        false
+                    }
+                };
+                if improved {
+                    for (ch, w) in &out {
+                        ant.proc.fetch_add(inflight, 1).await;
+                        msgs.set(msgs.get() + 1);
+                        ch.send(&ant, d + w).await;
+                    }
+                }
+                // Retire this message; the thread that retires the last one
+                // poisons every vertex (termination detection).
+                let left = ant.proc.fetch_add(inflight, u32::MAX).await - 1;
+                if left == 0 {
+                    for ch in all.iter() {
+                        ch.send(&ant, u32::MAX).await;
+                    }
+                    break;
+                }
+            }
+        });
+    }
+    let stats = sim.run();
+    assert_eq!(
+        stats.outcome,
+        bfly_sim::exec::RunOutcome::Completed,
+        "termination wave must reach every vertex"
+    );
+    let out = dists.borrow().clone();
+    (
+        out,
+        GraphResult {
+            time_ns: sim.now(),
+            messages: msgs.get(),
+        },
+    )
+}
+
+/// Uniform System transitive closure (Warshall): shared `n × n` bit matrix
+/// (one byte per cell), one task per row per pivot.
+pub fn transitive_closure_us(g: &Graph, nprocs: u16, seed: u64) -> (Vec<bool>, GraphResult) {
+    let sim = Sim::with_seed(seed);
+    let machine = Machine::new(&sim, MachineConfig::rochester());
+    let os = Os::boot(&machine);
+    let us = Us::init(&os, nprocs);
+    let n = g.n;
+
+    let mem = us.memory_nodes().to_vec();
+    let rows: Rc<Vec<GAddr>> = Rc::new(
+        (0..n)
+            .map(|i| {
+                let a = machine
+                    .node(mem[i as usize % mem.len()])
+                    .alloc(n)
+                    .expect("closure row");
+                let mut row = vec![0u8; n as usize];
+                row[i as usize] = 1;
+                for &(v, _) in &g.adj[i as usize] {
+                    row[v as usize] = 1;
+                }
+                machine.poke(a, &row);
+                a
+            })
+            .collect(),
+    );
+
+    let us2 = us.clone();
+    let rows2 = rows.clone();
+    let chunks = (nprocs as u32).min(n); // one task per processor per step
+    os.boot_process(0, "tc-driver", move |_p| async move {
+        for k in 0..n {
+            let rows = rows2.clone();
+            us2.gen_on_n(
+                chunks as u64,
+                task(move |p, c| {
+                    let rows = rows.clone();
+                    async move {
+                        // Each task handles a whole strip of rows, so task
+                        // dispatch overhead amortizes (§2.3's granularity
+                        // advice applied).
+                        let mut rk: Option<Vec<u8>> = None;
+                        let mut i = c as u32;
+                        while i < n {
+                            let mut ri = vec![0u8; n as usize];
+                            p.read_block(rows[i as usize], &mut ri).await;
+                            if ri[k as usize] != 0 {
+                                if rk.is_none() {
+                                    let mut buf = vec![0u8; n as usize];
+                                    p.read_block(rows[k as usize], &mut buf).await;
+                                    rk = Some(buf);
+                                }
+                                for (a, b) in ri.iter_mut().zip(rk.as_ref().unwrap()) {
+                                    *a |= *b;
+                                }
+                                p.compute(n as SimTime * 200).await;
+                                p.write_block(rows[i as usize], &ri).await;
+                            }
+                            i += chunks;
+                        }
+                    }
+                }),
+            )
+            .await;
+        }
+        us2.shutdown();
+    });
+    sim.run();
+
+    let mut closure = vec![false; (n * n) as usize];
+    for i in 0..n {
+        let mut row = vec![0u8; n as usize];
+        machine.peek(rows[i as usize], &mut row);
+        for j in 0..n {
+            closure[(i * n + j) as usize] = row[j as usize] != 0;
+        }
+    }
+    (
+        closure,
+        GraphResult {
+            time_ns: sim.now(),
+            messages: 0,
+        },
+    )
+}
+
+/// Host-side Warshall reference.
+pub fn reference_closure(g: &Graph) -> Vec<bool> {
+    let n = g.n as usize;
+    let mut c = vec![false; n * n];
+    for i in 0..n {
+        c[i * n + i] = true;
+        for &(v, _) in &g.adj[i] {
+            c[i * n + v as usize] = true;
+        }
+    }
+    for k in 0..n {
+        for i in 0..n {
+            if c[i * n + k] {
+                for j in 0..n {
+                    if c[k * n + j] {
+                        c[i * n + j] = true;
+                    }
+                }
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn antfarm_sssp_matches_dijkstra() {
+        let g = Graph::random(40, 2, 11);
+        let expect = g.dijkstra(0);
+        let (got, res) = shortest_path_antfarm(&g, 0, 8, 11);
+        assert_eq!(got, expect);
+        assert!(res.messages > 0);
+    }
+
+    #[test]
+    fn closure_matches_warshall() {
+        let g = Graph::random(24, 1, 5);
+        let expect = reference_closure(&g);
+        let (got, _res) = transitive_closure_us(&g, 8, 5);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn ring_distances_are_exact() {
+        // Pure ring with weight-1 edges: dist(v) = v.
+        let n = 16;
+        let g = Graph {
+            n,
+            adj: (0..n).map(|u| vec![((u + 1) % n, 1)]).collect(),
+        };
+        let (got, _res) = shortest_path_antfarm(&g, 0, 4, 1);
+        for v in 0..n {
+            assert_eq!(got[v as usize], v);
+        }
+    }
+}

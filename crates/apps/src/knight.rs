@@ -1,0 +1,230 @@
+//! The nondeterministic knight's tour (§3.1): "As part of our research in
+//! debugging parallel programs, we have studied a non-deterministic version
+//! of the knight's tour problem."
+//!
+//! Parallel backtracking search for an open knight's tour: workers pull
+//! partial tours from a shared work pool (a Chrysalis dual queue of prefix
+//! ids) and extend them; whichever worker completes a tour first wins. With
+//! latency jitter enabled, *which* tour is found depends on the seed — the
+//! nondeterminism that made cyclic debugging impractical and motivated
+//! Instant Replay.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use bfly_chrysalis::{Os, Proc};
+use bfly_machine::{Costs, Machine, MachineConfig};
+use bfly_sim::{Sim, SimTime};
+
+/// Per-move bookkeeping cost.
+const MOVE_OP: SimTime = 8_000;
+
+const MOVES: [(i32, i32); 8] = [
+    (1, 2),
+    (2, 1),
+    (2, -1),
+    (1, -2),
+    (-1, -2),
+    (-2, -1),
+    (-2, 1),
+    (-1, 2),
+];
+
+/// A (possibly partial) tour: visited squares in order.
+pub type Tour = Vec<u8>;
+
+/// Verify a complete open tour on a `size × size` board.
+pub fn is_valid_tour(tour: &[u8], size: u8) -> bool {
+    let n = (size as usize) * (size as usize);
+    if tour.len() != n {
+        return false;
+    }
+    let mut seen = vec![false; n];
+    for w in tour.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        let (ax, ay) = ((a % size) as i32, (a / size) as i32);
+        let (bx, by) = ((b % size) as i32, (b / size) as i32);
+        if !MOVES.contains(&(bx - ax, by - ay)) {
+            return false;
+        }
+    }
+    for &sq in tour {
+        if sq as usize >= n || seen[sq as usize] {
+            return false;
+        }
+        seen[sq as usize] = true;
+    }
+    true
+}
+
+/// Result of the search.
+#[derive(Debug, Clone)]
+pub struct TourResult {
+    /// Simulated time until the first tour was found.
+    pub time_ns: SimTime,
+    /// The tour (empty if none exists).
+    pub tour: Tour,
+    /// Which worker found it.
+    pub finder: u16,
+    /// Partial tours expanded in total (work measure).
+    pub expansions: u64,
+}
+
+fn extensions(tour: &[u8], size: u8) -> Vec<u8> {
+    let cur = *tour.last().unwrap();
+    let (x, y) = ((cur % size) as i32, (cur / size) as i32);
+    let mut out = Vec::new();
+    for (dx, dy) in MOVES {
+        let (nx, ny) = (x + dx, y + dy);
+        if nx >= 0 && ny >= 0 && nx < size as i32 && ny < size as i32 {
+            let sq = (ny * size as i32 + nx) as u8;
+            if !tour.contains(&sq) {
+                out.push(sq);
+            }
+        }
+    }
+    // Warnsdorff ordering (fewest onward moves first) keeps search tractable.
+    out.sort_by_key(|&sq| {
+        let (sx, sy) = ((sq % size) as i32, (sq / size) as i32);
+        MOVES
+            .iter()
+            .filter(|(dx, dy)| {
+                let (nx, ny) = (sx + dx, sy + dy);
+                nx >= 0
+                    && ny >= 0
+                    && nx < size as i32
+                    && ny < size as i32
+                    && !tour.contains(&((ny * size as i32 + nx) as u8))
+            })
+            .count()
+    });
+    out
+}
+
+/// Search for an open tour on `size × size` starting at square 0, with
+/// `nworkers` processes sharing a work pool. `jitter_pct > 0` makes the
+/// winner seed-dependent.
+pub fn knights_tour(size: u8, nworkers: u16, seed: u64, jitter_pct: u32) -> TourResult {
+    let sim = Sim::with_seed(seed);
+    let mut costs = Costs::butterfly_one();
+    costs.jitter_pct = jitter_pct;
+    let machine = Machine::new(&sim, MachineConfig::small(nworkers.max(2)).with_costs(costs));
+    let os = Os::boot(&machine);
+
+    // Shared pool of partial tours (host-side bodies; pool traffic charges
+    // a shared counter in simulated memory, standing in for the dual queue).
+    let pool: Rc<RefCell<VecDeque<Tour>>> = Rc::new(RefCell::new(VecDeque::from([vec![0u8]])));
+    let pool_ctr = machine.node(0).alloc(4).unwrap();
+    let found: Rc<RefCell<Option<(Tour, u16)>>> = Rc::new(RefCell::new(None));
+    let expansions = Rc::new(std::cell::Cell::new(0u64));
+
+    async fn take(p: &Proc, pool: &RefCell<VecDeque<Tour>>, ctr: bfly_machine::GAddr) -> Option<Tour> {
+        p.fetch_add(ctr, 1).await; // pool access through shared memory
+        pool.borrow_mut().pop_front()
+    }
+
+    for w in 0..nworkers {
+        let pool = pool.clone();
+        let found = found.clone();
+        let expansions = expansions.clone();
+        os.boot_process(w, &format!("knight{w}"), move |p| async move {
+            let n_squares = (size as usize) * (size as usize);
+            let mut idle = 0u32;
+            loop {
+                if found.borrow().is_some() {
+                    break;
+                }
+                let tour = take(&p, &pool, pool_ctr).await;
+                match tour {
+                    None => {
+                        idle += 1;
+                        if idle > 50 {
+                            break; // pool exhausted: no tour (or lost race)
+                        }
+                        p.compute(50_000).await;
+                    }
+                    Some(tour) => {
+                        idle = 0;
+                        expansions.set(expansions.get() + 1);
+                        p.compute(MOVE_OP).await;
+                        if tour.len() == n_squares {
+                            *found.borrow_mut() = Some((tour, w));
+                            break;
+                        }
+                        // Depth-first locally for a while; spill breadth to
+                        // the shared pool so other workers stay busy.
+                        let exts = extensions(&tour, size);
+                        let mut first = true;
+                        for sq in exts {
+                            let mut next = tour.clone();
+                            next.push(sq);
+                            if first {
+                                pool.borrow_mut().push_front(next);
+                                first = false;
+                            } else {
+                                pool.borrow_mut().push_back(next);
+                            }
+                        }
+                    }
+                }
+            }
+        });
+    }
+    sim.run();
+    let (tour, finder) = found.borrow().clone().unwrap_or((Vec::new(), u16::MAX));
+    TourResult {
+        time_ns: sim.now(),
+        tour,
+        finder,
+        expansions: expansions.get(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_a_valid_tour_on_5x5() {
+        let r = knights_tour(5, 4, 1, 0);
+        assert!(
+            is_valid_tour(&r.tour, 5),
+            "must find a valid open 5x5 tour, got {:?}",
+            r.tour
+        );
+        assert!(r.expansions > 0);
+    }
+
+    #[test]
+    fn validity_checker_rejects_garbage() {
+        assert!(!is_valid_tour(&[0, 1, 2], 5), "too short");
+        let mut fake: Vec<u8> = (0..25).collect();
+        assert!(!is_valid_tour(&fake, 5), "sequential squares are not knight moves");
+        fake.swap(0, 7);
+        assert!(!is_valid_tour(&fake, 5));
+    }
+
+    #[test]
+    fn jitter_makes_the_search_nondeterministic() {
+        let a = knights_tour(5, 6, 10, 30);
+        let b = knights_tour(5, 6, 20, 30);
+        assert!(is_valid_tour(&a.tour, 5) && is_valid_tour(&b.tour, 5));
+        // Different seeds → different interleavings → (almost always) a
+        // different tour or finder or work count.
+        assert!(
+            a.tour != b.tour || a.finder != b.finder || a.expansions != b.expansions,
+            "two seeds produced identical executions — jitter ineffective"
+        );
+    }
+
+    #[test]
+    fn same_seed_reproduces_exactly() {
+        let a = knights_tour(5, 6, 10, 30);
+        let b = knights_tour(5, 6, 10, 30);
+        assert_eq!(a.tour, b.tour);
+        assert_eq!(a.finder, b.finder);
+        assert_eq!(a.expansions, b.expansions);
+        assert_eq!(a.time_ns, b.time_ns);
+    }
+}

@@ -1,0 +1,39 @@
+//! # bfly-apps — the Rochester application suite (§3.1)
+//!
+//! Every application the paper's evaluation leans on, implemented over the
+//! simulated machine and the reconstructed programming environments:
+//!
+//! * [`gauss`] — Gaussian (Gauss–Jordan) elimination in Uniform System and
+//!   SMP styles: **Figure 5**, the shared-memory vs message-passing
+//!   comparison, plus the §4.1 data-placement experiment;
+//! * [`hough`] — the Hough transform with the three locality disciplines of
+//!   §4.1 (remote per-pixel, block-copied bands, local trig tables);
+//! * [`components`] — connected-component labeling (DARPA benchmark);
+//! * [`graph`] — shortest path and transitive closure (DARPA benchmark,
+//!   Ant Farm-style one-thread-per-vertex);
+//! * [`sort`] — odd-even merge sort over SMP, with an optional seeded
+//!   message-ordering bug that deadlocks — the Figure 6 Moviola workflow —
+//!   and Batcher's bitonic sort studied by the Instant Replay work;
+//! * [`connectionist`] — a unit/link connectionist network simulator (the
+//!   first major Rochester Butterfly application);
+//! * [`alphabeta`] — parallel game-tree search (the checkers program);
+//! * [`knight`] — the nondeterministic knight's-tour search used in the
+//!   debugging studies;
+//! * [`pedagogical`] — the student class projects: 8-queens and
+//!   pentominoes (transitive closure is in [`graph`]);
+//! * [`biff`] — a BIFF-style image filter pipeline (IFF filters in
+//!   parallel).
+//!
+//! Applications compute on real data in simulated memory, so each returns
+//! a checkable answer alongside its simulated-time measurement.
+
+pub mod alphabeta;
+pub mod biff;
+pub mod components;
+pub mod connectionist;
+pub mod gauss;
+pub mod graph;
+pub mod hough;
+pub mod knight;
+pub mod pedagogical;
+pub mod sort;

@@ -1,0 +1,390 @@
+//! The student class projects (§3.1): "Several pedagogical applications
+//! have been constructed by students for class projects, including graph
+//! transitive closure, 8-queens, and the game of pentominoes."
+//!
+//! (Transitive closure lives in [`crate::graph`].) Both searches here are
+//! parallelized Uniform System-style: the first placement levels are
+//! expanded into independent subproblems dispatched through the global
+//! work queue; results fold into a shared counter with atomic adds.
+
+use std::rc::Rc;
+
+use bfly_chrysalis::Os;
+use bfly_machine::{Machine, MachineConfig};
+use bfly_sim::{Sim, SimTime};
+use bfly_uniform::{task, Us};
+
+/// Cost per search-tree node expanded.
+const NODE_OP: SimTime = 12_000;
+
+// ---------------------------------------------------------------------
+// N-queens
+// ---------------------------------------------------------------------
+
+/// Host-side sequential N-queens count (bitmask DFS).
+pub fn queens_seq(n: u32) -> u64 {
+    fn go(n: u32, cols: u32, diag1: u32, diag2: u32, row: u32) -> u64 {
+        if row == n {
+            return 1;
+        }
+        let mut count = 0;
+        let mut free = !(cols | diag1 | diag2) & ((1 << n) - 1);
+        while free != 0 {
+            let bit = free & free.wrapping_neg();
+            free ^= bit;
+            count += go(n, cols | bit, (diag1 | bit) << 1, (diag2 | bit) >> 1, row + 1);
+        }
+        count
+    }
+    go(n, 0, 0, 0, 0)
+}
+
+/// Count nodes a sequential solver touches from a given 2-row prefix
+/// (used to charge realistic compute).
+fn queens_count_from(n: u32, cols: u32, d1: u32, d2: u32, row: u32) -> (u64, u64) {
+    if row == n {
+        return (1, 1);
+    }
+    let (mut solutions, mut nodes) = (0, 1u64);
+    let mut free = !(cols | d1 | d2) & ((1 << n) - 1);
+    while free != 0 {
+        let bit = free & free.wrapping_neg();
+        free ^= bit;
+        let (s, t) = queens_count_from(n, cols | bit, (d1 | bit) << 1, (d2 | bit) >> 1, row + 1);
+        solutions += s;
+        nodes += t;
+    }
+    (solutions, nodes)
+}
+
+/// Parallel N-queens: one task per first-two-row placement pair.
+/// Returns (solutions, simulated time). For n=8 the answer is 92.
+pub fn queens_parallel(n: u32, nprocs: u16, seed: u64) -> (u64, SimTime) {
+    let sim = Sim::with_seed(seed);
+    let machine = Machine::new(&sim, MachineConfig::rochester());
+    let os = Os::boot(&machine);
+    let us = Us::init(&os, nprocs);
+
+    let total = machine.node(0).alloc(8).unwrap();
+    machine.poke_u32(total, 0);
+    machine.poke_u32(total.add(4), 0);
+
+    let us2 = us.clone();
+    os.boot_process(0, "queens-driver", move |_p| async move {
+        us2.gen_on_n(
+            (n * n) as u64, // (row0 col, row1 col) pairs; illegal ones no-op
+            task(move |p, t| async move {
+                let (c0, c1) = ((t as u32) / n, (t as u32) % n);
+                let b0 = 1u32 << c0;
+                let b1 = 1u32 << c1;
+                // Legality of the 2-prefix.
+                if b1 & (b0 | (b0 << 1) | (b0 >> 1)) != 0 {
+                    return;
+                }
+                let cols = b0 | b1;
+                let d1 = ((b0 << 1) | b1) << 1;
+                let d2 = ((b0 >> 1) | b1) >> 1;
+                let (sols, nodes) = queens_count_from(n, cols, d1, d2, 2);
+                p.compute(nodes * NODE_OP).await;
+                if sols > 0 {
+                    p.fetch_add(total, sols as u32).await;
+                }
+            }),
+        )
+        .await;
+        us2.shutdown();
+    });
+    sim.run();
+    (machine.peek_u32(total) as u64, sim.now())
+}
+
+// ---------------------------------------------------------------------
+// Pentominoes (scaled: fit 3 distinct pentominoes into a 3x5 box)
+// ---------------------------------------------------------------------
+
+/// A pentomino in one orientation: five (row, col) cell offsets.
+pub type Shape = [(i32, i32); 5];
+
+/// All orientations of all twelve pentominoes.
+type ShapeSet = Vec<Vec<Shape>>;
+
+/// The 12 pentominoes as cell offsets (one fixed orientation each here;
+/// all 8 symmetries are generated at runtime).
+const PENTOMINOES: [(&str, [(i32, i32); 5]); 12] = [
+    ("F", [(0, 1), (0, 2), (1, 0), (1, 1), (2, 1)]),
+    ("I", [(0, 0), (1, 0), (2, 0), (3, 0), (4, 0)]),
+    ("L", [(0, 0), (1, 0), (2, 0), (3, 0), (3, 1)]),
+    ("N", [(0, 1), (1, 1), (2, 0), (2, 1), (3, 0)]),
+    ("P", [(0, 0), (0, 1), (1, 0), (1, 1), (2, 0)]),
+    ("T", [(0, 0), (0, 1), (0, 2), (1, 1), (2, 1)]),
+    ("U", [(0, 0), (0, 2), (1, 0), (1, 1), (1, 2)]),
+    ("V", [(0, 0), (1, 0), (2, 0), (2, 1), (2, 2)]),
+    ("W", [(0, 0), (1, 0), (1, 1), (2, 1), (2, 2)]),
+    ("X", [(0, 1), (1, 0), (1, 1), (1, 2), (2, 1)]),
+    ("Y", [(0, 1), (1, 0), (1, 1), (2, 1), (3, 1)]),
+    ("Z", [(0, 0), (0, 1), (1, 1), (2, 1), (2, 2)]),
+];
+
+fn orientations(cells: [(i32, i32); 5]) -> Vec<[(i32, i32); 5]> {
+    let mut out: Vec<[(i32, i32); 5]> = Vec::new();
+    let mut cur: Vec<(i32, i32)> = cells.to_vec();
+    for flip in 0..2 {
+        let _ = flip;
+        for _rot in 0..4 {
+            // Rotate 90°: (r, c) -> (c, -r), then normalize.
+            cur = cur.iter().map(|&(r, c)| (c, -r)).collect();
+            let minr = cur.iter().map(|&(r, _)| r).min().unwrap();
+            let minc = cur.iter().map(|&(_, c)| c).min().unwrap();
+            let mut norm: Vec<(i32, i32)> =
+                cur.iter().map(|&(r, c)| (r - minr, c - minc)).collect();
+            norm.sort_unstable();
+            let arr: [(i32, i32); 5] = norm.clone().try_into().unwrap();
+            if !out.contains(&arr) {
+                out.push(arr);
+            }
+        }
+        cur = cur.iter().map(|&(r, c)| (r, -c)).collect();
+    }
+    out
+}
+
+/// Host-side sequential count of ways to exactly tile `rows × cols`
+/// (rows*cols must be a multiple of 5) with *distinct* pentominoes.
+/// Distinct placements counted (symmetries of the whole board are not
+/// deduplicated — matching the classic student formulation).
+pub fn pentominoes_seq(rows: i32, cols: i32) -> u64 {
+    let all: ShapeSet = PENTOMINOES
+        .iter()
+        .map(|&(_, cells)| orientations(cells))
+        .collect();
+    fn go(
+        rows: i32,
+        cols: i32,
+        board: &mut Vec<bool>,
+        used: &mut [bool; 12],
+        all: &[Vec<[(i32, i32); 5]>],
+        nodes: &mut u64,
+    ) -> u64 {
+        *nodes += 1;
+        // First empty cell.
+        let Some(first) = board.iter().position(|&b| !b) else {
+            return 1;
+        };
+        let (fr, fc) = (first as i32 / cols, first as i32 % cols);
+        let mut count = 0;
+        for (pi, orients) in all.iter().enumerate() {
+            if used[pi] {
+                continue;
+            }
+            for shape in orients {
+                // Anchor the shape's first cell on (fr, fc).
+                let (ar, ac) = shape[0];
+                let ok = shape.iter().all(|&(r, c)| {
+                    let (rr, cc) = (fr + r - ar, fc + c - ac);
+                    rr >= 0
+                        && cc >= 0
+                        && rr < rows
+                        && cc < cols
+                        && !board[(rr * cols + cc) as usize]
+                });
+                if !ok {
+                    continue;
+                }
+                for &(r, c) in shape {
+                    board[((fr + r - ar) * cols + (fc + c - ac)) as usize] = true;
+                }
+                used[pi] = true;
+                count += go(rows, cols, board, used, all, nodes);
+                used[pi] = false;
+                for &(r, c) in shape {
+                    board[((fr + r - ar) * cols + (fc + c - ac)) as usize] = false;
+                }
+            }
+        }
+        count
+    }
+    let mut board = vec![false; (rows * cols) as usize];
+    let mut used = [false; 12];
+    let mut nodes = 0;
+    go(rows, cols, &mut board, &mut used, &all, &mut nodes)
+}
+
+/// Parallel pentominoes: tasks split on (piece, orientation) choices for
+/// the top-left cell. Returns (tilings, simulated time).
+pub fn pentominoes_parallel(rows: i32, cols: i32, nprocs: u16, seed: u64) -> (u64, SimTime) {
+    let all: Rc<ShapeSet> = Rc::new(
+        PENTOMINOES
+            .iter()
+            .map(|&(_, cells)| orientations(cells))
+            .collect(),
+    );
+    // Enumerate first-cell placements host-side to form the task list.
+    let mut firsts: Vec<(usize, [(i32, i32); 5])> = Vec::new();
+    for (pi, orients) in all.iter().enumerate() {
+        for shape in orients {
+            let (ar, ac) = shape[0];
+            let ok = shape.iter().all(|&(r, c)| {
+                let (rr, cc) = (r - ar, c - ac);
+                rr >= 0 && cc >= 0 && rr < rows && cc < cols
+            });
+            if ok {
+                firsts.push((pi, *shape));
+            }
+        }
+    }
+    let firsts = Rc::new(firsts);
+
+    let sim = Sim::with_seed(seed);
+    let machine = Machine::new(&sim, MachineConfig::rochester());
+    let os = Os::boot(&machine);
+    let us = Us::init(&os, nprocs);
+    let total = machine.node(0).alloc(4).unwrap();
+    machine.poke_u32(total, 0);
+
+    let us2 = us.clone();
+    let n_tasks = firsts.len() as u64;
+    os.boot_process(0, "pent-driver", move |_p| async move {
+        let firsts = firsts.clone();
+        let all = all.clone();
+        us2.gen_on_n(
+            n_tasks,
+            task(move |p, t| {
+                let firsts = firsts.clone();
+                let all = all.clone();
+                async move {
+                    let (pi, shape) = firsts[t as usize];
+                    let mut board = vec![false; (rows * cols) as usize];
+                    let mut used = [false; 12];
+                    let (ar, ac) = shape[0];
+                    for (r, c) in shape {
+                        board[((r - ar) * cols + (c - ac)) as usize] = true;
+                    }
+                    used[pi] = true;
+                    // Finish the subtree with the sequential kernel.
+                    fn go(
+                        rows: i32,
+                        cols: i32,
+                        board: &mut Vec<bool>,
+                        used: &mut [bool; 12],
+                        all: &[Vec<[(i32, i32); 5]>],
+                        nodes: &mut u64,
+                    ) -> u64 {
+                        *nodes += 1;
+                        let Some(first) = board.iter().position(|&b| !b) else {
+                            return 1;
+                        };
+                        let (fr, fc) = (first as i32 / cols, first as i32 % cols);
+                        let mut count = 0;
+                        for (pi, orients) in all.iter().enumerate() {
+                            if used[pi] {
+                                continue;
+                            }
+                            for shape in orients {
+                                let (ar, ac) = shape[0];
+                                let ok = shape.iter().all(|&(r, c)| {
+                                    let (rr, cc) = (fr + r - ar, fc + c - ac);
+                                    rr >= 0
+                                        && cc >= 0
+                                        && rr < rows
+                                        && cc < cols
+                                        && !board[(rr * cols + cc) as usize]
+                                });
+                                if !ok {
+                                    continue;
+                                }
+                                for &(r, c) in shape {
+                                    board[((fr + r - ar) * cols + (fc + c - ac)) as usize] =
+                                        true;
+                                }
+                                used[pi] = true;
+                                count += go(rows, cols, board, used, all, nodes);
+                                used[pi] = false;
+                                for &(r, c) in shape {
+                                    board[((fr + r - ar) * cols + (fc + c - ac)) as usize] =
+                                        false;
+                                }
+                            }
+                        }
+                        count
+                    }
+                    let mut nodes = 0;
+                    let sols = go(rows, cols, &mut board, &mut used, &all, &mut nodes);
+                    p.compute(nodes * NODE_OP).await;
+                    if sols > 0 {
+                        p.fetch_add(total, sols as u32).await;
+                    }
+                }
+            }),
+        )
+        .await;
+        us2.shutdown();
+    });
+    sim.run();
+    (machine.peek_u32(total) as u64, sim.now())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_queens_has_92_solutions() {
+        assert_eq!(queens_seq(8), 92);
+        let (sols, _t) = queens_parallel(8, 16, 1);
+        assert_eq!(sols, 92);
+    }
+
+    #[test]
+    fn queens_parallel_matches_sequential_for_other_sizes() {
+        for n in [5u32, 6, 7] {
+            let (sols, _t) = queens_parallel(n, 8, 2);
+            assert_eq!(sols, queens_seq(n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn queens_speedup() {
+        let (_s, t1) = queens_parallel(9, 1, 3);
+        let (_s, t16) = queens_parallel(9, 16, 3);
+        assert!(
+            t16 * 4 < t1,
+            "16 procs should be >4x faster on 9-queens ({t1} vs {t16})"
+        );
+    }
+
+    #[test]
+    fn pentomino_orientations_counts() {
+        // Classic orientation counts: X has 1, I has 2, T/U/V/W/Z have 4,
+        // F/L/N/P/Y have 8... (Z has 4: 2 rotations x 2 reflections).
+        let by: std::collections::HashMap<&str, usize> = PENTOMINOES
+            .iter()
+            .map(|&(n, cells)| (n, orientations(cells).len()))
+            .collect();
+        assert_eq!(by["X"], 1);
+        assert_eq!(by["I"], 2);
+        assert_eq!(by["T"], 4);
+        assert_eq!(by["U"], 4);
+        assert_eq!(by["V"], 4);
+        assert_eq!(by["W"], 4);
+        assert_eq!(by["Z"], 4);
+        for p in ["F", "L", "N", "P", "Y"] {
+            assert_eq!(by[p], 8, "{p}");
+        }
+    }
+
+    #[test]
+    fn pentominoes_parallel_matches_sequential() {
+        let expect = pentominoes_seq(3, 5);
+        assert!(expect > 0, "3x5 must have at least one tiling");
+        let (got, _t) = pentominoes_parallel(3, 5, 8, 1);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn pentominoes_4x5_agrees_too() {
+        let expect = pentominoes_seq(4, 5);
+        let (got, _t) = pentominoes_parallel(4, 5, 16, 2);
+        assert_eq!(got, expect);
+        assert!(expect > 0);
+    }
+}

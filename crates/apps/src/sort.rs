@@ -1,0 +1,290 @@
+//! Parallel sorting: odd-even transposition sort over SMP, and a
+//! shared-object merge sort monitored by Instant Replay.
+//!
+//! The paper's debugging work leaned on sorting networks: "we have ...
+//! performed extensive analysis of a Butterfly implementation of Batcher's
+//! bitonic merge sort" (§3.1), and **Figure 6 is a Moviola view of a
+//! deadlock in an odd-even merge sort**. [`odd_even_smp`] reproduces both:
+//! correct runs sort; with `inject_bug` a message-ordering bug (one rank
+//! drops its phase-send once) deadlocks the family, which the simulator
+//! detects and Moviola renders.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bfly_chrysalis::Os;
+use bfly_machine::{Machine, MachineConfig, NodeId};
+use bfly_replay::{Mode, ReplaySystem, SharedObject};
+use bfly_sim::exec::RunOutcome;
+use bfly_sim::{Sim, SimTime};
+use bfly_smp::{Family, SmpCosts, Topology};
+
+/// Comparison cost per element pair.
+const CMP: SimTime = 1_500;
+
+/// Outcome of a sort run.
+#[derive(Debug, Clone)]
+pub struct SortResult {
+    /// Simulated time.
+    pub time_ns: SimTime,
+    /// Whether the run completed (false = deadlock detected).
+    pub completed: bool,
+    /// The sorted data (empty if deadlocked).
+    pub data: Vec<u32>,
+    /// Names of stuck processes (deadlock diagnostics, Figure 6 style).
+    pub stuck: Vec<String>,
+}
+
+/// Odd-even transposition sort over an SMP line: P processes each hold a
+/// segment; in phase t, pairs (even-odd or odd-even) exchange segments,
+/// keeping low/high halves. With `inject_bug`, rank 1 "forgets" one send
+/// in phase 2 — the message-ordering bug of Figure 6.
+pub fn odd_even_smp(nprocs: u16, n: usize, seed: u64, inject_bug: bool) -> SortResult {
+    assert!(n.is_multiple_of(nprocs as usize), "n must divide evenly");
+    let sim = Sim::with_seed(seed);
+    let machine = Machine::new(&sim, MachineConfig::rochester());
+    let os = Os::boot(&machine);
+    let p_count = nprocs as u32;
+    let seg = n / nprocs as usize;
+
+    let mut rng = bfly_sim::SplitMix64::new(seed);
+    let input: Vec<u32> = (0..n).map(|_| rng.next_u64() as u32).collect();
+    let segments: Rc<RefCell<Vec<Vec<u32>>>> = Rc::new(RefCell::new(
+        input.chunks(seg).map(|c| c.to_vec()).collect(),
+    ));
+
+    let placement: Vec<NodeId> = (0..nprocs).collect();
+    let segs = segments.clone();
+    Family::spawn_placed(
+        &os,
+        p_count,
+        Topology::Line,
+        placement,
+        SmpCosts::numeric(),
+        move |m| {
+            let segs = segs.clone();
+            async move {
+                let me = m.rank;
+                let mut mine = {
+                    let mut s = segs.borrow_mut();
+                    let mut v = std::mem::take(&mut s[me as usize]);
+                    v.sort_unstable();
+                    v
+                };
+                m.proc
+                    .compute(seg as SimTime * (seg as f64).log2().ceil() as SimTime * CMP)
+                    .await;
+                for phase in 0..p_count {
+                    // Partner for this phase.
+                    let partner = if phase % 2 == 0 {
+                        if me % 2 == 0 { me + 1 } else { me - 1 }
+                    } else if me % 2 == 1 {
+                        me + 1
+                    } else if me == 0 {
+                        u32::MAX // idle this phase
+                    } else {
+                        me - 1
+                    };
+                    if partner == u32::MAX || partner >= p_count {
+                        continue;
+                    }
+                    // Exchange segments.
+                    let mut bytes = Vec::with_capacity(mine.len() * 4);
+                    for v in &mine {
+                        bytes.extend_from_slice(&v.to_le_bytes());
+                    }
+                    let skip = inject_bug && me == 1 && phase == 2;
+                    if !skip {
+                        m.send(partner, &bytes).await.unwrap();
+                    }
+                    let theirs_b = m.recv_from(partner).await;
+                    let theirs: Vec<u32> = theirs_b
+                        .chunks_exact(4)
+                        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+                        .collect();
+                    // Merge; keep low half if I'm the lower rank.
+                    let mut merged: Vec<u32> =
+                        mine.iter().chain(theirs.iter()).copied().collect();
+                    merged.sort_unstable();
+                    m.proc.compute(2 * seg as SimTime * CMP).await;
+                    mine = if me < partner {
+                        merged[..seg].to_vec()
+                    } else {
+                        merged[seg..].to_vec()
+                    };
+                }
+                segs.borrow_mut()[me as usize] = mine;
+            }
+        },
+    );
+    let stats = sim.run();
+    let completed = stats.outcome == RunOutcome::Completed;
+    let stuck = match stats.outcome {
+        RunOutcome::Deadlock { stuck } => stuck,
+        _ => Vec::new(),
+    };
+    let data = if completed {
+        segments.borrow().iter().flatten().copied().collect()
+    } else {
+        Vec::new()
+    };
+    SortResult {
+        time_ns: sim.now(),
+        completed,
+        data,
+        stuck,
+    }
+}
+
+/// A shared-object parallel merge sort monitored by Instant Replay: P
+/// workers sort leaf segments held in [`SharedObject`]s, then pairs merge
+/// up a tree. Used by experiment T9 to measure monitoring overhead (Off vs
+/// Record) and to demonstrate replay.
+pub fn merge_sort_replay(
+    nprocs: u16,
+    n: usize,
+    seed: u64,
+    sys: Rc<ReplaySystem>,
+) -> (SortResult, Rc<ReplaySystem>) {
+    let sim = Sim::with_seed(seed);
+    // Jittered timing so Record runs differ across seeds (the
+    // nondeterminism Instant Replay exists to tame).
+    let mut costs = bfly_machine::Costs::butterfly_one();
+    costs.jitter_pct = if sys.mode() == Mode::Off { 0 } else { 25 };
+    let machine = Machine::new(
+        &sim,
+        MachineConfig::small(nprocs.max(2)).with_costs(costs),
+    );
+    let os = Os::boot(&machine);
+
+    let mut rng = bfly_sim::SplitMix64::new(seed ^ 0xABCD);
+    let seg = n / nprocs as usize;
+    let input: Vec<u32> = (0..n).map(|_| rng.next_u64() as u32).collect();
+
+    // One shared object per worker segment; merging locks pairs.
+    let objs: Vec<Rc<SharedObject<Vec<u32>>>> = input
+        .chunks(seg)
+        .map(|c| SharedObject::new(&sys, c.to_vec()))
+        .collect();
+
+    let result: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
+    let mut handles = Vec::new();
+    for w in 0..nprocs {
+        let objs: Vec<_> = objs.to_vec();
+        let result = result.clone();
+        handles.push(os.boot_process(w, &format!("sorter{w}"), move |p| async move {
+            // Sort my leaf.
+            let me = w as usize;
+            objs[me]
+                .write(&p, w as u32, |v| v.sort_unstable())
+                .await;
+            p.compute(seg as SimTime * 12 * CMP / 10).await;
+            // Tree merge: at level L, worker w merges if w % 2^(L+1) == 0.
+            let mut stride = 1;
+            while stride < nprocs as usize {
+                if !me.is_multiple_of(2 * stride) {
+                    break;
+                }
+                let other = me + stride;
+                if other < nprocs as usize {
+                    // Wait until the partner's segment is sorted/merged
+                    // (version >= expected); read it, merge into mine.
+                    let needed_version = {
+                        // Partner has written once per completed level + 1.
+                        let mut lvl = 0;
+                        let mut s = 1;
+                        while s < stride {
+                            if other.is_multiple_of(2 * s) {
+                                lvl += 1;
+                            }
+                            s *= 2;
+                        }
+                        lvl + 1
+                    };
+                    while objs[other].version() < needed_version {
+                        p.compute(40_000).await; // poll (spin-based join)
+                    }
+                    let theirs = objs[other].read(&p, w as u32, |v| v.clone()).await;
+                    objs[me]
+                        .write(&p, w as u32, |v| {
+                            let mut merged = Vec::with_capacity(v.len() + theirs.len());
+                            merged.extend_from_slice(v);
+                            merged.extend_from_slice(&theirs);
+                            merged.sort_unstable();
+                            *v = merged;
+                        })
+                        .await;
+                    p.compute((stride * seg) as SimTime * CMP).await;
+                }
+                stride *= 2;
+            }
+            if me == 0 {
+                let sorted = objs[0].read(&p, 0, |v| v.clone()).await;
+                *result.borrow_mut() = sorted;
+            }
+        }));
+    }
+    let stats = sim.run();
+    let completed = stats.outcome == RunOutcome::Completed;
+    let data = result.borrow().clone();
+    (
+        SortResult {
+            time_ns: sim.now(),
+            completed,
+            data,
+            stuck: Vec::new(),
+        },
+        sys,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn odd_even_sorts() {
+        let r = odd_even_smp(8, 256, 3, false);
+        assert!(r.completed);
+        assert!(r.data.windows(2).all(|w| w[0] <= w[1]), "must be sorted");
+        assert_eq!(r.data.len(), 256);
+    }
+
+    #[test]
+    fn injected_bug_deadlocks_like_figure_6() {
+        let r = odd_even_smp(8, 256, 3, true);
+        assert!(!r.completed, "dropped message must deadlock the network");
+        assert!(
+            !r.stuck.is_empty(),
+            "the deadlock report must name stuck processes"
+        );
+        // Rank 2 is waiting for rank 1's dropped phase-2 message.
+        assert!(r.stuck.iter().any(|s| s.contains("smp")));
+    }
+
+    #[test]
+    fn merge_sort_replay_sorts_in_all_modes() {
+        for mode in [Mode::Off, Mode::Record] {
+            let sys = ReplaySystem::new(mode);
+            let (r, _) = merge_sort_replay(4, 64, 5, sys);
+            assert!(r.completed);
+            let mut expect = r.data.clone();
+            expect.sort_unstable();
+            assert_eq!(r.data, expect);
+            assert_eq!(r.data.len(), 64);
+        }
+    }
+
+    #[test]
+    fn monitoring_overhead_is_a_few_percent() {
+        let (off, _) = merge_sort_replay(4, 256, 9, ReplaySystem::new(Mode::Off));
+        let (rec, sys) = merge_sort_replay(4, 256, 9, ReplaySystem::new(Mode::Record));
+        assert!(sys.accesses.get() > 0);
+        let overhead = rec.time_ns as f64 / off.time_ns as f64 - 1.0;
+        assert!(
+            overhead < 0.10,
+            "Instant Replay monitoring must stay within a few percent, got {:.1}%",
+            overhead * 100.0
+        );
+    }
+}

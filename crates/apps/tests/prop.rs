@@ -1,0 +1,85 @@
+//! Property-based tests for the applications: correctness on random
+//! instances — the answers are checkable because all data really lives in
+//! simulated memory.
+
+use bfly_apps::components::{build_image, connected_components, reference_components};
+use bfly_apps::gauss::{gauss_smp, gauss_us};
+use bfly_apps::graph::{reference_closure, shortest_path_antfarm, transitive_closure_us, Graph};
+use bfly_apps::knight::{is_valid_tour, knights_tour};
+use bfly_apps::sort::odd_even_smp;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Both Gaussian eliminations solve random diagonally-dominant systems
+    /// for any processor count.
+    #[test]
+    fn gauss_solves_random_systems(
+        n in 8u32..28,
+        p in 2u16..12,
+        seed in 0u64..1000,
+    ) {
+        let all: Vec<u16> = (0..128).collect();
+        let us = gauss_us(p, n, all, seed);
+        prop_assert!(us.max_err < 1e-8, "US error {}", us.max_err);
+        let smp = gauss_smp(p, n, seed);
+        prop_assert!(smp.max_err < 1e-8, "SMP error {}", smp.max_err);
+        prop_assert_eq!(smp.comm_ops, (n * (p as u32 - 1)) as u64);
+    }
+
+    /// Odd-even transposition sort sorts any input whose size divides
+    /// evenly, for any family size.
+    #[test]
+    fn odd_even_sorts_random(p in 2u16..9, per in 4usize..20, seed in 0u64..1000) {
+        let n = p as usize * per;
+        let r = odd_even_smp(p, n, seed, false);
+        prop_assert!(r.completed);
+        prop_assert_eq!(r.data.len(), n);
+        prop_assert!(r.data.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// Parallel connected-components always agrees with flood fill.
+    #[test]
+    fn components_match_reference(
+        w in 8u32..40,
+        h in 8u32..40,
+        p in 1u16..12,
+        seed in 0u64..500,
+    ) {
+        let img = build_image(w, h, seed);
+        let expect = reference_components(&img, w, h);
+        let got = connected_components(p, w, h, seed);
+        prop_assert_eq!(got.components, expect);
+    }
+
+    /// Ant Farm SSSP equals Dijkstra on random graphs.
+    #[test]
+    fn sssp_matches_dijkstra(n in 4u32..40, deg in 0u32..3, seed in 0u64..500) {
+        let g = Graph::random(n, deg, seed);
+        let expect = g.dijkstra(0);
+        let (got, _) = shortest_path_antfarm(&g, 0, 8, seed);
+        prop_assert_eq!(got, expect);
+    }
+
+    /// US transitive closure equals Warshall on random graphs, for any
+    /// processor count.
+    #[test]
+    fn closure_matches_warshall(n in 3u32..20, p in 1u16..10, seed in 0u64..500) {
+        let g = Graph::random(n, 1, seed);
+        let (got, _) = transitive_closure_us(&g, p, seed);
+        prop_assert_eq!(got, reference_closure(&g));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Every knight's tour the parallel search finds is valid, regardless
+    /// of seed or jitter.
+    #[test]
+    fn tours_are_always_valid(seed in 0u64..200, jitter in 0u32..40) {
+        let r = knights_tour(5, 4, seed, jitter);
+        prop_assert!(is_valid_tour(&r.tour, 5), "invalid tour {:?}", r.tour);
+    }
+}

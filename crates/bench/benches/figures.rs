@@ -1,0 +1,33 @@
+//! `cargo bench --bench figures` — regenerate every table and figure of
+//! the paper in quick mode. (Full-size runs: the `src/bin/` targets.)
+
+use bfly_bench::experiments as ex;
+use bfly_bench::Scale;
+
+fn main() {
+    let quick = Scale::quick();
+    let t0 = std::time::Instant::now();
+    for (name, f) in [
+        ("FIG5", ex::fig5_gauss as fn(Scale) -> bfly_bench::Table),
+        ("T1", ex::tab1_memory),
+        ("T2", ex::tab2_primitives),
+        ("T3", ex::tab3_contention),
+        ("T4", ex::tab4_hough_locality),
+        ("T5", ex::tab5_scatter),
+        ("T6", ex::tab6_switch),
+        ("T7", ex::tab7_alloc_amdahl),
+        ("T8", ex::tab8_crowd),
+        ("T9", ex::tab9_replay),
+        ("T10", ex::tab10_bridge),
+        ("T11", ex::tab11_speedups),
+        ("T12", ex::tab12_models),
+        ("T13", ex::tab13_linda),
+        ("T14", ex::tab14_bplus),
+    ] {
+        let start = std::time::Instant::now();
+        let table = f(quick);
+        table.print();
+        println!("   [{name} regenerated in {:.2?} wall time]\n", start.elapsed());
+    }
+    println!("all figures/tables regenerated in {:.2?}", t0.elapsed());
+}

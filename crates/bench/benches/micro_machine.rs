@@ -1,0 +1,63 @@
+//! Criterion wall-clock benchmarks of the simulator itself: how fast the
+//! engine executes simulated machine operations (events/second of the DES).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::rc::Rc;
+
+use bfly_chrysalis::Os;
+use bfly_machine::{Machine, MachineConfig};
+use bfly_sim::Sim;
+
+fn bench_engine(c: &mut Criterion) {
+    c.bench_function("sim_spawn_run_1000_tasks", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            for i in 0..1000u64 {
+                let s = sim.clone();
+                sim.spawn(async move {
+                    s.sleep(i % 97).await;
+                });
+            }
+            sim.run()
+        });
+    });
+
+    c.bench_function("machine_remote_refs_10k", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            let m = Machine::new(&sim, MachineConfig::small(16));
+            let a = m.node(7).alloc(4).unwrap();
+            let m2 = m.clone();
+            sim.block_on(async move {
+                for _ in 0..10_000 {
+                    m2.read_u32(0, a).await;
+                }
+            });
+        });
+    });
+
+    c.bench_function("chrysalis_event_pingpong_1k", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            let m = Machine::new(&sim, MachineConfig::small(4));
+            let os = Os::boot(&m);
+            let os2: Rc<Os> = os.clone();
+            os.boot_process(0, "t", move |p| async move {
+                let _ = &os2;
+                let ev = bfly_chrysalis::Event::new(&p);
+                for i in 0..1000u32 {
+                    ev.post(&p, i).await;
+                    ev.wait(&p).await.unwrap();
+                }
+            });
+            sim.run()
+        });
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_engine
+}
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! FIG5 — Gaussian elimination: shared memory (Uniform System) vs message
+//! passing (SMP). Pass `--quick` for a reduced sweep.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    bfly_bench::experiments::fig5_gauss(if quick {
+        bfly_bench::Scale::quick()
+    } else {
+        bfly_bench::Scale::full()
+    })
+    .print();
+}

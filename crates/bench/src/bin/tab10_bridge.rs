@@ -1,0 +1,10 @@
+//! T10 — Bridge parallel file system scaling.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    bfly_bench::experiments::tab10_bridge(if quick {
+        bfly_bench::Scale::quick()
+    } else {
+        bfly_bench::Scale::full()
+    })
+    .print();
+}

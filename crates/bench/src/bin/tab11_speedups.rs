@@ -1,0 +1,10 @@
+//! T11 — application speedups toward 128 processors.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    bfly_bench::experiments::tab11_speedups(if quick {
+        bfly_bench::Scale::quick()
+    } else {
+        bfly_bench::Scale::full()
+    })
+    .print();
+}

@@ -1,0 +1,10 @@
+//! T14 — Butterfly-I vs Butterfly Plus cost ablation (locality gap grows).
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    bfly_bench::experiments::tab14_bplus(if quick {
+        bfly_bench::Scale::quick()
+    } else {
+        bfly_bench::Scale::full()
+    })
+    .print();
+}

@@ -1,0 +1,10 @@
+//! T1 — memory reference microbenchmarks (remote ~ 5x local).
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    bfly_bench::experiments::tab1_memory(if quick {
+        bfly_bench::Scale::quick()
+    } else {
+        bfly_bench::Scale::full()
+    })
+    .print();
+}

@@ -1,0 +1,10 @@
+//! T2 — Chrysalis primitive costs (events, dual queues, catch/throw, maps).
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    bfly_bench::experiments::tab2_primitives(if quick {
+        bfly_bench::Scale::quick()
+    } else {
+        bfly_bench::Scale::full()
+    })
+    .print();
+}

@@ -1,0 +1,10 @@
+//! T3 — memory-cycle stealing by busy-waiting processors.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    bfly_bench::experiments::tab3_contention(if quick {
+        bfly_bench::Scale::quick()
+    } else {
+        bfly_bench::Scale::full()
+    })
+    .print();
+}

@@ -1,0 +1,10 @@
+//! T4 — Hough transform locality disciplines (+42% / +22%).
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    bfly_bench::experiments::tab4_hough_locality(if quick {
+        bfly_bench::Scale::quick()
+    } else {
+        bfly_bench::Scale::full()
+    })
+    .print();
+}

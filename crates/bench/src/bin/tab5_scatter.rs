@@ -1,0 +1,10 @@
+//! T5 — data placement: matrix on few vs all 128 memories (>30%).
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    bfly_bench::experiments::tab5_scatter(if quick {
+        bfly_bench::Scale::quick()
+    } else {
+        bfly_bench::Scale::full()
+    })
+    .print();
+}

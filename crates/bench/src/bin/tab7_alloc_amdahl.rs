@@ -1,0 +1,10 @@
+//! T7 — serial vs parallel memory allocation (Amdahl).
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    bfly_bench::experiments::tab7_alloc_amdahl(if quick {
+        bfly_bench::Scale::quick()
+    } else {
+        bfly_bench::Scale::full()
+    })
+    .print();
+}

@@ -1,0 +1,10 @@
+//! T9 — Instant Replay overhead and reproducibility.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    bfly_bench::experiments::tab9_replay(if quick {
+        bfly_bench::Scale::quick()
+    } else {
+        bfly_bench::Scale::full()
+    })
+    .print();
+}

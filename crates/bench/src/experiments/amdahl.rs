@@ -1,0 +1,113 @@
+//! T7/T8 — the §4.1 Amdahl's-law experiments: serial allocation and serial
+//! process templates.
+
+use bfly_chrysalis::Os;
+use bfly_crowd::{serial_spawn, tree_spawn, work};
+use bfly_machine::{Machine, MachineConfig, NodeId};
+use bfly_sim::{Sim, MS};
+use bfly_uniform::{task, AllocMode, Us, UsCosts};
+
+use crate::{Scale, Table};
+
+/// T7 — serial vs parallel memory allocation under the Uniform System.
+/// Paper: "Serial memory allocation in the Uniform System was a dominant
+/// factor in many programs until a parallel memory allocator was
+/// introduced" (ref \[20\]).
+pub fn tab7_alloc_amdahl(scale: Scale) -> Table {
+    let allocs_per_task: u64 = scale.pick(6, 3);
+    let tasks: u64 = scale.pick(256, 64);
+    let ps: &[u16] = if scale.quick { &[4, 16] } else { &[4, 16, 64, 128] };
+    let mut t = Table::new(
+        &format!(
+            "T7: US program doing {allocs_per_task} allocations per task, {tasks} tasks \
+             (paper: serial allocator dominates until parallelized)"
+        ),
+        &["P", "serial alloc (ms)", "parallel alloc (ms)", "serial/parallel"],
+    );
+    let run = |mode: AllocMode, p: u16| -> u64 {
+        let sim = Sim::new();
+        let m = Machine::new(&sim, MachineConfig::rochester());
+        let os = Os::boot(&m);
+        let nodes: Vec<NodeId> = (0..128).collect();
+        let us = Us::init_custom(&os, p, nodes, mode, UsCosts::default());
+        let us2 = us.clone();
+        os.boot_process(0, "driver", move |_p| async move {
+            let usl = us2.clone();
+            us2.gen_on_n(
+                tasks,
+                task(move |p, _i| {
+                    let us = usl.clone();
+                    async move {
+                        for _ in 0..allocs_per_task {
+                            let a = us.alloc(&p, 512).await;
+                            p.compute(200_000).await; // "use" the buffer
+                            us.free(a, 512);
+                        }
+                    }
+                }),
+            )
+            .await;
+            us2.shutdown();
+        });
+        sim.run();
+        sim.now()
+    };
+    for &p in ps {
+        let serial = run(AllocMode::Serial, p);
+        let par = run(AllocMode::Parallel, p);
+        t.row(vec![
+            p.to_string(),
+            format!("{:.1}", serial as f64 / 1e6),
+            format!("{:.1}", par as f64 / 1e6),
+            format!("{:.2}x", serial as f64 / par as f64),
+        ]);
+    }
+    t
+}
+
+/// T8 — Crowd Control. Paper: tree-based creation spreads the work, "but
+/// serial access to system resources (such as process templates in
+/// Chrysalis) ultimately limits our ability to exploit large-scale
+/// parallelism during process creation."
+pub fn tab8_crowd(scale: Scale) -> Table {
+    let ns: &[u32] = if scale.quick { &[8, 16] } else { &[8, 16, 32, 64] };
+    let mut t = Table::new(
+        "T8: creating N processes — serial vs Crowd Control tree \
+         (paper: tree helps, but the serialized template is the floor)",
+        &[
+            "N",
+            "serial (ms)",
+            "tree (ms)",
+            "template floor (ms)",
+            "tree/floor",
+        ],
+    );
+    let run = |tree: bool, n: u32| -> u64 {
+        let sim = Sim::new();
+        let m = Machine::new(&sim, MachineConfig::rochester());
+        let os = Os::boot(&m);
+        os.boot_process(0, "creator", move |p| async move {
+            let w = work(|_p, _r| async {});
+            if tree {
+                tree_spawn(&p, n, 4, w).await;
+            } else {
+                serial_spawn(&p, n, w).await;
+            }
+        });
+        sim.run();
+        sim.now()
+    };
+    for &n in ns {
+        let serial = run(false, n);
+        let tree = run(true, n);
+        let floor = n as u64 * 8 * MS; // OsCosts::chrysalis().template_hold
+        t.row(vec![
+            n.to_string(),
+            format!("{:.0}", serial as f64 / 1e6),
+            format!("{:.0}", tree as f64 / 1e6),
+            format!("{:.0}", floor as f64 / 1e6),
+            format!("{:.2}x", tree as f64 / floor as f64),
+        ]);
+    }
+    t
+}

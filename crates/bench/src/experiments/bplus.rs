@@ -1,0 +1,62 @@
+//! T14 — the Butterfly Plus ablation (§2.1/§4.1).
+//!
+//! "Most of the problems just described have been addressed in the design
+//! of the Butterfly Plus ... local references have improved by a factor of
+//! four, while remote references have improved by only a factor of two"
+//! — so "the issue of locality will be even more important".
+
+use bfly_apps::hough::{hough_on, Discipline};
+use bfly_machine::Costs;
+
+use crate::{Scale, Table};
+
+/// T14 — rerun the reference costs and the Hough locality experiment under
+/// Butterfly Plus timings and verify the paper's prediction: the
+/// remote:local ratio grows from 5× to 10×, and the payoff of the
+/// block-copy discipline grows with it.
+pub fn tab14_bplus(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "T14: Butterfly-I vs Butterfly Plus \
+         (paper: local 4x faster, remote only 2x -> locality matters more)",
+        &["metric", "Butterfly-I", "Butterfly Plus"],
+    );
+    let b1 = Costs::butterfly_one();
+    let bp = Costs::butterfly_plus();
+    t.row(vec![
+        "local word ref (us)".into(),
+        format!("{:.2}", b1.local_word() as f64 / 1e3),
+        format!("{:.2}", bp.local_word() as f64 / 1e3),
+    ]);
+    t.row(vec![
+        "remote word ref (us)".into(),
+        format!("{:.2}", b1.remote_word(4) as f64 / 1e3),
+        format!("{:.2}", bp.remote_word(4) as f64 / 1e3),
+    ]);
+    t.row(vec![
+        "remote : local ratio".into(),
+        format!("{:.1}x", b1.remote_word(4) as f64 / b1.local_word() as f64),
+        format!("{:.1}x", bp.remote_word(4) as f64 / bp.local_word() as f64),
+    ]);
+
+    // The same Hough locality experiment on both machines.
+    let nprocs: u16 = scale.pick(64, 16);
+    let size: u32 = scale.pick(128, 48);
+    let n_theta: u32 = scale.pick(24, 12);
+    let gain = |costs: Costs| -> f64 {
+        let naive = hough_on(nprocs, size, n_theta, Discipline::Naive, 7, costs.clone());
+        let block = hough_on(nprocs, size, n_theta, Discipline::BlockCopy, 7, costs);
+        naive.time_ns as f64 / block.time_ns as f64
+    };
+    let g1 = gain(b1);
+    let gp = gain(bp);
+    t.row(vec![
+        "Hough block-copy speedup".into(),
+        format!("{:.2}x", g1),
+        format!("{:.2}x", gp),
+    ]);
+    assert!(
+        gp > g1,
+        "locality must matter MORE on the Butterfly Plus ({g1:.2} vs {gp:.2})"
+    );
+    t
+}

@@ -1,0 +1,92 @@
+//! T10 — the Bridge parallel file system (§3.4): linear speedup with
+//! interleaved disks.
+
+use std::rc::Rc;
+
+use bfly_bridge::util::{copy_parallel, fill_random, grep_parallel, peek_records, sort_parallel};
+use bfly_bridge::{BridgeFs, DiskParams};
+use bfly_chrysalis::Os;
+use bfly_machine::{Machine, MachineConfig};
+use bfly_sim::Sim;
+
+use crate::{Scale, Table};
+
+/// T10 — Bridge throughput vs number of interleaved disks. Paper:
+/// "analytical and experimental studies indicate that Bridge will provide
+/// linear speedup on several dozen disks for a wide variety of file-based
+/// operations, including copying, sorting, searching, and comparing."
+pub fn tab10_bridge(scale: Scale) -> Table {
+    let blocks_per_disk: u64 = scale.pick(12, 4);
+    let disks: &[usize] = if scale.quick {
+        &[1, 4, 8]
+    } else {
+        &[1, 2, 4, 8, 16, 32, 64]
+    };
+    let mut t = Table::new(
+        &format!(
+            "T10: Bridge utilities vs disk count ({blocks_per_disk} blocks/disk) \
+             (paper: linear speedup into several dozen disks)"
+        ),
+        &[
+            "disks",
+            "copy (ms)",
+            "copy speedup",
+            "grep (ms)",
+            "grep speedup",
+            "sort (ms)",
+        ],
+    );
+    let mut copy1 = 0f64;
+    let mut grep1 = 0f64;
+    for &d in disks {
+        let sim = Sim::new();
+        let m = Machine::new(&sim, MachineConfig::rochester());
+        let os = Os::boot(&m);
+        let fs = BridgeFs::mount(&os, d, DiskParams::default());
+        let nblocks = blocks_per_disk * d as u64;
+        let src = fs.create(nblocks);
+        let dst = fs.create(nblocks);
+        let out = fs.create(nblocks);
+        fill_random(&fs, &src, 42);
+        let fs2 = fs.clone();
+        let (s2, d2, o2) = (src.clone(), dst.clone(), out.clone());
+        let mut h = os.boot_process(127.min(m.nodes() - 1), "client", move |p| async move {
+            let p = Rc::new(p);
+            let t0 = p.os.sim().now();
+            copy_parallel(&fs2, &p, &s2, &d2).await;
+            let t_copy = p.os.sim().now() - t0;
+            let t0 = p.os.sim().now();
+            let hits = grep_parallel(&fs2, &p, &s2, 0xDEADBEEF).await;
+            let t_grep = p.os.sim().now() - t0;
+            let t0 = p.os.sim().now();
+            sort_parallel(&fs2, &p, &s2, &o2).await;
+            let t_sort = p.os.sim().now() - t0;
+            fs2.unmount();
+            (t_copy, t_grep, t_sort, hits)
+        });
+        sim.run();
+        let (t_copy, t_grep, t_sort, _hits) = h.try_take().unwrap();
+        // Verify the sort really sorted.
+        let mut expect = peek_records(&fs, &src);
+        expect.sort_unstable();
+        assert_eq!(peek_records(&fs, &out), expect, "bridge sort must sort");
+        // Work grows with d (blocks = blocks_per_disk * d), so throughput
+        // speedup over 1 disk is d * t_1 / t_d; perfect scaling keeps the
+        // elapsed time flat.
+        let (c, g) = (t_copy as f64 / 1e6, t_grep as f64 / 1e6);
+        let d0 = disks[0] as f64;
+        if d == disks[0] {
+            copy1 = c;
+            grep1 = g;
+        }
+        t.row(vec![
+            d.to_string(),
+            format!("{c:.0}"),
+            format!("{:.1}x", d as f64 / d0 * copy1 / c),
+            format!("{g:.0}"),
+            format!("{:.1}x", d as f64 / d0 * grep1 / g),
+            format!("{:.0}", t_sort as f64 / 1e6),
+        ]);
+    }
+    t
+}

@@ -1,0 +1,57 @@
+//! FIG5 — Gaussian elimination: shared memory vs message passing (§4.1,
+//! Figure 5).
+
+use bfly_apps::gauss::{gauss_smp, gauss_us};
+
+use crate::{Scale, Table};
+
+/// Regenerate Figure 5. Paper claims: SMP (message passing) outperforms
+/// the Uniform System below ~64 processors; beyond 64 the US curve stays
+/// (nearly) flat while SMP's *increases*; SMP sends `≈ P·N` messages while
+/// US performs `(N²−N) + P(N−1)` communication operations.
+pub fn fig5_gauss(scale: Scale) -> Table {
+    let n: u32 = scale.pick(192, 48);
+    let ps: &[u16] = if scale.quick {
+        &[16, 32, 64, 128]
+    } else {
+        &[16, 32, 48, 64, 80, 96, 112, 128]
+    };
+    let mut t = Table::new(
+        &format!(
+            "FIG5: Gaussian elimination N={n} — shared memory (US) vs message \
+             passing (SMP). Paper: SMP wins below ~64 procs, then rises; US \
+             flattens; msgs=P*N, US ops=(N^2-N)+P(N-1)."
+        ),
+        &[
+            "P",
+            "US (ms)",
+            "SMP (ms)",
+            "US comm ops",
+            "formula",
+            "SMP msgs",
+            "P*N",
+            "winner",
+        ],
+    );
+    for &p in ps {
+        let all: Vec<u16> = (0..128).collect();
+        let us = gauss_us(p, n, all, 7);
+        let smp = gauss_smp(p, n, 7);
+        assert!(
+            us.max_err < 1e-6 && smp.max_err < 1e-6,
+            "both implementations must actually solve the system"
+        );
+        let formula = (n as u64 * n as u64 - n as u64) + p as u64 * (n as u64 - 1);
+        t.row(vec![
+            p.to_string(),
+            format!("{:.1}", us.time_ns as f64 / 1e6),
+            format!("{:.1}", smp.time_ns as f64 / 1e6),
+            us.comm_ops.to_string(),
+            formula.to_string(),
+            smp.comm_ops.to_string(),
+            (p as u64 * n as u64).to_string(),
+            if us.time_ns < smp.time_ns { "US" } else { "SMP" }.into(),
+        ]);
+    }
+    t
+}

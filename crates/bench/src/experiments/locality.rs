@@ -1,0 +1,77 @@
+//! T4/T5 — the §4.1 locality and data-placement experiments.
+
+use bfly_apps::gauss::gauss_us;
+use bfly_apps::hough::{hough, Discipline};
+use bfly_machine::NodeId;
+
+use crate::{Scale, Table};
+
+/// T4 — Hough transform locality. Paper: block-copying shared data into
+/// local memory improved performance by 42 % on 64 processors; local
+/// lookup tables for transcendentals improved it an additional 22 %.
+pub fn tab4_hough_locality(scale: Scale) -> Table {
+    let nprocs: u16 = scale.pick(64, 16);
+    let size: u32 = scale.pick(128, 48);
+    let n_theta: u32 = scale.pick(24, 12);
+    let mut t = Table::new(
+        &format!(
+            "T4: Hough transform locality, P={nprocs}, {size}x{size}, {n_theta} angles \
+             (paper at P=64: block copy +42%, local trig tables +22% more)"
+        ),
+        &["discipline", "time (ms)", "improvement over previous"],
+    );
+    let a = hough(nprocs, size, n_theta, Discipline::Naive, 7);
+    let b = hough(nprocs, size, n_theta, Discipline::BlockCopy, 7);
+    let c = hough(nprocs, size, n_theta, Discipline::BlockCopyTables, 7);
+    assert_eq!(a.peak.0, b.peak.0);
+    assert_eq!(b.peak, c.peak);
+    let rows = [
+        ("naive shared-memory", a.time_ns, a.time_ns),
+        ("block-copied bands", b.time_ns, a.time_ns),
+        ("+ local trig tables", c.time_ns, b.time_ns),
+    ];
+    for (name, now, prev) in rows {
+        let imp = (prev as f64 / now as f64 - 1.0) * 100.0;
+        t.row(vec![
+            name.to_string(),
+            format!("{:.1}", now as f64 / 1e6),
+            if now == prev {
+                "-".into()
+            } else {
+                format!("+{imp:.0}%")
+            },
+        ]);
+    }
+    t
+}
+
+/// T5 — data placement. Paper: spreading the Gaussian-elimination matrix
+/// over all 128 memories improves performance >30 % (on ≤64 processors);
+/// the effect is greatest when roughly ¼–½ of the processors are in use.
+pub fn tab5_scatter(scale: Scale) -> Table {
+    let n: u32 = scale.pick(96, 32);
+    let ps: &[u16] = if scale.quick { &[16, 32] } else { &[16, 32, 64, 96] };
+    let mut t = Table::new(
+        &format!(
+            "T5: Gaussian elimination N={n}, matrix on few vs all memories \
+             (paper: spreading over 128 memories >30% faster; effect peaks at 1/4-1/2 of procs)"
+        ),
+        &["P", "P/128", "packed-2 (ms)", "spread-128 (ms)", "gain"],
+    );
+    for &p in ps {
+        let packed_nodes: Vec<NodeId> = (0..2).collect();
+        let spread_nodes: Vec<NodeId> = (0..128).collect();
+        let packed = gauss_us(p, n, packed_nodes, 5);
+        let spread = gauss_us(p, n, spread_nodes, 5);
+        assert!(packed.max_err < 1e-6 && spread.max_err < 1e-6);
+        let gain = (packed.time_ns as f64 / spread.time_ns as f64 - 1.0) * 100.0;
+        t.row(vec![
+            p.to_string(),
+            format!("{:.2}", p as f64 / 128.0),
+            format!("{:.1}", packed.time_ns as f64 / 1e6),
+            format!("{:.1}", spread.time_ns as f64 / 1e6),
+            format!("+{gain:.0}%"),
+        ]);
+    }
+    t
+}

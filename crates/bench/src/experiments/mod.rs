@@ -1,0 +1,22 @@
+//! The experiment implementations, one module per group. See DESIGN.md §4
+//! for the experiment-id ↔ paper-source mapping.
+
+pub mod amdahl;
+pub mod bplus;
+pub mod bridge_x;
+pub mod fig5;
+pub mod locality;
+pub mod machine_os;
+pub mod models;
+pub mod replay_x;
+pub mod speedups;
+
+pub use amdahl::{tab7_alloc_amdahl, tab8_crowd};
+pub use bplus::tab14_bplus;
+pub use bridge_x::tab10_bridge;
+pub use fig5::fig5_gauss;
+pub use locality::{tab4_hough_locality, tab5_scatter};
+pub use machine_os::{tab1_memory, tab2_primitives, tab3_contention, tab6_switch};
+pub use models::{tab12_models, tab13_linda};
+pub use replay_x::tab9_replay;
+pub use speedups::tab11_speedups;

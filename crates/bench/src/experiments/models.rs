@@ -1,0 +1,194 @@
+//! T12/T13 — cross-model communication costs (§4.2) and the Linda
+//! correspondence.
+
+use std::rc::Rc;
+
+use bfly_antfarm::{AntChannel, AntFarm};
+use bfly_chrysalis::Os;
+use bfly_machine::{Machine, MachineConfig};
+use bfly_sim::Sim;
+use bfly_smp::{Family, SmpCosts, Topology};
+use butterfly_core::rpc_compare::{remote_ref_baseline_ns, run_comparison};
+use butterfly_core::tuple_space::TupleSpace;
+
+use crate::{Scale, Table};
+
+/// T12 — the cost of communication under every programming model, over the
+/// same machine. Paper (§4.2): "for the semantics provided, the costs are
+/// very reasonable ... any general scheme for communication on the
+/// Butterfly will have comparable costs" — i.e., every model costs far
+/// more than a bare remote reference, and richer semantics cost more.
+pub fn tab12_models(_scale: Scale) -> Table {
+    let sim = Sim::new();
+    let m = Machine::new(&sim, MachineConfig::rochester());
+    let os = Os::boot(&m);
+    let mut t = Table::new(
+        "T12: one communication under each model (64-byte payload) \
+         (paper: each model efficient for its semantics; all >> a remote reference)",
+        &["mechanism", "round trip / delivery (us)", "semantics"],
+    );
+    t.row(vec![
+        "remote reference".into(),
+        format!("{:.1}", remote_ref_baseline_ns(&os) as f64 / 1e3),
+        "one shared-memory word".into(),
+    ]);
+
+    // The RPC design-space study (ref [34], six implementations).
+    for r in run_comparison(&os, 0, 1, 64) {
+        let sem = match r.name {
+            "event_pair" => "32-bit datum each way",
+            "dualq_pair" => "queued 32-bit datum each way",
+            "shm_spin" => "mailbox + spin flags",
+            "shm_event" => "mailbox + event wakeups",
+            "mapped_fresh" => "mailbox mapped per call",
+            "lynx" => "typed RPC, threads, exceptions",
+            _ => "",
+        };
+        t.row(vec![
+            format!("rpc:{}", r.name),
+            format!("{:.0}", r.mean_ns / 1e3),
+            sem.into(),
+        ]);
+    }
+
+    // SMP message (one way), measured on a dedicated family.
+    {
+        let sim = Sim::new();
+        let m = Machine::new(&sim, MachineConfig::rochester());
+        let os = Os::boot(&m);
+        let cell = Rc::new(std::cell::Cell::new(0u64));
+        let c2 = cell.clone();
+        Family::spawn_placed(
+            &os,
+            2,
+            Topology::Line,
+            vec![0, 1],
+            SmpCosts::default(),
+            move |mb| {
+                let c = c2.clone();
+                async move {
+                    if mb.rank == 0 {
+                        // Warm the channel, then measure.
+                        mb.send(1, &[0u8; 64]).await.unwrap();
+                        let t0 = mb.proc.os.sim().now();
+                        for _ in 0..8 {
+                            mb.send(1, &[0u8; 64]).await.unwrap();
+                        }
+                        c.set((mb.proc.os.sim().now() - t0) / 8);
+                    } else {
+                        for _ in 0..9 {
+                            mb.recv().await;
+                        }
+                    }
+                }
+            },
+        );
+        sim.run();
+        t.row(vec![
+            "SMP send (steady state)".into(),
+            format!("{:.0}", cell.get() as f64 / 1e3),
+            "async message, family topology".into(),
+        ]);
+    }
+
+    // Ant Farm channel send+recv between nodes.
+    {
+        let sim = Sim::new();
+        let m = Machine::new(&sim, MachineConfig::rochester());
+        let os = Os::boot(&m);
+        let af = AntFarm::new(&os);
+        let ch: AntChannel<u32> = AntChannel::new(0);
+        let ch2 = ch.clone();
+        af.spawn(1, move |ant| async move {
+            for i in 0..8 {
+                ch2.send(&ant, i).await;
+            }
+        });
+        let mut h = af.spawn(2, move |ant| async move {
+            let t0 = ant.af.os.sim().now();
+            for _ in 0..8 {
+                ch.recv(&ant).await;
+            }
+            (ant.af.os.sim().now() - t0) / 8
+        });
+        sim.run();
+        t.row(vec![
+            "Ant Farm channel op".into(),
+            format!("{:.0}", h.try_take().unwrap() as f64 / 1e3),
+            "blockable lightweight threads".into(),
+        ]);
+    }
+    t
+}
+
+/// T13 — Linda on shared memory. Paper (§4.2): "the shared memory is used
+/// to implement an efficient Linda tuple space. The Linda in, read, and
+/// out operations correspond roughly to the operations used to cache data
+/// in the Uniform System."
+pub fn tab13_linda(_scale: Scale) -> Table {
+    let sim = Sim::new();
+    let m = Machine::new(&sim, MachineConfig::rochester());
+    let os = Os::boot(&m);
+    let ts = TupleSpace::new(&os, 1024);
+    let mut t = Table::new(
+        "T13: Linda in/rd/out on Butterfly shared memory vs the US cache-in/out idiom \
+         (paper: the operations correspond)",
+        &["operation", "measured (us)", "corresponds to"],
+    );
+    let t2 = ts.clone();
+    let m2 = m.clone();
+    let mut h = os.boot_process(5, "bench", move |p| async move {
+        let mut out = Vec::new();
+        let reps = 16u64;
+        let payload = [7u8; 256];
+        // out
+        let t0 = p.os.sim().now();
+        for i in 0..reps {
+            t2.out(&p, i as u32, &payload).await;
+        }
+        out.push(("linda out (256B)", (p.os.sim().now() - t0) / reps));
+        // rd
+        let t0 = p.os.sim().now();
+        for i in 0..reps {
+            t2.rd(&p, i as u32).await;
+        }
+        out.push(("linda rd (256B)", (p.os.sim().now() - t0) / reps));
+        // in
+        let t0 = p.os.sim().now();
+        for i in 0..reps {
+            t2.in_(&p, i as u32).await;
+        }
+        out.push(("linda in (256B)", (p.os.sim().now() - t0) / reps));
+        // US cache-in (block copy to local) and cache-out for comparison.
+        let remote = m2.node(100).alloc(256).unwrap();
+        let mut buf = [0u8; 256];
+        let t0 = p.os.sim().now();
+        for _ in 0..reps {
+            p.read_block(remote, &mut buf).await;
+        }
+        out.push(("US cache-in (256B copy)", (p.os.sim().now() - t0) / reps));
+        let t0 = p.os.sim().now();
+        for _ in 0..reps {
+            p.write_block(remote, &buf).await;
+        }
+        out.push(("US cache-out (256B copy)", (p.os.sim().now() - t0) / reps));
+        out
+    });
+    sim.run();
+    let rows = h.try_take().unwrap();
+    let corr: &[&str] = &[
+        "US cache-out + lock",
+        "US cache-in + lock",
+        "US cache-in + removal",
+        "Linda rd, minus lock",
+        "Linda out, minus lock",
+    ];
+    for ((op, ns), c) in rows.iter().zip(corr) {
+        t.row(vec![
+            op.to_string(),
+            format!("{:.0}", *ns as f64 / 1e3),
+            c.to_string(),
+        ]);
+    }
+    t
+}

@@ -1,0 +1,82 @@
+//! T9 — Instant Replay (§3.3): monitoring overhead and reproducibility.
+
+use bfly_apps::knight::knights_tour;
+use bfly_apps::sort::{merge_sort_replay, odd_even_smp};
+use bfly_replay::{Mode, Moviola, ReplaySystem};
+
+use crate::{Scale, Table};
+
+/// T9 — Instant Replay. Paper: "the overhead of monitoring can be kept to
+/// within a few percent of execution time for typical programs"; replay
+/// reproduces nondeterministic executions; Moviola renders the partial
+/// order (Figure 6 shows a deadlocked odd-even merge sort).
+pub fn tab9_replay(scale: Scale) -> Table {
+    let n: usize = scale.pick(1024, 128);
+    let procs: u16 = scale.pick(8, 4);
+    let mut t = Table::new(
+        "T9: Instant Replay on parallel merge sort + knight's tour \
+         (paper: monitoring within a few percent; executions reproducible)",
+        &["measurement", "value", "paper"],
+    );
+
+    // Monitoring overhead.
+    let (off, _) = merge_sort_replay(procs, n, 11, ReplaySystem::new(Mode::Off));
+    let (rec, sys) = merge_sort_replay(procs, n, 11, ReplaySystem::new(Mode::Record));
+    assert!(off.completed && rec.completed);
+    let overhead = (rec.time_ns as f64 / off.time_ns as f64 - 1.0) * 100.0;
+    t.row(vec![
+        "monitoring overhead".into(),
+        format!("{overhead:.2}%"),
+        "a few percent".into(),
+    ]);
+    t.row(vec![
+        "accesses logged".into(),
+        sys.accesses.get().to_string(),
+        "order only, no contents".into(),
+    ]);
+    t.row(vec![
+        "log record size".into(),
+        format!("{} bytes", std::mem::size_of::<bfly_replay::AccessRecord>()),
+        "small fixed tuples".into(),
+    ]);
+
+    // Reproducibility: nondeterministic knight's tour.
+    let a = knights_tour(5, 6, 100, 30);
+    let b = knights_tour(5, 6, 200, 30);
+    let a2 = knights_tour(5, 6, 100, 30);
+    t.row(vec![
+        "tours differ across seeds".into(),
+        (a.tour != b.tour || a.expansions != b.expansions).to_string(),
+        "nondeterministic".into(),
+    ]);
+    t.row(vec![
+        "same seed reproduces".into(),
+        (a.tour == a2.tour && a.time_ns == a2.time_ns).to_string(),
+        "replay forces the recorded order".into(),
+    ]);
+
+    // Replay of the merge sort under a different machine seed.
+    let trace = sys.trace();
+    let replay_sys = ReplaySystem::for_replay(&trace);
+    let (rep, _) = merge_sort_replay(procs, n, 11, replay_sys);
+    t.row(vec![
+        "replay reproduces result".into(),
+        (rep.data == rec.data).to_string(),
+        "true".into(),
+    ]);
+
+    // Figure 6: the deadlocked odd-even sort, rendered by Moviola.
+    let bug = odd_even_smp(8, 64, 3, true);
+    t.row(vec![
+        "Figure 6 deadlock detected".into(),
+        format!("{} stuck procs", bug.stuck.len()),
+        "odd-even merge sort deadlock".into(),
+    ]);
+    let mov = Moviola::new(trace);
+    t.row(vec![
+        "Moviola events / edges".into(),
+        format!("{} / {}", mov.records().len(), mov.edges().len()),
+        "partial order at arbitrary detail".into(),
+    ]);
+    t
+}

@@ -1,0 +1,58 @@
+//! T11 — application speedups past 100 processors (§4.1: "We have achieved
+//! significant speedups (often almost linear) using over 100 processors on
+//! a range of applications").
+
+use bfly_apps::components::connected_components;
+use bfly_apps::connectionist::{simulate, Network};
+use bfly_apps::graph::{transitive_closure_us, Graph};
+
+use crate::{Scale, Table};
+
+/// T11 — speedup curves for three applications up to 128 processors.
+pub fn tab11_speedups(scale: Scale) -> Table {
+    let ps: &[u16] = if scale.quick {
+        &[1, 8, 32]
+    } else {
+        &[1, 8, 32, 64, 96, 128]
+    };
+    let mut t = Table::new(
+        "T11: application speedups vs P \
+         (paper: often almost linear past 100 processors)",
+        &[
+            "P",
+            "connectionist (ms)",
+            "speedup",
+            "components (ms)",
+            "speedup",
+            "closure (ms)",
+            "speedup",
+        ],
+    );
+    let units: u32 = scale.pick(1024, 96);
+    let img: u32 = scale.pick(256, 48);
+    let verts: u32 = scale.pick(128, 32);
+
+    let net = Network::random(units, 8, 3);
+    let g = Graph::random(verts, 2, 3);
+
+    let mut base = (0f64, 0f64, 0f64);
+    for &p in ps {
+        let cn = simulate(&net, 2, p, 3).time_ns as f64 / 1e6;
+        let cc = connected_components(p, img, img, 3).time_ns as f64 / 1e6;
+        let (_, tc) = transitive_closure_us(&g, p, 3);
+        let tc = tc.time_ns as f64 / 1e6;
+        if p == ps[0] {
+            base = (cn, cc, tc);
+        }
+        t.row(vec![
+            p.to_string(),
+            format!("{cn:.0}"),
+            format!("{:.1}x", base.0 / cn),
+            format!("{cc:.0}"),
+            format!("{:.1}x", base.1 / cc),
+            format!("{tc:.0}"),
+            format!("{:.1}x", base.2 / tc),
+        ]);
+    }
+    t
+}

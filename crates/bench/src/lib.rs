@@ -1,0 +1,42 @@
+//! # bfly-bench — the experiment harness
+//!
+//! One function per table/figure of the paper (see DESIGN.md §4 for the
+//! index). Each returns a [`Table`] whose caption states the paper's claim
+//! next to our measured values; the `src/bin/` wrappers print them, and the
+//! `benches/figures.rs` target regenerates everything in quick mode under
+//! `cargo bench`.
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;
+
+/// Experiment scale: `quick` shrinks problem sizes so the whole suite runs
+/// in seconds (used by `cargo bench` and CI); full sizes reproduce the
+/// curves in EXPERIMENTS.md.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Use reduced problem sizes.
+    pub quick: bool,
+}
+
+impl Scale {
+    /// Full-size experiments.
+    pub fn full() -> Scale {
+        Scale { quick: false }
+    }
+
+    /// Reduced sizes for smoke runs.
+    pub fn quick() -> Scale {
+        Scale { quick: true }
+    }
+
+    /// Pick between a full and a quick value.
+    pub fn pick<T>(&self, full: T, quick: T) -> T {
+        if self.quick {
+            quick
+        } else {
+            full
+        }
+    }
+}

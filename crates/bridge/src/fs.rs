@@ -1,0 +1,429 @@
+//! The Bridge file system proper: interleaved files, local file servers,
+//! the three access interfaces.
+
+use std::cell::Cell;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+
+use bfly_chrysalis::{Os, Proc};
+use bfly_machine::NodeId;
+use bfly_sim::sync::{Channel, Promise, PromiseHandle};
+use bfly_sim::time::{SimTime, US};
+
+use crate::disk::{Disk, DiskParams};
+
+/// Server CPU time per file-system request.
+pub const FS_OP: SimTime = 200 * US;
+
+/// A tool: code shipped to a disk server, running on the server's process
+/// with direct access to that server's disk and the file's local stripe
+/// (physical block indices). Returns bytes for the client.
+pub type Tool =
+    Rc<dyn Fn(Rc<Proc>, Rc<Disk>, Vec<u64>) -> Pin<Box<dyn Future<Output = Vec<u8>>>>>;
+
+/// Wrap an async closure as a [`Tool`].
+pub fn tool<F, Fut>(f: F) -> Tool
+where
+    F: Fn(Rc<Proc>, Rc<Disk>, Vec<u64>) -> Fut + 'static,
+    Fut: Future<Output = Vec<u8>> + 'static,
+{
+    Rc::new(move |p, d, blocks| Box::pin(f(p, d, blocks)))
+}
+
+enum Req {
+    Read {
+        phys: u64,
+        reply: PromiseHandle<Vec<u8>>,
+    },
+    Write {
+        phys: u64,
+        data: Vec<u8>,
+        reply: PromiseHandle<Vec<u8>>,
+    },
+    Exec {
+        tool: Tool,
+        stripe: Vec<u64>,
+        reply: PromiseHandle<Vec<u8>>,
+    },
+    Stop,
+}
+
+struct Server {
+    node: NodeId,
+    disk: Rc<Disk>,
+    reqs: Channel<Req>,
+}
+
+/// An interleaved Bridge file: logical block `i` lives on disk `i % D`.
+#[derive(Debug, Clone)]
+pub struct BridgeFile {
+    /// Logical blocks.
+    pub nblocks: u64,
+    /// Per-disk first physical block of this file's stripe.
+    pub base: Vec<u64>,
+    /// Disks in the stripe.
+    pub ndisks: usize,
+}
+
+impl BridgeFile {
+    /// Where logical block `i` lives: `(disk, physical block)`.
+    pub fn locate(&self, i: u64) -> (usize, u64) {
+        let d = (i % self.ndisks as u64) as usize;
+        (d, self.base[d] + i / self.ndisks as u64)
+    }
+
+    /// The physical blocks of this file on one disk, in order.
+    pub fn stripe(&self, disk: usize) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut i = disk as u64;
+        while i < self.nblocks {
+            out.push(self.base[disk] + i / self.ndisks as u64);
+            i += self.ndisks as u64;
+        }
+        out
+    }
+
+    /// Logical indices stored on one disk, in stripe order.
+    pub fn logical_on(&self, disk: usize) -> Vec<u64> {
+        (0..self.nblocks)
+            .filter(|i| (*i % self.ndisks as u64) as usize == disk)
+            .collect()
+    }
+}
+
+/// The Bridge file system: one local file server per participating node.
+pub struct BridgeFs {
+    /// The OS underneath.
+    pub os: Rc<Os>,
+    servers: Vec<Rc<Server>>,
+    params: DiskParams,
+    /// Requests served (accounting).
+    pub requests: Cell<u64>,
+}
+
+impl BridgeFs {
+    /// Bring up Bridge with one disk + server on each of `ndisks` distinct
+    /// nodes (node `i` hosts disk `i`).
+    pub fn mount(os: &Rc<Os>, ndisks: usize, params: DiskParams) -> Rc<BridgeFs> {
+        assert!(ndisks >= 1 && ndisks <= os.machine.nodes() as usize);
+        let servers: Vec<Rc<Server>> = (0..ndisks)
+            .map(|d| {
+                Rc::new(Server {
+                    node: d as NodeId,
+                    disk: Rc::new(Disk::new(os.sim(), &format!("disk{d}"), params.clone())),
+                    reqs: Channel::new(),
+                })
+            })
+            .collect();
+        let fs = Rc::new(BridgeFs {
+            os: os.clone(),
+            servers,
+            params,
+            requests: Cell::new(0),
+        });
+        for s in &fs.servers {
+            let s = s.clone();
+            let fs2 = fs.clone();
+            os.boot_process(s.node, &format!("bridge-srv{}", s.node), move |p| async move {
+                loop {
+                    match s.reqs.recv().await {
+                        Req::Stop => break,
+                        Req::Read { phys, reply } => {
+                            p.compute(FS_OP).await;
+                            let data = s.disk.read(phys).await;
+                            fs2.requests.set(fs2.requests.get() + 1);
+                            reply.set(data);
+                        }
+                        Req::Write { phys, data, reply } => {
+                            p.compute(FS_OP).await;
+                            s.disk.write(phys, &data).await;
+                            fs2.requests.set(fs2.requests.get() + 1);
+                            reply.set(Vec::new());
+                        }
+                        Req::Exec { tool, stripe, reply } => {
+                            p.compute(FS_OP).await;
+                            let out = tool(p.clone(), s.disk.clone(), stripe).await;
+                            fs2.requests.set(fs2.requests.get() + 1);
+                            reply.set(out);
+                        }
+                    }
+                }
+            });
+        }
+        fs
+    }
+
+    /// Number of disks.
+    pub fn ndisks(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Block size.
+    pub fn block_size(&self) -> u32 {
+        self.params.block_size
+    }
+
+    /// Direct disk access (used by host-side test setup and by tools that
+    /// received a disk index out of band).
+    pub fn disk(&self, d: usize) -> &Rc<Disk> {
+        &self.servers[d].disk
+    }
+
+    /// Node hosting disk `d`.
+    pub fn node_of(&self, d: usize) -> NodeId {
+        self.servers[d].node
+    }
+
+    /// Stop all servers (so the simulation can quiesce).
+    pub fn unmount(&self) {
+        for s in &self.servers {
+            s.reqs.send(Req::Stop);
+        }
+    }
+
+    /// Create an interleaved file of `nblocks` logical blocks.
+    pub fn create(&self, nblocks: u64) -> BridgeFile {
+        let d = self.servers.len() as u64;
+        let base = self
+            .servers
+            .iter()
+            .enumerate()
+            .map(|(i, s)| s.disk.alloc_blocks(nblocks.div_ceil(d).max(1) + ((i as u64) < nblocks % d) as u64))
+            .collect();
+        BridgeFile {
+            nblocks,
+            base,
+            ndisks: self.servers.len(),
+        }
+    }
+
+    /// Charge the interconnect cost of moving `bytes` between a client
+    /// process and a server node.
+    async fn transfer(&self, by: &Proc, to: NodeId, bytes: usize) {
+        let m = &self.os.machine;
+        let c = &m.cfg.costs;
+        if by.node != to {
+            by.compute(c.remote_issue + c.block_setup).await;
+            m.mem_resource(to)
+                .access(bytes as SimTime * c.block_per_byte_mem)
+                .await;
+            by.compute(bytes as SimTime * c.block_per_byte_switch).await;
+        } else {
+            by.compute(c.local_issue + c.block_setup).await;
+            m.mem_resource(to)
+                .access(bytes as SimTime * c.block_per_byte_mem)
+                .await;
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Interface 1: naive block access
+    // ---------------------------------------------------------------
+
+    /// Read logical block `i` of a file (request → server → disk → reply).
+    pub async fn read_block(&self, client: &Proc, f: &BridgeFile, i: u64) -> Vec<u8> {
+        let (d, phys) = f.locate(i);
+        let srv = &self.servers[d];
+        // Request descriptor to the server (small).
+        client.compute(self.os.costs.dualq_op).await;
+        self.transfer(client, srv.node, 64).await;
+        let (promise, reply) = Promise::new();
+        srv.reqs.send(Req::Read { phys, reply });
+        let data = promise.get().await;
+        // Data travels back to the client.
+        self.transfer(client, srv.node, data.len()).await;
+        data
+    }
+
+    /// Write logical block `i`.
+    pub async fn write_block(&self, client: &Proc, f: &BridgeFile, i: u64, data: Vec<u8>) {
+        let (d, phys) = f.locate(i);
+        let srv = &self.servers[d];
+        client.compute(self.os.costs.dualq_op).await;
+        self.transfer(client, srv.node, 64 + data.len()).await;
+        let (promise, reply) = Promise::new();
+        srv.reqs.send(Req::Write { phys, data, reply });
+        promise.get().await;
+    }
+
+    // ---------------------------------------------------------------
+    // Interface 3: tools (code shipped to the data)
+    // ---------------------------------------------------------------
+
+    /// Run `t` on the server holding disk `d`, over `file`'s stripe there.
+    /// Only the tool's (usually small) result crosses the switch.
+    pub async fn exec_on(
+        &self,
+        client: &Proc,
+        f: &BridgeFile,
+        d: usize,
+        t: Tool,
+    ) -> Vec<u8> {
+        let srv = &self.servers[d];
+        client.compute(self.os.costs.dualq_op).await;
+        self.transfer(client, srv.node, 128).await; // ship the tool descriptor
+        let (promise, reply) = Promise::new();
+        srv.reqs.send(Req::Exec {
+            tool: t,
+            stripe: f.stripe(d),
+            reply,
+        });
+        let out = promise.get().await;
+        self.transfer(client, srv.node, out.len().max(16)).await;
+        out
+    }
+
+    /// Run a tool on *every* disk concurrently and collect per-disk results
+    /// in disk order — the canonical parallel-tool pattern.
+    pub async fn exec_all(
+        self: &Rc<Self>,
+        client: &Rc<Proc>,
+        f: &BridgeFile,
+        t: Tool,
+    ) -> Vec<Vec<u8>> {
+        let mut handles = Vec::new();
+        for d in 0..self.ndisks() {
+            let fs = self.clone();
+            let c = client.clone();
+            let file = f.clone();
+            let t = t.clone();
+            handles.push(
+                self.os
+                    .sim()
+                    .spawn_named("bridge-exec", async move { fs.exec_on(&c, &file, d, t).await }),
+            );
+        }
+        let mut out = Vec::new();
+        for h in handles {
+            out.push(h.await);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfly_machine::{Machine, MachineConfig};
+    use bfly_sim::exec::RunOutcome;
+    use bfly_sim::Sim;
+
+    fn boot(nodes: u16, ndisks: usize) -> (Sim, Rc<Os>, Rc<BridgeFs>) {
+        let sim = Sim::new();
+        let m = Machine::new(&sim, MachineConfig::small(nodes));
+        let os = Os::boot(&m);
+        let fs = BridgeFs::mount(&os, ndisks, DiskParams::default());
+        (sim, os, fs)
+    }
+
+    #[test]
+    fn interleaving_round_robins_blocks() {
+        let (_sim, _os, fs) = boot(8, 4);
+        let f = fs.create(10);
+        assert_eq!(f.locate(0).0, 0);
+        assert_eq!(f.locate(1).0, 1);
+        assert_eq!(f.locate(5).0, 1);
+        // Stripe of disk 1 holds logical 1, 5, 9 → 3 physical blocks.
+        assert_eq!(f.stripe(1).len(), 3);
+        assert_eq!(f.logical_on(1), vec![1, 5, 9]);
+        // Consecutive stripe blocks are physically contiguous (sequential
+        // disk access within a stripe).
+        let s = f.stripe(1);
+        assert!(s.windows(2).all(|w| w[1] == w[0] + 1));
+    }
+
+    #[test]
+    fn naive_write_read_roundtrip() {
+        let (sim, os, fs) = boot(8, 4);
+        let f = fs.create(8);
+        let fs2 = fs.clone();
+        let f2 = f.clone();
+        os.boot_process(7, "client", move |p| async move {
+            for i in 0..8u64 {
+                let mut data = vec![0u8; 64];
+                data[0] = i as u8;
+                fs2.write_block(&p, &f2, i, data).await;
+            }
+            for i in 0..8u64 {
+                let got = fs2.read_block(&p, &f2, i).await;
+                assert_eq!(got[0], i as u8);
+            }
+            fs2.unmount();
+        });
+        assert_eq!(sim.run().outcome, RunOutcome::Completed);
+        assert_eq!(fs.requests.get(), 16);
+    }
+
+    #[test]
+    fn tool_runs_on_the_data() {
+        // Checksum tool: sums all bytes of each stripe server-side; only
+        // 8-byte sums cross the switch.
+        let (sim, os, fs) = boot(8, 4);
+        let f = fs.create(8);
+        // Preload blocks host-side: block i filled with value i+1.
+        for i in 0..8u64 {
+            let (d, phys) = f.locate(i);
+            fs.disk(d).poke(phys, &vec![(i + 1) as u8; 4096]);
+        }
+        let fs2 = fs.clone();
+        let f2 = f.clone();
+        let mut h = os.boot_process(7, "client", move |p| async move {
+            let t = tool(|srv, disk, stripe| async move {
+                let mut sum = 0u64;
+                for phys in stripe {
+                    let data = disk.read(phys).await;
+                    srv.compute(50 * US).await; // scan cost
+                    sum += data.iter().map(|&b| b as u64).sum::<u64>();
+                }
+                sum.to_le_bytes().to_vec()
+            });
+            let parts = fs2.exec_all(&p, &f2, t).await;
+            fs2.unmount();
+            parts
+                .iter()
+                .map(|b| u64::from_le_bytes(b[..8].try_into().unwrap()))
+                .sum::<u64>()
+        });
+        assert_eq!(sim.run().outcome, RunOutcome::Completed);
+        let total = h.try_take().unwrap();
+        let expect: u64 = (0..8u64).map(|i| (i + 1) * 4096).sum();
+        assert_eq!(total, expect);
+    }
+
+    #[test]
+    fn parallel_tools_overlap_disks() {
+        // Reading 8 blocks through one client serializes; a per-disk tool
+        // touches 4 disks concurrently. Tool elapsed must be well under
+        // naive elapsed.
+        fn elapsed(tool_mode: bool) -> u64 {
+            let (sim, os, fs) = boot(8, 4);
+            let f = fs.create(16);
+            let fs2 = fs.clone();
+            os.boot_process(7, "client", move |p| async move {
+                if tool_mode {
+                    let t = tool(|_srv, disk, stripe| async move {
+                        for phys in stripe {
+                            disk.read(phys).await;
+                        }
+                        vec![0]
+                    });
+                    fs2.exec_all(&p, &f, t).await;
+                } else {
+                    for i in 0..16u64 {
+                        fs2.read_block(&p, &f, i).await;
+                    }
+                }
+                fs2.unmount();
+            });
+            sim.run();
+            sim.now()
+        }
+        let naive = elapsed(false);
+        let tools = elapsed(true);
+        assert!(
+            tools * 2 < naive,
+            "4-disk parallel tool ({tools}ns) must clearly beat naive ({naive}ns)"
+        );
+    }
+}

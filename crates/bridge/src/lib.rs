@@ -1,0 +1,31 @@
+//! # bfly-bridge — the Bridge parallel file system (§3.4, ref \[18\])
+//!
+//! "Faster storage devices cannot solve the I/O bottleneck problem for
+//! large multiprocessor systems if data passes through a file system on a
+//! single processor. Implementing the file system as a parallel program can
+//! significantly improve performance. Selectively revealing this parallel
+//! structure to utility programs can produce additional improvements."
+//!
+//! Bridge distributes each file across multiple storage devices and
+//! processors using **interleaved files**: consecutive logical blocks live
+//! on different physical nodes, each with its own simulated disk and a
+//! *local file server* process. Three interfaces, exactly as in the paper:
+//!
+//! 1. **naive** — a client reads logical blocks in order through ordinary
+//!    requests (works unmodified, one request outstanding at a time);
+//! 2. **parallel-open** — the client learns the striping and keeps one
+//!    request outstanding per disk;
+//! 3. **tools** — the application ships code to the server co-located with
+//!    the data (e.g. a grep that returns only matching lines), for optimum
+//!    performance when "interprocessor communication is slow compared to
+//!    aggregate I/O bandwidth".
+//!
+//! Experiment T10 reproduces the headline claim: linear speedup into
+//! several dozen disks for copy / search / sort style utilities.
+
+pub mod disk;
+pub mod fs;
+pub mod util;
+
+pub use disk::DiskParams;
+pub use fs::{BridgeFile, BridgeFs};

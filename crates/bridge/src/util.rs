@@ -1,0 +1,580 @@
+//! Bridge utility programs — the paper's I/O-intensive algorithms for
+//! "copying, transforming, merging, and sorting large external files"
+//! (§3.1), in naive and parallel-tool variants.
+//!
+//! Files are treated as arrays of little-endian `u32` records
+//! (`block_size/4` records per block).
+
+use std::rc::Rc;
+
+use bfly_chrysalis::Proc;
+use bfly_sim::time::US;
+
+use crate::fs::{tool, BridgeFile, BridgeFs};
+
+/// Host-side: fill a file with seeded pseudo-random records.
+pub fn fill_random(fs: &BridgeFs, f: &BridgeFile, seed: u64) {
+    let mut rng = bfly_sim::SplitMix64::new(seed);
+    let bs = fs.block_size() as usize;
+    for i in 0..f.nblocks {
+        let (d, phys) = f.locate(i);
+        let mut block = vec![0u8; bs];
+        for chunk in block.chunks_exact_mut(4) {
+            chunk.copy_from_slice(&(rng.next_u64() as u32).to_le_bytes());
+        }
+        fs.disk(d).poke(phys, &block);
+    }
+}
+
+/// Host-side: read all records of a file in logical order.
+pub fn peek_records(fs: &BridgeFs, f: &BridgeFile) -> Vec<u32> {
+    let mut out = Vec::new();
+    for i in 0..f.nblocks {
+        let (d, phys) = f.locate(i);
+        let block = fs.disk(d).peek(phys);
+        out.extend(
+            block
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().unwrap())),
+        );
+    }
+    out
+}
+
+/// Naive copy: one client moves every block through itself.
+pub async fn copy_naive(fs: &Rc<BridgeFs>, client: &Rc<Proc>, src: &BridgeFile, dst: &BridgeFile) {
+    assert_eq!(src.nblocks, dst.nblocks);
+    for i in 0..src.nblocks {
+        let data = fs.read_block(client, src, i).await;
+        fs.write_block(client, dst, i, data).await;
+    }
+}
+
+/// Parallel copy: a tool per disk copies its stripe locally — no block
+/// crosses the switch.
+pub async fn copy_parallel(
+    fs: &Rc<BridgeFs>,
+    client: &Rc<Proc>,
+    src: &BridgeFile,
+    dst: &BridgeFile,
+) {
+    assert_eq!(src.nblocks, dst.nblocks);
+    assert_eq!(src.ndisks, dst.ndisks);
+    let mut handles = Vec::new();
+    for d in 0..fs.ndisks() {
+        let dst_stripe = dst.stripe(d);
+        let t = tool(move |_srv, disk, src_stripe| {
+            let dst_stripe = dst_stripe.clone();
+            async move {
+                for (s, t) in src_stripe.iter().zip(dst_stripe.iter()) {
+                    let data = disk.read(*s).await;
+                    disk.write(*t, &data).await;
+                }
+                Vec::new()
+            }
+        });
+        let fs2 = fs.clone();
+        let c = client.clone();
+        let s = src.clone();
+        handles.push(
+            fs.os
+                .sim()
+                .spawn_named("copy-tool", async move { fs2.exec_on(&c, &s, d, t).await }),
+        );
+    }
+    for h in handles {
+        h.await;
+    }
+}
+
+/// Naive search: every block travels to the client, which scans it.
+/// Returns the number of records equal to `needle`.
+pub async fn grep_naive(
+    fs: &Rc<BridgeFs>,
+    client: &Rc<Proc>,
+    f: &BridgeFile,
+    needle: u32,
+) -> u64 {
+    let mut count = 0u64;
+    for i in 0..f.nblocks {
+        let data = fs.read_block(client, f, i).await;
+        client.compute(50 * US).await; // scan one block
+        count += data
+            .chunks_exact(4)
+            .filter(|c| u32::from_le_bytes((*c).try_into().unwrap()) == needle)
+            .count() as u64;
+    }
+    count
+}
+
+/// Tool search: each server scans its own stripe; only counts return.
+pub async fn grep_parallel(
+    fs: &Rc<BridgeFs>,
+    client: &Rc<Proc>,
+    f: &BridgeFile,
+    needle: u32,
+) -> u64 {
+    let t = tool(move |srv, disk, stripe| async move {
+        let mut count = 0u64;
+        for phys in stripe {
+            let data = disk.read(phys).await;
+            srv.compute(50 * US).await;
+            count += data
+                .chunks_exact(4)
+                .filter(|c| u32::from_le_bytes((*c).try_into().unwrap()) == needle)
+                .count() as u64;
+        }
+        count.to_le_bytes().to_vec()
+    });
+    fs.exec_all(client, f, t)
+        .await
+        .iter()
+        .map(|b| u64::from_le_bytes(b[..8].try_into().unwrap()))
+        .sum()
+}
+
+/// Parallel external sort:
+///
+/// 1. a tool on each disk sorts its stripe into one sorted run (in place);
+/// 2. the client performs a D-way merge, reading each run sequentially and
+///    writing the merged output to `out`.
+///
+/// This is the structure of Bridge's sort/merge utilities: phase 1 scales
+/// with disks; phase 2 streams at client speed but reads sequentially.
+pub async fn sort_parallel(
+    fs: &Rc<BridgeFs>,
+    client: &Rc<Proc>,
+    f: &BridgeFile,
+    out: &BridgeFile,
+) {
+    assert_eq!(f.nblocks, out.nblocks);
+    // Phase 1: sort each stripe server-side.
+    let t = tool(|srv, disk, stripe| async move {
+        let mut keys: Vec<u32> = Vec::new();
+        for &phys in &stripe {
+            let data = disk.read(phys).await;
+            keys.extend(
+                data.chunks_exact(4)
+                    .map(|c| u32::from_le_bytes(c.try_into().unwrap())),
+            );
+        }
+        let n = keys.len().max(2) as u64;
+        srv.compute(n * n.ilog2() as u64 * 300).await; // in-core sort cost
+        keys.sort_unstable();
+        let bs = disk.block_size() as usize / 4;
+        for (k, &phys) in stripe.iter().enumerate() {
+            let mut block = Vec::with_capacity(bs * 4);
+            for key in &keys[k * bs..(k + 1) * bs] {
+                block.extend_from_slice(&key.to_le_bytes());
+            }
+            disk.write(phys, &block).await;
+        }
+        Vec::new()
+    });
+    fs.exec_all(client, f, t).await;
+
+    // Phase 2: D-way merge at the client.
+    let d = f.ndisks;
+    struct Run {
+        keys: Vec<u32>,
+        pos: usize,
+        next_block: usize,
+        blocks: Vec<u64>, // logical indices of this run's blocks
+    }
+    let mut runs: Vec<Run> = (0..d)
+        .map(|disk| Run {
+            keys: Vec::new(),
+            pos: 0,
+            next_block: 0,
+            blocks: f.logical_on(disk),
+        })
+        .collect();
+    let mut merged: Vec<u32> = Vec::new();
+    let mut out_block = 0u64;
+    let bs = fs.block_size() as usize / 4;
+    let total = f.nblocks as usize * bs;
+    for _ in 0..total {
+        // Refill any exhausted run that still has blocks.
+        let mut best: Option<usize> = None;
+        for r in 0..d {
+            if runs[r].pos == runs[r].keys.len() && runs[r].next_block < runs[r].blocks.len() {
+                let lb = runs[r].blocks[runs[r].next_block];
+                let data = fs.read_block(client, f, lb).await;
+                runs[r].keys = data
+                    .chunks_exact(4)
+                    .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+                    .collect();
+                runs[r].pos = 0;
+                runs[r].next_block += 1;
+            }
+            if runs[r].pos < runs[r].keys.len() {
+                best = match best {
+                    None => Some(r),
+                    Some(b) if runs[r].keys[runs[r].pos] < runs[b].keys[runs[b].pos] => Some(r),
+                    b => b,
+                };
+            }
+        }
+        let b = best.expect("merge ran dry early");
+        merged.push(runs[b].keys[runs[b].pos]);
+        runs[b].pos += 1;
+        client.compute(2 * US).await; // merge step
+        if merged.len() == bs {
+            let mut block = Vec::with_capacity(bs * 4);
+            for k in &merged {
+                block.extend_from_slice(&k.to_le_bytes());
+            }
+            fs.write_block(client, out, out_block, block).await;
+            out_block += 1;
+            merged.clear();
+        }
+    }
+    assert!(merged.is_empty(), "output must be block-aligned");
+}
+
+/// Parallel transform ("transforming" in §3.1's utility list): apply a
+/// pure record function to every record, server-side — the archetypal
+/// code-shipping tool. `f` must be a plain function pointer so it can be
+/// "shipped" to every server.
+pub async fn transform_parallel(
+    fs: &Rc<BridgeFs>,
+    client: &Rc<Proc>,
+    src: &BridgeFile,
+    dst: &BridgeFile,
+    f: fn(u32) -> u32,
+) {
+    assert_eq!(src.nblocks, dst.nblocks);
+    assert_eq!(src.ndisks, dst.ndisks);
+    let mut handles = Vec::new();
+    for d in 0..fs.ndisks() {
+        let dst_stripe = dst.stripe(d);
+        let t = tool(move |srv, disk, src_stripe| {
+            let dst_stripe = dst_stripe.clone();
+            async move {
+                for (s, o) in src_stripe.iter().zip(dst_stripe.iter()) {
+                    let data = disk.read(*s).await;
+                    srv.compute(data.len() as u64 / 4 * 2_000).await; // per record
+                    let mut out = Vec::with_capacity(data.len());
+                    for c in data.chunks_exact(4) {
+                        let v = u32::from_le_bytes(c.try_into().unwrap());
+                        out.extend_from_slice(&f(v).to_le_bytes());
+                    }
+                    disk.write(*o, &out).await;
+                }
+                Vec::new()
+            }
+        });
+        let fs2 = fs.clone();
+        let c = client.clone();
+        let s = src.clone();
+        handles.push(
+            fs.os
+                .sim()
+                .spawn_named("xform-tool", async move { fs2.exec_on(&c, &s, d, t).await }),
+        );
+    }
+    for h in handles {
+        h.await;
+    }
+}
+
+/// Merge two *sorted* files into a sorted output ("merging" in §3.1's
+/// utility list): the client streams both inputs block-sequentially and
+/// writes merged blocks — the same structure as [`sort_parallel`]'s final
+/// phase.
+pub async fn merge_files(
+    fs: &Rc<BridgeFs>,
+    client: &Rc<Proc>,
+    a: &BridgeFile,
+    b: &BridgeFile,
+    out: &BridgeFile,
+) {
+    assert_eq!(a.nblocks + b.nblocks, out.nblocks);
+    struct Stream {
+        keys: Vec<u32>,
+        pos: usize,
+        next_block: u64,
+        nblocks: u64,
+    }
+    async fn refill(
+        fs: &Rc<BridgeFs>,
+        client: &Rc<Proc>,
+        f: &BridgeFile,
+        s: &mut Stream,
+    ) {
+        if s.pos == s.keys.len() && s.next_block < s.nblocks {
+            let data = fs.read_block(client, f, s.next_block).await;
+            s.keys = data
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            s.pos = 0;
+            s.next_block += 1;
+        }
+    }
+    let mut sa = Stream {
+        keys: Vec::new(),
+        pos: 0,
+        next_block: 0,
+        nblocks: a.nblocks,
+    };
+    let mut sb = Stream {
+        keys: Vec::new(),
+        pos: 0,
+        next_block: 0,
+        nblocks: b.nblocks,
+    };
+    let bs = fs.block_size() as usize / 4;
+    let mut merged = Vec::with_capacity(bs);
+    let mut out_block = 0u64;
+    let total = (a.nblocks + b.nblocks) as usize * bs;
+    for _ in 0..total {
+        refill(fs, client, a, &mut sa).await;
+        refill(fs, client, b, &mut sb).await;
+        let take_a = match (sa.pos < sa.keys.len(), sb.pos < sb.keys.len()) {
+            (true, true) => sa.keys[sa.pos] <= sb.keys[sb.pos],
+            (true, false) => true,
+            (false, true) => false,
+            (false, false) => unreachable!("merge ran dry"),
+        };
+        if take_a {
+            merged.push(sa.keys[sa.pos]);
+            sa.pos += 1;
+        } else {
+            merged.push(sb.keys[sb.pos]);
+            sb.pos += 1;
+        }
+        client.compute(2 * US).await;
+        if merged.len() == bs {
+            let mut block = Vec::with_capacity(bs * 4);
+            for k in &merged {
+                block.extend_from_slice(&k.to_le_bytes());
+            }
+            fs.write_block(client, out, out_block, block).await;
+            out_block += 1;
+            merged.clear();
+        }
+    }
+}
+
+/// Parallel compare: tools check stripes disk-locally; returns true if the
+/// files are identical. Only booleans cross the switch.
+pub async fn compare_parallel(
+    fs: &Rc<BridgeFs>,
+    client: &Rc<Proc>,
+    a: &BridgeFile,
+    b: &BridgeFile,
+) -> bool {
+    assert_eq!(a.nblocks, b.nblocks);
+    assert_eq!(a.ndisks, b.ndisks);
+    let mut handles = Vec::new();
+    for d in 0..fs.ndisks() {
+        let b_stripe = b.stripe(d);
+        let t = tool(move |srv, disk, a_stripe| {
+            let b_stripe = b_stripe.clone();
+            async move {
+                for (x, y) in a_stripe.iter().zip(b_stripe.iter()) {
+                    let da = disk.read(*x).await;
+                    let db = disk.read(*y).await;
+                    srv.compute(20 * US).await;
+                    if da != db {
+                        return vec![0];
+                    }
+                }
+                vec![1]
+            }
+        });
+        let fs2 = fs.clone();
+        let c = client.clone();
+        let af = a.clone();
+        handles.push(
+            fs.os
+                .sim()
+                .spawn_named("cmp-tool", async move { fs2.exec_on(&c, &af, d, t).await }),
+        );
+    }
+    let mut same = true;
+    for h in handles {
+        same &= h.await[0] == 1;
+    }
+    same
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::DiskParams;
+    use bfly_chrysalis::Os;
+    use bfly_machine::{Machine, MachineConfig};
+    use bfly_sim::exec::RunOutcome;
+    use bfly_sim::Sim;
+
+    fn boot(nodes: u16, ndisks: usize) -> (Sim, Rc<Os>, Rc<BridgeFs>) {
+        let sim = Sim::new();
+        let m = Machine::new(&sim, MachineConfig::small(nodes));
+        let os = Os::boot(&m);
+        let fs = BridgeFs::mount(&os, ndisks, DiskParams::default());
+        (sim, os, fs)
+    }
+
+    #[test]
+    fn copy_variants_preserve_content_and_tools_win() {
+        fn run(parallel: bool) -> (u64, bool) {
+            let (sim, os, fs) = boot(8, 4);
+            let src = fs.create(12);
+            let dst = fs.create(12);
+            fill_random(&fs, &src, 42);
+            let fs2 = fs.clone();
+            let (s2, d2) = (src.clone(), dst.clone());
+            os.boot_process(7, "client", move |p| async move {
+                if parallel {
+                    copy_parallel(&fs2, &p, &s2, &d2).await;
+                } else {
+                    copy_naive(&fs2, &p, &s2, &d2).await;
+                }
+                fs2.unmount();
+            });
+            assert_eq!(sim.run().outcome, RunOutcome::Completed);
+            let same = peek_records(&fs, &src) == peek_records(&fs, &dst);
+            (sim.now(), same)
+        }
+        let (t_naive, ok1) = run(false);
+        let (t_par, ok2) = run(true);
+        assert!(ok1 && ok2, "both copies must be faithful");
+        assert!(
+            t_par * 2 < t_naive,
+            "parallel copy ({t_par}) must clearly beat naive ({t_naive})"
+        );
+    }
+
+    #[test]
+    fn grep_finds_planted_needles() {
+        let (sim, os, fs) = boot(8, 4);
+        let f = fs.create(8);
+        fill_random(&fs, &f, 7);
+        // Plant 3 needles host-side.
+        let needle = 0xDEADBEEFu32;
+        for (i, blk) in [(0u64, 10usize), (3, 20), (7, 30)] {
+            let (d, phys) = f.locate(i);
+            let mut data = fs.disk(d).peek(phys);
+            data[blk * 4..blk * 4 + 4].copy_from_slice(&needle.to_le_bytes());
+            fs.disk(d).poke(phys, &data);
+        }
+        let fs2 = fs.clone();
+        let f2 = f.clone();
+        let mut h = os.boot_process(7, "client", move |p| async move {
+            let a = grep_naive(&fs2, &p, &f2, needle).await;
+            let b = grep_parallel(&fs2, &p, &f2, needle).await;
+            fs2.unmount();
+            (a, b)
+        });
+        assert_eq!(sim.run().outcome, RunOutcome::Completed);
+        let (a, b) = h.try_take().unwrap();
+        assert_eq!(a, 3);
+        assert_eq!(b, 3);
+    }
+
+    #[test]
+    fn parallel_sort_produces_sorted_permutation() {
+        let (sim, os, fs) = boot(8, 4);
+        let f = fs.create(8);
+        let out = fs.create(8);
+        fill_random(&fs, &f, 99);
+        let mut expect = peek_records(&fs, &f);
+        expect.sort_unstable();
+        let fs2 = fs.clone();
+        let (f2, o2) = (f.clone(), out.clone());
+        os.boot_process(7, "client", move |p| async move {
+            sort_parallel(&fs2, &p, &f2, &o2).await;
+            fs2.unmount();
+        });
+        assert_eq!(sim.run().outcome, RunOutcome::Completed);
+        assert_eq!(peek_records(&fs, &out), expect);
+    }
+
+    #[test]
+    fn transform_applies_function_everywhere() {
+        let (sim, os, fs) = boot(8, 4);
+        let src = fs.create(8);
+        let dst = fs.create(8);
+        fill_random(&fs, &src, 13);
+        let expect: Vec<u32> = peek_records(&fs, &src)
+            .iter()
+            .map(|v| v.rotate_left(7) ^ 0xA5A5_A5A5)
+            .collect();
+        let fs2 = fs.clone();
+        let (s2, d2) = (src.clone(), dst.clone());
+        os.boot_process(7, "client", move |p| async move {
+            let p = Rc::new(p);
+            transform_parallel(&fs2, &p, &s2, &d2, |v| v.rotate_left(7) ^ 0xA5A5_A5A5).await;
+            fs2.unmount();
+        });
+        assert_eq!(sim.run().outcome, RunOutcome::Completed);
+        assert_eq!(peek_records(&fs, &dst), expect);
+    }
+
+    #[test]
+    fn merge_produces_one_sorted_file() {
+        let (sim, os, fs) = boot(8, 4);
+        let a = fs.create(4);
+        let b = fs.create(8);
+        let out = fs.create(12);
+        // Build two sorted inputs host-side.
+        let mut ra: Vec<u32> = (0..4 * 1024u32).map(|i| i * 3 + 1).collect();
+        let mut rb: Vec<u32> = (0..8 * 1024u32).map(|i| i * 2).collect();
+        ra.sort_unstable();
+        rb.sort_unstable();
+        let poke_sorted = |f: &BridgeFile, recs: &[u32]| {
+            for (i, chunk) in recs.chunks(1024).enumerate() {
+                let (d, phys) = f.locate(i as u64);
+                let mut bytes = Vec::with_capacity(4096);
+                for v in chunk {
+                    bytes.extend_from_slice(&v.to_le_bytes());
+                }
+                fs.disk(d).poke(phys, &bytes);
+            }
+        };
+        poke_sorted(&a, &ra);
+        poke_sorted(&b, &rb);
+        let mut expect: Vec<u32> = ra.iter().chain(rb.iter()).copied().collect();
+        expect.sort_unstable();
+        let fs2 = fs.clone();
+        let (a2, b2, o2) = (a.clone(), b.clone(), out.clone());
+        os.boot_process(7, "client", move |p| async move {
+            let p = Rc::new(p);
+            merge_files(&fs2, &p, &a2, &b2, &o2).await;
+            fs2.unmount();
+        });
+        assert_eq!(sim.run().outcome, RunOutcome::Completed);
+        assert_eq!(peek_records(&fs, &out), expect);
+    }
+
+    #[test]
+    fn compare_detects_difference() {
+        let (sim, os, fs) = boot(8, 4);
+        let a = fs.create(6);
+        let b = fs.create(6);
+        fill_random(&fs, &a, 5);
+        // Copy host-side, then corrupt one record of b.
+        for i in 0..6u64 {
+            let (da, pa) = a.locate(i);
+            let (db, pb) = b.locate(i);
+            let data = fs.disk(da).peek(pa);
+            fs.disk(db).poke(pb, &data);
+        }
+        let fs2 = fs.clone();
+        let (a2, b2) = (a.clone(), b.clone());
+        let mut h = os.boot_process(7, "client", move |p| async move {
+            let same_before = compare_parallel(&fs2, &p, &a2, &b2).await;
+            let (dd, pp) = b2.locate(4);
+            let mut data = fs2.disk(dd).peek(pp);
+            data[0] ^= 0xFF;
+            fs2.disk(dd).poke(pp, &data);
+            let same_after = compare_parallel(&fs2, &p, &a2, &b2).await;
+            fs2.unmount();
+            (same_before, same_after)
+        });
+        assert_eq!(sim.run().outcome, RunOutcome::Completed);
+        assert_eq!(h.try_take().unwrap(), (true, false));
+    }
+}

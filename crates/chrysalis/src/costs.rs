@@ -1,0 +1,70 @@
+//! Operating-system operation costs, from the paper and the Rochester
+//! Chrysalis benchmark report (Dibble, BPR 18 \[17\]).
+
+use bfly_sim::time::{SimTime, MS, US};
+
+/// Chrysalis operation timing (simulated nanoseconds).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OsCosts {
+    /// Event post or wait — "microcode implementation of events and dual
+    /// queues allows all of the basic synchronization primitives to complete
+    /// in only tens of microseconds" (§2.2).
+    pub event_op: SimTime,
+    /// Dual-queue enqueue or dequeue.
+    pub dualq_op: SimTime,
+    /// Entering + leaving a protected (catch) block: "about 70 µs" (§2.2).
+    pub catch_block: SimTime,
+    /// Stack unwind on a throw (beyond the catch-block cost).
+    pub throw_unwind: SimTime,
+    /// Mapping or unmapping one segment: "over 1 ms per segment added or
+    /// deleted" (§2.1).
+    pub map_seg: SimTime,
+    /// Creating a memory object (kernel call + SAR bookkeeping).
+    pub make_obj: SimTime,
+    /// Creating a process: total cost to the creator.
+    pub create_process: SimTime,
+    /// Portion of process creation serialized on the shared process
+    /// template ("serial access to system resources (such as process
+    /// templates in Chrysalis) ultimately limits our ability to exploit
+    /// large-scale parallelism during process creation", §4.1).
+    pub template_hold: SimTime,
+    /// Scheduler context switch.
+    pub ctx_switch: SimTime,
+}
+
+impl OsCosts {
+    /// Chrysalis 3.0 on the Butterfly-I.
+    pub fn chrysalis() -> Self {
+        OsCosts {
+            event_op: 25 * US,
+            dualq_op: 30 * US,
+            catch_block: 70 * US,
+            throw_unwind: 35 * US,
+            map_seg: MS,
+            make_obj: 300 * US,
+            create_process: 12 * MS,
+            template_hold: 8 * MS,
+            ctx_switch: 50 * US,
+        }
+    }
+}
+
+impl Default for OsCosts {
+    fn default() -> Self {
+        Self::chrysalis()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_figures_hold() {
+        let c = OsCosts::chrysalis();
+        assert!(c.event_op >= 10 * US && c.event_op < 100 * US, "tens of us");
+        assert_eq!(c.catch_block, 70 * US);
+        assert!(c.map_seg >= MS, "over 1 ms per segment");
+        assert!(c.template_hold < c.create_process);
+    }
+}

@@ -1,0 +1,340 @@
+//! Events and dual queues — the microcoded Chrysalis synchronization
+//! primitives (§2.2).
+//!
+//! *Events* resemble binary semaphores on which only one process (the owner)
+//! can wait; the poster supplies a 32-bit datum returned by the wait.
+//! *Dual queues* generalize events: they hold the data from multiple posts
+//! and supply it to multiple waiters (either data queues up or waiters queue
+//! up — never both). Microcode implementation lets both complete in tens of
+//! microseconds.
+//!
+//! Fidelity notes: waiting on an event you don't own throws `E_NOT_OWNER`,
+//! but dual queues deliberately perform **no** ownership check — the paper
+//! points out the PNC microcode lets any process enqueue or dequeue on any
+//! dual queue it can name, "regardless of any precautions the operating
+//! system might take".
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use bfly_machine::NodeId;
+use bfly_sim::sync::WaitQueue;
+
+use crate::objects::{ObjId, ObjKind, Owner};
+use crate::process::Proc;
+use crate::throw::{KResult, Throw};
+
+/// A Chrysalis event.
+#[derive(Clone)]
+pub struct Event {
+    /// Event object id.
+    pub id: ObjId,
+    /// Owning process (the only legal waiter).
+    pub owner: ObjId,
+    /// Node whose memory holds the event (posts reference it).
+    pub home: NodeId,
+    state: Rc<EventState>,
+}
+
+struct EventState {
+    datum: Cell<Option<u32>>,
+    waiter: WaitQueue,
+}
+
+impl Event {
+    /// Create an event owned by (and waitable only by) `owner`.
+    pub fn new(owner: &Proc) -> Event {
+        let id = owner.os.objects.borrow_mut().insert(
+            ObjKind::Event,
+            Owner::Obj(owner.id),
+            owner.node,
+            None,
+        );
+        Event {
+            id,
+            owner: owner.id,
+            home: owner.node,
+            state: Rc::new(EventState {
+                datum: Cell::new(None),
+                waiter: WaitQueue::new(),
+            }),
+        }
+    }
+
+    /// Post the event with a 32-bit datum. Any process may post. A second
+    /// post before the owner waits overwrites the datum (binary-semaphore
+    /// semantics).
+    pub async fn post(&self, poster: &Proc, datum: u32) {
+        poster.compute(poster.os.costs.event_op).await;
+        // The microcode touches the event's home memory.
+        poster
+            .os
+            .machine
+            .mem_resource(self.home)
+            .access(poster.os.machine.cfg.costs.atomic_mem_service)
+            .await;
+        self.state.datum.set(Some(datum));
+        self.state.waiter.wake_one();
+    }
+
+    /// Wait for a post; only the owner may wait (`E_NOT_OWNER` otherwise).
+    /// Returns the poster's datum and resets the event.
+    pub async fn wait(&self, waiter: &Proc) -> KResult<u32> {
+        if waiter.id != self.owner {
+            return Err(Throw::new(Throw::E_NOT_OWNER));
+        }
+        waiter.compute(waiter.os.costs.event_op).await;
+        loop {
+            if let Some(d) = self.state.datum.take() {
+                return Ok(d);
+            }
+            // Blocking costs a context switch. A post can land during that
+            // charge (when we are not yet parked), so re-check immediately
+            // before parking — there is no await between the re-check and
+            // the park registration, so the wakeup cannot be lost.
+            waiter.compute(waiter.os.costs.ctx_switch).await;
+            if let Some(d) = self.state.datum.take() {
+                return Ok(d);
+            }
+            self.state.waiter.park().await;
+        }
+    }
+
+    /// Non-blocking poll of the event state (does not consume the datum).
+    pub fn is_posted(&self) -> bool {
+        let d = self.state.datum.take();
+        let posted = d.is_some();
+        self.state.datum.set(d);
+        posted
+    }
+}
+
+/// A Chrysalis dual queue.
+#[derive(Clone)]
+pub struct DualQueue {
+    /// Queue object id.
+    pub id: ObjId,
+    /// Node whose memory holds the queue.
+    pub home: NodeId,
+    state: Rc<DqState>,
+}
+
+struct DqState {
+    data: RefCell<VecDeque<u32>>,
+    waiters: WaitQueue,
+}
+
+impl DualQueue {
+    /// Create a dual queue homed on `creator`'s node.
+    pub fn new(creator: &Proc) -> DualQueue {
+        let id = creator.os.objects.borrow_mut().insert(
+            ObjKind::DualQueue,
+            Owner::Obj(creator.id),
+            creator.node,
+            None,
+        );
+        DualQueue {
+            id,
+            home: creator.node,
+            state: Rc::new(DqState {
+                data: RefCell::new(VecDeque::new()),
+                waiters: WaitQueue::new(),
+            }),
+        }
+    }
+
+    async fn microcode_touch(&self, p: &Proc) {
+        p.compute(p.os.costs.dualq_op).await;
+        p.os
+            .machine
+            .mem_resource(self.home)
+            .access(p.os.machine.cfg.costs.atomic_mem_service)
+            .await;
+    }
+
+    /// Enqueue a datum (never blocks; no ownership check — see module docs).
+    pub async fn enqueue(&self, p: &Proc, datum: u32) {
+        self.microcode_touch(p).await;
+        self.state.data.borrow_mut().push_back(datum);
+        self.state.waiters.wake_one();
+    }
+
+    /// Dequeue a datum, blocking while the queue is empty.
+    pub async fn dequeue(&self, p: &Proc) -> u32 {
+        self.microcode_touch(p).await;
+        loop {
+            if let Some(d) = self.state.data.borrow_mut().pop_front() {
+                return d;
+            }
+            // Same lost-wakeup discipline as Event::wait: re-check after
+            // the context-switch charge, just before parking.
+            p.compute(p.os.costs.ctx_switch).await;
+            if let Some(d) = self.state.data.borrow_mut().pop_front() {
+                return d;
+            }
+            self.state.waiters.park().await;
+        }
+    }
+
+    /// Non-blocking dequeue.
+    pub async fn try_dequeue(&self, p: &Proc) -> Option<u32> {
+        self.microcode_touch(p).await;
+        self.state.data.borrow_mut().pop_front()
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.state.data.borrow().len()
+    }
+
+    /// True when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::os::Os;
+    use bfly_machine::{Machine, MachineConfig};
+    use bfly_sim::{Sim, US};
+
+    fn boot(nodes: u16) -> (Sim, Rc<Os>) {
+        let sim = Sim::new();
+        let m = Machine::new(&sim, MachineConfig::small(nodes));
+        (sim.clone(), Os::boot(&m))
+    }
+
+    #[test]
+    fn event_delivers_datum_to_owner() {
+        let (sim, os) = boot(4);
+        let os2 = os.clone();
+        let mut h = os.boot_process(0, "owner", move |p| async move {
+            let ev = Event::new(&p);
+            let ev2 = ev.clone();
+            os2.boot_process(1, "poster", move |q| async move {
+                q.compute(100 * US).await;
+                ev2.post(&q, 12345).await;
+            });
+            ev.wait(&p).await.unwrap()
+        });
+        sim.run();
+        assert_eq!(h.try_take().unwrap(), 12345);
+    }
+
+    #[test]
+    fn event_wait_by_stranger_throws() {
+        let (sim, os) = boot(4);
+        let os2 = os.clone();
+        let mut h = os.boot_process(0, "owner", move |p| async move {
+            let ev = Event::new(&p);
+            let ev2 = ev.clone();
+            let sh = os2.boot_process(1, "stranger", move |q| async move {
+                ev2.wait(&q).await.unwrap_err().code
+            });
+            sh.await
+        });
+        sim.run();
+        assert_eq!(h.try_take().unwrap(), Throw::E_NOT_OWNER);
+    }
+
+    #[test]
+    fn event_is_binary_second_post_overwrites() {
+        let (sim, os) = boot(2);
+        let mut h = os.boot_process(0, "t", |p| async move {
+            let ev = Event::new(&p);
+            ev.post(&p, 1).await;
+            ev.post(&p, 2).await;
+            ev.wait(&p).await.unwrap()
+        });
+        sim.run();
+        assert_eq!(h.try_take().unwrap(), 2, "binary semaphore keeps last datum");
+    }
+
+    #[test]
+    fn event_ops_cost_tens_of_microseconds() {
+        let (sim, os) = boot(2);
+        os.boot_process(0, "t", |p| async move {
+            let ev = Event::new(&p);
+            let t0 = p.os.sim().now();
+            ev.post(&p, 9).await;
+            let posted = p.os.sim().now() - t0;
+            assert!((10 * US..100 * US).contains(&posted), "post cost {posted}");
+            let t1 = p.os.sim().now();
+            ev.wait(&p).await.unwrap();
+            let waited = p.os.sim().now() - t1;
+            assert!((10 * US..100 * US).contains(&waited), "wait cost {waited}");
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn dual_queue_buffers_multiple_posts() {
+        let (sim, os) = boot(2);
+        let mut h = os.boot_process(0, "t", |p| async move {
+            let dq = DualQueue::new(&p);
+            for v in [10, 20, 30] {
+                dq.enqueue(&p, v).await;
+            }
+            let mut out = Vec::new();
+            for _ in 0..3 {
+                out.push(dq.dequeue(&p).await);
+            }
+            out
+        });
+        sim.run();
+        assert_eq!(h.try_take().unwrap(), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn dual_queue_serves_multiple_waiters_fifo() {
+        let (sim, os) = boot(8);
+        let os2 = os.clone();
+        let results = Rc::new(RefCell::new(Vec::new()));
+        let mut hs = Vec::new();
+        let mut holder = os.boot_process(0, "holder", move |p| async move {
+            DualQueue::new(&p)
+        });
+        sim.run();
+        let dq = holder.try_take().unwrap();
+        for i in 0..3u16 {
+            let dq = dq.clone();
+            let r = results.clone();
+            hs.push(os2.boot_process(1 + i, &format!("w{i}"), move |q| async move {
+                // Stagger arrival so FIFO order is defined.
+                q.compute(i as u64 * US).await;
+                let v = dq.dequeue(&q).await;
+                r.borrow_mut().push((i, v));
+            }));
+        }
+        let dq2 = dq.clone();
+        os2.boot_process(7, "producer", move |q| async move {
+            q.compute(500 * US).await;
+            for v in [100, 200, 300] {
+                dq2.enqueue(&q, v).await;
+            }
+        });
+        sim.run();
+        assert_eq!(*results.borrow(), vec![(0, 100), (1, 200), (2, 300)]);
+    }
+
+    #[test]
+    fn dual_queue_has_no_ownership_check() {
+        // Any process can enqueue/dequeue on any dual queue it can name.
+        let (sim, os) = boot(4);
+        let os2 = os.clone();
+        let mut h = os.boot_process(0, "creator", move |p| async move {
+            let dq = DualQueue::new(&p);
+            let dq2 = dq.clone();
+            let sh = os2.boot_process(2, "interloper", move |q| async move {
+                dq2.enqueue(&q, 666).await;
+                dq2.dequeue(&q).await
+            });
+            sh.await
+        });
+        sim.run();
+        assert_eq!(h.try_take().unwrap(), 666);
+    }
+}

@@ -1,0 +1,43 @@
+//! # bfly-chrysalis — the Chrysalis operating system, modeled
+//!
+//! Chrysalis (§2.2 of the paper) was BBN's operating system for the original
+//! Butterfly: "a protected subroutine library for C programs" offering
+//! process management, memory management, and interprocess communication,
+//! with the hot paths (scheduler, events, dual queues) in PNC microcode.
+//!
+//! This crate reproduces its semantics and its cost model on top of
+//! [`bfly_machine`]:
+//!
+//! * heavyweight [`process::Proc`]esses with segmented address spaces,
+//!   explicit (and slow: >1 ms) segment map/unmap, and strict SAR limits;
+//! * the single **object model** ([`objects`]) with ownership hierarchy,
+//!   recursive reclamation, and the give-to-the-system storage-leak hazard;
+//! * microcoded [`event::Event`]s and [`event::DualQueue`]s completing in
+//!   tens of microseconds — including the dual-queue protection loophole;
+//! * MacLISP-style catch/[`throw`] with its 70 µs protected-block cost;
+//! * [`spin::SpinLock`]s whose failed attempts steal memory cycles from the
+//!   lock's home node;
+//! * serialized **process templates**, the §4.1 Amdahl bottleneck that
+//!   Crowd Control (crate `bfly-crowd`) runs into.
+//!
+//! Everything the Rochester packages (Uniform System, SMP, Lynx, Ant Farm)
+//! need bottoms out here, exactly as it did at Rochester.
+
+pub mod costs;
+pub mod event;
+pub mod objects;
+pub mod os;
+pub mod partition;
+pub mod process;
+pub mod psyche;
+pub mod spin;
+pub mod throw;
+
+pub use costs::OsCosts;
+pub use event::{DualQueue, Event};
+pub use objects::{ObjId, ObjKind, Owner};
+pub use os::{std_size, MemObj, Os, STD_SIZES};
+pub use partition::Partition;
+pub use process::{Proc, VAddr};
+pub use spin::SpinLock;
+pub use throw::{KResult, Throw};

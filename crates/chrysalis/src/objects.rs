@@ -1,0 +1,211 @@
+//! The Chrysalis object model (§2.2): processes, memory objects, events and
+//! dual queues are all objects in a single ownership hierarchy with
+//! reference counts, so the OS can reclaim subsidiary objects when a parent
+//! is deleted. A facility for transferring ownership to "the system" makes
+//! it easy to produce objects that are never reclaimed — "Chrysalis tends to
+//! leak storage." We track exactly that with a leak census.
+
+use std::collections::HashMap;
+
+use bfly_machine::{GAddr, NodeId};
+
+/// Object identifier. Object names on the real machine were "easy to
+/// guess"; ours are sequential integers, reproducing the protection
+/// loophole (§2.2) that any process can map any object it can name.
+pub type ObjId = u64;
+
+/// What an object is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjKind {
+    /// A heavyweight process.
+    Process,
+    /// A memory object (segment backing store).
+    MemObj,
+    /// An event (binary semaphore with 32-bit datum).
+    Event,
+    /// A dual queue.
+    DualQueue,
+}
+
+/// Who owns an object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Owner {
+    /// Another object (usually a process).
+    Obj(ObjId),
+    /// "The system": never reclaimed — the leak hazard of §2.2.
+    System,
+}
+
+/// Object table entry.
+#[derive(Debug, Clone)]
+pub struct ObjEntry {
+    /// Kind of object.
+    pub kind: ObjKind,
+    /// Current owner.
+    pub owner: Owner,
+    /// Node the object lives on.
+    pub node: NodeId,
+    /// Backing memory, for memory objects.
+    pub backing: Option<(GAddr, u32)>,
+    /// Objects owned by this one.
+    pub children: Vec<ObjId>,
+}
+
+/// The system-wide object table.
+#[derive(Default)]
+pub struct ObjectTable {
+    entries: HashMap<ObjId, ObjEntry>,
+    next: ObjId,
+    /// Objects created over all time (leak accounting).
+    pub created: u64,
+    /// Objects explicitly or recursively deleted.
+    pub deleted: u64,
+}
+
+impl ObjectTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a new object, linking it under its owner.
+    pub fn insert(
+        &mut self,
+        kind: ObjKind,
+        owner: Owner,
+        node: NodeId,
+        backing: Option<(GAddr, u32)>,
+    ) -> ObjId {
+        let id = self.next;
+        self.next += 1;
+        self.created += 1;
+        if let Owner::Obj(parent) = owner {
+            if let Some(p) = self.entries.get_mut(&parent) {
+                p.children.push(id);
+            }
+        }
+        self.entries.insert(
+            id,
+            ObjEntry {
+                kind,
+                owner,
+                node,
+                backing,
+                children: Vec::new(),
+            },
+        );
+        id
+    }
+
+    /// Look up an object.
+    pub fn get(&self, id: ObjId) -> Option<&ObjEntry> {
+        self.entries.get(&id)
+    }
+
+    /// Transfer ownership to the system ("never reclaimed").
+    pub fn give_to_system(&mut self, id: ObjId) {
+        // Detach from the previous owner's child list first.
+        if let Some(Owner::Obj(parent)) = self.entries.get(&id).map(|e| e.owner) {
+            if let Some(p) = self.entries.get_mut(&parent) {
+                p.children.retain(|&c| c != id);
+            }
+        }
+        if let Some(e) = self.entries.get_mut(&id) {
+            e.owner = Owner::System;
+        }
+    }
+
+    /// Delete an object and, recursively, everything it owns. Returns the
+    /// backing regions to free (the OS hands them back to node allocators).
+    pub fn delete_recursive(&mut self, id: ObjId) -> Vec<(GAddr, u32)> {
+        let mut to_free = Vec::new();
+        let mut stack = vec![id];
+        while let Some(cur) = stack.pop() {
+            if let Some(e) = self.entries.remove(&cur) {
+                self.deleted += 1;
+                if let Some(b) = e.backing {
+                    to_free.push(b);
+                }
+                stack.extend(e.children);
+            }
+        }
+        // Detach from parent if it still exists.
+        for e in self.entries.values_mut() {
+            e.children.retain(|&c| c != id);
+        }
+        to_free
+    }
+
+    /// Objects currently live.
+    pub fn live(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The leak census: live objects owned by the system (nothing will ever
+    /// reclaim them).
+    pub fn leaked(&self) -> Vec<ObjId> {
+        let mut v: Vec<ObjId> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.owner == Owner::System)
+            .map(|(&id, _)| id)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn memobj(t: &mut ObjectTable, owner: Owner) -> ObjId {
+        t.insert(ObjKind::MemObj, owner, 0, Some((GAddr::new(0, 0), 64)))
+    }
+
+    #[test]
+    fn delete_reclaims_children() {
+        let mut t = ObjectTable::new();
+        let proc_ = t.insert(ObjKind::Process, Owner::System, 0, None);
+        let a = memobj(&mut t, Owner::Obj(proc_));
+        let _b = memobj(&mut t, Owner::Obj(proc_));
+        let grand = t.insert(ObjKind::Event, Owner::Obj(a), 0, None);
+        assert_eq!(t.live(), 4);
+        let freed = t.delete_recursive(proc_);
+        assert_eq!(t.live(), 0);
+        assert_eq!(freed.len(), 2, "two memory objects freed");
+        assert!(t.get(grand).is_none(), "grandchildren reclaimed too");
+    }
+
+    #[test]
+    fn give_to_system_survives_parent_deletion() {
+        let mut t = ObjectTable::new();
+        let proc_ = t.insert(ObjKind::Process, Owner::System, 0, None);
+        let kept = memobj(&mut t, Owner::Obj(proc_));
+        t.give_to_system(kept);
+        t.delete_recursive(proc_);
+        assert_eq!(t.live(), 1, "system-owned object must survive (leak)");
+        assert_eq!(t.leaked(), vec![kept]);
+    }
+
+    #[test]
+    fn leak_census_reports_system_objects() {
+        let mut t = ObjectTable::new();
+        let p = t.insert(ObjKind::Process, Owner::System, 0, None);
+        let x = memobj(&mut t, Owner::Obj(p));
+        assert_eq!(t.leaked(), vec![p]);
+        t.give_to_system(x);
+        assert_eq!(t.leaked(), vec![p, x]);
+    }
+
+    #[test]
+    fn ids_are_guessable() {
+        // Reproducing the §2.2 protection loophole: object names are
+        // sequential and any holder of an id can look the object up.
+        let mut t = ObjectTable::new();
+        let a = t.insert(ObjKind::Event, Owner::System, 0, None);
+        let b = t.insert(ObjKind::Event, Owner::System, 0, None);
+        assert_eq!(b, a + 1);
+        assert!(t.get(a + 1).is_some());
+    }
+}

@@ -1,0 +1,192 @@
+//! The `Os` handle: object table, memory objects, process creation.
+
+use std::cell::{Cell, RefCell};
+use std::future::Future;
+use std::rc::Rc;
+
+use bfly_machine::{GAddr, Machine, NodeId, SarFile};
+use bfly_sim::{JoinHandle, Resource, Sim};
+
+use crate::costs::OsCosts;
+use crate::objects::{ObjEntry, ObjId, ObjKind, ObjectTable, Owner};
+use crate::process::Proc;
+use crate::throw::{KResult, Throw};
+
+/// Chrysalis's 16 standard memory-object sizes (§2.2 footnote 3): odd-sized
+/// objects round up to the next standard size, leaving an inaccessible
+/// fragment at the end.
+pub const STD_SIZES: [u32; 16] = [
+    256,
+    512,
+    1 << 10,
+    2 << 10,
+    4 << 10,
+    6 << 10,
+    8 << 10,
+    12 << 10,
+    16 << 10,
+    24 << 10,
+    32 << 10,
+    40 << 10,
+    48 << 10,
+    56 << 10,
+    60 << 10,
+    64 << 10,
+];
+
+/// Round a requested size up to a standard memory-object size.
+/// Returns `None` for requests beyond 64 KB (one segment's maximum).
+pub fn std_size(req: u32) -> Option<u32> {
+    STD_SIZES.iter().copied().find(|&s| s >= req)
+}
+
+/// A handle to a memory object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemObj {
+    /// Object id (the guessable "name").
+    pub id: ObjId,
+    /// Physical backing.
+    pub addr: GAddr,
+    /// Rounded (standard) size.
+    pub size: u32,
+}
+
+/// The Chrysalis operating system on one machine.
+pub struct Os {
+    /// Underlying hardware.
+    pub machine: Rc<Machine>,
+    /// OS operation costs.
+    pub costs: OsCosts,
+    pub(crate) objects: RefCell<ObjectTable>,
+    /// The serialized process template (§4.1's Amdahl lesson).
+    pub(crate) template: Resource,
+    pub(crate) sar_files: Vec<RefCell<SarFile>>,
+    pub(crate) procs_created: Cell<u64>,
+}
+
+impl Os {
+    /// Boot Chrysalis on a machine.
+    pub fn boot(machine: &Rc<Machine>) -> Rc<Os> {
+        Self::boot_with_costs(machine, OsCosts::chrysalis())
+    }
+
+    /// Boot with custom OS costs (for ablations).
+    pub fn boot_with_costs(machine: &Rc<Machine>, costs: OsCosts) -> Rc<Os> {
+        let sar_files = (0..machine.nodes())
+            .map(|_| RefCell::new(SarFile::new()))
+            .collect();
+        Rc::new(Os {
+            machine: machine.clone(),
+            costs,
+            objects: RefCell::new(ObjectTable::new()),
+            template: Resource::new(&machine.sim, "proc-template", 1),
+            sar_files,
+            procs_created: Cell::new(0),
+        })
+    }
+
+    /// The driving simulation.
+    pub fn sim(&self) -> &Sim {
+        &self.machine.sim
+    }
+
+    /// Create a memory object of (at least) `req` bytes on `node`, owned by
+    /// `owner`. Bookkeeping only — callers inside the simulation charge
+    /// [`OsCosts::make_obj`] via [`Proc::make_obj`].
+    pub fn make_obj_raw(&self, node: NodeId, req: u32, owner: Owner) -> KResult<MemObj> {
+        let size = std_size(req).ok_or_else(|| Throw::new(Throw::E_TOO_BIG))?;
+        let addr = self
+            .machine
+            .node(node)
+            .alloc(size)
+            .ok_or_else(|| Throw::new(Throw::E_NO_MEM))?;
+        let id =
+            self.objects
+                .borrow_mut()
+                .insert(ObjKind::MemObj, owner, node, Some((addr, size)));
+        Ok(MemObj { id, addr, size })
+    }
+
+    /// Look up a memory object by its (guessable) id — the §2.2 protection
+    /// loophole: *any* process can map *any* object it can name.
+    pub fn lookup_obj(&self, id: ObjId) -> Option<MemObj> {
+        let objects = self.objects.borrow();
+        let e: &ObjEntry = objects.get(id)?;
+        if e.kind != ObjKind::MemObj {
+            return None;
+        }
+        let (addr, size) = e.backing?;
+        Some(MemObj { id, addr, size })
+    }
+
+    /// Delete an object and everything it owns, returning backing storage to
+    /// the node allocators.
+    pub fn delete_obj(&self, id: ObjId) {
+        let freed = self.objects.borrow_mut().delete_recursive(id);
+        for (addr, size) in freed {
+            self.machine.node(addr.node).free(addr, size);
+        }
+    }
+
+    /// Transfer an object to "the system" — it will never be reclaimed.
+    pub fn give_to_system(&self, id: ObjId) {
+        self.objects.borrow_mut().give_to_system(id);
+    }
+
+    /// Leak census: live system-owned objects.
+    pub fn leak_report(&self) -> Vec<ObjId> {
+        self.objects.borrow().leaked()
+    }
+
+    /// Count of live objects.
+    pub fn live_objects(&self) -> usize {
+        self.objects.borrow().live()
+    }
+
+    /// Total processes ever created.
+    pub fn procs_created(&self) -> u64 {
+        self.procs_created.get()
+    }
+
+    /// Register a process object without starting a task for it. Intended
+    /// for runtime libraries (e.g. Ant Farm) that multiplex many lightweight
+    /// threads over one heavyweight host process per node.
+    pub fn make_proc(self: &Rc<Self>, node: NodeId, name: &str) -> Rc<Proc> {
+        Proc::register(self, node, name)
+    }
+
+    /// Spawn an initial process on `node` *from the host* (machine boot —
+    /// no simulated creation cost; processes created from inside the
+    /// simulation use [`Proc::create_process`] and pay full price).
+    pub fn boot_process<T, F, Fut>(
+        self: &Rc<Self>,
+        node: NodeId,
+        name: &str,
+        body: F,
+    ) -> JoinHandle<T>
+    where
+        T: 'static,
+        F: FnOnce(Rc<Proc>) -> Fut + 'static,
+        Fut: Future<Output = T> + 'static,
+    {
+        let proc_ = Proc::register(self, node, name);
+        self.sim().spawn_named(name, body(proc_))
+    }
+
+    /// Convenience: boot one process per node `0..n`, run `body` on each,
+    /// and return the join handles.
+    pub fn boot_on_each<T, F, Fut>(self: &Rc<Self>, n: u16, body: F) -> Vec<JoinHandle<T>>
+    where
+        T: 'static,
+        F: Fn(Rc<Proc>) -> Fut + 'static,
+        Fut: Future<Output = T> + 'static,
+    {
+        let body = Rc::new(body);
+        (0..n)
+            .map(|node| {
+                let b = body.clone();
+                self.boot_process(node, &format!("p{node}"), move |p| b(p))
+            })
+            .collect()
+    }
+}

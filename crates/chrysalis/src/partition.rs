@@ -1,0 +1,166 @@
+//! Machine partitioning (§2.2): "Users can partition the machine into
+//! multiple virtual machines, but there is no support for multiple users
+//! within a partition. Moreover, protection loopholes in both the hardware
+//! and in Chrysalis allow processes (with a little effort) to inflict
+//! almost unlimited damage on each other."
+//!
+//! A [`Partition`] is a named contiguous range of nodes; partition-aware
+//! creation APIs place processes and memory only inside it. Faithfully to
+//! the paper, partitioning is a *scheduling* convention, not a protection
+//! boundary: nothing stops a process from addressing memory in another
+//! partition (see the `trespass_demo` test in this module).
+
+use std::future::Future;
+use std::ops::Range;
+use std::rc::Rc;
+
+use bfly_machine::{GAddr, NodeId};
+use bfly_sim::JoinHandle;
+
+use crate::os::Os;
+use crate::process::Proc;
+use crate::throw::{KResult, Throw};
+
+/// A virtual machine: a slice of the real one.
+#[derive(Clone)]
+pub struct Partition {
+    /// Diagnostic name ("vision", "os-class", ...).
+    pub name: String,
+    /// The nodes this partition owns.
+    pub nodes: Range<NodeId>,
+    os: Rc<Os>,
+}
+
+impl std::fmt::Debug for Partition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Partition")
+            .field("name", &self.name)
+            .field("nodes", &self.nodes)
+            .finish()
+    }
+}
+
+impl Partition {
+    /// Carve a partition out of the machine. Ranges may not be empty or
+    /// exceed the machine; *overlap with other partitions is not checked*
+    /// — the real software partitioning relied on operator discipline.
+    pub fn new(os: &Rc<Os>, name: &str, nodes: Range<NodeId>) -> KResult<Partition> {
+        if nodes.is_empty() || nodes.end > os.machine.nodes() {
+            return Err(Throw::new(Throw::E_BAD_SEG));
+        }
+        Ok(Partition {
+            name: name.to_string(),
+            nodes,
+            os: os.clone(),
+        })
+    }
+
+    /// Number of nodes in the partition.
+    pub fn len(&self) -> u16 {
+        self.nodes.end - self.nodes.start
+    }
+
+    /// True when the partition holds no nodes (unreachable via `new`).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Translate a partition-relative node index to a machine node.
+    pub fn node(&self, idx: u16) -> NodeId {
+        assert!(idx < self.len(), "node {idx} outside partition {}", self.name);
+        self.nodes.start + idx
+    }
+
+    /// Does this partition own `node`?
+    pub fn owns(&self, node: NodeId) -> bool {
+        self.nodes.contains(&node)
+    }
+
+    /// Boot a process on a partition-relative node.
+    pub fn boot_process<T, F, Fut>(&self, idx: u16, name: &str, body: F) -> JoinHandle<T>
+    where
+        T: 'static,
+        F: FnOnce(Rc<Proc>) -> Fut + 'static,
+        Fut: Future<Output = T> + 'static,
+    {
+        self.os
+            .boot_process(self.node(idx), &format!("{}:{name}", self.name), body)
+    }
+
+    /// Allocate memory on a partition-relative node.
+    pub fn alloc(&self, idx: u16, bytes: u32) -> Option<GAddr> {
+        self.os.machine.node(self.node(idx)).alloc(bytes)
+    }
+
+    /// All machine nodes of this partition (for Us::init_custom etc.).
+    pub fn node_list(&self) -> Vec<NodeId> {
+        self.nodes.clone().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfly_machine::{Machine, MachineConfig};
+    use bfly_sim::Sim;
+
+    fn boot(n: u16) -> (Sim, Rc<Os>) {
+        let sim = Sim::new();
+        let m = Machine::new(&sim, MachineConfig::small(n));
+        (sim.clone(), Os::boot(&m))
+    }
+
+    #[test]
+    fn partitions_place_processes_inside() {
+        let (sim, os) = boot(16);
+        let a = Partition::new(&os, "alpha", 0..8).unwrap();
+        let b = Partition::new(&os, "beta", 8..16).unwrap();
+        let mut ha = a.boot_process(3, "p", |p| async move { p.node });
+        let mut hb = b.boot_process(3, "p", |p| async move { p.node });
+        sim.run();
+        assert_eq!(ha.try_take().unwrap(), 3);
+        assert_eq!(hb.try_take().unwrap(), 11);
+        assert!(a.owns(3) && !a.owns(11));
+        assert_eq!(b.node_list(), (8..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bad_ranges_throw() {
+        let (_sim, os) = boot(8);
+        assert_eq!(
+            Partition::new(&os, "x", 4..4).unwrap_err().code,
+            Throw::E_BAD_SEG
+        );
+        assert_eq!(
+            Partition::new(&os, "x", 0..9).unwrap_err().code,
+            Throw::E_BAD_SEG
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside partition")]
+    fn relative_index_is_bounds_checked() {
+        let (_sim, os) = boot(8);
+        let p = Partition::new(&os, "small", 0..2).unwrap();
+        p.node(2);
+    }
+
+    /// The §2.2 caveat, demonstrated: partitioning does not protect.
+    /// A process in partition A can read and clobber partition B's memory.
+    #[test]
+    fn trespass_demo_partitions_do_not_protect() {
+        let (sim, os) = boot(16);
+        let a = Partition::new(&os, "alpha", 0..8).unwrap();
+        let b = Partition::new(&os, "beta", 8..16).unwrap();
+        let secret = b.alloc(0, 64).unwrap();
+        os.machine.poke_u32(secret, 0x5EC2E7);
+        let mut stolen = a.boot_process(0, "intruder", move |p| async move {
+            let v = p.read_u32(secret).await; // cross-partition read: allowed
+            p.write_u32(secret, 0).await; // ... and clobbered
+            v
+        });
+        sim.run();
+        assert_eq!(stolen.try_take().unwrap(), 0x5EC2E7);
+        assert_eq!(os.machine.peek_u32(secret), 0);
+    }
+}

@@ -1,0 +1,228 @@
+//! A working prototype of the Psyche ideas (§3.4) — included as the paper's
+//! "in progress" future work.
+//!
+//! Psyche's user interface is based on *realms*: passive data abstractions
+//! in a uniform virtual address space. Protection uses keys and access
+//! lists, with **lazy evaluation of privileges**: "users pay for protection
+//! only when necessary". In the absence of protection boundaries, access to
+//! a shared realm is as efficient as a pointer dereference; with protection
+//! on, the first access by a process validates its key through the kernel
+//! (expensive) and caches the privilege, so steady-state cost approaches the
+//! unprotected case.
+
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+use bfly_machine::GAddr;
+use bfly_sim::time::US;
+
+use crate::objects::ObjId;
+use crate::process::Proc;
+use crate::throw::{KResult, Throw};
+
+/// A capability key held by a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Key(pub u64);
+
+/// Rights a key may confer on a realm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rights {
+    /// Read-only access.
+    Read,
+    /// Read and write access.
+    Write,
+}
+
+/// How strongly a realm enforces its access protocol — the explicit
+/// protection/performance tradeoff of §3.4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protection {
+    /// No enforcement: access is a pointer dereference.
+    Open,
+    /// Keys checked (lazily, with caching).
+    Protected,
+}
+
+/// Simulated cost of a full (uncached) privilege validation.
+pub const VALIDATE_COST: u64 = 250 * US;
+
+/// A Psyche realm: a shared passive data abstraction.
+pub struct Realm {
+    /// Backing region in the uniform address space.
+    pub region: GAddr,
+    /// Region size in bytes.
+    pub size: u32,
+    protection: Cell<Protection>,
+    access: RefCell<HashMap<Key, Rights>>,
+    /// Lazily validated (process, rights) pairs.
+    validated: RefCell<HashSet<(ObjId, Rights)>>,
+    /// Count of full (slow) validations performed.
+    pub validations: Cell<u64>,
+}
+
+impl Realm {
+    /// Create a realm over a region, with an initial access list.
+    pub fn new(region: GAddr, size: u32, protection: Protection) -> Rc<Realm> {
+        Rc::new(Realm {
+            region,
+            size,
+            protection: Cell::new(protection),
+            access: RefCell::new(HashMap::new()),
+            validated: RefCell::new(HashSet::new()),
+            validations: Cell::new(0),
+        })
+    }
+
+    /// Grant `rights` to holders of `key`.
+    pub fn grant(&self, key: Key, rights: Rights) {
+        self.access.borrow_mut().insert(key, rights);
+    }
+
+    /// Revoke a key (already-validated processes keep cached privileges —
+    /// lazy evaluation trades revocation latency for speed, which Psyche
+    /// accepted by design).
+    pub fn revoke(&self, key: Key) {
+        self.access.borrow_mut().remove(&key);
+    }
+
+    /// Flip the protection/performance tradeoff at runtime.
+    pub fn set_protection(&self, p: Protection) {
+        self.protection.set(p);
+        if p == Protection::Protected {
+            self.validated.borrow_mut().clear();
+        }
+    }
+
+    async fn check(&self, p: &Proc, key: Key, need: Rights) -> KResult<()> {
+        if self.protection.get() == Protection::Open {
+            return Ok(());
+        }
+        let cached = self.validated.borrow().contains(&(p.id, need));
+        if cached {
+            return Ok(());
+        }
+        // Lazy full validation: kernel-mediated, expensive, once per
+        // (process, rights).
+        p.compute(VALIDATE_COST).await;
+        self.validations.set(self.validations.get() + 1);
+        let rights = self.access.borrow().get(&key).copied();
+        let ok = matches!(
+            (rights, need),
+            (Some(Rights::Write), _) | (Some(Rights::Read), Rights::Read)
+        );
+        if ok {
+            self.validated.borrow_mut().insert((p.id, need));
+            Ok(())
+        } else {
+            Err(Throw::new(Throw::E_NOT_OWNER))
+        }
+    }
+
+    /// Read a word from the realm.
+    pub async fn read(&self, p: &Proc, key: Key, off: u32) -> KResult<u32> {
+        if off + 4 > self.size {
+            return Err(Throw::new(Throw::E_BAD_SEG));
+        }
+        self.check(p, key, Rights::Read).await?;
+        Ok(p.read_u32(self.region.add(off)).await)
+    }
+
+    /// Write a word into the realm.
+    pub async fn write(&self, p: &Proc, key: Key, off: u32, v: u32) -> KResult<()> {
+        if off + 4 > self.size {
+            return Err(Throw::new(Throw::E_BAD_SEG));
+        }
+        self.check(p, key, Rights::Write).await?;
+        p.write_u32(self.region.add(off), v).await;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::os::Os;
+    use bfly_machine::{Machine, MachineConfig};
+    use bfly_sim::Sim;
+
+    fn boot() -> (Sim, Rc<Os>, Rc<Machine>) {
+        let sim = Sim::new();
+        let m = Machine::new(&sim, MachineConfig::small(8));
+        (sim.clone(), Os::boot(&m), m)
+    }
+
+    #[test]
+    fn open_realm_costs_one_reference() {
+        let (sim, os, m) = boot();
+        let region = m.node(1).alloc(64).unwrap();
+        let realm = Realm::new(region, 64, Protection::Open);
+        let r = realm.clone();
+        os.boot_process(0, "t", move |p| async move {
+            let t0 = p.os.sim().now();
+            r.write(&p, Key(0), 0, 5).await.unwrap();
+            let cost = p.os.sim().now() - t0;
+            // Just a remote reference: no protection overhead at all.
+            assert!(cost < 10_000, "open access must be cheap, got {cost}");
+        });
+        sim.run();
+        assert_eq!(realm.validations.get(), 0);
+    }
+
+    #[test]
+    fn protected_realm_validates_lazily_once() {
+        let (sim, os, m) = boot();
+        let region = m.node(1).alloc(64).unwrap();
+        let realm = Realm::new(region, 64, Protection::Protected);
+        realm.grant(Key(42), Rights::Write);
+        let r = realm.clone();
+        os.boot_process(0, "t", move |p| async move {
+            let t0 = p.os.sim().now();
+            r.write(&p, Key(42), 0, 1).await.unwrap();
+            let first = p.os.sim().now() - t0;
+            let t1 = p.os.sim().now();
+            for i in 1..10 {
+                r.write(&p, Key(42), i * 4, i).await.unwrap();
+            }
+            let rest_each = (p.os.sim().now() - t1) / 9;
+            assert!(first > VALIDATE_COST, "first access pays validation");
+            assert!(
+                rest_each < first / 10,
+                "cached accesses must approach open cost (first={first}, rest={rest_each})"
+            );
+        });
+        sim.run();
+        assert_eq!(realm.validations.get(), 1, "exactly one lazy validation");
+    }
+
+    #[test]
+    fn wrong_key_is_rejected() {
+        let (sim, os, m) = boot();
+        let region = m.node(1).alloc(64).unwrap();
+        let realm = Realm::new(region, 64, Protection::Protected);
+        realm.grant(Key(1), Rights::Read);
+        let r = realm.clone();
+        let mut h = os.boot_process(0, "t", move |p| async move {
+            let deny = r.write(&p, Key(1), 0, 9).await.unwrap_err().code;
+            let missing = r.read(&p, Key(99), 0).await.unwrap_err().code;
+            (deny, missing)
+        });
+        sim.run();
+        let (deny, missing) = h.try_take().unwrap();
+        assert_eq!(deny, Throw::E_NOT_OWNER, "read key cannot write");
+        assert_eq!(missing, Throw::E_NOT_OWNER, "unknown key rejected");
+    }
+
+    #[test]
+    fn bounds_are_enforced_regardless_of_protection() {
+        let (sim, os, m) = boot();
+        let region = m.node(1).alloc(64).unwrap();
+        let realm = Realm::new(region, 64, Protection::Open);
+        let r = realm.clone();
+        let mut h = os.boot_process(0, "t", move |p| async move {
+            r.read(&p, Key(0), 61).await.unwrap_err().code
+        });
+        sim.run();
+        assert_eq!(h.try_take().unwrap(), Throw::E_BAD_SEG);
+    }
+}

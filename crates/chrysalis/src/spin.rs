@@ -1,0 +1,175 @@
+//! Spin locks built on the PNC's atomic test-and-set.
+//!
+//! Spin locks are the only synchronization available to Uniform System tasks
+//! (§2.3). Every failed attempt is a *remote atomic reference* that occupies
+//! the lock-holder node's memory unit — this is the §2.1/§4.1 cycle-stealing
+//! hazard, and the reason "programs can be highly sensitive to the amount of
+//! time spent between attempts to set a lock" (Thomas \[55\]). The backoff
+//! parameter is exposed so experiment T3 can sweep it.
+
+use bfly_machine::GAddr;
+use bfly_sim::time::SimTime;
+
+use crate::process::Proc;
+
+/// A test-and-set spin lock at a fixed global address.
+#[derive(Debug, Clone, Copy)]
+pub struct SpinLock {
+    /// The lock word (0 = free, 1 = held).
+    pub addr: GAddr,
+    /// Delay between failed attempts, ns (0 = hammer continuously).
+    pub backoff: SimTime,
+}
+
+impl SpinLock {
+    /// Wrap a lock word (caller must have zero-initialized it).
+    pub fn new(addr: GAddr) -> SpinLock {
+        SpinLock {
+            addr,
+            backoff: 0,
+        }
+    }
+
+    /// Set the inter-attempt backoff.
+    pub fn with_backoff(mut self, backoff: SimTime) -> SpinLock {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Acquire the lock, spinning until free. Returns the number of failed
+    /// attempts (each of which stole cycles from the lock's home node).
+    pub async fn acquire(&self, p: &Proc) -> u64 {
+        let mut failures = 0;
+        while p.test_and_set(self.addr).await != 0 {
+            failures += 1;
+            if self.backoff > 0 {
+                p.compute(self.backoff).await;
+            }
+        }
+        failures
+    }
+
+    /// Release the lock.
+    pub async fn release(&self, p: &Proc) {
+        p.atomic_store(self.addr, 0).await;
+    }
+
+    /// Run `critical` while holding the lock.
+    pub async fn with<T, Fut>(&self, p: &Proc, critical: Fut) -> T
+    where
+        Fut: std::future::Future<Output = T>,
+    {
+        self.acquire(p).await;
+        let out = critical.await;
+        self.release(p).await;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::os::Os;
+    use bfly_machine::{Machine, MachineConfig};
+    use bfly_sim::Sim;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn lock_provides_mutual_exclusion() {
+        let sim = Sim::new();
+        let m = Machine::new(&sim, MachineConfig::small(16));
+        let os = Os::boot(&m);
+        let lock_word = m.node(0).alloc(4).unwrap();
+        let counter = m.node(0).alloc(4).unwrap();
+        let lock = SpinLock::new(lock_word);
+        let in_cs: Rc<RefCell<u32>> = Rc::new(RefCell::new(0));
+        for i in 0..8u16 {
+            let in_cs = in_cs.clone();
+            os.boot_process(i, &format!("p{i}"), move |p| async move {
+                for _ in 0..5 {
+                    lock.acquire(&p).await;
+                    {
+                        let mut g = in_cs.borrow_mut();
+                        assert_eq!(*g, 0, "two processes in the critical section");
+                        *g += 1;
+                    }
+                    // Unlocked read-modify-write of the shared counter is
+                    // safe *only* because we hold the lock.
+                    let v = p.read_u32(counter).await;
+                    p.write_u32(counter, v + 1).await;
+                    *in_cs.borrow_mut() -= 1;
+                    lock.release(&p).await;
+                }
+            });
+        }
+        sim.run();
+        assert_eq!(m.peek_u32(counter), 40);
+    }
+
+    #[test]
+    fn spinning_steals_cycles_from_home_node() {
+        // Holder on node 0 keeps the lock for a while; remote spinners with
+        // zero backoff hammer node 0's memory. Node 0's memory-unit wait
+        // time must rise sharply versus the no-spinner case.
+        fn home_mem_wait(spinners: u16) -> u64 {
+            let sim = Sim::new();
+            let m = Machine::new(&sim, MachineConfig::small(64));
+            let os = Os::boot(&m);
+            let lock_word = m.node(0).alloc(4).unwrap();
+            let lock = SpinLock::new(lock_word);
+            // Holder grabs the lock, does local work, releases.
+            os.boot_process(0, "holder", move |p| async move {
+                lock.acquire(&p).await;
+                for _ in 0..200 {
+                    p.read_u32(lock_word.add(0)).await; // local refs
+                }
+                lock.release(&p).await;
+            });
+            for i in 1..=spinners {
+                os.boot_process(i, &format!("s{i}"), move |p| async move {
+                    lock.acquire(&p).await;
+                    lock.release(&p).await;
+                });
+            }
+            sim.run();
+            m.mem_resource(0).stats().total_wait_ns
+        }
+        let quiet = home_mem_wait(0);
+        let noisy = home_mem_wait(24);
+        assert!(
+            noisy > quiet * 10 + 1000,
+            "spinners must congest the home memory (quiet={quiet}, noisy={noisy})"
+        );
+    }
+
+    #[test]
+    fn backoff_reduces_contention() {
+        fn total_failures(backoff: u64) -> u64 {
+            let sim = Sim::new();
+            let m = Machine::new(&sim, MachineConfig::small(16));
+            let os = Os::boot(&m);
+            let lock_word = m.node(0).alloc(4).unwrap();
+            let lock = SpinLock::new(lock_word).with_backoff(backoff);
+            let fails = Rc::new(RefCell::new(0u64));
+            for i in 0..8u16 {
+                let fails = fails.clone();
+                os.boot_process(i, &format!("p{i}"), move |p| async move {
+                    let f = lock.acquire(&p).await;
+                    p.compute(50_000).await; // hold 50us
+                    lock.release(&p).await;
+                    *fails.borrow_mut() += f;
+                });
+            }
+            sim.run();
+            let f = *fails.borrow();
+            f
+        }
+        let hammer = total_failures(0);
+        let polite = total_failures(100_000);
+        assert!(
+            polite * 3 < hammer,
+            "backoff must cut failed attempts (hammer={hammer}, polite={polite})"
+        );
+    }
+}

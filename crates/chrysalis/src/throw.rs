@@ -1,0 +1,95 @@
+//! The Chrysalis catch/throw exception model (§2.2), patterned after MacLISP
+//! catch and throw.
+//!
+//! On the real machine these were C macros doing non-local gotos, with all
+//! the hazards the paper lists (register variables, gotos out of catch
+//! blocks, 70 µs of protected-block overhead). In Rust the natural encoding
+//! is a typed error propagated with `?`; what we preserve from the paper is
+//! the *cost model*: entering+leaving a protected block costs
+//! [`crate::costs::OsCosts::catch_block`] (≈70 µs), which is why
+//! "a highly-tuned program must have every possible catch block removed
+//! from its critical path of execution".
+
+use bfly_sim::time::SimTime;
+
+/// A thrown exception.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Throw {
+    /// Throw code (kernel errors use the `E_*` constants).
+    pub code: i32,
+}
+
+impl Throw {
+    /// Out of memory on the target node.
+    pub const E_NO_MEM: i32 = 1;
+    /// Request exceeds one segment (64 KB).
+    pub const E_TOO_BIG: i32 = 2;
+    /// No SARs / segment slots available.
+    pub const E_NO_SAR: i32 = 3;
+    /// Operation on an object by a non-owner where ownership is required.
+    pub const E_NOT_OWNER: i32 = 4;
+    /// Named object does not exist.
+    pub const E_NO_OBJ: i32 = 5;
+    /// Segment number invalid or not mapped.
+    pub const E_BAD_SEG: i32 = 6;
+
+    /// Construct a throw with a code.
+    pub fn new(code: i32) -> Self {
+        Throw { code }
+    }
+}
+
+impl std::fmt::Display for Throw {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self.code {
+            Self::E_NO_MEM => "E_NO_MEM",
+            Self::E_TOO_BIG => "E_TOO_BIG",
+            Self::E_NO_SAR => "E_NO_SAR",
+            Self::E_NOT_OWNER => "E_NOT_OWNER",
+            Self::E_NO_OBJ => "E_NO_OBJ",
+            Self::E_BAD_SEG => "E_BAD_SEG",
+            _ => "user throw",
+        };
+        write!(f, "throw({}, {})", self.code, name)
+    }
+}
+
+impl std::error::Error for Throw {}
+
+/// Result of a kernel call or protected block.
+pub type KResult<T> = Result<T, Throw>;
+
+/// Bookkeeping for catch-block statistics (how much critical-path time a
+/// program spends entering/leaving protected blocks).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CatchStats {
+    /// Protected blocks entered.
+    pub blocks: u64,
+    /// Throws unwound.
+    pub throws: u64,
+    /// Total simulated time charged.
+    pub charged: SimTime,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_kernel_codes() {
+        assert_eq!(Throw::new(Throw::E_NO_MEM).to_string(), "throw(1, E_NO_MEM)");
+        assert_eq!(Throw::new(99).to_string(), "throw(99, user throw)");
+    }
+
+    #[test]
+    fn question_mark_propagates() {
+        fn inner() -> KResult<u32> {
+            Err(Throw::new(Throw::E_NO_SAR))
+        }
+        fn outer() -> KResult<u32> {
+            let v = inner()?;
+            Ok(v + 1)
+        }
+        assert_eq!(outer().unwrap_err().code, Throw::E_NO_SAR);
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests for Chrysalis: the object-ownership model, the
+//! standard-size table, spin-lock mutual exclusion under arbitrary
+//! workloads, and dual-queue conservation.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bfly_chrysalis::objects::{ObjKind, ObjectTable, Owner};
+use bfly_chrysalis::{std_size, DualQueue, Os, SpinLock, STD_SIZES};
+use bfly_machine::{Machine, MachineConfig};
+use bfly_sim::exec::RunOutcome;
+use bfly_sim::Sim;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `std_size` rounds up to the nearest legal size and never rounds
+    /// down; anything over 64 KB is rejected.
+    #[test]
+    fn std_size_rounds_up(req in 0u32..80_000) {
+        match std_size(req) {
+            Some(s) => {
+                prop_assert!(s >= req);
+                prop_assert!(STD_SIZES.contains(&s));
+                // Minimality: no smaller standard size fits.
+                for &cand in STD_SIZES.iter() {
+                    if cand >= req {
+                        prop_assert!(s <= cand);
+                    }
+                }
+            }
+            None => prop_assert!(req > 64 << 10),
+        }
+    }
+
+    /// Building an arbitrary ownership forest and deleting a root reclaims
+    /// exactly that root's descendants, never anything else.
+    #[test]
+    fn delete_reclaims_exactly_descendants(
+        parents in proptest::collection::vec(proptest::option::of(0usize..20), 1..40)
+    ) {
+        let mut t = ObjectTable::new();
+        let mut ids = Vec::new();
+        for (i, parent) in parents.iter().enumerate() {
+            let owner = match parent {
+                Some(p) if *p < i => Owner::Obj(ids[*p]),
+                _ => Owner::System,
+            };
+            ids.push(t.insert(ObjKind::MemObj, owner, 0, None));
+        }
+        // Compute expected descendants of object 0 host-side.
+        let mut expected = vec![false; ids.len()];
+        expected[0] = true;
+        loop {
+            let mut changed = false;
+            for (i, parent) in parents.iter().enumerate() {
+                if let Some(p) = parent {
+                    if *p < i && expected[*p] && !expected[i] {
+                        expected[i] = true;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let before = t.live();
+        t.delete_recursive(ids[0]);
+        let gone = expected.iter().filter(|&&e| e).count();
+        prop_assert_eq!(t.live(), before - gone);
+        for (i, id) in ids.iter().enumerate() {
+            prop_assert_eq!(t.get(*id).is_none(), expected[i], "object {}", i);
+        }
+    }
+
+    /// Spin-lock mutual exclusion holds for any worker/iteration mix, and
+    /// the protected counter ends exactly at the operation count.
+    #[test]
+    fn spinlock_excludes(workers in 1u16..10, iters in 1u32..6, backoff in 0u64..100_000) {
+        let sim = Sim::new();
+        let m = Machine::new(&sim, MachineConfig::small(16));
+        let os = Os::boot(&m);
+        let word = m.node(0).alloc(4).unwrap();
+        let counter = m.node(1).alloc(4).unwrap();
+        let lock = SpinLock::new(word).with_backoff(backoff);
+        let in_cs = Rc::new(RefCell::new(0u32));
+        for w in 0..workers {
+            let in_cs = in_cs.clone();
+            os.boot_process(w, &format!("w{w}"), move |p| async move {
+                for _ in 0..iters {
+                    lock.acquire(&p).await;
+                    {
+                        let mut g = in_cs.borrow_mut();
+                        assert_eq!(*g, 0);
+                        *g = 1;
+                    }
+                    let v = p.read_u32(counter).await;
+                    p.write_u32(counter, v + 1).await;
+                    *in_cs.borrow_mut() = 0;
+                    lock.release(&p).await;
+                }
+            });
+        }
+        let stats = sim.run();
+        prop_assert_eq!(stats.outcome, RunOutcome::Completed);
+        prop_assert_eq!(m.peek_u32(counter), workers as u32 * iters);
+    }
+
+    /// Dual queues conserve data: whatever a set of producers enqueue, the
+    /// consumers dequeue, exactly, for any split of work.
+    #[test]
+    fn dualq_conserves(producers in 1u16..5, per in 1u32..8) {
+        let sim = Sim::new();
+        let m = Machine::new(&sim, MachineConfig::small(16));
+        let os = Os::boot(&m);
+        let total = producers as u32 * per;
+        let got: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
+        let mut owner = os.boot_process(15, "creator", move |p| async move {
+            DualQueue::new(&p)
+        });
+        sim.run();
+        let dq = owner.try_take().unwrap();
+        for w in 0..producers {
+            let dq = dq.clone();
+            os.boot_process(w, &format!("prod{w}"), move |p| async move {
+                for i in 0..per {
+                    dq.enqueue(&p, w as u32 * 1000 + i).await;
+                }
+            });
+        }
+        let dq2 = dq.clone();
+        let got2 = got.clone();
+        os.boot_process(14, "cons", move |p| async move {
+            for _ in 0..total {
+                let v = dq2.dequeue(&p).await;
+                got2.borrow_mut().push(v);
+            }
+        });
+        let stats = sim.run();
+        prop_assert_eq!(stats.outcome, RunOutcome::Completed);
+        let mut g = got.borrow().clone();
+        g.sort_unstable();
+        let mut expect: Vec<u32> = (0..producers as u32)
+            .flat_map(|w| (0..per).map(move |i| w * 1000 + i))
+            .collect();
+        expect.sort_unstable();
+        prop_assert_eq!(g, expect);
+    }
+}

@@ -1,0 +1,24 @@
+//! # bfly-collections — the Rochester concurrent-data-structure packages
+//!
+//! §3.3 of the paper: "Other packages have been developed for
+//! highly-parallel concurrent data structures \[19, 35\] and memory
+//! allocation \[20\]" — Ellis's extendible hashing, Mellor-Crummey's
+//! "Concurrent Queues: Practical Fetch-and-Φ Algorithms", and Ellis &
+//! Olson's "Parallel First Fit Memory Allocation".
+//!
+//! Unlike the rest of the workspace, this crate uses **real OS threads and
+//! real atomics**: these packages' claims are about lock-level scalability,
+//! and Rust's `std::sync::atomic` (with the orderings discipline of *Rust
+//! Atomics and Locks*) is a direct analogue of the Butterfly's 16-bit
+//! atomic operations and the fetch-and-add the PNC microcode provided.
+//! Experiment T7's criterion benchmarks run these structures under thread
+//! contention; the simulator-side Amdahl experiment uses the
+//! `bfly-uniform` allocator model instead.
+
+pub mod exthash;
+pub mod firstfit;
+pub mod queues;
+
+pub use exthash::ExtendibleHash;
+pub use firstfit::{FirstFitSerial, ParallelFirstFit};
+pub use queues::{FetchPhiQueue, TwoLockQueue};

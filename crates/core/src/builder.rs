@@ -1,0 +1,63 @@
+//! One-call machine + OS bring-up.
+
+use std::rc::Rc;
+
+use bfly_chrysalis::Os;
+use bfly_machine::{Machine, MachineConfig};
+use bfly_sim::Sim;
+
+/// A booted Butterfly: simulation, hardware, and Chrysalis.
+pub struct Butterfly {
+    /// The discrete-event simulation driving everything.
+    pub sim: Sim,
+    /// The hardware.
+    pub machine: Rc<Machine>,
+    /// The operating system.
+    pub os: Rc<Os>,
+}
+
+impl Butterfly {
+    /// Boot an `n`-node machine with Butterfly-I costs and Chrysalis.
+    pub fn boot(nodes: u16) -> Butterfly {
+        Self::boot_config(MachineConfig::small(nodes), 0)
+    }
+
+    /// Boot Rochester's 128-node configuration.
+    pub fn rochester() -> Butterfly {
+        Self::boot_config(MachineConfig::rochester(), 0)
+    }
+
+    /// Boot with full configuration control and a simulation seed.
+    pub fn boot_config(cfg: MachineConfig, seed: u64) -> Butterfly {
+        let sim = Sim::with_seed(seed);
+        let machine = Machine::new(&sim, cfg);
+        let os = Os::boot(&machine);
+        Butterfly { sim, machine, os }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> u16 {
+        self.machine.nodes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boot_and_run_trivial_program() {
+        let bf = Butterfly::boot(4);
+        let os = bf.os.clone();
+        let mut h = os.boot_process(2, "t", |p| async move { p.node });
+        bf.sim.run();
+        assert_eq!(h.try_take(), Some(2));
+        assert_eq!(bf.nodes(), 4);
+    }
+
+    #[test]
+    fn rochester_has_128_nodes() {
+        let bf = Butterfly::rochester();
+        assert_eq!(bf.nodes(), 128);
+    }
+}

@@ -1,0 +1,258 @@
+//! Elmwood (§3.4, ref \[36\]) — "a fully-functional RPC-based multiprocessor
+//! operating system constructed as a class project in only a semester and a
+//! half ... an object-oriented multiprocessor operating system."
+//!
+//! Elmwood's model: everything is a kernel **object** living on some node,
+//! exporting numbered **entry procedures**; all interaction is
+//! kernel-mediated RPC on capabilities. Unlike Chrysalis (whose names are
+//! guessable and unchecked), Elmwood invocations require a capability that
+//! the kernel validates — the protection Chrysalis lacked, at RPC cost.
+//!
+//! This prototype reproduces that shape over the same simulated machine:
+//! objects with async entry procedures pinned to home nodes, capability
+//! checks, and a kernel trap + dispatch cost per invocation. The paper's
+//! quoted lesson — "experience with Elmwood led to a considerably deeper
+//! understanding of the Butterfly architecture" — shows up here as the
+//! comparison in T12: full kernel-mediated RPC costs ~2 orders of magnitude
+//! more than a bare reference.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+
+use bfly_chrysalis::{KResult, Os, Proc, Throw};
+use bfly_machine::NodeId;
+use bfly_sim::time::{SimTime, US};
+
+/// Kernel trap + capability validation + dispatch, per invocation.
+pub const KERNEL_RPC: SimTime = 350 * US;
+
+/// A capability: an unforgeable (well, 64-bit-random) right to invoke one
+/// object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Capability(u64);
+
+type Entry = Rc<dyn Fn(Rc<Proc>, Vec<u8>) -> Pin<Box<dyn Future<Output = KResult<Vec<u8>>>>>>;
+
+struct ElmObject {
+    home: NodeId,
+    entries: HashMap<u32, Entry>,
+    /// The server process context entries run under.
+    server: Rc<Proc>,
+}
+
+/// The Elmwood kernel.
+pub struct Elmwood {
+    os: Rc<Os>,
+    objects: RefCell<HashMap<Capability, Rc<ElmObject>>>,
+    next_cap: Cell<u64>,
+    /// Completed invocations (accounting).
+    pub invocations: Cell<u64>,
+    /// Rejected invocations (bad capability / entry).
+    pub rejections: Cell<u64>,
+}
+
+impl Elmwood {
+    /// Boot the Elmwood kernel over a machine.
+    pub fn boot(os: &Rc<Os>) -> Rc<Elmwood> {
+        Rc::new(Elmwood {
+            os: os.clone(),
+            objects: RefCell::new(HashMap::new()),
+            next_cap: Cell::new(0x9E37_79B9_7F4A_7C15),
+            invocations: Cell::new(0),
+            rejections: Cell::new(0),
+        })
+    }
+
+    fn mint(&self) -> Capability {
+        // SplitMix64 step: capabilities are sparse in a 64-bit space,
+        // unlike Chrysalis's guessable sequential names (§2.2).
+        let mut z = self.next_cap.get().wrapping_add(0x9E37_79B9_7F4A_7C15);
+        self.next_cap.set(z);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        Capability(z ^ (z >> 27))
+    }
+
+    /// Create an object on `home` with the given entry procedures; returns
+    /// its capability. The object's entries execute on `home`'s CPU.
+    pub fn create_object(
+        self: &Rc<Self>,
+        home: NodeId,
+        entries: Vec<(u32, Entry)>,
+    ) -> Capability {
+        let cap = self.mint();
+        let server = self.os.make_proc(home, "elmwood-obj");
+        self.objects.borrow_mut().insert(
+            cap,
+            Rc::new(ElmObject {
+                home,
+                entries: entries.into_iter().collect(),
+                server,
+            }),
+        );
+        cap
+    }
+
+    /// Invoke `entry` on the object named by `cap`, from process `caller`.
+    /// The kernel validates the capability, ships the arguments to the
+    /// object's home node, runs the entry there, and returns the reply.
+    pub async fn invoke(
+        &self,
+        caller: &Proc,
+        cap: Capability,
+        entry: u32,
+        args: &[u8],
+    ) -> KResult<Vec<u8>> {
+        caller.compute(KERNEL_RPC).await;
+        let obj = self.objects.borrow().get(&cap).cloned();
+        let Some(obj) = obj else {
+            self.rejections.set(self.rejections.get() + 1);
+            return Err(Throw::new(Throw::E_NO_OBJ));
+        };
+        let Some(handler) = obj.entries.get(&entry).cloned() else {
+            self.rejections.set(self.rejections.get() + 1);
+            return Err(Throw::new(Throw::E_BAD_SEG));
+        };
+        // Argument transfer to the home node.
+        let m = &self.os.machine;
+        let c = &m.cfg.costs;
+        m.mem_resource(obj.home)
+            .access(args.len().max(16) as SimTime * c.block_per_byte_mem)
+            .await;
+        let out = handler(obj.server.clone(), args.to_vec()).await?;
+        // Reply transfer back.
+        m.mem_resource(caller.node)
+            .access(out.len().max(16) as SimTime * c.block_per_byte_mem)
+            .await;
+        self.invocations.set(self.invocations.get() + 1);
+        Ok(out)
+    }
+
+    /// Revoke a capability: subsequent invocations fail. (Elmwood's
+    /// reference counting reclaimed objects; we keep the object until the
+    /// kernel drops.)
+    pub fn revoke(&self, cap: Capability) -> bool {
+        self.objects.borrow_mut().remove(&cap).is_some()
+    }
+}
+
+/// Wrap an async closure as an Elmwood entry procedure.
+pub fn elm_entry<F, Fut>(f: F) -> Entry
+where
+    F: Fn(Rc<Proc>, Vec<u8>) -> Fut + 'static,
+    Fut: Future<Output = KResult<Vec<u8>>> + 'static,
+{
+    Rc::new(move |p, a| Box::pin(f(p, a)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfly_machine::{Machine, MachineConfig};
+    use bfly_sim::Sim;
+
+    fn boot() -> (Sim, Rc<Os>, Rc<Elmwood>) {
+        let sim = Sim::new();
+        let m = Machine::new(&sim, MachineConfig::small(8));
+        let os = Os::boot(&m);
+        let elm = Elmwood::boot(&os);
+        (sim, os, elm)
+    }
+
+    #[test]
+    fn invoke_runs_entry_on_home_node() {
+        let (sim, os, elm) = boot();
+        let seen_node = Rc::new(Cell::new(u16::MAX));
+        let sn = seen_node.clone();
+        let cap = elm.create_object(
+            5,
+            vec![(
+                0,
+                elm_entry(move |p, args| {
+                    let sn = sn.clone();
+                    async move {
+                        sn.set(p.node);
+                        p.compute(10_000).await;
+                        Ok(args.iter().rev().copied().collect())
+                    }
+                }),
+            )],
+        );
+        let elm2 = elm.clone();
+        let mut h = os.boot_process(0, "client", move |p| async move {
+            elm2.invoke(&p, cap, 0, b"abc").await.unwrap()
+        });
+        sim.run();
+        assert_eq!(h.try_take().unwrap(), b"cba");
+        assert_eq!(seen_node.get(), 5, "entry must run at the object's home");
+        assert_eq!(elm.invocations.get(), 1);
+    }
+
+    #[test]
+    fn forged_capabilities_are_rejected() {
+        let (sim, os, elm) = boot();
+        let real = elm.create_object(1, vec![(0, elm_entry(|_p, a| async { Ok(a) }))]);
+        let elm2 = elm.clone();
+        let mut h = os.boot_process(0, "attacker", move |p| async move {
+            // Guessing near the real capability does not work (contrast
+            // with Chrysalis's sequential object names).
+            let forged = Capability(real.0.wrapping_add(1));
+            let e1 = elm2.invoke(&p, forged, 0, b"x").await.unwrap_err().code;
+            let e2 = elm2.invoke(&p, real, 99, b"x").await.unwrap_err().code;
+            (e1, e2)
+        });
+        sim.run();
+        let (e1, e2) = h.try_take().unwrap();
+        assert_eq!(e1, Throw::E_NO_OBJ);
+        assert_eq!(e2, Throw::E_BAD_SEG);
+        assert_eq!(elm.rejections.get(), 2);
+    }
+
+    #[test]
+    fn revocation_cuts_access() {
+        let (sim, os, elm) = boot();
+        let cap = elm.create_object(2, vec![(0, elm_entry(|_p, a| async { Ok(a) }))]);
+        let elm2 = elm.clone();
+        let mut h = os.boot_process(0, "client", move |p| async move {
+            let ok = elm2.invoke(&p, cap, 0, b"1").await.is_ok();
+            assert!(elm2.revoke(cap));
+            let gone = elm2.invoke(&p, cap, 0, b"2").await.unwrap_err().code;
+            (ok, gone)
+        });
+        sim.run();
+        assert_eq!(h.try_take().unwrap(), (true, Throw::E_NO_OBJ));
+    }
+
+    #[test]
+    fn objects_serialize_their_own_invocations_but_not_each_others() {
+        // Two objects on different nodes serve concurrently; entries on the
+        // same object's node share that CPU.
+        let (sim, os, elm) = boot();
+        let slow = |_p: Rc<Proc>, a: Vec<u8>| async move { Ok(a) };
+        let cap_a = elm.create_object(
+            1,
+            vec![(0, elm_entry(move |p, a| async move {
+                p.compute(10_000_000).await;
+                slow(p, a).await
+            }))],
+        );
+        let cap_b = elm.create_object(
+            2,
+            vec![(0, elm_entry(move |p, a| async move {
+                p.compute(10_000_000).await;
+                Ok(a)
+            }))],
+        );
+        for (i, cap) in [(0u16, cap_a), (3, cap_b)] {
+            let elm = elm.clone();
+            os.boot_process(i, &format!("c{i}"), move |p| async move {
+                elm.invoke(&p, cap, 0, b"x").await.unwrap();
+            });
+        }
+        sim.run();
+        // Two 10ms entries on different nodes overlap: ~10ms total, not 20.
+        assert!(sim.now() < 15_000_000, "independent objects must overlap");
+    }
+}

@@ -1,0 +1,47 @@
+//! # butterfly-core — the umbrella API of the Butterfly reproduction
+//!
+//! One import gives you the whole Rochester stack:
+//!
+//! ```
+//! use butterfly_core::prelude::*;
+//!
+//! let bf = Butterfly::boot(16);
+//! let os = bf.os.clone();
+//! let mut answer = bf.os.boot_process(0, "hello", move |p| async move {
+//!     let obj = p.make_local_obj(256).await.unwrap();
+//!     p.write_u32(obj.addr, 1988).await;
+//!     p.read_u32(obj.addr).await
+//! });
+//! bf.sim.run();
+//! assert_eq!(answer.try_take(), Some(1988));
+//! # let _ = os;
+//! ```
+//!
+//! The sub-crates re-exported here map 1:1 to the systems in the paper —
+//! see DESIGN.md for the inventory and EXPERIMENTS.md for the
+//! figure-by-figure reproduction.
+
+pub mod builder;
+pub mod elmwood;
+pub mod rpc_compare;
+pub mod tuple_space;
+
+pub use builder::Butterfly;
+
+/// Everything most programs need.
+pub mod prelude {
+    pub use crate::builder::Butterfly;
+    pub use crate::tuple_space::TupleSpace;
+    pub use bfly_antfarm::{Ant, AntChannel, AntFarm};
+    pub use bfly_bridge::{BridgeFile, BridgeFs, DiskParams};
+    pub use bfly_chrysalis::{
+        DualQueue, Event, KResult, MemObj, Os, Proc, SpinLock, Throw, VAddr,
+    };
+    pub use bfly_crowd::{serial_spawn, tree_spawn};
+    pub use bfly_lynx::{Link, LynxRt};
+    pub use bfly_machine::{Costs, GAddr, Machine, MachineConfig, NodeId, SwitchModel};
+    pub use bfly_replay::{Mode as ReplayMode, Moviola, ReplaySystem, SharedObject};
+    pub use bfly_sim::{fmt_time, Sim, SimTime, MS, NS, SEC, US};
+    pub use bfly_smp::{Family, Member, Topology};
+    pub use bfly_uniform::{task, Us, UsMatrix};
+}

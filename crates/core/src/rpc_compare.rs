@@ -1,0 +1,319 @@
+//! The remote-procedure-call design-space study (§3.3, ref \[34\]: "Experiments
+//! with eight different implementations of remote procedure call explored
+//! the ramifications of these benchmarks for interprocess communication").
+//!
+//! Six representative implementations, from bare microcode to full Lynx:
+//!
+//! | variant        | transport                              | payload |
+//! |----------------|----------------------------------------|---------|
+//! | `event_pair`   | two Chrysalis events (32-bit datum)    | 4 B     |
+//! | `dualq_pair`   | two dual queues                        | 4 B     |
+//! | `shm_spin`     | shared mailbox, client spins on a flag | any     |
+//! | `shm_event`    | shared mailbox + event wakeups         | any     |
+//! | `mapped_fresh` | mailbox mapped per call (2 SAR maps)   | any     |
+//! | `lynx`         | full Lynx link RPC                     | any     |
+//!
+//! Experiment T12 runs all of them on one machine and prints the table.
+
+use std::rc::Rc;
+
+use bfly_chrysalis::{DualQueue, Event, Os, SpinLock};
+use bfly_lynx::{entry, Link, LynxRt};
+use bfly_machine::NodeId;
+use bfly_sim::time::SimTime;
+
+/// One measured RPC variant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RpcResult {
+    /// Variant name.
+    pub name: &'static str,
+    /// Mean round-trip latency (ns) over the measured calls.
+    pub mean_ns: f64,
+}
+
+/// Calls per variant (enough to amortize cold starts).
+const CALLS: u32 = 16;
+
+/// Run all variants between `client_node` and `server_node` with
+/// `payload` bytes (where the variant supports payloads) and return mean
+/// round-trip times.
+pub fn run_comparison(
+    os: &Rc<Os>,
+    client_node: NodeId,
+    server_node: NodeId,
+    payload: u32,
+) -> Vec<RpcResult> {
+    let sim = os.sim().clone();
+    let mut out = Vec::new();
+
+    // --- event_pair: request datum + reply datum, 32 bits each way.
+    // The client owns the reply event; the server owns the request event
+    // (events are owner-waitable only). The two exchange handles at setup.
+    {
+        let os2 = os.clone();
+        let mut h = os.boot_process(client_node, "ev-client", move |p| async move {
+            let reply = Event::new(&p);
+            let req_holder: Rc<std::cell::RefCell<Option<Event>>> =
+                Rc::new(std::cell::RefCell::new(None));
+            let rh = req_holder.clone();
+            let rev = reply.clone();
+            os2.boot_process(server_node, "ev-server", move |q| async move {
+                let req = Event::new(&q);
+                *rh.borrow_mut() = Some(req.clone());
+                for _ in 0..CALLS {
+                    let v = req.wait(&q).await.unwrap();
+                    rev.post(&q, v.wrapping_mul(2)).await;
+                }
+            });
+            while req_holder.borrow().is_none() {
+                p.os.sim().yield_now().await;
+            }
+            let req = req_holder.borrow().clone().unwrap();
+            let t0 = p.os.sim().now();
+            for i in 0..CALLS {
+                req.post(&p, i).await;
+                reply.wait(&p).await.unwrap();
+            }
+            (p.os.sim().now() - t0) as f64 / CALLS as f64
+        });
+        sim.run();
+        out.push(RpcResult {
+            name: "event_pair",
+            mean_ns: h.try_take().unwrap(),
+        });
+    }
+
+    // --- dualq_pair ------------------------------------------------------
+    {
+        let os2 = os.clone();
+        let mut h = os.boot_process(client_node, "dq-client", move |p| async move {
+            let req = DualQueue::new(&p);
+            let reply = DualQueue::new(&p);
+            let (rq, rp) = (req.clone(), reply.clone());
+            os2.boot_process(server_node, "dq-server", move |q| async move {
+                for _ in 0..CALLS {
+                    let v = rq.dequeue(&q).await;
+                    rp.enqueue(&q, v.wrapping_mul(2)).await;
+                }
+            });
+            let t0 = p.os.sim().now();
+            for i in 0..CALLS {
+                req.enqueue(&p, i).await;
+                reply.dequeue(&p).await;
+            }
+            (p.os.sim().now() - t0) as f64 / CALLS as f64
+        });
+        sim.run();
+        out.push(RpcResult {
+            name: "dualq_pair",
+            mean_ns: h.try_take().unwrap(),
+        });
+    }
+
+    // --- shm_spin: mailbox + spin flags ----------------------------------
+    {
+        let os2 = os.clone();
+        let m = os.machine.clone();
+        let mut h = os.boot_process(client_node, "spin-client", move |p| async move {
+            let mbox = m.node(server_node).alloc(payload.max(4) + 8).unwrap();
+            let req_flag = mbox; // word 0
+            let reply_flag = mbox.add(4);
+            let data = mbox.add(8);
+            m.poke_u32(req_flag, 0);
+            m.poke_u32(reply_flag, 0);
+            let m2 = m.clone();
+            os2.boot_process(server_node, "spin-server", move |q| async move {
+                for _ in 0..CALLS {
+                    let lock = SpinLock::new(req_flag).with_backoff(20_000);
+                    while q.read_u32(req_flag).await == 0 {
+                        q.compute(lock.backoff).await;
+                    }
+                    q.atomic_store(req_flag, 0).await;
+                    // Touch the payload (server reads it locally).
+                    let mut buf = vec![0u8; payload as usize];
+                    q.read_block(data, &mut buf).await;
+                    q.atomic_store(reply_flag, 1).await;
+                    let _ = m2.peek_u32(data);
+                }
+            });
+            let t0 = p.os.sim().now();
+            let buf = vec![7u8; payload as usize];
+            for _ in 0..CALLS {
+                p.write_block(data, &buf).await;
+                p.atomic_store(req_flag, 1).await;
+                while p.read_u32(reply_flag).await == 0 {
+                    p.compute(20_000).await;
+                }
+                p.atomic_store(reply_flag, 0).await;
+            }
+            (p.os.sim().now() - t0) as f64 / CALLS as f64
+        });
+        sim.run();
+        out.push(RpcResult {
+            name: "shm_spin",
+            mean_ns: h.try_take().unwrap(),
+        });
+    }
+
+    // --- shm_event: mailbox + event wakeups ------------------------------
+    {
+        let os2 = os.clone();
+        let m = os.machine.clone();
+        let mut h = os.boot_process(client_node, "she-client", move |p| async move {
+            let mbox = m.node(server_node).alloc(payload.max(4)).unwrap();
+            let reply_ev = Event::new(&p);
+            let req_holder: Rc<std::cell::RefCell<Option<Event>>> =
+                Rc::new(std::cell::RefCell::new(None));
+            let rh = req_holder.clone();
+            let rev = reply_ev.clone();
+            os2.boot_process(server_node, "she-server", move |q| async move {
+                let req_ev = Event::new(&q);
+                *rh.borrow_mut() = Some(req_ev.clone());
+                for _ in 0..CALLS {
+                    req_ev.wait(&q).await.unwrap();
+                    let mut buf = vec![0u8; payload as usize];
+                    q.read_block(mbox, &mut buf).await;
+                    rev.post(&q, 1).await;
+                }
+            });
+            while req_holder.borrow().is_none() {
+                p.os.sim().yield_now().await;
+            }
+            let req_ev = req_holder.borrow().clone().unwrap();
+            let buf = vec![9u8; payload as usize];
+            let t0 = p.os.sim().now();
+            for _ in 0..CALLS {
+                p.write_block(mbox, &buf).await;
+                req_ev.post(&p, 1).await;
+                reply_ev.wait(&p).await.unwrap();
+            }
+            (p.os.sim().now() - t0) as f64 / CALLS as f64
+        });
+        sim.run();
+        out.push(RpcResult {
+            name: "shm_event",
+            mean_ns: h.try_take().unwrap(),
+        });
+    }
+
+    // --- mapped_fresh: pay 2 segment maps per call -----------------------
+    {
+        let os2 = os.clone();
+        let m = os.machine.clone();
+        let mut h = os.boot_process(client_node, "map-client", move |p| async move {
+            let mbox = m.node(server_node).alloc(payload.max(4)).unwrap();
+            let reply_ev = Event::new(&p);
+            let req_holder: Rc<std::cell::RefCell<Option<Event>>> =
+                Rc::new(std::cell::RefCell::new(None));
+            let rh = req_holder.clone();
+            let rev = reply_ev.clone();
+            os2.boot_process(server_node, "map-server", move |q| async move {
+                let req_ev = Event::new(&q);
+                *rh.borrow_mut() = Some(req_ev.clone());
+                for _ in 0..CALLS {
+                    req_ev.wait(&q).await.unwrap();
+                    let mut buf = vec![0u8; payload as usize];
+                    q.read_block(mbox, &mut buf).await;
+                    rev.post(&q, 1).await;
+                }
+            });
+            while req_holder.borrow().is_none() {
+                p.os.sim().yield_now().await;
+            }
+            let req_ev = req_holder.borrow().clone().unwrap();
+            let buf = vec![9u8; payload as usize];
+            let t0 = p.os.sim().now();
+            for _ in 0..CALLS {
+                // Map the mailbox, use it, unmap it — the un-cached
+                // discipline SMP's SAR cache exists to avoid.
+                p.compute(p.os.costs.map_seg).await;
+                p.write_block(mbox, &buf).await;
+                req_ev.post(&p, 1).await;
+                reply_ev.wait(&p).await.unwrap();
+                p.compute(p.os.costs.map_seg).await;
+            }
+            (p.os.sim().now() - t0) as f64 / CALLS as f64
+        });
+        sim.run();
+        out.push(RpcResult {
+            name: "mapped_fresh",
+            mean_ns: h.try_take().unwrap(),
+        });
+    }
+
+    // --- lynx: the full language runtime ---------------------------------
+    {
+        let rt = LynxRt::new(os);
+        let (c_end, s_end) = Link::create(&rt);
+        let se = s_end.clone();
+        rt.spawn_process(server_node, "lynx-server", move |lp| async move {
+            se.move_to(&lp.proc);
+            se.bind(0, entry(|_p, r| async move { Ok(r) }));
+            lp.serve(&se, CALLS as u64).await;
+        });
+        let ce = c_end.clone();
+        let mut h = rt.spawn_process(client_node, "lynx-client", move |lp| async move {
+            ce.move_to(&lp.proc);
+            let buf = vec![3u8; payload as usize];
+            let t0 = lp.proc.os.sim().now();
+            for _ in 0..CALLS {
+                ce.call(&lp.proc, 0, &buf).await.unwrap();
+            }
+            (lp.proc.os.sim().now() - t0) as f64 / CALLS as f64
+        });
+        sim.run();
+        out.push(RpcResult {
+            name: "lynx",
+            mean_ns: h.try_take().unwrap(),
+        });
+    }
+
+    out
+}
+
+/// Mean time of a bare remote reference on this machine (the comparison
+/// baseline the paper uses: "a comparison with the costs of the basic
+/// primitives provided by Chrysalis").
+pub fn remote_ref_baseline_ns(os: &Rc<Os>) -> SimTime {
+    os.machine
+        .cfg
+        .costs
+        .remote_word(os.machine.switch.stages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfly_machine::{Machine, MachineConfig};
+    use bfly_sim::Sim;
+
+    #[test]
+    fn comparison_orders_variants_sensibly() {
+        let sim = Sim::new();
+        let m = Machine::new(&sim, MachineConfig::small(8));
+        let os = bfly_chrysalis::Os::boot(&m);
+        let results = run_comparison(&os, 0, 1, 64);
+        assert_eq!(results.len(), 6);
+        let by_name: std::collections::HashMap<_, _> =
+            results.iter().map(|r| (r.name, r.mean_ns)).collect();
+        // Everything costs more than a bare remote reference.
+        let baseline = remote_ref_baseline_ns(&os) as f64;
+        for r in &results {
+            assert!(
+                r.mean_ns > baseline,
+                "{} ({}) must exceed a bare remote ref ({})",
+                r.name,
+                r.mean_ns,
+                baseline
+            );
+        }
+        // Mapping per call must be the most expensive mailbox variant.
+        assert!(by_name["mapped_fresh"] > by_name["shm_event"] + 1_000_000.0);
+        // Lynx (full language semantics) costs more than raw shm+event.
+        assert!(by_name["lynx"] > by_name["shm_event"]);
+        // All variants complete in a sane range.
+        for r in &results {
+            assert!(r.mean_ns < 60_000_000.0, "{} exploded: {}", r.name, r.mean_ns);
+        }
+    }
+}

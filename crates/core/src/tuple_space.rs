@@ -1,0 +1,248 @@
+//! A Linda-style tuple space over Butterfly shared memory (§4.2, ref \[2\]).
+//!
+//! "Even when non-uniform access times warp the single address space model
+//! ... shared memory continues to provide a form of global name space ...
+//! In effect, the shared memory is used to implement an efficient Linda
+//! tuple space. The Linda `in`, `read`, and `out` operations correspond
+//! roughly to the operations used to cache data in the Uniform System."
+//!
+//! Tuples are `(key: u32, value: bytes)`. The space is hashed over buckets
+//! scattered across node memories; each bucket has a spin lock *in
+//! simulated memory*, and values move with block transfers — so the cost of
+//! `out`/`rd`/`in` really is the cost of the Uniform System's cache-in /
+//! cache-out idiom, as the paper observes.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use bfly_chrysalis::{Os, Proc, SpinLock};
+use bfly_machine::GAddr;
+use bfly_sim::sync::WaitQueue;
+use bfly_sim::time::SimTime;
+
+/// Backoff between retries of a blocked `in`/`rd` (spin-based Linda).
+const RETRY_BACKOFF: SimTime = 50_000;
+
+struct Bucket {
+    lock: SpinLock,
+    /// Staging area for value block transfers.
+    staging: GAddr,
+    staging_size: u32,
+    tuples: RefCell<HashMap<u32, Vec<Vec<u8>>>>,
+    arrivals: WaitQueue,
+}
+
+/// A tuple space scattered over the machine.
+pub struct TupleSpace {
+    buckets: Vec<Bucket>,
+}
+
+impl TupleSpace {
+    /// Create a space with one bucket per node (values up to `max_value`
+    /// bytes).
+    pub fn new(os: &Rc<Os>, max_value: u32) -> Rc<TupleSpace> {
+        let buckets = (0..os.machine.nodes())
+            .map(|n| {
+                let lock_word = os
+                    .machine
+                    .node(n)
+                    .alloc(4)
+                    .expect("tuple space: no room for lock");
+                os.machine.poke_u32(lock_word, 0);
+                let staging = os
+                    .machine
+                    .node(n)
+                    .alloc(max_value.max(4))
+                    .expect("tuple space: no room for staging");
+                Bucket {
+                    lock: SpinLock::new(lock_word).with_backoff(20_000),
+                    staging,
+                    staging_size: max_value.max(4),
+                    tuples: RefCell::new(HashMap::new()),
+                    arrivals: WaitQueue::new(),
+                }
+            })
+            .collect();
+        Rc::new(TupleSpace { buckets })
+    }
+
+    fn bucket(&self, key: u32) -> &Bucket {
+        // Fibonacci hashing to a bucket.
+        let h = (key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        &self.buckets[(h % self.buckets.len() as u64) as usize]
+    }
+
+    /// `out`: deposit a tuple.
+    pub async fn out(&self, p: &Proc, key: u32, value: &[u8]) {
+        let b = self.bucket(key);
+        assert!(value.len() as u32 <= b.staging_size, "value too large");
+        b.lock.acquire(p).await;
+        // Value crosses into the bucket's node (the US "copy out" step).
+        p.write_block(b.staging, value).await;
+        b.tuples
+            .borrow_mut()
+            .entry(key)
+            .or_default()
+            .push(value.to_vec());
+        b.lock.release(p).await;
+        b.arrivals.wake_all();
+    }
+
+    /// `rd`: copy a matching tuple, blocking until one exists.
+    pub async fn rd(&self, p: &Proc, key: u32) -> Vec<u8> {
+        let b = self.bucket(key);
+        loop {
+            b.lock.acquire(p).await;
+            let found = b
+                .tuples
+                .borrow()
+                .get(&key)
+                .and_then(|v| v.first().cloned());
+            if let Some(val) = found {
+                // Value crosses back (the US "copy in" step).
+                let mut buf = vec![0u8; val.len()];
+                p.read_block(b.staging, &mut buf).await;
+                b.lock.release(p).await;
+                return val;
+            }
+            b.lock.release(p).await;
+            p.compute(RETRY_BACKOFF).await;
+            if b.tuples.borrow().get(&key).is_none_or(|v| v.is_empty()) {
+                b.arrivals.park().await;
+            }
+        }
+    }
+
+    /// `in`: withdraw a matching tuple, blocking until one exists.
+    pub async fn in_(&self, p: &Proc, key: u32) -> Vec<u8> {
+        let b = self.bucket(key);
+        loop {
+            b.lock.acquire(p).await;
+            let taken = {
+                let mut t = b.tuples.borrow_mut();
+                match t.get_mut(&key) {
+                    Some(v) if !v.is_empty() => Some(v.remove(0)),
+                    _ => None,
+                }
+            };
+            if let Some(val) = taken {
+                let mut buf = vec![0u8; val.len()];
+                p.read_block(b.staging, &mut buf).await;
+                b.lock.release(p).await;
+                return val;
+            }
+            b.lock.release(p).await;
+            p.compute(RETRY_BACKOFF).await;
+            if b.tuples.borrow().get(&key).is_none_or(|v| v.is_empty()) {
+                b.arrivals.park().await;
+            }
+        }
+    }
+
+    /// Non-blocking probe.
+    pub fn contains(&self, key: u32) -> bool {
+        self.bucket(key)
+            .tuples
+            .borrow()
+            .get(&key)
+            .is_some_and(|v| !v.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfly_machine::{Machine, MachineConfig};
+    use bfly_sim::exec::RunOutcome;
+    use bfly_sim::Sim;
+
+    fn boot(nodes: u16) -> (Sim, Rc<Os>) {
+        let sim = Sim::new();
+        let m = Machine::new(&sim, MachineConfig::small(nodes));
+        (sim.clone(), Os::boot(&m))
+    }
+
+    #[test]
+    fn out_then_in_roundtrips() {
+        let (sim, os) = boot(4);
+        let ts = TupleSpace::new(&os, 256);
+        let t2 = ts.clone();
+        let mut h = os.boot_process(0, "t", move |p| async move {
+            t2.out(&p, 42, b"hello linda").await;
+            assert!(t2.contains(42));
+            let v = t2.in_(&p, 42).await;
+            assert!(!t2.contains(42), "in withdraws");
+            v
+        });
+        sim.run();
+        assert_eq!(h.try_take().unwrap(), b"hello linda");
+    }
+
+    #[test]
+    fn rd_copies_without_removing() {
+        let (sim, os) = boot(4);
+        let ts = TupleSpace::new(&os, 64);
+        let t2 = ts.clone();
+        os.boot_process(0, "t", move |p| async move {
+            t2.out(&p, 7, b"keep").await;
+            assert_eq!(t2.rd(&p, 7).await, b"keep");
+            assert_eq!(t2.rd(&p, 7).await, b"keep");
+            assert!(t2.contains(7));
+        });
+        assert_eq!(sim.run().outcome, RunOutcome::Completed);
+    }
+
+    #[test]
+    fn blocked_in_wakes_on_out() {
+        let (sim, os) = boot(4);
+        let ts = TupleSpace::new(&os, 64);
+        let t1 = ts.clone();
+        let mut consumer = os.boot_process(1, "consumer", move |p| async move {
+            t1.in_(&p, 99).await
+        });
+        let t2 = ts.clone();
+        os.boot_process(2, "producer", move |p| async move {
+            p.compute(5_000_000).await; // arrive late
+            t2.out(&p, 99, b"late").await;
+        });
+        assert_eq!(sim.run().outcome, RunOutcome::Completed);
+        assert_eq!(consumer.try_take().unwrap(), b"late");
+    }
+
+    #[test]
+    fn in_is_exclusive_across_consumers() {
+        let (sim, os) = boot(8);
+        let ts = TupleSpace::new(&os, 64);
+        let got = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..4u16 {
+            let ts = ts.clone();
+            let got = got.clone();
+            os.boot_process(i, &format!("c{i}"), move |p| async move {
+                let v = ts.in_(&p, 5).await;
+                got.borrow_mut().push(v[0]);
+            });
+        }
+        let t2 = ts.clone();
+        os.boot_process(7, "producer", move |p| async move {
+            for v in 0..4u8 {
+                t2.out(&p, 5, &[v]).await;
+                p.compute(1_000_000).await;
+            }
+        });
+        assert_eq!(sim.run().outcome, RunOutcome::Completed);
+        let mut g = got.borrow().clone();
+        g.sort_unstable();
+        assert_eq!(g, vec![0, 1, 2, 3], "each tuple consumed exactly once");
+    }
+
+    #[test]
+    fn keys_scatter_across_buckets() {
+        let (_sim, os) = boot(8);
+        let ts = TupleSpace::new(&os, 64);
+        let nodes: std::collections::HashSet<u16> = (0..64u32)
+            .map(|k| ts.bucket(k).staging.node)
+            .collect();
+        assert!(nodes.len() >= 6, "hashing must use most nodes: {nodes:?}");
+    }
+}

@@ -1,0 +1,375 @@
+//! # bfly-crowd — Crowd Control (§3.3, ref \[32\])
+//!
+//! "A general-purpose package called Crowd Control allows similar
+//! tree-based techniques to be used in other programs, spreading work over
+//! multiple nodes. The Crowd Control package can be used to parallelize
+//! almost any function whose serial component is due to contention for
+//! read-only data."
+//!
+//! And the Amdahl lesson (§4.1): "the Crowd Control package was created to
+//! parallelize process creation, but serial access to system resources
+//! (such as process templates in Chrysalis) ultimately limits our ability
+//! to exploit large-scale parallelism during process creation."
+//!
+//! [`serial_spawn`] creates N processes one after another from a single
+//! creator. [`tree_spawn`] fans creation out: each created process creates
+//! its own children. The tree parallelizes the *parallel* part of creation;
+//! the template-serialized part remains a hard floor — experiment T8
+//! measures both.
+
+use std::cell::Cell;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+
+use bfly_chrysalis::Proc;
+use bfly_machine::NodeId;
+use bfly_sim::sync::Gate;
+
+/// A boxed unit future.
+pub type BoxFut = Pin<Box<dyn Future<Output = ()> + 'static>>;
+
+/// Work run by each created process, given its rank.
+pub type WorkFn = Rc<dyn Fn(Rc<Proc>, u32) -> BoxFut>;
+
+/// Wrap an async closure as a [`WorkFn`].
+pub fn work<F, Fut>(f: F) -> WorkFn
+where
+    F: Fn(Rc<Proc>, u32) -> Fut + 'static,
+    Fut: Future<Output = ()> + 'static,
+{
+    Rc::new(move |p, r| Box::pin(f(p, r)))
+}
+
+fn node_for(rank: u32, nodes: u16) -> NodeId {
+    (rank % nodes as u32) as NodeId
+}
+
+/// Create `n` processes serially from one creator; resolves when all have
+/// finished their work.
+pub async fn serial_spawn(creator: &Rc<Proc>, n: u32, f: WorkFn) {
+    let nodes = creator.os.machine.nodes();
+    let done = Rc::new(Cell::new(0u32));
+    let gate = Gate::new();
+    for rank in 0..n {
+        let f = f.clone();
+        let done = done.clone();
+        let gate = gate.clone();
+        creator
+            .create_process(node_for(rank, nodes), &format!("crowd{rank}"), move |p| {
+                async move {
+                    f(p, rank).await;
+                    done.set(done.get() + 1);
+                    if done.get() == n {
+                        gate.open();
+                    }
+                }
+            })
+            .await;
+    }
+    gate.wait().await;
+}
+
+fn spawn_subtree(
+    creator: Rc<Proc>,
+    rank: u32,
+    n: u32,
+    fanout: u32,
+    f: WorkFn,
+    done: Rc<Cell<u32>>,
+    gate: Gate,
+) -> BoxFut {
+    Box::pin(async move {
+        let nodes = creator.os.machine.nodes();
+        let f2 = f.clone();
+        let done2 = done.clone();
+        let gate2 = gate.clone();
+        creator
+            .create_process(node_for(rank, nodes), &format!("crowd{rank}"), move |p| {
+                async move {
+                    // Each process creates its children before (and its
+                    // work possibly during) — creations of *different*
+                    // subtrees proceed in parallel.
+                    for c in 0..fanout {
+                        let child = rank * fanout + 1 + c;
+                        if child < n {
+                            spawn_subtree(
+                                p.clone(),
+                                child,
+                                n,
+                                fanout,
+                                f2.clone(),
+                                done2.clone(),
+                                gate2.clone(),
+                            )
+                            .await;
+                        }
+                    }
+                    f2(p.clone(), rank).await;
+                    done2.set(done2.get() + 1);
+                    if done2.get() == n {
+                        gate2.open();
+                    }
+                }
+            })
+            .await;
+    })
+}
+
+/// Create `n` processes (ranks `0..n`) by tree fan-out with the given
+/// `fanout`; resolves when every process's work has finished.
+pub async fn tree_spawn(creator: &Rc<Proc>, n: u32, fanout: u32, f: WorkFn) {
+    assert!(fanout >= 2, "a tree needs fanout >= 2");
+    if n == 0 {
+        return;
+    }
+    let done = Rc::new(Cell::new(0u32));
+    let gate = Gate::new();
+    spawn_subtree(
+        creator.clone(),
+        0,
+        n,
+        fanout,
+        f,
+        done.clone(),
+        gate.clone(),
+    )
+    .await;
+    gate.wait().await;
+}
+
+/// Tree-structured replication of read-only data (§3.3: Crowd Control
+/// "can be used to parallelize almost any function whose serial component
+/// is due to contention for read-only data").
+///
+/// The master copy on one node is fanned out through a copy tree: each
+/// node that has received the data forwards it to `fanout` more, so the
+/// source's memory serves `fanout` block reads instead of N. Returns the
+/// per-node replica addresses; readers then use `replica_for` to pick the
+/// nearest copy.
+pub struct Replicated {
+    /// Replica address on node i (index = node id).
+    pub copies: Vec<bfly_machine::GAddr>,
+    /// Replica size in bytes.
+    pub size: u32,
+}
+
+impl Replicated {
+    /// The local replica for a reader on `node`.
+    pub fn replica_for(&self, node: NodeId) -> bfly_machine::GAddr {
+        self.copies[node as usize]
+    }
+}
+
+/// Fan read-only data out to every node by a copy tree rooted at `src`.
+/// `driver` pays tree-coordination costs; the copies themselves are block
+/// transfers performed "by" the receiving node (it pulls from its parent
+/// in the tree).
+pub async fn replicate_readonly(
+    driver: &Rc<Proc>,
+    src: bfly_machine::GAddr,
+    size: u32,
+    fanout: u32,
+) -> Replicated {
+    assert!(fanout >= 2);
+    let m = &driver.os.machine;
+    let n = m.nodes();
+    let mut copies: Vec<bfly_machine::GAddr> = (0..n)
+        .map(|node| {
+            if node == src.node {
+                src
+            } else {
+                m.node(node)
+                    .alloc(size)
+                    .expect("replicate: node memory exhausted")
+            }
+        })
+        .collect();
+    // Breadth-first copy waves: wave k copies from the already-populated
+    // prefix to the next fanout^k nodes. Order nodes with the source first.
+    let mut order: Vec<NodeId> = (0..n).collect();
+    order.swap(0, src.node as usize % n as usize);
+    let sim = driver.os.sim().clone();
+    let mut populated = 1usize;
+    while populated < order.len() {
+        let wave_parents = populated.min(populated * (fanout as usize - 1)).max(1);
+        let wave = (populated * (fanout as usize) - populated)
+            .min(order.len() - populated)
+            .max(1)
+            .min(order.len() - populated);
+        let _ = wave_parents;
+        let mut handles = Vec::new();
+        for i in 0..wave {
+            let child = order[populated + i];
+            let parent = order[(populated + i) % populated];
+            let from = copies[parent as usize];
+            let to = copies[child as usize];
+            let m2 = driver.os.machine.clone();
+            handles.push(sim.spawn_named("replicate", async move {
+                m2.copy_block(child, to, from, size).await;
+            }));
+        }
+        for h in handles {
+            h.await;
+        }
+        populated += wave;
+    }
+    driver.compute(10_000).await; // tree bookkeeping
+    
+    Replicated {
+        copies: std::mem::take(&mut copies),
+        size,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfly_chrysalis::Os;
+    use bfly_machine::{Machine, MachineConfig};
+    use bfly_sim::{Sim, MS};
+    use std::cell::RefCell;
+
+    fn boot(nodes: u16) -> (Sim, Rc<Os>) {
+        let sim = Sim::new();
+        let m = Machine::new(&sim, MachineConfig::small(nodes));
+        (sim.clone(), Os::boot(&m))
+    }
+
+    fn run_spawn(tree: bool, n: u32) -> (u64, Vec<u32>) {
+        let (sim, os) = boot(32);
+        let ranks = Rc::new(RefCell::new(Vec::new()));
+        let r2 = ranks.clone();
+        os.boot_process(0, "creator", move |p| async move {
+            let w = work(move |_p, rank| {
+                let r = r2.clone();
+                async move {
+                    r.borrow_mut().push(rank);
+                }
+            });
+            if tree {
+                tree_spawn(&p, n, 4, w).await;
+            } else {
+                serial_spawn(&p, n, w).await;
+            }
+        });
+        sim.run();
+        let mut got = ranks.borrow().clone();
+        got.sort_unstable();
+        (sim.now(), got)
+    }
+
+    #[test]
+    fn both_disciplines_create_every_rank() {
+        let (_t, ranks_serial) = run_spawn(false, 17);
+        assert_eq!(ranks_serial, (0..17).collect::<Vec<_>>());
+        let (_t, ranks_tree) = run_spawn(true, 17);
+        assert_eq!(ranks_tree, (0..17).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tree_beats_serial_creation_but_only_down_to_the_template_floor() {
+        // Serial: n * create_process (12ms each) = 288ms for n=24.
+        // Tree: the non-template 4ms/process parallelizes, but the 8ms
+        // template hold cannot — exactly the §4.1 observation that Crowd
+        // Control's gains are capped by serial system resources.
+        let n = 24;
+        let (t_serial, _) = run_spawn(false, n);
+        let (t_tree, _) = run_spawn(true, n);
+        assert!(
+            t_tree < t_serial,
+            "tree ({t_tree}ns) must beat serial ({t_serial}ns)"
+        );
+        let saved = t_serial - t_tree;
+        let max_possible = n as u64 * 4 * MS; // the parallelizable portion
+        assert!(
+            saved > max_possible / 2,
+            "tree must recover most of the parallelizable creation time \
+             (saved {saved}ns of {max_possible}ns possible)"
+        );
+    }
+
+    #[test]
+    fn template_serialization_is_the_amdahl_floor() {
+        // No matter the fan-out, N creations each hold the template for
+        // template_hold: total time >= N * template_hold.
+        let n = 24u32;
+        let (t_tree, _) = run_spawn(true, n);
+        let floor = n as u64 * 8 * MS; // OsCosts::chrysalis().template_hold
+        assert!(
+            t_tree >= floor,
+            "tree creation ({t_tree}ns) cannot beat the serial template floor ({floor}ns)"
+        );
+        // ... and it should be reasonably close to that floor (the tree
+        // parallelizes everything else).
+        assert!(
+            t_tree < floor * 2,
+            "tree creation should approach the template floor (got {t_tree}, floor {floor})"
+        );
+    }
+
+    #[test]
+    fn replication_covers_every_node_faithfully() {
+        let (sim, os) = boot(16);
+        let m = os.machine.clone();
+        let src = m.node(3).alloc(512).unwrap();
+        let data: Vec<u8> = (0..512u32).map(|i| (i % 251) as u8).collect();
+        m.poke(src, &data);
+        let m2 = m.clone();
+        let data2 = data.clone();
+        os.boot_process(0, "driver", move |p| async move {
+            let p = Rc::new(p);
+            let rep = replicate_readonly(&p, src, 512, 4).await;
+            // Every node has a replica and every copy matches the master.
+            for node in 0..16u16 {
+                let mut buf = vec![0u8; 512];
+                m2.peek(rep.replica_for(node), &mut buf);
+                assert_eq!(buf, data2, "replica on node {node} corrupt");
+            }
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn replicated_readers_avoid_source_contention() {
+        // 15 readers loop over the data: via the master copy (everyone
+        // hammers node 3) vs via local replicas. The replicated version
+        // must put far less queueing on node 3's memory.
+        fn run(replicated: bool) -> (u64, u64) {
+            let (sim, os) = boot(16);
+            let m = os.machine.clone();
+            let src = m.node(3).alloc(512).unwrap();
+            let m2 = m.clone();
+            os.boot_process(0, "driver", move |p| async move {
+                let p = Rc::new(p);
+                let rep = if replicated {
+                    Some(replicate_readonly(&p, src, 512, 4).await)
+                } else {
+                    None
+                };
+                let mut handles = Vec::new();
+                for r in 1..16u16 {
+                    let target = rep.as_ref().map(|x| x.replica_for(r)).unwrap_or(src);
+                    let m3 = m2.clone();
+                    handles.push(p.os.sim().spawn_named("reader", async move {
+                        let mut buf = vec![0u8; 512];
+                        for _ in 0..20 {
+                            m3.read_block(r, target, &mut buf).await;
+                        }
+                    }));
+                }
+                for h in handles {
+                    h.await;
+                }
+            });
+            sim.run();
+            (sim.now(), m.mem_resource(3).stats().total_wait_ns)
+        }
+        let (_t_hot, wait_hot) = run(false);
+        let (_t_rep, wait_rep) = run(true);
+        assert!(
+            wait_rep * 4 < wait_hot,
+            "replicas must relieve the source memory (hot={wait_hot}, rep={wait_rep})"
+        );
+    }
+}

@@ -1,0 +1,540 @@
+//! # bfly-lynx — the Lynx distributed programming model (§3.2)
+//!
+//! Lynx supports "a collection of heavyweight processes containing
+//! lightweight threads", with a **remote procedure call** model between
+//! threads: a message dispatcher and thread scheduler in the run-time
+//! package deliver the performance of asynchronous message passing while
+//! the programmer writes synchronous calls. Connections — *links* — between
+//! processes "can be created, destroyed, and moved dynamically, providing
+//! the programmer with complete run-time control over the communication
+//! topology". Lynx adds secure type checking, high-level naming, Ada-like
+//! exception handling, and automatic management of context for interleaved
+//! conversations.
+//!
+//! Modeled here:
+//!
+//! * [`LynxProc`] — a heavyweight Chrysalis process hosting lightweight
+//!   threads (sim tasks sharing the node CPU) and one dispatcher;
+//! * [`Link`] — a duplex connection whose ends are **movable** between
+//!   processes at runtime (the transfer cost follows the ends' nodes);
+//! * `call`/`bind` — RPC with payload block-transfers through simulated
+//!   memory and dispatcher/thread-scheduler costs from the Rochester
+//!   measurements (refs \[47\]\[49\]: an RPC costs on the order of two
+//!   messages, i.e. milliseconds — far above a bare remote reference);
+//! * exceptions: a handler returning a [`Throw`] propagates to the caller.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+
+use bfly_chrysalis::{KResult, Os, Proc, Throw};
+use bfly_machine::NodeId;
+use bfly_sim::sync::{Channel, Promise, PromiseHandle};
+use bfly_sim::time::{SimTime, US};
+use bfly_sim::JoinHandle;
+
+/// Lynx runtime costs (per \[49\]'s message-passing overhead study: the
+/// semantics-bearing layers dominate the raw transport).
+#[derive(Debug, Clone)]
+pub struct LynxCosts {
+    /// Client-side request path: marshalling, type check, dispatcher handoff.
+    pub request_sw: SimTime,
+    /// Server-side reply path.
+    pub reply_sw: SimTime,
+    /// Coroutine-style thread switch inside a process.
+    pub thread_switch: SimTime,
+}
+
+impl Default for LynxCosts {
+    fn default() -> Self {
+        LynxCosts {
+            request_sw: 800 * US,
+            reply_sw: 600 * US,
+            thread_switch: 25 * US,
+        }
+    }
+}
+
+type Handler = Rc<dyn Fn(Rc<Proc>, Vec<u8>) -> Pin<Box<dyn Future<Output = KResult<Vec<u8>>>>>>;
+
+/// Wrap an async closure as an RPC entry handler.
+pub fn entry<F, Fut>(f: F) -> Handler
+where
+    F: Fn(Rc<Proc>, Vec<u8>) -> Fut + 'static,
+    Fut: Future<Output = KResult<Vec<u8>>> + 'static,
+{
+    Rc::new(move |p, req| Box::pin(f(p, req)))
+}
+
+struct Request {
+    entry: u32,
+    payload: Vec<u8>,
+    reply: PromiseHandle<KResult<Vec<u8>>>,
+    client_node: NodeId,
+}
+
+struct EndState {
+    /// Process currently holding this end (None until attached).
+    owner: RefCell<Option<Rc<Proc>>>,
+    /// Requests arriving at this end.
+    inbox: Channel<Request>,
+    /// Entry bindings at this end.
+    bindings: RefCell<HashMap<u32, Handler>>,
+}
+
+/// One end of a link. Clone freely; all clones are the same end.
+#[derive(Clone)]
+pub struct LinkEnd {
+    state: Rc<EndState>,
+    peer: Rc<EndState>,
+    rt: Rc<LynxRt>,
+}
+
+/// A Lynx link: two movable ends.
+pub struct Link;
+
+impl Link {
+    /// Create a fresh link; attach each end to a process with
+    /// [`LinkEnd::move_to`].
+    pub fn create(rt: &Rc<LynxRt>) -> (LinkEnd, LinkEnd) {
+        let a = Rc::new(EndState {
+            owner: RefCell::new(None),
+            inbox: Channel::new(),
+            bindings: RefCell::new(HashMap::new()),
+        });
+        let b = Rc::new(EndState {
+            owner: RefCell::new(None),
+            inbox: Channel::new(),
+            bindings: RefCell::new(HashMap::new()),
+        });
+        (
+            LinkEnd {
+                state: a.clone(),
+                peer: b.clone(),
+                rt: rt.clone(),
+            },
+            LinkEnd {
+                state: b,
+                peer: a,
+                rt: rt.clone(),
+            },
+        )
+    }
+}
+
+impl LinkEnd {
+    /// Attach (or move) this end to a process. Moving an end retargets all
+    /// future calls — the "complete run-time control over the communication
+    /// topology" of §3.2.
+    pub fn move_to(&self, p: &Rc<Proc>) {
+        *self.state.owner.borrow_mut() = Some(p.clone());
+    }
+
+    /// Bind an entry procedure at this end.
+    pub fn bind(&self, entry_no: u32, h: Handler) {
+        self.state.bindings.borrow_mut().insert(entry_no, h);
+    }
+
+    /// Remote procedure call: send `payload` to the peer end's entry
+    /// `entry_no` and await the (possibly exceptional) reply. The calling
+    /// thread blocks; other threads in the same process keep running.
+    pub async fn call(&self, caller: &Rc<Proc>, entry_no: u32, payload: &[u8]) -> KResult<Vec<u8>> {
+        let costs = &self.rt.costs;
+        caller.compute(costs.request_sw).await;
+        let server = self
+            .peer
+            .owner
+            .borrow()
+            .clone()
+            .expect("lynx: calling a link end that is not attached");
+        // Payload travels to the server's node through simulated memory.
+        self.rt
+            .transfer(caller, server.node, payload.len().max(16))
+            .await;
+        let (promise, handle) = Promise::new();
+        self.peer.inbox.send(Request {
+            entry: entry_no,
+            payload: payload.to_vec(),
+            reply: handle,
+            client_node: caller.node,
+        });
+        self.rt.calls.set(self.rt.calls.get() + 1);
+        let out = promise.get().await;
+        // Reply payload travels back (charged to the *caller's* CPU as it
+        // blocks on reception; the server charged its own reply path).
+        if let Ok(data) = &out {
+            self.rt.transfer(caller, server.node, data.len().max(16)).await;
+        }
+        out
+    }
+}
+
+/// A Lynx process: dispatcher plus threads.
+pub struct LynxProc {
+    /// The underlying Chrysalis process.
+    pub proc: Rc<Proc>,
+    rt: Rc<LynxRt>,
+    ends: RefCell<Vec<LinkEnd>>,
+}
+
+impl LynxProc {
+    /// Serve one end: the dispatcher accepts requests on it and runs bound
+    /// handlers as lightweight threads. Returns a handle that resolves when
+    /// `n_requests` have been served (servers typically know their load;
+    /// pass `u64::MAX`-like large numbers only with external shutdown).
+    pub fn serve(&self, end: &LinkEnd, n_requests: u64) -> JoinHandle<()> {
+        let end = end.clone();
+        let p = self.proc.clone();
+        let rt = self.rt.clone();
+        self.ends.borrow_mut().push(end.clone());
+        let sim = p.os.sim().clone();
+        sim.spawn_named("lynx-dispatcher", async move {
+            for _ in 0..n_requests {
+                let req = end.state.inbox.recv().await;
+                // Dispatcher: thread switch into the handler.
+                p.compute(rt.costs.thread_switch).await;
+                let h = end.state.bindings.borrow().get(&req.entry).cloned();
+                let result = match h {
+                    Some(h) => h(p.clone(), req.payload).await,
+                    None => Err(Throw::new(Throw::E_NO_OBJ)),
+                };
+                p.compute(rt.costs.reply_sw).await;
+                // Reply transfer cost toward the client's node.
+                rt.transfer(
+                    &p,
+                    req.client_node,
+                    result.as_ref().map(|d| d.len()).unwrap_or(16).max(16),
+                )
+                .await;
+                req.reply.set(result);
+            }
+        })
+    }
+
+    /// Spawn a lightweight thread inside this process (shares the node CPU;
+    /// blocking operations switch to other threads automatically).
+    pub fn spawn_thread<T: 'static, F>(&self, fut: F) -> JoinHandle<T>
+    where
+        F: Future<Output = T> + 'static,
+    {
+        self.proc.os.sim().spawn_named("lynx-thread", fut)
+    }
+}
+
+/// The Lynx runtime on one machine.
+pub struct LynxRt {
+    /// The OS underneath.
+    pub os: Rc<Os>,
+    /// Runtime costs.
+    pub costs: LynxCosts,
+    /// Completed calls (experiment accounting).
+    pub calls: Cell<u64>,
+}
+
+impl LynxRt {
+    /// Create the runtime.
+    pub fn new(os: &Rc<Os>) -> Rc<LynxRt> {
+        Rc::new(LynxRt {
+            os: os.clone(),
+            costs: LynxCosts::default(),
+            calls: Cell::new(0),
+        })
+    }
+
+    /// Create a Lynx process on `node` and hand it to `body`.
+    pub fn spawn_process<T, F, Fut>(
+        self: &Rc<Self>,
+        node: NodeId,
+        name: &str,
+        body: F,
+    ) -> JoinHandle<T>
+    where
+        T: 'static,
+        F: FnOnce(Rc<LynxProc>) -> Fut + 'static,
+        Fut: Future<Output = T> + 'static,
+    {
+        let rt = self.clone();
+        self.os.boot_process(node, name, move |p| {
+            let lp = Rc::new(LynxProc {
+                proc: p,
+                rt,
+                ends: RefCell::new(Vec::new()),
+            });
+            body(lp)
+        })
+    }
+
+    /// Charge a cross-node payload transfer (shared-memory block move plus
+    /// an event wakeup, the Lynx transport on the Butterfly).
+    async fn transfer(&self, by: &Proc, to: NodeId, bytes: usize) {
+        let m = &self.os.machine;
+        if by.node != to {
+            // Staging region write on the remote node: model as a block
+            // access against the target memory.
+            let c = &m.cfg.costs;
+            by.compute(c.remote_issue + c.block_setup).await;
+            m.mem_resource(to)
+                .access(bytes as SimTime * c.block_per_byte_mem)
+                .await;
+            by.compute(bytes as SimTime * c.block_per_byte_switch).await;
+        } else {
+            let c = &m.cfg.costs;
+            by.compute(c.local_issue + c.block_setup).await;
+            m.mem_resource(to)
+                .access(bytes as SimTime * c.block_per_byte_mem)
+                .await;
+        }
+        // Event wakeup.
+        by.compute(self.os.costs.event_op).await;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfly_machine::{Machine, MachineConfig};
+    use bfly_sim::exec::RunOutcome;
+    use bfly_sim::Sim;
+
+    fn boot(nodes: u16) -> (Sim, Rc<Os>, Rc<LynxRt>) {
+        let sim = Sim::new();
+        let m = Machine::new(&sim, MachineConfig::small(nodes));
+        let os = Os::boot(&m);
+        let rt = LynxRt::new(&os);
+        (sim, os, rt)
+    }
+
+    #[test]
+    fn rpc_roundtrip_returns_reply() {
+        let (sim, _os, rt) = boot(4);
+        let (client_end, server_end) = Link::create(&rt);
+        let se = server_end.clone();
+        rt.spawn_process(1, "server", move |lp| async move {
+            se.move_to(&lp.proc);
+            se.bind(
+                0,
+                entry(|_p, req| async move {
+                    let v = u32::from_le_bytes(req[..4].try_into().unwrap());
+                    Ok((v * 3).to_le_bytes().to_vec())
+                }),
+            );
+            lp.serve(&se, 1).await;
+        });
+        let ce = client_end.clone();
+        let mut h = rt.spawn_process(0, "client", move |lp| async move {
+            ce.move_to(&lp.proc);
+            let reply = ce.call(&lp.proc, 0, &14u32.to_le_bytes()).await.unwrap();
+            u32::from_le_bytes(reply[..4].try_into().unwrap())
+        });
+        assert_eq!(sim.run().outcome, RunOutcome::Completed);
+        assert_eq!(h.try_take().unwrap(), 42);
+        assert_eq!(rt.calls.get(), 1);
+    }
+
+    #[test]
+    fn exceptions_propagate_to_caller() {
+        let (sim, _os, rt) = boot(4);
+        let (c, s) = Link::create(&rt);
+        let se = s.clone();
+        rt.spawn_process(1, "server", move |lp| async move {
+            se.move_to(&lp.proc);
+            se.bind(7, entry(|_p, _r| async { Err(Throw::new(77)) }));
+            lp.serve(&se, 2).await;
+        });
+        let ce = c.clone();
+        let mut h = rt.spawn_process(0, "client", move |lp| async move {
+            ce.move_to(&lp.proc);
+            let e1 = ce.call(&lp.proc, 7, b"x").await.unwrap_err().code;
+            let e2 = ce.call(&lp.proc, 99, b"x").await.unwrap_err().code; // unbound entry
+            (e1, e2)
+        });
+        sim.run();
+        let (e1, e2) = h.try_take().unwrap();
+        assert_eq!(e1, 77);
+        assert_eq!(e2, Throw::E_NO_OBJ);
+    }
+
+    #[test]
+    fn threads_overlap_while_one_blocks_on_rpc() {
+        // A client with two threads: one calls a slow server, the other
+        // computes. The compute thread must finish long before the RPC.
+        let (sim, _os, rt) = boot(4);
+        let (c, s) = Link::create(&rt);
+        let se = s.clone();
+        rt.spawn_process(1, "server", move |lp| async move {
+            se.move_to(&lp.proc);
+            se.bind(
+                0,
+                entry(|p, r| async move {
+                    p.compute(50_000_000).await; // 50ms of server work
+                    Ok(r)
+                }),
+            );
+            lp.serve(&se, 1).await;
+        });
+        let ce = c.clone();
+        let mut h = rt.spawn_process(0, "client", move |lp| async move {
+            ce.move_to(&lp.proc);
+            let p2 = lp.proc.clone();
+            let worker = lp.spawn_thread(async move {
+                p2.compute(1_000_000).await; // 1ms
+                p2.os.sim().now()
+            });
+            let t_rpc_start = lp.proc.os.sim().now();
+            ce.call(&lp.proc, 0, b"hi").await.unwrap();
+            let t_rpc_done = lp.proc.os.sim().now();
+            let t_worker_done = worker.await;
+            (t_rpc_start, t_worker_done, t_rpc_done)
+        });
+        sim.run();
+        let (_start, worker_done, rpc_done) = h.try_take().unwrap();
+        assert!(
+            worker_done < rpc_done / 2,
+            "worker thread must not be blocked by the sibling's RPC \
+             (worker={worker_done}, rpc={rpc_done})"
+        );
+    }
+
+    #[test]
+    fn moving_a_link_end_retargets_calls() {
+        let (sim, _os, rt) = boot(6);
+        let (c, s) = Link::create(&rt);
+        // Two server processes; the end moves from the first to the second.
+        let nodes_seen = Rc::new(RefCell::new(Vec::new()));
+        let handler = |seen: Rc<RefCell<Vec<NodeId>>>| {
+            entry(move |p, r| {
+                let seen = seen.clone();
+                async move {
+                    seen.borrow_mut().push(p.node);
+                    Ok(r)
+                }
+            })
+        };
+        let se = s.clone();
+        let seen1 = nodes_seen.clone();
+        rt.spawn_process(1, "server1", move |lp| async move {
+            se.move_to(&lp.proc);
+            se.bind(0, handler(seen1));
+            lp.serve(&se, 1).await;
+        });
+        let ce = c.clone();
+        let s2 = s.clone();
+        let rt2 = rt.clone();
+        let seen2 = nodes_seen.clone();
+        let mut h = rt.spawn_process(0, "client", move |lp| async move {
+            ce.move_to(&lp.proc);
+            ce.call(&lp.proc, 0, b"a").await.unwrap();
+            // Move the server end to a new process on node 4.
+            let done = Rc::new(Cell::new(false));
+            let d2 = done.clone();
+            rt2.spawn_process(4, "server2", move |lp2| async move {
+                s2.move_to(&lp2.proc);
+                s2.bind(0, handler(seen2));
+                lp2.serve(&s2, 1).await;
+                d2.set(true);
+            });
+            ce.call(&lp.proc, 0, b"b").await.unwrap();
+            done.get()
+        });
+        assert_eq!(sim.run().outcome, RunOutcome::Completed);
+        assert!(h.try_take().unwrap());
+        assert_eq!(*nodes_seen.borrow(), vec![1, 4], "second call served on node 4");
+    }
+
+    #[test]
+    fn interleaved_conversations_keep_their_contexts() {
+        // Lynx's "automatic management of context for interleaved
+        // conversations": two client threads issue RPCs over the same link
+        // concurrently; each gets its own reply.
+        let (sim, _os, rt) = boot(4);
+        let (c, s) = Link::create(&rt);
+        let se = s.clone();
+        rt.spawn_process(1, "server", move |lp| async move {
+            se.move_to(&lp.proc);
+            se.bind(
+                0,
+                entry(|p, r| async move {
+                    // Vary service time by request so replies interleave.
+                    let v = u32::from_le_bytes(r[..4].try_into().unwrap());
+                    p.compute((5 - v as u64) * 2_000_000).await;
+                    Ok((v * 100).to_le_bytes().to_vec())
+                }),
+            );
+            lp.serve(&se, 4).await;
+        });
+        let ce = c.clone();
+        let mut h = rt.spawn_process(0, "client", move |lp| async move {
+            ce.move_to(&lp.proc);
+            let mut threads = Vec::new();
+            for v in 0..4u32 {
+                let ce = ce.clone();
+                let p = lp.proc.clone();
+                threads.push(lp.spawn_thread(async move {
+                    let rep = ce.call(&p, 0, &v.to_le_bytes()).await.unwrap();
+                    u32::from_le_bytes(rep[..4].try_into().unwrap())
+                }));
+            }
+            let mut out = Vec::new();
+            for t in threads {
+                out.push(t.await);
+            }
+            out
+        });
+        sim.run();
+        assert_eq!(
+            h.try_take().unwrap(),
+            vec![0, 100, 200, 300],
+            "each conversation must receive its own reply"
+        );
+    }
+
+    #[test]
+    fn calls_count_accumulates() {
+        let (sim, _os, rt) = boot(4);
+        let (c, s) = Link::create(&rt);
+        let se = s.clone();
+        rt.spawn_process(1, "server", move |lp| async move {
+            se.move_to(&lp.proc);
+            se.bind(0, entry(|_p, r| async { Ok(r) }));
+            lp.serve(&se, 3).await;
+        });
+        let ce = c.clone();
+        rt.spawn_process(0, "client", move |lp| async move {
+            ce.move_to(&lp.proc);
+            for _ in 0..3 {
+                ce.call(&lp.proc, 0, b"x").await.unwrap();
+            }
+        });
+        sim.run();
+        assert_eq!(rt.calls.get(), 3);
+    }
+
+    #[test]
+    fn rpc_costs_milliseconds_not_microseconds() {
+        // [49]: general message passing costs are orders of magnitude above
+        // a remote reference; Lynx RPC ~ 2 messages.
+        let (sim, _os, rt) = boot(4);
+        let (c, s) = Link::create(&rt);
+        let se = s.clone();
+        rt.spawn_process(1, "server", move |lp| async move {
+            se.move_to(&lp.proc);
+            se.bind(0, entry(|_p, r| async { Ok(r) }));
+            lp.serve(&se, 1).await;
+        });
+        let ce = c.clone();
+        let mut h = rt.spawn_process(0, "client", move |lp| async move {
+            ce.move_to(&lp.proc);
+            let t0 = lp.proc.os.sim().now();
+            ce.call(&lp.proc, 0, &[0u8; 32]).await.unwrap();
+            lp.proc.os.sim().now() - t0
+        });
+        sim.run();
+        let rpc = h.try_take().unwrap();
+        assert!(
+            (1_000_000..10_000_000).contains(&rpc),
+            "null RPC should be milliseconds, got {rpc}ns"
+        );
+    }
+}

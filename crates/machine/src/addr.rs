@@ -1,0 +1,70 @@
+//! Physical addressing: every byte in the machine lives on some node.
+
+/// Index of a processing node (0-based).
+pub type NodeId = u16;
+
+/// A global physical address: `(node, offset-within-node-memory)`.
+///
+/// The Butterfly's 24-bit virtual addresses were translated by the PNC into
+/// (node, offset) pairs; segments are a Chrysalis-level concept layered on
+/// top (see `bfly-chrysalis`). At the machine level we deal in `GAddr`s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GAddr {
+    /// Owning node.
+    pub node: NodeId,
+    /// Byte offset within that node's local memory.
+    pub offset: u32,
+}
+
+impl GAddr {
+    /// Construct an address.
+    pub fn new(node: NodeId, offset: u32) -> Self {
+        GAddr { node, offset }
+    }
+
+    /// Address `bytes` further along in the same node's memory.
+    #[allow(clippy::should_implement_trait)] // domain verb, not ops::Add
+    pub fn add(self, bytes: u32) -> Self {
+        GAddr {
+            node: self.node,
+            offset: self.offset + bytes,
+        }
+    }
+
+    /// Word-aligned version of this address (rounds down to 4 bytes).
+    pub fn word_aligned(self) -> Self {
+        GAddr {
+            node: self.node,
+            offset: self.offset & !3,
+        }
+    }
+}
+
+impl std::fmt::Display for GAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}+{:#x}", self.node, self.offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_stays_on_node() {
+        let a = GAddr::new(3, 100);
+        let b = a.add(28);
+        assert_eq!(b, GAddr::new(3, 128));
+    }
+
+    #[test]
+    fn align_rounds_down() {
+        assert_eq!(GAddr::new(0, 7).word_aligned().offset, 4);
+        assert_eq!(GAddr::new(0, 8).word_aligned().offset, 8);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(GAddr::new(12, 0x40).to_string(), "n12+0x40");
+    }
+}

@@ -1,0 +1,145 @@
+//! The machine cost model, calibrated to the paper's figures (§2.1, \[17\]).
+//!
+//! All constants are simulated nanoseconds. The canonical preset
+//! [`Costs::butterfly_one`] reproduces the published ratios:
+//!
+//! * local word reference ≈ 0.8 µs; remote ≈ 4 µs (5× local);
+//! * memory unit service 0.5 µs/reference — so one memory saturates at
+//!   2 M refs/s, and remote traffic visibly steals local cycles;
+//! * microcoded atomics ≈ 6 µs; block transfers amortize the fixed remote
+//!   cost over bytes (the "copy into local memory" technique of §4.1).
+
+use bfly_sim::time::SimTime;
+
+/// How the switching network is simulated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchModel {
+    /// Switch contributes pure latency (stages × hop, each way). Used for
+    /// application experiments: the paper found switch contention almost
+    /// negligible, and this keeps event counts low.
+    Fast,
+    /// Every 4×4 switch output port is a FIFO-queued resource; packets queue
+    /// per hop. Used by experiment T6 to *demonstrate* that switch
+    /// contention is small relative to memory contention.
+    Detailed,
+}
+
+/// All machine timing constants (simulated nanoseconds).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Costs {
+    /// Processor-side overhead for issuing a local reference.
+    pub local_issue: SimTime,
+    /// Processor/PNC overhead for issuing a remote reference.
+    pub remote_issue: SimTime,
+    /// Memory unit service time per word reference (local or remote).
+    pub mem_service: SimTime,
+    /// Switch transit per stage, per direction.
+    pub hop: SimTime,
+    /// Extra PNC microcode time for an atomic read-modify-write.
+    pub atomic_extra: SimTime,
+    /// Memory unit hold time for an atomic RMW (longer than a plain read).
+    pub atomic_mem_service: SimTime,
+    /// Per-byte wire cost for remote block transfers.
+    pub block_per_byte_switch: SimTime,
+    /// Per-byte memory-unit occupancy during block transfers.
+    pub block_per_byte_mem: SimTime,
+    /// Fixed setup cost of a block transfer beyond a plain reference.
+    pub block_setup: SimTime,
+    /// Percent latency jitter injected from the sim RNG (0 = deterministic
+    /// timing; nonzero makes executions genuinely nondeterministic across
+    /// seeds — used by the Instant Replay experiments).
+    pub jitter_pct: u32,
+}
+
+impl Costs {
+    /// The Butterfly-I calibration (see DESIGN.md §5).
+    pub fn butterfly_one() -> Self {
+        Costs {
+            local_issue: 300,
+            remote_issue: 1_100,
+            mem_service: 500,
+            hop: 300,
+            atomic_extra: 1_500,
+            atomic_mem_service: 1_000,
+            block_per_byte_switch: 125,
+            block_per_byte_mem: 50,
+            block_setup: 500,
+            jitter_pct: 0,
+        }
+    }
+
+    /// The Butterfly Plus (§2.1): local references improved 4×, remote only
+    /// 2× — the locality disparity *grew*. Used in the locality ablation.
+    pub fn butterfly_plus() -> Self {
+        let b1 = Self::butterfly_one();
+        Costs {
+            local_issue: b1.local_issue / 4,
+            remote_issue: b1.remote_issue / 2,
+            mem_service: b1.mem_service / 4,
+            hop: b1.hop / 2,
+            atomic_extra: b1.atomic_extra / 2,
+            atomic_mem_service: b1.atomic_mem_service / 4,
+            block_per_byte_switch: b1.block_per_byte_switch / 2,
+            block_per_byte_mem: b1.block_per_byte_mem / 4,
+            block_setup: b1.block_setup / 2,
+            jitter_pct: 0,
+        }
+    }
+
+    /// Unloaded latency of a local word reference.
+    pub fn local_word(&self) -> SimTime {
+        self.local_issue + self.mem_service
+    }
+
+    /// Unloaded latency of a remote word reference on a machine with
+    /// `stages` switch stages.
+    pub fn remote_word(&self, stages: u32) -> SimTime {
+        self.remote_issue + 2 * stages as SimTime * self.hop + self.mem_service
+    }
+}
+
+impl Default for Costs {
+    fn default() -> Self {
+        Self::butterfly_one()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn butterfly_one_matches_paper_ratio() {
+        let c = Costs::butterfly_one();
+        let local = c.local_word();
+        let remote = c.remote_word(4); // 128-node machine: 4 stages of 4x4
+        assert_eq!(local, 800);
+        assert_eq!(remote, 4_000);
+        assert_eq!(remote / local, 5, "remote must be ~5x local (paper §2.1)");
+    }
+
+    #[test]
+    fn butterfly_plus_widens_locality_gap() {
+        let b1 = Costs::butterfly_one();
+        let bp = Costs::butterfly_plus();
+        let r1 = b1.remote_word(4) as f64 / b1.local_word() as f64;
+        let rp = bp.remote_word(4) as f64 / bp.local_word() as f64;
+        assert!(
+            rp > r1,
+            "Butterfly Plus remote:local ratio ({rp:.1}) must exceed Butterfly-I ({r1:.1})"
+        );
+    }
+
+    #[test]
+    fn block_transfer_beats_word_loop() {
+        // Copying 256 bytes as one block must be much cheaper than 64
+        // individual remote word references (this is the §4.1 locality
+        // technique's entire premise).
+        let c = Costs::butterfly_one();
+        let words = 64u64 * c.remote_word(4);
+        let block = c.remote_word(4)
+            + c.block_setup
+            + 256 * (c.block_per_byte_switch + c.block_per_byte_mem);
+        assert!(block * 3 < words, "block {block} vs words {words}");
+    }
+}

@@ -1,0 +1,41 @@
+//! # bfly-machine — a model of the BBN Butterfly-I Parallel Processor
+//!
+//! The Butterfly (§2.1 of the paper) is up to 256 processing nodes — each an
+//! 8 MHz MC68000 with up to 4 MB of local memory and a bit-slice *processor
+//! node controller* (PNC) — connected by a multistage network of 4-input,
+//! 4-output switches. All memory is local to some node, but every processor
+//! can address every memory through the switch: a **NUMA** machine where a
+//! remote reference takes ~4 µs, five times a local one, and where remote
+//! references *steal memory cycles* from the node that owns the memory.
+//!
+//! This crate models exactly those mechanisms on the [`bfly_sim`] engine:
+//!
+//! * [`node::Node`] — a processor (FIFO resource), a memory unit (FIFO
+//!   resource serving both local and remote traffic — this is where cycle
+//!   stealing comes from), real backing bytes, and a first-fit allocator.
+//! * [`switch::Switch`] — a log₄(N)-stage butterfly network; in
+//!   [`cost::SwitchModel::Detailed`] mode every 4×4 switch output port is a
+//!   queued resource, in `Fast` mode the switch contributes pure latency
+//!   (the paper, citing Rettberg & Thomas, found switch contention nearly
+//!   negligible — experiment T6 verifies our detailed model agrees).
+//! * [`machine::Machine`] — the PNC operation set: word reads/writes, block
+//!   transfers, microcoded atomics (test-and-set, fetch-and-add), and
+//!   `compute` for charging local processing time.
+//! * [`sar::SarFile`] — the 512 segment attribute registers per node,
+//!   allocated in buddy-system blocks of 8..256, that made memory management
+//!   on the Butterfly-I such "a recurring source of irritation".
+//!
+//! Memory is *really backed*: applications compute on actual bytes through
+//! simulated references, so every experiment's answer is checkable.
+
+pub mod addr;
+pub mod cost;
+pub mod machine;
+pub mod node;
+pub mod sar;
+pub mod switch;
+
+pub use addr::{GAddr, NodeId};
+pub use cost::{Costs, SwitchModel};
+pub use machine::{Machine, MachineConfig, MachineStats};
+pub use sar::{SarBlock, SarFile};

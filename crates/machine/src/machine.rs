@@ -1,0 +1,578 @@
+//! The machine itself: nodes + switch + the PNC operation set.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use bfly_sim::{Resource, Sim, SimTime};
+
+use crate::addr::{GAddr, NodeId};
+use crate::cost::{Costs, SwitchModel};
+use crate::node::Node;
+use crate::switch::Switch;
+
+/// Configuration for a simulated Butterfly.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Number of processing nodes (1..=256).
+    pub nodes: u16,
+    /// Local memory per node, bytes (1 MB on the base Butterfly-I).
+    pub mem_per_node: u32,
+    /// Timing constants.
+    pub costs: Costs,
+    /// Switch fidelity.
+    pub switch: SwitchModel,
+}
+
+impl MachineConfig {
+    /// Rochester's 128-node machine with 1 MB per node.
+    pub fn rochester() -> Self {
+        MachineConfig {
+            nodes: 128,
+            mem_per_node: 1 << 20,
+            costs: Costs::butterfly_one(),
+            switch: SwitchModel::Fast,
+        }
+    }
+
+    /// A small machine for unit tests.
+    pub fn small(nodes: u16) -> Self {
+        MachineConfig {
+            nodes,
+            mem_per_node: 1 << 18,
+            costs: Costs::butterfly_one(),
+            switch: SwitchModel::Fast,
+        }
+    }
+
+    /// Set the number of nodes.
+    pub fn with_nodes(mut self, n: u16) -> Self {
+        self.nodes = n;
+        self
+    }
+
+    /// Set the switch model.
+    pub fn with_switch(mut self, m: SwitchModel) -> Self {
+        self.switch = m;
+        self
+    }
+
+    /// Set the cost table.
+    pub fn with_costs(mut self, c: Costs) -> Self {
+        self.costs = c;
+        self
+    }
+
+    /// Set per-node memory.
+    pub fn with_mem(mut self, bytes: u32) -> Self {
+        self.mem_per_node = bytes;
+        self
+    }
+}
+
+/// Aggregate reference counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MachineStats {
+    /// Word references satisfied from the issuing node's own memory.
+    pub local_refs: u64,
+    /// Word references that crossed the switch.
+    pub remote_refs: u64,
+    /// Block transfers (any size).
+    pub block_transfers: u64,
+    /// Bytes moved by block transfers.
+    pub block_bytes: u64,
+    /// Microcoded atomic operations.
+    pub atomics: u64,
+}
+
+/// A simulated Butterfly Parallel Processor.
+pub struct Machine {
+    /// The driving simulation.
+    pub sim: Sim,
+    /// Machine configuration (costs are read by higher layers too).
+    pub cfg: MachineConfig,
+    nodes: Vec<Rc<Node>>,
+    /// The switching network.
+    pub switch: Switch,
+    stats: Cell<MachineStats>,
+}
+
+impl Machine {
+    /// Boot a machine.
+    pub fn new(sim: &Sim, cfg: MachineConfig) -> Rc<Machine> {
+        assert!(cfg.nodes >= 1 && cfg.nodes <= 256, "1..=256 nodes");
+        let nodes = (0..cfg.nodes)
+            .map(|id| Node::new(sim, id, cfg.mem_per_node))
+            .collect();
+        let switch = Switch::new(sim, cfg.nodes, cfg.switch, &cfg.costs);
+        Rc::new(Machine {
+            sim: sim.clone(),
+            cfg,
+            nodes,
+            switch,
+            stats: Cell::new(MachineStats::default()),
+        })
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> u16 {
+        self.cfg.nodes
+    }
+
+    /// Access a node.
+    pub fn node(&self, id: NodeId) -> &Rc<Node> {
+        &self.nodes[id as usize]
+    }
+
+    /// Aggregate counters so far.
+    pub fn stats(&self) -> MachineStats {
+        self.stats.get()
+    }
+
+    /// Reset aggregate counters.
+    pub fn reset_stats(&self) {
+        self.stats.set(MachineStats::default());
+        for n in &self.nodes {
+            n.local_refs.set(0);
+            n.remote_refs_in.set(0);
+            n.remote_refs_out.set(0);
+            n.cpu.reset_stats();
+            n.mem.reset_stats();
+        }
+    }
+
+    fn bump(&self, f: impl FnOnce(&mut MachineStats)) {
+        let mut s = self.stats.get();
+        f(&mut s);
+        self.stats.set(s);
+    }
+
+    fn jittered(&self, t: SimTime) -> SimTime {
+        let pct = self.cfg.costs.jitter_pct;
+        if pct == 0 {
+            t
+        } else {
+            self.sim.with_rng(|r| r.jitter(t, pct))
+        }
+    }
+
+    /// The memory resource of the node owning `addr` (exposed for
+    /// experiment instrumentation).
+    pub fn mem_resource(&self, node: NodeId) -> &Resource {
+        &self.nodes[node as usize].mem
+    }
+
+    /// The CPU resource of a node.
+    pub fn cpu_resource(&self, node: NodeId) -> &Resource {
+        &self.nodes[node as usize].cpu
+    }
+
+    /// Charge `dur` of pure local computation on `on`'s processor.
+    pub async fn compute(&self, on: NodeId, dur: SimTime) {
+        self.nodes[on as usize].cpu.access(dur).await;
+    }
+
+    // ---------------------------------------------------------------
+    // Word references
+    // ---------------------------------------------------------------
+
+    /// One word-granularity reference from node `from` to `addr`,
+    /// transferring `len <= 8` bytes (1 memory-unit service per 4 bytes).
+    /// Returns after the full round trip; the issuing CPU stalls throughout.
+    async fn word_ref(&self, from: NodeId, addr: GAddr, len: u32) {
+        let c = &self.cfg.costs;
+        let words = len.div_ceil(4).max(1) as SimTime;
+        let target = &self.nodes[addr.node as usize];
+        let _cpu = self.nodes[from as usize].cpu.acquire().await;
+        if from == addr.node {
+            target.local_refs.set(target.local_refs.get() + 1);
+            self.bump(|s| s.local_refs += 1);
+            self.sim.sleep(self.jittered(c.local_issue)).await;
+            target.mem.access(self.jittered(words * c.mem_service)).await;
+        } else {
+            self.nodes[from as usize]
+                .remote_refs_out
+                .set(self.nodes[from as usize].remote_refs_out.get() + 1);
+            target.remote_refs_in.set(target.remote_refs_in.get() + 1);
+            self.bump(|s| s.remote_refs += 1);
+            self.sim.sleep(self.jittered(c.remote_issue)).await;
+            self.switch.traverse(&self.sim, from, addr.node).await;
+            target.mem.access(self.jittered(words * c.mem_service)).await;
+            self.switch.traverse(&self.sim, addr.node, from).await;
+        }
+    }
+
+    /// Read a 32-bit word.
+    pub async fn read_u32(&self, from: NodeId, addr: GAddr) -> u32 {
+        self.word_ref(from, addr, 4).await;
+        let mut b = [0u8; 4];
+        self.nodes[addr.node as usize].load(addr.offset, &mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Write a 32-bit word.
+    pub async fn write_u32(&self, from: NodeId, addr: GAddr, val: u32) {
+        self.word_ref(from, addr, 4).await;
+        self.nodes[addr.node as usize].store(addr.offset, &val.to_le_bytes());
+    }
+
+    /// Read a 64-bit float (two bus words on the Butterfly).
+    pub async fn read_f64(&self, from: NodeId, addr: GAddr) -> f64 {
+        self.word_ref(from, addr, 8).await;
+        let mut b = [0u8; 8];
+        self.nodes[addr.node as usize].load(addr.offset, &mut b);
+        f64::from_le_bytes(b)
+    }
+
+    /// Write a 64-bit float.
+    pub async fn write_f64(&self, from: NodeId, addr: GAddr, val: f64) {
+        self.word_ref(from, addr, 8).await;
+        self.nodes[addr.node as usize].store(addr.offset, &val.to_le_bytes());
+    }
+
+    // ---------------------------------------------------------------
+    // Microcoded atomics (PNC)
+    // ---------------------------------------------------------------
+
+    async fn atomic_ref(&self, from: NodeId, addr: GAddr) {
+        let c = &self.cfg.costs;
+        let target = &self.nodes[addr.node as usize];
+        self.bump(|s| s.atomics += 1);
+        let _cpu = self.nodes[from as usize].cpu.acquire().await;
+        if from == addr.node {
+            self.sim.sleep(self.jittered(c.local_issue + c.atomic_extra)).await;
+            target.mem.access(self.jittered(c.atomic_mem_service)).await;
+        } else {
+            target.remote_refs_in.set(target.remote_refs_in.get() + 1);
+            self.sim.sleep(self.jittered(c.remote_issue + c.atomic_extra)).await;
+            self.switch.traverse(&self.sim, from, addr.node).await;
+            target.mem.access(self.jittered(c.atomic_mem_service)).await;
+            self.switch.traverse(&self.sim, addr.node, from).await;
+        }
+    }
+
+    /// Atomic fetch-and-add on a 32-bit word; returns the previous value.
+    pub async fn fetch_add_u32(&self, from: NodeId, addr: GAddr, delta: u32) -> u32 {
+        self.atomic_ref(from, addr).await;
+        let node = &self.nodes[addr.node as usize];
+        let mut b = [0u8; 4];
+        node.load(addr.offset, &mut b);
+        let old = u32::from_le_bytes(b);
+        node.store(addr.offset, &old.wrapping_add(delta).to_le_bytes());
+        old
+    }
+
+    /// Atomic test-and-set of a word: sets it to 1, returns the old value
+    /// (0 means the caller acquired the lock).
+    pub async fn test_and_set(&self, from: NodeId, addr: GAddr) -> u32 {
+        self.atomic_ref(from, addr).await;
+        let node = &self.nodes[addr.node as usize];
+        let mut b = [0u8; 4];
+        node.load(addr.offset, &mut b);
+        let old = u32::from_le_bytes(b);
+        node.store(addr.offset, &1u32.to_le_bytes());
+        old
+    }
+
+    /// Atomic unconditional store (used to release locks).
+    pub async fn atomic_store(&self, from: NodeId, addr: GAddr, val: u32) {
+        self.atomic_ref(from, addr).await;
+        self.nodes[addr.node as usize].store(addr.offset, &val.to_le_bytes());
+    }
+
+    // ---------------------------------------------------------------
+    // Block transfers
+    // ---------------------------------------------------------------
+
+    async fn block_ref(&self, from: NodeId, addr: GAddr, len: u32) {
+        let c = &self.cfg.costs;
+        let target = &self.nodes[addr.node as usize];
+        self.bump(|s| {
+            s.block_transfers += 1;
+            s.block_bytes += len as u64;
+        });
+        let bytes = len as SimTime;
+        let _cpu = self.nodes[from as usize].cpu.acquire().await;
+        if from == addr.node {
+            self.sim.sleep(self.jittered(c.local_issue + c.block_setup)).await;
+            target
+                .mem
+                .access(self.jittered(bytes * c.block_per_byte_mem))
+                .await;
+        } else {
+            target.remote_refs_in.set(target.remote_refs_in.get() + 1);
+            self.sim.sleep(self.jittered(c.remote_issue + c.block_setup)).await;
+            self.switch.traverse(&self.sim, from, addr.node).await;
+            // Memory occupied while the block streams out, then the bytes
+            // cross the wire.
+            target
+                .mem
+                .access(self.jittered(bytes * c.block_per_byte_mem))
+                .await;
+            self.sim
+                .sleep(self.jittered(bytes * c.block_per_byte_switch))
+                .await;
+            self.switch.traverse(&self.sim, addr.node, from).await;
+        }
+    }
+
+    /// Block-read `out.len()` bytes starting at `addr` into a local buffer.
+    /// This is the PNC block-transfer the Uniform System's "copy into local
+    /// memory" technique is built on.
+    pub async fn read_block(&self, from: NodeId, addr: GAddr, out: &mut [u8]) {
+        self.block_ref(from, addr, out.len() as u32).await;
+        self.nodes[addr.node as usize].load(addr.offset, out);
+    }
+
+    /// Block-write a buffer to `addr`.
+    pub async fn write_block(&self, from: NodeId, addr: GAddr, src: &[u8]) {
+        self.block_ref(from, addr, src.len() as u32).await;
+        self.nodes[addr.node as usize].store(addr.offset, src);
+    }
+
+    /// Machine-to-machine block copy (read + write as one pipelined
+    /// operation; charged as a read followed by a write).
+    pub async fn copy_block(&self, by: NodeId, dst: GAddr, src: GAddr, len: u32) {
+        // Stream through the copying node in 4 KB chunks so huge copies
+        // don't allocate huge temporary buffers.
+        let mut done = 0u32;
+        let mut buf = vec![0u8; len.min(4096) as usize];
+        while done < len {
+            let chunk = (len - done).min(4096);
+            let b = &mut buf[..chunk as usize];
+            self.read_block(by, src.add(done), b).await;
+            self.write_block(by, dst.add(done), b).await;
+            done += chunk;
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Zero-cost debug access (host-side inspection, no simulated time)
+    // ---------------------------------------------------------------
+
+    /// Read memory without charging simulated time (host/debugger access).
+    pub fn peek(&self, addr: GAddr, out: &mut [u8]) {
+        self.nodes[addr.node as usize].load(addr.offset, out);
+    }
+
+    /// Write memory without charging simulated time (host/debugger access).
+    pub fn poke(&self, addr: GAddr, src: &[u8]) {
+        self.nodes[addr.node as usize].store(addr.offset, src);
+    }
+
+    /// Host-side u32 read.
+    pub fn peek_u32(&self, addr: GAddr) -> u32 {
+        let mut b = [0u8; 4];
+        self.peek(addr, &mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Host-side f64 read.
+    pub fn peek_f64(&self, addr: GAddr) -> f64 {
+        let mut b = [0u8; 8];
+        self.peek(addr, &mut b);
+        f64::from_le_bytes(b)
+    }
+
+    /// Host-side u32 write.
+    pub fn poke_u32(&self, addr: GAddr, v: u32) {
+        self.poke(addr, &v.to_le_bytes());
+    }
+
+    /// Host-side f64 write.
+    pub fn poke_f64(&self, addr: GAddr, v: f64) {
+        self.poke(addr, &v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boot(nodes: u16) -> (Sim, Rc<Machine>) {
+        let sim = Sim::new();
+        let m = Machine::new(&sim, MachineConfig::small(nodes));
+        (sim, m)
+    }
+
+    #[test]
+    fn local_ref_costs_800ns() {
+        let (sim, m) = boot(16);
+        let a = m.node(0).alloc(64).unwrap();
+        let m2 = m.clone();
+        sim.block_on(async move {
+            m2.write_u32(0, a, 0xDEAD).await;
+        });
+        assert_eq!(sim.now(), 800);
+        assert_eq!(m.peek_u32(a), 0xDEAD);
+    }
+
+    #[test]
+    fn remote_ref_is_5x_local() {
+        // 128-node machine: 4 stages. Remote = 1100 + 2*4*300 + 500 = 4000.
+        let sim = Sim::new();
+        let m = Machine::new(&sim, MachineConfig::rochester());
+        let a = m.node(100).alloc(64).unwrap();
+        let m2 = m.clone();
+        let t = sim.block_on(async move {
+            let t0 = m2.sim.now();
+            m2.read_u32(0, a).await;
+            m2.sim.now() - t0
+        });
+        assert_eq!(t, 4_000);
+        assert_eq!(m.stats().remote_refs, 1);
+    }
+
+    #[test]
+    fn data_roundtrips_through_memory() {
+        let (sim, m) = boot(8);
+        let a = m.node(3).alloc(128).unwrap();
+        let m2 = m.clone();
+        let v = sim.block_on(async move {
+            m2.write_f64(1, a, 3.25).await;
+            m2.read_f64(2, a).await
+        });
+        assert_eq!(v, 3.25);
+    }
+
+    #[test]
+    fn fetch_add_is_atomic_in_effect() {
+        let (sim, m) = boot(16);
+        let ctr = m.node(0).alloc(4).unwrap();
+        for i in 0..10u16 {
+            let m = m.clone();
+            sim.spawn(async move {
+                m.fetch_add_u32(i % 16, ctr, 1).await;
+            });
+        }
+        sim.run();
+        assert_eq!(m.peek_u32(ctr), 10);
+        assert_eq!(m.stats().atomics, 10);
+    }
+
+    #[test]
+    fn test_and_set_grants_exactly_one_winner() {
+        let (sim, m) = boot(8);
+        let lock = m.node(0).alloc(4).unwrap();
+        let winners = Rc::new(Cell::new(0u32));
+        for i in 0..8u16 {
+            let m = m.clone();
+            let w = winners.clone();
+            sim.spawn(async move {
+                if m.test_and_set(i, lock).await == 0 {
+                    w.set(w.get() + 1);
+                }
+            });
+        }
+        sim.run();
+        assert_eq!(winners.get(), 1);
+    }
+
+    #[test]
+    fn block_copy_moves_data_and_beats_word_loop() {
+        let sim = Sim::new();
+        let m = Machine::new(&sim, MachineConfig::rochester());
+        let src = m.node(5).alloc(256).unwrap();
+        let dst = m.node(0).alloc(256).unwrap();
+        let pattern: Vec<u8> = (0..=255).collect();
+        m.poke(src, &pattern);
+
+        // Block copy.
+        let m2 = m.clone();
+        let t_block = sim.block_on(async move {
+            let t0 = m2.sim.now();
+            let mut buf = [0u8; 256];
+            m2.read_block(0, src, &mut buf).await;
+            m2.write_block(0, dst, &buf).await;
+            m2.sim.now() - t0
+        });
+        let mut check = [0u8; 256];
+        m.peek(dst, &mut check);
+        assert_eq!(&check[..], &pattern[..]);
+
+        // Word loop for comparison.
+        let m2 = m.clone();
+        let t_words = sim.block_on(async move {
+            let t0 = m2.sim.now();
+            for w in 0..64u32 {
+                let v = m2.read_u32(0, src.add(w * 4)).await;
+                m2.write_u32(0, dst.add(w * 4), v).await;
+            }
+            m2.sim.now() - t0
+        });
+        assert!(
+            t_block * 2 < t_words,
+            "block copy ({t_block}ns) must clearly beat word loop ({t_words}ns)"
+        );
+    }
+
+    #[test]
+    fn remote_traffic_steals_local_memory_cycles() {
+        // One local worker does 100 local refs; measure how long that takes
+        // while 0 vs 32 remote spinners hammer the same node's memory.
+        fn run(spinners: u16) -> u64 {
+            let sim = Sim::new();
+            let m = Machine::new(&sim, MachineConfig::small(64));
+            let hot = m.node(0).alloc(4).unwrap();
+            let local = m.node(0).alloc(4).unwrap();
+            let done = Rc::new(Cell::new(false));
+            for s in 1..=spinners {
+                let m = m.clone();
+                let done = done.clone();
+                sim.spawn(async move {
+                    while !done.get() {
+                        m.read_u32(s, hot).await;
+                    }
+                });
+            }
+            let m2 = m.clone();
+            let done2 = done.clone();
+            let h = sim.spawn(async move {
+                let t0 = m2.sim.now();
+                for _ in 0..100 {
+                    m2.read_u32(0, local).await;
+                }
+                done2.set(true);
+                m2.sim.now() - t0
+            });
+            let mut h = h;
+            sim.run();
+            h.try_take().unwrap()
+        }
+        let alone = run(0);
+        let contended = run(32);
+        assert_eq!(alone, 100 * 800);
+        assert!(
+            contended > alone * 2,
+            "32 remote spinners must slow local work well beyond 2x \
+             (alone={alone}, contended={contended})"
+        );
+    }
+
+    #[test]
+    fn compute_charges_cpu_time() {
+        let (sim, m) = boot(4);
+        let m2 = m.clone();
+        sim.block_on(async move {
+            m2.compute(2, 10_000).await;
+        });
+        assert_eq!(sim.now(), 10_000);
+        let st = m.cpu_resource(2).stats();
+        assert_eq!(st.busy_ns, 10_000);
+    }
+
+    #[test]
+    fn copy_block_streams_large_regions() {
+        let (sim, m) = boot(4);
+        let src = m.node(1).alloc(10_000).unwrap();
+        let dst = m.node(2).alloc(10_000).unwrap();
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        m.poke(src, &data);
+        let m2 = m.clone();
+        sim.block_on(async move {
+            m2.copy_block(3, dst, src, 10_000).await;
+        });
+        let mut out = vec![0u8; 10_000];
+        m.peek(dst, &mut out);
+        assert_eq!(out, data);
+    }
+}

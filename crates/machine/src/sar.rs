@@ -1,0 +1,161 @@
+//! Segment Attribute Registers.
+//!
+//! Each Butterfly-I node has 512 32-bit SARs and one ASAR per processor
+//! (§2.1). A process's address space is a contiguous *block* of SARs — one
+//! of the sizes 8, 16, 32, 64, 128, 256 — handed out by a buddy system.
+//! One SAR maps one memory object (segment) of up to 64 KB, so a process
+//! can address at most `block_size` segments; with 256-SAR blocks at most
+//! two processes fit on a node. This scarcity is the root of the paper's
+//! "recurring source of irritation" (§2.1) and of the SMP SAR cache (§3.2).
+
+/// Legal SAR block sizes (three ASAR bits select among these).
+pub const SAR_BLOCK_SIZES: [u16; 6] = [8, 16, 32, 64, 128, 256];
+
+/// Total SARs per node.
+pub const SARS_PER_NODE: u16 = 512;
+
+/// A buddy allocator over one node's 512 SARs.
+pub struct SarFile {
+    /// free[k] holds base indices of free blocks of size 8 << k.
+    free: Vec<Vec<u16>>,
+}
+
+/// An allocated block of SARs (a process's address-space capacity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SarBlock {
+    /// First SAR index of the block.
+    pub base: u16,
+    /// Number of SARs (= maximum mappable segments).
+    pub size: u16,
+}
+
+fn order_of(size: u16) -> Option<usize> {
+    SAR_BLOCK_SIZES.iter().position(|&s| s == size)
+}
+
+impl SarFile {
+    /// A node's full complement of SARs, initially two free 256-blocks.
+    pub fn new() -> Self {
+        let mut free = vec![Vec::new(); SAR_BLOCK_SIZES.len()];
+        let top = SAR_BLOCK_SIZES.len() - 1;
+        free[top].push(0);
+        free[top].push(256);
+        SarFile { free }
+    }
+
+    /// Allocate a block of exactly `size` SARs (must be a legal size).
+    /// Splits larger buddies as needed.
+    pub fn alloc_block(&mut self, size: u16) -> Option<SarBlock> {
+        let want = order_of(size)?;
+        // Find the smallest free order >= want.
+        let mut k = want;
+        while k < self.free.len() && self.free[k].is_empty() {
+            k += 1;
+        }
+        if k == self.free.len() {
+            return None;
+        }
+        let base = self.free[k].pop().unwrap();
+        // Split down to the requested order, freeing the upper buddy halves.
+        while k > want {
+            k -= 1;
+            let half = SAR_BLOCK_SIZES[k];
+            self.free[k].push(base + half);
+            let _ = base; // lower half continues to split
+        }
+        Some(SarBlock { base, size })
+    }
+
+    /// Return a block; coalesces buddies back together.
+    pub fn free_block(&mut self, block: SarBlock) {
+        let mut k = order_of(block.size).expect("illegal SAR block size");
+        let mut base = block.base;
+        loop {
+            let size = SAR_BLOCK_SIZES[k];
+            let buddy = base ^ size;
+            if k + 1 < SAR_BLOCK_SIZES.len() {
+                if let Some(pos) = self.free[k].iter().position(|&b| b == buddy) {
+                    self.free[k].swap_remove(pos);
+                    base = base.min(buddy);
+                    k += 1;
+                    continue;
+                }
+            }
+            self.free[k].push(base);
+            return;
+        }
+    }
+
+    /// Total SARs currently free.
+    pub fn free_sars(&self) -> u16 {
+        self.free
+            .iter()
+            .enumerate()
+            .map(|(k, v)| v.len() as u16 * SAR_BLOCK_SIZES[k])
+            .sum()
+    }
+}
+
+impl Default for SarFile {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_file_has_all_sars() {
+        assert_eq!(SarFile::new().free_sars(), 512);
+    }
+
+    #[test]
+    fn two_full_processes_exhaust_the_node() {
+        // §2.1: 16MB address spaces (256 segments) fit "only if there were
+        // at most two processes per processor".
+        let mut f = SarFile::new();
+        assert!(f.alloc_block(256).is_some());
+        assert!(f.alloc_block(256).is_some());
+        assert!(f.alloc_block(8).is_none(), "no SARs left for a third process");
+    }
+
+    #[test]
+    fn split_and_coalesce() {
+        let mut f = SarFile::new();
+        let a = f.alloc_block(8).unwrap();
+        assert_eq!(f.free_sars(), 504);
+        let b = f.alloc_block(64).unwrap();
+        f.free_block(a);
+        f.free_block(b);
+        assert_eq!(f.free_sars(), 512);
+        // After coalescing we can again fit two 256-blocks.
+        assert!(f.alloc_block(256).is_some());
+        assert!(f.alloc_block(256).is_some());
+    }
+
+    #[test]
+    fn many_small_blocks() {
+        let mut f = SarFile::new();
+        let blocks: Vec<_> = (0..64).map(|_| f.alloc_block(8).unwrap()).collect();
+        assert_eq!(f.free_sars(), 0);
+        // All bases distinct and 8-aligned.
+        let mut bases: Vec<_> = blocks.iter().map(|b| b.base).collect();
+        bases.sort_unstable();
+        bases.dedup();
+        assert_eq!(bases.len(), 64);
+        assert!(bases.iter().all(|b| b % 8 == 0));
+        for b in blocks {
+            f.free_block(b);
+        }
+        assert_eq!(f.free_sars(), 512);
+    }
+
+    #[test]
+    fn illegal_size_rejected() {
+        let mut f = SarFile::new();
+        assert!(f.alloc_block(12).is_none());
+        assert!(f.alloc_block(0).is_none());
+    }
+}

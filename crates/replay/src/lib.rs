@@ -1,0 +1,33 @@
+//! # bfly-replay — Instant Replay and Moviola (§3.3)
+//!
+//! "It was the realization that cyclic debugging of nondeterministic
+//! behavior was impractical, coupled with the observation that the standard
+//! approach ... based on message logs would quickly fill all memory, that
+//! led to the development of Instant Replay. Instant Replay allows us to
+//! reproduce the execution behavior of parallel programs by saving the
+//! relative order of significant events as they occur, and then forcing the
+//! same relative order to occur while re-running the program."
+//!
+//! Key properties reproduced here (LeBlanc & Mellor-Crummey, IEEE ToC
+//! C-36:4):
+//!
+//! * only the **order** is logged — a `(object, version)` pair per access,
+//!   never the data communicated;
+//! * the protocol assumes a CREW (concurrent-read exclusive-write) shared
+//!   object model, which underlies both shared memory and message passing —
+//!   so it works for every package in this workspace;
+//! * no central bottleneck and no global clock: each process keeps its own
+//!   log;
+//! * monitoring overhead is a few percent (experiment T9 measures it).
+//!
+//! [`Moviola`] renders the recorded partial order as DOT or an ASCII
+//! timeline — the "graphical execution browser" used to find bottlenecks,
+//! message-ordering bugs, and the odd-even-merge-sort deadlock of Figure 6.
+
+pub mod moviola;
+pub mod object;
+pub mod system;
+
+pub use moviola::Moviola;
+pub use object::SharedObject;
+pub use system::{AccessKind, AccessRecord, Mode, ReplaySystem};

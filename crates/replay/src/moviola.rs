@@ -1,0 +1,310 @@
+//! Moviola: the graphical execution browser (§3.3), as DOT / ASCII export.
+//!
+//! "The graphics package, known as Moviola, makes it possible to examine
+//! the partial order of events in a parallel program at arbitrary levels of
+//! detail. It has been used to discover performance bottlenecks and
+//! message-ordering bugs, and to derive analytical predictions of running
+//! times." Figure 6 of the paper is a Moviola view of a deadlock in an
+//! odd-even merge sort; `bfly-apps` reproduces that workflow.
+
+use std::collections::HashMap;
+
+use crate::system::{AccessKind, AccessRecord};
+
+/// A browsable partial order of accesses.
+pub struct Moviola {
+    records: Vec<AccessRecord>,
+}
+
+impl Moviola {
+    /// Build from a recorded trace (time-sorted; [`crate::ReplaySystem::trace`]
+    /// provides that).
+    pub fn new(mut records: Vec<AccessRecord>) -> Moviola {
+        records.sort_by_key(|r| (r.time, r.actor));
+        Moviola { records }
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[AccessRecord] {
+        &self.records
+    }
+
+    /// The happens-before edges: program order (consecutive events of one
+    /// actor) plus object order (write of version v → any access of
+    /// version ≥ v+1 on the same object, restricted to the immediate next
+    /// access per object for a readable graph).
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let mut edges = Vec::new();
+        let mut last_of_actor: HashMap<u32, usize> = HashMap::new();
+        let mut last_write_of_obj: HashMap<u32, usize> = HashMap::new();
+        for (i, r) in self.records.iter().enumerate() {
+            if let Some(&p) = last_of_actor.get(&r.actor) {
+                edges.push((p, i));
+            }
+            last_of_actor.insert(r.actor, i);
+            if let Some(&w) = last_write_of_obj.get(&r.obj) {
+                // Cross-actor object dependence only (program order already
+                // covers same-actor).
+                if self.records[w].actor != r.actor {
+                    edges.push((w, i));
+                }
+            }
+            if matches!(r.kind, AccessKind::Write { .. }) {
+                last_write_of_obj.insert(r.obj, i);
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        edges
+    }
+
+    /// Is record `a` ordered before record `b` in the partial order?
+    pub fn happens_before(&self, a: usize, b: usize) -> bool {
+        if a == b {
+            return false;
+        }
+        let mut adj: HashMap<usize, Vec<usize>> = HashMap::new();
+        for (x, y) in self.edges() {
+            adj.entry(x).or_default().push(y);
+        }
+        let mut stack = vec![a];
+        let mut seen = std::collections::HashSet::new();
+        while let Some(n) = stack.pop() {
+            if n == b {
+                return true;
+            }
+            if seen.insert(n) {
+                if let Some(next) = adj.get(&n) {
+                    stack.extend(next.iter().copied());
+                }
+            }
+        }
+        false
+    }
+
+    /// The critical path: the chain of records (indices) along
+    /// happens-before edges with the greatest total elapsed time — "the
+    /// toolkit ... has been used to discover performance bottlenecks ...
+    /// and to derive analytical predictions of running times" (§3.3).
+    /// Edge weight is the time gap between the two records.
+    pub fn critical_path(&self) -> Vec<usize> {
+        let n = self.records.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut adj: HashMap<usize, Vec<usize>> = HashMap::new();
+        let mut indeg = vec![0usize; n];
+        for (x, y) in self.edges() {
+            adj.entry(x).or_default().push(y);
+            indeg[y] += 1;
+        }
+        // Longest path in the DAG (records are time-sorted, so index order
+        // is a valid topological order — edges only go forward). Edge gaps
+        // telescope to (end − start), so ties are broken by hop count: the
+        // chain with the most intermediate dependences is the one a
+        // bottleneck hunter wants to see.
+        let mut best: Vec<(u64, usize)> = vec![(0, 0); n];
+        let mut pred: Vec<Option<usize>> = vec![None; n];
+        for x in 0..n {
+            if let Some(next) = adj.get(&x) {
+                for &y in next {
+                    let gap = self.records[y].time - self.records[x].time;
+                    let cand = (best[x].0 + gap, best[x].1 + 1);
+                    if cand > best[y] {
+                        best[y] = cand;
+                        pred[y] = Some(x);
+                    }
+                }
+            }
+        }
+        let end = (0..n).max_by_key(|&i| best[i]).unwrap();
+        let mut path = vec![end];
+        while let Some(p) = pred[*path.last().unwrap()] {
+            path.push(p);
+        }
+        path.reverse();
+        path
+    }
+
+    /// Time spent per actor along the critical path — the bottleneck
+    /// report: the actor holding the largest share is where to look first.
+    pub fn bottleneck_report(&self) -> Vec<(u32, u64)> {
+        let path = self.critical_path();
+        let mut per: HashMap<u32, u64> = HashMap::new();
+        for w in path.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let span = self.records[b].time - self.records[a].time;
+            // Attribute the gap to the actor that was working toward b.
+            *per.entry(self.records[b].actor).or_default() += span;
+        }
+        let mut v: Vec<(u32, u64)> = per.into_iter().collect();
+        v.sort_by_key(|&(_, t)| std::cmp::Reverse(t));
+        v
+    }
+
+    /// Graphviz DOT of the partial order (one lane per actor).
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph moviola {\n  rankdir=TB;\n");
+        let mut actors: Vec<u32> = self.records.iter().map(|r| r.actor).collect();
+        actors.sort_unstable();
+        actors.dedup();
+        for a in &actors {
+            out.push_str(&format!("  subgraph cluster_{a} {{ label=\"P{a}\";\n"));
+            for (i, r) in self.records.iter().enumerate() {
+                if r.actor == *a {
+                    let kind = match r.kind {
+                        AccessKind::Read => "R",
+                        AccessKind::Write { .. } => "W",
+                    };
+                    out.push_str(&format!(
+                        "    e{i} [label=\"{kind} obj{} v{} @{}\"];\n",
+                        r.obj, r.version, r.time
+                    ));
+                }
+            }
+            out.push_str("  }\n");
+        }
+        for (x, y) in self.edges() {
+            let style = if self.records[x].actor == self.records[y].actor {
+                ""
+            } else {
+                " [color=red]"
+            };
+            out.push_str(&format!("  e{x} -> e{y}{style};\n"));
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// A terminal-friendly timeline: one column per actor, rows in time
+    /// order.
+    pub fn ascii_timeline(&self) -> String {
+        let mut actors: Vec<u32> = self.records.iter().map(|r| r.actor).collect();
+        actors.sort_unstable();
+        actors.dedup();
+        let col: HashMap<u32, usize> =
+            actors.iter().enumerate().map(|(i, &a)| (a, i)).collect();
+        let mut out = String::new();
+        out.push_str("      time ");
+        for a in &actors {
+            out.push_str(&format!("{:>12}", format!("P{a}")));
+        }
+        out.push('\n');
+        for r in &self.records {
+            let kind = match r.kind {
+                AccessKind::Read => 'R',
+                AccessKind::Write { .. } => 'W',
+            };
+            let cell = format!("{kind}o{}v{}", r.obj, r.version);
+            let c = col[&r.actor];
+            out.push_str(&format!("{:>10} ", r.time));
+            for i in 0..actors.len() {
+                if i == c {
+                    out.push_str(&format!("{cell:>12}"));
+                } else {
+                    out.push_str(&format!("{:>12}", "."));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(actor: u32, obj: u32, version: u64, write: bool, time: u64) -> AccessRecord {
+        AccessRecord {
+            actor,
+            obj,
+            version,
+            kind: if write {
+                AccessKind::Write { readers: 0 }
+            } else {
+                AccessKind::Read
+            },
+            time,
+        }
+    }
+
+    fn sample() -> Moviola {
+        Moviola::new(vec![
+            rec(0, 0, 0, true, 10),  // e0: P0 writes obj0
+            rec(1, 0, 1, false, 20), // e1: P1 reads what P0 wrote
+            rec(1, 1, 0, true, 30),  // e2: P1 writes obj1
+            rec(0, 1, 1, false, 40), // e3: P0 reads obj1
+        ])
+    }
+
+    #[test]
+    fn edges_capture_program_and_object_order() {
+        let m = sample();
+        let e = m.edges();
+        assert!(e.contains(&(0, 1)), "object order: P0 write -> P1 read");
+        assert!(e.contains(&(1, 2)), "program order within P1");
+        assert!(e.contains(&(2, 3)), "object order: P1 write -> P0 read");
+        assert!(e.contains(&(0, 3)), "program order within P0");
+    }
+
+    #[test]
+    fn happens_before_is_transitive() {
+        let m = sample();
+        assert!(m.happens_before(0, 3));
+        assert!(m.happens_before(0, 2));
+        assert!(!m.happens_before(3, 0));
+        assert!(!m.happens_before(1, 1));
+    }
+
+    #[test]
+    fn dot_names_every_event() {
+        let m = sample();
+        let dot = m.to_dot();
+        for i in 0..4 {
+            assert!(dot.contains(&format!("e{i} ")), "missing node e{i}");
+        }
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("color=red"), "cross-actor edges highlighted");
+    }
+
+    #[test]
+    fn critical_path_follows_the_dependence_chain() {
+        let m = sample();
+        // e0 -> e1 -> e2 -> e3 is the only full chain (10..40).
+        assert_eq!(m.critical_path(), vec![0, 1, 2, 3]);
+        let report = m.bottleneck_report();
+        // P1 accounts for e1 (10) + e2 (10) = 20; P0 for e3 (10).
+        assert_eq!(report[0], (1, 20));
+        assert_eq!(report[1], (0, 10));
+    }
+
+    #[test]
+    fn critical_path_of_independent_actors_is_single_hop() {
+        // Two actors touching disjoint objects: no cross edges, path stays
+        // within one actor.
+        let m = Moviola::new(vec![
+            rec(0, 0, 0, true, 0),
+            rec(1, 1, 0, true, 5),
+            rec(0, 0, 1, false, 100),
+        ]);
+        let p = m.critical_path();
+        assert_eq!(p, vec![0, 2], "longest chain is actor 0's 100ns span");
+    }
+
+    #[test]
+    fn empty_trace_has_empty_path() {
+        let m = Moviola::new(Vec::new());
+        assert!(m.critical_path().is_empty());
+        assert!(m.bottleneck_report().is_empty());
+    }
+
+    #[test]
+    fn ascii_timeline_has_one_row_per_event() {
+        let m = sample();
+        let text = m.ascii_timeline();
+        assert_eq!(text.lines().count(), 5, "header + 4 events");
+        assert!(text.contains("Wo0v0"));
+        assert!(text.contains("Ro1v1"));
+    }
+}

@@ -1,0 +1,616 @@
+//! The virtual-time executor: task spawning, the run loop, timers,
+//! join handles, and deadlock detection.
+
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+
+use crate::rng::SplitMix64;
+use crate::time::SimTime;
+use crate::trace::Recorder;
+
+type BoxFut = Pin<Box<dyn Future<Output = ()> + 'static>>;
+
+/// A handle to a simulation. Cheap to clone; all clones refer to the same
+/// virtual clock and task set.
+#[derive(Clone)]
+pub struct Sim {
+    pub(crate) inner: Rc<Inner>,
+}
+
+pub(crate) struct Inner {
+    now: Cell<SimTime>,
+    seq: Cell<u64>,
+    timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
+    tasks: RefCell<Vec<Option<Task>>>,
+    free_ids: RefCell<Vec<usize>>,
+    ready: Arc<ReadyQueue>,
+    live: Cell<usize>,
+    rng: RefCell<SplitMix64>,
+    events_processed: Cell<u64>,
+    tasks_spawned: Cell<u64>,
+    recorder: RefCell<Option<Recorder>>,
+}
+
+struct Task {
+    fut: BoxFut,
+    waker: Waker,
+    wake_flag: Arc<AtomicBool>,
+    name: Rc<str>,
+}
+
+struct TimerEntry {
+    at: SimTime,
+    seq: u64,
+    waker: Waker,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Ready-task queue shared with wakers. A `Mutex` is used only to satisfy the
+/// `Waker` contract (`Send + Sync`); the simulator is single-threaded, so it
+/// is never contended.
+struct ReadyQueue {
+    q: Mutex<VecDeque<usize>>,
+}
+
+impl ReadyQueue {
+    fn push(&self, id: usize) {
+        self.q.lock().unwrap().push_back(id);
+    }
+    fn pop(&self) -> Option<usize> {
+        self.q.lock().unwrap().pop_front()
+    }
+}
+
+struct TaskWaker {
+    id: usize,
+    ready: Arc<ReadyQueue>,
+    /// Deduplicates wakeups between polls so a task appears in the ready
+    /// queue at most once.
+    queued: Arc<AtomicBool>,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.wake_by_ref();
+    }
+    fn wake_by_ref(self: &Arc<Self>) {
+        if !self.queued.swap(true, Ordering::Relaxed) {
+            self.ready.push(self.id);
+        }
+    }
+}
+
+/// Why [`Sim::run`] returned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Every spawned task ran to completion.
+    Completed,
+    /// Live tasks remain but nothing can ever wake them.
+    Deadlock {
+        /// Names of the stuck tasks, for diagnostics / Moviola.
+        stuck: Vec<String>,
+    },
+}
+
+/// Counters describing a finished run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunStats {
+    /// Virtual time when the run loop stopped.
+    pub end_time: SimTime,
+    /// Total task polls performed.
+    pub events: u64,
+    /// Total tasks ever spawned.
+    pub tasks: u64,
+    /// How the run ended.
+    pub outcome: RunOutcome,
+}
+
+impl Sim {
+    /// Create a simulation with deterministic seed 0.
+    pub fn new() -> Self {
+        Self::with_seed(0)
+    }
+
+    /// Create a simulation whose injected nondeterminism derives from `seed`.
+    pub fn with_seed(seed: u64) -> Self {
+        Sim {
+            inner: Rc::new(Inner {
+                now: Cell::new(0),
+                seq: Cell::new(0),
+                timers: RefCell::new(BinaryHeap::new()),
+                tasks: RefCell::new(Vec::new()),
+                free_ids: RefCell::new(Vec::new()),
+                ready: Arc::new(ReadyQueue {
+                    q: Mutex::new(VecDeque::new()),
+                }),
+                live: Cell::new(0),
+                rng: RefCell::new(SplitMix64::new(seed)),
+                events_processed: Cell::new(0),
+                tasks_spawned: Cell::new(0),
+                recorder: RefCell::new(None),
+            }),
+        }
+    }
+
+    /// Current virtual time in nanoseconds.
+    pub fn now(&self) -> SimTime {
+        self.inner.now.get()
+    }
+
+    /// Borrow the simulation's deterministic RNG.
+    pub fn with_rng<R>(&self, f: impl FnOnce(&mut SplitMix64) -> R) -> R {
+        f(&mut self.inner.rng.borrow_mut())
+    }
+
+    /// Install a trace recorder (see [`crate::trace`]). Returns any previous one.
+    pub fn set_recorder(&self, rec: Option<Recorder>) -> Option<Recorder> {
+        self.inner.recorder.replace(rec)
+    }
+
+    /// Record a trace event if a recorder is installed.
+    pub fn record(&self, actor: u32, kind: &str, detail: impl FnOnce() -> String) {
+        if let Some(rec) = self.inner.recorder.borrow().as_ref() {
+            rec.push(self.now(), actor, kind, detail());
+        }
+    }
+
+    /// True if a trace recorder is installed (lets callers skip building
+    /// detail strings).
+    pub fn tracing(&self) -> bool {
+        self.inner.recorder.borrow().is_some()
+    }
+
+    /// Spawn a future as a simulated task. It starts running when [`run`]
+    /// (or the current run loop iteration) reaches it.
+    ///
+    /// [`run`]: Sim::run
+    pub fn spawn<T: 'static, F>(&self, fut: F) -> JoinHandle<T>
+    where
+        F: Future<Output = T> + 'static,
+    {
+        self.spawn_named("task", fut)
+    }
+
+    /// Spawn with a diagnostic name (reported on deadlock).
+    pub fn spawn_named<T: 'static, F>(&self, name: &str, fut: F) -> JoinHandle<T>
+    where
+        F: Future<Output = T> + 'static,
+    {
+        let state = Rc::new(JoinState {
+            result: RefCell::new(None),
+            waiters: RefCell::new(Vec::new()),
+        });
+        let st2 = state.clone();
+        let inner = self.inner.clone();
+        let wrapped: BoxFut = Box::pin(async move {
+            let out = fut.await;
+            *st2.result.borrow_mut() = Some(out);
+            for w in st2.waiters.borrow_mut().drain(..) {
+                w.wake();
+            }
+            let _ = inner; // keep sim alive for the task's whole lifetime
+        });
+
+        let id = {
+            let mut free = self.inner.free_ids.borrow_mut();
+            match free.pop() {
+                Some(id) => id,
+                None => {
+                    let mut tasks = self.inner.tasks.borrow_mut();
+                    tasks.push(None);
+                    tasks.len() - 1
+                }
+            }
+        };
+        let queued = Arc::new(AtomicBool::new(true)); // starts queued
+        let waker = Waker::from(Arc::new(TaskWaker {
+            id,
+            ready: self.inner.ready.clone(),
+            queued: queued.clone(),
+        }));
+        self.inner.tasks.borrow_mut()[id] = Some(Task {
+            fut: wrapped,
+            waker,
+            wake_flag: queued,
+            name: Rc::from(name),
+        });
+        self.inner.live.set(self.inner.live.get() + 1);
+        self.inner
+            .tasks_spawned
+            .set(self.inner.tasks_spawned.get() + 1);
+        self.inner.ready.push(id);
+        JoinHandle { state }
+    }
+
+    /// Sleep for `dur` nanoseconds of virtual time.
+    pub fn sleep(&self, dur: SimTime) -> Delay {
+        Delay {
+            sim: self.inner.clone(),
+            at: self.now().saturating_add(dur),
+            registered: false,
+        }
+    }
+
+    /// Sleep until an absolute virtual time (no-op if already past).
+    pub fn sleep_until(&self, at: SimTime) -> Delay {
+        Delay {
+            sim: self.inner.clone(),
+            at,
+            registered: false,
+        }
+    }
+
+    /// Yield to other ready tasks at the same instant: returns `Pending`
+    /// once (re-queueing this task at the back of the ready queue), so
+    /// every other ready task gets a poll first. Note that `sleep(0)` does
+    /// NOT yield — it completes immediately.
+    pub fn yield_now(&self) -> YieldNow {
+        YieldNow { yielded: false }
+    }
+
+    fn poll_task(&self, id: usize) -> bool {
+        // Take the task out so that re-entrant spawns can't alias the slot.
+        let taken = {
+            let mut tasks = self.inner.tasks.borrow_mut();
+            match tasks.get_mut(id) {
+                Some(slot) => slot.take(),
+                None => None,
+            }
+        };
+        let Some(mut task) = taken else { return false };
+        task.wake_flag.store(false, Ordering::Relaxed);
+        self.inner
+            .events_processed
+            .set(self.inner.events_processed.get() + 1);
+        let waker = task.waker.clone();
+        let mut cx = Context::from_waker(&waker);
+        match task.fut.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => {
+                self.inner.live.set(self.inner.live.get() - 1);
+                self.inner.free_ids.borrow_mut().push(id);
+                true
+            }
+            Poll::Pending => {
+                self.inner.tasks.borrow_mut()[id] = Some(task);
+                false
+            }
+        }
+    }
+
+    /// Run until all tasks complete or nothing can make progress.
+    pub fn run(&self) -> RunStats {
+        loop {
+            while let Some(id) = self.inner.ready.pop() {
+                self.poll_task(id);
+            }
+            // No ready work: advance virtual time to the next timer.
+            let next = self.inner.timers.borrow_mut().pop();
+            match next {
+                Some(Reverse(entry)) => {
+                    debug_assert!(entry.at >= self.inner.now.get(), "time went backwards");
+                    self.inner.now.set(entry.at);
+                    entry.waker.wake();
+                }
+                None => break,
+            }
+        }
+        let outcome = if self.inner.live.get() == 0 {
+            RunOutcome::Completed
+        } else {
+            let stuck = self
+                .inner
+                .tasks
+                .borrow()
+                .iter()
+                .flatten()
+                .map(|t| t.name.to_string())
+                .collect();
+            RunOutcome::Deadlock { stuck }
+        };
+        RunStats {
+            end_time: self.now(),
+            events: self.inner.events_processed.get(),
+            tasks: self.inner.tasks_spawned.get(),
+            outcome,
+        }
+    }
+
+    /// Spawn `fut`, run the simulation to quiescence, and return the future's
+    /// result. Panics if the simulation deadlocks before the future resolves.
+    pub fn block_on<T: 'static, F>(&self, fut: F) -> T
+    where
+        F: Future<Output = T> + 'static,
+    {
+        let mut handle = self.spawn_named("block_on", fut);
+        let stats = self.run();
+        match handle.try_take() {
+            Some(v) => v,
+            None => panic!(
+                "simulation ended without completing block_on future: {:?}",
+                stats.outcome
+            ),
+        }
+    }
+
+    /// Number of live (unfinished) tasks.
+    pub fn live_tasks(&self) -> usize {
+        self.inner.live.get()
+    }
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Timer future returned by [`Sim::sleep`].
+pub struct Delay {
+    sim: Rc<Inner>,
+    at: SimTime,
+    registered: bool,
+}
+
+impl Future for Delay {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.sim.now.get() >= self.at {
+            return Poll::Ready(());
+        }
+        if !self.registered {
+            let at = self.at;
+            let seq = {
+                let s = self.sim.seq.get();
+                self.sim.seq.set(s + 1);
+                s
+            };
+            self.sim.timers.borrow_mut().push(Reverse(TimerEntry {
+                at,
+                seq,
+                waker: cx.waker().clone(),
+            }));
+            self.registered = true;
+        }
+        Poll::Pending
+    }
+}
+
+/// Future returned by [`Sim::yield_now`].
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+struct JoinState<T> {
+    result: RefCell<Option<T>>,
+    waiters: RefCell<Vec<Waker>>,
+}
+
+/// Await the result of a spawned task, or poll for it after [`Sim::run`].
+pub struct JoinHandle<T> {
+    state: Rc<JoinState<T>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Take the result if the task has completed.
+    pub fn try_take(&mut self) -> Option<T> {
+        self.state.result.borrow_mut().take()
+    }
+
+    /// True once the task has completed (and the result not yet taken).
+    pub fn is_done(&self) -> bool {
+        self.state.result.borrow().is_some()
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        if let Some(v) = self.state.result.borrow_mut().take() {
+            return Poll::Ready(v);
+        }
+        self.state.waiters.borrow_mut().push(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+/// Await every handle in a vector, returning results in order.
+pub async fn join_all<T: 'static>(handles: Vec<JoinHandle<T>>) -> Vec<T> {
+    let mut out = Vec::with_capacity(handles.len());
+    for h in handles {
+        out.push(h.await);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell as StdCell;
+
+    #[test]
+    fn block_on_returns_value() {
+        let sim = Sim::new();
+        let v = sim.block_on(async { 40 + 2 });
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn sleep_advances_virtual_time() {
+        let sim = Sim::new();
+        let s2 = sim.clone();
+        let t = sim.block_on(async move {
+            s2.sleep(1_000).await;
+            s2.sleep(2_000).await;
+            s2.now()
+        });
+        assert_eq!(t, 3_000);
+        assert_eq!(sim.now(), 3_000);
+    }
+
+    #[test]
+    fn tasks_interleave_in_time_order() {
+        let sim = Sim::new();
+        let log: Rc<RefCell<Vec<(u64, &str)>>> = Rc::new(RefCell::new(Vec::new()));
+        for (name, delay) in [("c", 300u64), ("a", 100), ("b", 200)] {
+            let s = sim.clone();
+            let l = log.clone();
+            sim.spawn(async move {
+                s.sleep(delay).await;
+                l.borrow_mut().push((s.now(), name));
+            });
+        }
+        let stats = sim.run();
+        assert_eq!(stats.outcome, RunOutcome::Completed);
+        assert_eq!(
+            *log.borrow(),
+            vec![(100, "a"), (200, "b"), (300, "c")]
+        );
+    }
+
+    #[test]
+    fn join_handle_awaits_child() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let v = sim.block_on(async move {
+            let h = s.spawn({
+                let s = s.clone();
+                async move {
+                    s.sleep(500).await;
+                    7u32
+                }
+            });
+            h.await * 2
+        });
+        assert_eq!(v, 14);
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        let sim = Sim::new();
+        let gate = crate::sync::Gate::new();
+        let g = gate.clone();
+        sim.spawn_named("stuck-waiter", async move {
+            g.wait().await; // never opened
+        });
+        let stats = sim.run();
+        match stats.outcome {
+            RunOutcome::Deadlock { stuck } => assert_eq!(stuck, vec!["stuck-waiter"]),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_sleep_yields() {
+        let sim = Sim::new();
+        let hits = Rc::new(StdCell::new(0u32));
+        let h1 = hits.clone();
+        let s1 = sim.clone();
+        sim.spawn(async move {
+            for _ in 0..10 {
+                h1.set(h1.get() + 1);
+                s1.yield_now().await;
+            }
+        });
+        sim.run();
+        assert_eq!(hits.get(), 10);
+        assert_eq!(sim.now(), 0, "yield must not advance time");
+    }
+
+    #[test]
+    fn yield_now_lets_other_tasks_run() {
+        // A task spin-waiting on a flag with yield_now must observe a flag
+        // set by a sibling task spawned *after* it started polling.
+        let sim = Sim::new();
+        let flag = Rc::new(StdCell::new(false));
+        let f1 = flag.clone();
+        let s1 = sim.clone();
+        let mut waiter = sim.spawn(async move {
+            let mut spins = 0u32;
+            while !f1.get() {
+                s1.yield_now().await;
+                spins += 1;
+                assert!(spins < 100, "yield_now failed to schedule the setter");
+            }
+            spins
+        });
+        let f2 = flag.clone();
+        sim.spawn(async move {
+            f2.set(true);
+        });
+        sim.run();
+        assert!(waiter.try_take().unwrap() >= 1);
+    }
+
+    #[test]
+    fn many_tasks_complete() {
+        let sim = Sim::new();
+        let total = Rc::new(StdCell::new(0u64));
+        for i in 0..1_000u64 {
+            let s = sim.clone();
+            let t = total.clone();
+            sim.spawn(async move {
+                s.sleep(i % 17).await;
+                t.set(t.get() + i);
+            });
+        }
+        let stats = sim.run();
+        assert_eq!(stats.outcome, RunOutcome::Completed);
+        assert_eq!(total.get(), 999 * 1000 / 2);
+        assert_eq!(stats.tasks, 1_000);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_end_time() {
+        fn run_once(seed: u64) -> (u64, u64) {
+            let sim = Sim::with_seed(seed);
+            for i in 0..100u64 {
+                let s = sim.clone();
+                sim.spawn(async move {
+                    let d = s.with_rng(|r| r.jitter(1_000, 20));
+                    s.sleep(d + i).await;
+                });
+            }
+            let stats = sim.run();
+            (stats.end_time, stats.events)
+        }
+        assert_eq!(run_once(11), run_once(11));
+        assert_ne!(run_once(11).0, run_once(12).0);
+    }
+}

@@ -1,0 +1,36 @@
+//! # bfly-sim — deterministic discrete-event simulation engine
+//!
+//! A single-threaded, virtual-time async executor purpose-built for the
+//! Butterfly reproduction. Simulated processors, memories, switch ports and
+//! disks are all modeled as FIFO [`resource::Resource`]s; simulated processes
+//! are ordinary Rust futures spawned on a [`Sim`].
+//!
+//! Design properties that the rest of the workspace depends on:
+//!
+//! * **Determinism** — given the same seed, a simulation produces the exact
+//!   same event order and the exact same results. This is what makes the
+//!   Instant Replay experiments honest: nondeterminism is *injected* (latency
+//!   jitter, tie-break shuffling) through the seeded [`rng::SplitMix64`], and
+//!   replay can force a recorded order under a different seed.
+//! * **Deadlock detection** — if live tasks remain but no timer or wakeup is
+//!   outstanding, [`Sim::run`] reports a deadlock rather than hanging. The
+//!   paper's Figure 6 is a Moviola view of a deadlock in an odd-even merge
+//!   sort; we reproduce that workflow.
+//! * **No global state** — multiple `Sim`s can coexist in one test.
+//!
+//! The executor is intentionally not work-stealing or multi-threaded: the
+//! *simulated* machine has 128 processors; the simulator itself needs exact
+//! virtual-time ordering, which a single thread provides for free.
+
+pub mod exec;
+pub mod resource;
+pub mod rng;
+pub mod sync;
+pub mod time;
+pub mod trace;
+
+pub use exec::{JoinHandle, RunOutcome, RunStats, Sim};
+pub use resource::{Resource, ResourceGuard, ResourceStats};
+pub use rng::SplitMix64;
+pub use sync::{Channel, Gate, Promise, PromiseHandle, WaitQueue};
+pub use time::{fmt_time, SimTime, MS, NS, SEC, US};

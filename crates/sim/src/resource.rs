@@ -1,0 +1,470 @@
+//! FIFO-queued resources: the workhorse abstraction of the machine model.
+//!
+//! A [`Resource`] is a server (or `capacity` identical servers) with a FIFO
+//! queue. Simulated CPUs, memory units, switch output ports and disks are all
+//! resources; *contention is whatever queueing emerges*. Each resource keeps
+//! utilization and waiting-time statistics so experiments can report where
+//! time went (e.g., Table 3's memory-cycle stealing).
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+use crate::exec::Sim;
+use crate::time::SimTime;
+
+/// A FIFO-queued server pool.
+#[derive(Clone)]
+pub struct Resource {
+    inner: Rc<ResInner>,
+}
+
+struct ResInner {
+    sim: Sim,
+    name: String,
+    capacity: usize,
+    in_service: Cell<usize>,
+    queue: RefCell<VecDeque<Waiter>>,
+    // statistics
+    busy_ns: Cell<u64>,
+    last_change: Cell<SimTime>,
+    acquisitions: Cell<u64>,
+    total_wait_ns: Cell<u64>,
+    max_queue: Cell<usize>,
+}
+
+struct Waiter {
+    slot: Rc<WaitSlot>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WaitState {
+    Queued,
+    Granted,
+    Cancelled,
+}
+
+struct WaitSlot {
+    state: Cell<WaitState>,
+    waker: RefCell<Option<Waker>>,
+    enqueued_at: SimTime,
+}
+
+/// Snapshot of a resource's accumulated statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceStats {
+    /// Resource name (diagnostics).
+    pub name: String,
+    /// Number of servers.
+    pub capacity: usize,
+    /// Total server-busy nanoseconds accumulated so far.
+    pub busy_ns: u64,
+    /// Completed acquisitions.
+    pub acquisitions: u64,
+    /// Total time acquirers spent queued.
+    pub total_wait_ns: u64,
+    /// High-water mark of the wait queue.
+    pub max_queue: usize,
+}
+
+impl ResourceStats {
+    /// Mean queueing delay per acquisition, ns.
+    pub fn mean_wait_ns(&self) -> f64 {
+        if self.acquisitions == 0 {
+            0.0
+        } else {
+            self.total_wait_ns as f64 / self.acquisitions as f64
+        }
+    }
+
+    /// Fraction of `elapsed` during which servers were busy (per server).
+    pub fn utilization(&self, elapsed: SimTime) -> f64 {
+        if elapsed == 0 {
+            0.0
+        } else {
+            self.busy_ns as f64 / (elapsed as f64 * self.capacity as f64)
+        }
+    }
+}
+
+impl Resource {
+    /// Create a resource with `capacity` identical servers.
+    pub fn new(sim: &Sim, name: impl Into<String>, capacity: usize) -> Self {
+        assert!(capacity > 0, "resource must have at least one server");
+        Resource {
+            inner: Rc::new(ResInner {
+                sim: sim.clone(),
+                name: name.into(),
+                capacity,
+                in_service: Cell::new(0),
+                queue: RefCell::new(VecDeque::new()),
+                busy_ns: Cell::new(0),
+                last_change: Cell::new(sim.now()),
+                acquisitions: Cell::new(0),
+                total_wait_ns: Cell::new(0),
+                max_queue: Cell::new(0),
+            }),
+        }
+    }
+
+    fn account(&self) {
+        let now = self.inner.sim.now();
+        let dt = now - self.inner.last_change.get();
+        if dt > 0 {
+            self.inner
+                .busy_ns
+                .set(self.inner.busy_ns.get() + dt * self.inner.in_service.get() as u64);
+            self.inner.last_change.set(now);
+        }
+    }
+
+    /// Acquire one server; resolves to a guard that releases on drop.
+    /// Grants are strictly FIFO.
+    pub fn acquire(&self) -> Acquire {
+        Acquire {
+            res: self.clone(),
+            slot: None,
+            done: false,
+        }
+    }
+
+    /// Acquire, hold for `service` ns, release. The canonical "use a device"
+    /// operation; returns the queueing delay experienced.
+    pub async fn access(&self, service: SimTime) -> SimTime {
+        let t0 = self.inner.sim.now();
+        let guard = self.acquire().await;
+        let waited = self.inner.sim.now() - t0;
+        self.inner.sim.sleep(service).await;
+        drop(guard);
+        waited
+    }
+
+    /// Current queue length (excluding in-service requests).
+    pub fn queue_len(&self) -> usize {
+        self.inner
+            .queue
+            .borrow()
+            .iter()
+            .filter(|w| w.slot.state.get() == WaitState::Queued)
+            .count()
+    }
+
+    /// Number of servers currently busy.
+    pub fn in_service(&self) -> usize {
+        self.inner.in_service.get()
+    }
+
+    /// Snapshot statistics (accounts busy time up to now first).
+    pub fn stats(&self) -> ResourceStats {
+        self.account();
+        ResourceStats {
+            name: self.inner.name.clone(),
+            capacity: self.inner.capacity,
+            busy_ns: self.inner.busy_ns.get(),
+            acquisitions: self.inner.acquisitions.get(),
+            total_wait_ns: self.inner.total_wait_ns.get(),
+            max_queue: self.inner.max_queue.get(),
+        }
+    }
+
+    /// Reset accumulated statistics (not queue state).
+    pub fn reset_stats(&self) {
+        self.inner.busy_ns.set(0);
+        self.inner.last_change.set(self.inner.sim.now());
+        self.inner.acquisitions.set(0);
+        self.inner.total_wait_ns.set(0);
+        self.inner.max_queue.set(0);
+    }
+
+    fn grant_next(&self) {
+        // Pop cancelled entries; grant the first live waiter, if any.
+        let mut queue = self.inner.queue.borrow_mut();
+        while let Some(w) = queue.pop_front() {
+            match w.slot.state.get() {
+                WaitState::Cancelled => continue,
+                WaitState::Queued => {
+                    w.slot.state.set(WaitState::Granted);
+                    self.inner
+                        .in_service
+                        .set(self.inner.in_service.get() + 1);
+                    let wait = self.inner.sim.now() - w.slot.enqueued_at;
+                    self.inner
+                        .total_wait_ns
+                        .set(self.inner.total_wait_ns.get() + wait);
+                    if let Some(wk) = w.slot.waker.borrow_mut().take() {
+                        wk.wake();
+                    }
+                    return;
+                }
+                WaitState::Granted => unreachable!("granted waiter left in queue"),
+            }
+        }
+    }
+
+    fn release_one(&self) {
+        self.account();
+        self.inner.in_service.set(self.inner.in_service.get() - 1);
+        self.grant_next();
+    }
+}
+
+/// Future returned by [`Resource::acquire`].
+pub struct Acquire {
+    res: Resource,
+    slot: Option<Rc<WaitSlot>>,
+    done: bool,
+}
+
+impl Future for Acquire {
+    type Output = ResourceGuard;
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<ResourceGuard> {
+        let inner = &self.res.inner;
+        match &self.slot {
+            None => {
+                // First poll: fast path if a server is free and no one queued.
+                if inner.in_service.get() < inner.capacity && inner.queue.borrow().is_empty() {
+                    self.res.account();
+                    inner.in_service.set(inner.in_service.get() + 1);
+                    inner.acquisitions.set(inner.acquisitions.get() + 1);
+                    self.done = true;
+                    return Poll::Ready(ResourceGuard {
+                        res: self.res.clone(),
+                        released: false,
+                    });
+                }
+                let slot = Rc::new(WaitSlot {
+                    state: Cell::new(WaitState::Queued),
+                    waker: RefCell::new(Some(cx.waker().clone())),
+                    enqueued_at: inner.sim.now(),
+                });
+                inner.queue.borrow_mut().push_back(Waiter { slot: slot.clone() });
+                let qlen = inner.queue.borrow().len();
+                if qlen > inner.max_queue.get() {
+                    inner.max_queue.set(qlen);
+                }
+                // A server may be idle while the queue is non-empty only
+                // transiently; if so, grant immediately in FIFO order.
+                if inner.in_service.get() < inner.capacity {
+                    self.res.grant_next();
+                    if slot.state.get() == WaitState::Granted {
+                        inner.acquisitions.set(inner.acquisitions.get() + 1);
+                        self.done = true;
+                        self.slot = Some(slot);
+                        return Poll::Ready(ResourceGuard {
+                            res: self.res.clone(),
+                            released: false,
+                        });
+                    }
+                }
+                self.slot = Some(slot);
+                Poll::Pending
+            }
+            Some(slot) => {
+                if slot.state.get() == WaitState::Granted {
+                    inner.acquisitions.set(inner.acquisitions.get() + 1);
+                    self.res.account();
+                    self.done = true;
+                    Poll::Ready(ResourceGuard {
+                        res: self.res.clone(),
+                        released: false,
+                    })
+                } else {
+                    *slot.waker.borrow_mut() = Some(cx.waker().clone());
+                    Poll::Pending
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Acquire {
+    fn drop(&mut self) {
+        if self.done {
+            return;
+        }
+        if let Some(slot) = &self.slot {
+            match slot.state.get() {
+                WaitState::Queued => slot.state.set(WaitState::Cancelled),
+                // Granted but the guard was never taken: release the server.
+                WaitState::Granted => self.res.release_one(),
+                WaitState::Cancelled => {}
+            }
+        }
+    }
+}
+
+/// RAII guard for an acquired server; releases (and grants the next FIFO
+/// waiter) on drop.
+pub struct ResourceGuard {
+    res: Resource,
+    released: bool,
+}
+
+impl ResourceGuard {
+    /// Release explicitly (drop also releases).
+    pub fn release(mut self) {
+        self.res.release_one();
+        self.released = true;
+    }
+}
+
+impl Drop for ResourceGuard {
+    fn drop(&mut self) {
+        if !self.released {
+            self.res.release_one();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell as StdCell;
+
+    #[test]
+    fn uncontended_access_takes_service_time() {
+        let sim = Sim::new();
+        let res = Resource::new(&sim, "dev", 1);
+        let s = sim.clone();
+        let waited = sim.block_on(async move { res.access(100).await });
+        assert_eq!(waited, 0);
+        assert_eq!(s.now(), 100);
+    }
+
+    #[test]
+    fn contention_serializes_fifo() {
+        let sim = Sim::new();
+        let res = Resource::new(&sim, "dev", 1);
+        let order: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..4u32 {
+            let r = res.clone();
+            let o = order.clone();
+            let s = sim.clone();
+            sim.spawn(async move {
+                // Stagger arrivals by 1ns so the FIFO order is well-defined.
+                s.sleep(i as u64).await;
+                r.access(100).await;
+                o.borrow_mut().push(i);
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec![0, 1, 2, 3]);
+        // Arrival at t=i, service 100 each, serialized: last done ~ 400.
+        assert_eq!(sim.now(), 400);
+    }
+
+    #[test]
+    fn capacity_allows_parallel_service() {
+        let sim = Sim::new();
+        let res = Resource::new(&sim, "dev", 4);
+        for _ in 0..4 {
+            let r = res.clone();
+            sim.spawn(async move {
+                r.access(100).await;
+            });
+        }
+        sim.run();
+        assert_eq!(sim.now(), 100, "4 servers serve 4 clients concurrently");
+    }
+
+    #[test]
+    fn stats_track_utilization_and_wait() {
+        let sim = Sim::new();
+        let res = Resource::new(&sim, "dev", 1);
+        for _ in 0..2 {
+            let r = res.clone();
+            sim.spawn(async move {
+                r.access(100).await;
+            });
+        }
+        sim.run();
+        let st = res.stats();
+        assert_eq!(st.acquisitions, 2);
+        assert_eq!(st.busy_ns, 200);
+        assert_eq!(st.total_wait_ns, 100); // second client queued 100ns
+        assert!((st.utilization(sim.now()) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn guard_drop_releases() {
+        let sim = Sim::new();
+        let res = Resource::new(&sim, "dev", 1);
+        let got = Rc::new(StdCell::new(false));
+        {
+            let r = res.clone();
+            let s = sim.clone();
+            sim.spawn(async move {
+                let g = r.acquire().await;
+                s.sleep(50).await;
+                drop(g);
+            });
+        }
+        {
+            let r = res.clone();
+            let g2 = got.clone();
+            let s = sim.clone();
+            sim.spawn(async move {
+                s.sleep(1).await;
+                let _g = r.acquire().await;
+                g2.set(true);
+            });
+        }
+        sim.run();
+        assert!(got.get());
+    }
+
+    #[test]
+    fn cancelled_waiter_is_skipped() {
+        let sim = Sim::new();
+        let res = Resource::new(&sim, "dev", 1);
+        let winner = Rc::new(StdCell::new(0u32));
+
+        // Task A holds the resource for 100ns.
+        {
+            let r = res.clone();
+            sim.spawn(async move {
+                r.access(100).await;
+            });
+        }
+        // Task B queues but gives up (drops the acquire future) at t=10.
+        {
+            let r = res.clone();
+            let s = sim.clone();
+            sim.spawn(async move {
+                s.sleep(1).await;
+                let acq = r.acquire();
+                // Race the acquire against a 9ns timeout; timeout wins.
+                let mut acq = Box::pin(acq);
+                let mut timeout = Box::pin(s.sleep(9));
+                std::future::poll_fn(|cx| {
+                    if Pin::new(&mut timeout).poll(cx).is_ready() {
+                        return Poll::Ready(());
+                    }
+                    if Pin::new(&mut acq).poll(cx).is_ready() {
+                        panic!("resource should still be held");
+                    }
+                    Poll::Pending
+                })
+                .await;
+                drop(acq); // cancel while queued
+            });
+        }
+        // Task C queues behind B and must still get the grant.
+        {
+            let r = res.clone();
+            let s = sim.clone();
+            let w = winner.clone();
+            sim.spawn(async move {
+                s.sleep(2).await;
+                let _g = r.acquire().await;
+                w.set(3);
+            });
+        }
+        let stats = sim.run();
+        assert_eq!(stats.outcome, crate::exec::RunOutcome::Completed);
+        assert_eq!(winner.get(), 3);
+    }
+}

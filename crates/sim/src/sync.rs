@@ -1,0 +1,482 @@
+//! Synchronization primitives for simulated tasks: gates, promises,
+//! wait queues, and unbounded channels (the shape of a Chrysalis dual queue).
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+/// A broadcast gate: tasks wait until it is opened; opening wakes everyone.
+/// Reusable (can be closed again).
+#[derive(Clone)]
+pub struct Gate {
+    inner: Rc<GateInner>,
+}
+
+struct GateInner {
+    open: Cell<bool>,
+    waiters: RefCell<Vec<Waker>>,
+}
+
+impl Gate {
+    /// New closed gate.
+    pub fn new() -> Self {
+        Gate {
+            inner: Rc::new(GateInner {
+                open: Cell::new(false),
+                waiters: RefCell::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Open the gate, waking all waiters.
+    pub fn open(&self) {
+        self.inner.open.set(true);
+        for w in self.inner.waiters.borrow_mut().drain(..) {
+            w.wake();
+        }
+    }
+
+    /// Close the gate again (future waiters will block).
+    pub fn close(&self) {
+        self.inner.open.set(false);
+    }
+
+    /// Is the gate currently open?
+    pub fn is_open(&self) -> bool {
+        self.inner.open.get()
+    }
+
+    /// Wait until the gate is open (immediate if already open).
+    pub fn wait(&self) -> GateWait {
+        GateWait {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl Default for Gate {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Future returned by [`Gate::wait`].
+pub struct GateWait {
+    inner: Rc<GateInner>,
+}
+
+impl Future for GateWait {
+    type Output = ();
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.inner.open.get() {
+            Poll::Ready(())
+        } else {
+            self.inner.waiters.borrow_mut().push(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// Single-assignment cell: one producer `set`s, any number of consumers
+/// `get` a clone.
+pub struct Promise<T> {
+    inner: Rc<PromiseInner<T>>,
+}
+
+/// Producer side of a [`Promise`].
+pub struct PromiseHandle<T> {
+    inner: Rc<PromiseInner<T>>,
+}
+
+struct PromiseInner<T> {
+    value: RefCell<Option<T>>,
+    waiters: RefCell<Vec<Waker>>,
+}
+
+impl<T: Clone> Promise<T> {
+    /// Create a (consumer, producer) pair.
+    pub fn new() -> (Promise<T>, PromiseHandle<T>) {
+        let inner = Rc::new(PromiseInner {
+            value: RefCell::new(None),
+            waiters: RefCell::new(Vec::new()),
+        });
+        (
+            Promise {
+                inner: inner.clone(),
+            },
+            PromiseHandle { inner },
+        )
+    }
+
+    /// Wait for the value.
+    pub async fn get(&self) -> T {
+        let inner = self.inner.clone();
+        std::future::poll_fn(move |cx| {
+            if let Some(v) = inner.value.borrow().as_ref() {
+                return Poll::Ready(v.clone());
+            }
+            inner.waiters.borrow_mut().push(cx.waker().clone());
+            Poll::Pending
+        })
+        .await
+    }
+
+    /// Non-blocking check.
+    pub fn try_get(&self) -> Option<T> {
+        self.inner.value.borrow().clone()
+    }
+}
+
+impl<T> Clone for Promise<T> {
+    fn clone(&self) -> Self {
+        Promise {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> PromiseHandle<T> {
+    /// Fulfil the promise. Panics if already set.
+    pub fn set(&self, v: T) {
+        let prev = self.inner.value.borrow_mut().replace(v);
+        assert!(prev.is_none(), "promise set twice");
+        for w in self.inner.waiters.borrow_mut().drain(..) {
+            w.wake();
+        }
+    }
+}
+
+/// A low-level FIFO wait queue: `wake_one`/`wake_all` plus an awaitable park.
+#[derive(Clone)]
+pub struct WaitQueue {
+    inner: Rc<WaitQueueInner>,
+}
+
+struct WaitQueueInner {
+    waiters: RefCell<VecDeque<Rc<ParkSlot>>>,
+}
+
+struct ParkSlot {
+    woken: Cell<bool>,
+    waker: RefCell<Option<Waker>>,
+}
+
+impl WaitQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        WaitQueue {
+            inner: Rc::new(WaitQueueInner {
+                waiters: RefCell::new(VecDeque::new()),
+            }),
+        }
+    }
+
+    /// Park the current task until woken. FIFO wake order.
+    pub fn park(&self) -> Park {
+        Park {
+            q: self.inner.clone(),
+            slot: None,
+        }
+    }
+
+    /// Wake the oldest parked task. Returns true if one was woken.
+    pub fn wake_one(&self) -> bool {
+        let slot = self.inner.waiters.borrow_mut().pop_front();
+        match slot {
+            Some(s) => {
+                s.woken.set(true);
+                if let Some(w) = s.waker.borrow_mut().take() {
+                    w.wake();
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Wake all parked tasks.
+    pub fn wake_all(&self) -> usize {
+        let mut n = 0;
+        while self.wake_one() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Number of parked tasks.
+    pub fn len(&self) -> usize {
+        self.inner.waiters.borrow().len()
+    }
+
+    /// True if no task is parked.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for WaitQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Future returned by [`WaitQueue::park`].
+pub struct Park {
+    q: Rc<WaitQueueInner>,
+    slot: Option<Rc<ParkSlot>>,
+}
+
+impl Future for Park {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        match &self.slot {
+            None => {
+                let slot = Rc::new(ParkSlot {
+                    woken: Cell::new(false),
+                    waker: RefCell::new(Some(cx.waker().clone())),
+                });
+                self.q.waiters.borrow_mut().push_back(slot.clone());
+                self.slot = Some(slot);
+                Poll::Pending
+            }
+            Some(slot) => {
+                if slot.woken.get() {
+                    Poll::Ready(())
+                } else {
+                    *slot.waker.borrow_mut() = Some(cx.waker().clone());
+                    Poll::Pending
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Park {
+    fn drop(&mut self) {
+        if let Some(slot) = &self.slot {
+            if !slot.woken.get() {
+                // Remove ourselves so a future wake_one isn't wasted.
+                self.q
+                    .waiters
+                    .borrow_mut()
+                    .retain(|s| !Rc::ptr_eq(s, slot));
+            }
+        }
+    }
+}
+
+/// Unbounded FIFO channel with blocking receive — the abstract shape of a
+/// Chrysalis *dual queue*: either data queues up, or receivers queue up.
+pub struct Channel<T> {
+    inner: Rc<ChanInner<T>>,
+}
+
+impl<T> Clone for Channel<T> {
+    fn clone(&self) -> Self {
+        Channel {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+struct ChanInner<T> {
+    data: RefCell<VecDeque<T>>,
+    waiters: WaitQueue,
+}
+
+impl<T> Channel<T> {
+    /// New empty channel.
+    pub fn new() -> Self {
+        Channel {
+            inner: Rc::new(ChanInner {
+                data: RefCell::new(VecDeque::new()),
+                waiters: WaitQueue::new(),
+            }),
+        }
+    }
+
+    /// Enqueue a value; wakes one blocked receiver if any.
+    pub fn send(&self, v: T) {
+        self.inner.data.borrow_mut().push_back(v);
+        self.inner.waiters.wake_one();
+    }
+
+    /// Dequeue, blocking while empty.
+    pub async fn recv(&self) -> T {
+        loop {
+            if let Some(v) = self.inner.data.borrow_mut().pop_front() {
+                return v;
+            }
+            self.inner.waiters.park().await;
+        }
+    }
+
+    /// Non-blocking dequeue.
+    pub fn try_recv(&self) -> Option<T> {
+        self.inner.data.borrow_mut().pop_front()
+    }
+
+    /// Queued item count.
+    pub fn len(&self) -> usize {
+        self.inner.data.borrow().len()
+    }
+
+    /// True if no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Default for Channel<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Sim;
+
+    #[test]
+    fn gate_releases_all_waiters() {
+        let sim = Sim::new();
+        let gate = Gate::new();
+        let done = Rc::new(Cell::new(0u32));
+        for _ in 0..5 {
+            let g = gate.clone();
+            let d = done.clone();
+            sim.spawn(async move {
+                g.wait().await;
+                d.set(d.get() + 1);
+            });
+        }
+        let g = gate.clone();
+        let s = sim.clone();
+        sim.spawn(async move {
+            s.sleep(100).await;
+            g.open();
+        });
+        sim.run();
+        assert_eq!(done.get(), 5);
+    }
+
+    #[test]
+    fn promise_delivers_to_multiple_consumers() {
+        let sim = Sim::new();
+        let (p, h) = Promise::<u32>::new();
+        let sum = Rc::new(Cell::new(0u32));
+        for _ in 0..3 {
+            let p = p.clone();
+            let s = sum.clone();
+            sim.spawn(async move {
+                let v = p.get().await;
+                s.set(s.get() + v);
+            });
+        }
+        let s = sim.clone();
+        sim.spawn(async move {
+            s.sleep(10).await;
+            h.set(7);
+        });
+        sim.run();
+        assert_eq!(sum.get(), 21);
+    }
+
+    #[test]
+    #[should_panic(expected = "promise set twice")]
+    fn promise_double_set_panics() {
+        let (_p, h) = Promise::<u32>::new();
+        h.set(1);
+        h.set(2);
+    }
+
+    #[test]
+    fn channel_hands_data_fifo() {
+        let sim = Sim::new();
+        let ch: Channel<u32> = Channel::new();
+        let out = Rc::new(RefCell::new(Vec::new()));
+        {
+            let ch = ch.clone();
+            let out = out.clone();
+            sim.spawn(async move {
+                for _ in 0..3 {
+                    let v = ch.recv().await;
+                    out.borrow_mut().push(v);
+                }
+            });
+        }
+        {
+            let ch = ch.clone();
+            let s = sim.clone();
+            sim.spawn(async move {
+                for i in 0..3 {
+                    s.sleep(10).await;
+                    ch.send(i);
+                }
+            });
+        }
+        sim.run();
+        assert_eq!(*out.borrow(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn channel_receivers_are_fifo() {
+        let sim = Sim::new();
+        let ch: Channel<u32> = Channel::new();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..3u32 {
+            let ch = ch.clone();
+            let o = order.clone();
+            let s = sim.clone();
+            sim.spawn(async move {
+                s.sleep(i as u64).await; // receivers arrive 0,1,2
+                let v = ch.recv().await;
+                o.borrow_mut().push((i, v));
+            });
+        }
+        {
+            let ch = ch.clone();
+            let s = sim.clone();
+            sim.spawn(async move {
+                s.sleep(100).await;
+                for v in 10..13 {
+                    ch.send(v);
+                    s.sleep(1).await;
+                }
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec![(0, 10), (1, 11), (2, 12)]);
+    }
+
+    #[test]
+    fn wait_queue_park_drop_is_safe() {
+        let sim = Sim::new();
+        let wq = WaitQueue::new();
+        // Park and immediately drop via a select-like pattern: just create
+        // the future, poll once inside a task, then drop it.
+        {
+            let wq = wq.clone();
+            let s = sim.clone();
+            sim.spawn(async move {
+                let mut park = Box::pin(wq.park());
+                let mut timeout = Box::pin(s.sleep(5));
+                std::future::poll_fn(|cx| {
+                    if Pin::new(&mut timeout).poll(cx).is_ready() {
+                        return Poll::Ready(());
+                    }
+                    let _ = Pin::new(&mut park).poll(cx);
+                    Poll::Pending
+                })
+                .await;
+            });
+        }
+        sim.run();
+        assert!(wq.is_empty(), "dropped parker must deregister");
+        assert!(!wq.wake_one());
+    }
+}

@@ -1,0 +1,51 @@
+//! Virtual time. All simulated durations are `u64` nanoseconds.
+
+/// A point (or span) of simulated time, in nanoseconds.
+pub type SimTime = u64;
+
+/// One nanosecond.
+pub const NS: SimTime = 1;
+/// One microsecond.
+pub const US: SimTime = 1_000;
+/// One millisecond.
+pub const MS: SimTime = 1_000_000;
+/// One second.
+pub const SEC: SimTime = 1_000_000_000;
+
+/// Render a simulated time with a human-friendly unit (`1.234ms`, `56.7us`).
+pub fn fmt_time(t: SimTime) -> String {
+    if t >= SEC {
+        format!("{:.3}s", t as f64 / SEC as f64)
+    } else if t >= MS {
+        format!("{:.3}ms", t as f64 / MS as f64)
+    } else if t >= US {
+        format!("{:.2}us", t as f64 / US as f64)
+    } else {
+        format!("{}ns", t)
+    }
+}
+
+/// Convert a simulated time to floating-point seconds (for reports).
+pub fn to_secs(t: SimTime) -> f64 {
+    t as f64 / SEC as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn units_compose() {
+        assert_eq!(1_000 * NS, US);
+        assert_eq!(1_000 * US, MS);
+        assert_eq!(1_000 * MS, SEC);
+    }
+
+    #[test]
+    fn formatting_picks_unit() {
+        assert_eq!(fmt_time(5), "5ns");
+        assert_eq!(fmt_time(1_500), "1.50us");
+        assert_eq!(fmt_time(2 * MS), "2.000ms");
+        assert_eq!(fmt_time(3 * SEC), "3.000s");
+    }
+}

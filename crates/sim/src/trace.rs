@@ -1,0 +1,108 @@
+//! Lightweight execution tracing.
+//!
+//! A [`Recorder`] collects `(time, actor, kind, detail)` tuples. The replay
+//! crate's Moviola exporter turns these into a partial-order graph; tests use
+//! them to assert ordering properties.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::time::SimTime;
+
+/// One trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time of the event.
+    pub time: SimTime,
+    /// Actor id (process/task number; meaning is caller-defined).
+    pub actor: u32,
+    /// Short event kind, e.g. `"send"`, `"recv"`, `"acquire"`.
+    pub kind: String,
+    /// Free-form detail.
+    pub detail: String,
+}
+
+/// Shared, append-only event log.
+#[derive(Clone, Default)]
+pub struct Recorder {
+    events: Rc<RefCell<Vec<TraceEvent>>>,
+}
+
+impl Recorder {
+    /// New empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an event.
+    pub fn push(&self, time: SimTime, actor: u32, kind: &str, detail: String) {
+        self.events.borrow_mut().push(TraceEvent {
+            time,
+            actor,
+            kind: kind.to_string(),
+            detail,
+        });
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.borrow().len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy out all events (sorted by time, then insertion order — insertion
+    /// is already time-monotone per actor).
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.events.borrow().clone()
+    }
+
+    /// Events of one actor, in order.
+    pub fn for_actor(&self, actor: u32) -> Vec<TraceEvent> {
+        self.events
+            .borrow()
+            .iter()
+            .filter(|e| e.actor == actor)
+            .cloned()
+            .collect()
+    }
+
+    /// Drop all events.
+    pub fn clear(&self) {
+        self.events.borrow_mut().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Sim;
+
+    #[test]
+    fn recorder_collects_in_order() {
+        let sim = Sim::new();
+        sim.set_recorder(Some(Recorder::new()));
+        let s = sim.clone();
+        sim.block_on(async move {
+            s.record(1, "a", || "first".into());
+            s.sleep(10).await;
+            s.record(2, "b", || "second".into());
+        });
+        let rec = sim.set_recorder(None).unwrap();
+        let evs = rec.snapshot();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].kind, "a");
+        assert_eq!(evs[1].time, 10);
+        assert_eq!(rec.for_actor(2).len(), 1);
+    }
+
+    #[test]
+    fn no_recorder_no_events() {
+        let sim = Sim::new();
+        assert!(!sim.tracing());
+        sim.record(0, "x", || unreachable!("detail must not be built"));
+    }
+}

@@ -1,0 +1,760 @@
+//! Process families: creation, structured sends, costed message transport.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::future::Future;
+use std::rc::Rc;
+
+use bfly_chrysalis::{Os, Proc};
+use bfly_machine::{GAddr, NodeId};
+use bfly_sim::sync::Channel;
+use bfly_sim::time::{SimTime, US};
+use bfly_sim::JoinHandle;
+
+use crate::sarcache::{CacheOutcome, SarCache};
+use crate::topology::Topology;
+
+/// Per-channel staging buffer size (bytes). Larger messages stream through
+/// the buffer in chunks, as the real SMP double-buffered.
+pub const CHANNEL_BUF: u32 = 4096;
+
+/// Which node holds a channel's staging buffer.
+///
+/// `Receiver` (default): the sender pays the cross-switch transfer when it
+/// deposits the message. `Sender`: the sender writes locally and each
+/// receiver pays the transfer when it copies the message out — the
+/// discipline LeBlanc's Gaussian-elimination family used, which lets a
+/// broadcast's copies proceed in parallel (serialized only at the sender's
+/// memory unit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufferSide {
+    /// Buffer on the receiver's node; sender pays the transfer.
+    Receiver,
+    /// Buffer on the sender's node; receivers pay the transfer.
+    Sender,
+}
+
+/// SMP runtime costs.
+#[derive(Debug, Clone)]
+pub struct SmpCosts {
+    /// Sender-side software overhead per message (marshalling, kernel
+    /// calls around the event post).
+    pub send_sw: SimTime,
+    /// Receiver-side software overhead per message.
+    pub recv_sw: SimTime,
+    /// One-time channel buffer creation (a `make_obj`).
+    pub buffer_alloc: SimTime,
+    /// SAR-cache capacity per process (0 disables the cache: every send
+    /// pays a map).
+    pub sar_cache_cap: usize,
+    /// Staging-buffer placement.
+    pub buffer_side: BufferSide,
+    /// All channel buffers were mapped at family setup (they fit the SAR
+    /// file), so sends never pay per-message map costs. Setup-time mapping
+    /// is charged to family construction, off the steady-state path.
+    pub premapped: bool,
+}
+
+impl Default for SmpCosts {
+    fn default() -> Self {
+        SmpCosts {
+            send_sw: 300 * US,
+            recv_sw: 150 * US,
+            buffer_alloc: 300 * US,
+            sar_cache_cap: 16,
+            buffer_side: BufferSide::Receiver,
+            premapped: false,
+        }
+    }
+}
+
+impl SmpCosts {
+    /// The tuned configuration numeric families used (ref \[29\]):
+    /// sender-side buffers (receivers copy in parallel), all channel
+    /// buffers premapped (the SAR file holds them all), and slim software
+    /// paths.
+    pub fn numeric() -> SmpCosts {
+        SmpCosts {
+            send_sw: 20 * US,
+            recv_sw: 30 * US,
+            buffer_alloc: 300 * US,
+            sar_cache_cap: 512,
+            buffer_side: BufferSide::Sender,
+            premapped: true,
+        }
+    }
+}
+
+/// Errors surfaced by structured sends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SmpError {
+    /// The topology does not connect the two ranks.
+    NotConnected {
+        /// Sender rank.
+        from: u32,
+        /// Intended receiver rank.
+        to: u32,
+    },
+}
+
+impl std::fmt::Display for SmpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SmpError::NotConnected { from, to } => {
+                write!(f, "SMP: rank {from} is not connected to rank {to}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SmpError {}
+
+struct Envelope {
+    from: u32,
+    data: Vec<u8>,
+    broadcast: bool,
+}
+
+struct FamilyState {
+    os: Rc<Os>,
+    n: u32,
+    topology: Topology,
+    costs: SmpCosts,
+    placement: Vec<NodeId>,
+    inboxes: Vec<Channel<Envelope>>,
+    /// Lazily created staging buffers, keyed by (from, to).
+    buffers: RefCell<HashMap<(u32, u32), GAddr>>,
+    /// Per-sender broadcast staging buffers (written once per broadcast).
+    bcast_buffers: RefCell<HashMap<u32, GAddr>>,
+    caches: Vec<RefCell<SarCache>>,
+    messages_sent: Cell<u64>,
+    bytes_sent: Cell<u64>,
+    maps_paid: Cell<u64>,
+}
+
+/// A family of SMP processes.
+pub struct Family {
+    state: Rc<FamilyState>,
+    handles: RefCell<Vec<JoinHandle<()>>>,
+}
+
+/// One member's view of its family (what the body closure receives).
+pub struct Member {
+    /// This member's rank in `0..n`.
+    pub rank: u32,
+    /// The Chrysalis process this member runs as.
+    pub proc: Rc<Proc>,
+    state: Rc<FamilyState>,
+    /// Per-peer byte-stream reassembly buffers (NET support).
+    pub(crate) streams: RefCell<HashMap<u32, std::collections::VecDeque<u8>>>,
+    /// Messages received while waiting for a specific sender (their receive
+    /// cost is already paid).
+    pending: RefCell<std::collections::VecDeque<(u32, Vec<u8>)>>,
+}
+
+impl Family {
+    /// Create a family of `n` processes connected by `topology`, one per
+    /// node `rank % machine.nodes()`, and start `body` on each.
+    pub fn spawn<F, Fut>(os: &Rc<Os>, n: u32, topology: Topology, body: F) -> Family
+    where
+        F: Fn(Member) -> Fut + 'static,
+        Fut: Future<Output = ()> + 'static,
+    {
+        let placement = (0..n).map(|r| (r % os.machine.nodes() as u32) as NodeId).collect();
+        Self::spawn_placed(os, n, topology, placement, SmpCosts::default(), body)
+    }
+
+    /// Full-control spawn: explicit placement and costs.
+    pub fn spawn_placed<F, Fut>(
+        os: &Rc<Os>,
+        n: u32,
+        topology: Topology,
+        placement: Vec<NodeId>,
+        costs: SmpCosts,
+        body: F,
+    ) -> Family
+    where
+        F: Fn(Member) -> Fut + 'static,
+        Fut: Future<Output = ()> + 'static,
+    {
+        assert_eq!(placement.len() as u32, n);
+        let cache_cap = costs.sar_cache_cap;
+        let state = Rc::new(FamilyState {
+            os: os.clone(),
+            n,
+            topology,
+            costs,
+            placement: placement.clone(),
+            inboxes: (0..n).map(|_| Channel::new()).collect(),
+            buffers: RefCell::new(HashMap::new()),
+            bcast_buffers: RefCell::new(HashMap::new()),
+            caches: (0..n).map(|_| RefCell::new(SarCache::new(cache_cap))).collect(),
+            messages_sent: Cell::new(0),
+            bytes_sent: Cell::new(0),
+            maps_paid: Cell::new(0),
+        });
+        let body = Rc::new(body);
+        let handles = (0..n)
+            .map(|rank| {
+                let st = state.clone();
+                let b = body.clone();
+                os.boot_process(placement[rank as usize], &format!("smp{rank}"), move |p| {
+                    let member = Member {
+                        rank,
+                        proc: p,
+                        state: st,
+                        streams: RefCell::new(HashMap::new()),
+                        pending: RefCell::new(std::collections::VecDeque::new()),
+                    };
+                    b(member)
+                })
+            })
+            .collect();
+        Family {
+            state,
+            handles: RefCell::new(handles),
+        }
+    }
+
+    /// Await completion of every member (call from a driver task, or just
+    /// `sim.run()` and check counters afterwards).
+    pub async fn join(&self) {
+        let handles: Vec<JoinHandle<()>> = self.handles.borrow_mut().drain(..).collect();
+        for h in handles {
+            h.await;
+        }
+    }
+
+    /// Messages sent so far (FIG5 accounting: SMP Gaussian elimination
+    /// sends P·N of these).
+    pub fn messages_sent(&self) -> u64 {
+        self.state.messages_sent.get()
+    }
+
+    /// Payload bytes sent so far.
+    pub fn bytes_sent(&self) -> u64 {
+        self.state.bytes_sent.get()
+    }
+
+    /// Map operations actually paid (after SAR caching).
+    pub fn maps_paid(&self) -> u64 {
+        self.state.maps_paid.get()
+    }
+
+    /// Aggregate SAR cache hit rate across members.
+    pub fn sar_hit_rate(&self) -> f64 {
+        let (h, m) = self
+            .state
+            .caches
+            .iter()
+            .map(|c| {
+                let c = c.borrow();
+                (c.hits, c.misses)
+            })
+            .fold((0, 0), |(a, b), (h, m)| (a + h, b + m));
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+
+    /// Family size.
+    pub fn len(&self) -> u32 {
+        self.state.n
+    }
+
+    /// True for an empty family (never constructible via spawn; for API
+    /// completeness).
+    pub fn is_empty(&self) -> bool {
+        self.state.n == 0
+    }
+}
+
+impl Member {
+    /// This member's neighbor set.
+    pub fn neighbors(&self) -> Vec<u32> {
+        self.state.topology.neighbors(self.rank, self.state.n)
+    }
+
+    /// Family size.
+    pub fn family_size(&self) -> u32 {
+        self.state.n
+    }
+
+    /// Node a rank runs on.
+    pub fn node_of(&self, rank: u32) -> NodeId {
+        self.state.placement[rank as usize]
+    }
+
+    /// Send an asynchronous message to a connected rank. The bytes really
+    /// travel through a staging buffer on the receiver's node; the sender
+    /// pays software overhead, (amortized) SAR maps, and block-transfer
+    /// time. Never blocks on the receiver.
+    pub async fn send(&self, to: u32, data: &[u8]) -> Result<(), SmpError> {
+        if !self.state.topology.connected(self.rank, to, self.state.n) {
+            return Err(SmpError::NotConnected {
+                from: self.rank,
+                to,
+            });
+        }
+        let st = &self.state;
+        let p = &self.proc;
+        p.compute(st.costs.send_sw).await;
+
+        // Channel staging buffer on the receiver's node (lazy, once).
+        let key = (self.rank, to);
+        let buf = {
+            let existing = st.buffers.borrow().get(&key).copied();
+            match existing {
+                Some(b) => b,
+                None => {
+                    p.compute(st.costs.buffer_alloc).await;
+                    let node = match st.costs.buffer_side {
+                        BufferSide::Receiver => st.placement[to as usize],
+                        BufferSide::Sender => st.placement[self.rank as usize],
+                    };
+                    let b = st
+                        .os
+                        .machine
+                        .node(node)
+                        .alloc(CHANNEL_BUF)
+                        .expect("SMP: node out of channel-buffer memory");
+                    st.buffers.borrow_mut().insert(key, b);
+                    b
+                }
+            }
+        };
+
+        // SAR cache: hit = free, miss = 1 map, miss+evict = 2 maps.
+        // Premapped families skip this entirely.
+        if !st.costs.premapped {
+            let outcome = st.caches[self.rank as usize]
+                .borrow_mut()
+                .touch((key.0 as u64) << 32 | key.1 as u64);
+            let maps = match outcome {
+                CacheOutcome::Hit => 0,
+                CacheOutcome::MissFree => 1,
+                CacheOutcome::MissEvict => 2,
+            };
+            for _ in 0..maps {
+                p.compute(st.os.costs.map_seg).await;
+                st.maps_paid.set(st.maps_paid.get() + 1);
+            }
+        }
+
+        // Stream payload through the buffer in CHANNEL_BUF chunks.
+        let mut off = 0usize;
+        loop {
+            let chunk = (data.len() - off).min(CHANNEL_BUF as usize);
+            p.write_block(buf, &data[off..off + chunk]).await;
+            off += chunk;
+            if off >= data.len() {
+                break;
+            }
+        }
+
+        // Notify: a microcoded dual-queue enqueue at the receiver's node.
+        p.compute(st.os.costs.dualq_op).await;
+        st.os
+            .machine
+            .mem_resource(st.placement[to as usize])
+            .access(st.os.machine.cfg.costs.atomic_mem_service)
+            .await;
+
+        st.messages_sent.set(st.messages_sent.get() + 1);
+        st.bytes_sent.set(st.bytes_sent.get() + data.len() as u64);
+        st.inboxes[to as usize].send(Envelope {
+            from: self.rank,
+            data: data.to_vec(),
+            broadcast: false,
+        });
+        Ok(())
+    }
+
+    /// Broadcast to every neighbor: the payload is staged **once** in a
+    /// sender-side buffer, then one (cheap) notification goes to each
+    /// neighbor; receivers copy the payload out in parallel, contending
+    /// only at the sender's memory unit. Counts as one message per
+    /// receiver (the P·N accounting of Figure 5 is unchanged); what
+    /// broadcast saves is the sender's P−1 redundant staging writes.
+    pub async fn broadcast(&self, data: &[u8]) -> Result<(), SmpError> {
+        let st = &self.state;
+        let p = &self.proc;
+        let neighbors = self.neighbors();
+        // Stage the payload once, locally.
+        let buf = {
+            let existing = st.bcast_buffers.borrow().get(&self.rank).copied();
+            match existing {
+                Some(b) => b,
+                None => {
+                    p.compute(st.costs.buffer_alloc).await;
+                    let b = st
+                        .os
+                        .machine
+                        .node(st.placement[self.rank as usize])
+                        .alloc(CHANNEL_BUF)
+                        .expect("SMP: node out of broadcast-buffer memory");
+                    st.bcast_buffers.borrow_mut().insert(self.rank, b);
+                    b
+                }
+            }
+        };
+        let mut off = 0usize;
+        loop {
+            let chunk = (data.len() - off).min(CHANNEL_BUF as usize);
+            p.write_block(buf, &data[off..off + chunk]).await;
+            off += chunk;
+            if off >= data.len() {
+                break;
+            }
+        }
+        for &to in &neighbors {
+            p.compute(st.costs.send_sw + st.os.costs.dualq_op).await;
+            st.os
+                .machine
+                .mem_resource(st.placement[to as usize])
+                .access(st.os.machine.cfg.costs.atomic_mem_service)
+                .await;
+            st.messages_sent.set(st.messages_sent.get() + 1);
+            st.bytes_sent.set(st.bytes_sent.get() + data.len() as u64);
+            st.inboxes[to as usize].send(Envelope {
+                from: self.rank,
+                data: data.to_vec(),
+                broadcast: true,
+            });
+        }
+        Ok(())
+    }
+
+    /// Receive directly from the inbox, paying receive costs.
+    async fn recv_raw(&self) -> (u32, Vec<u8>) {
+        let st = &self.state;
+        let p = &self.proc;
+        let env = st.inboxes[self.rank as usize].recv().await;
+        p.compute(st.costs.recv_sw + st.os.costs.dualq_op).await;
+        // Copy the payload out of the staging buffer. (Copy the address out
+        // first: an `if let` on the borrow would hold the RefCell guard
+        // across the awaits below.)
+        let staged = if env.broadcast {
+            st.bcast_buffers.borrow().get(&env.from).copied()
+        } else {
+            st.buffers.borrow().get(&(env.from, self.rank)).copied()
+        };
+        if let Some(buf) = staged {
+            let mut off = 0usize;
+            let mut scratch = vec![0u8; env.data.len().min(CHANNEL_BUF as usize)];
+            while off < env.data.len() {
+                let chunk = (env.data.len() - off).min(CHANNEL_BUF as usize);
+                p.read_block(buf, &mut scratch[..chunk]).await;
+                off += chunk;
+            }
+        }
+        (env.from, env.data)
+    }
+
+    /// Receive the next message (any sender), blocking until one arrives.
+    /// Messages set aside by [`Member::recv_from`] are delivered first.
+    pub async fn recv(&self) -> (u32, Vec<u8>) {
+        if let Some(m) = self.pending.borrow_mut().pop_front() {
+            return m;
+        }
+        self.recv_raw().await
+    }
+
+    /// Receive, requiring a specific sender (messages from others are set
+    /// aside and surfaced by later `recv`/`recv_from` calls; FIFO per link
+    /// is preserved).
+    pub async fn recv_from(&self, from: u32) -> Vec<u8> {
+        // A matching message may already have been set aside.
+        {
+            let mut pending = self.pending.borrow_mut();
+            if let Some(pos) = pending.iter().position(|(f, _)| *f == from) {
+                return pending.remove(pos).unwrap().1;
+            }
+        }
+        loop {
+            let (f, d) = self.recv_raw().await;
+            if f == from {
+                return d;
+            }
+            self.pending.borrow_mut().push_back((f, d));
+        }
+    }
+
+    /// Send a slice of f64s (convenience for numeric codes).
+    pub async fn send_f64s(&self, to: u32, xs: &[f64]) -> Result<(), SmpError> {
+        let mut bytes = Vec::with_capacity(xs.len() * 8);
+        for x in xs {
+            bytes.extend_from_slice(&x.to_le_bytes());
+        }
+        self.send(to, &bytes).await
+    }
+
+    /// Receive f64s from a specific sender.
+    pub async fn recv_f64s_from(&self, from: u32) -> Vec<f64> {
+        let bytes = self.recv_from(from).await;
+        bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfly_machine::{Machine, MachineConfig};
+    use bfly_sim::exec::RunOutcome;
+    use bfly_sim::Sim;
+
+    fn boot(nodes: u16) -> (Sim, Rc<Os>) {
+        let sim = Sim::new();
+        let m = Machine::new(&sim, MachineConfig::small(nodes));
+        (sim.clone(), Os::boot(&m))
+    }
+
+    #[test]
+    fn ring_passes_a_token() {
+        let (sim, os) = boot(8);
+        let result = Rc::new(Cell::new(0u32));
+        let r2 = result.clone();
+        let fam = Family::spawn(&os, 8, Topology::Ring, move |m| {
+            let r = r2.clone();
+            async move {
+                if m.rank == 0 {
+                    m.send(1, &1u32.to_le_bytes()).await.unwrap();
+                    let d = m.recv_from(7).await;
+                    r.set(u32::from_le_bytes(d.try_into().unwrap()));
+                } else {
+                    let d = m.recv_from(m.rank - 1).await;
+                    let v = u32::from_le_bytes(d.try_into().unwrap());
+                    m.send((m.rank + 1) % 8, &(v + 1).to_le_bytes())
+                        .await
+                        .unwrap();
+                }
+            }
+        });
+        let stats = sim.run();
+        assert_eq!(stats.outcome, RunOutcome::Completed);
+        assert_eq!(result.get(), 8, "token incremented by each of 8 members");
+        assert_eq!(fam.messages_sent(), 8);
+    }
+
+    #[test]
+    fn unconnected_send_is_rejected() {
+        let (sim, os) = boot(4);
+        let err = Rc::new(RefCell::new(None));
+        let e2 = err.clone();
+        Family::spawn(&os, 4, Topology::Line, move |m| {
+            let e = e2.clone();
+            async move {
+                if m.rank == 0 {
+                    *e.borrow_mut() = Some(m.send(3, b"x").await.unwrap_err());
+                }
+            }
+        });
+        sim.run();
+        assert_eq!(
+            *err.borrow(),
+            Some(SmpError::NotConnected { from: 0, to: 3 })
+        );
+    }
+
+    #[test]
+    fn messages_are_fifo_per_link() {
+        let (sim, os) = boot(4);
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let g2 = got.clone();
+        Family::spawn(&os, 2, Topology::Line, move |m| {
+            let g = g2.clone();
+            async move {
+                if m.rank == 0 {
+                    for i in 0..5u32 {
+                        m.send(1, &i.to_le_bytes()).await.unwrap();
+                    }
+                } else {
+                    for _ in 0..5 {
+                        let d = m.recv_from(0).await;
+                        g.borrow_mut().push(u32::from_le_bytes(d.try_into().unwrap()));
+                    }
+                }
+            }
+        });
+        sim.run();
+        assert_eq!(*got.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn sar_cache_amortizes_maps() {
+        fn maps_for(cap: usize) -> (u64, u64) {
+            let (sim, os) = boot(4);
+            let costs = SmpCosts {
+                sar_cache_cap: cap,
+                ..SmpCosts::default()
+            };
+            let fam = Family::spawn_placed(
+                &os,
+                2,
+                Topology::Line,
+                vec![0, 1],
+                costs,
+                move |m| async move {
+                    if m.rank == 0 {
+                        for _ in 0..20 {
+                            m.send(1, &[0u8; 64]).await.unwrap();
+                        }
+                    } else {
+                        for _ in 0..20 {
+                            m.recv().await;
+                        }
+                    }
+                },
+            );
+            sim.run();
+            (fam.maps_paid(), fam.messages_sent())
+        }
+        let (maps_cached, sent) = maps_for(16);
+        let (maps_uncached, _) = maps_for(0);
+        assert_eq!(sent, 20);
+        assert_eq!(maps_cached, 1, "one cold map, then hits");
+        assert_eq!(maps_uncached, 20, "no cache: a map per send");
+    }
+
+    #[test]
+    fn large_message_streams_in_chunks() {
+        let (sim, os) = boot(4);
+        let data: Vec<u8> = (0..20_000u32).map(|i| (i % 256) as u8).collect();
+        let d2 = data.clone();
+        let ok = Rc::new(Cell::new(false));
+        let ok2 = ok.clone();
+        Family::spawn(&os, 2, Topology::Line, move |m| {
+            let d = d2.clone();
+            let ok = ok2.clone();
+            async move {
+                if m.rank == 0 {
+                    m.send(1, &d).await.unwrap();
+                } else {
+                    let got = m.recv_from(0).await;
+                    ok.set(got == d);
+                }
+            }
+        });
+        let stats = sim.run();
+        assert_eq!(stats.outcome, RunOutcome::Completed);
+        assert!(ok.get(), "20KB payload must arrive intact");
+    }
+
+    #[test]
+    fn star_gathers_from_all_workers() {
+        let (sim, os) = boot(8);
+        let total = Rc::new(Cell::new(0u64));
+        let t2 = total.clone();
+        Family::spawn(&os, 8, Topology::Star, move |m| {
+            let t = t2.clone();
+            async move {
+                if m.rank == 0 {
+                    for _ in 1..8 {
+                        let (_f, d) = m.recv().await;
+                        t.set(t.get() + u32::from_le_bytes(d.try_into().unwrap()) as u64);
+                    }
+                } else {
+                    m.send(0, &(m.rank * 10).to_le_bytes()).await.unwrap();
+                }
+            }
+        });
+        sim.run();
+        assert_eq!(total.get(), (1..8u64).map(|r| r * 10).sum());
+    }
+
+    #[test]
+    fn broadcast_reaches_every_neighbor_once() {
+        let (sim, os) = boot(8);
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let g2 = got.clone();
+        let fam = Family::spawn(&os, 6, Topology::Star, move |m| {
+            let g = g2.clone();
+            async move {
+                if m.rank == 0 {
+                    m.broadcast(&7u32.to_le_bytes()).await.unwrap();
+                } else {
+                    let d = m.recv_from(0).await;
+                    g.borrow_mut()
+                        .push((m.rank, u32::from_le_bytes(d.try_into().unwrap())));
+                }
+            }
+        });
+        let stats = sim.run();
+        assert_eq!(stats.outcome, bfly_sim::exec::RunOutcome::Completed);
+        let mut g = got.borrow().clone();
+        g.sort_unstable();
+        assert_eq!(g, (1..6).map(|r| (r, 7)).collect::<Vec<_>>());
+        assert_eq!(fam.messages_sent(), 5, "one message per receiver");
+    }
+
+    #[test]
+    fn broadcast_is_cheaper_per_destination_than_sends() {
+        // The whole point of the shared staging buffer: N-1 sends write the
+        // payload N-1 times; one broadcast writes it once.
+        fn elapsed(bcast: bool) -> u64 {
+            let (sim, os) = boot(16);
+            Family::spawn_placed(
+                &os,
+                12,
+                Topology::Star,
+                (0..12).collect(),
+                SmpCosts::numeric(),
+                move |m| async move {
+                    if m.rank == 0 {
+                        let payload = [3u8; 2048];
+                        if bcast {
+                            m.broadcast(&payload).await.unwrap();
+                        } else {
+                            for dst in 1..12 {
+                                m.send(dst, &payload).await.unwrap();
+                            }
+                        }
+                    } else {
+                        m.recv_from(0).await;
+                    }
+                },
+            );
+            sim.run();
+            sim.now()
+        }
+        let sends = elapsed(false);
+        let bcast = elapsed(true);
+        assert!(
+            bcast < sends,
+            "broadcast ({bcast}) must beat per-destination sends ({sends})"
+        );
+    }
+
+    #[test]
+    fn send_charges_more_than_shared_memory_reference() {
+        // §3.1: "communication in SMP is significantly more expensive than
+        // direct access to shared memory".
+        let (sim, os) = boot(4);
+        let msg_time = Rc::new(Cell::new(0u64));
+        let mt = msg_time.clone();
+        Family::spawn(&os, 2, Topology::Line, move |m| {
+            let mt = mt.clone();
+            async move {
+                if m.rank == 0 {
+                    let t0 = m.proc.os.sim().now();
+                    m.send(1, &[1, 2, 3, 4]).await.unwrap();
+                    mt.set(m.proc.os.sim().now() - t0);
+                } else {
+                    m.recv().await;
+                }
+            }
+        });
+        sim.run();
+        let remote_ref = 4_000; // unloaded remote reference
+        assert!(
+            msg_time.get() > 10 * remote_ref,
+            "a message ({} ns) must cost >> a remote reference",
+            msg_time.get()
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! # bfly-smp — Structured Message Passing and NET (§3.2)
+//!
+//! SMP provides "dynamic construction of process families, hierarchical
+//! collections of heavyweight processes that communicate through
+//! asynchronous messages". Families are connected in arbitrary *static
+//! topologies*: each process may talk to its parent, its children, and the
+//! siblings its topology connects it to — sends outside the topology are
+//! errors (that is the "structured" in SMP).
+//!
+//! Cost fidelity: a message travels through a buffer memory object on the
+//! receiver's node. The sender must have that buffer *mapped* — a 1 ms SAR
+//! map operation on the Butterfly-I — so SMP keeps an optional **SAR
+//! cache** "that delays unmap operations as long as possible, in hopes of
+//! avoiding a subsequent map" (§3.2). Message data really moves through
+//! simulated memory via block transfers; delivery order is FIFO per link.
+//!
+//! The [`net`] module is NET, SMP's ancestor: regular rectangular meshes
+//! (lines, rings, meshes, tori) of processes connected by byte streams,
+//! buildable in half a page of code.
+
+pub mod family;
+pub mod net;
+pub mod sarcache;
+pub mod topology;
+
+pub use family::{Family, Member, SmpCosts, SmpError};
+pub use sarcache::SarCache;
+pub use topology::Topology;

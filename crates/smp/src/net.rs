@@ -1,0 +1,190 @@
+//! NET (§3.2): "the first systems package developed for the Butterfly at
+//! Rochester. NET facilitates the construction of regular rectangular
+//! meshes (including lines, cylinders, and tori), where each element in the
+//! mesh is connected to its neighbors by byte streams. Where Chrysalis
+//! required over 100 lines of code to create a single process, NET could
+//! create a mesh of processes, including communication connections, in half
+//! a page of code."
+//!
+//! Here NET is a thin layer over [`crate::family`]: mesh constructors plus
+//! byte-stream `write_stream`/`read_exact` on members (streams reassemble
+//! from underlying SMP messages).
+
+use std::future::Future;
+use std::rc::Rc;
+
+use bfly_chrysalis::Os;
+
+use crate::family::{Family, Member, SmpError};
+use crate::topology::Topology;
+
+/// Build a line of `n` processes (half a page? one call).
+pub fn line<F, Fut>(os: &Rc<Os>, n: u32, body: F) -> Family
+where
+    F: Fn(Member) -> Fut + 'static,
+    Fut: Future<Output = ()> + 'static,
+{
+    Family::spawn(os, n, Topology::Line, body)
+}
+
+/// Build a ring ("cylinder" in one dimension).
+pub fn ring<F, Fut>(os: &Rc<Os>, n: u32, body: F) -> Family
+where
+    F: Fn(Member) -> Fut + 'static,
+    Fut: Future<Output = ()> + 'static,
+{
+    Family::spawn(os, n, Topology::Ring, body)
+}
+
+/// Build a `w × h` rectangular mesh.
+pub fn mesh<F, Fut>(os: &Rc<Os>, w: u32, h: u32, body: F) -> Family
+where
+    F: Fn(Member) -> Fut + 'static,
+    Fut: Future<Output = ()> + 'static,
+{
+    Family::spawn(os, w * h, Topology::Mesh { w, h }, body)
+}
+
+/// Build a `w × h` torus.
+pub fn torus<F, Fut>(os: &Rc<Os>, w: u32, h: u32, body: F) -> Family
+where
+    F: Fn(Member) -> Fut + 'static,
+    Fut: Future<Output = ()> + 'static,
+{
+    Family::spawn(os, w * h, Topology::Torus { w, h }, body)
+}
+
+impl Member {
+    /// Write bytes onto the stream toward a neighbor.
+    pub async fn write_stream(&self, to: u32, bytes: &[u8]) -> Result<(), SmpError> {
+        self.send(to, bytes).await
+    }
+
+    /// Read exactly `buf.len()` bytes from the stream arriving from `from`,
+    /// reassembling across message boundaries.
+    pub async fn read_exact(&self, from: u32, buf: &mut [u8]) {
+        loop {
+            {
+                let mut streams = self.streams.borrow_mut();
+                let q = streams.entry(from).or_default();
+                if q.len() >= buf.len() {
+                    for b in buf.iter_mut() {
+                        *b = q.pop_front().unwrap();
+                    }
+                    return;
+                }
+            }
+            let data = self.recv_from(from).await;
+            self.streams
+                .borrow_mut()
+                .entry(from)
+                .or_default()
+                .extend(data);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfly_machine::{Machine, MachineConfig};
+    use bfly_sim::exec::RunOutcome;
+    use bfly_sim::Sim;
+    use std::cell::{Cell, RefCell};
+
+    fn boot(nodes: u16) -> (Sim, Rc<Os>) {
+        let sim = Sim::new();
+        let m = Machine::new(&sim, MachineConfig::small(nodes));
+        (sim.clone(), Os::boot(&m))
+    }
+
+    #[test]
+    fn the_half_page_claim_line_pipeline() {
+        // NET's entire value proposition, as a test: a 6-stage pipeline of
+        // processes wired by byte streams, in a handful of lines.
+        let (sim, os) = boot(8);
+        let out = Rc::new(Cell::new(0u32));
+        let o2 = out.clone();
+        line(&os, 6, move |m| {
+            let o = o2.clone();
+            async move {
+                let n = m.family_size();
+                if m.rank == 0 {
+                    m.write_stream(1, &7u32.to_le_bytes()).await.unwrap();
+                } else {
+                    let mut b = [0u8; 4];
+                    m.read_exact(m.rank - 1, &mut b).await;
+                    let v = u32::from_le_bytes(b) * 2;
+                    if m.rank + 1 < n {
+                        m.write_stream(m.rank + 1, &v.to_le_bytes()).await.unwrap();
+                    } else {
+                        o.set(v);
+                    }
+                }
+            }
+        });
+        assert_eq!(sim.run().outcome, RunOutcome::Completed);
+        assert_eq!(out.get(), 7 << 5, "7 doubled by 5 downstream stages");
+    }
+
+    #[test]
+    fn streams_reassemble_across_message_boundaries() {
+        let (sim, os) = boot(4);
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let g2 = got.clone();
+        line(&os, 2, move |m| {
+            let g = g2.clone();
+            async move {
+                if m.rank == 0 {
+                    // Write 12 bytes as 3 ragged messages.
+                    m.write_stream(1, &[1, 2, 3, 4, 5]).await.unwrap();
+                    m.write_stream(1, &[6]).await.unwrap();
+                    m.write_stream(1, &[7, 8, 9, 10, 11, 12]).await.unwrap();
+                } else {
+                    // Read them back as 2 six-byte records.
+                    for _ in 0..2 {
+                        let mut rec = [0u8; 6];
+                        m.read_exact(0, &mut rec).await;
+                        g.borrow_mut().push(rec.to_vec());
+                    }
+                }
+            }
+        });
+        sim.run();
+        assert_eq!(
+            *got.borrow(),
+            vec![vec![1, 2, 3, 4, 5, 6], vec![7, 8, 9, 10, 11, 12]]
+        );
+    }
+
+    #[test]
+    fn torus_neighbor_exchange_converges() {
+        // Each torus cell averages with its 4 neighbors once; total mass is
+        // conserved (a one-step Jacobi relaxation over NET streams).
+        let (sim, os) = boot(16);
+        let values = Rc::new(RefCell::new(vec![0f64; 16]));
+        let v2 = values.clone();
+        torus(&os, 4, 4, move |m| {
+            let vals = v2.clone();
+            async move {
+                let mine = m.rank as f64;
+                let nbrs = m.neighbors();
+                for &nb in &nbrs {
+                    m.write_stream(nb, &mine.to_le_bytes()).await.unwrap();
+                }
+                let mut sum = mine;
+                for &nb in &nbrs {
+                    let mut b = [0u8; 8];
+                    m.read_exact(nb, &mut b).await;
+                    sum += f64::from_le_bytes(b);
+                }
+                vals.borrow_mut()[m.rank as usize] = sum / 5.0;
+            }
+        });
+        assert_eq!(sim.run().outcome, RunOutcome::Completed);
+        let total: f64 = values.borrow().iter().sum();
+        // Sum of (self + 4 neighbors)/5 over a regular graph preserves mass.
+        let expect: f64 = (0..16).map(|r| r as f64).sum();
+        assert!((total - expect).abs() < 1e-9, "mass conserved: {total} vs {expect}");
+    }
+}

@@ -1,0 +1,135 @@
+//! The SMP SAR cache (§3.2).
+//!
+//! "In order to economize on SARs, an SMP process with many communication
+//! channels must map its buffers in and out dynamically. To soften the
+//! roughly 1 ms overhead of map operations, SMP incorporates an optional
+//! SAR cache that delays unmap operations as long as possible, in hopes of
+//! avoiding a subsequent map."
+//!
+//! The cache is an LRU over channel buffer mappings with a fixed capacity
+//! (the SARs the process can spare for buffers). A hit costs nothing; a
+//! miss costs one map (and one unmap of the evicted victim, also ~1 ms).
+
+use std::collections::VecDeque;
+
+/// LRU set of mapped channel ids.
+#[derive(Debug)]
+pub struct SarCache {
+    cap: usize,
+    /// Front = most recently used.
+    order: VecDeque<u64>,
+    /// Statistics.
+    pub hits: u64,
+    /// Statistics.
+    pub misses: u64,
+    /// Unmaps forced by eviction.
+    pub evictions: u64,
+}
+
+/// What a lookup decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Buffer already mapped: no map cost.
+    Hit,
+    /// Buffer must be mapped (1 map).
+    MissFree,
+    /// Buffer must be mapped and a victim unmapped (2 map-cost operations).
+    MissEvict,
+}
+
+impl SarCache {
+    /// A cache holding at most `cap` mapped buffers. `cap == 0` disables
+    /// caching: every access is a map followed (conceptually) by an unmap.
+    pub fn new(cap: usize) -> SarCache {
+        SarCache {
+            cap,
+            order: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Touch channel `id`; returns what must be paid for.
+    pub fn touch(&mut self, id: u64) -> CacheOutcome {
+        if self.cap == 0 {
+            self.misses += 1;
+            return CacheOutcome::MissFree;
+        }
+        if let Some(pos) = self.order.iter().position(|&x| x == id) {
+            self.order.remove(pos);
+            self.order.push_front(id);
+            self.hits += 1;
+            return CacheOutcome::Hit;
+        }
+        self.misses += 1;
+        if self.order.len() == self.cap {
+            self.order.pop_back();
+            self.evictions += 1;
+            self.order.push_front(id);
+            CacheOutcome::MissEvict
+        } else {
+            self.order.push_front(id);
+            CacheOutcome::MissFree
+        }
+    }
+
+    /// Hit rate so far.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_channel_hits() {
+        let mut c = SarCache::new(4);
+        assert_eq!(c.touch(1), CacheOutcome::MissFree);
+        for _ in 0..10 {
+            assert_eq!(c.touch(1), CacheOutcome::Hit);
+        }
+        assert_eq!(c.hits, 10);
+        assert_eq!(c.misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_coldest() {
+        let mut c = SarCache::new(2);
+        c.touch(1);
+        c.touch(2);
+        assert_eq!(c.touch(3), CacheOutcome::MissEvict); // evicts 1
+        assert_eq!(c.touch(2), CacheOutcome::Hit);
+        assert_eq!(c.touch(1), CacheOutcome::MissEvict); // 1 was evicted
+    }
+
+    #[test]
+    fn zero_capacity_never_hits() {
+        let mut c = SarCache::new(0);
+        for _ in 0..5 {
+            assert_eq!(c.touch(7), CacheOutcome::MissFree);
+        }
+        assert_eq!(c.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn working_set_within_capacity_converges_to_hits() {
+        let mut c = SarCache::new(8);
+        for round in 0..20 {
+            for ch in 0..8u64 {
+                let out = c.touch(ch);
+                if round > 0 {
+                    assert_eq!(out, CacheOutcome::Hit);
+                }
+            }
+        }
+        assert!(c.hit_rate() > 0.9);
+    }
+}

@@ -1,0 +1,207 @@
+//! Static family topologies (generalizing NET's regular meshes).
+
+/// How the members of a family are connected. Ranks are `0..n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// Each member i connects to i−1 and i+1.
+    Line,
+    /// A line with the ends joined.
+    Ring,
+    /// A `w × h` rectangular mesh (rank = y*w + x), 4-neighborhood.
+    Mesh {
+        /// Width.
+        w: u32,
+        /// Height.
+        h: u32,
+    },
+    /// A mesh with wraparound in both dimensions.
+    Torus {
+        /// Width.
+        w: u32,
+        /// Height.
+        h: u32,
+    },
+    /// A rooted tree with the given fanout (rank 0 is the root).
+    Tree {
+        /// Children per node.
+        fanout: u32,
+    },
+    /// Every member connects to every other.
+    Complete,
+    /// A star: rank 0 connects to everyone (the master/worker shape used by
+    /// the Gaussian-elimination experiment).
+    Star,
+}
+
+impl Topology {
+    /// The neighbor set of `rank` in a family of `n` members, ascending.
+    pub fn neighbors(&self, rank: u32, n: u32) -> Vec<u32> {
+        assert!(rank < n);
+        let mut out = Vec::new();
+        match *self {
+            Topology::Line => {
+                if rank > 0 {
+                    out.push(rank - 1);
+                }
+                if rank + 1 < n {
+                    out.push(rank + 1);
+                }
+            }
+            Topology::Ring => {
+                if n > 1 {
+                    out.push((rank + n - 1) % n);
+                    let fwd = (rank + 1) % n;
+                    if fwd != (rank + n - 1) % n {
+                        out.push(fwd);
+                    }
+                    out.sort_unstable();
+                }
+            }
+            Topology::Mesh { w, h } | Topology::Torus { w, h } => {
+                assert!(w * h == n, "mesh dims must match family size");
+                let wrap = matches!(self, Topology::Torus { .. });
+                let (x, y) = (rank % w, rank / w);
+                let mut push = |nx: i64, ny: i64| {
+                    let (nx, ny) = if wrap {
+                        ((nx.rem_euclid(w as i64)) as u32, (ny.rem_euclid(h as i64)) as u32)
+                    } else {
+                        if nx < 0 || ny < 0 || nx >= w as i64 || ny >= h as i64 {
+                            return;
+                        }
+                        (nx as u32, ny as u32)
+                    };
+                    let r = ny * w + nx;
+                    if r != rank && !out.contains(&r) {
+                        out.push(r);
+                    }
+                };
+                push(x as i64 - 1, y as i64);
+                push(x as i64 + 1, y as i64);
+                push(x as i64, y as i64 - 1);
+                push(x as i64, y as i64 + 1);
+                out.sort_unstable();
+            }
+            Topology::Tree { fanout } => {
+                assert!(fanout >= 1);
+                if rank > 0 {
+                    out.push((rank - 1) / fanout);
+                }
+                for c in 0..fanout {
+                    let child = rank * fanout + 1 + c;
+                    if child < n {
+                        out.push(child);
+                    }
+                }
+                out.sort_unstable();
+            }
+            Topology::Complete => {
+                out.extend((0..n).filter(|&r| r != rank));
+            }
+            Topology::Star => {
+                if rank == 0 {
+                    out.extend(1..n);
+                } else {
+                    out.push(0);
+                }
+            }
+        }
+        out
+    }
+
+    /// True if `a` and `b` are connected.
+    pub fn connected(&self, a: u32, b: u32, n: u32) -> bool {
+        a != b && self.neighbors(a, n).contains(&b)
+    }
+
+    /// Total (undirected) edges — the wiring NET would have to build.
+    pub fn edge_count(&self, n: u32) -> usize {
+        (0..n).map(|r| self.neighbors(r, n).len()).sum::<usize>() / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_endpoints_have_one_neighbor() {
+        let t = Topology::Line;
+        assert_eq!(t.neighbors(0, 5), vec![1]);
+        assert_eq!(t.neighbors(4, 5), vec![3]);
+        assert_eq!(t.neighbors(2, 5), vec![1, 3]);
+        assert_eq!(t.edge_count(5), 4);
+    }
+
+    #[test]
+    fn ring_wraps() {
+        let t = Topology::Ring;
+        assert_eq!(t.neighbors(0, 5), vec![1, 4]);
+        assert_eq!(t.edge_count(5), 5);
+        assert_eq!(t.neighbors(0, 2), vec![1], "2-ring has one edge");
+    }
+
+    #[test]
+    fn mesh_corner_center_edge() {
+        let t = Topology::Mesh { w: 3, h: 3 };
+        assert_eq!(t.neighbors(0, 9), vec![1, 3]); // corner
+        assert_eq!(t.neighbors(4, 9), vec![1, 3, 5, 7]); // center
+        assert_eq!(t.neighbors(1, 9), vec![0, 2, 4]); // edge
+        assert_eq!(t.edge_count(9), 12);
+    }
+
+    #[test]
+    fn torus_is_regular() {
+        let t = Topology::Torus { w: 4, h: 4 };
+        for r in 0..16 {
+            assert_eq!(t.neighbors(r, 16).len(), 4, "every torus node has 4 neighbors");
+        }
+        assert!(t.connected(0, 3, 16), "row wraparound");
+        assert!(t.connected(0, 12, 16), "column wraparound");
+    }
+
+    #[test]
+    fn tree_parent_child() {
+        let t = Topology::Tree { fanout: 2 };
+        assert_eq!(t.neighbors(0, 7), vec![1, 2]);
+        assert_eq!(t.neighbors(1, 7), vec![0, 3, 4]);
+        assert_eq!(t.neighbors(6, 7), vec![2]);
+        assert_eq!(t.edge_count(7), 6, "a tree on 7 nodes has 6 edges");
+    }
+
+    #[test]
+    fn star_and_complete() {
+        assert_eq!(Topology::Star.neighbors(0, 4), vec![1, 2, 3]);
+        assert_eq!(Topology::Star.neighbors(2, 4), vec![0]);
+        assert_eq!(Topology::Complete.edge_count(5), 10);
+    }
+
+    #[test]
+    fn connectivity_is_symmetric() {
+        for topo in [
+            Topology::Line,
+            Topology::Ring,
+            Topology::Mesh { w: 4, h: 3 },
+            Topology::Torus { w: 4, h: 3 },
+            Topology::Tree { fanout: 3 },
+            Topology::Complete,
+            Topology::Star,
+        ] {
+            let n = 12;
+            for a in 0..n {
+                for b in 0..n {
+                    assert_eq!(
+                        topo.connected(a, b, n),
+                        topo.connected(b, a, n),
+                        "{topo:?} asymmetric at ({a},{b})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mesh dims")]
+    fn bad_mesh_dims_panic() {
+        Topology::Mesh { w: 3, h: 3 }.neighbors(0, 8);
+    }
+}

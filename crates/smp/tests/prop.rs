@@ -1,0 +1,114 @@
+//! Property-based tests for SMP: topology laws and message conservation
+//! over arbitrary families.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bfly_chrysalis::Os;
+use bfly_machine::{Machine, MachineConfig};
+use bfly_sim::exec::RunOutcome;
+use bfly_sim::Sim;
+use bfly_smp::{Family, Topology};
+use proptest::prelude::*;
+
+fn topologies(n: u32) -> Vec<Topology> {
+    let mut v = vec![
+        Topology::Line,
+        Topology::Ring,
+        Topology::Tree { fanout: 2 },
+        Topology::Tree { fanout: 3 },
+        Topology::Complete,
+        Topology::Star,
+    ];
+    // A rectangular factorization when one exists.
+    for w in 2..=n {
+        if n.is_multiple_of(w) && n / w >= 2 {
+            v.push(Topology::Mesh { w, h: n / w });
+            v.push(Topology::Torus { w, h: n / w });
+            break;
+        }
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every topology: connectivity is symmetric, irreflexive, and the
+    /// edge count equals the handshake sum.
+    #[test]
+    fn topology_laws(n in 2u32..24) {
+        for topo in topologies(n) {
+            let mut degree_sum = 0usize;
+            for a in 0..n {
+                let nbrs = topo.neighbors(a, n);
+                degree_sum += nbrs.len();
+                prop_assert!(!nbrs.contains(&a), "{topo:?}: self-loop at {a}");
+                // Sorted, unique.
+                prop_assert!(nbrs.windows(2).all(|w| w[0] < w[1]));
+                for &b in &nbrs {
+                    prop_assert!(b < n);
+                    prop_assert!(
+                        topo.connected(b, a, n),
+                        "{topo:?}: asymmetric edge {a}-{b}"
+                    );
+                }
+            }
+            prop_assert_eq!(topo.edge_count(n) * 2, degree_sum);
+        }
+    }
+
+    /// Line/Ring/Tree/Star/Mesh are connected graphs: a flood from rank 0
+    /// reaches everyone.
+    #[test]
+    fn topologies_are_connected(n in 2u32..24) {
+        for topo in topologies(n) {
+            let mut seen = vec![false; n as usize];
+            let mut stack = vec![0u32];
+            seen[0] = true;
+            while let Some(x) = stack.pop() {
+                for b in topo.neighbors(x, n) {
+                    if !seen[b as usize] {
+                        seen[b as usize] = true;
+                        stack.push(b);
+                    }
+                }
+            }
+            prop_assert!(seen.iter().all(|&s| s), "{topo:?} disconnected at n={n}");
+        }
+    }
+
+    /// Message conservation on a ring: every member sends `k` messages to
+    /// its successor and receives exactly `k` from its predecessor, for
+    /// any k and family size; family counters agree.
+    #[test]
+    fn ring_conserves_messages(n in 2u32..10, k in 1u32..6) {
+        let sim = Sim::new();
+        let m = Machine::new(&sim, MachineConfig::small(16));
+        let os = Os::boot(&m);
+        let got: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(vec![0; n as usize]));
+        let g2 = got.clone();
+        let fam = Family::spawn(&os, n, Topology::Ring, move |mb| {
+            let got = g2.clone();
+            async move {
+                let succ = (mb.rank + 1) % mb.family_size();
+                let pred = (mb.rank + mb.family_size() - 1) % mb.family_size();
+                for i in 0..k {
+                    mb.send(succ, &i.to_le_bytes()).await.unwrap();
+                }
+                for _ in 0..k {
+                    let d = mb.recv_from(pred).await;
+                    let v = u32::from_le_bytes(d.try_into().unwrap());
+                    got.borrow_mut()[mb.rank as usize] += v + 1;
+                }
+            }
+        });
+        let stats = sim.run();
+        prop_assert_eq!(stats.outcome, RunOutcome::Completed);
+        prop_assert_eq!(fam.messages_sent(), (n * k) as u64);
+        // Each member received 0..k => sum = k(k+1)/2.
+        for &g in got.borrow().iter() {
+            prop_assert_eq!(g, k * (k + 1) / 2);
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Uniform System shared-memory allocation: serial vs parallel.
+//!
+//! §4.1: "Serial memory allocation in the Uniform System was a dominant
+//! factor in many programs until a parallel memory allocator was introduced
+//! into the implementation [Ellis & Olson]." We implement both disciplines;
+//! experiment T7 sweeps processors against each.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use bfly_chrysalis::{Os, Proc, SpinLock};
+use bfly_machine::{GAddr, NodeId};
+use bfly_sim::time::SimTime;
+
+/// Allocation discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocMode {
+    /// One global allocator protected by one global spin lock — every
+    /// allocation in the whole machine serializes through it.
+    Serial,
+    /// Ellis–Olson-style parallel allocation: one allocator (and lock) per
+    /// memory node; requests hash to a node.
+    Parallel,
+}
+
+pub(crate) struct UsAllocator {
+    os: Rc<Os>,
+    nodes: Vec<NodeId>,
+    mode: AllocMode,
+    /// Round-robin cursor for placement.
+    rr: Cell<usize>,
+    /// One lock word per node (Parallel) or just the first (Serial).
+    locks: Vec<SpinLock>,
+    /// Scatter state for host-side `share` (no lock needed).
+    share_rr: Cell<usize>,
+    /// Allocation counter (experiments).
+    pub allocs: Cell<u64>,
+    /// Track outstanding sizes for free()).
+    sizes: RefCell<std::collections::HashMap<(u16, u32), u32>>,
+}
+
+impl UsAllocator {
+    pub(crate) fn new(os: &Rc<Os>, nodes: Vec<NodeId>, mode: AllocMode) -> UsAllocator {
+        // Lock words live on their respective nodes (Serial: node[0]).
+        let locks = nodes
+            .iter()
+            .map(|&n| {
+                let a = os
+                    .machine
+                    .node(n)
+                    .alloc(4)
+                    .expect("US allocator: no room for lock word");
+                os.machine.poke_u32(a, 0);
+                SpinLock::new(a).with_backoff(10_000)
+            })
+            .collect();
+        UsAllocator {
+            os: os.clone(),
+            nodes,
+            mode,
+            rr: Cell::new(0),
+            locks,
+            share_rr: Cell::new(0),
+            allocs: Cell::new(0),
+            sizes: RefCell::new(std::collections::HashMap::new()),
+        }
+    }
+
+    pub(crate) fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    fn next_node_index(&self) -> usize {
+        let i = self.rr.get();
+        self.rr.set((i + 1) % self.nodes.len());
+        i
+    }
+
+    /// In-simulation allocation, charging lock + bookkeeping costs.
+    pub(crate) async fn alloc(&self, p: &Proc, bytes: u32, compute: SimTime) -> GAddr {
+        self.allocs.set(self.allocs.get() + 1);
+        let idx = self.next_node_index();
+        let (lock, node) = match self.mode {
+            AllocMode::Serial => (self.locks[0], self.nodes[0]),
+            AllocMode::Parallel => (self.locks[idx], self.nodes[idx]),
+        };
+        lock.acquire(p).await;
+        p.compute(compute).await;
+        // Under Serial the single allocator still *places* round-robin
+        // (placement was never the bottleneck; the lock was).
+        let place = match self.mode {
+            AllocMode::Serial => self.nodes[idx],
+            AllocMode::Parallel => node,
+        };
+        let addr = self
+            .os
+            .machine
+            .node(place)
+            .alloc(bytes)
+            .expect("US shared memory exhausted");
+        lock.release(p).await;
+        self.sizes
+            .borrow_mut()
+            .insert((addr.node, addr.offset), bytes);
+        addr
+    }
+
+    pub(crate) fn free(&self, addr: GAddr, bytes: u32) {
+        let recorded = self
+            .sizes
+            .borrow_mut()
+            .remove(&(addr.node, addr.offset))
+            .unwrap_or(bytes);
+        self.os.machine.node(addr.node).free(addr, recorded);
+    }
+
+    /// Host-side scatter allocation (initialization time, no cost).
+    pub(crate) fn share(&self, bytes: u32) -> GAddr {
+        let i = self.share_rr.get();
+        self.share_rr.set((i + 1) % self.nodes.len());
+        // Try each node starting from the cursor until one fits.
+        for k in 0..self.nodes.len() {
+            let n = self.nodes[(i + k) % self.nodes.len()];
+            if let Some(a) = self.os.machine.node(n).alloc(bytes) {
+                return a;
+            }
+        }
+        panic!("US shared memory exhausted ({} bytes requested)", bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::us::{task, Us, UsCosts};
+    use bfly_machine::{Machine, MachineConfig};
+    use bfly_sim::Sim;
+
+    fn run_allocs(mode: AllocMode, nprocs: u16, allocs_per_proc: u64) -> u64 {
+        let sim = Sim::new();
+        let m = Machine::new(&sim, MachineConfig::small(16));
+        let os = Os::boot(&m);
+        let nodes: Vec<NodeId> = (0..16).collect();
+        let us = Us::init_custom(&os, nprocs, nodes, mode, UsCosts::default());
+        let us2 = us.clone();
+        os.boot_process(0, "driver", move |_p| async move {
+            let usl = us2.clone();
+            us2.gen_on_n(
+                nprocs as u64,
+                task(move |p, _i| {
+                    let us = usl.clone();
+                    async move {
+                        for _ in 0..allocs_per_proc {
+                            let a = us.alloc(&p, 256).await;
+                            us.free(a, 256);
+                        }
+                    }
+                }),
+            )
+            .await;
+            us2.shutdown();
+        });
+        sim.run();
+        sim.now()
+    }
+
+    #[test]
+    fn parallel_allocator_scales_serial_does_not() {
+        let serial_1 = run_allocs(AllocMode::Serial, 1, 20);
+        let serial_8 = run_allocs(AllocMode::Serial, 8, 20);
+        let par_8 = run_allocs(AllocMode::Parallel, 8, 20);
+        // Serial: 8 procs allocating serializes — total time stays near the
+        // single-proc time (8x the allocations through one lock).
+        // Parallel: 8 procs each do their own allocations concurrently.
+        assert!(
+            par_8 * 3 < serial_8,
+            "parallel allocator must be much faster under contention \
+             (serial_8={serial_8}, par_8={par_8})"
+        );
+        assert!(
+            serial_8 > serial_1 * 4,
+            "serial allocator must serialize 8 procs (1:{serial_1}, 8:{serial_8})"
+        );
+    }
+
+    #[test]
+    fn share_scatters_round_robin() {
+        let sim = Sim::new();
+        let m = Machine::new(&sim, MachineConfig::small(8));
+        let os = Os::boot(&m);
+        let us = Us::init(&os, 4);
+        let nodes: std::collections::HashSet<u16> =
+            (0..16).map(|_| us.share(128).node).collect();
+        assert!(
+            nodes.len() >= 7,
+            "scatter must hit (nearly) all nodes, got {nodes:?}"
+        );
+    }
+
+    #[test]
+    fn free_returns_memory() {
+        let sim = Sim::new();
+        let m = Machine::new(&sim, MachineConfig::small(4));
+        let os = Os::boot(&m);
+        let us = Us::init(&os, 2);
+        let us2 = us.clone();
+        let before: u32 = (0..4).map(|n| m.node(n).allocated_bytes()).sum();
+        os.boot_process(0, "driver", move |_p| async move {
+            let usl = us2.clone();
+            us2.gen_on_n(
+                1,
+                task(move |p, _| {
+                    let us = usl.clone();
+                    async move {
+                        let a = us.alloc(&p, 1000).await;
+                        us.free(a, 1000);
+                    }
+                }),
+            )
+            .await;
+            us2.shutdown();
+        });
+        sim.run();
+        // Generator counters and the user allocation are both returned once
+        // all managers have drained (after shutdown completes).
+        let after: u32 = (0..4).map(|n| m.node(n).allocated_bytes()).sum();
+        assert_eq!(before, after);
+    }
+}

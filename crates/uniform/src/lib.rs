@@ -1,0 +1,31 @@
+//! # bfly-uniform — the BBN Uniform System (§2.3)
+//!
+//! The Uniform System (US) implements lightweight tasks executing within a
+//! single global address space: calls to create a globally-shared memory,
+//! scatter data throughout it, and create tasks that operate on it. During
+//! initialization, US creates a **manager process** per processor; a global
+//! work queue (microcode-assisted) allocates tasks to managers. Tasks run to
+//! completion; spin locks are the only synchronization; each task inherits
+//! the globally shared memory, so task granularity can be very small.
+//!
+//! Faithfully modeled properties:
+//!
+//! * task dispatch claims indices from a shared **atomic counter in
+//!   simulated memory** — the dispatch cost and the counter hot-spot are
+//!   emergent, not hard-coded;
+//! * `AllocMode::Serial` vs `AllocMode::Parallel` memory allocation — the
+//!   §4.1 Amdahl lesson ("serial memory allocation in the Uniform System
+//!   was a dominant factor in many programs until a parallel memory
+//!   allocator was introduced", ref \[20\]);
+//! * `scatter` placement control — data can be spread over all memories or
+//!   packed onto a few, reproducing the >30 % contention effect of §4.1;
+//! * block-copy helpers (`copy_in`/`copy_out` on [`bfly_chrysalis::Proc`])
+//!   for the "cache shared data in local memory" idiom.
+
+pub mod alloc;
+pub mod matrix;
+pub mod us;
+
+pub use alloc::AllocMode;
+pub use matrix::UsMatrix;
+pub use us::{task, TaskFn, Us, UsCosts};

@@ -1,0 +1,504 @@
+//! The Uniform System runtime: managers, task generators, the global work
+//! queue.
+
+use std::cell::{Cell, RefCell};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+
+use bfly_chrysalis::{Os, Proc};
+use bfly_machine::{GAddr, NodeId};
+use bfly_sim::sync::{Channel, Gate};
+use bfly_sim::time::{SimTime, US as USEC};
+use bfly_sim::JoinHandle;
+
+use crate::alloc::{AllocMode, UsAllocator};
+
+/// A boxed task body.
+pub type BoxFutUnit = Pin<Box<dyn Future<Output = ()> + 'static>>;
+
+/// A Uniform System task: a procedure applied to shared data, identified by
+/// an index (the "pointer into shared memory" of §2.3 is recovered from the
+/// index by the closure's captures).
+pub type TaskFn = Rc<dyn Fn(Rc<Proc>, u64) -> BoxFutUnit>;
+
+/// Wrap an async closure as a [`TaskFn`].
+pub fn task<F, Fut>(f: F) -> TaskFn
+where
+    F: Fn(Rc<Proc>, u64) -> Fut + 'static,
+    Fut: Future<Output = ()> + 'static,
+{
+    Rc::new(move |p, i| Box::pin(f(p, i)))
+}
+
+/// Uniform System runtime costs.
+#[derive(Debug, Clone)]
+pub struct UsCosts {
+    /// Manager-side overhead per task claimed (procedure dispatch).
+    pub dispatch: SimTime,
+    /// CPU time to run the allocator's bookkeeping for one request.
+    pub alloc_compute: SimTime,
+}
+
+impl Default for UsCosts {
+    fn default() -> Self {
+        UsCosts {
+            dispatch: 20 * USEC,
+            alloc_compute: 150 * USEC,
+        }
+    }
+}
+
+enum Job {
+    Gen(Rc<Generator>),
+    /// One pre-enumerated task (the original, slow-to-initialize
+    /// dispatching style; see [`Us::gen_enumerated`]).
+    Task {
+        idx: u64,
+        f: TaskFn,
+        remaining: Rc<Cell<u64>>,
+        gate: Gate,
+    },
+    Stop,
+}
+
+struct Generator {
+    /// Shared atomic task counter (in simulated memory — claiming a task is
+    /// a real remote fetch-and-add).
+    next: GAddr,
+    base: u64,
+    limit: u64,
+    /// Shared completion counter.
+    done: GAddr,
+    total: u64,
+    f: TaskFn,
+    gate: Gate,
+    /// Managers that have drained this generator; the last one frees the
+    /// shared counters (freeing earlier would let a straggler's final claim
+    /// corrupt a reused allocation).
+    finished: Cell<u16>,
+    nprocs: u16,
+}
+
+/// The Uniform System runtime on `nprocs` processors of a machine.
+pub struct Us {
+    /// The OS underneath.
+    pub os: Rc<Os>,
+    nprocs: u16,
+    chan: Channel<Job>,
+    managers: RefCell<Vec<JoinHandle<()>>>,
+    allocator: UsAllocator,
+    costs: UsCosts,
+    /// Tasks executed since the last reset (experiment accounting).
+    pub tasks_run: Cell<u64>,
+    /// Generators dispatched since the last reset.
+    pub generators_run: Cell<u64>,
+}
+
+impl Us {
+    /// Initialize the Uniform System: one manager process per processor
+    /// `0..nprocs`, data scattered over `mem_nodes` (defaults to all nodes —
+    /// pass a smaller set to reproduce the §4.1 placement experiment).
+    pub fn init(os: &Rc<Os>, nprocs: u16) -> Rc<Us> {
+        let all: Vec<NodeId> = (0..os.machine.nodes()).collect();
+        Self::init_custom(os, nprocs, all, AllocMode::Parallel, UsCosts::default())
+    }
+
+    /// Full-control initializer.
+    pub fn init_custom(
+        os: &Rc<Os>,
+        nprocs: u16,
+        mem_nodes: Vec<NodeId>,
+        alloc_mode: AllocMode,
+        costs: UsCosts,
+    ) -> Rc<Us> {
+        assert!(nprocs >= 1 && nprocs <= os.machine.nodes());
+        assert!(!mem_nodes.is_empty());
+        let us = Rc::new(Us {
+            os: os.clone(),
+            nprocs,
+            chan: Channel::new(),
+            managers: RefCell::new(Vec::new()),
+            allocator: UsAllocator::new(os, mem_nodes, alloc_mode),
+            costs,
+            tasks_run: Cell::new(0),
+            generators_run: Cell::new(0),
+        });
+        for node in 0..nprocs {
+            let u = us.clone();
+            let h = os.boot_process(node, &format!("us-mgr{node}"), move |p| async move {
+                u.manager_loop(p).await;
+            });
+            us.managers.borrow_mut().push(h);
+        }
+        us
+    }
+
+    /// Number of manager processors.
+    pub fn nprocs(&self) -> u16 {
+        self.nprocs
+    }
+
+    async fn manager_loop(self: &Rc<Self>, p: Rc<Proc>) {
+        loop {
+            match self.chan.recv().await {
+                Job::Stop => break,
+                Job::Task {
+                    idx,
+                    f,
+                    remaining,
+                    gate,
+                } => {
+                    p.compute(self.costs.dispatch).await;
+                    f(p.clone(), idx).await;
+                    self.tasks_run.set(self.tasks_run.get() + 1);
+                    remaining.set(remaining.get() - 1);
+                    if remaining.get() == 0 {
+                        gate.open();
+                    }
+                }
+                Job::Gen(g) => {
+                    loop {
+                        // Claim a task index with a real shared-memory
+                        // fetch-and-add (the microcoded work queue).
+                        let idx = p.fetch_add(g.next, 1).await as u64;
+                        if idx >= g.limit - g.base {
+                            break;
+                        }
+                        p.compute(self.costs.dispatch).await;
+                        (g.f)(p.clone(), g.base + idx).await;
+                        self.tasks_run.set(self.tasks_run.get() + 1);
+                        let done = p.fetch_add(g.done, 1).await as u64 + 1;
+                        if done == g.total {
+                            g.gate.open();
+                        }
+                    }
+                    let fin = g.finished.get() + 1;
+                    g.finished.set(fin);
+                    if fin == g.nprocs {
+                        self.os.machine.node(g.next.node).free(g.next, 8);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Apply `f` to every index in `range`, in parallel across all managers.
+    /// Resolves when every task has completed. (BBN's `GenTaskForEachIndex`.)
+    pub async fn gen_on_index(
+        self: &Rc<Self>,
+        range: std::ops::Range<u64>,
+        f: TaskFn,
+    ) {
+        let total = range.end.saturating_sub(range.start);
+        if total == 0 {
+            return;
+        }
+        // Counters live in shared memory on the first memory node.
+        let ctr_node = self.allocator.nodes()[0];
+        let next = self
+            .os
+            .machine
+            .node(ctr_node)
+            .alloc(8)
+            .expect("US: no memory for task counters");
+        self.os.machine.poke_u32(next, 0);
+        let done = next.add(4);
+        self.os.machine.poke_u32(done, 0);
+        let gate = Gate::new();
+        let gen = Rc::new(Generator {
+            next,
+            base: range.start,
+            limit: range.end,
+            done,
+            total,
+            f,
+            gate: gate.clone(),
+            finished: Cell::new(0),
+            nprocs: self.nprocs,
+        });
+        self.generators_run.set(self.generators_run.get() + 1);
+        // Offer the generator to every manager (each takes one copy).
+        for _ in 0..self.nprocs {
+            self.chan.send(Job::Gen(gen.clone()));
+        }
+        gate.wait().await;
+    }
+
+    /// Apply `f` to each of `0..n` (convenience).
+    pub async fn gen_on_n(self: &Rc<Self>, n: u64, f: TaskFn) {
+        self.gen_on_index(0..n, f).await;
+    }
+
+    /// The *original* Uniform System dispatching style: the caller
+    /// enqueues one work-queue descriptor per task, serially, paying a
+    /// microcoded enqueue each time. For large task counts this
+    /// initialization is itself a serial bottleneck — which is exactly why
+    /// Rochester's "faster initialization" modification (§3.3, since
+    /// incorporated into the BBN release) replaced it with the
+    /// generator-plus-atomic-claim scheme of [`Us::gen_on_index`].
+    /// Kept for the ablation in the unit tests.
+    pub async fn gen_enumerated(
+        self: &Rc<Self>,
+        caller: &Proc,
+        range: std::ops::Range<u64>,
+        f: TaskFn,
+    ) {
+        let total = range.end.saturating_sub(range.start);
+        if total == 0 {
+            return;
+        }
+        let remaining = Rc::new(Cell::new(total));
+        let gate = Gate::new();
+        let home = self.allocator.nodes()[0];
+        for idx in range {
+            // Each descriptor is a dual-queue enqueue: caller-side
+            // microcode plus a touch of the queue's home memory.
+            caller.compute(self.os.costs.dualq_op).await;
+            self.os
+                .machine
+                .mem_resource(home)
+                .access(self.os.machine.cfg.costs.atomic_mem_service)
+                .await;
+            self.chan.send(Job::Task {
+                idx,
+                f: f.clone(),
+                remaining: remaining.clone(),
+                gate: gate.clone(),
+            });
+        }
+        self.generators_run.set(self.generators_run.get() + 1);
+        gate.wait().await;
+    }
+
+    /// Stop all managers (call once, at the end of the computation, so the
+    /// simulation can quiesce).
+    pub fn shutdown(&self) {
+        for _ in 0..self.nprocs {
+            self.chan.send(Job::Stop);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Globally shared memory
+    // ------------------------------------------------------------------
+
+    /// Allocate shared memory *from inside the computation*, paying the
+    /// allocator's (serial or parallel) cost. This is the §4.1 Amdahl knob.
+    pub async fn alloc(&self, p: &Proc, bytes: u32) -> GAddr {
+        self.allocator.alloc(p, bytes, self.costs.alloc_compute).await
+    }
+
+    /// Free memory obtained from [`Us::alloc`].
+    pub fn free(&self, addr: GAddr, bytes: u32) {
+        self.allocator.free(addr, bytes);
+    }
+
+    /// Host-side (initialization-time) shared allocation: no simulated cost,
+    /// scatters over the configured memory nodes round-robin.
+    pub fn share(&self, bytes: u32) -> GAddr {
+        self.allocator.share(bytes)
+    }
+
+    /// The memory nodes data is scattered over.
+    pub fn memory_nodes(&self) -> &[NodeId] {
+        self.allocator.nodes()
+    }
+
+    /// Reset experiment counters.
+    pub fn reset_counters(&self) {
+        self.tasks_run.set(0);
+        self.generators_run.set(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfly_machine::{Machine, MachineConfig};
+    use bfly_sim::exec::RunOutcome;
+    use bfly_sim::Sim;
+
+    fn boot(nodes: u16) -> (Sim, Rc<Os>) {
+        let sim = Sim::new();
+        let m = Machine::new(&sim, MachineConfig::small(nodes));
+        (sim.clone(), Os::boot(&m))
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let (sim, os) = boot(8);
+        let us = Us::init(&os, 8);
+        let hits = Rc::new(RefCell::new(vec![0u32; 100]));
+        let h2 = hits.clone();
+        let us2 = us.clone();
+        let driver = os.boot_process(0, "driver", move |_p| async move {
+            us2.gen_on_n(
+                100,
+                task(move |_p, i| {
+                    let h = h2.clone();
+                    async move {
+                        h.borrow_mut()[i as usize] += 1;
+                    }
+                }),
+            )
+            .await;
+            us2.shutdown();
+        });
+        let stats = sim.run();
+        assert_eq!(stats.outcome, RunOutcome::Completed);
+        drop(driver);
+        assert!(hits.borrow().iter().all(|&c| c == 1));
+        assert_eq!(us.tasks_run.get(), 100);
+    }
+
+    #[test]
+    fn tasks_spread_across_managers() {
+        let (sim, os) = boot(8);
+        let us = Us::init(&os, 8);
+        let nodes_used = Rc::new(RefCell::new(std::collections::HashSet::new()));
+        let nu = nodes_used.clone();
+        let us2 = us.clone();
+        os.boot_process(0, "driver", move |_p| async move {
+            us2.gen_on_n(
+                64,
+                task(move |p, _i| {
+                    let nu = nu.clone();
+                    async move {
+                        nu.borrow_mut().insert(p.node);
+                        // Enough work that other managers claim tasks too.
+                        p.compute(100 * USEC).await;
+                    }
+                }),
+            )
+            .await;
+            us2.shutdown();
+        });
+        sim.run();
+        assert!(
+            nodes_used.borrow().len() >= 6,
+            "tasks must spread over most managers, got {:?}",
+            nodes_used.borrow()
+        );
+    }
+
+    #[test]
+    fn more_processors_go_faster() {
+        fn elapsed(nprocs: u16) -> u64 {
+            let (sim, os) = boot(16);
+            let us = Us::init(&os, nprocs);
+            let us2 = us.clone();
+            os.boot_process(0, "driver", move |_p| async move {
+                us2.gen_on_n(
+                    64,
+                    task(|p, _i| async move {
+                        p.compute(5_000_000).await; // 5ms of local work
+                    }),
+                )
+                .await;
+                us2.shutdown();
+            });
+            sim.run();
+            sim.now()
+        }
+        let t1 = elapsed(1);
+        let t8 = elapsed(8);
+        let speedup = t1 as f64 / t8 as f64;
+        assert!(
+            speedup > 6.0,
+            "8 processors must give near-linear speedup on independent tasks, got {speedup:.2}"
+        );
+    }
+
+    #[test]
+    fn generator_counters_are_freed() {
+        let (sim, os) = boot(4);
+        let m = os.machine.clone();
+        let us = Us::init(&os, 4);
+        // Measure after init: the allocator's per-node lock words persist
+        // for the life of the US instance, but generator counters must not.
+        let before = m.node(0).allocated_bytes();
+        let us2 = us.clone();
+        os.boot_process(0, "driver", move |_p| async move {
+            us2.gen_on_n(10, task(|_p, _i| async {})).await;
+            us2.shutdown();
+        });
+        sim.run();
+        assert_eq!(m.node(0).allocated_bytes(), before);
+    }
+
+    #[test]
+    fn shared_alloc_roundtrip_through_tasks() {
+        let (sim, os) = boot(4);
+        let us = Us::init(&os, 4);
+        let buf = us.share(4 * 64);
+        let us2 = us.clone();
+        let m = os.machine.clone();
+        os.boot_process(0, "driver", move |_p| async move {
+            us2.gen_on_n(
+                64,
+                task(move |p, i| async move {
+                    p.write_u32(buf.add(4 * i as u32), (i * i) as u32).await;
+                }),
+            )
+            .await;
+            us2.shutdown();
+        });
+        sim.run();
+        for i in 0..64u32 {
+            assert_eq!(m.peek_u32(buf.add(4 * i)), i * i);
+        }
+    }
+
+    #[test]
+    fn enumerated_dispatch_runs_everything_but_initializes_slowly() {
+        // The §3.3 "faster initialization" ablation: for many small tasks,
+        // the generator scheme beats per-task enqueueing because the
+        // caller's serial enqueue loop dominates.
+        fn run(enumerated: bool) -> (u64, bool) {
+            let (sim, os) = boot(16);
+            let us = Us::init(&os, 16);
+            let hits = Rc::new(RefCell::new(vec![0u8; 400]));
+            let h2 = hits.clone();
+            let us2 = us.clone();
+            os.boot_process(0, "driver", move |p| async move {
+                let body = task(move |_p, i| {
+                    let h = h2.clone();
+                    async move {
+                        h.borrow_mut()[i as usize] += 1;
+                    }
+                });
+                if enumerated {
+                    us2.gen_enumerated(&p, 0..400, body).await;
+                } else {
+                    us2.gen_on_index(0..400, body).await;
+                }
+                us2.shutdown();
+            });
+            sim.run();
+            let all_once = hits.borrow().iter().all(|&c| c == 1);
+            (sim.now(), all_once)
+        }
+        let (t_enum, ok_enum) = run(true);
+        let (t_gen, ok_gen) = run(false);
+        assert!(ok_enum && ok_gen, "both dispatch styles run every task once");
+        assert!(
+            t_gen < t_enum,
+            "generator dispatch must initialize faster ({t_gen} vs {t_enum})"
+        );
+    }
+
+    #[test]
+    fn empty_range_is_a_noop() {
+        let (sim, os) = boot(2);
+        let us = Us::init(&os, 2);
+        let us2 = us.clone();
+        os.boot_process(0, "driver", move |_p| async move {
+            us2.gen_on_index(5..5, task(|_p, _i| async { panic!("no tasks") }))
+                .await;
+            us2.shutdown();
+        });
+        let stats = sim.run();
+        assert_eq!(stats.outcome, RunOutcome::Completed);
+    }
+}

@@ -1,0 +1,86 @@
+//! Quickstart: boot a Butterfly, poke at Chrysalis, and run a parallel
+//! computation under the Uniform System.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use std::rc::Rc;
+
+use butterfly::prelude::*;
+
+fn main() {
+    // 1. Boot a 32-node Butterfly-I running Chrysalis.
+    let bf = Butterfly::boot(32);
+    println!("booted a {}-node Butterfly", bf.nodes());
+
+    // 2. Raw Chrysalis: processes, memory objects, events.
+    let os = bf.os.clone();
+    let mut hello = bf.os.boot_process(0, "hello", move |p| async move {
+        let obj = p.make_local_obj(1024).await.unwrap();
+        p.write_u32(obj.addr, 1988).await;
+
+        // Fire an event at a child process on another node.
+        let ev = Event::new(&p);
+        let ev2 = ev.clone();
+        let obj_addr = obj.addr;
+        os.boot_process(9, "peer", move |q| async move {
+            // Remote read: ~4us, five times a local reference.
+            let v = q.read_u32(obj_addr).await;
+            ev2.post(&q, v + 12).await;
+        });
+        ev.wait(&p).await.unwrap()
+    });
+    bf.sim.run();
+    println!("event datum from node 9: {}", hello.try_take().unwrap());
+
+    // 3. The Uniform System: scatter a vector, square it in parallel.
+    let bf = Butterfly::boot(32);
+    let us = Us::init(&bf.os, 16);
+    let n = 1000u64;
+    let data = us.share(4 * n as u32);
+    for i in 0..n {
+        bf.machine.poke_u32(data.add(4 * i as u32), i as u32);
+    }
+    let us2 = us.clone();
+    bf.os.boot_process(0, "driver", move |_p| async move {
+        us2.gen_on_n(
+            n,
+            task(move |p, i| async move {
+                let a = data.add(4 * i as u32);
+                let v = p.read_u32(a).await;
+                p.compute(20_000).await; // 20us of "work"
+                p.write_u32(a, v * v).await;
+            }),
+        )
+        .await;
+        us2.shutdown();
+    });
+    let stats = bf.sim.run();
+    println!(
+        "squared {n} elements on 16 processors in {} simulated ({} engine events)",
+        fmt_time(bf.sim.now()),
+        stats.events
+    );
+    assert_eq!(bf.machine.peek_u32(data.add(4 * 999)), 999 * 999);
+
+    // 4. A Linda tuple space over the same shared memory (§4.2).
+    let bf = Butterfly::boot(16);
+    let ts = TupleSpace::new(&bf.os, 256);
+    let t2 = ts.clone();
+    let mut got = bf.os.boot_process(3, "consumer", move |p| async move {
+        t2.in_(&p, 7).await
+    });
+    let t3 = ts.clone();
+    bf.os.boot_process(11, "producer", move |p| async move {
+        t3.out(&p, 7, b"tuples travel through shared memory").await;
+    });
+    bf.sim.run();
+    println!(
+        "linda said: {}",
+        String::from_utf8(got.try_take().unwrap()).unwrap()
+    );
+
+    let _ = Rc::strong_count(&ts);
+    println!("quickstart done");
+}

@@ -1,0 +1,16 @@
+//! # butterfly — root package of the Butterfly reproduction workspace
+//!
+//! This crate hosts the workspace-level `examples/` and `tests/`; the
+//! public API lives in [`butterfly_core`] and the per-subsystem crates.
+//!
+//! * `examples/quickstart.rs` — boot a machine, touch Chrysalis, run a
+//!   Uniform System computation and a Linda tuple space.
+//! * `examples/vision_pipeline.rs` — composed BIFF filters at 8 vs 64 procs.
+//! * `examples/models_tour.rs` — one job under all five programming models.
+//! * `examples/debug_deadlock.rs` — Figure 6: deadlock detection + Moviola.
+//! * `examples/parallel_files.rs` — Bridge utilities, naive vs tools.
+//!
+//! See README.md, DESIGN.md, and EXPERIMENTS.md.
+
+pub use butterfly_core as core;
+pub use butterfly_core::prelude;

@@ -1,0 +1,157 @@
+//! Cross-crate integration: the whole Rochester stack coexisting on one
+//! simulated machine — the §4.2 requirement that motivated Psyche:
+//! "programs written under different models [must] coexist and interact".
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use butterfly::prelude::*;
+
+/// Uniform System tasks, an SMP family, Ant Farm threads, and a Linda
+/// tuple space all running in ONE simulation, handing values to each
+/// other through shared memory.
+#[test]
+fn all_models_coexist_and_interact() {
+    let bf = Butterfly::boot(32);
+    let machine = bf.machine.clone();
+
+    // A shared cell every model writes through.
+    let relay = machine.node(5).alloc(4).unwrap();
+    machine.poke_u32(relay, 1);
+
+    // 1. US doubles it.
+    let us = Us::init(&bf.os, 4);
+    let us2 = us.clone();
+    let us_done = Rc::new(Cell::new(false));
+    let ud = us_done.clone();
+    bf.os.boot_process(0, "us-driver", move |_p| async move {
+        us2.gen_on_n(
+            1,
+            task(move |p, _| async move {
+                let v = p.read_u32(relay).await;
+                p.write_u32(relay, v * 2).await;
+            }),
+        )
+        .await;
+        us2.shutdown();
+        ud.set(true);
+    });
+
+    // 2. An Ant Farm thread waits for the US result via a tuple space,
+    //    adds 5, and posts for SMP.
+    let ts = TupleSpace::new(&bf.os, 16);
+    let af = AntFarm::new(&bf.os);
+    {
+        let ts = ts.clone();
+        let us_done = us_done.clone();
+        af.spawn(9, move |ant| async move {
+            // Wait (blocking politely) for the US phase.
+            while !us_done.get() {
+                ant.proc.compute(100_000).await;
+            }
+            let v = ant.proc.read_u32(relay).await;
+            ts.out(&ant.proc, 42, &(v + 5).to_le_bytes()).await;
+        });
+    }
+
+    // 3. An SMP family: rank 0 takes the tuple, passes it along a line,
+    //    the tail writes it back to shared memory.
+    let ts2 = ts.clone();
+    Family::spawn(&bf.os, 3, Topology::Line, move |m| {
+        let ts = ts2.clone();
+        async move {
+            if m.rank == 0 {
+                let v = ts.in_(&m.proc, 42).await;
+                m.send(1, &v).await.unwrap();
+            } else if m.rank == 1 {
+                let d = m.recv_from(0).await;
+                m.send(2, &d).await.unwrap();
+            } else {
+                let d = m.recv_from(1).await;
+                let v = u32::from_le_bytes(d.try_into().unwrap());
+                m.proc.write_u32(relay, v + 100).await;
+            }
+        }
+    });
+
+    let stats = bf.sim.run();
+    assert_eq!(
+        stats.outcome,
+        bfly_sim::exec::RunOutcome::Completed,
+        "the mixed-model program must terminate"
+    );
+    // 1 * 2 + 5 + 100 = 107.
+    assert_eq!(machine.peek_u32(relay), 107);
+}
+
+/// Chrysalis object reclamation works across the layers: deleting a
+/// process reclaims everything it created from every package's usage.
+#[test]
+fn object_reclamation_spans_layers() {
+    let bf = Butterfly::boot(8);
+    let os = bf.os.clone();
+    let before: u32 = (0..8).map(|n| bf.machine.node(n).allocated_bytes()).sum();
+    let os2 = os.clone();
+    bf.os.boot_process(0, "owner", move |p| async move {
+        let a = p.make_local_obj(2048).await.unwrap();
+        let b = p.make_obj(3, 4096).await.unwrap();
+        p.write_u32(a.addr, 1).await;
+        p.write_u32(b.addr, 2).await;
+        os2.delete_obj(p.id);
+    });
+    bf.sim.run();
+    let after: u32 = (0..8).map(|n| bf.machine.node(n).allocated_bytes()).sum();
+    assert_eq!(before, after, "deleting the process must reclaim its objects");
+}
+
+/// The leak hazard is real: system-owned objects survive their creator.
+#[test]
+fn give_to_system_leaks_as_documented() {
+    let bf = Butterfly::boot(4);
+    let os = bf.os.clone();
+    let os2 = os.clone();
+    bf.os.boot_process(0, "leaker", move |p| async move {
+        let obj = p.make_local_obj(1024).await.unwrap();
+        os2.give_to_system(obj.id);
+        os2.delete_obj(p.id);
+    });
+    bf.sim.run();
+    assert!(
+        !os.leak_report().is_empty(),
+        "Chrysalis tends to leak storage (§2.2) — and so do we, faithfully"
+    );
+}
+
+/// Determinism across the stack: same seed = identical end time and
+/// results, different seed (with jitter) = different interleaving.
+#[test]
+fn whole_stack_determinism() {
+    fn run(seed: u64) -> (u64, Vec<u32>) {
+        let mut costs = Costs::butterfly_one();
+        costs.jitter_pct = 20;
+        let bf = Butterfly::boot_config(
+            MachineConfig::small(8).with_costs(costs),
+            seed,
+        );
+        let order = Rc::new(std::cell::RefCell::new(Vec::new()));
+        for i in 0..6u16 {
+            let order = order.clone();
+            let machine = bf.machine.clone();
+            bf.os.boot_process(i, &format!("p{i}"), move |p| async move {
+                let a = machine.node((i + 1) % 8).alloc(4).unwrap();
+                for _ in 0..4 {
+                    p.read_u32(a).await;
+                }
+                order.borrow_mut().push(i as u32);
+            });
+        }
+        bf.sim.run();
+        let o = order.borrow().clone();
+        (bf.sim.now(), o)
+    }
+    let a = run(1);
+    let b = run(1);
+    let c = run(2);
+    assert_eq!(a, b, "same seed must reproduce exactly");
+    assert_ne!(a, c, "different seeds must differ under jitter");
+}
