@@ -27,7 +27,7 @@ use std::rc::Rc;
 
 use bfly_chrysalis::Os;
 use bfly_machine::{Machine, MachineConfig, NodeId};
-use bfly_sim::{Sim, SimTime};
+use bfly_sim::{FaultPlan, Sim, SimTime};
 use bfly_smp::{Family, SmpCosts, Topology};
 use bfly_uniform::{task, Us, UsMatrix};
 
@@ -179,8 +179,18 @@ pub fn gauss_us(nprocs: u16, n: u32, mem_nodes: Vec<NodeId>, seed: u64) -> Gauss
 /// processes, rows distributed round-robin, pivot rows broadcast by
 /// sequential sends.
 pub fn gauss_smp(nprocs: u16, n: u32, seed: u64) -> GaussResult {
+    gauss_smp_faulty(nprocs, n, seed, &FaultPlan::default())
+}
+
+/// [`gauss_smp`] with a [`FaultPlan`] installed on the machine (node/link
+/// events) and the process family (message events) — experiment T15 runs
+/// it under increasing link degradation. Plans that *lose* messages will
+/// hang the pivot broadcast (the algorithm has no application-level
+/// resend), so stick to link/degrade events for completed runs.
+pub fn gauss_smp_faulty(nprocs: u16, n: u32, seed: u64, plan: &FaultPlan) -> GaussResult {
     let sim = Sim::with_seed(seed);
     let machine = Machine::new(&sim, MachineConfig::rochester());
+    machine.install_faults(plan);
     let os = Os::boot(&machine);
     let p_count = nprocs as u32;
 
@@ -243,6 +253,7 @@ pub fn gauss_smp(nprocs: u16, n: u32, seed: u64) -> GaussResult {
             }
         },
     );
+    fam.install_faults(plan);
     sim.run();
     GaussResult {
         time_ns: sim.now(),

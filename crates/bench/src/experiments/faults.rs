@@ -1,0 +1,191 @@
+//! T15 — graceful degradation under injected faults (robustness study;
+//! no table in the paper — the Butterfly's switch/disk redundancy story is
+//! §2.1 prose). Two workloads under increasing fault pressure:
+//!
+//! * **Gauss/SMP** (the Figure 5 message-passing version) with the
+//!   last-stage switch links into every worker node degraded by growing
+//!   factors — the run stays *correct* and only modestly slower: the
+//!   pivot broadcasts of successive steps overlap across owners, so the
+//!   pipelining hides most of the added per-hop latency (the slowdown
+//!   column grows monotonically but gently).
+//! * **Bridge copy** over 8 mirrored interleaved disks with one disk
+//!   failed hard at t=0 — every block stays readable through the ring
+//!   replica (degraded mode), at a measured slowdown.
+//!
+//! Everything is a pure function of the seeds below: two invocations print
+//! bit-identical tables (the determinism contract of `bfly_sim::FaultPlan`).
+
+use std::rc::Rc;
+
+use bfly_apps::gauss::gauss_smp_faulty;
+use bfly_bridge::{BridgeFile, BridgeFs, DiskParams};
+use bfly_chrysalis::Os;
+use bfly_machine::{Machine, MachineConfig};
+use bfly_sim::{FaultKind, FaultPlan, Sim, SimTime};
+
+use crate::{Scale, Table};
+
+/// Fixed experiment seed: T15 is about determinism under faults, so the
+/// seed is part of the experiment definition.
+const SEED: u64 = 42;
+
+/// Degrade the first `nlinks` output ports of the *last* switch stage by
+/// `factor`× at t=0. On a 128-node (4-stage) machine the last-stage port
+/// index equals the destination node, so this throttles all traffic into
+/// nodes `0..nlinks`.
+fn degrade_plan(nlinks: u32, factor: u32) -> FaultPlan {
+    let mut plan = FaultPlan::new(SEED);
+    for port in 0..nlinks {
+        plan.push(0, FaultKind::LinkDegrade { stage: 3, port, factor });
+    }
+    plan
+}
+
+/// Host-side fill of both copies of a mirrored file with deterministic
+/// bytes (block `i` is filled with `hash(seed, i)` bytes), so reads that
+/// fall back to the replica see real data.
+fn fill_mirrored(fs: &BridgeFs, f: &BridgeFile, seed: u64) {
+    let bs = fs.block_size() as usize;
+    for i in 0..f.nblocks {
+        let mut rng = bfly_sim::SplitMix64::new(seed ^ i);
+        let data: Vec<u8> = (0..bs).map(|_| rng.next_u64() as u8).collect();
+        let (d, phys) = f.locate(i);
+        fs.disk(d).poke(phys, &data);
+        let (m, mphys) = f.locate_mirror(i);
+        fs.disk(m).poke(mphys, &data);
+    }
+}
+
+/// Parallel block copy over a mirrored mount with `failed` disks killed at
+/// t=0: one client per disk copies the blocks whose primary lives there
+/// (the parallel-open idiom of T10). Healthy, all 8 spindles stream
+/// concurrently; with a disk failed, its stream falls back to the ring
+/// replica, so the surviving neighbour serves *two* streams — the measured
+/// degraded-mode slowdown. Returns (copy time, degraded reads). Panics if
+/// any block is unreadable or the copy is not verifiably identical.
+fn bridge_copy_degraded(blocks_per_disk: u64, failed: &[u32]) -> (SimTime, u64) {
+    const DISKS: usize = 8;
+    let sim = Sim::with_seed(SEED);
+    let m = Machine::new(&sim, MachineConfig::rochester());
+    let os = Os::boot(&m);
+    let fs = BridgeFs::mount_mirrored(&os, DISKS, DiskParams::default());
+    let mut plan = FaultPlan::new(SEED);
+    for &d in failed {
+        plan.push(0, FaultKind::DiskFail { disk: d });
+    }
+    fs.install_faults(&plan);
+    let nblocks = blocks_per_disk * DISKS as u64;
+    let src = fs.create(nblocks);
+    let dst = fs.create(nblocks);
+    fill_mirrored(&fs, &src, SEED);
+    let fs2 = fs.clone();
+    let (s2, d2) = (src.clone(), dst.clone());
+    let mut h = os.boot_process(127, "copy-driver", move |p| async move {
+        let p = Rc::new(p);
+        let sim = p.os.sim().clone();
+        let t0 = sim.now();
+        let mut workers = Vec::new();
+        for d in 0..DISKS as u64 {
+            let fs3 = fs2.clone();
+            let (s3, d3) = (s2.clone(), d2.clone());
+            let os3 = p.os.clone();
+            workers.push(sim.spawn_named("copy-worker", async move {
+                let c = os3.make_proc(100 + d as u16, &format!("copy{d}"));
+                let mut i = d;
+                while i < nblocks {
+                    let block = fs3
+                        .try_read_block(&c, &s3, i)
+                        .await
+                        .expect("mirrored read must survive single-disk failure");
+                    fs3.try_write_block(&c, &d3, i, block)
+                        .await
+                        .expect("mirrored write must survive single-disk failure");
+                    i += DISKS as u64;
+                }
+            }));
+        }
+        for w in workers {
+            w.await;
+        }
+        let elapsed = sim.now() - t0;
+        // Verify (outside the timed section, still under faults): every
+        // copied block must read back equal to the source.
+        for i in 0..nblocks {
+            let got = fs2.try_read_block(&p, &d2, i).await.unwrap();
+            let want = fs2.try_read_block(&p, &s2, i).await.unwrap();
+            assert_eq!(got, want, "copy must be intact (block {i})");
+        }
+        fs2.unmount();
+        elapsed
+    });
+    sim.run();
+    (h.try_take().unwrap(), fs.degraded_reads.get())
+}
+
+/// T15 — fault injection and graceful degradation. Gauss/SMP completes
+/// correctly (slower) under link degradation; a Bridge copy over 8
+/// mirrored disks completes with 1 disk failed, reading the failed disk's
+/// blocks through surviving replicas.
+pub fn tab15_faults(scale: Scale) -> Table {
+    let mut t = Table::new(
+        &format!(
+            "T15: graceful degradation under deterministic fault injection \
+             (seed {SEED}; same seed+plan => bit-identical table)"
+        ),
+        &["workload", "faults", "time (ms)", "slowdown", "notes"],
+    );
+
+    // Gauss/SMP under increasing link degradation: all last-stage ports
+    // feeding the worker nodes get progressively flakier. P=64 puts the
+    // run on the communication-bound side of Figure 5, where switch
+    // latency is actually on the critical path.
+    let n = scale.pick(64, 24);
+    let nprocs = 64u16;
+    let mut base = 0f64;
+    for (nlinks, factor) in [(0u32, 1u32), (64, 16), (64, 64), (64, 256)] {
+        let r = gauss_smp_faulty(nprocs, n, SEED, &degrade_plan(nlinks, factor));
+        assert!(
+            r.max_err < 1e-6,
+            "degraded links must not corrupt the solution (err {})",
+            r.max_err
+        );
+        let ms = r.time_ns as f64 / 1e6;
+        if nlinks == 0 {
+            base = ms;
+        }
+        t.row(vec![
+            format!("gauss-smp P={nprocs} N={n}"),
+            if nlinks == 0 {
+                "none".into()
+            } else {
+                format!("{nlinks} links {factor}x slower")
+            },
+            format!("{ms:.1}"),
+            format!("{:.2}x", ms / base),
+            format!("msgs={}, solved", r.comm_ops),
+        ]);
+    }
+
+    // Bridge copy with 0 and 1 of 8 disks failed.
+    let bpd = scale.pick(8, 2);
+    let mut base = 0f64;
+    for failed in [&[][..], &[3u32][..]] {
+        let (elapsed, degraded) = bridge_copy_degraded(bpd, failed);
+        let ms = elapsed as f64 / 1e6;
+        if failed.is_empty() {
+            base = ms;
+        }
+        t.row(vec![
+            format!("bridge copy 8 disks x{bpd} blk"),
+            if failed.is_empty() {
+                "none".into()
+            } else {
+                format!("disk {} failed", failed[0])
+            },
+            format!("{ms:.1}"),
+            format!("{:.2}x", ms / base),
+            format!("degraded reads={degraded}, copy verified"),
+        ]);
+    }
+    t
+}

@@ -4,6 +4,7 @@
 pub mod amdahl;
 pub mod bplus;
 pub mod bridge_x;
+pub mod faults;
 pub mod fig5;
 pub mod locality;
 pub mod machine_os;
@@ -14,6 +15,7 @@ pub mod speedups;
 pub use amdahl::{tab7_alloc_amdahl, tab8_crowd};
 pub use bplus::tab14_bplus;
 pub use bridge_x::tab10_bridge;
+pub use faults::tab15_faults;
 pub use fig5::fig5_gauss;
 pub use locality::{tab4_hough_locality, tab5_scatter};
 pub use machine_os::{tab1_memory, tab2_primitives, tab3_contention, tab6_switch};

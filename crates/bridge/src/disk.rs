@@ -25,6 +25,18 @@ impl Default for DiskParams {
     }
 }
 
+/// A disk has failed hard: operations error until it is recovered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskFailed;
+
+impl std::fmt::Display for DiskFailed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "disk has failed")
+    }
+}
+
+impl std::error::Error for DiskFailed {}
+
 /// One spindle: a FIFO device with position-dependent access cost and
 /// host-side block storage (disks are not node memory — they hold files).
 pub struct Disk {
@@ -37,6 +49,8 @@ pub struct Disk {
     pub ops: Cell<u64>,
     /// Seeks actually paid.
     pub seeks: Cell<u64>,
+    /// Hard-failure flag (fault injection). Contents survive recovery.
+    failed: Cell<bool>,
 }
 
 impl Disk {
@@ -50,7 +64,18 @@ impl Disk {
             store: RefCell::new(Vec::new()),
             ops: Cell::new(0),
             seeks: Cell::new(0),
+            failed: Cell::new(false),
         }
+    }
+
+    /// True while the disk is failed (fault injection).
+    pub fn is_failed(&self) -> bool {
+        self.failed.get()
+    }
+
+    /// Fail the disk hard (or recover it; contents are intact afterwards).
+    pub fn set_failed(&self, failed: bool) {
+        self.failed.set(failed);
     }
 
     /// Allocate `n` fresh zeroed blocks; returns the first physical index.
@@ -76,20 +101,39 @@ impl Disk {
     /// Read a physical block (charges device time; FIFO under contention).
     /// The seek decision is made when the device is *granted*, so head
     /// movement caused by queued competitors is accounted correctly.
+    /// Panics if the disk has failed; see [`Disk::try_read`].
     pub async fn read(&self, phys: u64) -> Vec<u8> {
+        self.try_read(phys).await.expect("unhandled disk failure")
+    }
+
+    /// Fallible read: errors (cheaply — the controller fails fast) while
+    /// the disk is failed.
+    pub async fn try_read(&self, phys: u64) -> Result<Vec<u8>, DiskFailed> {
         let guard = self.dev.acquire().await;
+        if self.failed.get() {
+            return Err(DiskFailed);
+        }
         let cost = self.access_cost(phys);
         self.sim.sleep(cost).await;
         drop(guard);
         self.head.set(Some(phys));
         self.ops.set(self.ops.get() + 1);
-        self.store.borrow()[phys as usize].clone()
+        Ok(self.store.borrow()[phys as usize].clone())
     }
 
-    /// Write a physical block.
+    /// Write a physical block. Panics if the disk has failed; see
+    /// [`Disk::try_write`].
     pub async fn write(&self, phys: u64, data: &[u8]) {
+        self.try_write(phys, data).await.expect("unhandled disk failure")
+    }
+
+    /// Fallible write.
+    pub async fn try_write(&self, phys: u64, data: &[u8]) -> Result<(), DiskFailed> {
         assert!(data.len() <= self.params.block_size as usize);
         let guard = self.dev.acquire().await;
+        if self.failed.get() {
+            return Err(DiskFailed);
+        }
         let cost = self.access_cost(phys);
         self.sim.sleep(cost).await;
         drop(guard);
@@ -98,6 +142,7 @@ impl Disk {
         let mut store = self.store.borrow_mut();
         let blk = &mut store[phys as usize];
         blk[..data.len()].copy_from_slice(data);
+        Ok(())
     }
 
     /// Host-side peek (no cost).
@@ -162,6 +207,23 @@ mod tests {
             d2.read(1).await
         });
         assert_eq!(&got[..12], b"hello bridge");
+    }
+
+    #[test]
+    fn failed_disk_errors_until_recovered() {
+        let sim = Sim::new();
+        let d = std::rc::Rc::new(Disk::new(&sim, "d0", DiskParams::default()));
+        d.alloc_blocks(2);
+        let d2 = d.clone();
+        sim.block_on(async move {
+            d2.write(0, b"safe").await;
+            d2.set_failed(true);
+            assert_eq!(d2.try_read(0).await, Err(DiskFailed));
+            assert_eq!(d2.try_write(0, b"lost").await, Err(DiskFailed));
+            d2.set_failed(false);
+            let back = d2.try_read(0).await.unwrap();
+            assert_eq!(&back[..4], b"safe", "contents survive recovery");
+        });
     }
 
     #[test]

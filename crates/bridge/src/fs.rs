@@ -9,12 +9,47 @@ use std::rc::Rc;
 use bfly_chrysalis::{Os, Proc};
 use bfly_machine::NodeId;
 use bfly_sim::sync::{Channel, Promise, PromiseHandle};
-use bfly_sim::time::{SimTime, US};
+use bfly_sim::time::{SimTime, MS, US};
+use bfly_sim::{FaultKind, FaultPlan};
 
 use crate::disk::{Disk, DiskParams};
 
 /// Server CPU time per file-system request.
 pub const FS_OP: SimTime = 200 * US;
+
+/// Spin-up time for a file server restarted on a spare node (dual-ported
+/// disk takeover: the spare attaches the surviving spindle and replays the
+/// request queue).
+pub const FS_RESTART: SimTime = 10 * MS;
+
+/// Why a Bridge operation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BridgeError {
+    /// The disk holding the requested block has failed.
+    DiskFailed {
+        /// Failed disk index.
+        disk: usize,
+    },
+    /// The node hosting the file server is down (and no spare has taken
+    /// over yet).
+    NodeDown {
+        /// The crashed server node.
+        node: NodeId,
+    },
+}
+
+impl std::fmt::Display for BridgeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BridgeError::DiskFailed { disk } => write!(f, "Bridge: disk {disk} has failed"),
+            BridgeError::NodeDown { node } => {
+                write!(f, "Bridge: server node {node} is down")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BridgeError {}
 
 /// A tool: code shipped to a disk server, running on the server's process
 /// with direct access to that server's disk and the file's local stripe
@@ -34,34 +69,44 @@ where
 enum Req {
     Read {
         phys: u64,
-        reply: PromiseHandle<Vec<u8>>,
+        reply: PromiseHandle<Result<Vec<u8>, BridgeError>>,
     },
     Write {
         phys: u64,
         data: Vec<u8>,
-        reply: PromiseHandle<Vec<u8>>,
+        reply: PromiseHandle<Result<Vec<u8>, BridgeError>>,
     },
     Exec {
         tool: Tool,
         stripe: Vec<u64>,
-        reply: PromiseHandle<Vec<u8>>,
+        reply: PromiseHandle<Result<Vec<u8>, BridgeError>>,
     },
     Stop,
 }
 
 struct Server {
-    node: NodeId,
+    /// Disk index this server fronts.
+    index: usize,
+    /// Node the server currently runs on ([`BridgeFs::restart_server`]
+    /// moves it to a spare).
+    node: Cell<NodeId>,
     disk: Rc<Disk>,
     reqs: Channel<Req>,
 }
 
 /// An interleaved Bridge file: logical block `i` lives on disk `i % D`.
+/// On a mirrored mount each block also has a replica on the next disk
+/// around the ring, so any single disk (or server) loss leaves every block
+/// readable — degraded, through the survivors.
 #[derive(Debug, Clone)]
 pub struct BridgeFile {
     /// Logical blocks.
     pub nblocks: u64,
     /// Per-disk first physical block of this file's stripe.
     pub base: Vec<u64>,
+    /// Per-disk first physical block of the *mirror* stripe this disk
+    /// carries for its ring predecessor (empty on unmirrored mounts).
+    pub mirror_base: Vec<u64>,
     /// Disks in the stripe.
     pub ndisks: usize,
 }
@@ -71,6 +116,19 @@ impl BridgeFile {
     pub fn locate(&self, i: u64) -> (usize, u64) {
         let d = (i % self.ndisks as u64) as usize;
         (d, self.base[d] + i / self.ndisks as u64)
+    }
+
+    /// True when the file carries mirror replicas.
+    pub fn mirrored(&self) -> bool {
+        !self.mirror_base.is_empty()
+    }
+
+    /// Where logical block `i`'s replica lives: the next disk around the
+    /// ring. Panics on unmirrored files.
+    pub fn locate_mirror(&self, i: u64) -> (usize, u64) {
+        assert!(self.mirrored(), "file has no mirror stripe");
+        let m = ((i % self.ndisks as u64) as usize + 1) % self.ndisks;
+        (m, self.mirror_base[m] + i / self.ndisks as u64)
     }
 
     /// The physical blocks of this file on one disk, in order.
@@ -98,19 +156,86 @@ pub struct BridgeFs {
     pub os: Rc<Os>,
     servers: Vec<Rc<Server>>,
     params: DiskParams,
+    mirrored: bool,
     /// Requests served (accounting).
     pub requests: Cell<u64>,
+    /// Reads satisfied from a mirror replica (degraded mode).
+    pub degraded_reads: Cell<u64>,
+}
+
+/// The server loop: shared by the original server processes and any
+/// restarted-on-a-spare replacements. If the server's own node crashes it
+/// re-queues the request it was holding and exits — the queue survives in
+/// the shared channel until [`BridgeFs::restart_server`] attaches a spare.
+async fn serve(fs: Rc<BridgeFs>, s: Rc<Server>, p: Rc<Proc>) {
+    loop {
+        let req = s.reqs.recv().await;
+        if let Req::Stop = req {
+            break;
+        }
+        if p.try_compute(FS_OP).await.is_err() {
+            // Our node died under us: put the request back for whoever
+            // takes over the spindle, and stop serving.
+            s.reqs.send(req);
+            break;
+        }
+        fs.requests.set(fs.requests.get() + 1);
+        match req {
+            Req::Stop => unreachable!("handled above"),
+            Req::Read { phys, reply } => {
+                let out = match s.disk.try_read(phys).await {
+                    Ok(data) => Ok(data),
+                    Err(_) => Err(BridgeError::DiskFailed { disk: s.index }),
+                };
+                reply.set(out);
+            }
+            Req::Write { phys, data, reply } => {
+                let out = match s.disk.try_write(phys, &data).await {
+                    Ok(()) => Ok(Vec::new()),
+                    Err(_) => Err(BridgeError::DiskFailed { disk: s.index }),
+                };
+                reply.set(out);
+            }
+            Req::Exec { tool, stripe, reply } => {
+                if s.disk.is_failed() {
+                    reply.set(Err(BridgeError::DiskFailed { disk: s.index }));
+                } else {
+                    let out = tool(p.clone(), s.disk.clone(), stripe).await;
+                    reply.set(Ok(out));
+                }
+            }
+        }
+    }
 }
 
 impl BridgeFs {
     /// Bring up Bridge with one disk + server on each of `ndisks` distinct
     /// nodes (node `i` hosts disk `i`).
     pub fn mount(os: &Rc<Os>, ndisks: usize, params: DiskParams) -> Rc<BridgeFs> {
+        Self::mount_inner(os, ndisks, params, false)
+    }
+
+    /// Like [`BridgeFs::mount`], but files carry a mirror replica of every
+    /// block on the next disk around the ring: writes go to both copies,
+    /// and reads fall back to the replica when the primary's disk or
+    /// server has failed (degraded mode). Requires at least two disks.
+    pub fn mount_mirrored(os: &Rc<Os>, ndisks: usize, params: DiskParams) -> Rc<BridgeFs> {
+        assert!(ndisks >= 2, "mirroring needs a second disk");
+        Self::mount_inner(os, ndisks, params, true)
+    }
+
+    fn mount_inner(
+        os: &Rc<Os>,
+        ndisks: usize,
+        params: DiskParams,
+        mirrored: bool,
+    ) -> Rc<BridgeFs> {
         assert!(ndisks >= 1 && ndisks <= os.machine.nodes() as usize);
         let servers: Vec<Rc<Server>> = (0..ndisks)
             .map(|d| {
                 Rc::new(Server {
-                    node: d as NodeId,
+                    index: d,
+                    node: Cell::new(d as NodeId),
                     disk: Rc::new(Disk::new(os.sim(), &format!("disk{d}"), params.clone())),
                     reqs: Channel::new(),
                 })
@@ -120,38 +245,56 @@ impl BridgeFs {
             os: os.clone(),
             servers,
             params,
+            mirrored,
             requests: Cell::new(0),
+            degraded_reads: Cell::new(0),
         });
         for s in &fs.servers {
             let s = s.clone();
             let fs2 = fs.clone();
-            os.boot_process(s.node, &format!("bridge-srv{}", s.node), move |p| async move {
-                loop {
-                    match s.reqs.recv().await {
-                        Req::Stop => break,
-                        Req::Read { phys, reply } => {
-                            p.compute(FS_OP).await;
-                            let data = s.disk.read(phys).await;
-                            fs2.requests.set(fs2.requests.get() + 1);
-                            reply.set(data);
-                        }
-                        Req::Write { phys, data, reply } => {
-                            p.compute(FS_OP).await;
-                            s.disk.write(phys, &data).await;
-                            fs2.requests.set(fs2.requests.get() + 1);
-                            reply.set(Vec::new());
-                        }
-                        Req::Exec { tool, stripe, reply } => {
-                            p.compute(FS_OP).await;
-                            let out = tool(p.clone(), s.disk.clone(), stripe).await;
-                            fs2.requests.set(fs2.requests.get() + 1);
-                            reply.set(out);
-                        }
-                    }
-                }
-            });
+            os.boot_process(
+                s.node.get(),
+                &format!("bridge-srv{}", s.index),
+                move |p| serve(fs2, s, p),
+            );
         }
         fs
+    }
+
+    /// Restart disk `d`'s file server on `spare` (dual-ported takeover
+    /// after the original server's node crashed). The shared request queue
+    /// — including any request the dying server put back — is drained by
+    /// the replacement once its [`FS_RESTART`] spin-up has been paid.
+    pub fn restart_server(self: &Rc<Self>, d: usize, spare: NodeId) {
+        let s = self.servers[d].clone();
+        s.node.set(spare);
+        let fs = self.clone();
+        self.os
+            .boot_process(spare, &format!("bridge-srv{d}-spare"), move |p| async move {
+                p.compute(FS_RESTART).await;
+                serve(fs, s, p).await;
+            });
+    }
+
+    /// Attach a [`FaultPlan`]: `DiskFail`/`DiskRecover` events drive the
+    /// corresponding spindles at their virtual times. Node, link, and
+    /// message events are ignored here (the machine and SMP layers own
+    /// those).
+    pub fn install_faults(self: &Rc<Self>, plan: &FaultPlan) {
+        let fs = self.clone();
+        plan.schedule(self.os.sim(), move |_s, ev| match ev.kind {
+            FaultKind::DiskFail { disk } => {
+                if let Some(s) = fs.servers.get(disk as usize) {
+                    s.disk.set_failed(true);
+                }
+            }
+            FaultKind::DiskRecover { disk } => {
+                if let Some(s) = fs.servers.get(disk as usize) {
+                    s.disk.set_failed(false);
+                }
+            }
+            _ => {}
+        });
     }
 
     /// Number of disks.
@@ -172,7 +315,7 @@ impl BridgeFs {
 
     /// Node hosting disk `d`.
     pub fn node_of(&self, d: usize) -> NodeId {
-        self.servers[d].node
+        self.servers[d].node.get()
     }
 
     /// Stop all servers (so the simulation can quiesce).
@@ -182,18 +325,37 @@ impl BridgeFs {
         }
     }
 
-    /// Create an interleaved file of `nblocks` logical blocks.
+    /// Create an interleaved file of `nblocks` logical blocks. On a
+    /// mirrored mount each disk additionally carries a replica stripe for
+    /// its ring predecessor's blocks.
     pub fn create(&self, nblocks: u64) -> BridgeFile {
         let d = self.servers.len() as u64;
-        let base = self
+        let base: Vec<u64> = self
             .servers
             .iter()
             .enumerate()
             .map(|(i, s)| s.disk.alloc_blocks(nblocks.div_ceil(d).max(1) + ((i as u64) < nblocks % d) as u64))
             .collect();
+        let mirror_base = if self.mirrored {
+            self.servers
+                .iter()
+                .enumerate()
+                .map(|(m, s)| {
+                    // Disk m mirrors the stripe whose primary is the ring
+                    // predecessor (m - 1 mod D).
+                    let pred = (m + self.servers.len() - 1) % self.servers.len();
+                    s.disk.alloc_blocks(
+                        nblocks.div_ceil(d).max(1) + ((pred as u64) < nblocks % d) as u64,
+                    )
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         BridgeFile {
             nblocks,
             base,
+            mirror_base,
             ndisks: self.servers.len(),
         }
     }
@@ -221,30 +383,120 @@ impl BridgeFs {
     // Interface 1: naive block access
     // ---------------------------------------------------------------
 
-    /// Read logical block `i` of a file (request → server → disk → reply).
-    pub async fn read_block(&self, client: &Proc, f: &BridgeFile, i: u64) -> Vec<u8> {
-        let (d, phys) = f.locate(i);
+    /// Fail fast when the server's node is down (instead of queueing into
+    /// a dead server): charge the hardware fault-detect latency and error.
+    async fn check_server(&self, client: &Proc, d: usize) -> Result<NodeId, BridgeError> {
+        let node = self.servers[d].node.get();
+        if !self.os.machine.node(node).is_up() {
+            client.compute(self.os.machine.cfg.costs.fault_detect).await;
+            return Err(BridgeError::NodeDown { node });
+        }
+        Ok(node)
+    }
+
+    /// One read request against disk `d`'s server (no mirror fallback).
+    async fn request_read(
+        &self,
+        client: &Proc,
+        d: usize,
+        phys: u64,
+    ) -> Result<Vec<u8>, BridgeError> {
         let srv = &self.servers[d];
         // Request descriptor to the server (small).
         client.compute(self.os.costs.dualq_op).await;
-        self.transfer(client, srv.node, 64).await;
+        let node = self.check_server(client, d).await?;
+        self.transfer(client, node, 64).await;
         let (promise, reply) = Promise::new();
         srv.reqs.send(Req::Read { phys, reply });
-        let data = promise.get().await;
+        let data = promise.get().await?;
         // Data travels back to the client.
-        self.transfer(client, srv.node, data.len()).await;
-        data
+        self.transfer(client, node, data.len()).await;
+        Ok(data)
     }
 
-    /// Write logical block `i`.
-    pub async fn write_block(&self, client: &Proc, f: &BridgeFile, i: u64, data: Vec<u8>) {
-        let (d, phys) = f.locate(i);
+    /// One write request against disk `d`'s server (no mirroring).
+    async fn request_write(
+        &self,
+        client: &Proc,
+        d: usize,
+        phys: u64,
+        data: Vec<u8>,
+    ) -> Result<(), BridgeError> {
         let srv = &self.servers[d];
         client.compute(self.os.costs.dualq_op).await;
-        self.transfer(client, srv.node, 64 + data.len()).await;
+        let node = self.check_server(client, d).await?;
+        self.transfer(client, node, 64 + data.len()).await;
         let (promise, reply) = Promise::new();
         srv.reqs.send(Req::Write { phys, data, reply });
-        promise.get().await;
+        promise.get().await?;
+        Ok(())
+    }
+
+    /// Read logical block `i` of a file (request → server → disk → reply).
+    /// Panics on an unhandled fault; see [`BridgeFs::try_read_block`].
+    pub async fn read_block(&self, client: &Proc, f: &BridgeFile, i: u64) -> Vec<u8> {
+        match self.try_read_block(client, f, i).await {
+            Ok(data) => data,
+            Err(e) => panic!("unhandled Bridge fault: {e}"),
+        }
+    }
+
+    /// Fallible read: when the primary's disk or server has failed and the
+    /// file is mirrored, the read is retried against the replica on the
+    /// next disk around the ring (degraded mode, counted in
+    /// [`BridgeFs::degraded_reads`]).
+    pub async fn try_read_block(
+        &self,
+        client: &Proc,
+        f: &BridgeFile,
+        i: u64,
+    ) -> Result<Vec<u8>, BridgeError> {
+        let (d, phys) = f.locate(i);
+        match self.request_read(client, d, phys).await {
+            Ok(data) => Ok(data),
+            Err(e) => {
+                if !f.mirrored() {
+                    return Err(e);
+                }
+                let (m, mphys) = f.locate_mirror(i);
+                let out = self.request_read(client, m, mphys).await;
+                if out.is_ok() {
+                    self.degraded_reads.set(self.degraded_reads.get() + 1);
+                }
+                out
+            }
+        }
+    }
+
+    /// Write logical block `i`. Panics on an unhandled fault; see
+    /// [`BridgeFs::try_write_block`].
+    pub async fn write_block(&self, client: &Proc, f: &BridgeFile, i: u64, data: Vec<u8>) {
+        if let Err(e) = self.try_write_block(client, f, i, data).await {
+            panic!("unhandled Bridge fault: {e}");
+        }
+    }
+
+    /// Fallible write. Mirrored files write through to both copies and
+    /// succeed as long as at least one copy was updated.
+    pub async fn try_write_block(
+        &self,
+        client: &Proc,
+        f: &BridgeFile,
+        i: u64,
+        data: Vec<u8>,
+    ) -> Result<(), BridgeError> {
+        let (d, phys) = f.locate(i);
+        if !f.mirrored() {
+            return self.request_write(client, d, phys, data).await;
+        }
+        let (m, mphys) = f.locate_mirror(i);
+        let primary = self.request_write(client, d, phys, data.clone()).await;
+        let replica = self.request_write(client, m, mphys, data).await;
+        if primary.is_ok() || replica.is_ok() {
+            Ok(())
+        } else {
+            primary
+        }
     }
 
     // ---------------------------------------------------------------
@@ -252,7 +504,8 @@ impl BridgeFs {
     // ---------------------------------------------------------------
 
     /// Run `t` on the server holding disk `d`, over `file`'s stripe there.
-    /// Only the tool's (usually small) result crosses the switch.
+    /// Only the tool's (usually small) result crosses the switch. Panics
+    /// on an unhandled fault; see [`BridgeFs::try_exec_on`].
     pub async fn exec_on(
         &self,
         client: &Proc,
@@ -260,18 +513,34 @@ impl BridgeFs {
         d: usize,
         t: Tool,
     ) -> Vec<u8> {
+        match self.try_exec_on(client, f, d, t).await {
+            Ok(out) => out,
+            Err(e) => panic!("unhandled Bridge fault: {e}"),
+        }
+    }
+
+    /// Fallible tool execution (no mirror fallback — tools are bound to a
+    /// specific disk's stripe).
+    pub async fn try_exec_on(
+        &self,
+        client: &Proc,
+        f: &BridgeFile,
+        d: usize,
+        t: Tool,
+    ) -> Result<Vec<u8>, BridgeError> {
         let srv = &self.servers[d];
         client.compute(self.os.costs.dualq_op).await;
-        self.transfer(client, srv.node, 128).await; // ship the tool descriptor
+        let node = self.check_server(client, d).await?;
+        self.transfer(client, node, 128).await; // ship the tool descriptor
         let (promise, reply) = Promise::new();
         srv.reqs.send(Req::Exec {
             tool: t,
             stripe: f.stripe(d),
             reply,
         });
-        let out = promise.get().await;
-        self.transfer(client, srv.node, out.len().max(16)).await;
-        out
+        let out = promise.get().await?;
+        self.transfer(client, node, out.len().max(16)).await;
+        Ok(out)
     }
 
     /// Run a tool on *every* disk concurrently and collect per-disk results
@@ -425,5 +694,143 @@ mod tests {
             tools * 2 < naive,
             "4-disk parallel tool ({tools}ns) must clearly beat naive ({naive}ns)"
         );
+    }
+
+    fn boot_mirrored(nodes: u16, ndisks: usize) -> (Sim, Rc<Os>, Rc<BridgeFs>) {
+        let sim = Sim::new();
+        let m = Machine::new(&sim, MachineConfig::small(nodes));
+        let os = Os::boot(&m);
+        let fs = BridgeFs::mount_mirrored(&os, ndisks, DiskParams::default());
+        (sim, os, fs)
+    }
+
+    #[test]
+    fn mirrored_reads_survive_one_failed_disk() {
+        let (sim, os, fs) = boot_mirrored(8, 4);
+        let f = fs.create(8);
+        let fs2 = fs.clone();
+        let f2 = f.clone();
+        os.boot_process(7, "client", move |p| async move {
+            for i in 0..8u64 {
+                let mut data = vec![0u8; 64];
+                data[0] = i as u8;
+                fs2.write_block(&p, &f2, i, data).await;
+            }
+            // Disk 0 dies: its primaries (logical 0 and 4) must come back
+            // from the replica stripe on disk 1.
+            fs2.disk(0).set_failed(true);
+            for i in 0..8u64 {
+                let got = fs2.try_read_block(&p, &f2, i).await.unwrap();
+                assert_eq!(got[0], i as u8);
+            }
+            assert_eq!(fs2.degraded_reads.get(), 2);
+            // Writes to disk-0 primaries still succeed (replica only).
+            fs2.try_write_block(&p, &f2, 0, vec![99u8; 64]).await.unwrap();
+            fs2.disk(0).set_failed(false);
+            // The stale primary on disk 0 is NOT repaired automatically;
+            // the replica carries the fresh data.
+            let (m, mphys) = f2.locate_mirror(0);
+            assert_eq!(fs2.disk(m).peek(mphys)[0], 99);
+            fs2.unmount();
+        });
+        assert_eq!(sim.run().outcome, RunOutcome::Completed);
+    }
+
+    #[test]
+    fn mirrored_reads_survive_a_crashed_server_node() {
+        let (sim, os, fs) = boot_mirrored(8, 4);
+        let f = fs.create(8);
+        // Preload host-side so no server traffic is needed before the crash.
+        for i in 0..8u64 {
+            let (d, phys) = f.locate(i);
+            fs.disk(d).poke(phys, &[i as u8]);
+            let (m, mphys) = f.locate_mirror(i);
+            fs.disk(m).poke(mphys, &[i as u8]);
+        }
+        let fs2 = fs.clone();
+        let f2 = f.clone();
+        os.boot_process(7, "client", move |p| async move {
+            fs2.os.machine.node(0).set_up(false);
+            for i in 0..8u64 {
+                let got = fs2.try_read_block(&p, &f2, i).await.unwrap();
+                assert_eq!(got[0], i as u8);
+            }
+            assert_eq!(fs2.degraded_reads.get(), 2);
+            fs2.unmount();
+        });
+        assert_eq!(sim.run().outcome, RunOutcome::Completed);
+    }
+
+    #[test]
+    fn unmirrored_read_from_downed_server_errors_fast() {
+        let (sim, os, fs) = boot(8, 4);
+        let f = fs.create(4);
+        let fs2 = fs.clone();
+        os.boot_process(7, "client", move |p| async move {
+            fs2.os.machine.node(1).set_up(false);
+            let err = fs2.try_read_block(&p, &f, 1).await.unwrap_err();
+            assert_eq!(err, BridgeError::NodeDown { node: 1 });
+            fs2.os.machine.node(1).set_up(true);
+            fs2.unmount();
+        });
+        assert_eq!(sim.run().outcome, RunOutcome::Completed);
+    }
+
+    #[test]
+    fn restarted_server_on_spare_node_takes_over_the_disk() {
+        let (sim, os, fs) = boot(8, 2);
+        let f = fs.create(4);
+        for i in 0..4u64 {
+            let (d, phys) = f.locate(i);
+            fs.disk(d).poke(phys, &[i as u8]);
+        }
+        let fs2 = fs.clone();
+        let f2 = f.clone();
+        os.boot_process(7, "client", move |p| async move {
+            fs2.os.machine.node(0).set_up(false);
+            assert_eq!(
+                fs2.try_read_block(&p, &f2, 0).await,
+                Err(BridgeError::NodeDown { node: 0 })
+            );
+            // Dual-ported takeover: node 5 attaches disk 0's spindle.
+            fs2.restart_server(0, 5);
+            assert_eq!(fs2.node_of(0), 5);
+            let got = fs2.read_block(&p, &f2, 0).await;
+            assert_eq!(got[0], 0);
+            fs2.unmount();
+        });
+        assert_eq!(sim.run().outcome, RunOutcome::Completed);
+    }
+
+    #[test]
+    fn fault_plan_drives_disk_failures_at_virtual_times() {
+        let (sim, os, fs) = boot_mirrored(8, 4);
+        let mut plan = FaultPlan::new(7);
+        plan.push(0, FaultKind::DiskFail { disk: 0 });
+        plan.push(400 * MS, FaultKind::DiskRecover { disk: 0 });
+        fs.install_faults(&plan);
+        let f = fs.create(8);
+        for i in 0..8u64 {
+            let (d, phys) = f.locate(i);
+            fs.disk(d).poke(phys, &[i as u8]);
+            let (m, mphys) = f.locate_mirror(i);
+            fs.disk(m).poke(mphys, &[i as u8]);
+        }
+        let fs2 = fs.clone();
+        let f2 = f.clone();
+        os.boot_process(7, "client", move |p| async move {
+            for i in 0..8u64 {
+                let got = fs2.try_read_block(&p, &f2, i).await.unwrap();
+                assert_eq!(got[0], i as u8);
+            }
+            assert!(fs2.degraded_reads.get() > 0, "disk 0 was down at t=0");
+            p.os.sim().sleep(500 * MS).await;
+            let before = fs2.degraded_reads.get();
+            let got = fs2.try_read_block(&p, &f2, 0).await.unwrap();
+            assert_eq!(got[0], 0);
+            assert_eq!(fs2.degraded_reads.get(), before, "disk 0 recovered");
+            fs2.unmount();
+        });
+        assert_eq!(sim.run().outcome, RunOutcome::Completed);
     }
 }

@@ -27,5 +27,5 @@ pub mod disk;
 pub mod fs;
 pub mod util;
 
-pub use disk::DiskParams;
-pub use fs::{BridgeFile, BridgeFs};
+pub use disk::{DiskFailed, DiskParams};
+pub use fs::{BridgeError, BridgeFile, BridgeFs, FS_RESTART};

@@ -128,6 +128,22 @@ impl Os {
         }
     }
 
+    /// A process crashed (its node failed, or it was killed): reclaim its
+    /// entire ownership subtree — every object it still owned, recursively
+    /// — and return the backing storage to the node allocators. Objects
+    /// the process had transferred to the system are *not* reclaimed; they
+    /// survive as leaks visible in [`Os::leak_report`] (exactly the §2.2
+    /// hazard). Returns the number of objects reclaimed.
+    pub fn crash_process(&self, pid: ObjId) -> usize {
+        match self.objects.borrow().get(pid) {
+            Some(e) if e.kind == ObjKind::Process => {}
+            _ => return 0,
+        }
+        let before = self.live_objects();
+        self.delete_obj(pid);
+        before.saturating_sub(self.live_objects())
+    }
+
     /// Transfer an object to "the system" — it will never be reclaimed.
     pub fn give_to_system(&self, id: ObjId) {
         self.objects.borrow_mut().give_to_system(id);

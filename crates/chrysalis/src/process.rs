@@ -11,7 +11,7 @@ use std::cell::RefCell;
 use std::future::Future;
 use std::rc::Rc;
 
-use bfly_machine::{GAddr, NodeId, SarBlock};
+use bfly_machine::{GAddr, MachineError, NodeId, SarBlock};
 use bfly_sim::time::SimTime;
 
 use crate::objects::{ObjId, ObjKind, Owner};
@@ -250,6 +250,35 @@ impl Proc {
         self.os.machine.write_block(self.node, a, src).await
     }
 
+    // Fallible variants: same costs, but machine faults (crashed node,
+    // downed switch link) surface as typed errors instead of panics.
+    // Recovery layers (SMP retry, Bridge degraded reads) build on these.
+
+    /// Fallible local computation (fails if this node has crashed).
+    pub async fn try_compute(&self, dur: SimTime) -> Result<(), MachineError> {
+        self.os.machine.try_compute(self.node, dur).await
+    }
+
+    /// Fallible word read.
+    pub async fn try_read_u32(&self, a: GAddr) -> Result<u32, MachineError> {
+        self.os.machine.try_read_u32(self.node, a).await
+    }
+
+    /// Fallible word write.
+    pub async fn try_write_u32(&self, a: GAddr, v: u32) -> Result<(), MachineError> {
+        self.os.machine.try_write_u32(self.node, a, v).await
+    }
+
+    /// Fallible block read.
+    pub async fn try_read_block(&self, a: GAddr, out: &mut [u8]) -> Result<(), MachineError> {
+        self.os.machine.try_read_block(self.node, a, out).await
+    }
+
+    /// Fallible block write.
+    pub async fn try_write_block(&self, a: GAddr, src: &[u8]) -> Result<(), MachineError> {
+        self.os.machine.try_write_block(self.node, a, src).await
+    }
+
     /// Read a virtual address (translated through the SAR file).
     pub async fn read_v(&self, va: VAddr) -> KResult<u32> {
         let a = self.translate(va)?;
@@ -396,6 +425,32 @@ mod tests {
         });
         sim.run();
         assert_eq!(h.try_take().unwrap(), Throw::E_TOO_BIG);
+    }
+
+    #[test]
+    fn crash_process_reclaims_subtree_but_not_system_objects() {
+        let (sim, os) = boot(4);
+        let os2 = os.clone();
+        os.boot_process(0, "victim", move |p| async move {
+            let before = p.os.machine.node(0).allocated_bytes();
+            let keep = p.make_local_obj(1024).await.unwrap();
+            let lose = p.make_local_obj(2048).await.unwrap();
+            p.os.give_to_system(keep.id);
+            let reclaimed = os2.crash_process(p.id);
+            assert_eq!(reclaimed, 2, "the process and its owned object");
+            assert_eq!(
+                p.os.machine.node(0).allocated_bytes(),
+                before + 1024,
+                "system-owned object survives the crash; the rest is freed"
+            );
+            assert!(p.os.lookup_obj(lose.id).is_none());
+            assert!(
+                p.os.leak_report().contains(&keep.id),
+                "the survivor is an orphan the leak census must see"
+            );
+            assert_eq!(os2.crash_process(keep.id), 0, "not a process: no-op");
+        });
+        sim.run();
     }
 
     #[test]

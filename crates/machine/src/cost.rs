@@ -49,6 +49,10 @@ pub struct Costs {
     /// timing; nonzero makes executions genuinely nondeterministic across
     /// seeds — used by the Instant Replay experiments).
     pub jitter_pct: u32,
+    /// Time for the PNC to decide a remote node is unreachable (retry +
+    /// give-up microcode). Charged before a `NodeDown`/`LinkDown` error is
+    /// reported to the issuing processor.
+    pub fault_detect: SimTime,
 }
 
 impl Costs {
@@ -65,6 +69,7 @@ impl Costs {
             block_per_byte_mem: 50,
             block_setup: 500,
             jitter_pct: 0,
+            fault_detect: 10_000,
         }
     }
 
@@ -83,6 +88,7 @@ impl Costs {
             block_per_byte_mem: b1.block_per_byte_mem / 4,
             block_setup: b1.block_setup / 2,
             jitter_pct: 0,
+            fault_detect: b1.fault_detect / 2,
         }
     }
 

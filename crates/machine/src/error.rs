@@ -1,0 +1,56 @@
+//! Typed failures for PNC operations under injected faults.
+
+use bfly_sim::SimTime;
+
+use crate::addr::NodeId;
+
+/// Why a PNC operation could not complete. On the real Butterfly these
+/// surfaced as bus errors and switch timeouts; here they are typed so
+/// recovery layers (SMP retry, Bridge degraded reads, Chrysalis reclaim)
+/// can react instead of crashing the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineError {
+    /// The node is crashed/unreachable (either the issuing node or the
+    /// node owning the referenced memory).
+    NodeDown { node: NodeId },
+    /// A switch link on the route is down; `stage`/`port` identify the
+    /// failed output port.
+    LinkDown { stage: u32, port: u32 },
+    /// The operation exceeded a caller-imposed deadline after `after`
+    /// nanoseconds of virtual time.
+    Timeout { after: SimTime },
+}
+
+impl std::fmt::Display for MachineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MachineError::NodeDown { node } => write!(f, "node {node} is down"),
+            MachineError::LinkDown { stage, port } => {
+                write!(f, "switch link (stage {stage}, port {port}) is down")
+            }
+            MachineError::Timeout { after } => {
+                write!(f, "operation timed out after {after}ns")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_usefully() {
+        assert_eq!(MachineError::NodeDown { node: 7 }.to_string(), "node 7 is down");
+        assert_eq!(
+            MachineError::LinkDown { stage: 1, port: 9 }.to_string(),
+            "switch link (stage 1, port 9) is down"
+        );
+        assert_eq!(
+            MachineError::Timeout { after: 500 }.to_string(),
+            "operation timed out after 500ns"
+        );
+    }
+}

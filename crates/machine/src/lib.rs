@@ -30,6 +30,7 @@
 
 pub mod addr;
 pub mod cost;
+pub mod error;
 pub mod machine;
 pub mod node;
 pub mod sar;
@@ -37,5 +38,6 @@ pub mod switch;
 
 pub use addr::{GAddr, NodeId};
 pub use cost::{Costs, SwitchModel};
+pub use error::MachineError;
 pub use machine::{Machine, MachineConfig, MachineStats};
 pub use sar::{SarBlock, SarFile};

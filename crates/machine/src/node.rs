@@ -28,6 +28,9 @@ pub struct Node {
     pub remote_refs_out: Cell<u64>,
     /// Count of local references issued by this node.
     pub local_refs: Cell<u64>,
+    /// Availability: a crashed node rejects all PNC traffic (its memory
+    /// contents survive, matching a hung-but-powered Butterfly node).
+    up: Cell<bool>,
 }
 
 impl Node {
@@ -41,12 +44,23 @@ impl Node {
             remote_refs_in: Cell::new(0),
             remote_refs_out: Cell::new(0),
             local_refs: Cell::new(0),
+            up: Cell::new(true),
         })
     }
 
     /// Size of this node's memory in bytes.
     pub fn mem_bytes(&self) -> u32 {
         self.data.borrow().len() as u32
+    }
+
+    /// True while the node is in service.
+    pub fn is_up(&self) -> bool {
+        self.up.get()
+    }
+
+    /// Crash or recover the node (fault injection).
+    pub fn set_up(&self, up: bool) {
+        self.up.set(up);
     }
 
     /// Allocate `size` bytes of this node's physical memory (8-byte aligned).

@@ -7,10 +7,25 @@
 //! `dst`. Each (stage, switch, output-port) is a FIFO resource in
 //! [`SwitchModel::Detailed`] mode.
 
+use std::cell::{Cell, RefCell};
+
 use bfly_sim::{Resource, Sim, SimTime};
 
 use crate::addr::NodeId;
 use crate::cost::{Costs, SwitchModel};
+use crate::error::MachineError;
+
+/// Health of one switch output port (fault injection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct LinkState {
+    up: bool,
+    /// Hop-time multiplier; 1 = healthy, >1 = flaky path retrying.
+    degrade: u32,
+}
+
+impl LinkState {
+    const HEALTHY: LinkState = LinkState { up: true, degrade: 1 };
+}
 
 /// The switching network of one machine.
 pub struct Switch {
@@ -22,6 +37,12 @@ pub struct Switch {
     hop: SimTime,
     /// `ports[stage][switch * 4 + out_digit]`, only in Detailed mode.
     ports: Vec<Vec<Resource>>,
+    /// `links[stage][port]` availability, in both switch models.
+    links: RefCell<Vec<Vec<LinkState>>>,
+    /// Fast-path flag: false until some link leaves the healthy state, so
+    /// fault-free runs keep the original constant-latency code path (and
+    /// bit-identical timing).
+    any_fault: Cell<bool>,
 }
 
 impl Switch {
@@ -42,13 +63,42 @@ impl Switch {
                 })
                 .collect(),
         };
+        let links = (0..stages)
+            .map(|_| vec![LinkState::HEALTHY; width as usize])
+            .collect();
         Switch {
             stages,
             width,
             model,
             hop: costs.hop,
             ports,
+            links: RefCell::new(links),
+            any_fault: Cell::new(false),
         }
+    }
+
+    /// Take a link out of service (or restore it).
+    pub fn set_link_up(&self, stage: u32, port: u32, up: bool) {
+        self.links.borrow_mut()[stage as usize][port as usize].up = up;
+        self.any_fault.set(true);
+    }
+
+    /// Degrade a link: traversals cost `factor`× the normal hop time
+    /// (`factor = 1` restores full speed).
+    pub fn set_link_degrade(&self, stage: u32, port: u32, factor: u32) {
+        self.links.borrow_mut()[stage as usize][port as usize].degrade = factor.max(1);
+        self.any_fault.set(true);
+    }
+
+    /// True if every link on the `src → dst` route is in service.
+    pub fn path_ok(&self, src: NodeId, dst: NodeId) -> bool {
+        if !self.any_fault.get() {
+            return true;
+        }
+        let links = self.links.borrow();
+        self.route(src, dst)
+            .into_iter()
+            .all(|(s, p)| links[s as usize][p as usize].up)
     }
 
     /// The sequence of `(stage, port_index)` a packet from `src` to `dst`
@@ -72,20 +122,53 @@ impl Switch {
     /// Traverse the network once (one direction). In `Fast` mode this is a
     /// pure latency; in `Detailed` mode the packet queues at each hop.
     /// Returns the queueing delay encountered (0 in Fast mode).
+    /// Panics on a downed link; use [`Switch::try_traverse`] when faults
+    /// may be active.
     pub async fn traverse(&self, sim: &Sim, src: NodeId, dst: NodeId) -> SimTime {
+        match self.try_traverse(sim, src, dst).await {
+            Ok(waited) => waited,
+            Err(e) => panic!("unhandled switch fault on {src}->{dst}: {e}"),
+        }
+    }
+
+    /// Fallible traverse: packets stall at a downed link (the hops already
+    /// taken are charged) and the caller gets `LinkDown`. Degraded links
+    /// multiply their hop time. With no faults installed this follows the
+    /// exact code path (and timing) of the original infallible traverse.
+    pub async fn try_traverse(
+        &self,
+        sim: &Sim,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Result<SimTime, MachineError> {
         match self.model {
             SwitchModel::Fast => {
-                sim.sleep(self.stages as SimTime * self.hop).await;
-                0
+                if !self.any_fault.get() {
+                    sim.sleep(self.stages as SimTime * self.hop).await;
+                    return Ok(0);
+                }
+                // Walk the route link by link so down/degraded state applies.
+                for (stage, port) in self.route(src, dst) {
+                    let link = self.links.borrow()[stage as usize][port as usize];
+                    if !link.up {
+                        return Err(MachineError::LinkDown { stage, port });
+                    }
+                    sim.sleep(self.hop * link.degrade as SimTime).await;
+                }
+                Ok(0)
             }
             SwitchModel::Detailed => {
                 let mut waited = 0;
                 for (stage, port) in self.route(src, dst) {
+                    let link = self.links.borrow()[stage as usize][port as usize];
+                    if !link.up {
+                        return Err(MachineError::LinkDown { stage, port });
+                    }
                     waited += self.ports[stage as usize][port as usize]
-                        .access(self.hop)
+                        .access(self.hop * link.degrade as SimTime)
                         .await;
                 }
-                waited
+                Ok(waited)
             }
         }
     }
@@ -177,6 +260,50 @@ mod tests {
         sim.block_on(async move {
             let waited = sw2.traverse(&s2, 0, 99).await;
             assert_eq!(waited, 0);
+            assert_eq!(s2.now(), 4 * 300);
+        });
+    }
+
+    #[test]
+    fn downed_link_fails_traverse_in_both_models() {
+        for model in [SwitchModel::Fast, SwitchModel::Detailed] {
+            let (sim, sw) = mk(16, model);
+            let (stage, port) = sw.route(0, 5)[1];
+            sw.set_link_up(stage, port, false);
+            let sw = std::rc::Rc::new(sw);
+            let s2 = sim.clone();
+            let sw2 = sw.clone();
+            let res = sim.block_on(async move { sw2.try_traverse(&s2, 0, 5).await });
+            assert_eq!(res, Err(MachineError::LinkDown { stage, port }));
+            assert!(!sw.path_ok(0, 5));
+            sw.set_link_up(stage, port, true);
+            assert!(sw.path_ok(0, 5));
+        }
+    }
+
+    #[test]
+    fn degraded_link_slows_fast_traverse() {
+        let (sim, sw) = mk(16, SwitchModel::Fast);
+        let (stage, port) = sw.route(0, 5)[0];
+        sw.set_link_degrade(stage, port, 4);
+        let sw = std::rc::Rc::new(sw);
+        let s2 = sim.clone();
+        let sw2 = sw.clone();
+        sim.block_on(async move {
+            sw2.try_traverse(&s2, 0, 5).await.unwrap();
+            // 2 stages: one degraded 4x (1200) + one healthy (300).
+            assert_eq!(s2.now(), 4 * 300 + 300);
+        });
+    }
+
+    #[test]
+    fn healthy_fast_traverse_timing_is_unchanged_by_fault_plumbing() {
+        let (sim, sw) = mk(128, SwitchModel::Fast);
+        let sw = std::rc::Rc::new(sw);
+        let s2 = sim.clone();
+        let sw2 = sw.clone();
+        sim.block_on(async move {
+            sw2.try_traverse(&s2, 3, 77).await.unwrap();
             assert_eq!(s2.now(), 4 * 300);
         });
     }

@@ -50,6 +50,10 @@ struct TimerEntry {
     at: SimTime,
     seq: u64,
     waker: Waker,
+    /// Set when the owning `Delay` is dropped before firing; cancelled
+    /// entries are skipped by the run loop without advancing the clock, so
+    /// an abandoned timeout cannot stretch a run's end time.
+    cancelled: Arc<AtomicBool>,
 }
 
 impl PartialEq for TimerEntry {
@@ -115,6 +119,32 @@ pub enum RunOutcome {
         stuck: Vec<String>,
     },
 }
+
+/// Typed failure from the non-panicking run entry points
+/// ([`Sim::try_run`], [`Sim::try_block_on`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The run quiesced with live tasks that nothing can ever wake.
+    /// Stuck-task names are sorted by task id, so the report is
+    /// deterministic for a given (seed, fault plan).
+    Deadlock { stuck: Vec<String> },
+    /// The run completed but the awaited root future never resolved
+    /// (its value was taken elsewhere, or it was abandoned).
+    Incomplete,
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Deadlock { stuck } => {
+                write!(f, "simulation deadlocked; stuck tasks: {stuck:?}")
+            }
+            SimError::Incomplete => write!(f, "simulation quiesced without a result"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
 
 /// Counters describing a finished run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -248,11 +278,7 @@ impl Sim {
 
     /// Sleep for `dur` nanoseconds of virtual time.
     pub fn sleep(&self, dur: SimTime) -> Delay {
-        Delay {
-            sim: self.inner.clone(),
-            at: self.now().saturating_add(dur),
-            registered: false,
-        }
+        self.sleep_until(self.now().saturating_add(dur))
     }
 
     /// Sleep until an absolute virtual time (no-op if already past).
@@ -260,7 +286,8 @@ impl Sim {
         Delay {
             sim: self.inner.clone(),
             at,
-            registered: false,
+            registered: None,
+            fired: false,
         }
     }
 
@@ -307,10 +334,14 @@ impl Sim {
             while let Some(id) = self.inner.ready.pop() {
                 self.poll_task(id);
             }
-            // No ready work: advance virtual time to the next timer.
+            // No ready work: advance virtual time to the next timer,
+            // discarding timers whose Delay was dropped before firing.
             let next = self.inner.timers.borrow_mut().pop();
             match next {
                 Some(Reverse(entry)) => {
+                    if entry.cancelled.load(Ordering::Relaxed) {
+                        continue;
+                    }
                     debug_assert!(entry.at >= self.inner.now.get(), "time went backwards");
                     self.inner.now.set(entry.at);
                     entry.waker.wake();
@@ -339,26 +370,94 @@ impl Sim {
         }
     }
 
+    /// Non-panicking [`Sim::run`]: `Err(SimError::Deadlock)` when live
+    /// tasks remain that nothing can wake, `Ok(stats)` otherwise.
+    pub fn try_run(&self) -> Result<RunStats, SimError> {
+        let stats = self.run();
+        match stats.outcome {
+            RunOutcome::Completed => Ok(stats),
+            RunOutcome::Deadlock { ref stuck } => Err(SimError::Deadlock {
+                stuck: stuck.clone(),
+            }),
+        }
+    }
+
     /// Spawn `fut`, run the simulation to quiescence, and return the future's
-    /// result. Panics if the simulation deadlocks before the future resolves.
+    /// result. Panics if the simulation deadlocks before the future resolves;
+    /// use [`Sim::try_block_on`] for a typed error instead.
     pub fn block_on<T: 'static, F>(&self, fut: F) -> T
+    where
+        F: Future<Output = T> + 'static,
+    {
+        match self.try_block_on(fut) {
+            Ok(v) => v,
+            Err(e) => panic!("simulation ended without completing block_on future: {e}"),
+        }
+    }
+
+    /// Non-panicking [`Sim::block_on`]: spawn `fut`, run to quiescence,
+    /// and return its result, or a [`SimError`] describing why it never
+    /// resolved.
+    pub fn try_block_on<T: 'static, F>(&self, fut: F) -> Result<T, SimError>
     where
         F: Future<Output = T> + 'static,
     {
         let mut handle = self.spawn_named("block_on", fut);
         let stats = self.run();
         match handle.try_take() {
-            Some(v) => v,
-            None => panic!(
-                "simulation ended without completing block_on future: {:?}",
-                stats.outcome
-            ),
+            Some(v) => Ok(v),
+            None => match stats.outcome {
+                RunOutcome::Deadlock { stuck } => Err(SimError::Deadlock { stuck }),
+                RunOutcome::Completed => Err(SimError::Incomplete),
+            },
         }
     }
 
     /// Number of live (unfinished) tasks.
     pub fn live_tasks(&self) -> usize {
         self.inner.live.get()
+    }
+
+    /// A deadline `dur` from now.
+    pub fn deadline(&self, dur: SimTime) -> Deadline {
+        Deadline {
+            at: self.now().saturating_add(dur),
+        }
+    }
+
+    /// Race `fut` against a timer: `Ok(value)` if it resolves within
+    /// `dur`, `Err(Elapsed)` otherwise (the inner future is dropped).
+    pub fn timeout<F: Future>(&self, dur: SimTime, fut: F) -> Timeout<F> {
+        self.timeout_at(self.deadline(dur), fut)
+    }
+
+    /// [`Sim::timeout`] against an absolute [`Deadline`].
+    pub fn timeout_at<F: Future>(&self, deadline: Deadline, fut: F) -> Timeout<F> {
+        Timeout {
+            delay: self.sleep_until(deadline.at),
+            deadline,
+            fut,
+        }
+    }
+
+    /// Spawn a watchdog: unless [`Watchdog::disarm`] is called within
+    /// `dur`, `on_expire` runs at the deadline. Disarming releases the
+    /// watchdog task immediately (it does not hold the clock hostage).
+    pub fn watchdog(
+        &self,
+        dur: SimTime,
+        name: &str,
+        on_expire: impl FnOnce(&Sim) + 'static,
+    ) -> Watchdog {
+        let gate = crate::sync::Gate::new();
+        let g = gate.clone();
+        let s = self.clone();
+        self.spawn_named(name, async move {
+            if s.timeout(dur, g.wait()).await.is_err() {
+                on_expire(&s);
+            }
+        });
+        Watchdog { gate }
     }
 }
 
@@ -372,30 +471,127 @@ impl Default for Sim {
 pub struct Delay {
     sim: Rc<Inner>,
     at: SimTime,
-    registered: bool,
+    registered: Option<Arc<AtomicBool>>,
+    fired: bool,
 }
 
 impl Future for Delay {
     type Output = ();
     fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
         if self.sim.now.get() >= self.at {
+            self.fired = true;
             return Poll::Ready(());
         }
-        if !self.registered {
+        if self.registered.is_none() {
             let at = self.at;
             let seq = {
                 let s = self.sim.seq.get();
                 self.sim.seq.set(s + 1);
                 s
             };
+            let cancelled = Arc::new(AtomicBool::new(false));
             self.sim.timers.borrow_mut().push(Reverse(TimerEntry {
                 at,
                 seq,
                 waker: cx.waker().clone(),
+                cancelled: cancelled.clone(),
             }));
-            self.registered = true;
+            self.registered = Some(cancelled);
         }
         Poll::Pending
+    }
+}
+
+impl Drop for Delay {
+    fn drop(&mut self) {
+        // Abandoned before firing (e.g. a timeout whose future won the
+        // race): mark the heap entry dead so the clock never advances to it.
+        if !self.fired {
+            if let Some(cancelled) = &self.registered {
+                cancelled.store(true, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// An absolute point in virtual time used for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Deadline {
+    at: SimTime,
+}
+
+impl Deadline {
+    /// Deadline at an absolute virtual time.
+    pub fn at(at: SimTime) -> Deadline {
+        Deadline { at }
+    }
+
+    /// The absolute expiry time.
+    pub fn when(&self) -> SimTime {
+        self.at
+    }
+
+    /// True once the sim clock has reached the deadline.
+    pub fn expired(&self, sim: &Sim) -> bool {
+        sim.now() >= self.at
+    }
+
+    /// Time left before expiry (`None` if already expired).
+    pub fn remaining(&self, sim: &Sim) -> Option<SimTime> {
+        self.at.checked_sub(sim.now()).filter(|&r| r > 0)
+    }
+}
+
+/// Error returned by [`Sim::timeout`] when the timer wins the race.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Elapsed {
+    /// The deadline that expired.
+    pub deadline: Deadline,
+}
+
+impl std::fmt::Display for Elapsed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deadline {} expired", self.deadline.at)
+    }
+}
+
+impl std::error::Error for Elapsed {}
+
+/// Future returned by [`Sim::timeout`] / [`Sim::timeout_at`].
+pub struct Timeout<F> {
+    delay: Delay,
+    deadline: Deadline,
+    fut: F,
+}
+
+impl<F: Future> Future for Timeout<F> {
+    type Output = Result<F::Output, Elapsed>;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // SAFETY: standard structural pinning; `fut` is never moved out of
+        // `this`, and `Timeout` has no Drop impl of its own.
+        let this = unsafe { self.get_unchecked_mut() };
+        let fut = unsafe { Pin::new_unchecked(&mut this.fut) };
+        if let Poll::Ready(v) = fut.poll(cx) {
+            return Poll::Ready(Ok(v));
+        }
+        if Pin::new(&mut this.delay).poll(cx).is_ready() {
+            return Poll::Ready(Err(Elapsed {
+                deadline: this.deadline,
+            }));
+        }
+        Poll::Pending
+    }
+}
+
+/// Handle returned by [`Sim::watchdog`].
+pub struct Watchdog {
+    gate: crate::sync::Gate,
+}
+
+impl Watchdog {
+    /// Stand the watchdog down; its expiry action will not run.
+    pub fn disarm(&self) {
+        self.gate.open();
     }
 }
 
@@ -594,6 +790,99 @@ mod tests {
         assert_eq!(stats.outcome, RunOutcome::Completed);
         assert_eq!(total.get(), 999 * 1000 / 2);
         assert_eq!(stats.tasks, 1_000);
+    }
+
+    #[test]
+    fn try_block_on_reports_deadlock() {
+        let sim = Sim::new();
+        let gate = crate::sync::Gate::new();
+        let g = gate.clone();
+        let err = sim
+            .try_block_on(async move {
+                g.wait().await; // never opened
+            })
+            .unwrap_err();
+        match err {
+            SimError::Deadlock { stuck } => assert_eq!(stuck, vec!["block_on"]),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timeout_returns_value_in_time() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let v = sim.block_on(async move {
+            let inner = s.clone();
+            s.timeout(1_000, async move {
+                inner.sleep(500).await;
+                9u32
+            })
+            .await
+        });
+        assert_eq!(v, Ok(9));
+    }
+
+    #[test]
+    fn timeout_expires_and_drops_future() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let res = sim.block_on(async move {
+            let inner = s.clone();
+            s.timeout(1_000, async move {
+                inner.sleep(5_000).await;
+                9u32
+            })
+            .await
+        });
+        assert!(res.is_err());
+        assert_eq!(res.unwrap_err().deadline.when(), 1_000);
+        // The loser's 5000ns timer was cancelled: the clock stops at the
+        // deadline, not at the abandoned sleep.
+        assert_eq!(sim.now(), 1_000);
+    }
+
+    #[test]
+    fn deadline_tracks_clock() {
+        let sim = Sim::new();
+        let d = sim.deadline(250);
+        assert!(!d.expired(&sim));
+        assert_eq!(d.remaining(&sim), Some(250));
+        let s = sim.clone();
+        sim.block_on(async move { s.sleep(300).await });
+        assert!(d.expired(&sim));
+        assert_eq!(d.remaining(&sim), None);
+    }
+
+    #[test]
+    fn watchdog_fires_when_not_disarmed() {
+        let sim = Sim::new();
+        let fired = Rc::new(StdCell::new(false));
+        let f = fired.clone();
+        sim.watchdog(400, "wd", move |s| {
+            assert_eq!(s.now(), 400);
+            f.set(true);
+        });
+        let stats = sim.run();
+        assert_eq!(stats.outcome, RunOutcome::Completed);
+        assert!(fired.get());
+    }
+
+    #[test]
+    fn disarmed_watchdog_stays_quiet_and_releases_clock() {
+        let sim = Sim::new();
+        let fired = Rc::new(StdCell::new(false));
+        let f = fired.clone();
+        let wd = sim.watchdog(10_000, "wd", move |_| f.set(true));
+        let s = sim.clone();
+        sim.spawn(async move {
+            s.sleep(50).await;
+            wd.disarm();
+        });
+        let stats = sim.run();
+        assert_eq!(stats.outcome, RunOutcome::Completed);
+        assert!(!fired.get());
+        assert_eq!(stats.end_time, 50, "disarm must cancel the watchdog timer");
     }
 
     #[test]

@@ -1,0 +1,380 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] is a seeded, serializable list of timed fault events —
+//! node crashes, switch-link degradation, disk failures, message
+//! loss/corruption — driven by the virtual clock. The plan is pure data:
+//! the sim layer knows nothing about nodes or disks, it only walks the
+//! events in time order and hands them to a layer-specific `apply`
+//! callback (the machine applies node/link events, the Bridge file system
+//! applies disk events, the SMP library applies message events).
+//!
+//! Determinism contract: a run is a pure function of (sim seed, fault
+//! plan). Same seed + same plan ⇒ bit-identical outcomes, preserving the
+//! Instant Replay guarantee; the fault driver draws nothing from ambient
+//! state and the plan's own generator ([`FaultPlan::random`]) is seeded
+//! SplitMix64.
+
+use crate::exec::Sim;
+use crate::rng::SplitMix64;
+use crate::time::SimTime;
+
+/// One kind of injected fault. Identifiers are plain integers so the sim
+/// layer stays independent of machine topology types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Node becomes unreachable: remote references to it fail, code
+    /// running on it is halted by the owning layer.
+    NodeCrash { node: u32 },
+    /// Crashed node returns to service (memory contents survive; the
+    /// Butterfly's king-node reload is not modelled).
+    NodeRecover { node: u32 },
+    /// Switch output port `(stage, port)` drops traffic entirely.
+    LinkDown { stage: u32, port: u32 },
+    /// Downed link returns to service.
+    LinkUp { stage: u32, port: u32 },
+    /// Link stays up but every traversal costs `factor`× the normal hop
+    /// time (contention/retry on a flaky path). `factor = 1` clears it.
+    LinkDegrade { stage: u32, port: u32, factor: u32 },
+    /// Disk fails hard: reads and writes error until recovery.
+    DiskFail { disk: u32 },
+    /// Failed disk returns to service (contents intact).
+    DiskRecover { disk: u32 },
+    /// Set the message-loss probability to `pct`% (0 disables).
+    MessageLoss { pct: u8 },
+    /// Set the message-corruption probability to `pct`% (0 disables).
+    MessageCorrupt { pct: u8 },
+}
+
+/// A fault at a point in virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Virtual time at which the fault takes effect.
+    pub at: SimTime,
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of fault events.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Seed recorded for provenance (and used by [`FaultPlan::random`]).
+    pub seed: u64,
+    pub events: Vec<FaultEvent>,
+}
+
+/// Shape parameters for [`FaultPlan::random`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Events are drawn uniformly in `[0, horizon)`.
+    pub horizon: SimTime,
+    /// Topology extents the event identifiers are drawn from.
+    pub nodes: u32,
+    pub stages: u32,
+    pub ports: u32,
+    pub disks: u32,
+    /// Event counts per kind (crash events get a paired recover at a
+    /// later time within the horizon).
+    pub node_crashes: u32,
+    pub link_events: u32,
+    pub disk_fails: u32,
+}
+
+impl FaultSpec {
+    /// A small default spec useful in tests: 1ms horizon over a modest
+    /// topology with a couple of each fault kind.
+    pub fn small() -> Self {
+        FaultSpec {
+            horizon: crate::time::MS,
+            nodes: 16,
+            stages: 2,
+            ports: 16,
+            disks: 4,
+            node_crashes: 1,
+            link_events: 2,
+            disk_fails: 1,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Empty plan tagged with a seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            events: Vec::new(),
+        }
+    }
+
+    /// Append an event (builder style).
+    pub fn push(&mut self, at: SimTime, kind: FaultKind) -> &mut Self {
+        self.events.push(FaultEvent { at, kind });
+        self
+    }
+
+    /// Generate a plan from a seed and a shape spec. Pure function of its
+    /// arguments: equal `(seed, spec)` pairs yield equal plans.
+    pub fn random(seed: u64, spec: &FaultSpec) -> Self {
+        let mut rng = SplitMix64::new(seed ^ 0xFA17_FA17_FA17_FA17);
+        let mut plan = FaultPlan::new(seed);
+        let at = |rng: &mut SplitMix64| rng.next_below(spec.horizon.max(1));
+        for _ in 0..spec.node_crashes {
+            let node = rng.next_below(spec.nodes.max(1) as u64) as u32;
+            let t = at(&mut rng);
+            let recover = t + 1 + rng.next_below(spec.horizon.max(2) / 2);
+            plan.push(t, FaultKind::NodeCrash { node });
+            plan.push(recover, FaultKind::NodeRecover { node });
+        }
+        for _ in 0..spec.link_events {
+            let stage = rng.next_below(spec.stages.max(1) as u64) as u32;
+            let port = rng.next_below(spec.ports.max(1) as u64) as u32;
+            let t = at(&mut rng);
+            match rng.next_below(3) {
+                0 => {
+                    let up = t + 1 + rng.next_below(spec.horizon.max(2) / 2);
+                    plan.push(t, FaultKind::LinkDown { stage, port });
+                    plan.push(up, FaultKind::LinkUp { stage, port });
+                }
+                1 => {
+                    let factor = 2 + rng.next_below(7) as u32;
+                    plan.push(t, FaultKind::LinkDegrade { stage, port, factor });
+                }
+                _ => {
+                    plan.push(t, FaultKind::MessageLoss {
+                        pct: rng.next_below(30) as u8,
+                    });
+                }
+            }
+        }
+        for _ in 0..spec.disk_fails {
+            let disk = rng.next_below(spec.disks.max(1) as u64) as u32;
+            plan.push(at(&mut rng), FaultKind::DiskFail { disk });
+        }
+        plan.normalize();
+        plan
+    }
+
+    /// Sort events by time (stable: ties keep insertion order).
+    pub fn normalize(&mut self) {
+        self.events.sort_by_key(|e| e.at);
+    }
+
+    /// True if the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Spawn the fault-driver task: walks events in time order, calling
+    /// `apply` for each at its virtual time. The driver is an ordinary
+    /// task, so event application interleaves deterministically with the
+    /// workload.
+    pub fn schedule(&self, sim: &Sim, mut apply: impl FnMut(&Sim, FaultEvent) + 'static) {
+        if self.events.is_empty() {
+            return;
+        }
+        let mut events = self.events.clone();
+        events.sort_by_key(|e| e.at);
+        let s = sim.clone();
+        sim.spawn_named("fault-driver", async move {
+            for ev in events {
+                s.sleep_until(ev.at).await;
+                apply(&s, ev);
+            }
+        });
+    }
+
+    /// Serialize to a line-oriented text form (see [`FaultPlan::parse`]).
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!("faultplan v1 seed={}\n", self.seed);
+        for ev in &self.events {
+            let _ = match ev.kind {
+                FaultKind::NodeCrash { node } => writeln!(out, "{} node-crash {}", ev.at, node),
+                FaultKind::NodeRecover { node } => {
+                    writeln!(out, "{} node-recover {}", ev.at, node)
+                }
+                FaultKind::LinkDown { stage, port } => {
+                    writeln!(out, "{} link-down {} {}", ev.at, stage, port)
+                }
+                FaultKind::LinkUp { stage, port } => {
+                    writeln!(out, "{} link-up {} {}", ev.at, stage, port)
+                }
+                FaultKind::LinkDegrade { stage, port, factor } => {
+                    writeln!(out, "{} link-degrade {} {} {}", ev.at, stage, port, factor)
+                }
+                FaultKind::DiskFail { disk } => writeln!(out, "{} disk-fail {}", ev.at, disk),
+                FaultKind::DiskRecover { disk } => {
+                    writeln!(out, "{} disk-recover {}", ev.at, disk)
+                }
+                FaultKind::MessageLoss { pct } => writeln!(out, "{} msg-loss {}", ev.at, pct),
+                FaultKind::MessageCorrupt { pct } => {
+                    writeln!(out, "{} msg-corrupt {}", ev.at, pct)
+                }
+            };
+        }
+        out
+    }
+
+    /// Parse the text form produced by [`FaultPlan::to_text`].
+    pub fn parse(text: &str) -> Result<Self, FaultPlanParseError> {
+        let err = |line: usize, msg: &str| FaultPlanParseError {
+            line,
+            message: msg.to_string(),
+        };
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines
+            .next()
+            .ok_or_else(|| err(1, "empty fault plan"))?;
+        let seed = header
+            .strip_prefix("faultplan v1 seed=")
+            .and_then(|s| s.trim().parse::<u64>().ok())
+            .ok_or_else(|| err(1, "bad header (want `faultplan v1 seed=N`)"))?;
+        let mut plan = FaultPlan::new(seed);
+        for (i, line) in lines {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            let lineno = i + 1;
+            let mut next = fields.iter().skip(2).copied();
+            let mut num = move |what: &str| -> Result<u64, FaultPlanParseError> {
+                next.next()
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .ok_or_else(|| err(lineno, what))
+            };
+            let at = fields
+                .first()
+                .and_then(|s| s.parse::<u64>().ok())
+                .ok_or_else(|| err(lineno, "missing event time"))?;
+            let verb = *fields.get(1).ok_or_else(|| err(lineno, "missing event kind"))?;
+            let kind = match verb {
+                "node-crash" => FaultKind::NodeCrash {
+                    node: num("missing node id")? as u32,
+                },
+                "node-recover" => FaultKind::NodeRecover {
+                    node: num("missing node id")? as u32,
+                },
+                "link-down" => FaultKind::LinkDown {
+                    stage: num("missing stage")? as u32,
+                    port: num("missing port")? as u32,
+                },
+                "link-up" => FaultKind::LinkUp {
+                    stage: num("missing stage")? as u32,
+                    port: num("missing port")? as u32,
+                },
+                "link-degrade" => FaultKind::LinkDegrade {
+                    stage: num("missing stage")? as u32,
+                    port: num("missing port")? as u32,
+                    factor: num("missing factor")? as u32,
+                },
+                "disk-fail" => FaultKind::DiskFail {
+                    disk: num("missing disk id")? as u32,
+                },
+                "disk-recover" => FaultKind::DiskRecover {
+                    disk: num("missing disk id")? as u32,
+                },
+                "msg-loss" => FaultKind::MessageLoss {
+                    pct: num("missing percentage")? as u8,
+                },
+                "msg-corrupt" => FaultKind::MessageCorrupt {
+                    pct: num("missing percentage")? as u8,
+                },
+                other => return Err(err(lineno, &format!("unknown fault kind `{other}`"))),
+            };
+            let expected_args = match kind {
+                FaultKind::LinkDown { .. } | FaultKind::LinkUp { .. } => 2,
+                FaultKind::LinkDegrade { .. } => 3,
+                _ => 1,
+            };
+            if fields.len() != 2 + expected_args {
+                return Err(err(lineno, "trailing fields"));
+            }
+            plan.push(at, kind);
+        }
+        Ok(plan)
+    }
+}
+
+/// Error from [`FaultPlan::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlanParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for FaultPlanParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fault plan line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for FaultPlanParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn random_is_a_pure_function_of_seed_and_spec() {
+        let spec = FaultSpec::small();
+        assert_eq!(FaultPlan::random(9, &spec), FaultPlan::random(9, &spec));
+        assert_ne!(FaultPlan::random(9, &spec), FaultPlan::random(10, &spec));
+    }
+
+    #[test]
+    fn text_round_trips() {
+        let mut plan = FaultPlan::random(1234, &FaultSpec::small());
+        plan.push(77, FaultKind::MessageCorrupt { pct: 13 });
+        plan.push(78, FaultKind::DiskRecover { disk: 2 });
+        let text = plan.to_text();
+        let back = FaultPlan::parse(&text).expect("round trip");
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultPlan::parse("").is_err());
+        assert!(FaultPlan::parse("faultplan v2 seed=1").is_err());
+        assert!(FaultPlan::parse("faultplan v1 seed=1\n5 explode 3").is_err());
+        assert!(FaultPlan::parse("faultplan v1 seed=1\n5 node-crash").is_err());
+        assert!(FaultPlan::parse("faultplan v1 seed=1\n5 node-crash 1 9").is_err());
+    }
+
+    #[test]
+    fn parse_skips_comments_and_blanks() {
+        let plan = FaultPlan::parse("faultplan v1 seed=4\n\n# a comment\n10 disk-fail 0\n")
+            .expect("parse");
+        assert_eq!(plan.seed, 4);
+        assert_eq!(
+            plan.events,
+            vec![FaultEvent {
+                at: 10,
+                kind: FaultKind::DiskFail { disk: 0 }
+            }]
+        );
+    }
+
+    #[test]
+    fn schedule_applies_events_in_time_order() {
+        let sim = Sim::new();
+        let mut plan = FaultPlan::new(0);
+        plan.push(300, FaultKind::DiskFail { disk: 1 });
+        plan.push(100, FaultKind::NodeCrash { node: 5 });
+        plan.push(200, FaultKind::LinkDown { stage: 0, port: 3 });
+        let log: Rc<RefCell<Vec<(u64, FaultKind)>>> = Rc::new(RefCell::new(Vec::new()));
+        let l = log.clone();
+        plan.schedule(&sim, move |s, ev| {
+            l.borrow_mut().push((s.now(), ev.kind));
+        });
+        sim.run();
+        assert_eq!(
+            *log.borrow(),
+            vec![
+                (100, FaultKind::NodeCrash { node: 5 }),
+                (200, FaultKind::LinkDown { stage: 0, port: 3 }),
+                (300, FaultKind::DiskFail { disk: 1 }),
+            ]
+        );
+    }
+}

@@ -23,13 +23,17 @@
 //! virtual-time ordering, which a single thread provides for free.
 
 pub mod exec;
+pub mod fault;
 pub mod resource;
 pub mod rng;
 pub mod sync;
 pub mod time;
 pub mod trace;
 
-pub use exec::{JoinHandle, RunOutcome, RunStats, Sim};
+pub use exec::{
+    Deadline, Elapsed, JoinHandle, RunOutcome, RunStats, Sim, SimError, Watchdog,
+};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultSpec};
 pub use resource::{Resource, ResourceGuard, ResourceStats};
 pub use rng::SplitMix64;
 pub use sync::{Channel, Gate, Promise, PromiseHandle, WaitQueue};

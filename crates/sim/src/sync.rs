@@ -139,13 +139,32 @@ impl<T> Clone for Promise<T> {
 }
 
 impl<T> PromiseHandle<T> {
-    /// Fulfil the promise. Panics if already set.
+    /// Fulfil the promise. Panics if already set; use
+    /// [`PromiseHandle::try_set`] where double-completion is a handled
+    /// condition (e.g. racing a reply against a timeout).
     pub fn set(&self, v: T) {
-        let prev = self.inner.value.borrow_mut().replace(v);
-        assert!(prev.is_none(), "promise set twice");
+        assert!(self.try_set(v).is_ok(), "promise set twice");
+    }
+
+    /// Fulfil the promise unless it already holds a value; returns the
+    /// rejected value on double-set instead of panicking.
+    pub fn try_set(&self, v: T) -> Result<(), T> {
+        {
+            let mut slot = self.inner.value.borrow_mut();
+            if slot.is_some() {
+                return Err(v);
+            }
+            *slot = Some(v);
+        }
         for w in self.inner.waiters.borrow_mut().drain(..) {
             w.wake();
         }
+        Ok(())
+    }
+
+    /// True once the promise has been fulfilled.
+    pub fn is_set(&self) -> bool {
+        self.inner.value.borrow().is_some()
     }
 }
 

@@ -6,10 +6,10 @@ use std::future::Future;
 use std::rc::Rc;
 
 use bfly_chrysalis::{Os, Proc};
-use bfly_machine::{GAddr, NodeId};
+use bfly_machine::{GAddr, MachineError, NodeId};
 use bfly_sim::sync::Channel;
-use bfly_sim::time::{SimTime, US};
-use bfly_sim::JoinHandle;
+use bfly_sim::time::{SimTime, MS, US};
+use bfly_sim::{FaultKind, FaultPlan, JoinHandle};
 
 use crate::sarcache::{CacheOutcome, SarCache};
 use crate::topology::Topology;
@@ -53,6 +53,12 @@ pub struct SmpCosts {
     /// file), so sends never pay per-message map costs. Setup-time mapping
     /// is charged to family construction, off the steady-state path.
     pub premapped: bool,
+    /// Delivery attempts beyond the first before a send gives up on an
+    /// unreachable peer.
+    pub send_retries: u32,
+    /// Backoff before the first retry; doubles on each further retry
+    /// (bounded exponential backoff).
+    pub retry_backoff: SimTime,
 }
 
 impl Default for SmpCosts {
@@ -64,6 +70,8 @@ impl Default for SmpCosts {
             sar_cache_cap: 16,
             buffer_side: BufferSide::Receiver,
             premapped: false,
+            send_retries: 3,
+            retry_backoff: MS,
         }
     }
 }
@@ -81,11 +89,13 @@ impl SmpCosts {
             sar_cache_cap: 512,
             buffer_side: BufferSide::Sender,
             premapped: true,
+            send_retries: 3,
+            retry_backoff: MS,
         }
     }
 }
 
-/// Errors surfaced by structured sends.
+/// Errors surfaced by structured sends and timed receives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SmpError {
     /// The topology does not connect the two ranks.
@@ -95,6 +105,18 @@ pub enum SmpError {
         /// Intended receiver rank.
         to: u32,
     },
+    /// The peer's node is crashed: every delivery attempt (including the
+    /// bounded backoff retries) found it down. The dead-peer verdict.
+    NodeDown {
+        /// The unreachable node.
+        node: NodeId,
+    },
+    /// Delivery kept failing (e.g. a downed switch link) for `after`
+    /// nanoseconds of attempts and backoff, or a timed receive expired.
+    Timeout {
+        /// Virtual time spent before giving up.
+        after: SimTime,
+    },
 }
 
 impl std::fmt::Display for SmpError {
@@ -102,6 +124,12 @@ impl std::fmt::Display for SmpError {
         match self {
             SmpError::NotConnected { from, to } => {
                 write!(f, "SMP: rank {from} is not connected to rank {to}")
+            }
+            SmpError::NodeDown { node } => {
+                write!(f, "SMP: peer node {node} is down")
+            }
+            SmpError::Timeout { after } => {
+                write!(f, "SMP: gave up after {after}ns")
             }
         }
     }
@@ -130,6 +158,12 @@ struct FamilyState {
     messages_sent: Cell<u64>,
     bytes_sent: Cell<u64>,
     maps_paid: Cell<u64>,
+    messages_lost: Cell<u64>,
+    messages_corrupted: Cell<u64>,
+    /// Injected message-loss probability, percent (0 = off).
+    loss_pct: Cell<u8>,
+    /// Injected message-corruption probability, percent (0 = off).
+    corrupt_pct: Cell<u8>,
 }
 
 /// A family of SMP processes.
@@ -192,6 +226,10 @@ impl Family {
             messages_sent: Cell::new(0),
             bytes_sent: Cell::new(0),
             maps_paid: Cell::new(0),
+            messages_lost: Cell::new(0),
+            messages_corrupted: Cell::new(0),
+            loss_pct: Cell::new(0),
+            corrupt_pct: Cell::new(0),
         });
         let body = Rc::new(body);
         let handles = (0..n)
@@ -239,6 +277,31 @@ impl Family {
     /// Map operations actually paid (after SAR caching).
     pub fn maps_paid(&self) -> u64 {
         self.state.maps_paid.get()
+    }
+
+    /// Messages dropped by injected message loss.
+    pub fn messages_lost(&self) -> u64 {
+        self.state.messages_lost.get()
+    }
+
+    /// Messages whose payload was corrupted in flight by injection.
+    pub fn messages_corrupted(&self) -> u64 {
+        self.state.messages_corrupted.get()
+    }
+
+    /// Attach a [`FaultPlan`] to this family: `MessageLoss` and
+    /// `MessageCorrupt` events set the family's loss/corruption
+    /// probabilities at their virtual times. Node, link, and disk events
+    /// are ignored here (the machine and Bridge install their own
+    /// drivers). Loss/corruption draws come from the sim RNG, so a run is
+    /// still a pure function of (sim seed, plan).
+    pub fn install_faults(&self, plan: &FaultPlan) {
+        let st = self.state.clone();
+        plan.schedule(self.state.os.sim(), move |_s, ev| match ev.kind {
+            FaultKind::MessageLoss { pct } => st.loss_pct.set(pct.min(100)),
+            FaultKind::MessageCorrupt { pct } => st.corrupt_pct.set(pct.min(100)),
+            _ => {}
+        });
     }
 
     /// Aggregate SAR cache hit rate across members.
@@ -291,6 +354,13 @@ impl Member {
     /// travel through a staging buffer on the receiver's node; the sender
     /// pays software overhead, (amortized) SAR maps, and block-transfer
     /// time. Never blocks on the receiver.
+    ///
+    /// Under injected faults the send retries with bounded exponential
+    /// backoff ([`SmpCosts::send_retries`] / [`SmpCosts::retry_backoff`]);
+    /// when every attempt finds the peer's node down the verdict is
+    /// [`SmpError::NodeDown`], and persistent link trouble surfaces as
+    /// [`SmpError::Timeout`]. Fault-free sends take exactly one attempt
+    /// with no extra cost.
     pub async fn send(&self, to: u32, data: &[u8]) -> Result<(), SmpError> {
         if !self.state.topology.connected(self.rank, to, self.state.n) {
             return Err(SmpError::NotConnected {
@@ -301,6 +371,40 @@ impl Member {
         let st = &self.state;
         let p = &self.proc;
         p.compute(st.costs.send_sw).await;
+
+        let t0 = st.os.sim().now();
+        let mut backoff = st.costs.retry_backoff.max(1);
+        let mut last = None;
+        for attempt in 0..=st.costs.send_retries {
+            if attempt > 0 {
+                st.os.sim().sleep(backoff).await;
+                backoff = backoff.saturating_mul(2);
+            }
+            match self.send_attempt(to, data).await {
+                Ok(()) => return Ok(()),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(match last {
+            Some(MachineError::NodeDown { node }) => SmpError::NodeDown { node },
+            _ => SmpError::Timeout {
+                after: st.os.sim().now() - t0,
+            },
+        })
+    }
+
+    /// One delivery attempt: stage the payload, notify the receiver, and
+    /// enqueue the envelope. Any machine fault aborts the attempt.
+    async fn send_attempt(&self, to: u32, data: &[u8]) -> Result<(), MachineError> {
+        let st = &self.state;
+        let p = &self.proc;
+        let peer = st.placement[to as usize];
+        if !st.os.machine.node(peer).is_up() {
+            // The PNC probes the peer and gives up after its retry
+            // microcode (the same detection charge remote references pay).
+            p.compute(st.os.machine.cfg.costs.fault_detect).await;
+            return Err(MachineError::NodeDown { node: peer });
+        }
 
         // Channel staging buffer on the receiver's node (lazy, once).
         let key = (self.rank, to);
@@ -347,7 +451,7 @@ impl Member {
         let mut off = 0usize;
         loop {
             let chunk = (data.len() - off).min(CHANNEL_BUF as usize);
-            p.write_block(buf, &data[off..off + chunk]).await;
+            p.try_write_block(buf, &data[off..off + chunk]).await?;
             off += chunk;
             if off >= data.len() {
                 break;
@@ -358,15 +462,37 @@ impl Member {
         p.compute(st.os.costs.dualq_op).await;
         st.os
             .machine
-            .mem_resource(st.placement[to as usize])
+            .mem_resource(peer)
             .access(st.os.machine.cfg.costs.atomic_mem_service)
             .await;
 
         st.messages_sent.set(st.messages_sent.get() + 1);
         st.bytes_sent.set(st.bytes_sent.get() + data.len() as u64);
+
+        // Injected message faults: the sender has done all its work; the
+        // envelope is dropped or damaged in flight. (No RNG draw at all
+        // when no message faults are active, keeping fault-free runs
+        // bit-identical.)
+        let mut payload = data.to_vec();
+        if st.loss_pct.get() > 0
+            && st.os.sim().with_rng(|r| r.next_below(100)) < st.loss_pct.get() as u64
+        {
+            st.messages_lost.set(st.messages_lost.get() + 1);
+            return Ok(());
+        }
+        if st.corrupt_pct.get() > 0
+            && st.os.sim().with_rng(|r| r.next_below(100)) < st.corrupt_pct.get() as u64
+        {
+            if !payload.is_empty() {
+                let i = st.os.sim().with_rng(|r| r.next_below(payload.len() as u64)) as usize;
+                payload[i] ^= 0xFF;
+            }
+            st.messages_corrupted.set(st.messages_corrupted.get() + 1);
+        }
+
         st.inboxes[to as usize].send(Envelope {
             from: self.rank,
-            data: data.to_vec(),
+            data: payload,
             broadcast: false,
         });
         Ok(())
@@ -460,6 +586,16 @@ impl Member {
             return m;
         }
         self.recv_raw().await
+    }
+
+    /// Receive with a deadline: like [`Member::recv`], but gives up with
+    /// [`SmpError::Timeout`] after `dur` of virtual time — the defense
+    /// against a sender that died (or whose message was lost) mid-protocol.
+    pub async fn recv_timeout(&self, dur: SimTime) -> Result<(u32, Vec<u8>), SmpError> {
+        let sim = self.state.os.sim().clone();
+        sim.timeout(dur, self.recv())
+            .await
+            .map_err(|_| SmpError::Timeout { after: dur })
     }
 
     /// Receive, requiring a specific sender (messages from others are set
@@ -727,6 +863,124 @@ mod tests {
         assert!(
             bcast < sends,
             "broadcast ({bcast}) must beat per-destination sends ({sends})"
+        );
+    }
+
+    #[test]
+    fn send_to_crashed_peer_returns_node_down_after_bounded_backoff() {
+        let (sim, os) = boot(4);
+        let verdict = Rc::new(RefCell::new(None));
+        let v2 = verdict.clone();
+        let os2 = os.clone();
+        Family::spawn(&os, 2, Topology::Line, move |m| {
+            let v = v2.clone();
+            let os = os2.clone();
+            async move {
+                if m.rank == 0 {
+                    os.machine.node(m.node_of(1)).set_up(false);
+                    let t0 = os.sim().now();
+                    let r = m.send(1, b"hello?").await;
+                    *v.borrow_mut() = Some((r, os.sim().now() - t0));
+                }
+            }
+        });
+        let stats = sim.run();
+        assert_eq!(stats.outcome, RunOutcome::Completed, "no hang, no panic");
+        let (r, elapsed) = (*verdict.borrow()).unwrap();
+        assert_eq!(r, Err(SmpError::NodeDown { node: 1 }));
+        // 4 attempts (1 + 3 retries) with 1+2+4 ms of backoff between, each
+        // paying send_sw-independent probe cost: bounded, not unbounded.
+        assert!(
+            elapsed < 60 * bfly_sim::MS,
+            "verdict must arrive quickly, took {elapsed}ns"
+        );
+    }
+
+    #[test]
+    fn send_succeeds_after_peer_recovers_mid_backoff() {
+        let (sim, os) = boot(4);
+        let got = Rc::new(RefCell::new(None));
+        let g2 = got.clone();
+        let os2 = os.clone();
+        let fam = Family::spawn(&os, 2, Topology::Line, move |m| {
+            let g = g2.clone();
+            let os = os2.clone();
+            async move {
+                if m.rank == 0 {
+                    // Crash the peer, schedule recovery inside the backoff
+                    // window, and send: a retry must get through.
+                    os.machine.node(m.node_of(1)).set_up(false);
+                    let n = m.node_of(1);
+                    let s = os.sim().clone();
+                    let mach = os.machine.clone();
+                    let s2 = s.clone();
+                    s.spawn(async move {
+                        s2.sleep(2 * bfly_sim::MS).await;
+                        mach.node(n).set_up(true);
+                    });
+                    assert_eq!(m.send(1, b"ok").await, Ok(()));
+                } else {
+                    *g.borrow_mut() = Some(m.recv_from(0).await);
+                }
+            }
+        });
+        let stats = sim.run();
+        assert_eq!(stats.outcome, RunOutcome::Completed);
+        assert_eq!(got.borrow().clone().unwrap(), b"ok".to_vec());
+        assert_eq!(fam.messages_sent(), 1);
+    }
+
+    #[test]
+    fn recv_timeout_expires_when_no_sender() {
+        let (sim, os) = boot(4);
+        let out = Rc::new(RefCell::new(None));
+        let o2 = out.clone();
+        Family::spawn(&os, 2, Topology::Line, move |m| {
+            let o = o2.clone();
+            async move {
+                if m.rank == 1 {
+                    *o.borrow_mut() = Some(m.recv_timeout(5 * bfly_sim::MS).await);
+                }
+            }
+        });
+        let stats = sim.run();
+        assert_eq!(stats.outcome, RunOutcome::Completed);
+        assert_eq!(
+            out.borrow().clone().unwrap(),
+            Err(SmpError::Timeout { after: 5 * bfly_sim::MS })
+        );
+    }
+
+    #[test]
+    fn injected_message_loss_drops_messages_deterministically() {
+        fn lost_with_seed(seed: u64) -> (u64, u64) {
+            let sim = Sim::with_seed(seed);
+            let m = Machine::new(&sim, MachineConfig::small(4));
+            let os = Os::boot(&m);
+            let fam = Family::spawn(&os, 2, Topology::Line, move |m| async move {
+                if m.rank == 0 {
+                    for i in 0..40u32 {
+                        m.send(1, &i.to_le_bytes()).await.unwrap();
+                    }
+                } else {
+                    // Drain what arrives; tolerate losses via timeouts.
+                    while m.recv_timeout(50 * bfly_sim::MS).await.is_ok() {}
+                }
+            });
+            let mut plan = FaultPlan::new(0);
+            plan.push(0, bfly_sim::FaultKind::MessageLoss { pct: 30 });
+            fam.install_faults(&plan);
+            sim.run();
+            (fam.messages_sent(), fam.messages_lost())
+        }
+        let (sent, lost) = lost_with_seed(11);
+        assert_eq!(sent, 40);
+        assert!(lost > 0, "30% loss over 40 sends must drop something");
+        assert!(lost < 40, "and must not drop everything");
+        assert_eq!(
+            (sent, lost),
+            lost_with_seed(11),
+            "same seed, same plan: identical loss pattern"
         );
     }
 

@@ -1,0 +1,219 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the narrow API surface the bfly-bench harness uses —
+//! `Criterion::default().sample_size(..).measurement_time(..).warm_up_time(..)`,
+//! `bench_function`, `benchmark_group`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros — with a simple mean/min/max
+//! wall-clock measurement loop instead of criterion's statistical machinery.
+//! Good enough to exercise the benches in CI and print comparable numbers;
+//! not a substitute for real criterion when rigour matters.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Per-iteration timing harness handed to the benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f` over the configured number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Run one named benchmark: warm up, pick an iteration count that fills
+    /// the measurement window, take `sample_size` samples, report per-iter
+    /// mean/min/max.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        // Warm-up: run single iterations until the warm-up window elapses,
+        // measuring per-iteration cost as we go.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) / warm_iters as u128;
+
+        // Size each sample so all samples together roughly fill the window.
+        let budget = self.measurement_time.as_nanos() / self.sample_size as u128;
+        let iters = ((budget / per_iter.max(1)).max(1)).min(u64::MAX as u128) as u64;
+
+        let mut total = Duration::ZERO;
+        let mut best = Duration::MAX;
+        let mut worst = Duration::ZERO;
+        let mut done = 0u64;
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            let per = b.elapsed / iters as u32;
+            total += b.elapsed;
+            best = best.min(per);
+            worst = worst.max(per);
+            done += iters;
+        }
+        let mean = total.as_nanos() / done.max(1) as u128;
+        println!(
+            "{name:<40} time: [{} {} {}]  ({} samples x {} iters)",
+            fmt_ns(best.as_nanos()),
+            fmt_ns(mean),
+            fmt_ns(worst.as_nanos()),
+            self.sample_size,
+            iters
+        );
+        self
+    }
+
+    /// Open a named group; benchmarks in it are prefixed `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Criterion calls this after all groups run; nothing to flush here.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Benchmark group: same driver, prefixed names.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        self.parent.bench_function(&full, f);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.parent.sample_size = n.max(1);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.4}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.4}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.4}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Build a benchmark-group function the way criterion does. Supports both
+/// the `name/config/targets` form and the simple positional form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Entry point for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1));
+        let mut count = 0u64;
+        c.bench_function("noop", |b| b.iter(|| count += 1));
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn groups_prefix_names() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("inner", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+}

@@ -1,0 +1,95 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::scope` is used in this workspace (the collections test
+//! suites and benches), and since Rust 1.63 the standard library provides
+//! scoped threads natively. This shim adapts `std::thread::scope` to the
+//! crossbeam calling convention:
+//!
+//! ```
+//! crossbeam::scope(|s| {
+//!     s.spawn(|_| { /* work */ });
+//! })
+//! .unwrap();
+//! ```
+//!
+//! The one behavioural difference is panic propagation: real crossbeam
+//! returns `Err` if a child panicked, while std's scope re-raises the panic
+//! when the scope exits. Every call site immediately `.unwrap()`s, so both
+//! turn a child panic into a test failure.
+
+use std::thread;
+
+/// Join handle for a scoped thread, mirroring `crossbeam::thread::ScopedJoinHandle`.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Wait for the thread to finish, returning its result (`Err` on panic).
+    pub fn join(self) -> thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+/// Scope wrapper mirroring `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. Crossbeam passes the scope back into the
+    /// closure for nested spawns; the workspace never nests, so the shim
+    /// passes a unit placeholder (call sites all use `|_|`).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&()) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(&())),
+        }
+    }
+}
+
+/// Run `f` with a scope in which borrowed-data threads can be spawned; all
+/// spawned threads are joined before `scope` returns.
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+/// Crossbeam exposes scoped threads under `thread::scope` as well.
+pub mod thread_mod {
+    pub use super::{scope, Scope, ScopedJoinHandle};
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn threads_see_borrowed_data() {
+        let counter = AtomicU32::new(0);
+        super::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn join_returns_value() {
+        let got = super::scope(|s| {
+            let h = s.spawn(|_| 41 + 1);
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(got, 42);
+    }
+}

@@ -1,0 +1,186 @@
+//! Property tests for the fault-injection determinism contract: a run is a
+//! pure function of (sim seed, fault plan). Same seed + same plan must
+//! yield bit-identical outcomes — virtual end time, event/task counts,
+//! machine traffic counters, SMP message accounting, and (when the faults
+//! wedge the workload) the exact stuck-task census.
+
+use std::rc::Rc;
+
+use bfly_bridge::{BridgeFs, DiskParams};
+use bfly_chrysalis::Os;
+use bfly_machine::{Machine, MachineConfig};
+use bfly_sim::{FaultKind, FaultPlan, FaultSpec, Sim, MS};
+use bfly_smp::{Family, SmpCosts, Topology};
+use proptest::prelude::*;
+
+/// Everything observable about one run, for equality comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Fingerprint {
+    outcome: String,
+    end_time: u64,
+    events: u64,
+    tasks: u64,
+    machine: (u64, u64, u64, u64, u64),
+    msgs: (u64, u64, u64),
+    disk_ops: u64,
+    degraded_reads: u64,
+}
+
+/// A random plan whose node crashes are remapped onto nodes 4..8 — the
+/// worker family lives on nodes 0..4, so crashes partition *peers of the
+/// switch*, never the code under test itself (crashing a node that hosts a
+/// running simulated process is a separate, panicking, error — covered by
+/// unit tests of the panicking wrappers).
+fn plan_for(seed: u64) -> FaultPlan {
+    let spec = FaultSpec {
+        horizon: 5 * MS,
+        nodes: 8,
+        stages: 2,
+        ports: 16,
+        disks: 2,
+        node_crashes: 1,
+        link_events: 3,
+        disk_fails: 1,
+    };
+    let mut plan = FaultPlan::random(seed, &spec);
+    for ev in &mut plan.events {
+        match &mut ev.kind {
+            FaultKind::NodeCrash { node } | FaultKind::NodeRecover { node } => {
+                *node = 4 + (*node % 4);
+            }
+            _ => {}
+        }
+    }
+    plan
+}
+
+/// One full stack run under `plan`: a 4-member SMP family rings messages
+/// with bounded-backoff sends and timeouts, while a client copies blocks
+/// through a 2-disk mirrored Bridge mount. Every fault outcome is
+/// *handled* (errors ignored), so the run always quiesces.
+fn run_stack(seed: u64, plan: &FaultPlan) -> Fingerprint {
+    let sim = Sim::with_seed(seed);
+    let machine = Machine::new(&sim, MachineConfig::small(8));
+    machine.install_faults(plan);
+    let os = Os::boot(&machine);
+
+    let fs = BridgeFs::mount_mirrored(&os, 2, DiskParams::default());
+    fs.install_faults(plan);
+    let f = fs.create(4);
+    let fs2 = fs.clone();
+    os.boot_process(3, "bridge-client", move |p| async move {
+        let p = Rc::new(p);
+        for i in 0..4u64 {
+            let _ = fs2.try_write_block(&p, &f, i, vec![i as u8; 32]).await;
+        }
+        for i in 0..4u64 {
+            let _ = fs2.try_read_block(&p, &f, i).await;
+        }
+        fs2.unmount();
+    });
+
+    let fam = Family::spawn_placed(
+        &os,
+        4,
+        Topology::Complete,
+        vec![0, 1, 2, 3],
+        SmpCosts::default(),
+        |m| async move {
+            let n = 4u32;
+            for round in 0..4u8 {
+                let dst = (m.rank + 1 + round as u32) % n;
+                let _ = m.send(dst, &[m.rank as u8, round]).await;
+                let _ = m.recv_timeout(2 * MS).await;
+            }
+        },
+    );
+    fam.install_faults(plan);
+
+    let stats = sim.run();
+    let mst = machine.stats();
+    Fingerprint {
+        outcome: format!("{:?}", stats.outcome),
+        end_time: stats.end_time,
+        events: stats.events,
+        tasks: stats.tasks,
+        machine: (
+            mst.local_refs,
+            mst.remote_refs,
+            mst.block_transfers,
+            mst.block_bytes,
+            mst.atomics,
+        ),
+        msgs: (
+            fam.messages_sent(),
+            fam.messages_lost(),
+            fam.messages_corrupted(),
+        ),
+        disk_ops: fs.disk(0).ops.get() + fs.disk(1).ops.get(),
+        degraded_reads: fs.degraded_reads.get(),
+    }
+}
+
+/// A workload wedged *by* the fault plan: 100% message loss from t=0, and
+/// rank 1 waits on an unbounded `recv()` for a message that is always
+/// dropped. The run must deadlock with the same stuck-task names every
+/// time.
+fn run_stuck(seed: u64) -> (String, Vec<String>) {
+    let sim = Sim::with_seed(seed);
+    let machine = Machine::new(&sim, MachineConfig::small(4));
+    let os = Os::boot(&machine);
+    let fam = Family::spawn(&os, 2, Topology::Complete, |m| async move {
+        if m.rank == 0 {
+            let _ = m.send(1, b"into the void").await;
+        } else {
+            let _ = m.recv().await; // the plan guarantees this never arrives
+        }
+    });
+    let mut plan = FaultPlan::new(seed);
+    plan.push(0, FaultKind::MessageLoss { pct: 100 });
+    fam.install_faults(&plan);
+    let stats = sim.run();
+    match stats.outcome {
+        bfly_sim::exec::RunOutcome::Completed => ("completed".into(), Vec::new()),
+        bfly_sim::exec::RunOutcome::Deadlock { stuck } => ("deadlock".into(), stuck),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Identical (seed, FaultPlan) pairs produce identical run outcomes
+    /// and statistics across the whole stack.
+    #[test]
+    fn identical_seed_and_plan_give_identical_runs(seed in 0u64..1_000_000) {
+        let plan = plan_for(seed);
+        prop_assert_eq!(plan.clone(), plan_for(seed), "plan generation must be pure");
+        let a = run_stack(seed, &plan);
+        let b = run_stack(seed, &plan);
+        prop_assert_eq!(a, b, "same (seed, plan) must be bit-identical");
+    }
+
+    /// The plan survives its text round trip and still reproduces the
+    /// same run (so a plan logged by one experiment replays exactly).
+    #[test]
+    fn plan_text_round_trip_reproduces_the_run(seed in 0u64..1_000_000) {
+        let plan = plan_for(seed);
+        let back = FaultPlan::parse(&plan.to_text()).expect("round trip");
+        prop_assert_eq!(run_stack(seed, &plan), run_stack(seed, &back));
+    }
+
+    /// When injected faults wedge the workload, the deadlock detector
+    /// reports the same stuck-task names on every run.
+    #[test]
+    fn stuck_task_census_is_deterministic_under_faults(seed in 0u64..1_000_000) {
+        let (outcome_a, stuck_a) = run_stuck(seed);
+        let (outcome_b, stuck_b) = run_stuck(seed);
+        prop_assert_eq!(&outcome_a, "deadlock", "100% loss must wedge the receiver");
+        prop_assert_eq!(outcome_a, outcome_b);
+        prop_assert!(
+            stuck_a.iter().any(|n| n == "smp1"),
+            "the starved receiver must be in the census: {:?}",
+            stuck_a
+        );
+        prop_assert_eq!(stuck_a, stuck_b, "stuck-task names must be deterministic");
+    }
+}
