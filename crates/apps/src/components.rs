@@ -26,6 +26,8 @@ pub struct CcResult {
     pub time_ns: SimTime,
     /// Number of connected components found.
     pub components: u32,
+    /// Engine statistics for the run (feeds `--stats` and perf reports).
+    pub run: bfly_sim::exec::RunStats,
 }
 
 /// Host-side reference: 4-connected component count by flood fill.
@@ -282,7 +284,7 @@ pub fn connected_components(nprocs: u16, w: u32, h: u32, seed: u64) -> CcResult 
         // so bands only need boundary unions — done above).
         us2.shutdown();
     });
-    sim.run();
+    let run = sim.run();
 
     // Phase 3 (host): count distinct roots among labeled pixels.
     let mut uf = uf.borrow_mut();
@@ -308,6 +310,7 @@ pub fn connected_components(nprocs: u16, w: u32, h: u32, seed: u64) -> CcResult 
     CcResult {
         time_ns: sim.now(),
         components: found,
+        run,
     }
 }
 

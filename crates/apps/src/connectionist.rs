@@ -81,6 +81,8 @@ pub struct NetResult {
     pub time_ns: SimTime,
     /// Final activations (must equal the reference).
     pub activations: Vec<i32>,
+    /// Engine statistics for the run (feeds `--stats` and perf reports).
+    pub run: bfly_sim::exec::RunStats,
 }
 
 /// Simulate `rounds` rounds on `nprocs` processors.
@@ -143,7 +145,7 @@ pub fn simulate(net: &Network, rounds: u32, nprocs: u16, seed: u64) -> NetResult
         }
         us2.shutdown();
     });
-    sim.run();
+    let run = sim.run();
 
     let last = (rounds % 2) as usize;
     let activations = (0..n)
@@ -152,6 +154,7 @@ pub fn simulate(net: &Network, rounds: u32, nprocs: u16, seed: u64) -> NetResult
     NetResult {
         time_ns: sim.now(),
         activations,
+        run,
     }
 }
 

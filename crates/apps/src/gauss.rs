@@ -47,6 +47,9 @@ pub struct GaussResult {
     /// Max |x_i − expected_i| (solution accuracy; checks the run really
     /// solved the system).
     pub max_err: f64,
+    /// Engine statistics for the run (events processed, host wall time —
+    /// feeds the `--stats` flag and the perf baseline report).
+    pub run: bfly_sim::exec::RunStats,
 }
 
 /// Build a well-conditioned augmented system whose solution is
@@ -164,7 +167,7 @@ pub fn gauss_us(nprocs: u16, n: u32, mem_nodes: Vec<NodeId>, seed: u64) -> Gauss
         }
         us2.shutdown();
     });
-    sim.run();
+    let run = sim.run();
     let st = machine.stats();
     GaussResult {
         time_ns: sim.now(),
@@ -172,6 +175,7 @@ pub fn gauss_us(nprocs: u16, n: u32, mem_nodes: Vec<NodeId>, seed: u64) -> Gauss
         // paper's Uniform System communication-operation count.
         comm_ops: row_updates.get() + st.block_transfers,
         max_err: check_solution(&mat, n),
+        run,
     }
 }
 
@@ -254,11 +258,12 @@ pub fn gauss_smp_faulty(nprocs: u16, n: u32, seed: u64, plan: &FaultPlan) -> Gau
         },
     );
     fam.install_faults(plan);
-    sim.run();
+    let run = sim.run();
     GaussResult {
         time_ns: sim.now(),
         comm_ops: fam.messages_sent(),
         max_err: check_solution(&mat, n),
+        run,
     }
 }
 

@@ -78,6 +78,8 @@ pub struct GraphResult {
     pub time_ns: SimTime,
     /// Messages (relaxations) sent.
     pub messages: u64,
+    /// Engine statistics for the run (feeds `--stats` and perf reports).
+    pub run: bfly_sim::exec::RunStats,
 }
 
 /// One Ant Farm thread per vertex: asynchronous Bellman-Ford. Each vertex
@@ -157,6 +159,7 @@ pub fn shortest_path_antfarm(g: &Graph, src: u32, nodes: u16, seed: u64) -> (Vec
         GraphResult {
             time_ns: sim.now(),
             messages: msgs.get(),
+            run: stats,
         },
     )
 }
@@ -229,7 +232,7 @@ pub fn transitive_closure_us(g: &Graph, nprocs: u16, seed: u64) -> (Vec<bool>, G
         }
         us2.shutdown();
     });
-    sim.run();
+    let run = sim.run();
 
     let mut closure = vec![false; (n * n) as usize];
     for i in 0..n {
@@ -244,6 +247,7 @@ pub fn transitive_closure_us(g: &Graph, nprocs: u16, seed: u64) -> (Vec<bool>, G
         GraphResult {
             time_ns: sim.now(),
             messages: 0,
+            run,
         },
     )
 }

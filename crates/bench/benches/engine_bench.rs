@@ -1,0 +1,99 @@
+//! Criterion micro-benchmarks of the executor hot paths rewritten in the
+//! fast-path engine PR: spawn/retire slab churn, waker-driven ready-queue
+//! wakes, timer-wheel vs overflow-heap timer churn, and lazy timeout
+//! cancellation. These make hot-path regressions visible in seconds
+//! without a full experiment sweep (the full pipeline is `perf_report`).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bfly_sim::exec::join_all;
+use bfly_sim::Sim;
+
+/// Slab allocate/retire: waves of short-lived tasks joined by a parent,
+/// so freed slots are reused generation-by-generation.
+fn spawn_retire_waves() {
+    let sim = Sim::with_seed(11);
+    let root = sim.clone();
+    sim.spawn(async move {
+        for wave in 0..200u64 {
+            let hs: Vec<_> = (0..32u64)
+                .map(|i| {
+                    let s = root.clone();
+                    root.spawn(async move { s.sleep(wave % 7 + i % 5 + 1).await })
+                })
+                .collect();
+            join_all(hs).await;
+        }
+    });
+    sim.run();
+}
+
+/// Pure ready-queue churn: `yield_now` exercises the raw-waker vtable and
+/// queue push/pop with no timers involved.
+fn yield_wakes() {
+    let sim = Sim::with_seed(12);
+    for _ in 0..8 {
+        let s = sim.clone();
+        sim.spawn(async move {
+            for _ in 0..10_000u32 {
+                s.yield_now().await;
+            }
+        });
+    }
+    sim.run();
+}
+
+/// Near-horizon sleeps land in the timer wheel; every 16th is multi-ms
+/// and overflows to the heap; colliding durations batch at one SimTime.
+fn timer_churn() {
+    let sim = Sim::with_seed(13);
+    for t in 0..64u64 {
+        let s = sim.clone();
+        sim.spawn(async move {
+            for i in 0..500u64 {
+                let d = if i % 16 == 0 {
+                    5_000_000 + t * 131
+                } else {
+                    (t * 97 + i * 53) % 4_096 + 1
+                };
+                s.sleep(d).await;
+            }
+        });
+    }
+    sim.run();
+}
+
+/// Timeouts that usually expire: each lost race drops its `Delay`
+/// mid-flight, exercising lazy cancellation of wheel/heap entries.
+fn timeout_cancel() {
+    let sim = Sim::with_seed(14);
+    for t in 0..32u64 {
+        let s = sim.clone();
+        sim.spawn(async move {
+            for i in 0..500u64 {
+                let dur = (t + i) % 900 + 100;
+                let _ = s.timeout(dur / 2, s.sleep(dur)).await;
+            }
+        });
+    }
+    sim.run();
+}
+
+fn bench_engine_hot_paths(c: &mut Criterion) {
+    c.bench_function("engine_spawn_retire_waves", |b| b.iter(spawn_retire_waves));
+    c.bench_function("engine_yield_wakes_80k", |b| b.iter(yield_wakes));
+    c.bench_function("engine_timer_churn_32k", |b| b.iter(timer_churn));
+    c.bench_function("engine_timeout_cancel_16k", |b| b.iter(timeout_cancel));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    targets = bench_engine_hot_paths
+}
+criterion_main!(benches);

@@ -1,11 +1,32 @@
 //! FIG5 — Gaussian elimination: shared memory (Uniform System) vs message
-//! passing (SMP). Pass `--quick` for a reduced sweep.
+//! passing (SMP).
+//!
+//! Flags: `--quick` for a reduced sweep, `--n <N>` to pin the matrix size
+//! (full processor list; used for apples-to-apples perf comparisons across
+//! engine versions), `--stats` to print engine throughput after the table.
+
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    bfly_bench::experiments::fig5_gauss(if quick {
-        bfly_bench::Scale::quick()
-    } else {
-        bfly_bench::Scale::full()
-    })
-    .print();
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let stats = args.iter().any(|a| a == "--stats");
+    let n_override: Option<u32> = args
+        .iter()
+        .position(|a| a == "--n")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--n takes a matrix size"));
+
+    let (table, engine) = match n_override {
+        Some(n) => {
+            bfly_bench::experiments::fig5_gauss_at(n, &[16, 32, 48, 64, 80, 96, 112, 128])
+        }
+        None => bfly_bench::experiments::fig5_gauss_run(if quick {
+            bfly_bench::Scale::quick()
+        } else {
+            bfly_bench::Scale::full()
+        }),
+    };
+    table.print();
+    if stats {
+        println!("{}", engine.summary());
+    }
 }

@@ -1,0 +1,90 @@
+//! `perf_report` — emit the machine-readable perf baseline
+//! (`BENCH_sim.json`) and gate CI on engine-throughput regressions.
+//!
+//! Modes:
+//!
+//! * default — run the engine micro-benchmarks plus a timed quick FIG5
+//!   sweep and write the report to `BENCH_sim.json` (override with
+//!   `--out <path>`).
+//! * `--full` — additionally time the full-scale FIG5 sweep (N=384,
+//!   8 points; minutes of wall-clock). Used when regenerating the
+//!   committed baseline, not in CI.
+//! * `--check <baseline.json>` — additionally compare the fresh headline
+//!   `engine_events_per_sec` against a previously committed report and
+//!   exit non-zero if it regressed more than the tolerance (default 20 %,
+//!   override with `--tolerance <fraction>`). The CI perf-smoke job runs
+//!   this against the committed `BENCH_sim.json`.
+
+use std::time::Instant;
+
+use bfly_bench::report::{check_headline, engine_microbench, PerfReport, SweepMeasure};
+use bfly_bench::sweep::sweep_threads;
+use bfly_bench::Scale;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let out_path = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_sim.json".to_string());
+    let baseline = arg_value(&args, "--check");
+    let tolerance: f64 = arg_value(&args, "--tolerance")
+        .map(|v| v.parse().expect("--tolerance takes a fraction like 0.2"))
+        .unwrap_or(0.20);
+
+    let mut report = PerfReport::default();
+
+    eprintln!("running engine micro-benchmarks ...");
+    report.metrics = engine_microbench();
+    for m in &report.metrics {
+        eprintln!(
+            "  {:<16} {:>12} events  {:>9.1} ms  {:>8.2} Mpolls/s",
+            m.name,
+            m.events,
+            m.wall.as_secs_f64() * 1e3,
+            m.events_per_sec() / 1e6
+        );
+    }
+
+    let timed_sweep = |name: &str, points: usize, scale: Scale, report: &mut PerfReport| {
+        eprintln!("timing {name} sweep ...");
+        let t0 = Instant::now();
+        let (table, _) = bfly_bench::experiments::fig5_gauss_run(scale);
+        let wall = t0.elapsed();
+        report.sweeps.push(SweepMeasure {
+            name: name.to_string(),
+            points,
+            threads: sweep_threads(points),
+            wall,
+        });
+        report.push_table(&table);
+        eprintln!("  {name}: {:.1} ms end-to-end", wall.as_secs_f64() * 1e3);
+    };
+    // fig5 quick P list: [16, 32, 64, 128]; full: 8 points at N=384.
+    timed_sweep("fig5_gauss_quick", 4, Scale::quick(), &mut report);
+    if args.iter().any(|a| a == "--full") {
+        timed_sweep("fig5_gauss_full_n384", 8, Scale::full(), &mut report);
+    }
+
+    let headline = report.headline_events_per_sec();
+    eprintln!("headline engine_events_per_sec = {headline:.0}");
+
+    std::fs::write(&out_path, report.to_json()).expect("write report");
+    eprintln!("wrote {out_path}");
+
+    if let Some(baseline_path) = baseline {
+        let baseline_json = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+        match check_headline(&baseline_json, headline, tolerance) {
+            Ok(()) => eprintln!("perf gate: OK (within {:.0}% of baseline)", tolerance * 100.0),
+            Err(msg) => {
+                eprintln!("perf gate: FAIL — {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,10 +1,15 @@
-//! T11 — application speedups toward 128 processors.
+//! T11 — application speedups toward 128 processors. Pass `--quick` for
+//! reduced sizes, `--stats` for an engine-throughput summary line.
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    bfly_bench::experiments::tab11_speedups(if quick {
+    let stats = std::env::args().any(|a| a == "--stats");
+    let (table, engine) = bfly_bench::experiments::tab11_speedups_run(if quick {
         bfly_bench::Scale::quick()
     } else {
         bfly_bench::Scale::full()
-    })
-    .print();
+    });
+    table.print();
+    if stats {
+        println!("{}", engine.summary());
+    }
 }

@@ -1,10 +1,15 @@
-//! T3 — memory-cycle stealing by busy-waiting processors.
+//! T3 — memory-cycle stealing by busy-waiting processors. Pass `--quick`
+//! for reduced sizes, `--stats` for an engine-throughput summary line.
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    bfly_bench::experiments::tab3_contention(if quick {
+    let stats = std::env::args().any(|a| a == "--stats");
+    let (table, engine) = bfly_bench::experiments::tab3_contention_run(if quick {
         bfly_bench::Scale::quick()
     } else {
         bfly_bench::Scale::full()
-    })
-    .print();
+    });
+    table.print();
+    if stats {
+        println!("{}", engine.summary());
+    }
 }

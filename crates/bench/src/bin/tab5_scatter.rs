@@ -1,10 +1,15 @@
-//! T5 — data placement: matrix on few vs all 128 memories (>30%).
+//! T5 — data placement: matrix on few vs all 128 memories (>30%). Pass
+//! `--quick` for reduced sizes, `--stats` for engine throughput.
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    bfly_bench::experiments::tab5_scatter(if quick {
+    let stats = std::env::args().any(|a| a == "--stats");
+    let (table, engine) = bfly_bench::experiments::tab5_scatter_run(if quick {
         bfly_bench::Scale::quick()
     } else {
         bfly_bench::Scale::full()
-    })
-    .print();
+    });
+    table.print();
+    if stats {
+        println!("{}", engine.summary());
+    }
 }

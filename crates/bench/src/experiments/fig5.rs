@@ -1,21 +1,43 @@
 //! FIG5 — Gaussian elimination: shared memory vs message passing (§4.1,
 //! Figure 5).
 
-use bfly_apps::gauss::{gauss_smp, gauss_us};
+use bfly_apps::gauss::{gauss_smp, gauss_us, GaussResult};
 
-use crate::{Scale, Table};
+use crate::report::EngineStats;
+use crate::{parallel_sweep, Scale, Table};
+
+/// Seed shared by every FIG5 point: the sweep is deterministic because the
+/// seed depends only on the point parameters, never on which worker thread
+/// runs it (see `sweep` module docs).
+const SEED: u64 = 7;
 
 /// Regenerate Figure 5. Paper claims: SMP (message passing) outperforms
 /// the Uniform System below ~64 processors; beyond 64 the US curve stays
 /// (nearly) flat while SMP's *increases*; SMP sends `≈ P·N` messages while
 /// US performs `(N²−N) + P(N−1)` communication operations.
 pub fn fig5_gauss(scale: Scale) -> Table {
-    let n: u32 = scale.pick(192, 48);
+    fig5_gauss_run(scale).0
+}
+
+/// [`fig5_gauss`] plus the aggregated engine counters (for `--stats` and
+/// the perf report).
+pub fn fig5_gauss_run(scale: Scale) -> (Table, EngineStats) {
+    // N=384 is affordable now that the engine fast path and the parallel
+    // sweep driver exist (the seed capped EXPERIMENTS.md at N=192); the
+    // paper's own runs used N≈500.
+    let n: u32 = scale.pick(384, 48);
     let ps: &[u16] = if scale.quick {
         &[16, 32, 64, 128]
     } else {
         &[16, 32, 48, 64, 80, 96, 112, 128]
     };
+    fig5_gauss_at(n, ps)
+}
+
+/// The FIG5 sweep at an explicit problem size and processor list — the
+/// core both scales delegate to, and what `fig5_gauss --n <N>` uses for
+/// apples-to-apples perf comparisons across engine versions.
+pub fn fig5_gauss_at(n: u32, ps: &[u16]) -> (Table, EngineStats) {
     let mut t = Table::new(
         &format!(
             "FIG5: Gaussian elimination N={n} — shared memory (US) vs message \
@@ -33,14 +55,23 @@ pub fn fig5_gauss(scale: Scale) -> Table {
             "winner",
         ],
     );
-    for &p in ps {
+    // Every (P) point is an independent pair of simulations with a
+    // point-determined seed, so the sweep fans across host threads and
+    // still produces bit-identical simulated-ns results to a serial loop.
+    let points: Vec<(GaussResult, GaussResult)> = parallel_sweep(ps, |_, &p| {
         let all: Vec<u16> = (0..128).collect();
-        let us = gauss_us(p, n, all, 7);
-        let smp = gauss_smp(p, n, 7);
+        let us = gauss_us(p, n, all, SEED);
+        let smp = gauss_smp(p, n, SEED);
         assert!(
             us.max_err < 1e-6 && smp.max_err < 1e-6,
             "both implementations must actually solve the system"
         );
+        (us, smp)
+    });
+    let mut engine = EngineStats::default();
+    for (&p, (us, smp)) in ps.iter().zip(&points) {
+        engine.add(&us.run);
+        engine.add(&smp.run);
         let formula = (n as u64 * n as u64 - n as u64) + p as u64 * (n as u64 - 1);
         t.row(vec![
             p.to_string(),
@@ -53,5 +84,5 @@ pub fn fig5_gauss(scale: Scale) -> Table {
             if us.time_ns < smp.time_ns { "US" } else { "SMP" }.into(),
         ]);
     }
-    t
+    (t, engine)
 }

@@ -4,7 +4,8 @@ use bfly_apps::gauss::gauss_us;
 use bfly_apps::hough::{hough, Discipline};
 use bfly_machine::NodeId;
 
-use crate::{Scale, Table};
+use crate::report::EngineStats;
+use crate::{parallel_sweep, Scale, Table};
 
 /// T4 — Hough transform locality. Paper: block-copying shared data into
 /// local memory improved performance by 42 % on 64 processors; local
@@ -49,6 +50,11 @@ pub fn tab4_hough_locality(scale: Scale) -> Table {
 /// over all 128 memories improves performance >30 % (on ≤64 processors);
 /// the effect is greatest when roughly ¼–½ of the processors are in use.
 pub fn tab5_scatter(scale: Scale) -> Table {
+    tab5_scatter_run(scale).0
+}
+
+/// [`tab5_scatter`] plus aggregated engine counters (for `--stats`).
+pub fn tab5_scatter_run(scale: Scale) -> (Table, EngineStats) {
     let n: u32 = scale.pick(96, 32);
     let ps: &[u16] = if scale.quick { &[16, 32] } else { &[16, 32, 64, 96] };
     let mut t = Table::new(
@@ -58,12 +64,19 @@ pub fn tab5_scatter(scale: Scale) -> Table {
         ),
         &["P", "P/128", "packed-2 (ms)", "spread-128 (ms)", "gain"],
     );
-    for &p in ps {
+    // Seed 5 per point: determined by the point, not the worker thread.
+    let points = parallel_sweep(ps, |_, &p| {
         let packed_nodes: Vec<NodeId> = (0..2).collect();
         let spread_nodes: Vec<NodeId> = (0..128).collect();
         let packed = gauss_us(p, n, packed_nodes, 5);
         let spread = gauss_us(p, n, spread_nodes, 5);
         assert!(packed.max_err < 1e-6 && spread.max_err < 1e-6);
+        (packed, spread)
+    });
+    let mut engine = EngineStats::default();
+    for (&p, (packed, spread)) in ps.iter().zip(&points) {
+        engine.add(&packed.run);
+        engine.add(&spread.run);
         let gain = (packed.time_ns as f64 / spread.time_ns as f64 - 1.0) * 100.0;
         t.row(vec![
             p.to_string(),
@@ -73,5 +86,5 @@ pub fn tab5_scatter(scale: Scale) -> Table {
             format!("+{gain:.0}%"),
         ]);
     }
-    t
+    (t, engine)
 }

@@ -8,7 +8,8 @@ use bfly_chrysalis::{DualQueue, Event, Os, SpinLock, Throw};
 use bfly_machine::{Machine, MachineConfig, SwitchModel};
 use bfly_sim::{Sim, US};
 
-use crate::{Scale, Table};
+use crate::report::EngineStats;
+use crate::{parallel_sweep, Scale, Table};
 
 fn rochester() -> (Sim, Rc<Machine>, Rc<Os>) {
     let sim = Sim::new();
@@ -178,6 +179,11 @@ pub fn tab2_primitives(_scale: Scale) -> Table {
 /// beyond the nominal factor of five"; backoff between lock attempts
 /// matters (Thomas \[55\]).
 pub fn tab3_contention(scale: Scale) -> Table {
+    tab3_contention_run(scale).0
+}
+
+/// [`tab3_contention`] plus aggregated engine counters (for `--stats`).
+pub fn tab3_contention_run(scale: Scale) -> (Table, EngineStats) {
     let mut t = Table::new(
         "T3: remote spinners steal memory cycles from node 0 \
          (paper: degradation far beyond the nominal 5x; sensitive to backoff)",
@@ -190,16 +196,18 @@ pub fn tab3_contention(scale: Scale) -> Table {
         ],
     );
     let local_refs: u32 = scale.pick(2_000, 300);
-    let mut base = 0f64;
-    for &(spinners, backoff) in &[
-        (0u16, 0u64),
+    let configs: &[(u16, u64)] = &[
+        (0, 0),
         (8, 0),
         (32, 0),
         (64, 0),
         (127, 0),
         (64, 50),
         (64, 500),
-    ] {
+    ];
+    // Each (spinners, backoff) point builds its own Sim (seed 0 always —
+    // point-determined), so the sweep fans across threads.
+    let points = parallel_sweep(configs, |_, &(spinners, backoff)| {
         let sim = Sim::new();
         let m = Machine::new(&sim, MachineConfig::rochester());
         let os = Os::boot(&m);
@@ -230,12 +238,15 @@ pub fn tab3_contention(scale: Scale) -> Table {
             done2.set(true);
             p.os.sim().now() - t0
         });
-        sim.run();
+        let run = sim.run();
         let elapsed = h.try_take().unwrap() as f64 / 1e6;
-        if spinners == 0 {
-            base = elapsed;
-        }
         let wait = m.mem_resource(0).stats().total_wait_ns as f64 / 1e6;
+        (elapsed, wait, run)
+    });
+    let mut engine = EngineStats::default();
+    let base = points[0].0; // configs[0] is the uncontended baseline
+    for (&(spinners, backoff), (elapsed, wait, run)) in configs.iter().zip(&points) {
+        engine.add(run);
         t.row(vec![
             spinners.to_string(),
             backoff.to_string(),
@@ -244,7 +255,7 @@ pub fn tab3_contention(scale: Scale) -> Table {
             format!("{wait:.2}"),
         ]);
     }
-    t
+    (t, engine)
 }
 
 /// T6 — switch vs memory contention. Paper (§4.1, citing Rettberg &

@@ -16,9 +16,11 @@ pub use amdahl::{tab7_alloc_amdahl, tab8_crowd};
 pub use bplus::tab14_bplus;
 pub use bridge_x::tab10_bridge;
 pub use faults::tab15_faults;
-pub use fig5::fig5_gauss;
-pub use locality::{tab4_hough_locality, tab5_scatter};
-pub use machine_os::{tab1_memory, tab2_primitives, tab3_contention, tab6_switch};
+pub use fig5::{fig5_gauss, fig5_gauss_at, fig5_gauss_run};
+pub use locality::{tab4_hough_locality, tab5_scatter, tab5_scatter_run};
+pub use machine_os::{
+    tab1_memory, tab2_primitives, tab3_contention, tab3_contention_run, tab6_switch,
+};
 pub use models::{tab12_models, tab13_linda};
 pub use replay_x::tab9_replay;
-pub use speedups::tab11_speedups;
+pub use speedups::{tab11_speedups, tab11_speedups_run};

@@ -6,10 +6,16 @@ use bfly_apps::components::connected_components;
 use bfly_apps::connectionist::{simulate, Network};
 use bfly_apps::graph::{transitive_closure_us, Graph};
 
-use crate::{Scale, Table};
+use crate::report::EngineStats;
+use crate::{parallel_sweep, Scale, Table};
 
 /// T11 — speedup curves for three applications up to 128 processors.
 pub fn tab11_speedups(scale: Scale) -> Table {
+    tab11_speedups_run(scale).0
+}
+
+/// [`tab11_speedups`] plus aggregated engine counters (for `--stats`).
+pub fn tab11_speedups_run(scale: Scale) -> (Table, EngineStats) {
     let ps: &[u16] = if scale.quick {
         &[1, 8, 32]
     } else {
@@ -32,18 +38,33 @@ pub fn tab11_speedups(scale: Scale) -> Table {
     let img: u32 = scale.pick(256, 48);
     let verts: u32 = scale.pick(128, 32);
 
+    // Inputs built once and shared read-only across sweep threads; each P
+    // point runs three independent sims with point-determined seed 3.
     let net = Network::random(units, 8, 3);
     let g = Graph::random(verts, 2, 3);
 
-    let mut base = (0f64, 0f64, 0f64);
-    for &p in ps {
-        let cn = simulate(&net, 2, p, 3).time_ns as f64 / 1e6;
-        let cc = connected_components(p, img, img, 3).time_ns as f64 / 1e6;
+    let points = parallel_sweep(ps, |_, &p| {
+        let cn = simulate(&net, 2, p, 3);
+        let cc = connected_components(p, img, img, 3);
         let (_, tc) = transitive_closure_us(&g, p, 3);
+        (cn, cc, tc)
+    });
+    let mut engine = EngineStats::default();
+    let base = {
+        let (cn, cc, tc) = &points[0];
+        (
+            cn.time_ns as f64 / 1e6,
+            cc.time_ns as f64 / 1e6,
+            tc.time_ns as f64 / 1e6,
+        )
+    };
+    for (&p, (cn, cc, tc)) in ps.iter().zip(&points) {
+        engine.add(&cn.run);
+        engine.add(&cc.run);
+        engine.add(&tc.run);
+        let cn = cn.time_ns as f64 / 1e6;
+        let cc = cc.time_ns as f64 / 1e6;
         let tc = tc.time_ns as f64 / 1e6;
-        if p == ps[0] {
-            base = (cn, cc, tc);
-        }
         t.row(vec![
             p.to_string(),
             format!("{cn:.0}"),
@@ -54,5 +75,5 @@ pub fn tab11_speedups(scale: Scale) -> Table {
             format!("{:.1}x", base.2 / tc),
         ]);
     }
-    t
+    (t, engine)
 }

@@ -7,8 +7,11 @@
 //! `cargo bench`.
 
 pub mod experiments;
+pub mod report;
+pub mod sweep;
 pub mod table;
 
+pub use sweep::parallel_sweep;
 pub use table::Table;
 
 /// Experiment scale: `quick` shrinks problem sizes so the whole suite runs

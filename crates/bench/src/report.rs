@@ -1,0 +1,365 @@
+//! Machine-readable performance reports (`BENCH_sim.json`).
+//!
+//! Every PR from this one onward commits a `BENCH_sim.json` at the repo
+//! root holding (a) engine micro-benchmark throughput (task polls per
+//! host second, from [`bfly_sim::exec::RunStats`]) and (b) wall-clock for
+//! a representative experiment sweep — so the perf trajectory of the
+//! simulator itself is tracked, not just the simulated numbers it
+//! produces. The format is hand-rolled JSON (dependency policy,
+//! DESIGN.md §7) with one flat headline field, `engine_events_per_sec`,
+//! that [`check_headline`] can re-extract without a JSON parser for the
+//! CI regression gate.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use bfly_sim::Sim;
+
+use crate::table::push_json_str;
+use crate::Table;
+
+/// One named engine micro-benchmark result.
+#[derive(Debug, Clone)]
+pub struct Metric {
+    /// Workload name (`timer_churn`, `spawn_join`, ...).
+    pub name: String,
+    /// Task polls performed (from `RunStats::events`).
+    pub events: u64,
+    /// Host wall-clock spent inside `Sim::run`.
+    pub wall: Duration,
+}
+
+impl Metric {
+    /// Polls per host second for this workload.
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.events as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Engine counters accumulated across every simulation an experiment ran.
+///
+/// Used by the `--stats` flag of the experiment binaries: each sweep point
+/// contributes its [`RunStats`](bfly_sim::exec::RunStats), and the summary
+/// line reports aggregate polls per *CPU*-second (wall times are summed
+/// across worker threads, so under `parallel_sweep` this is per-core
+/// engine throughput, not end-to-end sweep wall-clock).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineStats {
+    /// Total task polls across all runs.
+    pub events: u64,
+    /// Total tasks spawned across all runs.
+    pub tasks: u64,
+    /// Total simulations accumulated.
+    pub sims: u64,
+    /// Summed host wall time spent inside `Sim::run`.
+    pub wall: Duration,
+}
+
+impl EngineStats {
+    /// Fold one run's counters in.
+    pub fn add(&mut self, r: &bfly_sim::exec::RunStats) {
+        self.events += r.events;
+        self.tasks += r.tasks;
+        self.sims += 1;
+        self.wall += r.wall;
+    }
+
+    /// Aggregate engine throughput: polls per summed host CPU-second.
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.events as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// The `--stats` summary line the experiment binaries print.
+    pub fn summary(&self) -> String {
+        format!(
+            "engine: {} polls / {} tasks across {} sims in {:.1} ms CPU = {:.2} Mpolls/s",
+            self.events,
+            self.tasks,
+            self.sims,
+            self.wall.as_secs_f64() * 1e3,
+            self.events_per_sec() / 1e6
+        )
+    }
+}
+
+/// Wall-clock measurement of one experiment sweep.
+#[derive(Debug, Clone)]
+pub struct SweepMeasure {
+    /// Sweep name (e.g. `fig5_gauss_quick`).
+    pub name: String,
+    /// Number of sweep points.
+    pub points: usize,
+    /// Worker threads the sweep driver used.
+    pub threads: usize,
+    /// End-to-end host wall-clock for the sweep.
+    pub wall: Duration,
+}
+
+/// The full report written to `BENCH_sim.json`.
+#[derive(Debug, Clone, Default)]
+pub struct PerfReport {
+    /// Engine micro-benchmarks.
+    pub metrics: Vec<Metric>,
+    /// Experiment-sweep wall-clock measurements.
+    pub sweeps: Vec<SweepMeasure>,
+    /// Result tables embedded for provenance (via [`Table::to_json`]).
+    pub tables: Vec<String>,
+}
+
+impl PerfReport {
+    /// Headline number: the geometric mean of per-workload events/sec.
+    /// A single workload can't mask a regression in another the way an
+    /// arithmetic mean (dominated by the cheapest-event workload) would.
+    pub fn headline_events_per_sec(&self) -> f64 {
+        let rates: Vec<f64> = self
+            .metrics
+            .iter()
+            .map(Metric::events_per_sec)
+            .filter(|r| *r > 0.0)
+            .collect();
+        if rates.is_empty() {
+            return 0.0;
+        }
+        let log_sum: f64 = rates.iter().map(|r| r.ln()).sum();
+        (log_sum / rates.len() as f64).exp()
+    }
+
+    /// Attach a rendered [`Table`] for provenance.
+    pub fn push_table(&mut self, t: &Table) {
+        self.tables.push(t.to_json());
+    }
+
+    /// Serialize. `engine_events_per_sec` is deliberately the first,
+    /// flat field so [`check_headline`] can find it with a string scan.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        let _ = write!(
+            out,
+            "{{\n  \"schema\": \"bfly-bench-report/1\",\n  \
+             \"engine_events_per_sec\": {:.0},\n  \"microbench\": [",
+            self.headline_events_per_sec()
+        );
+        for (i, m) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"name\": ");
+            push_json_str(&mut out, &m.name);
+            let _ = write!(
+                out,
+                ", \"events\": {}, \"wall_ms\": {:.3}, \"events_per_sec\": {:.0}}}",
+                m.events,
+                m.wall.as_secs_f64() * 1e3,
+                m.events_per_sec()
+            );
+        }
+        out.push_str("\n  ],\n  \"sweeps\": [");
+        for (i, s) in self.sweeps.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"name\": ");
+            push_json_str(&mut out, &s.name);
+            let _ = write!(
+                out,
+                ", \"points\": {}, \"threads\": {}, \"wall_ms\": {:.1}}}",
+                s.points,
+                s.threads,
+                s.wall.as_secs_f64() * 1e3
+            );
+        }
+        out.push_str("\n  ],\n  \"tables\": [");
+        for (i, t) in self.tables.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            out.push_str(t);
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// Extract `engine_events_per_sec` from a previously written report
+/// without a JSON parser: scan for the key, parse the number after the
+/// colon. Returns `None` if the key is absent or malformed.
+pub fn parse_headline(json: &str) -> Option<f64> {
+    const KEY: &str = "\"engine_events_per_sec\":";
+    let at = json.find(KEY)? + KEY.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// CI regression gate: `Ok` if `current` is within `tolerance` (e.g.
+/// `0.20` = may be up to 20 % slower) of the baseline report's headline.
+/// The error string carries both numbers for the CI log.
+pub fn check_headline(baseline_json: &str, current: f64, tolerance: f64) -> Result<(), String> {
+    let base = parse_headline(baseline_json)
+        .ok_or_else(|| "baseline has no engine_events_per_sec field".to_string())?;
+    let floor = base * (1.0 - tolerance);
+    if current < floor {
+        Err(format!(
+            "engine throughput regressed: {current:.0} events/sec vs baseline {base:.0} \
+             (floor {floor:.0} at {:.0}% tolerance)",
+            tolerance * 100.0
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+/// Run the standard engine micro-benchmarks. Deterministic workloads, so
+/// the only run-to-run variance is host timing. Sized to finish in well
+/// under a second each in release builds.
+pub fn engine_microbench() -> Vec<Metric> {
+    vec![
+        metric("timer_churn", timer_churn),
+        metric("spawn_join", spawn_join),
+        metric("yield_storm", yield_storm),
+        metric("timeout_cancel", timeout_cancel),
+    ]
+}
+
+fn metric(name: &str, f: fn() -> bfly_sim::exec::RunStats) -> Metric {
+    // One throwaway run to warm caches/allocator, then the measured run.
+    let _ = f();
+    let stats = f();
+    Metric {
+        name: name.to_string(),
+        events: stats.events,
+        wall: stats.wall,
+    }
+}
+
+/// Many tasks sleeping staggered durations: exercises the timer wheel
+/// (near horizon), the overflow heap (every 16th sleep is multi-ms), and
+/// batched same-instant pops (collision-heavy durations).
+fn timer_churn() -> bfly_sim::exec::RunStats {
+    let sim = Sim::with_seed(1);
+    for t in 0..256u64 {
+        let s = sim.clone();
+        sim.spawn(async move {
+            for i in 0..1_500u64 {
+                let d = if i % 16 == 0 {
+                    5_000_000 + t * 131 // far future: overflow heap
+                } else {
+                    (t * 97 + i * 53) % 4_096 + 1 // near: wheel
+                };
+                s.sleep(d).await;
+            }
+        });
+    }
+    sim.run()
+}
+
+/// Waves of short-lived tasks joined by a parent: slab alloc/retire and
+/// join-handle wakes dominate.
+fn spawn_join() -> bfly_sim::exec::RunStats {
+    let sim = Sim::with_seed(2);
+    let root = sim.clone();
+    sim.spawn(async move {
+        for wave in 0..2_000u64 {
+            let hs: Vec<_> = (0..32u64)
+                .map(|i| {
+                    let s = root.clone();
+                    root.spawn(async move { s.sleep(wave % 7 + i % 5 + 1).await })
+                })
+                .collect();
+            bfly_sim::exec::join_all(hs).await;
+        }
+    });
+    sim.run()
+}
+
+/// Pure ready-queue churn: tasks that only yield. Measures the waker
+/// vtable + queue push/pop path with no timers involved.
+fn yield_storm() -> bfly_sim::exec::RunStats {
+    let sim = Sim::with_seed(3);
+    for _ in 0..8 {
+        let s = sim.clone();
+        sim.spawn(async move {
+            for _ in 0..100_000u32 {
+                s.yield_now().await;
+            }
+        });
+    }
+    sim.run()
+}
+
+/// Timeouts that usually expire: every lost race drops a `Delay`
+/// mid-flight, exercising the lazy-cancellation side list.
+fn timeout_cancel() -> bfly_sim::exec::RunStats {
+    let sim = Sim::with_seed(4);
+    for t in 0..64u64 {
+        let s = sim.clone();
+        sim.spawn(async move {
+            for i in 0..2_000u64 {
+                let dur = (t + i) % 900 + 100;
+                let _ = s.timeout(dur / 2, s.sleep(dur)).await;
+            }
+        });
+    }
+    sim.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips_headline() {
+        let report = PerfReport {
+            metrics: vec![
+                Metric {
+                    name: "a".into(),
+                    events: 1_000_000,
+                    wall: Duration::from_millis(100),
+                },
+                Metric {
+                    name: "b".into(),
+                    events: 4_000_000,
+                    wall: Duration::from_millis(100),
+                },
+            ],
+            sweeps: vec![SweepMeasure {
+                name: "s".into(),
+                points: 8,
+                threads: 4,
+                wall: Duration::from_secs(1),
+            }],
+            tables: Vec::new(),
+        };
+        // geomean(1e7, 4e7) = 2e7
+        assert!((report.headline_events_per_sec() - 2e7).abs() < 1e3);
+        let json = report.to_json();
+        let parsed = parse_headline(&json).unwrap();
+        assert!((parsed - 2e7).abs() < 1.0);
+        assert!(check_headline(&json, parsed, 0.2).is_ok());
+        assert!(check_headline(&json, parsed * 0.5, 0.2).is_err());
+    }
+
+    #[test]
+    fn microbench_workloads_are_deterministic_in_events() {
+        // Host wall time varies; the event counts must not.
+        let a = timer_churn();
+        let b = timer_churn();
+        assert_eq!(a.events, b.events);
+        let a = timeout_cancel();
+        let b = timeout_cancel();
+        assert_eq!(a.events, b.events);
+    }
+}

@@ -1,5 +1,7 @@
 //! Aligned-table printing for experiment binaries.
 
+use std::fmt::Write as _;
+
 /// A simple aligned text table with a title and caption.
 pub struct Table {
     title: String,
@@ -23,6 +25,11 @@ impl Table {
         self.rows.push(cells);
     }
 
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
     /// Render to a string.
     pub fn render(&self) -> String {
         let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
@@ -31,32 +38,116 @@ impl Table {
                 widths[i] = widths[i].max(c.len());
             }
         }
-        let mut out = String::new();
-        out.push_str(&format!("== {} ==\n", self.title));
-        let line: Vec<String> = self
-            .headers
-            .iter()
-            .enumerate()
-            .map(|(i, h)| format!("{:>w$}", h, w = widths[i]))
-            .collect();
-        out.push_str(&line.join("  "));
-        out.push('\n');
-        out.push_str(&"-".repeat(line.join("  ").len()));
+        // Header + separator + rows, each line `sum(widths) + 2*(cols-1)`
+        // wide: size the buffer once and write cells in place instead of
+        // allocating a String per cell and joining per line.
+        let line_w: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        let mut out =
+            String::with_capacity(self.title.len() + 8 + (self.rows.len() + 2) * (line_w + 1));
+        let _ = writeln!(out, "== {} ==", self.title);
+        let write_line = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{:>w$}", c, w = widths[i]);
+            }
+            out.push('\n');
+        };
+        write_line(&mut out, &self.headers);
+        for _ in 0..line_w {
+            out.push('-');
+        }
         out.push('\n');
         for r in &self.rows {
-            let line: Vec<String> = r
-                .iter()
-                .enumerate()
-                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
-                .collect();
-            out.push_str(&line.join("  "));
-            out.push('\n');
+            write_line(&mut out, r);
         }
+        out
+    }
+
+    /// Render as a JSON object (`{"title": ..., "headers": [...],
+    /// "rows": [[...], ...]}`), for the machine-readable perf reports in
+    /// [`crate::report`]. All cells are emitted as JSON strings; no
+    /// external serializer is involved (dependency policy, DESIGN.md §7).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"title\":");
+        push_json_str(&mut out, &self.title);
+        out.push_str(",\"headers\":[");
+        for (i, h) in self.headers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_str(&mut out, h);
+        }
+        out.push_str("],\"rows\":[");
+        for (i, r) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            for (j, c) in r.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                push_json_str(&mut out, c);
+            }
+            out.push(']');
+        }
+        out.push_str("]}");
         out
     }
 
     /// Print to stdout.
     pub fn print(&self) {
         print!("{}", self.render());
+    }
+}
+
+/// Append `s` as a JSON string literal (quotes, backslashes and control
+/// characters escaped).
+pub(crate) fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["a", "long-header"]);
+        t.row(vec!["xxxx".into(), "1".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "== demo ==");
+        assert_eq!(lines[1], "   a  long-header");
+        assert_eq!(lines[2], "-".repeat("   a  long-header".len()));
+        assert_eq!(lines[3], "xxxx            1");
+    }
+
+    #[test]
+    fn to_json_escapes_and_round_trips_shape() {
+        let mut t = Table::new("q\"uote\nline", &["h1", "h2"]);
+        t.row(vec!["a\\b".into(), "2".into()]);
+        let j = t.to_json();
+        assert_eq!(
+            j,
+            "{\"title\":\"q\\\"uote\\nline\",\"headers\":[\"h1\",\"h2\"],\
+             \"rows\":[[\"a\\\\b\",\"2\"]]}"
+        );
     }
 }

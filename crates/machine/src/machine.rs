@@ -95,6 +95,17 @@ fn unwrap_fault<T>(r: Result<T, MachineError>) -> T {
     }
 }
 
+/// Per-field counter cells: the hot paths bump one field at a time instead
+/// of copying a whole [`MachineStats`] in and out of a `Cell`.
+#[derive(Default)]
+struct StatCells {
+    local_refs: Cell<u64>,
+    remote_refs: Cell<u64>,
+    block_transfers: Cell<u64>,
+    block_bytes: Cell<u64>,
+    atomics: Cell<u64>,
+}
+
 /// A simulated Butterfly Parallel Processor.
 pub struct Machine {
     /// The driving simulation.
@@ -104,15 +115,21 @@ pub struct Machine {
     nodes: Vec<Rc<Node>>,
     /// The switching network.
     pub switch: Switch,
-    stats: Cell<MachineStats>,
+    stats: StatCells,
+    /// Latches true the first time node availability is touched anywhere
+    /// (directly or via an installed [`FaultPlan`]); shared with every
+    /// [`Node`]. While false, remote references may take the fused-delay
+    /// fast path — see [`Machine::fused_net`].
+    fault_latch: Rc<Cell<bool>>,
 }
 
 impl Machine {
     /// Boot a machine.
     pub fn new(sim: &Sim, cfg: MachineConfig) -> Rc<Machine> {
         assert!(cfg.nodes >= 1 && cfg.nodes <= 256, "1..=256 nodes");
+        let fault_latch = Rc::new(Cell::new(false));
         let nodes = (0..cfg.nodes)
-            .map(|id| Node::new(sim, id, cfg.mem_per_node))
+            .map(|id| Node::new(sim, id, cfg.mem_per_node, fault_latch.clone()))
             .collect();
         let switch = Switch::new(sim, cfg.nodes, cfg.switch, &cfg.costs);
         Rc::new(Machine {
@@ -120,8 +137,28 @@ impl Machine {
             cfg,
             nodes,
             switch,
-            stats: Cell::new(MachineStats::default()),
+            stats: StatCells::default(),
+            fault_latch,
         })
+    }
+
+    /// True while remote references may charge their consecutive pure
+    /// delays (issue latency + forward traversal, and for block transfers
+    /// the wire time + return traversal) as single fused timers. The fused
+    /// path fires half as many engine events per reference leg while
+    /// keeping every *observable* instant — arrival at the target memory,
+    /// completion of the round trip — bit-identical to the unfused path.
+    ///
+    /// It is only safe when each leg is the constant it appears to be:
+    /// no timing jitter (jitter draws RNG per sleep, and fusing would
+    /// change the draw sequence), the constant-latency `Fast` switch, and
+    /// no fault ever injected (the unfused path re-checks availability
+    /// between legs; once anything has faulted we keep its exact timing).
+    fn fused_net(&self) -> bool {
+        self.cfg.costs.jitter_pct == 0
+            && matches!(self.cfg.switch, SwitchModel::Fast)
+            && !self.switch.faulted()
+            && !self.fault_latch.get()
     }
 
     /// Number of nodes.
@@ -136,12 +173,22 @@ impl Machine {
 
     /// Aggregate counters so far.
     pub fn stats(&self) -> MachineStats {
-        self.stats.get()
+        MachineStats {
+            local_refs: self.stats.local_refs.get(),
+            remote_refs: self.stats.remote_refs.get(),
+            block_transfers: self.stats.block_transfers.get(),
+            block_bytes: self.stats.block_bytes.get(),
+            atomics: self.stats.atomics.get(),
+        }
     }
 
     /// Reset aggregate counters.
     pub fn reset_stats(&self) {
-        self.stats.set(MachineStats::default());
+        self.stats.local_refs.set(0);
+        self.stats.remote_refs.set(0);
+        self.stats.block_transfers.set(0);
+        self.stats.block_bytes.set(0);
+        self.stats.atomics.set(0);
         for n in &self.nodes {
             n.local_refs.set(0);
             n.remote_refs_in.set(0);
@@ -149,12 +196,6 @@ impl Machine {
             n.cpu.reset_stats();
             n.mem.reset_stats();
         }
-    }
-
-    fn bump(&self, f: impl FnOnce(&mut MachineStats)) {
-        let mut s = self.stats.get();
-        f(&mut s);
-        self.stats.set(s);
     }
 
     fn jittered(&self, t: SimTime) -> SimTime {
@@ -226,14 +267,21 @@ impl Machine {
         let _cpu = self.nodes[from as usize].cpu.acquire().await;
         if from == addr.node {
             target.local_refs.set(target.local_refs.get() + 1);
-            self.bump(|s| s.local_refs += 1);
+            self.stats.local_refs.set(self.stats.local_refs.get() + 1);
             self.sim.sleep(self.jittered(c.local_issue)).await;
             target.mem.access(self.jittered(words * c.mem_service)).await;
         } else {
             self.nodes[from as usize]
                 .remote_refs_out
                 .set(self.nodes[from as usize].remote_refs_out.get() + 1);
-            self.bump(|s| s.remote_refs += 1);
+            self.stats.remote_refs.set(self.stats.remote_refs.get() + 1);
+            if self.fused_net() {
+                self.sim.sleep(c.remote_issue + self.switch.latency()).await;
+                target.remote_refs_in.set(target.remote_refs_in.get() + 1);
+                target.mem.access(words * c.mem_service).await;
+                self.sim.sleep(self.switch.latency()).await;
+                return Ok(());
+            }
             self.sim.sleep(self.jittered(c.remote_issue)).await;
             if !target.is_up() {
                 return Err(self.detected(MachineError::NodeDown { node: addr.node }).await);
@@ -318,12 +366,21 @@ impl Machine {
         let c = &self.cfg.costs;
         let target = &self.nodes[addr.node as usize];
         self.check_issuer(from)?;
-        self.bump(|s| s.atomics += 1);
+        self.stats.atomics.set(self.stats.atomics.get() + 1);
         let _cpu = self.nodes[from as usize].cpu.acquire().await;
         if from == addr.node {
             self.sim.sleep(self.jittered(c.local_issue + c.atomic_extra)).await;
             target.mem.access(self.jittered(c.atomic_mem_service)).await;
         } else {
+            if self.fused_net() {
+                self.sim
+                    .sleep(c.remote_issue + c.atomic_extra + self.switch.latency())
+                    .await;
+                target.remote_refs_in.set(target.remote_refs_in.get() + 1);
+                target.mem.access(c.atomic_mem_service).await;
+                self.sim.sleep(self.switch.latency()).await;
+                return Ok(());
+            }
             self.sim.sleep(self.jittered(c.remote_issue + c.atomic_extra)).await;
             if !target.is_up() {
                 return Err(self.detected(MachineError::NodeDown { node: addr.node }).await);
@@ -408,10 +465,8 @@ impl Machine {
         let c = &self.cfg.costs;
         let target = &self.nodes[addr.node as usize];
         self.check_issuer(from)?;
-        self.bump(|s| {
-            s.block_transfers += 1;
-            s.block_bytes += len as u64;
-        });
+        self.stats.block_transfers.set(self.stats.block_transfers.get() + 1);
+        self.stats.block_bytes.set(self.stats.block_bytes.get() + len as u64);
         let bytes = len as SimTime;
         let _cpu = self.nodes[from as usize].cpu.acquire().await;
         if from == addr.node {
@@ -421,6 +476,18 @@ impl Machine {
                 .access(self.jittered(bytes * c.block_per_byte_mem))
                 .await;
         } else {
+            if self.fused_net() {
+                self.sim
+                    .sleep(c.remote_issue + c.block_setup + self.switch.latency())
+                    .await;
+                target.remote_refs_in.set(target.remote_refs_in.get() + 1);
+                target.mem.access(bytes * c.block_per_byte_mem).await;
+                // Wire time and the return traversal are one fused delay.
+                self.sim
+                    .sleep(bytes * c.block_per_byte_switch + self.switch.latency())
+                    .await;
+                return Ok(());
+            }
             self.sim.sleep(self.jittered(c.remote_issue + c.block_setup)).await;
             if !target.is_up() {
                 return Err(self.detected(MachineError::NodeDown { node: addr.node }).await);
@@ -519,6 +586,27 @@ impl Machine {
     /// and message events are ignored here — the Bridge file system and
     /// SMP library install their own drivers for those.
     pub fn install_faults(self: &Rc<Self>, plan: &FaultPlan) {
+        // Disk and message events belong to other layers' drivers; with no
+        // node or link event there is nothing to schedule here, and the
+        // fused fast path stays available (callers routinely install an
+        // empty default plan).
+        let relevant = plan.events.iter().any(|ev| {
+            matches!(
+                ev.kind,
+                FaultKind::NodeCrash { .. }
+                    | FaultKind::NodeRecover { .. }
+                    | FaultKind::LinkDown { .. }
+                    | FaultKind::LinkUp { .. }
+                    | FaultKind::LinkDegrade { .. }
+            )
+        });
+        if !relevant {
+            return;
+        }
+        // Planned faults fire later; disable the fused fast path for the
+        // whole run so references in flight when one fires still follow
+        // the unfused path's exact availability checks and timing.
+        self.fault_latch.set(true);
         let m = self.clone();
         plan.schedule(&self.sim, move |_s, ev| match ev.kind {
             FaultKind::NodeCrash { node } => m.nodes[node as usize].set_up(false),

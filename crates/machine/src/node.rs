@@ -31,10 +31,20 @@ pub struct Node {
     /// Availability: a crashed node rejects all PNC traffic (its memory
     /// contents survive, matching a hung-but-powered Butterfly node).
     up: Cell<bool>,
+    /// Shared with the owning `Machine`: latches true the first time any
+    /// node's availability is touched, so the machine can keep using its
+    /// fused-delay network fast path for the (overwhelmingly common)
+    /// fault-free runs. See `Machine::fused_net`.
+    fault_latch: Rc<Cell<bool>>,
 }
 
 impl Node {
-    pub(crate) fn new(sim: &Sim, id: NodeId, mem_bytes: u32) -> Rc<Node> {
+    pub(crate) fn new(
+        sim: &Sim,
+        id: NodeId,
+        mem_bytes: u32,
+        fault_latch: Rc<Cell<bool>>,
+    ) -> Rc<Node> {
         Rc::new(Node {
             id,
             cpu: Resource::new(sim, format!("cpu{id}"), 1),
@@ -45,6 +55,7 @@ impl Node {
             remote_refs_out: Cell::new(0),
             local_refs: Cell::new(0),
             up: Cell::new(true),
+            fault_latch,
         })
     }
 
@@ -60,6 +71,7 @@ impl Node {
 
     /// Crash or recover the node (fault injection).
     pub fn set_up(&self, up: bool) {
+        self.fault_latch.set(true);
         self.up.set(up);
     }
 
@@ -229,7 +241,7 @@ mod tests {
     #[test]
     fn node_store_load_roundtrip() {
         let sim = Sim::new();
-        let node = Node::new(&sim, 3, 4096);
+        let node = Node::new(&sim, 3, 4096, Default::default());
         node.store(100, &[1, 2, 3, 4]);
         let mut buf = [0u8; 4];
         node.load(100, &mut buf);
@@ -240,7 +252,7 @@ mod tests {
     #[should_panic(expected = "bus error")]
     fn out_of_range_load_is_bus_error() {
         let sim = Sim::new();
-        let node = Node::new(&sim, 0, 64);
+        let node = Node::new(&sim, 0, 64, Default::default());
         let mut buf = [0u8; 8];
         node.load(60, &mut buf);
     }
@@ -248,7 +260,7 @@ mod tests {
     #[test]
     fn node_alloc_tracks_usage() {
         let sim = Sim::new();
-        let node = Node::new(&sim, 0, 4096);
+        let node = Node::new(&sim, 0, 4096, Default::default());
         let a = node.alloc(1000).unwrap();
         assert_eq!(a.node, 0);
         assert!(node.allocated_bytes() >= 1000);

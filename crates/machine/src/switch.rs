@@ -90,6 +90,18 @@ impl Switch {
         self.any_fault.set(true);
     }
 
+    /// True once any link has ever been failed or degraded. Used by the
+    /// machine to decide whether the fused-delay fast path is safe.
+    pub fn faulted(&self) -> bool {
+        self.any_fault.get()
+    }
+
+    /// End-to-end latency of one healthy `Fast`-model traversal (the
+    /// constant the fast path in [`Switch::try_traverse`] sleeps for).
+    pub fn latency(&self) -> SimTime {
+        self.stages as SimTime * self.hop
+    }
+
     /// True if every link on the `src → dst` route is in service.
     pub fn path_ok(&self, src: NodeId, dst: NodeId) -> bool {
         if !self.any_fault.get() {

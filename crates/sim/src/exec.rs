@@ -1,22 +1,68 @@
 //! The virtual-time executor: task spawning, the run loop, timers,
 //! join handles, and deadlock detection.
+//!
+//! ## Hot-path design (see DESIGN.md §10)
+//!
+//! The executor is single-threaded by construction, and the run loop is the
+//! binding constraint on how large a sweep the experiment harness can
+//! afford, so every per-event cost is engineered out:
+//!
+//! * **Ready queue** — an uncontended `RefCell<VecDeque>` of packed
+//!   (slot, generation) keys. No mutex: wakers only ever run on the
+//!   simulation thread.
+//! * **Wakers** — one manually-built [`RawWaker`] per task over an
+//!   `Rc<WakerNode>`; cloning a waker is a non-atomic refcount bump and
+//!   waking is a `Cell` flag test plus a queue push. No allocation per
+//!   wake, no atomics anywhere on the wake path.
+//! * **Task slab** — tasks live in a slab whose slots carry a generation
+//!   counter, bumped on completion so slots can be reused across spawns
+//!   while stale wakers (keyed by the old generation) become no-ops
+//!   instead of spuriously polling an unrelated task.
+//! * **Timers** — a timer wheel front end covers the near-horizon common
+//!   case (a bucketed array indexed by `at >> WHEEL_BITS`). Each bucket is
+//!   an append-mostly sorted vector consumed through a head cursor, so the
+//!   common insert is a `push` and every pop is a cursor bump — no heap
+//!   sifting. Far-future timers overflow to a binary heap. Cancellations
+//!   go on a tiny `(at, seq)` side list consulted only when non-empty, so
+//!   a `Delay` costs no allocation at all. The run loop pops *all* entries
+//!   at the next instant in one batch and fires them in registration
+//!   (`seq`) order, polling the woken task directly when the ready queue
+//!   is empty (the overwhelmingly common case) instead of round-tripping
+//!   through it.
+//!
+//! Determinism is preserved because none of this changes the *order* in
+//! which tasks are polled: the ready queue is still strict FIFO, timers
+//! still fire in `(at, seq)` order (the wheel compares against the
+//! overflow heap's head on every pop), and a batch is drained one entry
+//! at a time with the ready queue emptied in between — exactly the
+//! schedule the previous heap-only engine produced.
 
 use std::cell::{Cell, RefCell};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::collections::VecDeque;
 use std::future::Future;
+use std::mem::ManuallyDrop;
 use std::pin::Pin;
 use std::rc::Rc;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
-use std::task::{Context, Poll, Wake, Waker};
+use std::task::{Context, Poll, RawWaker, RawWakerVTable, Waker};
+use std::time::{Duration, Instant};
 
 use crate::rng::SplitMix64;
 use crate::time::SimTime;
 use crate::trace::Recorder;
 
 type BoxFut = Pin<Box<dyn Future<Output = ()> + 'static>>;
+
+/// Timer-wheel granularity: one bucket spans `2^WHEEL_BITS` ns (512 ns —
+/// finer than the modeled machine's cheapest operation, so lockstep
+/// tasks rarely share a bucket with unrelated instants).
+const WHEEL_BITS: u32 = 9;
+/// Number of wheel buckets; the wheel covers `WHEEL_SLOTS << WHEEL_BITS`
+/// ≈ 4.19 ms past `now`, which catches every sleep the machine model
+/// issues short of multi-millisecond computes. Longer timers overflow to
+/// the binary heap.
+const WHEEL_SLOTS: usize = 8192;
 
 /// A handle to a simulation. Cheap to clone; all clones refer to the same
 /// virtual clock and task set.
@@ -28,32 +74,165 @@ pub struct Sim {
 pub(crate) struct Inner {
     now: Cell<SimTime>,
     seq: Cell<u64>,
-    timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
-    tasks: RefCell<Vec<Option<Task>>>,
-    free_ids: RefCell<Vec<usize>>,
-    ready: Arc<ReadyQueue>,
+    timers: RefCell<Timers>,
+    tasks: RefCell<Slab>,
+    ready: Rc<ReadyQueue>,
     live: Cell<usize>,
     rng: RefCell<SplitMix64>,
     events_processed: Cell<u64>,
     tasks_spawned: Cell<u64>,
+    wall_ns: Cell<u64>,
     recorder: RefCell<Option<Recorder>>,
+}
+
+/// A task's diagnostic name. The unnamed-spawn fast path stores a static
+/// string and allocates nothing.
+enum TaskName {
+    Static(&'static str),
+    Owned(Box<str>),
+}
+
+impl TaskName {
+    fn as_str(&self) -> &str {
+        match self {
+            TaskName::Static(s) => s,
+            TaskName::Owned(s) => s,
+        }
+    }
 }
 
 struct Task {
     fut: BoxFut,
+    /// The task's stable waker; passed by reference to every poll (never
+    /// cloned on the poll path).
     waker: Waker,
-    wake_flag: Arc<AtomicBool>,
-    name: Rc<str>,
+    /// Direct handle to the waker's state, for clearing the queued flag.
+    node: Rc<WakerNode>,
+    name: TaskName,
 }
+
+// ---------------------------------------------------------------------------
+// Task slab: generation-indexed slots reused across spawns.
+
+/// Packed task key: low 32 bits slot index, high 32 bits generation.
+type TaskKey = u64;
+
+fn pack(idx: u32, gen: u32) -> TaskKey {
+    (idx as u64) | ((gen as u64) << 32)
+}
+
+struct Slot {
+    gen: u32,
+    /// Boxed so the run loop moves 8 bytes (not the whole task) when it
+    /// takes the task out for a poll and puts it back.
+    task: Option<Box<Task>>,
+}
+
+#[derive(Default)]
+struct Slab {
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+}
+
+impl Slab {
+    /// Claim a slot (reusing a freed one if available) and return
+    /// `(index, current generation)`.
+    fn alloc(&mut self) -> (u32, u32) {
+        match self.free.pop() {
+            Some(idx) => (idx, self.slots[idx as usize].gen),
+            None => {
+                let idx = self.slots.len() as u32;
+                self.slots.push(Slot { gen: 0, task: None });
+                (idx, 0)
+            }
+        }
+    }
+
+    /// Retire a completed task's slot: bump the generation (so stale
+    /// wakers miss) and make the index reusable.
+    fn retire(&mut self, idx: u32) {
+        let slot = &mut self.slots[idx as usize];
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free.push(idx);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ready queue + manual waker vtable.
+
+/// Ready-task queue shared between the run loop and every task's waker.
+/// Plain `RefCell`: the simulator is single-threaded, and wakers never
+/// leave the simulation thread (see the module docs).
+struct ReadyQueue {
+    q: RefCell<VecDeque<TaskKey>>,
+}
+
+impl ReadyQueue {
+    fn push(&self, key: TaskKey) {
+        self.q.borrow_mut().push_back(key);
+    }
+    fn pop(&self) -> Option<TaskKey> {
+        self.q.borrow_mut().pop_front()
+    }
+}
+
+/// Per-task waker state. One `WakerNode` is allocated per *spawn*; wakes
+/// and waker clones allocate nothing.
+struct WakerNode {
+    key: TaskKey,
+    /// Deduplicates wakeups between polls so a task appears in the ready
+    /// queue at most once.
+    queued: Cell<bool>,
+    ready: Rc<ReadyQueue>,
+}
+
+impl WakerNode {
+    fn wake(&self) {
+        if !self.queued.replace(true) {
+            self.ready.push(self.key);
+        }
+    }
+}
+
+/// SAFETY CONTRACT: these vtable functions treat the data pointer as a
+/// strong `Rc<WakerNode>` reference. `Waker` is nominally `Send + Sync`,
+/// but every waker built here lives and dies on the single simulation
+/// thread (the executor never hands futures to other threads), so the
+/// non-atomic refcount and `Cell` accesses are sound.
+static WAKER_VTABLE: RawWakerVTable =
+    RawWakerVTable::new(rw_clone, rw_wake, rw_wake_by_ref, rw_drop);
+
+unsafe fn rw_clone(p: *const ()) -> RawWaker {
+    unsafe { Rc::increment_strong_count(p as *const WakerNode) };
+    RawWaker::new(p, &WAKER_VTABLE)
+}
+
+unsafe fn rw_wake(p: *const ()) {
+    let node = unsafe { Rc::from_raw(p as *const WakerNode) };
+    node.wake();
+}
+
+unsafe fn rw_wake_by_ref(p: *const ()) {
+    let node = ManuallyDrop::new(unsafe { Rc::from_raw(p as *const WakerNode) });
+    node.wake();
+}
+
+unsafe fn rw_drop(p: *const ()) {
+    drop(unsafe { Rc::from_raw(p as *const WakerNode) });
+}
+
+fn waker_for(node: &Rc<WakerNode>) -> Waker {
+    let ptr = Rc::into_raw(node.clone()) as *const ();
+    unsafe { Waker::from_raw(RawWaker::new(ptr, &WAKER_VTABLE)) }
+}
+
+// ---------------------------------------------------------------------------
+// Timers: wheel front end + overflow heap + cancelled-entry side list.
 
 struct TimerEntry {
     at: SimTime,
     seq: u64,
     waker: Waker,
-    /// Set when the owning `Delay` is dropped before firing; cancelled
-    /// entries are skipped by the run loop without advancing the clock, so
-    /// an abandoned timeout cannot stretch a run's end time.
-    cancelled: Arc<AtomicBool>,
 }
 
 impl PartialEq for TimerEntry {
@@ -73,37 +252,203 @@ impl Ord for TimerEntry {
     }
 }
 
-/// Ready-task queue shared with wakers. A `Mutex` is used only to satisfy the
-/// `Waker` contract (`Send + Sync`); the simulator is single-threaded, so it
-/// is never contended.
-struct ReadyQueue {
-    q: Mutex<VecDeque<usize>>,
+/// One wheel bucket: entries `[head..]` live, ascending by `(at, seq)`.
+/// Inserts are overwhelmingly appends (registrations within one bucket
+/// arrive roughly in time order, and same-instant registrations arrive in
+/// `seq` order); pops are a cursor bump, never a memmove.
+#[derive(Default)]
+struct Bucket {
+    entries: Vec<TimerEntry>,
+    head: usize,
 }
 
-impl ReadyQueue {
-    fn push(&self, id: usize) {
-        self.q.lock().unwrap().push_back(id);
+impl Bucket {
+    fn live(&self) -> &[TimerEntry] {
+        &self.entries[self.head..]
     }
-    fn pop(&self) -> Option<usize> {
-        self.q.lock().unwrap().pop_front()
+
+    fn insert(&mut self, entry: TimerEntry) {
+        let key = (entry.at, entry.seq);
+        match self.entries.last() {
+            Some(last) if (last.at, last.seq) > key => {
+                let live = &self.entries[self.head..];
+                let pos = live.partition_point(|e| (e.at, e.seq) < key);
+                self.entries.insert(self.head + pos, entry);
+            }
+            _ => self.entries.push(entry),
+        }
+    }
+
+    fn pop(&mut self) -> TimerEntry {
+        debug_assert!(self.head < self.entries.len(), "pop from empty bucket");
+        self.head += 1;
+        let e = std::mem::replace(
+            &mut self.entries[self.head - 1],
+            TimerEntry {
+                at: 0,
+                seq: 0,
+                waker: Waker::noop().clone(),
+            },
+        );
+        if self.head == self.entries.len() {
+            self.entries.clear();
+            self.head = 0;
+        }
+        e
     }
 }
 
-struct TaskWaker {
-    id: usize,
-    ready: Arc<ReadyQueue>,
-    /// Deduplicates wakeups between polls so a task appears in the ready
-    /// queue at most once.
-    queued: Arc<AtomicBool>,
+#[derive(Default)]
+struct Timers {
+    /// Near-horizon buckets, indexed by `(at >> WHEEL_BITS) % WHEEL_SLOTS`.
+    /// Because insertion requires `at` within the horizon and `at >= now`
+    /// always holds, each bucket only ever holds entries of one absolute
+    /// bucket number at a time.
+    wheel: Vec<Bucket>,
+    /// One bit per bucket: set iff the bucket is non-empty. Makes finding
+    /// the next occupied bucket a handful of word scans instead of a walk
+    /// over all buckets.
+    occupied: Vec<u64>,
+    wheel_len: usize,
+    overflow: BinaryHeap<Reverse<TimerEntry>>,
+    /// `(at, seq)` of entries whose `Delay` was dropped before firing.
+    /// Checked (and lazily pruned) during pops only while non-empty —
+    /// cancellation is rare, so the common-case cost is one `is_empty`
+    /// test per pop instead of a slab allocation per timer.
+    cancelled: Vec<(SimTime, u64)>,
 }
 
-impl Wake for TaskWaker {
-    fn wake(self: Arc<Self>) {
-        self.wake_by_ref();
+impl Timers {
+    fn new() -> Timers {
+        Timers {
+            wheel: (0..WHEEL_SLOTS).map(|_| Bucket::default()).collect(),
+            occupied: vec![0; WHEEL_SLOTS / 64],
+            ..Timers::default()
+        }
     }
-    fn wake_by_ref(self: &Arc<Self>) {
-        if !self.queued.swap(true, Ordering::Relaxed) {
-            self.ready.push(self.id);
+
+    fn insert(&mut self, now: SimTime, entry: TimerEntry) {
+        debug_assert!(entry.at >= now);
+        let bucket = entry.at >> WHEEL_BITS;
+        if bucket < (now >> WHEEL_BITS) + WHEEL_SLOTS as u64 {
+            let i = (bucket % WHEEL_SLOTS as u64) as usize;
+            self.wheel[i].insert(entry);
+            self.occupied[i / 64] |= 1 << (i % 64);
+            self.wheel_len += 1;
+        } else {
+            self.overflow.push(Reverse(entry));
+        }
+    }
+
+    /// First occupied bucket in circular order starting at the bucket
+    /// holding `now`. Buckets partition `at` ranges monotonically within
+    /// the horizon, so this bucket holds the wheel's global minimum.
+    fn first_occupied(&self, now: SimTime) -> usize {
+        let words = self.occupied.len();
+        let s = ((now >> WHEEL_BITS) % WHEEL_SLOTS as u64) as usize;
+        let (sw, sb) = (s / 64, s % 64);
+        let mut word = self.occupied[sw] & (!0u64 << sb);
+        if word != 0 {
+            return sw * 64 + word.trailing_zeros() as usize;
+        }
+        for k in 1..words {
+            let wi = (sw + k) % words;
+            word = self.occupied[wi];
+            if word != 0 {
+                return wi * 64 + word.trailing_zeros() as usize;
+            }
+        }
+        // Wrapped all the way: bits of the start word below `sb`.
+        word = self.occupied[sw] & ((1u64 << sb) - 1);
+        debug_assert!(word != 0, "wheel_len out of sync with occupancy bitmap");
+        sw * 64 + word.trailing_zeros() as usize
+    }
+
+    fn pop_bucket(&mut self, i: usize) -> TimerEntry {
+        let e = self.wheel[i].pop();
+        self.wheel_len -= 1;
+        if self.wheel[i].live().is_empty() {
+            self.occupied[i / 64] &= !(1 << (i % 64));
+        }
+        e
+    }
+
+    /// True if `(at, seq)` was cancelled; removes the match and prunes
+    /// stale records (an entry can fire via its *task* completing without
+    /// its `Delay` ever being re-polled, leaving a cancellation record for
+    /// an already-popped entry — anything scheduled before `at` is stale).
+    fn take_cancelled(&mut self, at: SimTime, seq: u64) -> bool {
+        let mut hit = false;
+        let mut i = 0;
+        while i < self.cancelled.len() {
+            let (ca, cs) = self.cancelled[i];
+            if ca < at {
+                self.cancelled.swap_remove(i);
+            } else if ca == at && cs == seq {
+                self.cancelled.swap_remove(i);
+                hit = true;
+            } else {
+                i += 1;
+            }
+        }
+        hit
+    }
+
+    /// Pop every live (non-cancelled) entry scheduled at the earliest
+    /// pending instant, in `seq` order, appending them to `out`. Cancelled
+    /// entries are discarded without contributing an instant, matching the
+    /// old heap-only semantics where a cancelled pop never advanced the
+    /// clock.
+    fn pop_batch(&mut self, now: SimTime, out: &mut Vec<TimerEntry>) {
+        debug_assert!(out.is_empty());
+        while out.is_empty() {
+            // The batch instant: min (at, seq) across wheel and overflow.
+            let bucket = if self.wheel_len > 0 {
+                Some(self.first_occupied(now))
+            } else {
+                None
+            };
+            let wheel_min = bucket.map(|i| {
+                let e = self.wheel[i].live().first().expect("occupied bucket empty");
+                (e.at, e.seq)
+            });
+            let heap_min = self.overflow.peek().map(|Reverse(e)| (e.at, e.seq));
+            let t = match (wheel_min, heap_min) {
+                (Some(w), Some(h)) => w.min(h).0,
+                (Some(w), None) => w.0,
+                (None, Some(h)) => h.0,
+                (None, None) => return,
+            };
+            // Two-way merge by seq of the (at, seq)-sorted sources,
+            // draining everything scheduled at `t`.
+            loop {
+                let w = bucket
+                    .and_then(|i| self.wheel[i].live().first())
+                    .filter(|e| e.at == t)
+                    .map(|e| e.seq);
+                let h = self
+                    .overflow
+                    .peek()
+                    .filter(|Reverse(e)| e.at == t)
+                    .map(|Reverse(e)| e.seq);
+                let from_wheel = match (w, h) {
+                    (Some(ws), Some(hs)) => ws < hs,
+                    (Some(_), None) => true,
+                    (None, Some(_)) => false,
+                    (None, None) => break,
+                };
+                let e = if from_wheel {
+                    self.pop_bucket(bucket.expect("wheel pick without bucket"))
+                } else {
+                    self.overflow.pop().expect("heap pick without entry").0
+                };
+                if self.cancelled.is_empty() || !self.take_cancelled(e.at, e.seq) {
+                    out.push(e);
+                }
+                // else: cancelled before firing; try the next entry. If the
+                // whole instant was cancelled the outer loop advances to
+                // the next instant without yielding a batch.
+            }
         }
     }
 }
@@ -147,7 +492,10 @@ impl std::fmt::Display for SimError {
 impl std::error::Error for SimError {}
 
 /// Counters describing a finished run.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Equality ignores [`RunStats::wall`]: host wall time is measurement, not
+/// simulation state, and two bit-identical runs will disagree on it.
+#[derive(Debug, Clone)]
 pub struct RunStats {
     /// Virtual time when the run loop stopped.
     pub end_time: SimTime,
@@ -157,6 +505,33 @@ pub struct RunStats {
     pub tasks: u64,
     /// How the run ended.
     pub outcome: RunOutcome,
+    /// Host wall-clock time spent inside [`Sim::run`], cumulative across
+    /// repeated runs of the same `Sim` (like [`RunStats::events`]).
+    pub wall: Duration,
+}
+
+impl PartialEq for RunStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.end_time == other.end_time
+            && self.events == other.events
+            && self.tasks == other.tasks
+            && self.outcome == other.outcome
+    }
+}
+impl Eq for RunStats {}
+
+impl RunStats {
+    /// Engine throughput: task polls per host wall-clock second. The
+    /// headline number of `BENCH_sim.json` and the `--stats` flag of the
+    /// experiment binaries.
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.events as f64 / secs
+        } else {
+            0.0
+        }
+    }
 }
 
 impl Sim {
@@ -171,16 +546,16 @@ impl Sim {
             inner: Rc::new(Inner {
                 now: Cell::new(0),
                 seq: Cell::new(0),
-                timers: RefCell::new(BinaryHeap::new()),
-                tasks: RefCell::new(Vec::new()),
-                free_ids: RefCell::new(Vec::new()),
-                ready: Arc::new(ReadyQueue {
-                    q: Mutex::new(VecDeque::new()),
+                timers: RefCell::new(Timers::new()),
+                tasks: RefCell::new(Slab::default()),
+                ready: Rc::new(ReadyQueue {
+                    q: RefCell::new(VecDeque::new()),
                 }),
                 live: Cell::new(0),
                 rng: RefCell::new(SplitMix64::new(seed)),
                 events_processed: Cell::new(0),
                 tasks_spawned: Cell::new(0),
+                wall_ns: Cell::new(0),
                 recorder: RefCell::new(None),
             }),
         }
@@ -222,7 +597,7 @@ impl Sim {
     where
         F: Future<Output = T> + 'static,
     {
-        self.spawn_named("task", fut)
+        self.spawn_inner(TaskName::Static("task"), fut)
     }
 
     /// Spawn with a diagnostic name (reported on deadlock).
@@ -230,49 +605,51 @@ impl Sim {
     where
         F: Future<Output = T> + 'static,
     {
+        self.spawn_inner(TaskName::Owned(name.into()), fut)
+    }
+
+    /// [`Sim::spawn_named`] without the name allocation, for static names.
+    pub fn spawn_static<T: 'static, F>(&self, name: &'static str, fut: F) -> JoinHandle<T>
+    where
+        F: Future<Output = T> + 'static,
+    {
+        self.spawn_inner(TaskName::Static(name), fut)
+    }
+
+    fn spawn_inner<T: 'static, F>(&self, name: TaskName, fut: F) -> JoinHandle<T>
+    where
+        F: Future<Output = T> + 'static,
+    {
         let state = Rc::new(JoinState {
             result: RefCell::new(None),
             waiters: RefCell::new(Vec::new()),
         });
-        let st2 = state.clone();
-        let inner = self.inner.clone();
-        let wrapped: BoxFut = Box::pin(async move {
-            let out = fut.await;
-            *st2.result.borrow_mut() = Some(out);
-            for w in st2.waiters.borrow_mut().drain(..) {
-                w.wake();
-            }
-            let _ = inner; // keep sim alive for the task's whole lifetime
+        let wrapped: BoxFut = Box::pin(Wrapped {
+            fut,
+            state: state.clone(),
+            // Keep the sim alive for the task's whole lifetime.
+            _sim: self.inner.clone(),
         });
 
-        let id = {
-            let mut free = self.inner.free_ids.borrow_mut();
-            match free.pop() {
-                Some(id) => id,
-                None => {
-                    let mut tasks = self.inner.tasks.borrow_mut();
-                    tasks.push(None);
-                    tasks.len() - 1
-                }
-            }
-        };
-        let queued = Arc::new(AtomicBool::new(true)); // starts queued
-        let waker = Waker::from(Arc::new(TaskWaker {
-            id,
+        let (idx, gen) = self.inner.tasks.borrow_mut().alloc();
+        let key = pack(idx, gen);
+        let node = Rc::new(WakerNode {
+            key,
+            queued: Cell::new(true), // starts queued
             ready: self.inner.ready.clone(),
-            queued: queued.clone(),
-        }));
-        self.inner.tasks.borrow_mut()[id] = Some(Task {
+        });
+        let waker = waker_for(&node);
+        self.inner.tasks.borrow_mut().slots[idx as usize].task = Some(Box::new(Task {
             fut: wrapped,
             waker,
-            wake_flag: queued,
-            name: Rc::from(name),
-        });
+            node,
+            name,
+        }));
         self.inner.live.set(self.inner.live.get() + 1);
         self.inner
             .tasks_spawned
             .set(self.inner.tasks_spawned.get() + 1);
-        self.inner.ready.push(id);
+        self.inner.ready.push(key);
         JoinHandle { state }
     }
 
@@ -299,55 +676,87 @@ impl Sim {
         YieldNow { yielded: false }
     }
 
-    fn poll_task(&self, id: usize) -> bool {
-        // Take the task out so that re-entrant spawns can't alias the slot.
+    fn poll_task(&self, key: TaskKey) {
+        let idx = (key & u32::MAX as u64) as usize;
+        let gen = (key >> 32) as u32;
+        // Take the task out so that re-entrant spawns can't alias the slot;
+        // a generation mismatch means the wake raced a completed task whose
+        // slot was (or may be) reused — skip it.
         let taken = {
             let mut tasks = self.inner.tasks.borrow_mut();
-            match tasks.get_mut(id) {
-                Some(slot) => slot.take(),
-                None => None,
+            match tasks.slots.get_mut(idx) {
+                Some(slot) if slot.gen == gen => slot.task.take(),
+                _ => None,
             }
         };
-        let Some(mut task) = taken else { return false };
-        task.wake_flag.store(false, Ordering::Relaxed);
+        let Some(mut task) = taken else { return };
+        task.node.queued.set(false);
         self.inner
             .events_processed
             .set(self.inner.events_processed.get() + 1);
-        let waker = task.waker.clone();
-        let mut cx = Context::from_waker(&waker);
+        let mut cx = Context::from_waker(&task.waker);
         match task.fut.as_mut().poll(&mut cx) {
             Poll::Ready(()) => {
                 self.inner.live.set(self.inner.live.get() - 1);
-                self.inner.free_ids.borrow_mut().push(id);
-                true
+                self.inner.tasks.borrow_mut().retire(idx as u32);
+                // `task` (and its future) drop here, outside any borrow:
+                // destructors may re-enter the executor (cancel timers,
+                // release resources, even spawn).
+                drop(task);
             }
             Poll::Pending => {
-                self.inner.tasks.borrow_mut()[id] = Some(task);
-                false
+                self.inner.tasks.borrow_mut().slots[idx].task = Some(task);
             }
         }
     }
 
+    /// Fire one timer entry. When the waker is one of ours (it always is
+    /// for futures of this crate) and the ready queue is empty — the run
+    /// loop guarantees it — a wake would enqueue the task and the next
+    /// loop iteration would immediately dequeue it, so poll directly and
+    /// skip the round trip. Foreign wakers (combinators wrapping their
+    /// own) fall back to a plain wake.
+    fn fire(&self, waker: &Waker) {
+        if std::ptr::eq(waker.vtable(), &WAKER_VTABLE) {
+            let node = unsafe { &*(waker.data() as *const WakerNode) };
+            if !node.queued.get() {
+                self.poll_task(node.key);
+                return;
+            }
+        }
+        waker.wake_by_ref();
+    }
+
     /// Run until all tasks complete or nothing can make progress.
     pub fn run(&self) -> RunStats {
+        let wall_start = Instant::now();
+        // Entries at the current instant, drained one at a time with the
+        // ready queue emptied in between. Safe to hold across polls: once
+        // the first entry fires, `now` equals the batch instant, so no new
+        // timer can be registered earlier than (or at the same instant
+        // with a smaller seq than) the remaining entries.
+        let mut batch: Vec<TimerEntry> = Vec::new();
+        let mut batch_pos = 0usize;
         loop {
-            while let Some(id) = self.inner.ready.pop() {
-                self.poll_task(id);
+            while let Some(key) = self.inner.ready.pop() {
+                self.poll_task(key);
             }
-            // No ready work: advance virtual time to the next timer,
-            // discarding timers whose Delay was dropped before firing.
-            let next = self.inner.timers.borrow_mut().pop();
-            match next {
-                Some(Reverse(entry)) => {
-                    if entry.cancelled.load(Ordering::Relaxed) {
-                        continue;
-                    }
-                    debug_assert!(entry.at >= self.inner.now.get(), "time went backwards");
-                    self.inner.now.set(entry.at);
-                    entry.waker.wake();
+            if batch_pos == batch.len() {
+                batch.clear();
+                batch_pos = 0;
+                self.inner
+                    .timers
+                    .borrow_mut()
+                    .pop_batch(self.inner.now.get(), &mut batch);
+                if batch.is_empty() {
+                    break; // no ready work, no timers: quiescent
                 }
-                None => break,
             }
+            let entry = &batch[batch_pos];
+            batch_pos += 1;
+            debug_assert!(entry.at >= self.inner.now.get(), "time went backwards");
+            self.inner.now.set(entry.at);
+            self.fire(&entry.waker);
         }
         let outcome = if self.inner.live.get() == 0 {
             RunOutcome::Completed
@@ -356,17 +765,22 @@ impl Sim {
                 .inner
                 .tasks
                 .borrow()
+                .slots
                 .iter()
-                .flatten()
-                .map(|t| t.name.to_string())
+                .filter_map(|s| s.task.as_ref())
+                .map(|t| t.name.as_str().to_string())
                 .collect();
             RunOutcome::Deadlock { stuck }
         };
+        self.inner
+            .wall_ns
+            .set(self.inner.wall_ns.get() + wall_start.elapsed().as_nanos() as u64);
         RunStats {
             end_time: self.now(),
             events: self.inner.events_processed.get(),
             tasks: self.inner.tasks_spawned.get(),
             outcome,
+            wall: Duration::from_nanos(self.inner.wall_ns.get()),
         }
     }
 
@@ -402,7 +816,7 @@ impl Sim {
     where
         F: Future<Output = T> + 'static,
     {
-        let mut handle = self.spawn_named("block_on", fut);
+        let mut handle = self.spawn_static("block_on", fut);
         let stats = self.run();
         match handle.try_take() {
             Some(v) => Ok(v),
@@ -471,7 +885,8 @@ impl Default for Sim {
 pub struct Delay {
     sim: Rc<Inner>,
     at: SimTime,
-    registered: Option<Arc<AtomicBool>>,
+    /// `seq` of the registered timer entry, if any.
+    registered: Option<u64>,
     fired: bool,
 }
 
@@ -489,14 +904,15 @@ impl Future for Delay {
                 self.sim.seq.set(s + 1);
                 s
             };
-            let cancelled = Arc::new(AtomicBool::new(false));
-            self.sim.timers.borrow_mut().push(Reverse(TimerEntry {
-                at,
-                seq,
-                waker: cx.waker().clone(),
-                cancelled: cancelled.clone(),
-            }));
-            self.registered = Some(cancelled);
+            self.sim.timers.borrow_mut().insert(
+                self.sim.now.get(),
+                TimerEntry {
+                    at,
+                    seq,
+                    waker: cx.waker().clone(),
+                },
+            );
+            self.registered = Some(seq);
         }
         Poll::Pending
     }
@@ -505,10 +921,17 @@ impl Future for Delay {
 impl Drop for Delay {
     fn drop(&mut self) {
         // Abandoned before firing (e.g. a timeout whose future won the
-        // race): mark the heap entry dead so the clock never advances to it.
+        // race): record the entry as dead so the clock never advances to
+        // it. If the entry already popped (the task moved on without
+        // re-polling this `Delay`), the record is stale and gets pruned on
+        // a later pop — see [`Timers::take_cancelled`].
         if !self.fired {
-            if let Some(cancelled) = &self.registered {
-                cancelled.store(true, Ordering::Relaxed);
+            if let Some(seq) = self.registered {
+                self.sim
+                    .timers
+                    .borrow_mut()
+                    .cancelled
+                    .push((self.at, seq));
             }
         }
     }
@@ -616,6 +1039,36 @@ impl Future for YieldNow {
 struct JoinState<T> {
     result: RefCell<Option<T>>,
     waiters: RefCell<Vec<Waker>>,
+}
+
+/// The executor-facing wrapper around a spawned future: forwards polls,
+/// captures the result into the task's [`JoinState`], and wakes joiners.
+/// A manual future (not an `async` block) so a task poll costs one state
+/// machine dispatch, not two.
+struct Wrapped<T, F> {
+    fut: F,
+    state: Rc<JoinState<T>>,
+    _sim: Rc<Inner>,
+}
+
+impl<T, F: Future<Output = T>> Future for Wrapped<T, F> {
+    type Output = ();
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        // SAFETY: standard structural pinning; `fut` is never moved out of
+        // `this`, and `Wrapped` has no Drop impl of its own.
+        let this = unsafe { self.get_unchecked_mut() };
+        let fut = unsafe { Pin::new_unchecked(&mut this.fut) };
+        match fut.poll(cx) {
+            Poll::Ready(out) => {
+                *this.state.result.borrow_mut() = Some(out);
+                for w in this.state.waiters.borrow_mut().drain(..) {
+                    w.wake();
+                }
+                Poll::Ready(())
+            }
+            Poll::Pending => Poll::Pending,
+        }
+    }
 }
 
 /// Await the result of a spawned task, or poll for it after [`Sim::run`].
@@ -901,5 +1354,125 @@ mod tests {
         }
         assert_eq!(run_once(11), run_once(11));
         assert_ne!(run_once(11).0, run_once(12).0);
+    }
+
+    #[test]
+    fn slab_slots_are_reused_across_spawns() {
+        let sim = Sim::new();
+        // Sequential generations of tasks: each wave completes before the
+        // next spawns, so the slab should stay at the high-water mark of
+        // one wave rather than growing per spawn.
+        let s = sim.clone();
+        sim.block_on(async move {
+            for _wave in 0..10 {
+                let hs: Vec<_> = (0..8)
+                    .map(|i| {
+                        let s2 = s.clone();
+                        s.spawn(async move { s2.sleep(10 + i).await })
+                    })
+                    .collect();
+                join_all(hs).await;
+            }
+        });
+        assert!(
+            sim.inner.tasks.borrow().slots.len() <= 10,
+            "slab grew to {} slots for 81 sequential tasks",
+            sim.inner.tasks.borrow().slots.len()
+        );
+    }
+
+    #[test]
+    fn stale_waker_does_not_poll_slot_reuser() {
+        // Capture a waker inside a task, let the task finish, reuse its
+        // slot, then fire the stale waker: the generation check must make
+        // it a no-op (no spurious poll of the unrelated new task).
+        struct GrabWaker(Rc<RefCell<Option<Waker>>>);
+        impl Future for GrabWaker {
+            type Output = ();
+            fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+                *self.0.borrow_mut() = Some(cx.waker().clone());
+                Poll::Ready(())
+            }
+        }
+        let sim = Sim::new();
+        let stash: Rc<RefCell<Option<Waker>>> = Rc::new(RefCell::new(None));
+        let st = stash.clone();
+        sim.spawn(async move {
+            GrabWaker(st).await;
+        });
+        let before = sim.run();
+        assert_eq!(before.outcome, RunOutcome::Completed);
+
+        // New task reuses the retired slot; it sleeps so it stays live.
+        let s = sim.clone();
+        sim.spawn(async move { s.sleep(1_000).await });
+        let stale = stash.borrow_mut().take().unwrap();
+        stale.wake(); // must NOT enqueue a poll of the new task
+        let after = sim.run();
+        assert_eq!(after.outcome, RunOutcome::Completed);
+        // 1 initial poll + 1 wake after the sleep; a spurious stale-waker
+        // poll would make it 3.
+        assert_eq!(after.events, before.events + 2);
+    }
+
+    #[test]
+    fn far_future_timers_fire_in_order_across_wheel_overflow() {
+        // Mix near-horizon (wheel) and far-future (overflow heap) sleeps,
+        // including one beyond-horizon timer that becomes "near" only
+        // after time advances: global (at, seq) order must hold.
+        let sim = Sim::new();
+        let log: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+        for at in [
+            5_000u64,             // wheel
+            2_000_000,            // past the ~1ms horizon: overflow
+            900_000,              // wheel
+            1_500_000,            // overflow at t=0, near once now>0.5ms
+            2_000_000 + 1,        // overflow, adjacent instant
+        ] {
+            let s = sim.clone();
+            let l = log.clone();
+            sim.spawn(async move {
+                s.sleep_until(at).await;
+                l.borrow_mut().push(s.now());
+            });
+        }
+        let stats = sim.run();
+        assert_eq!(stats.outcome, RunOutcome::Completed);
+        assert_eq!(
+            *log.borrow(),
+            vec![5_000, 900_000, 1_500_000, 2_000_000, 2_000_001]
+        );
+    }
+
+    #[test]
+    fn same_instant_batch_fires_in_registration_order() {
+        let sim = Sim::new();
+        let log: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..16u32 {
+            let s = sim.clone();
+            let l = log.clone();
+            sim.spawn(async move {
+                s.sleep_until(7_777).await; // all at the same instant
+                l.borrow_mut().push(i);
+            });
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_stats_expose_wall_time_and_throughput() {
+        let sim = Sim::new();
+        for i in 0..100u64 {
+            let s = sim.clone();
+            sim.spawn(async move { s.sleep(i).await });
+        }
+        let stats = sim.run();
+        assert!(stats.wall > Duration::ZERO);
+        assert!(stats.events_per_sec() > 0.0);
+        // Equality ignores wall time.
+        let mut other = stats.clone();
+        other.wall += Duration::from_secs(5);
+        assert_eq!(stats, other);
     }
 }

@@ -133,13 +133,19 @@ impl Resource {
 
     /// Acquire, hold for `service` ns, release. The canonical "use a device"
     /// operation; returns the queueing delay experienced.
-    pub async fn access(&self, service: SimTime) -> SimTime {
-        let t0 = self.inner.sim.now();
-        let guard = self.acquire().await;
-        let waited = self.inner.sim.now() - t0;
-        self.inner.sim.sleep(service).await;
-        drop(guard);
-        waited
+    ///
+    /// Implemented as a manual future rather than `acquire().await` +
+    /// `sleep().await`: `access` runs on the machine model's innermost hot
+    /// path (every simulated memory reference makes one), and the fused
+    /// state machine skips the guard round trip and one dispatch layer
+    /// while performing the *same* accounting and timer registrations in
+    /// the same order.
+    pub fn access(&self, service: SimTime) -> Access {
+        Access {
+            res: self.clone(),
+            service,
+            state: AccessState::Init,
+        }
     }
 
     /// Current queue length (excluding in-service requests).
@@ -292,6 +298,138 @@ impl Drop for Acquire {
                 WaitState::Granted => self.res.release_one(),
                 WaitState::Cancelled => {}
             }
+        }
+    }
+}
+
+enum AccessState {
+    /// Not yet polled.
+    Init,
+    /// Waiting in the FIFO queue; `t0` is the arrival time.
+    Queued { slot: Rc<WaitSlot>, t0: SimTime },
+    /// Server held; sleeping out the service time.
+    Sleeping {
+        delay: crate::exec::Delay,
+        waited: SimTime,
+    },
+    /// Resolved (or never started); nothing to undo on drop.
+    Done,
+}
+
+/// Future returned by [`Resource::access`]. Performs exactly the
+/// accounting and timer registrations of `acquire().await` + sleep +
+/// release, fused into one state machine.
+pub struct Access {
+    res: Resource,
+    service: SimTime,
+    state: AccessState,
+}
+
+impl Access {
+    /// Transition into the service sleep (server just acquired), polling
+    /// the delay once so a zero-length service resolves immediately, just
+    /// as `sleep(0).await` would.
+    fn start_service(
+        &mut self,
+        waited: SimTime,
+        cx: &mut Context<'_>,
+    ) -> Poll<SimTime> {
+        let mut delay = self.res.inner.sim.sleep(self.service);
+        match Pin::new(&mut delay).poll(cx) {
+            Poll::Ready(()) => {
+                self.state = AccessState::Done;
+                self.res.release_one();
+                Poll::Ready(waited)
+            }
+            Poll::Pending => {
+                self.state = AccessState::Sleeping { delay, waited };
+                Poll::Pending
+            }
+        }
+    }
+}
+
+impl Future for Access {
+    type Output = SimTime;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<SimTime> {
+        let this = self.get_mut();
+        match &mut this.state {
+            AccessState::Init => {
+                let inner = &this.res.inner;
+                let t0 = inner.sim.now();
+                // Fast path: a server is free and no one is queued.
+                if inner.in_service.get() < inner.capacity && inner.queue.borrow().is_empty() {
+                    this.res.account();
+                    inner.in_service.set(inner.in_service.get() + 1);
+                    inner.acquisitions.set(inner.acquisitions.get() + 1);
+                    return this.start_service(0, cx);
+                }
+                let slot = Rc::new(WaitSlot {
+                    state: Cell::new(WaitState::Queued),
+                    waker: RefCell::new(Some(cx.waker().clone())),
+                    enqueued_at: t0,
+                });
+                inner.queue.borrow_mut().push_back(Waiter { slot: slot.clone() });
+                let qlen = inner.queue.borrow().len();
+                if qlen > inner.max_queue.get() {
+                    inner.max_queue.set(qlen);
+                }
+                // A server may be idle while the queue is non-empty only
+                // transiently; if so, grant immediately in FIFO order.
+                if inner.in_service.get() < inner.capacity {
+                    this.res.grant_next();
+                    if slot.state.get() == WaitState::Granted {
+                        this.res.inner.acquisitions.set(
+                            this.res.inner.acquisitions.get() + 1,
+                        );
+                        return this.start_service(0, cx);
+                    }
+                }
+                this.state = AccessState::Queued { slot, t0 };
+                Poll::Pending
+            }
+            AccessState::Queued { slot, t0 } => {
+                if slot.state.get() == WaitState::Granted {
+                    let inner = &this.res.inner;
+                    inner.acquisitions.set(inner.acquisitions.get() + 1);
+                    this.res.account();
+                    let waited = inner.sim.now() - *t0;
+                    this.start_service(waited, cx)
+                } else {
+                    *slot.waker.borrow_mut() = Some(cx.waker().clone());
+                    Poll::Pending
+                }
+            }
+            AccessState::Sleeping { delay, waited } => {
+                let waited = *waited;
+                match Pin::new(delay).poll(cx) {
+                    Poll::Ready(()) => {
+                        this.state = AccessState::Done;
+                        this.res.release_one();
+                        Poll::Ready(waited)
+                    }
+                    Poll::Pending => Poll::Pending,
+                }
+            }
+            AccessState::Done => panic!("Access polled after completion"),
+        }
+    }
+}
+
+impl Drop for Access {
+    fn drop(&mut self) {
+        match &self.state {
+            AccessState::Init | AccessState::Done => {}
+            // Abandoned while queued: mark the waiter dead (or release the
+            // server if the grant raced the drop), as `Acquire` does.
+            AccessState::Queued { slot, .. } => match slot.state.get() {
+                WaitState::Queued => slot.state.set(WaitState::Cancelled),
+                WaitState::Granted => self.res.release_one(),
+                WaitState::Cancelled => {}
+            },
+            // Abandoned mid-service: the held server is released; the
+            // delay's own drop cancels its timer entry.
+            AccessState::Sleeping { .. } => self.res.release_one(),
         }
     }
 }

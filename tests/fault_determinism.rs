@@ -145,6 +145,42 @@ fn run_stuck(seed: u64) -> (String, Vec<String>) {
     }
 }
 
+/// Exercise the executor's slab reuse and timer wheel under heavy churn:
+/// layers of short-lived tasks that sleep odd durations (so entries land
+/// across wheel buckets and the overflow heap), cancel timers via
+/// `timeout`, and spawn replacements into freed slots. Returns the full
+/// run fingerprint for cross-run comparison.
+fn run_churn(seed: u64, layers: u32) -> (u64, u64, u64) {
+    let sim = Sim::with_seed(seed);
+    for layer in 0..layers {
+        let s = sim.clone();
+        sim.spawn(async move {
+            for i in 0..20u64 {
+                let dur = (seed % 97) * 13 + i * 31 + layer as u64 * 7 + 1;
+                if i % 3 == 0 {
+                    // A timeout that usually loses: its deadline timer is
+                    // dropped mid-flight, stressing lazy cancellation.
+                    let _ = s.timeout(dur / 2 + 1, s.sleep(dur)).await;
+                } else {
+                    s.sleep(dur).await;
+                }
+                if i % 7 == 0 {
+                    // Short-lived child: retires a slab slot for reuse.
+                    let c = s.clone();
+                    s.spawn(async move { c.sleep(3).await }).await;
+                }
+            }
+        });
+    }
+    let stats = sim.run();
+    assert_eq!(
+        stats.outcome,
+        bfly_sim::exec::RunOutcome::Completed,
+        "churn workload must quiesce"
+    );
+    (stats.end_time, stats.events, stats.tasks)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -183,4 +219,27 @@ proptest! {
         );
         prop_assert_eq!(stuck_a, stuck_b, "stuck-task names must be deterministic");
     }
+
+    /// Slab-slot reuse, wheel/overflow timer placement, and lazy timer
+    /// cancellation must not leak scheduling nondeterminism: two runs of
+    /// the same churn workload agree on end time, events processed, and
+    /// tasks spawned.
+    #[test]
+    fn executor_churn_is_deterministic(seed in 0u64..1_000_000, layers in 1u32..6) {
+        prop_assert_eq!(run_churn(seed, layers), run_churn(seed, layers));
+    }
+}
+
+/// Pinned Figure 5 quick-scale results. These exact simulated-ns values
+/// were produced by the original heap-based engine; the fast-path engine
+/// (timer wheel, slab tasks, direct poll, fused network delays) must keep
+/// them bit-identical. If an intentional timing-model change moves them,
+/// regenerate EXPERIMENTS.md and full_experiments.log in the same commit
+/// that updates these constants.
+#[test]
+fn fig5_quick_simulated_ns_is_pinned() {
+    let us = bfly_apps::gauss::gauss_us(16, 48, (0..128).collect(), 7);
+    assert_eq!((us.time_ns, us.comm_ops), (121_789_000, 3_024));
+    let smp = bfly_apps::gauss::gauss_smp(16, 48, 7);
+    assert_eq!((smp.time_ns, smp.comm_ops), (143_460_400, 720));
 }
