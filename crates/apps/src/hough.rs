@@ -48,6 +48,8 @@ pub struct HoughResult {
     /// The winning accumulator bin `(theta_idx, rho_idx, votes)` — checked
     /// against the line planted in the synthetic image.
     pub peak: (u32, u32, u32),
+    /// Engine counters from the run.
+    pub run: bfly_sim::exec::RunStats,
 }
 
 /// Synthetic edge image: `size × size`, a straight line at angle index
@@ -237,7 +239,7 @@ pub fn hough_on(
         .await;
         us2.shutdown();
     });
-    sim.run();
+    let run = sim.run();
 
     // Find the accumulator peak host-side.
     let mut peak = (0, 0, 0u32);
@@ -252,6 +254,7 @@ pub fn hough_on(
     HoughResult {
         time_ns: sim.now(),
         peak,
+        run,
     }
 }
 

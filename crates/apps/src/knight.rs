@@ -69,6 +69,8 @@ pub struct TourResult {
     pub finder: u16,
     /// Partial tours expanded in total (work measure).
     pub expansions: u64,
+    /// Engine counters from the run.
+    pub run: bfly_sim::exec::RunStats,
 }
 
 fn extensions(tour: &[u8], size: u8) -> Vec<u8> {
@@ -171,13 +173,14 @@ pub fn knights_tour(size: u8, nworkers: u16, seed: u64, jitter_pct: u32) -> Tour
             }
         });
     }
-    sim.run();
+    let run = sim.run();
     let (tour, finder) = found.borrow().clone().unwrap_or((Vec::new(), u16::MAX));
     TourResult {
         time_ns: sim.now(),
         tour,
         finder,
         expansions: expansions.get(),
+        run,
     }
 }
 

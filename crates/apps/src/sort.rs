@@ -33,6 +33,8 @@ pub struct SortResult {
     pub data: Vec<u32>,
     /// Names of stuck processes (deadlock diagnostics, Figure 6 style).
     pub stuck: Vec<String>,
+    /// Engine counters from the run.
+    pub run: bfly_sim::exec::RunStats,
 }
 
 /// Odd-even transposition sort over an SMP line: P processes each hold a
@@ -119,8 +121,8 @@ pub fn odd_even_smp(nprocs: u16, n: usize, seed: u64, inject_bug: bool) -> SortR
     );
     let stats = sim.run();
     let completed = stats.outcome == RunOutcome::Completed;
-    let stuck = match stats.outcome {
-        RunOutcome::Deadlock { stuck } => stuck,
+    let stuck = match &stats.outcome {
+        RunOutcome::Deadlock { stuck } => stuck.clone(),
         _ => Vec::new(),
     };
     let data = if completed {
@@ -133,6 +135,7 @@ pub fn odd_even_smp(nprocs: u16, n: usize, seed: u64, inject_bug: bool) -> SortR
         completed,
         data,
         stuck,
+        run: stats,
     }
 }
 
@@ -233,6 +236,7 @@ pub fn merge_sort_replay(
             completed,
             data,
             stuck: Vec::new(),
+            run: stats,
         },
         sys,
     )

@@ -1,32 +1,20 @@
 //! FIG5 — Gaussian elimination: shared memory (Uniform System) vs message
 //! passing (SMP).
 //!
-//! Flags: `--quick` for a reduced sweep, `--n <N>` to pin the matrix size
-//! (full processor list; used for apples-to-apples perf comparisons across
-//! engine versions), `--stats` to print engine throughput after the table.
+//! Flags: `--quick`, `--stats`, `--probe` (see [`bfly_bench::BenchCli`]),
+//! plus `--n <N>` to pin the matrix size over the full processor list
+//! (used for apples-to-apples perf comparisons across engine versions).
+use bfly_bench::BenchCli;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let stats = args.iter().any(|a| a == "--stats");
-    let n_override: Option<u32> = args
-        .iter()
-        .position(|a| a == "--n")
-        .and_then(|i| args.get(i + 1))
-        .map(|v| v.parse().expect("--n takes a matrix size"));
-
-    let (table, engine) = match n_override {
+    let cli = BenchCli::parse("fig5_gauss");
+    let probe = cli.begin();
+    let (table, engine) = match cli.n {
         Some(n) => {
             bfly_bench::experiments::fig5_gauss_at(n, &[16, 32, 48, 64, 80, 96, 112, 128])
         }
-        None => bfly_bench::experiments::fig5_gauss_run(if quick {
-            bfly_bench::Scale::quick()
-        } else {
-            bfly_bench::Scale::full()
-        }),
+        None => bfly_bench::experiments::fig5_gauss_run(cli.scale()),
     };
     table.print();
-    if stats {
-        println!("{}", engine.summary());
-    }
+    cli.finish(probe.as_ref(), Some(&engine));
 }

@@ -14,10 +14,20 @@
 //!   exit non-zero if it regressed more than the tolerance (default 20 %,
 //!   override with `--tolerance <fraction>`). The CI perf-smoke job runs
 //!   this against the committed `BENCH_sim.json`.
+//! * `--check-sweep <baseline.json>` — compare the quick-sweep wall-clock
+//!   (`fig5_gauss_quick`) against the baseline report and exit non-zero
+//!   if it slowed down more than `--sweep-tolerance` (default 2 %). The
+//!   current wall is the best of `--sweep-best-of` runs (default 3; the
+//!   default-mode timed run counts as the first), so host noise biases
+//!   toward passing while a real slowdown still trips. The CI
+//!   probe-overhead job runs this against a baseline generated on the
+//!   same runner from the pre-probe sources (`.perf-baseline/`).
 
 use std::time::Instant;
 
-use bfly_bench::report::{check_headline, engine_microbench, PerfReport, SweepMeasure};
+use bfly_bench::report::{
+    check_headline, check_sweep, engine_microbench, PerfReport, SweepMeasure,
+};
 use bfly_bench::sweep::sweep_threads;
 use bfly_bench::Scale;
 
@@ -35,6 +45,14 @@ fn main() {
     let tolerance: f64 = arg_value(&args, "--tolerance")
         .map(|v| v.parse().expect("--tolerance takes a fraction like 0.2"))
         .unwrap_or(0.20);
+    let sweep_baseline = arg_value(&args, "--check-sweep");
+    let sweep_tolerance: f64 = arg_value(&args, "--sweep-tolerance")
+        .map(|v| v.parse().expect("--sweep-tolerance takes a fraction like 0.02"))
+        .unwrap_or(0.02);
+    let sweep_best_of: usize = arg_value(&args, "--sweep-best-of")
+        .map(|v| v.parse().expect("--sweep-best-of takes a count"))
+        .unwrap_or(3)
+        .max(1);
 
     let mut report = PerfReport::default();
 
@@ -83,6 +101,30 @@ fn main() {
             Ok(()) => eprintln!("perf gate: OK (within {:.0}% of baseline)", tolerance * 100.0),
             Err(msg) => {
                 eprintln!("perf gate: FAIL — {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if let Some(baseline_path) = sweep_baseline {
+        let baseline_json = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("read sweep baseline {baseline_path}: {e}"));
+        // Best-of-k: the default-mode timed run above is attempt 1.
+        let mut best_ms = report.sweeps[0].wall.as_secs_f64() * 1e3;
+        for attempt in 1..sweep_best_of {
+            let t0 = Instant::now();
+            let _ = bfly_bench::experiments::fig5_gauss_run(Scale::quick());
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            eprintln!("  sweep re-run {attempt}: {ms:.1} ms");
+            best_ms = best_ms.min(ms);
+        }
+        match check_sweep(&baseline_json, "fig5_gauss_quick", best_ms, sweep_tolerance) {
+            Ok(()) => eprintln!(
+                "sweep gate: OK (best-of-{sweep_best_of} {best_ms:.1} ms within {:.0}% of baseline)",
+                sweep_tolerance * 100.0
+            ),
+            Err(msg) => {
+                eprintln!("sweep gate: FAIL — {msg}");
                 std::process::exit(1);
             }
         }

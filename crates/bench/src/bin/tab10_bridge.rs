@@ -1,10 +1,11 @@
 //! T10 — Bridge parallel file system scaling.
+//! Flags: `--quick`, `--stats`, `--probe` (see [`bfly_bench::BenchCli`]).
+use bfly_bench::BenchCli;
+
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    bfly_bench::experiments::tab10_bridge(if quick {
-        bfly_bench::Scale::quick()
-    } else {
-        bfly_bench::Scale::full()
-    })
-    .print();
+    let cli = BenchCli::parse("tab10_bridge");
+    let probe = cli.begin();
+    let (table, engine) = bfly_bench::experiments::tab10_bridge_run(cli.scale());
+    table.print();
+    cli.finish(probe.as_ref(), Some(&engine));
 }

@@ -1,15 +1,11 @@
-//! T11 — application speedups toward 128 processors. Pass `--quick` for
-//! reduced sizes, `--stats` for an engine-throughput summary line.
+//! T11 — application speedups toward 128 processors.
+//! Flags: `--quick`, `--stats`, `--probe` (see [`bfly_bench::BenchCli`]).
+use bfly_bench::BenchCli;
+
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let stats = std::env::args().any(|a| a == "--stats");
-    let (table, engine) = bfly_bench::experiments::tab11_speedups_run(if quick {
-        bfly_bench::Scale::quick()
-    } else {
-        bfly_bench::Scale::full()
-    });
+    let cli = BenchCli::parse("tab11_speedups");
+    let probe = cli.begin();
+    let (table, engine) = bfly_bench::experiments::tab11_speedups_run(cli.scale());
     table.print();
-    if stats {
-        println!("{}", engine.summary());
-    }
+    cli.finish(probe.as_ref(), Some(&engine));
 }

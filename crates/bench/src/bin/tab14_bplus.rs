@@ -1,10 +1,11 @@
 //! T14 — Butterfly-I vs Butterfly Plus cost ablation (locality gap grows).
+//! Flags: `--quick`, `--stats`, `--probe` (see [`bfly_bench::BenchCli`]).
+use bfly_bench::BenchCli;
+
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    bfly_bench::experiments::tab14_bplus(if quick {
-        bfly_bench::Scale::quick()
-    } else {
-        bfly_bench::Scale::full()
-    })
-    .print();
+    let cli = BenchCli::parse("tab14_bplus");
+    let probe = cli.begin();
+    let (table, engine) = bfly_bench::experiments::tab14_bplus_run(cli.scale());
+    table.print();
+    cli.finish(probe.as_ref(), Some(&engine));
 }

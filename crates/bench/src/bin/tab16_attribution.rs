@@ -1,0 +1,28 @@
+//! T16 — probe-based contention attribution: re-derives finding 3 (≥90 %
+//! of stolen cycles land at the lock's home node) and findings 5/6 (switch
+//! queueing ≪ memory hot-spot queueing) from `bfly-probe` counters, and
+//! asserts both.
+//!
+//! Flags: `--quick`, `--stats`, `--probe` (see [`bfly_bench::BenchCli`]).
+//! Unlike the other binaries this one *always* writes
+//! `PROBE_tab16_attribution.json` — the attribution table is the result —
+//! from the probe attached to the Part-A spin-storm machine. `--probe`
+//! additionally exports the Chrome timeline (`TRACE_*.json`) as usual.
+use bfly_bench::BenchCli;
+
+fn main() {
+    let cli = BenchCli::parse("tab16_attribution");
+    let probe = cli.begin();
+    let (table, engine, part_a) =
+        bfly_bench::experiments::tab16_attribution_full(cli.scale());
+    table.print();
+    if cli.probe {
+        cli.finish(probe.as_ref(), Some(&engine));
+    } else {
+        cli.finish(None, Some(&engine));
+        let path = "PROBE_tab16_attribution.json";
+        std::fs::write(path, part_a.summary_json("tab16_attribution"))
+            .unwrap_or_else(|e| panic!("write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+}

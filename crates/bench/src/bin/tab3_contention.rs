@@ -1,15 +1,11 @@
-//! T3 — memory-cycle stealing by busy-waiting processors. Pass `--quick`
-//! for reduced sizes, `--stats` for an engine-throughput summary line.
+//! T3 — memory-cycle stealing by busy-waiting processors.
+//! Flags: `--quick`, `--stats`, `--probe` (see [`bfly_bench::BenchCli`]).
+use bfly_bench::BenchCli;
+
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let stats = std::env::args().any(|a| a == "--stats");
-    let (table, engine) = bfly_bench::experiments::tab3_contention_run(if quick {
-        bfly_bench::Scale::quick()
-    } else {
-        bfly_bench::Scale::full()
-    });
+    let cli = BenchCli::parse("tab3_contention");
+    let probe = cli.begin();
+    let (table, engine) = bfly_bench::experiments::tab3_contention_run(cli.scale());
     table.print();
-    if stats {
-        println!("{}", engine.summary());
-    }
+    cli.finish(probe.as_ref(), Some(&engine));
 }

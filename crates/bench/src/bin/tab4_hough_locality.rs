@@ -1,10 +1,11 @@
 //! T4 — Hough transform locality disciplines (+42% / +22%).
+//! Flags: `--quick`, `--stats`, `--probe` (see [`bfly_bench::BenchCli`]).
+use bfly_bench::BenchCli;
+
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    bfly_bench::experiments::tab4_hough_locality(if quick {
-        bfly_bench::Scale::quick()
-    } else {
-        bfly_bench::Scale::full()
-    })
-    .print();
+    let cli = BenchCli::parse("tab4_hough_locality");
+    let probe = cli.begin();
+    let (table, engine) = bfly_bench::experiments::tab4_hough_locality_run(cli.scale());
+    table.print();
+    cli.finish(probe.as_ref(), Some(&engine));
 }

@@ -1,15 +1,11 @@
-//! T5 — data placement: matrix on few vs all 128 memories (>30%). Pass
-//! `--quick` for reduced sizes, `--stats` for engine throughput.
+//! T5 — data placement: matrix on few vs all 128 memories (>30%).
+//! Flags: `--quick`, `--stats`, `--probe` (see [`bfly_bench::BenchCli`]).
+use bfly_bench::BenchCli;
+
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let stats = std::env::args().any(|a| a == "--stats");
-    let (table, engine) = bfly_bench::experiments::tab5_scatter_run(if quick {
-        bfly_bench::Scale::quick()
-    } else {
-        bfly_bench::Scale::full()
-    });
+    let cli = BenchCli::parse("tab5_scatter");
+    let probe = cli.begin();
+    let (table, engine) = bfly_bench::experiments::tab5_scatter_run(cli.scale());
     table.print();
-    if stats {
-        println!("{}", engine.summary());
-    }
+    cli.finish(probe.as_ref(), Some(&engine));
 }

@@ -1,10 +1,11 @@
 //! T6 — switch contention vs memory contention.
+//! Flags: `--quick`, `--stats`, `--probe` (see [`bfly_bench::BenchCli`]).
+use bfly_bench::BenchCli;
+
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    bfly_bench::experiments::tab6_switch(if quick {
-        bfly_bench::Scale::quick()
-    } else {
-        bfly_bench::Scale::full()
-    })
-    .print();
+    let cli = BenchCli::parse("tab6_switch");
+    let probe = cli.begin();
+    let (table, engine) = bfly_bench::experiments::tab6_switch_run(cli.scale());
+    table.print();
+    cli.finish(probe.as_ref(), Some(&engine));
 }

@@ -1,10 +1,11 @@
 //! T7 — serial vs parallel memory allocation (Amdahl).
+//! Flags: `--quick`, `--stats`, `--probe` (see [`bfly_bench::BenchCli`]).
+use bfly_bench::BenchCli;
+
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    bfly_bench::experiments::tab7_alloc_amdahl(if quick {
-        bfly_bench::Scale::quick()
-    } else {
-        bfly_bench::Scale::full()
-    })
-    .print();
+    let cli = BenchCli::parse("tab7_alloc_amdahl");
+    let probe = cli.begin();
+    let (table, engine) = bfly_bench::experiments::tab7_alloc_amdahl_run(cli.scale());
+    table.print();
+    cli.finish(probe.as_ref(), Some(&engine));
 }

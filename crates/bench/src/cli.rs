@@ -1,0 +1,170 @@
+//! Shared CLI parsing for every experiment binary.
+//!
+//! All experiment binaries accept the same flags:
+//!
+//! * `--quick` — reduced problem sizes (CI-friendly seconds, not minutes).
+//! * `--stats` — print an engine-throughput summary line after the table.
+//! * `--probe` — attach a `bfly-probe` [`Probe`] for the whole run and
+//!   write `PROBE_<exp>.json` (counters, attribution, queue histograms)
+//!   plus `TRACE_<exp>.json` (Chrome `trace_event` timeline, loadable in
+//!   Perfetto / `chrome://tracing`). Probes are observational only: the
+//!   simulated results are bit-identical with or without the flag.
+//! * `--n <N>` — override the problem size where the experiment has one
+//!   (currently FIG5's matrix dimension).
+//!
+//! `--probe` installs the probe *ambiently* for the calling thread (see
+//! `bfly_probe::install_ambient`) and forces parameter sweeps serial so
+//! every internally constructed `Machine` auto-attaches to it; the sweep
+//! determinism contract keeps serial results identical to parallel ones.
+
+use bfly_probe::Probe;
+
+use crate::report::EngineStats;
+use crate::sweep::set_force_serial;
+use crate::Scale;
+
+/// Parsed common flags for one experiment binary.
+#[derive(Debug, Clone)]
+pub struct BenchCli {
+    /// Experiment name, e.g. `"tab6_switch"`; names the probe output files.
+    pub exp: &'static str,
+    /// Reduced problem sizes.
+    pub quick: bool,
+    /// Print the engine summary line.
+    pub stats: bool,
+    /// Attach a probe and export `PROBE_/TRACE_` files.
+    pub probe: bool,
+    /// Optional problem-size override.
+    pub n: Option<u32>,
+}
+
+impl BenchCli {
+    /// Parse `std::env::args()`.
+    pub fn parse(exp: &'static str) -> BenchCli {
+        Self::parse_from(exp, std::env::args().skip(1))
+    }
+
+    /// Parse an explicit argument list (testable form of [`BenchCli::parse`]).
+    pub fn parse_from(exp: &'static str, args: impl IntoIterator<Item = String>) -> BenchCli {
+        let mut cli = BenchCli {
+            exp,
+            quick: false,
+            stats: false,
+            probe: false,
+            n: None,
+        };
+        let mut args = args.into_iter();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => cli.quick = true,
+                "--stats" => cli.stats = true,
+                "--probe" => cli.probe = true,
+                "--n" => {
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| panic!("{exp}: --n takes a value"));
+                    cli.n = Some(v.parse().unwrap_or_else(|_| panic!("{exp}: bad --n {v}")));
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "usage: {exp} [--quick] [--stats] [--probe] [--n <size>]\n\
+                         \x20 --quick  reduced problem sizes\n\
+                         \x20 --stats  engine-throughput summary line\n\
+                         \x20 --probe  write PROBE_{exp}.json + TRACE_{exp}.json\n\
+                         \x20 --n <N>  problem-size override (where supported)"
+                    );
+                    std::process::exit(0);
+                }
+                other => eprintln!("{exp}: ignoring unknown argument `{other}`"),
+            }
+        }
+        cli
+    }
+
+    /// The scale implied by `--quick`.
+    pub fn scale(&self) -> Scale {
+        if self.quick {
+            Scale::quick()
+        } else {
+            Scale::full()
+        }
+    }
+
+    /// Set up probing if requested: create a probe, install it ambiently,
+    /// and force sweeps serial. Call once before running the experiment.
+    pub fn begin(&self) -> Option<Probe> {
+        if !self.probe {
+            return None;
+        }
+        let probe = Probe::new();
+        bfly_probe::install_ambient(Some(probe.clone()));
+        set_force_serial(true);
+        eprintln!("{}: probing enabled (sweeps run serially)", self.exp);
+        Some(probe)
+    }
+
+    /// Tear down after the experiment: print the `--stats` line, export the
+    /// probe files, and undo [`BenchCli::begin`]'s ambient state.
+    pub fn finish(&self, probe: Option<&Probe>, engine: Option<&EngineStats>) {
+        if self.stats {
+            match engine {
+                Some(e) => println!("{}", e.summary()),
+                None => println!("engine: (no simulations reachable from this experiment)"),
+            }
+        }
+        if let Some(p) = probe {
+            bfly_probe::install_ambient(None);
+            set_force_serial(false);
+            let summary_path = format!("PROBE_{}.json", self.exp);
+            let trace_path = format!("TRACE_{}.json", self.exp);
+            std::fs::write(&summary_path, p.summary_json(self.exp))
+                .unwrap_or_else(|e| panic!("write {summary_path}: {e}"));
+            std::fs::write(&trace_path, p.chrome_trace())
+                .unwrap_or_else(|e| panic!("write {trace_path}: {e}"));
+            eprintln!("wrote {summary_path} and {trace_path}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_all_common_flags() {
+        let cli = BenchCli::parse_from("t", argv(&["--quick", "--stats", "--probe", "--n", "64"]));
+        assert!(cli.quick && cli.stats && cli.probe);
+        assert_eq!(cli.n, Some(64));
+        let cli = BenchCli::parse_from("t", argv(&[]));
+        assert!(!cli.quick && !cli.stats && !cli.probe);
+        assert_eq!(cli.n, None);
+    }
+
+    #[test]
+    fn begin_installs_ambient_probe_and_finish_removes_it() {
+        let _g = crate::sweep::TEST_SERIAL_LOCK.lock().unwrap();
+        let cli = BenchCli::parse_from("t", argv(&["--probe"]));
+        let probe = cli.begin().expect("probe requested");
+        assert!(bfly_probe::ambient().is_some());
+        assert!(crate::sweep::force_serial());
+        // Write outputs into a temp dir so the test leaves no droppings.
+        let dir = std::env::temp_dir().join(format!("bfly_cli_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let old = std::env::current_dir().unwrap();
+        std::env::set_current_dir(&dir).unwrap();
+        cli.finish(Some(&probe), None);
+        std::env::set_current_dir(old).unwrap();
+        assert!(bfly_probe::ambient().is_none());
+        assert!(!crate::sweep::force_serial());
+        let written = std::fs::read_to_string(dir.join("PROBE_t.json")).unwrap();
+        assert!(written.contains("\"schema\": \"bfly-probe/1\""));
+        bfly_probe::json::validate_json(&written).unwrap();
+        let trace = std::fs::read_to_string(dir.join("TRACE_t.json")).unwrap();
+        bfly_probe::json::validate_json(&trace).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -7,6 +7,7 @@ use bfly_machine::{Machine, MachineConfig, NodeId};
 use bfly_sim::{Sim, MS};
 use bfly_uniform::{task, AllocMode, Us, UsCosts};
 
+use crate::report::EngineStats;
 use crate::{Scale, Table};
 
 /// T7 — serial vs parallel memory allocation under the Uniform System.
@@ -14,6 +15,11 @@ use crate::{Scale, Table};
 /// factor in many programs until a parallel memory allocator was
 /// introduced" (ref \[20\]).
 pub fn tab7_alloc_amdahl(scale: Scale) -> Table {
+    tab7_alloc_amdahl_run(scale).0
+}
+
+/// [`tab7_alloc_amdahl`] plus aggregated engine counters (for `--stats`).
+pub fn tab7_alloc_amdahl_run(scale: Scale) -> (Table, EngineStats) {
     let allocs_per_task: u64 = scale.pick(6, 3);
     let tasks: u64 = scale.pick(256, 64);
     let ps: &[u16] = if scale.quick { &[4, 16] } else { &[4, 16, 64, 128] };
@@ -24,7 +30,7 @@ pub fn tab7_alloc_amdahl(scale: Scale) -> Table {
         ),
         &["P", "serial alloc (ms)", "parallel alloc (ms)", "serial/parallel"],
     );
-    let run = |mode: AllocMode, p: u16| -> u64 {
+    let run = |mode: AllocMode, p: u16| -> (u64, bfly_sim::exec::RunStats) {
         let sim = Sim::new();
         let m = Machine::new(&sim, MachineConfig::rochester());
         let os = Os::boot(&m);
@@ -49,12 +55,15 @@ pub fn tab7_alloc_amdahl(scale: Scale) -> Table {
             .await;
             us2.shutdown();
         });
-        sim.run();
-        sim.now()
+        let stats = sim.run();
+        (sim.now(), stats)
     };
+    let mut engine = EngineStats::default();
     for &p in ps {
-        let serial = run(AllocMode::Serial, p);
-        let par = run(AllocMode::Parallel, p);
+        let (serial, s1) = run(AllocMode::Serial, p);
+        let (par, s2) = run(AllocMode::Parallel, p);
+        engine.add(&s1);
+        engine.add(&s2);
         t.row(vec![
             p.to_string(),
             format!("{:.1}", serial as f64 / 1e6),
@@ -62,7 +71,7 @@ pub fn tab7_alloc_amdahl(scale: Scale) -> Table {
             format!("{:.2}x", serial as f64 / par as f64),
         ]);
     }
-    t
+    (t, engine)
 }
 
 /// T8 — Crowd Control. Paper: tree-based creation spreads the work, "but
@@ -70,6 +79,11 @@ pub fn tab7_alloc_amdahl(scale: Scale) -> Table {
 /// Chrysalis) ultimately limits our ability to exploit large-scale
 /// parallelism during process creation."
 pub fn tab8_crowd(scale: Scale) -> Table {
+    tab8_crowd_run(scale).0
+}
+
+/// [`tab8_crowd`] plus aggregated engine counters (for `--stats`).
+pub fn tab8_crowd_run(scale: Scale) -> (Table, EngineStats) {
     let ns: &[u32] = if scale.quick { &[8, 16] } else { &[8, 16, 32, 64] };
     let mut t = Table::new(
         "T8: creating N processes — serial vs Crowd Control tree \
@@ -82,7 +96,7 @@ pub fn tab8_crowd(scale: Scale) -> Table {
             "tree/floor",
         ],
     );
-    let run = |tree: bool, n: u32| -> u64 {
+    let run = |tree: bool, n: u32| -> (u64, bfly_sim::exec::RunStats) {
         let sim = Sim::new();
         let m = Machine::new(&sim, MachineConfig::rochester());
         let os = Os::boot(&m);
@@ -94,12 +108,15 @@ pub fn tab8_crowd(scale: Scale) -> Table {
                 serial_spawn(&p, n, w).await;
             }
         });
-        sim.run();
-        sim.now()
+        let stats = sim.run();
+        (sim.now(), stats)
     };
+    let mut engine = EngineStats::default();
     for &n in ns {
-        let serial = run(false, n);
-        let tree = run(true, n);
+        let (serial, s1) = run(false, n);
+        let (tree, s2) = run(true, n);
+        engine.add(&s1);
+        engine.add(&s2);
         let floor = n as u64 * 8 * MS; // OsCosts::chrysalis().template_hold
         t.row(vec![
             n.to_string(),
@@ -109,5 +126,5 @@ pub fn tab8_crowd(scale: Scale) -> Table {
             format!("{:.2}x", tree as f64 / floor as f64),
         ]);
     }
-    t
+    (t, engine)
 }

@@ -8,6 +8,7 @@
 use bfly_apps::hough::{hough_on, Discipline};
 use bfly_machine::Costs;
 
+use crate::report::EngineStats;
 use crate::{Scale, Table};
 
 /// T14 — rerun the reference costs and the Hough locality experiment under
@@ -15,6 +16,11 @@ use crate::{Scale, Table};
 /// remote:local ratio grows from 5× to 10×, and the payoff of the
 /// block-copy discipline grows with it.
 pub fn tab14_bplus(scale: Scale) -> Table {
+    tab14_bplus_run(scale).0
+}
+
+/// [`tab14_bplus`] plus aggregated engine counters (for `--stats`).
+pub fn tab14_bplus_run(scale: Scale) -> (Table, EngineStats) {
     let mut t = Table::new(
         "T14: Butterfly-I vs Butterfly Plus \
          (paper: local 4x faster, remote only 2x -> locality matters more)",
@@ -42,9 +48,12 @@ pub fn tab14_bplus(scale: Scale) -> Table {
     let nprocs: u16 = scale.pick(64, 16);
     let size: u32 = scale.pick(128, 48);
     let n_theta: u32 = scale.pick(24, 12);
-    let gain = |costs: Costs| -> f64 {
+    let mut engine = EngineStats::default();
+    let mut gain = |costs: Costs| -> f64 {
         let naive = hough_on(nprocs, size, n_theta, Discipline::Naive, 7, costs.clone());
         let block = hough_on(nprocs, size, n_theta, Discipline::BlockCopy, 7, costs);
+        engine.add(&naive.run);
+        engine.add(&block.run);
         naive.time_ns as f64 / block.time_ns as f64
     };
     let g1 = gain(b1);
@@ -58,5 +67,5 @@ pub fn tab14_bplus(scale: Scale) -> Table {
         gp > g1,
         "locality must matter MORE on the Butterfly Plus ({g1:.2} vs {gp:.2})"
     );
-    t
+    (t, engine)
 }

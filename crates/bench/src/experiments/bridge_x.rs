@@ -9,6 +9,7 @@ use bfly_chrysalis::Os;
 use bfly_machine::{Machine, MachineConfig};
 use bfly_sim::Sim;
 
+use crate::report::EngineStats;
 use crate::{Scale, Table};
 
 /// T10 — Bridge throughput vs number of interleaved disks. Paper:
@@ -16,6 +17,11 @@ use crate::{Scale, Table};
 /// linear speedup on several dozen disks for a wide variety of file-based
 /// operations, including copying, sorting, searching, and comparing."
 pub fn tab10_bridge(scale: Scale) -> Table {
+    tab10_bridge_run(scale).0
+}
+
+/// [`tab10_bridge`] plus aggregated engine counters (for `--stats`).
+pub fn tab10_bridge_run(scale: Scale) -> (Table, EngineStats) {
     let blocks_per_disk: u64 = scale.pick(12, 4);
     let disks: &[usize] = if scale.quick {
         &[1, 4, 8]
@@ -36,6 +42,7 @@ pub fn tab10_bridge(scale: Scale) -> Table {
             "sort (ms)",
         ],
     );
+    let mut engine = EngineStats::default();
     let mut copy1 = 0f64;
     let mut grep1 = 0f64;
     for &d in disks {
@@ -64,7 +71,7 @@ pub fn tab10_bridge(scale: Scale) -> Table {
             fs2.unmount();
             (t_copy, t_grep, t_sort, hits)
         });
-        sim.run();
+        engine.add(&sim.run());
         let (t_copy, t_grep, t_sort, _hits) = h.try_take().unwrap();
         // Verify the sort really sorted.
         let mut expect = peek_records(&fs, &src);
@@ -88,5 +95,5 @@ pub fn tab10_bridge(scale: Scale) -> Table {
             format!("{:.0}", t_sort as f64 / 1e6),
         ]);
     }
-    t
+    (t, engine)
 }

@@ -23,6 +23,7 @@ use bfly_chrysalis::Os;
 use bfly_machine::{Machine, MachineConfig};
 use bfly_sim::{FaultKind, FaultPlan, Sim, SimTime};
 
+use crate::report::EngineStats;
 use crate::{Scale, Table};
 
 /// Fixed experiment seed: T15 is about determinism under faults, so the
@@ -63,7 +64,10 @@ fn fill_mirrored(fs: &BridgeFs, f: &BridgeFile, seed: u64) {
 /// replica, so the surviving neighbour serves *two* streams — the measured
 /// degraded-mode slowdown. Returns (copy time, degraded reads). Panics if
 /// any block is unreadable or the copy is not verifiably identical.
-fn bridge_copy_degraded(blocks_per_disk: u64, failed: &[u32]) -> (SimTime, u64) {
+fn bridge_copy_degraded(
+    blocks_per_disk: u64,
+    failed: &[u32],
+) -> (SimTime, u64, bfly_sim::exec::RunStats) {
     const DISKS: usize = 8;
     let sim = Sim::with_seed(SEED);
     let m = Machine::new(&sim, MachineConfig::rochester());
@@ -118,8 +122,8 @@ fn bridge_copy_degraded(blocks_per_disk: u64, failed: &[u32]) -> (SimTime, u64) 
         fs2.unmount();
         elapsed
     });
-    sim.run();
-    (h.try_take().unwrap(), fs.degraded_reads.get())
+    let stats = sim.run();
+    (h.try_take().unwrap(), fs.degraded_reads.get(), stats)
 }
 
 /// T15 — fault injection and graceful degradation. Gauss/SMP completes
@@ -127,6 +131,12 @@ fn bridge_copy_degraded(blocks_per_disk: u64, failed: &[u32]) -> (SimTime, u64) 
 /// mirrored disks completes with 1 disk failed, reading the failed disk's
 /// blocks through surviving replicas.
 pub fn tab15_faults(scale: Scale) -> Table {
+    tab15_faults_run(scale).0
+}
+
+/// [`tab15_faults`] plus aggregated engine counters (for `--stats`).
+pub fn tab15_faults_run(scale: Scale) -> (Table, EngineStats) {
+    let mut engine = EngineStats::default();
     let mut t = Table::new(
         &format!(
             "T15: graceful degradation under deterministic fault injection \
@@ -144,6 +154,7 @@ pub fn tab15_faults(scale: Scale) -> Table {
     let mut base = 0f64;
     for (nlinks, factor) in [(0u32, 1u32), (64, 16), (64, 64), (64, 256)] {
         let r = gauss_smp_faulty(nprocs, n, SEED, &degrade_plan(nlinks, factor));
+        engine.add(&r.run);
         assert!(
             r.max_err < 1e-6,
             "degraded links must not corrupt the solution (err {})",
@@ -170,7 +181,8 @@ pub fn tab15_faults(scale: Scale) -> Table {
     let bpd = scale.pick(8, 2);
     let mut base = 0f64;
     for failed in [&[][..], &[3u32][..]] {
-        let (elapsed, degraded) = bridge_copy_degraded(bpd, failed);
+        let (elapsed, degraded, stats) = bridge_copy_degraded(bpd, failed);
+        engine.add(&stats);
         let ms = elapsed as f64 / 1e6;
         if failed.is_empty() {
             base = ms;
@@ -187,5 +199,5 @@ pub fn tab15_faults(scale: Scale) -> Table {
             format!("degraded reads={degraded}, copy verified"),
         ]);
     }
-    t
+    (t, engine)
 }

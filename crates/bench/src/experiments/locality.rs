@@ -11,6 +11,11 @@ use crate::{parallel_sweep, Scale, Table};
 /// local memory improved performance by 42 % on 64 processors; local
 /// lookup tables for transcendentals improved it an additional 22 %.
 pub fn tab4_hough_locality(scale: Scale) -> Table {
+    tab4_hough_locality_run(scale).0
+}
+
+/// [`tab4_hough_locality`] plus aggregated engine counters (for `--stats`).
+pub fn tab4_hough_locality_run(scale: Scale) -> (Table, EngineStats) {
     let nprocs: u16 = scale.pick(64, 16);
     let size: u32 = scale.pick(128, 48);
     let n_theta: u32 = scale.pick(24, 12);
@@ -26,6 +31,10 @@ pub fn tab4_hough_locality(scale: Scale) -> Table {
     let c = hough(nprocs, size, n_theta, Discipline::BlockCopyTables, 7);
     assert_eq!(a.peak.0, b.peak.0);
     assert_eq!(b.peak, c.peak);
+    let mut engine = EngineStats::default();
+    engine.add(&a.run);
+    engine.add(&b.run);
+    engine.add(&c.run);
     let rows = [
         ("naive shared-memory", a.time_ns, a.time_ns),
         ("block-copied bands", b.time_ns, a.time_ns),
@@ -43,7 +52,7 @@ pub fn tab4_hough_locality(scale: Scale) -> Table {
             },
         ]);
     }
-    t
+    (t, engine)
 }
 
 /// T5 — data placement. Paper: spreading the Gaussian-elimination matrix

@@ -20,7 +20,12 @@ fn rochester() -> (Sim, Rc<Machine>, Rc<Os>) {
 
 /// T1 — memory reference costs. Paper (§2.1): remote reads ≈ 4 µs, about
 /// five times a local reference; block transfer amortizes the overhead.
-pub fn tab1_memory(_scale: Scale) -> Table {
+pub fn tab1_memory(scale: Scale) -> Table {
+    tab1_memory_run(scale).0
+}
+
+/// [`tab1_memory`] plus aggregated engine counters (for `--stats`).
+pub fn tab1_memory_run(_scale: Scale) -> (Table, EngineStats) {
     let (sim, m, os) = rochester();
     let mut t = Table::new(
         "T1: memory reference microbenchmarks (paper: remote ~4us = 5x local)",
@@ -67,7 +72,8 @@ pub fn tab1_memory(_scale: Scale) -> Table {
         let _ = m2;
         out
     });
-    sim.run();
+    let mut engine = EngineStats::default();
+    engine.add(&sim.run());
     let rows = h.try_take().unwrap();
     let paper: &[(&str, &str)] = &[
         ("local read", "~0.8us"),
@@ -83,13 +89,18 @@ pub fn tab1_memory(_scale: Scale) -> Table {
             pp.to_string(),
         ]);
     }
-    t
+    (t, engine)
 }
 
 /// T2 — Chrysalis primitive costs. Paper: events/dual queues complete in
 /// tens of µs; catch/throw ≈ 70 µs per protected block; SAR map/unmap over
 /// 1 ms; process creation is heavyweight and partly serialized.
-pub fn tab2_primitives(_scale: Scale) -> Table {
+pub fn tab2_primitives(scale: Scale) -> Table {
+    tab2_primitives_run(scale).0
+}
+
+/// [`tab2_primitives`] plus aggregated engine counters (for `--stats`).
+pub fn tab2_primitives_run(_scale: Scale) -> (Table, EngineStats) {
     let (sim, _m, os) = rochester();
     let mut t = Table::new(
         "T2: Chrysalis primitive costs (paper: events/dualqs tens of us; catch ~70us; map >1ms)",
@@ -153,7 +164,8 @@ pub fn tab2_primitives(_scale: Scale) -> Table {
         out.push(("process create", (p.os.sim().now() - t0) / 4));
         out
     });
-    sim.run();
+    let mut engine = EngineStats::default();
+    engine.add(&sim.run());
     let rows = h.try_take().unwrap();
     let paper: &[(&str, &str)] = &[
         ("event post+wait", "tens of us"),
@@ -171,7 +183,7 @@ pub fn tab2_primitives(_scale: Scale) -> Table {
             pp.to_string(),
         ]);
     }
-    t
+    (t, engine)
 }
 
 /// T3 — memory-cycle stealing. Paper (§2.1/§4.1): many processors
@@ -262,6 +274,11 @@ pub fn tab3_contention_run(scale: Scale) -> (Table, EngineStats) {
 /// Thomas): switch contention was "rendered almost negligible", while
 /// memory contention (hot spots) seriously impacts performance.
 pub fn tab6_switch(scale: Scale) -> Table {
+    tab6_switch_run(scale).0
+}
+
+/// [`tab6_switch`] plus aggregated engine counters (for `--stats`).
+pub fn tab6_switch_run(scale: Scale) -> (Table, EngineStats) {
     let mut t = Table::new(
         "T6: switch vs memory contention under remote traffic \
          (paper: switch queueing negligible; memory hot-spots dominate)",
@@ -274,6 +291,7 @@ pub fn tab6_switch(scale: Scale) -> Table {
         ],
     );
     let refs_per_proc: u32 = scale.pick(200, 40);
+    let mut engine = EngineStats::default();
     for &hotspot in &[false, true] {
         let sim = Sim::with_seed(42);
         let m = Machine::new(
@@ -301,7 +319,7 @@ pub fn tab6_switch(scale: Scale) -> Table {
                 }
             });
         }
-        sim.run();
+        engine.add(&sim.run());
         let total_refs = 64 * refs_per_proc as u64;
         let sw_wait = m.switch.total_port_wait() as f64 / total_refs as f64;
         let mem_wait: u64 = (0..128u16)
@@ -315,5 +333,5 @@ pub fn tab6_switch(scale: Scale) -> Table {
             format!("{:.0}", mem_wait as f64 / total_refs as f64),
         ]);
     }
-    t
+    (t, engine)
 }

@@ -2,6 +2,7 @@
 //! for the experiment-id ↔ paper-source mapping.
 
 pub mod amdahl;
+pub mod attribution;
 pub mod bplus;
 pub mod bridge_x;
 pub mod faults;
@@ -12,15 +13,19 @@ pub mod models;
 pub mod replay_x;
 pub mod speedups;
 
-pub use amdahl::{tab7_alloc_amdahl, tab8_crowd};
-pub use bplus::tab14_bplus;
-pub use bridge_x::tab10_bridge;
-pub use faults::tab15_faults;
+pub use amdahl::{tab7_alloc_amdahl, tab7_alloc_amdahl_run, tab8_crowd, tab8_crowd_run};
+pub use attribution::{tab16_attribution, tab16_attribution_full, tab16_attribution_run};
+pub use bplus::{tab14_bplus, tab14_bplus_run};
+pub use bridge_x::{tab10_bridge, tab10_bridge_run};
+pub use faults::{tab15_faults, tab15_faults_run};
 pub use fig5::{fig5_gauss, fig5_gauss_at, fig5_gauss_run};
-pub use locality::{tab4_hough_locality, tab5_scatter, tab5_scatter_run};
-pub use machine_os::{
-    tab1_memory, tab2_primitives, tab3_contention, tab3_contention_run, tab6_switch,
+pub use locality::{
+    tab4_hough_locality, tab4_hough_locality_run, tab5_scatter, tab5_scatter_run,
 };
-pub use models::{tab12_models, tab13_linda};
-pub use replay_x::tab9_replay;
+pub use machine_os::{
+    tab1_memory, tab1_memory_run, tab2_primitives, tab2_primitives_run, tab3_contention,
+    tab3_contention_run, tab6_switch, tab6_switch_run,
+};
+pub use models::{tab12_models, tab12_models_run, tab13_linda, tab13_linda_run};
+pub use replay_x::{tab9_replay, tab9_replay_run};
 pub use speedups::{tab11_speedups, tab11_speedups_run};

@@ -11,6 +11,7 @@ use bfly_smp::{Family, SmpCosts, Topology};
 use butterfly_core::rpc_compare::{remote_ref_baseline_ns, run_comparison};
 use butterfly_core::tuple_space::TupleSpace;
 
+use crate::report::EngineStats;
 use crate::{Scale, Table};
 
 /// T12 — the cost of communication under every programming model, over the
@@ -18,7 +19,13 @@ use crate::{Scale, Table};
 /// very reasonable ... any general scheme for communication on the
 /// Butterfly will have comparable costs" — i.e., every model costs far
 /// more than a bare remote reference, and richer semantics cost more.
-pub fn tab12_models(_scale: Scale) -> Table {
+pub fn tab12_models(scale: Scale) -> Table {
+    tab12_models_run(scale).0
+}
+
+/// [`tab12_models`] plus aggregated engine counters (for `--stats`).
+pub fn tab12_models_run(_scale: Scale) -> (Table, EngineStats) {
+    let mut engine = EngineStats::default();
     let sim = Sim::new();
     let m = Machine::new(&sim, MachineConfig::rochester());
     let os = Os::boot(&m);
@@ -83,7 +90,7 @@ pub fn tab12_models(_scale: Scale) -> Table {
                 }
             },
         );
-        sim.run();
+        engine.add(&sim.run());
         t.row(vec![
             "SMP send (steady state)".into(),
             format!("{:.0}", cell.get() as f64 / 1e3),
@@ -111,21 +118,26 @@ pub fn tab12_models(_scale: Scale) -> Table {
             }
             (ant.af.os.sim().now() - t0) / 8
         });
-        sim.run();
+        engine.add(&sim.run());
         t.row(vec![
             "Ant Farm channel op".into(),
             format!("{:.0}", h.try_take().unwrap() as f64 / 1e3),
             "blockable lightweight threads".into(),
         ]);
     }
-    t
+    (t, engine)
 }
 
 /// T13 — Linda on shared memory. Paper (§4.2): "the shared memory is used
 /// to implement an efficient Linda tuple space. The Linda in, read, and
 /// out operations correspond roughly to the operations used to cache data
 /// in the Uniform System."
-pub fn tab13_linda(_scale: Scale) -> Table {
+pub fn tab13_linda(scale: Scale) -> Table {
+    tab13_linda_run(scale).0
+}
+
+/// [`tab13_linda`] plus aggregated engine counters (for `--stats`).
+pub fn tab13_linda_run(_scale: Scale) -> (Table, EngineStats) {
     let sim = Sim::new();
     let m = Machine::new(&sim, MachineConfig::rochester());
     let os = Os::boot(&m);
@@ -174,7 +186,8 @@ pub fn tab13_linda(_scale: Scale) -> Table {
         out.push(("US cache-out (256B copy)", (p.os.sim().now() - t0) / reps));
         out
     });
-    sim.run();
+    let mut engine = EngineStats::default();
+    engine.add(&sim.run());
     let rows = h.try_take().unwrap();
     let corr: &[&str] = &[
         "US cache-out + lock",
@@ -190,5 +203,5 @@ pub fn tab13_linda(_scale: Scale) -> Table {
             c.to_string(),
         ]);
     }
-    t
+    (t, engine)
 }

@@ -4,6 +4,7 @@ use bfly_apps::knight::knights_tour;
 use bfly_apps::sort::{merge_sort_replay, odd_even_smp};
 use bfly_replay::{Mode, Moviola, ReplaySystem};
 
+use crate::report::EngineStats;
 use crate::{Scale, Table};
 
 /// T9 — Instant Replay. Paper: "the overhead of monitoring can be kept to
@@ -11,6 +12,12 @@ use crate::{Scale, Table};
 /// reproduces nondeterministic executions; Moviola renders the partial
 /// order (Figure 6 shows a deadlocked odd-even merge sort).
 pub fn tab9_replay(scale: Scale) -> Table {
+    tab9_replay_run(scale).0
+}
+
+/// [`tab9_replay`] plus aggregated engine counters (for `--stats`).
+pub fn tab9_replay_run(scale: Scale) -> (Table, EngineStats) {
+    let mut engine = EngineStats::default();
     let n: usize = scale.pick(1024, 128);
     let procs: u16 = scale.pick(8, 4);
     let mut t = Table::new(
@@ -23,6 +30,8 @@ pub fn tab9_replay(scale: Scale) -> Table {
     let (off, _) = merge_sort_replay(procs, n, 11, ReplaySystem::new(Mode::Off));
     let (rec, sys) = merge_sort_replay(procs, n, 11, ReplaySystem::new(Mode::Record));
     assert!(off.completed && rec.completed);
+    engine.add(&off.run);
+    engine.add(&rec.run);
     let overhead = (rec.time_ns as f64 / off.time_ns as f64 - 1.0) * 100.0;
     t.row(vec![
         "monitoring overhead".into(),
@@ -44,6 +53,9 @@ pub fn tab9_replay(scale: Scale) -> Table {
     let a = knights_tour(5, 6, 100, 30);
     let b = knights_tour(5, 6, 200, 30);
     let a2 = knights_tour(5, 6, 100, 30);
+    engine.add(&a.run);
+    engine.add(&b.run);
+    engine.add(&a2.run);
     t.row(vec![
         "tours differ across seeds".into(),
         (a.tour != b.tour || a.expansions != b.expansions).to_string(),
@@ -59,6 +71,7 @@ pub fn tab9_replay(scale: Scale) -> Table {
     let trace = sys.trace();
     let replay_sys = ReplaySystem::for_replay(&trace);
     let (rep, _) = merge_sort_replay(procs, n, 11, replay_sys);
+    engine.add(&rep.run);
     t.row(vec![
         "replay reproduces result".into(),
         (rep.data == rec.data).to_string(),
@@ -67,6 +80,7 @@ pub fn tab9_replay(scale: Scale) -> Table {
 
     // Figure 6: the deadlocked odd-even sort, rendered by Moviola.
     let bug = odd_even_smp(8, 64, 3, true);
+    engine.add(&bug.run);
     t.row(vec![
         "Figure 6 deadlock detected".into(),
         format!("{} stuck procs", bug.stuck.len()),
@@ -78,5 +92,5 @@ pub fn tab9_replay(scale: Scale) -> Table {
         format!("{} / {}", mov.records().len(), mov.edges().len()),
         "partial order at arbitrary detail".into(),
     ]);
-    t
+    (t, engine)
 }

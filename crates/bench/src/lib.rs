@@ -6,11 +6,13 @@
 //! `benches/figures.rs` target regenerates everything in quick mode under
 //! `cargo bench`.
 
+pub mod cli;
 pub mod experiments;
 pub mod report;
 pub mod sweep;
 pub mod table;
 
+pub use cli::BenchCli;
 pub use sweep::parallel_sweep;
 pub use table::Table;
 

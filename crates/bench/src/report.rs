@@ -222,6 +222,49 @@ pub fn check_headline(baseline_json: &str, current: f64, tolerance: f64) -> Resu
     }
 }
 
+/// Extract the `wall_ms` of the sweep named `name` from a previously
+/// written report, without a JSON parser: find the sweep's name key, then
+/// the first `"wall_ms":` after it. Returns `None` if absent or malformed.
+pub fn parse_sweep_wall_ms(json: &str, name: &str) -> Option<f64> {
+    let mut key = String::from("\"name\": ");
+    push_json_str(&mut key, name);
+    let at = json.find(&key)? + key.len();
+    const WALL: &str = "\"wall_ms\":";
+    let rest = &json[at..];
+    let w = rest.find(WALL)? + WALL.len();
+    let rest = rest[w..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// CI probe-overhead gate: `Ok` if `current_ms` for sweep `name` is within
+/// `tolerance` (e.g. `0.02` = may be up to 2 % *slower*) of the baseline
+/// report's wall-clock for the same sweep. Compare a best-of-k current
+/// wall against a single-run baseline so host noise biases toward passing
+/// while a real slowdown (the disabled-probe branches costing more than
+/// the budget) still trips the gate.
+pub fn check_sweep(
+    baseline_json: &str,
+    name: &str,
+    current_ms: f64,
+    tolerance: f64,
+) -> Result<(), String> {
+    let base = parse_sweep_wall_ms(baseline_json, name)
+        .ok_or_else(|| format!("baseline has no sweep named {name}"))?;
+    let ceiling = base * (1.0 + tolerance);
+    if current_ms > ceiling {
+        Err(format!(
+            "sweep {name} slowed down: {current_ms:.1} ms vs baseline {base:.1} ms \
+             (ceiling {ceiling:.1} at {:.0}% tolerance)",
+            tolerance * 100.0
+        ))
+    } else {
+        Ok(())
+    }
+}
+
 /// Run the standard engine micro-benchmarks. Deterministic workloads, so
 /// the only run-to-run variance is host timing. Sized to finish in well
 /// under a second each in release builds.
@@ -350,6 +393,37 @@ mod tests {
         assert!((parsed - 2e7).abs() < 1.0);
         assert!(check_headline(&json, parsed, 0.2).is_ok());
         assert!(check_headline(&json, parsed * 0.5, 0.2).is_err());
+    }
+
+    #[test]
+    fn sweep_wall_round_trips_and_gates() {
+        let report = PerfReport {
+            metrics: Vec::new(),
+            sweeps: vec![
+                SweepMeasure {
+                    name: "fig5_gauss_quick".into(),
+                    points: 4,
+                    threads: 4,
+                    wall: Duration::from_millis(800),
+                },
+                SweepMeasure {
+                    name: "fig5_gauss_full_n384".into(),
+                    points: 8,
+                    threads: 8,
+                    wall: Duration::from_secs(120),
+                },
+            ],
+            tables: Vec::new(),
+        };
+        let json = report.to_json();
+        let quick = parse_sweep_wall_ms(&json, "fig5_gauss_quick").unwrap();
+        assert!((quick - 800.0).abs() < 0.2);
+        let full = parse_sweep_wall_ms(&json, "fig5_gauss_full_n384").unwrap();
+        assert!((full - 120_000.0).abs() < 1.0);
+        assert!(parse_sweep_wall_ms(&json, "nope").is_none());
+        assert!(check_sweep(&json, "fig5_gauss_quick", 810.0, 0.02).is_ok());
+        assert!(check_sweep(&json, "fig5_gauss_quick", 900.0, 0.02).is_err());
+        assert!(check_sweep(&json, "missing", 1.0, 0.02).is_err());
     }
 
     #[test]

@@ -19,11 +19,37 @@
 //! binaries can use it unconditionally.
 
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// When set, [`parallel_sweep`] runs every point serially on the calling
+/// thread. Used by `--probe` runs: probes are thread-local (`Rc`-based, and
+/// installed ambiently on the invoking thread), so the sweep must stay
+/// where the probe is. The determinism contract above makes the serial
+/// results bit-identical — only wall-clock changes.
+static FORCE_SERIAL: AtomicBool = AtomicBool::new(false);
+
+/// Force (or stop forcing) serial in-place sweeps. Returns the previous
+/// setting.
+pub fn set_force_serial(on: bool) -> bool {
+    FORCE_SERIAL.swap(on, Ordering::Relaxed)
+}
+
+/// Serializes unit tests that toggle [`set_force_serial`] (the flag is
+/// process-global and the test harness is multi-threaded).
+#[cfg(test)]
+pub(crate) static TEST_SERIAL_LOCK: Mutex<()> = Mutex::new(());
+
+/// True if sweeps are currently forced serial.
+pub fn force_serial() -> bool {
+    FORCE_SERIAL.load(Ordering::Relaxed)
+}
 
 /// Number of worker threads a sweep of `points` items would use.
 pub fn sweep_threads(points: usize) -> usize {
+    if force_serial() {
+        return 1;
+    }
     std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)
@@ -109,6 +135,18 @@ mod tests {
         let seeds: Vec<u64> = (0..8).collect();
         let par = parallel_sweep(&seeds, |_, &s| point(s));
         let ser: Vec<u64> = seeds.iter().map(|&s| point(s)).collect();
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn forced_serial_sweep_matches_parallel() {
+        let _g = TEST_SERIAL_LOCK.lock().unwrap();
+        let points: Vec<u64> = (0..6).collect();
+        let par = parallel_sweep(&points, |i, &p| p * 10 + i as u64);
+        let was = set_force_serial(true);
+        assert_eq!(sweep_threads(points.len()), 1);
+        let ser = parallel_sweep(&points, |i, &p| p * 10 + i as u64);
+        set_force_serial(was);
         assert_eq!(par, ser);
     }
 

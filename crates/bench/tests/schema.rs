@@ -1,0 +1,178 @@
+//! Schema golden tests: the machine-readable artifacts (`BENCH_sim.json`,
+//! `PROBE_<exp>.json`, `TRACE_<exp>.json`, embedded tables) are consumed
+//! by CI gates and external tooling (Perfetto), so their shapes must not
+//! drift silently. Every emitter is checked against `bfly_probe::json`'s
+//! strict validator plus a golden key list.
+
+use std::time::Duration;
+
+use bfly_bench::report::{
+    check_headline, check_sweep, parse_headline, parse_sweep_wall_ms, Metric, PerfReport,
+    SweepMeasure,
+};
+use bfly_bench::Table;
+use bfly_probe::json::validate_json;
+use bfly_probe::Probe;
+
+fn sample_report() -> PerfReport {
+    let mut report = PerfReport {
+        metrics: vec![
+            Metric {
+                name: "timer_churn".into(),
+                events: 1_000_000,
+                wall: Duration::from_millis(250),
+            },
+            Metric {
+                name: "yield_storm".into(),
+                events: 4_000_000,
+                wall: Duration::from_millis(250),
+            },
+        ],
+        sweeps: vec![SweepMeasure {
+            name: "fig5_gauss_quick".into(),
+            points: 4,
+            threads: 2,
+            wall: Duration::from_millis(1_500),
+        }],
+        tables: Vec::new(),
+    };
+    let mut t = Table::new("demo \"table\"", &["P", "time (ms)"]);
+    t.row(vec!["16".into(), "1.5".into()]);
+    report.push_table(&t);
+    report
+}
+
+#[test]
+fn table_to_json_golden_shape() {
+    let mut t = Table::new("title", &["a", "b"]);
+    t.row(vec!["1".into(), "x\ny".into()]);
+    let j = t.to_json();
+    assert_eq!(
+        j,
+        "{\"title\":\"title\",\"headers\":[\"a\",\"b\"],\"rows\":[[\"1\",\"x\\ny\"]]}"
+    );
+    validate_json(&j).unwrap();
+}
+
+#[test]
+fn bench_report_json_schema_is_stable() {
+    let json = sample_report().to_json();
+    validate_json(&json).unwrap_or_else(|(pos, msg)| panic!("invalid report at {pos}: {msg}"));
+
+    // Golden key set, in emission order. `engine_events_per_sec` must stay
+    // the first flat field — the CI gate re-extracts it with a string scan.
+    for key in [
+        "\"schema\": \"bfly-bench-report/1\"",
+        "\"engine_events_per_sec\":",
+        "\"microbench\": [",
+        "\"events\":",
+        "\"wall_ms\":",
+        "\"events_per_sec\":",
+        "\"sweeps\": [",
+        "\"points\":",
+        "\"threads\":",
+        "\"tables\": [",
+    ] {
+        assert!(json.contains(key), "report must carry {key}\n{json}");
+    }
+    let schema_at = json.find("\"schema\"").unwrap();
+    let headline_at = json.find("\"engine_events_per_sec\"").unwrap();
+    let micro_at = json.find("\"microbench\"").unwrap();
+    assert!(schema_at < headline_at && headline_at < micro_at);
+
+    // The scanners the CI gates rely on keep working on this shape.
+    let headline = parse_headline(&json).expect("headline scannable");
+    assert!(headline > 0.0);
+    assert!(check_headline(&json, headline, 0.2).is_ok());
+    let wall = parse_sweep_wall_ms(&json, "fig5_gauss_quick").expect("sweep scannable");
+    assert!((wall - 1_500.0).abs() < 0.2);
+    assert!(check_sweep(&json, "fig5_gauss_quick", wall, 0.02).is_ok());
+}
+
+fn sample_probe() -> Probe {
+    let p = Probe::new();
+    p.local_ref(0, 800);
+    p.remote_ref(3, 0, 500);
+    p.remote_ref(4, 0, 500);
+    p.switch_hop(0, 2, 25, 300, 1);
+    p.switch_hop(3, 0, 150, 300, 2);
+    p.lock_spin(0, 3, 12, 40_000);
+    p.alloc_op(1, 100, 2_000, true);
+    p.task_claimed(3);
+    p.msg_send(3, 4, 64);
+    let q = p.mem_queue(0);
+    q.arrival(2);
+    q.served(700, 500);
+    p.span(0, 3, "lock_acquire", "lock", 1_000, 40_000);
+    p.instant(0, 3, "fault", "fault", 5_000);
+    p
+}
+
+#[test]
+fn probe_summary_json_schema_is_stable() {
+    let json = sample_probe().summary_json("schema_test");
+    validate_json(&json).unwrap_or_else(|(pos, msg)| panic!("invalid summary at {pos}: {msg}"));
+    for key in [
+        "\"schema\": \"bfly-probe/1\"",
+        "\"experiment\": \"schema_test\"",
+        "\"nodes\": [",
+        "\"local_refs\":",
+        "\"remote_out\":",
+        "\"remote_in\":",
+        "\"mem_local_ns\":",
+        "\"mem_stolen_ns\":",
+        "\"lock_acquires\":",
+        "\"lock_spin_attempts\":",
+        "\"lock_spin_ns\":",
+        "\"alloc_ops\":",
+        "\"alloc_wait_ns\":",
+        "\"alloc_hold_ns\":",
+        "\"alloc_serial_ns\":",
+        "\"tasks_claimed\":",
+        "\"msgs_sent\":",
+        "\"msg_bytes\":",
+        "\"mem_queue\":",
+        "\"arrivals\":",
+        "\"served\":",
+        "\"wait_ns\":",
+        "\"busy_ns\":",
+        "\"max_depth\":",
+        "\"depth_hist\":",
+        "\"attribution\":",
+        "\"total_stolen_ns\": 1000",
+        "\"victims\": [",
+        "\"share\":",
+        "\"top_thief\":",
+        "\"switch_ports\": [",
+        "\"stage\":",
+        "\"port\":",
+        "\"hops\":",
+        "\"timeline\":",
+        "\"spans\": 1",
+        "\"instants\": 1",
+        "\"dropped\": 0",
+    ] {
+        assert!(json.contains(key), "probe summary must carry {key}\n{json}");
+    }
+}
+
+#[test]
+fn chrome_trace_json_schema_is_stable() {
+    let json = sample_probe().chrome_trace();
+    validate_json(&json).unwrap_or_else(|(pos, msg)| panic!("invalid trace at {pos}: {msg}"));
+    for key in [
+        "{\"traceEvents\":[",
+        "\"displayTimeUnit\":\"ns\"",
+        "\"otherData\":",
+        "\"dropped_events\":0",
+        "\"ph\":\"M\"",
+        "\"ph\":\"X\"",
+        "\"ph\":\"i\"",
+        "\"name\":\"lock_acquire\"",
+        "\"cat\":\"lock\"",
+        "\"pid\":0",
+        "\"tid\":3",
+    ] {
+        assert!(json.contains(key), "chrome trace must carry {key}\n{json}");
+    }
+}

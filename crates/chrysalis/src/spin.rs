@@ -39,12 +39,19 @@ impl SpinLock {
     /// Acquire the lock, spinning until free. Returns the number of failed
     /// attempts (each of which stole cycles from the lock's home node).
     pub async fn acquire(&self, p: &Proc) -> u64 {
+        let probe = p.os.machine.probe_if_on();
+        let t0 = if probe.is_some() { p.os.sim().now() } else { 0 };
         let mut failures = 0;
         while p.test_and_set(self.addr).await != 0 {
             failures += 1;
             if self.backoff > 0 {
                 p.compute(self.backoff).await;
             }
+        }
+        if let Some(pr) = probe {
+            let now = p.os.sim().now();
+            pr.lock_spin(self.addr.node, p.node, failures, now - t0);
+            pr.span(self.addr.node as u32, p.node as u32, "lock_acquire", "lock", t0, now - t0);
         }
         failures
     }

@@ -1,8 +1,9 @@
 //! The machine itself: nodes + switch + the PNC operation set.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
+use bfly_probe::Probe;
 use bfly_sim::{FaultKind, FaultPlan, Resource, Sim, SimTime};
 
 use crate::addr::{GAddr, NodeId};
@@ -121,6 +122,10 @@ pub struct Machine {
     /// [`Node`]. While false, remote references may take the fused-delay
     /// fast path — see [`Machine::fused_net`].
     fault_latch: Rc<Cell<bool>>,
+    /// Optional observability probe (see `bfly-probe`); `probe_on` keeps
+    /// the disabled path to one predictable branch per reference.
+    probe: RefCell<Option<Probe>>,
+    probe_on: Cell<bool>,
 }
 
 impl Machine {
@@ -132,14 +137,47 @@ impl Machine {
             .map(|id| Node::new(sim, id, cfg.mem_per_node, fault_latch.clone()))
             .collect();
         let switch = Switch::new(sim, cfg.nodes, cfg.switch, &cfg.costs);
-        Rc::new(Machine {
+        let m = Rc::new(Machine {
             sim: sim.clone(),
             cfg,
             nodes,
             switch,
             stats: StatCells::default(),
             fault_latch,
-        })
+            probe: RefCell::new(None),
+            probe_on: Cell::new(false),
+        });
+        // Applications build their own machines internally, so a probe can
+        // be installed "ambiently" for the thread and picked up here.
+        if let Some(p) = bfly_probe::ambient() {
+            m.attach_probe(&p);
+        }
+        m
+    }
+
+    /// Attach an observability probe: per-node memory-queue statistics,
+    /// switch-port statistics, and local/remote reference attribution
+    /// (including the victim×thief stolen-cycle matrix) start reporting
+    /// into it. Probes are observational only — attaching one changes no
+    /// simulated-ns result. Last attach wins.
+    pub fn attach_probe(&self, p: &Probe) {
+        for n in &self.nodes {
+            n.mem.attach_probe(p.mem_queue(n.id));
+        }
+        self.switch.attach_probe(p);
+        *self.probe.borrow_mut() = Some(p.clone());
+        self.probe_on.set(true);
+    }
+
+    /// The attached probe, if any (one flag check when disabled). Higher
+    /// layers (Chrysalis locks, the Uniform System allocator, SMP sends)
+    /// use this to report into the machine's probe.
+    pub fn probe_if_on(&self) -> Option<Probe> {
+        if self.probe_on.get() {
+            self.probe.borrow().clone()
+        } else {
+            None
+        }
     }
 
     /// True while remote references may charge their consecutive pure
@@ -269,7 +307,13 @@ impl Machine {
             target.local_refs.set(target.local_refs.get() + 1);
             self.stats.local_refs.set(self.stats.local_refs.get() + 1);
             self.sim.sleep(self.jittered(c.local_issue)).await;
-            target.mem.access(self.jittered(words * c.mem_service)).await;
+            let svc = self.jittered(words * c.mem_service);
+            target.mem.access(svc).await;
+            if self.probe_on.get() {
+                if let Some(p) = &*self.probe.borrow() {
+                    p.local_ref(from, svc);
+                }
+            }
         } else {
             self.nodes[from as usize]
                 .remote_refs_out
@@ -279,6 +323,11 @@ impl Machine {
                 self.sim.sleep(c.remote_issue + self.switch.latency()).await;
                 target.remote_refs_in.set(target.remote_refs_in.get() + 1);
                 target.mem.access(words * c.mem_service).await;
+                if self.probe_on.get() {
+                    if let Some(p) = &*self.probe.borrow() {
+                        p.remote_ref(from, addr.node, words * c.mem_service);
+                    }
+                }
                 self.sim.sleep(self.switch.latency()).await;
                 return Ok(());
             }
@@ -290,7 +339,13 @@ impl Machine {
                 return Err(self.detected(e).await);
             }
             target.remote_refs_in.set(target.remote_refs_in.get() + 1);
-            target.mem.access(self.jittered(words * c.mem_service)).await;
+            let svc = self.jittered(words * c.mem_service);
+            target.mem.access(svc).await;
+            if self.probe_on.get() {
+                if let Some(p) = &*self.probe.borrow() {
+                    p.remote_ref(from, addr.node, svc);
+                }
+            }
             if let Err(e) = self.switch.try_traverse(&self.sim, addr.node, from).await {
                 return Err(self.detected(e).await);
             }
@@ -370,7 +425,13 @@ impl Machine {
         let _cpu = self.nodes[from as usize].cpu.acquire().await;
         if from == addr.node {
             self.sim.sleep(self.jittered(c.local_issue + c.atomic_extra)).await;
-            target.mem.access(self.jittered(c.atomic_mem_service)).await;
+            let svc = self.jittered(c.atomic_mem_service);
+            target.mem.access(svc).await;
+            if self.probe_on.get() {
+                if let Some(p) = &*self.probe.borrow() {
+                    p.local_ref(from, svc);
+                }
+            }
         } else {
             if self.fused_net() {
                 self.sim
@@ -378,6 +439,11 @@ impl Machine {
                     .await;
                 target.remote_refs_in.set(target.remote_refs_in.get() + 1);
                 target.mem.access(c.atomic_mem_service).await;
+                if self.probe_on.get() {
+                    if let Some(p) = &*self.probe.borrow() {
+                        p.remote_ref(from, addr.node, c.atomic_mem_service);
+                    }
+                }
                 self.sim.sleep(self.switch.latency()).await;
                 return Ok(());
             }
@@ -389,7 +455,13 @@ impl Machine {
                 return Err(self.detected(e).await);
             }
             target.remote_refs_in.set(target.remote_refs_in.get() + 1);
-            target.mem.access(self.jittered(c.atomic_mem_service)).await;
+            let svc = self.jittered(c.atomic_mem_service);
+            target.mem.access(svc).await;
+            if self.probe_on.get() {
+                if let Some(p) = &*self.probe.borrow() {
+                    p.remote_ref(from, addr.node, svc);
+                }
+            }
             if let Err(e) = self.switch.try_traverse(&self.sim, addr.node, from).await {
                 return Err(self.detected(e).await);
             }
@@ -468,13 +540,20 @@ impl Machine {
         self.stats.block_transfers.set(self.stats.block_transfers.get() + 1);
         self.stats.block_bytes.set(self.stats.block_bytes.get() + len as u64);
         let bytes = len as SimTime;
+        // Block transfers are rare enough (thousands per run, not millions)
+        // to trace individually; `t0` is read only with a probe attached.
+        let t0 = if self.probe_on.get() { self.sim.now() } else { 0 };
         let _cpu = self.nodes[from as usize].cpu.acquire().await;
         if from == addr.node {
             self.sim.sleep(self.jittered(c.local_issue + c.block_setup)).await;
-            target
-                .mem
-                .access(self.jittered(bytes * c.block_per_byte_mem))
-                .await;
+            let svc = self.jittered(bytes * c.block_per_byte_mem);
+            target.mem.access(svc).await;
+            if self.probe_on.get() {
+                if let Some(p) = &*self.probe.borrow() {
+                    p.local_ref(from, svc);
+                    p.span(addr.node as u32, from as u32, "block_ref", "mem", t0, self.sim.now() - t0);
+                }
+            }
         } else {
             if self.fused_net() {
                 self.sim
@@ -482,10 +561,20 @@ impl Machine {
                     .await;
                 target.remote_refs_in.set(target.remote_refs_in.get() + 1);
                 target.mem.access(bytes * c.block_per_byte_mem).await;
+                if self.probe_on.get() {
+                    if let Some(p) = &*self.probe.borrow() {
+                        p.remote_ref(from, addr.node, bytes * c.block_per_byte_mem);
+                    }
+                }
                 // Wire time and the return traversal are one fused delay.
                 self.sim
                     .sleep(bytes * c.block_per_byte_switch + self.switch.latency())
                     .await;
+                if self.probe_on.get() {
+                    if let Some(p) = &*self.probe.borrow() {
+                        p.span(addr.node as u32, from as u32, "block_ref", "mem", t0, self.sim.now() - t0);
+                    }
+                }
                 return Ok(());
             }
             self.sim.sleep(self.jittered(c.remote_issue + c.block_setup)).await;
@@ -498,15 +587,23 @@ impl Machine {
             target.remote_refs_in.set(target.remote_refs_in.get() + 1);
             // Memory occupied while the block streams out, then the bytes
             // cross the wire.
-            target
-                .mem
-                .access(self.jittered(bytes * c.block_per_byte_mem))
-                .await;
+            let svc = self.jittered(bytes * c.block_per_byte_mem);
+            target.mem.access(svc).await;
+            if self.probe_on.get() {
+                if let Some(p) = &*self.probe.borrow() {
+                    p.remote_ref(from, addr.node, svc);
+                }
+            }
             self.sim
                 .sleep(self.jittered(bytes * c.block_per_byte_switch))
                 .await;
             if let Err(e) = self.switch.try_traverse(&self.sim, addr.node, from).await {
                 return Err(self.detected(e).await);
+            }
+            if self.probe_on.get() {
+                if let Some(p) = &*self.probe.borrow() {
+                    p.span(addr.node as u32, from as u32, "block_ref", "mem", t0, self.sim.now() - t0);
+                }
             }
         }
         Ok(())
@@ -698,6 +795,63 @@ mod tests {
         });
         assert_eq!(t, 4_000);
         assert_eq!(m.stats().remote_refs, 1);
+    }
+
+    #[test]
+    fn probe_attributes_stolen_cycles_without_changing_timing() {
+        // Unprobed reference run.
+        let (sim_a, m_a) = boot(16);
+        let a = m_a.node(3).alloc(64).unwrap();
+        let m2 = m_a.clone();
+        sim_a.block_on(async move {
+            m2.read_u32(0, a).await; // remote: steals from node 3
+            m2.read_u32(3, a).await; // local
+            m2.fetch_add_u32(5, a, 1).await; // remote atomic, steals from node 3
+        });
+        let t_off = sim_a.now();
+
+        // Identical run with a probe attached.
+        let (sim_b, m_b) = boot(16);
+        let probe = Probe::new();
+        m_b.attach_probe(&probe);
+        let b = m_b.node(3).alloc(64).unwrap();
+        let m2 = m_b.clone();
+        sim_b.block_on(async move {
+            m2.read_u32(0, b).await;
+            m2.read_u32(3, b).await;
+            m2.fetch_add_u32(5, b, 1).await;
+        });
+        assert_eq!(sim_b.now(), t_off, "probe must not change simulated time");
+
+        let c = Costs::butterfly_one();
+        assert_eq!(probe.node(3).local_refs.get(), 1);
+        assert_eq!(probe.node(3).remote_in.get(), 2);
+        assert_eq!(probe.node(0).remote_out.get(), 1);
+        assert_eq!(probe.stolen_ns(3, 0), c.mem_service);
+        assert_eq!(probe.stolen_ns(3, 5), c.atomic_mem_service);
+        assert_eq!(
+            probe.node(3).mem_stolen_ns.get(),
+            c.mem_service + c.atomic_mem_service
+        );
+        // The memory-unit queue probe saw all three arrivals at node 3.
+        assert_eq!(probe.mem_queue_stats(3).arrivals.get(), 3);
+        let attr = probe.attribution();
+        assert_eq!(attr.top_victim().unwrap().victim, 3);
+        assert_eq!(attr.victim_share(3), 1.0);
+    }
+
+    #[test]
+    fn ambient_probe_auto_attaches() {
+        let probe = Probe::new();
+        bfly_probe::install_ambient(Some(probe.clone()));
+        let (sim, m) = boot(8);
+        bfly_probe::install_ambient(None);
+        let a = m.node(1).alloc(16).unwrap();
+        let m2 = m.clone();
+        sim.block_on(async move {
+            m2.read_u32(0, a).await;
+        });
+        assert_eq!(probe.node(1).remote_in.get(), 1, "picked up ambiently");
     }
 
     #[test]

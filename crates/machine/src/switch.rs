@@ -43,6 +43,10 @@ pub struct Switch {
     /// fault-free runs keep the original constant-latency code path (and
     /// bit-identical timing).
     any_fault: Cell<bool>,
+    /// Optional observability probe; `probe_on` keeps the disabled path to
+    /// one predictable branch per traversal.
+    probe: RefCell<Option<bfly_probe::Probe>>,
+    probe_on: Cell<bool>,
 }
 
 impl Switch {
@@ -74,7 +78,17 @@ impl Switch {
             ports,
             links: RefCell::new(links),
             any_fault: Cell::new(false),
+            probe: RefCell::new(None),
+            probe_on: Cell::new(false),
         }
+    }
+
+    /// Attach an observability probe: every Detailed-mode hop reports its
+    /// queueing delay, occupancy and arrival depth per `(stage, port)`.
+    /// Observational only; last attach wins.
+    pub fn attach_probe(&self, p: &bfly_probe::Probe) {
+        *self.probe.borrow_mut() = Some(p.clone());
+        self.probe_on.set(true);
     }
 
     /// Take a link out of service (or restore it).
@@ -171,14 +185,26 @@ impl Switch {
             }
             SwitchModel::Detailed => {
                 let mut waited = 0;
+                let probe = if self.probe_on.get() {
+                    self.probe.borrow().clone()
+                } else {
+                    None
+                };
                 for (stage, port) in self.route(src, dst) {
                     let link = self.links.borrow()[stage as usize][port as usize];
                     if !link.up {
                         return Err(MachineError::LinkDown { stage, port });
                     }
-                    waited += self.ports[stage as usize][port as usize]
-                        .access(self.hop * link.degrade as SimTime)
-                        .await;
+                    let res = &self.ports[stage as usize][port as usize];
+                    let service = self.hop * link.degrade as SimTime;
+                    if let Some(p) = &probe {
+                        let depth = res.in_service() + res.queue_len();
+                        let w = res.access(service).await;
+                        p.switch_hop(stage, port, w, service, depth);
+                        waited += w;
+                    } else {
+                        waited += res.access(service).await;
+                    }
                 }
                 Ok(waited)
             }

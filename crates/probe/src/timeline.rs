@@ -1,0 +1,218 @@
+//! Span/event timeline storage plus the generic event log that backs
+//! `bfly_sim::trace::Recorder`.
+//!
+//! Spans use `&'static str` names/categories so recording a span is two
+//! pointer copies and four integers — no allocation on the hot path. The
+//! timeline is capped (default 1M spans) with an explicit dropped-event
+//! counter so a pathological probed run degrades gracefully instead of
+//! eating all memory; exporters report the drop count rather than silently
+//! truncating.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use crate::SimTime;
+
+/// Default cap on stored spans + instants (each).
+pub const TIMELINE_CAP: usize = 1 << 20;
+
+/// One completed duration span (`ph:"X"` in Chrome trace terms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Process id in the trace — by convention the *home node* of the
+    /// activity (where the contended resource lives).
+    pub pid: u32,
+    /// Thread id — by convention the acting node / rank.
+    pub tid: u32,
+    /// Static span name, e.g. `"lock_acquire"`.
+    pub name: &'static str,
+    /// Static category, e.g. `"lock"`.
+    pub cat: &'static str,
+    /// Start, simulated ns.
+    pub ts: SimTime,
+    /// Duration, simulated ns.
+    pub dur: SimTime,
+}
+
+/// One instantaneous event (`ph:"i"`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Instant {
+    pub pid: u32,
+    pub tid: u32,
+    pub name: &'static str,
+    pub cat: &'static str,
+    pub ts: SimTime,
+}
+
+/// Capped span/instant store.
+#[derive(Debug)]
+pub struct Timeline {
+    spans: RefCell<Vec<Span>>,
+    instants: RefCell<Vec<Instant>>,
+    cap: usize,
+    dropped: Cell<u64>,
+}
+
+impl Timeline {
+    pub fn new(cap: usize) -> Self {
+        Timeline {
+            spans: RefCell::new(Vec::new()),
+            instants: RefCell::new(Vec::new()),
+            cap,
+            dropped: Cell::new(0),
+        }
+    }
+
+    pub fn span(&self, s: Span) {
+        let mut v = self.spans.borrow_mut();
+        if v.len() < self.cap {
+            v.push(s);
+        } else {
+            self.dropped.set(self.dropped.get() + 1);
+        }
+    }
+
+    pub fn instant(&self, i: Instant) {
+        let mut v = self.instants.borrow_mut();
+        if v.len() < self.cap {
+            v.push(i);
+        } else {
+            self.dropped.set(self.dropped.get() + 1);
+        }
+    }
+
+    pub fn span_count(&self) -> usize {
+        self.spans.borrow().len()
+    }
+
+    pub fn instant_count(&self) -> usize {
+        self.instants.borrow().len()
+    }
+
+    pub fn dropped(&self) -> u64 {
+        self.dropped.get()
+    }
+
+    pub fn spans(&self) -> Vec<Span> {
+        self.spans.borrow().clone()
+    }
+
+    pub fn instants(&self) -> Vec<Instant> {
+        self.instants.borrow().clone()
+    }
+}
+
+impl Default for Timeline {
+    fn default() -> Self {
+        Self::new(TIMELINE_CAP)
+    }
+}
+
+/// One generic trace event, mirroring `bfly_sim::trace::TraceEvent`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time of the event.
+    pub time: SimTime,
+    /// Actor id (process/task number; meaning is caller-defined).
+    pub actor: u32,
+    /// Short event kind, e.g. `"send"`, `"recv"`, `"acquire"`.
+    pub kind: String,
+    /// Free-form detail.
+    pub detail: String,
+}
+
+/// Shared, append-only event log. `bfly_sim::trace::Recorder` is a thin
+/// shim over this type.
+#[derive(Clone, Default)]
+pub struct EventLog {
+    events: Rc<RefCell<Vec<TraceEvent>>>,
+}
+
+impl EventLog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an event.
+    pub fn push(&self, time: SimTime, actor: u32, kind: &str, detail: String) {
+        self.events.borrow_mut().push(TraceEvent {
+            time,
+            actor,
+            kind: kind.to_string(),
+            detail,
+        });
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.borrow().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy out all events, stably sorted by time (events pushed at equal
+    /// times keep their insertion order).
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        let mut evs = self.events.borrow().clone();
+        evs.sort_by_key(|e| e.time);
+        evs
+    }
+
+    /// Events of one actor, in insertion order.
+    pub fn for_actor(&self, actor: u32) -> Vec<TraceEvent> {
+        self.events
+            .borrow()
+            .iter()
+            .filter(|e| e.actor == actor)
+            .cloned()
+            .collect()
+    }
+
+    /// Drop all events.
+    pub fn clear(&self) {
+        self.events.borrow_mut().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeline_caps_and_counts_drops() {
+        let t = Timeline::new(2);
+        for i in 0..5 {
+            t.span(Span {
+                pid: 0,
+                tid: 0,
+                name: "s",
+                cat: "c",
+                ts: i,
+                dur: 1,
+            });
+        }
+        assert_eq!(t.span_count(), 2);
+        assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn snapshot_stable_sorts_by_time() {
+        let log = EventLog::new();
+        // Out-of-order times, with two distinct events at t=5 whose
+        // insertion order must survive the sort.
+        log.push(9, 0, "late", String::new());
+        log.push(5, 1, "first-at-5", String::new());
+        log.push(2, 0, "early", String::new());
+        log.push(5, 2, "second-at-5", String::new());
+        let evs = log.snapshot();
+        assert_eq!(
+            evs.iter().map(|e| e.time).collect::<Vec<_>>(),
+            vec![2, 5, 5, 9]
+        );
+        assert_eq!(evs[1].kind, "first-at-5");
+        assert_eq!(evs[2].kind, "second-at-5");
+        // snapshot is a copy; the log itself keeps insertion order.
+        assert_eq!(log.for_actor(0).len(), 2);
+    }
+}

@@ -34,6 +34,10 @@ struct ResInner {
     acquisitions: Cell<u64>,
     total_wait_ns: Cell<u64>,
     max_queue: Cell<usize>,
+    // Optional observability hook (bfly-probe). `probe_on` is the fast
+    // flag: with no probe attached every hook is one predictable branch.
+    probe_on: Cell<bool>,
+    probe: RefCell<Option<bfly_probe::QueueProbe>>,
 }
 
 struct Waiter {
@@ -106,8 +110,24 @@ impl Resource {
                 acquisitions: Cell::new(0),
                 total_wait_ns: Cell::new(0),
                 max_queue: Cell::new(0),
+                probe_on: Cell::new(false),
+                probe: RefCell::new(None),
             }),
         }
+    }
+
+    /// Attach a queue probe: every subsequent [`Resource::access`] reports
+    /// its arrival depth and queueing/service time into it. Probes are
+    /// observational only — they never affect grant order or timing.
+    pub fn attach_probe(&self, probe: bfly_probe::QueueProbe) {
+        *self.inner.probe.borrow_mut() = Some(probe);
+        self.inner.probe_on.set(true);
+    }
+
+    /// Detach any attached queue probe.
+    pub fn detach_probe(&self) {
+        *self.inner.probe.borrow_mut() = None;
+        self.inner.probe_on.set(false);
     }
 
     fn account(&self) {
@@ -334,6 +354,11 @@ impl Access {
         waited: SimTime,
         cx: &mut Context<'_>,
     ) -> Poll<SimTime> {
+        if self.res.inner.probe_on.get() {
+            if let Some(p) = &*self.res.inner.probe.borrow() {
+                p.served(waited, self.service);
+            }
+        }
         let mut delay = self.res.inner.sim.sleep(self.service);
         match Pin::new(&mut delay).poll(cx) {
             Poll::Ready(()) => {
@@ -356,6 +381,14 @@ impl Future for Access {
         match &mut this.state {
             AccessState::Init => {
                 let inner = &this.res.inner;
+                if inner.probe_on.get() {
+                    if let Some(p) = &*inner.probe.borrow() {
+                        // Depth seen on arrival: requests in service plus the
+                        // raw queue (cancelled-but-unreaped waiters included;
+                        // they are rare and reaped on the next grant).
+                        p.arrival(inner.in_service.get() + inner.queue.borrow().len());
+                    }
+                }
                 let t0 = inner.sim.now();
                 // Fast path: a server is free and no one is queued.
                 if inner.in_service.get() < inner.capacity && inner.queue.borrow().is_empty() {
@@ -524,6 +557,41 @@ mod tests {
         assert_eq!(st.busy_ns, 200);
         assert_eq!(st.total_wait_ns, 100); // second client queued 100ns
         assert!((st.utilization(sim.now()) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn attached_queue_probe_observes_depth_and_wait() {
+        let sim = Sim::new();
+        let res = Resource::new(&sim, "dev", 1);
+        let probe = bfly_probe::Probe::new();
+        res.attach_probe(probe.mem_queue(0));
+        for _ in 0..3 {
+            let r = res.clone();
+            sim.spawn(async move {
+                r.access(100).await;
+            });
+        }
+        sim.run();
+        let q = probe.mem_queue_stats(0);
+        assert_eq!(q.arrivals.get(), 3);
+        assert_eq!(q.served.get(), 3);
+        // Arrival depths: 0, 1 (one in service), 2 (one in service + one queued).
+        assert_eq!(q.depth_hist[0].get(), 1);
+        assert_eq!(q.depth_hist[1].get(), 1);
+        assert_eq!(q.depth_hist[2].get(), 1);
+        assert_eq!(q.max_depth.get(), 2);
+        assert_eq!(q.busy_ns.get(), 300);
+        assert_eq!(q.wait_ns.get(), 100 + 200);
+        // The probe mirrored, not replaced, the resource's own stats.
+        let st = res.stats();
+        assert_eq!(st.total_wait_ns, 300);
+        res.detach_probe();
+        let r = res.clone();
+        sim.spawn(async move {
+            r.access(10).await;
+        });
+        sim.run();
+        assert_eq!(q.arrivals.get(), 3, "detached probe sees nothing");
     }
 
     #[test]

@@ -3,29 +3,21 @@
 //! A [`Recorder`] collects `(time, actor, kind, detail)` tuples. The replay
 //! crate's Moviola exporter turns these into a partial-order graph; tests use
 //! them to assert ordering properties.
+//!
+//! Storage lives in `bfly-probe`'s [`EventLog`](bfly_probe::EventLog) —
+//! `Recorder` is a thin compatibility shim kept so existing callers (and the
+//! `Sim::set_recorder` plumbing) are unaffected by the observability
+//! subsystem introduced in PR 3.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+pub use bfly_probe::timeline::TraceEvent;
+use bfly_probe::EventLog;
 
 use crate::time::SimTime;
-
-/// One trace event.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct TraceEvent {
-    /// Virtual time of the event.
-    pub time: SimTime,
-    /// Actor id (process/task number; meaning is caller-defined).
-    pub actor: u32,
-    /// Short event kind, e.g. `"send"`, `"recv"`, `"acquire"`.
-    pub kind: String,
-    /// Free-form detail.
-    pub detail: String,
-}
 
 /// Shared, append-only event log.
 #[derive(Clone, Default)]
 pub struct Recorder {
-    events: Rc<RefCell<Vec<TraceEvent>>>,
+    log: EventLog,
 }
 
 impl Recorder {
@@ -36,43 +28,35 @@ impl Recorder {
 
     /// Append an event.
     pub fn push(&self, time: SimTime, actor: u32, kind: &str, detail: String) {
-        self.events.borrow_mut().push(TraceEvent {
-            time,
-            actor,
-            kind: kind.to_string(),
-            detail,
-        });
+        self.log.push(time, actor, kind, detail);
     }
 
     /// Number of recorded events.
     pub fn len(&self) -> usize {
-        self.events.borrow().len()
+        self.log.len()
     }
 
     /// True if nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.log.is_empty()
     }
 
-    /// Copy out all events (sorted by time, then insertion order — insertion
-    /// is already time-monotone per actor).
+    /// Copy out all events, stably sorted by time: events recorded at equal
+    /// times keep their insertion order. (Insertion is time-monotone per
+    /// actor but *not* globally — interleaved actors may push out of order,
+    /// which is why the sort is real and not just documentation.)
     pub fn snapshot(&self) -> Vec<TraceEvent> {
-        self.events.borrow().clone()
+        self.log.snapshot()
     }
 
     /// Events of one actor, in order.
     pub fn for_actor(&self, actor: u32) -> Vec<TraceEvent> {
-        self.events
-            .borrow()
-            .iter()
-            .filter(|e| e.actor == actor)
-            .cloned()
-            .collect()
+        self.log.for_actor(actor)
     }
 
     /// Drop all events.
     pub fn clear(&self) {
-        self.events.borrow_mut().clear();
+        self.log.clear();
     }
 }
 
@@ -104,5 +88,26 @@ mod tests {
         let sim = Sim::new();
         assert!(!sim.tracing());
         sim.record(0, "x", || unreachable!("detail must not be built"));
+    }
+
+    #[test]
+    fn snapshot_sorts_out_of_order_pushes_stably() {
+        let rec = Recorder::new();
+        // Two actors pushing interleaved, globally out of time order.
+        rec.push(50, 1, "b1", String::new());
+        rec.push(10, 0, "a1", String::new());
+        rec.push(50, 0, "a2", String::new()); // same time as b1, pushed later
+        rec.push(30, 1, "b2", String::new());
+        let evs = rec.snapshot();
+        assert_eq!(
+            evs.iter().map(|e| e.time).collect::<Vec<_>>(),
+            vec![10, 30, 50, 50]
+        );
+        // Stable: b1 (inserted first) precedes a2 at t=50.
+        assert_eq!(evs[2].kind, "b1");
+        assert_eq!(evs[3].kind, "a2");
+        // Per-actor views keep insertion order regardless.
+        assert_eq!(rec.for_actor(0).len(), 2);
+        assert_eq!(rec.for_actor(1)[0].kind, "b1");
     }
 }

@@ -370,6 +370,8 @@ impl Member {
         }
         let st = &self.state;
         let p = &self.proc;
+        let probe = st.os.machine.probe_if_on();
+        let t_send = if probe.is_some() { st.os.sim().now() } else { 0 };
         p.compute(st.costs.send_sw).await;
 
         let t0 = st.os.sim().now();
@@ -381,7 +383,16 @@ impl Member {
                 backoff = backoff.saturating_mul(2);
             }
             match self.send_attempt(to, data).await {
-                Ok(()) => return Ok(()),
+                Ok(()) => {
+                    if let Some(pr) = &probe {
+                        let from_node = st.placement[self.rank as usize];
+                        let to_node = st.placement[to as usize];
+                        pr.msg_send(from_node, to_node, data.len());
+                        let now = st.os.sim().now();
+                        pr.span(to_node as u32, self.rank, "smp_send", "send", t_send, now - t_send);
+                    }
+                    return Ok(());
+                }
                 Err(e) => last = Some(e),
             }
         }

@@ -84,7 +84,10 @@ impl UsAllocator {
             AllocMode::Serial => (self.locks[0], self.nodes[0]),
             AllocMode::Parallel => (self.locks[idx], self.nodes[idx]),
         };
+        let probe = self.os.machine.probe_if_on();
+        let t0 = if probe.is_some() { self.os.sim().now() } else { 0 };
         lock.acquire(p).await;
+        let t_locked = if probe.is_some() { self.os.sim().now() } else { 0 };
         p.compute(compute).await;
         // Under Serial the single allocator still *places* round-robin
         // (placement was never the bottleneck; the lock was).
@@ -99,6 +102,12 @@ impl UsAllocator {
             .alloc(bytes)
             .expect("US shared memory exhausted");
         lock.release(p).await;
+        if let Some(pr) = probe {
+            let now = self.os.sim().now();
+            let home = lock.addr.node;
+            pr.alloc_op(home, t_locked - t0, now - t_locked, self.mode == AllocMode::Serial);
+            pr.span(home as u32, p.node as u32, "us_alloc", "alloc", t0, now - t0);
+        }
         self.sizes
             .borrow_mut()
             .insert((addr.node, addr.offset), bytes);

@@ -149,8 +149,15 @@ impl Us {
                     remaining,
                     gate,
                 } => {
+                    let probe = self.os.machine.probe_if_on();
+                    let t0 = if probe.is_some() { self.os.sim().now() } else { 0 };
                     p.compute(self.costs.dispatch).await;
                     f(p.clone(), idx).await;
+                    if let Some(pr) = &probe {
+                        pr.task_claimed(p.node);
+                        let now = self.os.sim().now();
+                        pr.span(p.node as u32, p.node as u32, "us_task", "task", t0, now - t0);
+                    }
                     self.tasks_run.set(self.tasks_run.get() + 1);
                     remaining.set(remaining.get() - 1);
                     if remaining.get() == 0 {
@@ -165,8 +172,15 @@ impl Us {
                         if idx >= g.limit - g.base {
                             break;
                         }
+                        let probe = self.os.machine.probe_if_on();
+                        let t0 = if probe.is_some() { self.os.sim().now() } else { 0 };
                         p.compute(self.costs.dispatch).await;
                         (g.f)(p.clone(), g.base + idx).await;
+                        if let Some(pr) = &probe {
+                            pr.task_claimed(p.node);
+                            let now = self.os.sim().now();
+                            pr.span(p.node as u32, p.node as u32, "us_task", "task", t0, now - t0);
+                        }
                         self.tasks_run.set(self.tasks_run.get() + 1);
                         let done = p.fetch_add(g.done, 1).await as u64 + 1;
                         if done == g.total {

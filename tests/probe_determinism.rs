@@ -1,0 +1,113 @@
+//! The probe observability contract: probes are *observational only*.
+//! Running a workload with an ambient [`bfly_probe::Probe`] installed must
+//! produce bit-identical simulated results — virtual end time,
+//! communication counts, solution accuracy, and the full
+//! [`RunStats`](bfly_sim::exec::RunStats) fingerprint (whose `PartialEq`
+//! already ignores host wall time) — as the same workload with probes off.
+//!
+//! Covered workloads: a FIG5 point in both programming models (Uniform
+//! System and SMP message passing) and a T15 point (SMP under link
+//! degradation), plus a property sweep over seeds.
+
+use bfly_apps::gauss::{gauss_smp, gauss_smp_faulty, gauss_us, GaussResult};
+use bfly_probe::{install_ambient, Probe};
+use bfly_sim::{FaultKind, FaultPlan};
+use proptest::prelude::*;
+
+/// Everything a probe must not perturb, extracted from one run.
+#[derive(Debug, Clone, PartialEq)]
+struct Fingerprint {
+    time_ns: u64,
+    comm_ops: u64,
+    max_err_bits: u64,
+    run: bfly_sim::exec::RunStats,
+}
+
+impl Fingerprint {
+    fn of(r: GaussResult) -> Self {
+        Fingerprint {
+            time_ns: r.time_ns,
+            comm_ops: r.comm_ops,
+            // Bit pattern, not float compare: determinism means *identical*.
+            max_err_bits: r.max_err.to_bits(),
+            run: r.run,
+        }
+    }
+}
+
+/// Run `work` once with an ambient probe installed and once without,
+/// asserting the probe actually saw traffic (the on-run was instrumented,
+/// not silently unprobed) and returning both fingerprints.
+fn probed_vs_bare(work: impl Fn() -> GaussResult) -> (Fingerprint, Fingerprint) {
+    let probe = Probe::new();
+    let prev = install_ambient(Some(probe.clone()));
+    let on = Fingerprint::of(work());
+    install_ambient(prev);
+    let seen = probe.timeline().spans().len() as u64
+        + (0..8u16)
+            .map(|n| probe.node(n).local_refs.get() + probe.node(n).remote_out.get())
+            .sum::<u64>();
+    assert!(seen > 0, "ambient probe recorded nothing — instrumentation lost");
+    let off = Fingerprint::of(work());
+    (on, off)
+}
+
+/// T15-style plan: degrade a couple of switch links, never lose messages
+/// (loss would wedge the pivot broadcast — see `gauss_smp_faulty` docs).
+fn degrade_plan(seed: u64) -> FaultPlan {
+    let mut plan = FaultPlan::new(seed);
+    plan.push(
+        0,
+        FaultKind::LinkDegrade {
+            stage: 3,
+            port: (seed % 16) as u32,
+            factor: 4,
+        },
+    );
+    plan.push(
+        50_000,
+        FaultKind::LinkDegrade {
+            stage: 3,
+            port: ((seed + 5) % 16) as u32,
+            factor: 8,
+        },
+    );
+    plan
+}
+
+#[test]
+fn fig5_us_point_is_probe_invariant() {
+    let all: Vec<u16> = (0..128).collect();
+    let (on, off) = probed_vs_bare(|| gauss_us(16, 24, all.clone(), 11));
+    assert_eq!(on, off, "probes changed the Uniform System FIG5 point");
+}
+
+#[test]
+fn fig5_smp_point_is_probe_invariant() {
+    let (on, off) = probed_vs_bare(|| gauss_smp(16, 24, 11));
+    assert_eq!(on, off, "probes changed the SMP FIG5 point");
+}
+
+#[test]
+fn t15_faulty_point_is_probe_invariant() {
+    let plan = degrade_plan(11);
+    let (on, off) = probed_vs_bare(|| gauss_smp_faulty(16, 24, 11, &plan));
+    assert_eq!(on, off, "probes changed the degraded-link T15 point");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Any seed, both models, with and without faults: probes on vs off
+    /// must fingerprint identically.
+    #[test]
+    fn probes_never_perturb_results(seed in 0u64..1_000) {
+        let all: Vec<u16> = (0..128).collect();
+        let (on, off) = probed_vs_bare(|| gauss_us(8, 16, all.clone(), seed));
+        prop_assert_eq!(on, off);
+
+        let plan = degrade_plan(seed);
+        let (on, off) = probed_vs_bare(|| gauss_smp_faulty(8, 16, seed, &plan));
+        prop_assert_eq!(on, off);
+    }
+}
