@@ -65,12 +65,7 @@ pub struct SearchResult {
 }
 
 /// Parallel root-split alpha-beta on `nprocs` processors.
-pub fn alphabeta_parallel(
-    depth: u32,
-    branch: u64,
-    nprocs: u16,
-    seed: u64,
-) -> SearchResult {
+pub fn alphabeta_parallel(depth: u32, branch: u64, nprocs: u16, seed: u64) -> SearchResult {
     let sim = Sim::with_seed(seed);
     let machine = Machine::new(&sim, MachineConfig::rochester());
     let os = Os::boot(&machine);
@@ -79,7 +74,10 @@ pub fn alphabeta_parallel(
     // Shared alpha bound (negated score of best root move so far) and the
     // leaf counter, in shared memory.
     let alpha_addr = machine.node(us.memory_nodes()[0]).alloc(4).unwrap();
-    let leaves_addr = machine.node(us.memory_nodes()[1 % us.memory_nodes().len()]).alloc(4).unwrap();
+    let leaves_addr = machine
+        .node(us.memory_nodes()[1 % us.memory_nodes().len()])
+        .alloc(4)
+        .unwrap();
     machine.poke_u32(leaves_addr, 0);
 
     assert!(depth >= 2, "parallel decomposition needs depth >= 2");
@@ -90,8 +88,7 @@ pub fn alphabeta_parallel(
     // The expansion forgoes pruning across the top plies — the speculative
     // "search overhead" parallel alpha-beta is known for — in exchange for
     // branch² units of distributable work.
-    let grand: Rc<RefCell<Vec<i32>>> =
-        Rc::new(RefCell::new(vec![0; (branch * branch) as usize]));
+    let grand: Rc<RefCell<Vec<i32>>> = Rc::new(RefCell::new(vec![0; (branch * branch) as usize]));
     let best = Rc::new(std::cell::Cell::new(i32::MIN));
     let us2 = us.clone();
     let (best2, grand2) = (best.clone(), grand.clone());

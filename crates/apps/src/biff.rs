@@ -158,7 +158,12 @@ impl Biff {
 
     /// Apply one filter in parallel (bands of rows; 3×3 filters copy one
     /// halo row on each side).
-    pub async fn apply(&self, f: Filter, input: &BiffImage, driver: &Rc<bfly_chrysalis::Proc>) -> BiffImage {
+    pub async fn apply(
+        &self,
+        f: Filter,
+        input: &BiffImage,
+        driver: &Rc<bfly_chrysalis::Proc>,
+    ) -> BiffImage {
         let _ = driver;
         let out = self.alloc_like(input);
         let (w, h) = (input.w, input.h);
@@ -208,16 +213,16 @@ impl Biff {
                                     s / 9
                                 }
                                 Filter::Sobel => {
-                                    let gx = at(x + 1, yy - 1) + 2 * at(x + 1, yy)
-                                        + at(x + 1, yy + 1)
-                                        - at(x - 1, yy - 1)
-                                        - 2 * at(x - 1, yy)
-                                        - at(x - 1, yy + 1);
-                                    let gy = at(x - 1, yy + 1) + 2 * at(x, yy + 1)
-                                        + at(x + 1, yy + 1)
-                                        - at(x - 1, yy - 1)
-                                        - 2 * at(x, yy - 1)
-                                        - at(x + 1, yy - 1);
+                                    let gx =
+                                        at(x + 1, yy - 1) + 2 * at(x + 1, yy) + at(x + 1, yy + 1)
+                                            - at(x - 1, yy - 1)
+                                            - 2 * at(x - 1, yy)
+                                            - at(x - 1, yy + 1);
+                                    let gy =
+                                        at(x - 1, yy + 1) + 2 * at(x, yy + 1) + at(x + 1, yy + 1)
+                                            - at(x - 1, yy - 1)
+                                            - 2 * at(x, yy - 1)
+                                            - at(x + 1, yy - 1);
                                     (gx.abs() + gy.abs()).min(255)
                                 }
                             };

@@ -216,9 +216,7 @@ pub fn connected_components(nprocs: u16, w: u32, h: u32, seed: u64) -> CcResult 
                     for ly in 0..rows {
                         let mut bytes = Vec::with_capacity(w as usize * 4);
                         for x in 0..w {
-                            bytes.extend_from_slice(
-                                &labels[(ly * w + x) as usize].to_le_bytes(),
-                            );
+                            bytes.extend_from_slice(&labels[(ly * w + x) as usize].to_le_bytes());
                         }
                         p.write_block(lr[(y0 + ly) as usize], &bytes).await;
                     }
@@ -296,7 +294,9 @@ pub fn connected_components(nprocs: u16, w: u32, h: u32, seed: u64) -> CcResult 
             let i = (y * w + x) as usize;
             if img[i] != 0 {
                 let l = u32::from_le_bytes(
-                    row[(4 * x) as usize..(4 * x + 4) as usize].try_into().unwrap(),
+                    row[(4 * x) as usize..(4 * x + 4) as usize]
+                        .try_into()
+                        .unwrap(),
                 );
                 roots.insert(uf.find(l));
             }

@@ -122,7 +122,11 @@ pub fn gauss_us(nprocs: u16, n: u32, mem_nodes: Vec<NodeId>, seed: u64) -> Gauss
                     let cache = cache3.clone();
                     let row_updates = row_updates.clone();
                     async move {
-                        let i = if (idx as u32) < k { idx as u32 } else { idx as u32 + 1 };
+                        let i = if (idx as u32) < k {
+                            idx as u32
+                        } else {
+                            idx as u32 + 1
+                        };
                         // Manager-local pivot cache: one block copy per
                         // manager per step (the P(N−1) term). All P copies
                         // come from the pivot row's home memory, whose
@@ -137,8 +141,7 @@ pub fn gauss_us(nprocs: u16, n: u32, mem_nodes: Vec<NodeId>, seed: u64) -> Gauss
                             match hit {
                                 Some(row) => row,
                                 None => {
-                                    let row =
-                                        Rc::new(mat.read_row(&p, k, k, n + 1).await);
+                                    let row = Rc::new(mat.read_row(&p, k, k, n + 1).await);
                                     cache.borrow_mut().insert(p.node, (k, row.clone()));
                                     row
                                 }
@@ -200,12 +203,7 @@ pub fn gauss_smp_faulty(nprocs: u16, n: u32, seed: u64, plan: &FaultPlan) -> Gau
 
     // Rows live in the *owner's local memory*; owner of row i is i % P.
     let nodes: Vec<NodeId> = (0..nprocs).collect();
-    let mat = Rc::new(UsMatrix::scattered(
-        &machine,
-        &nodes,
-        n,
-        n + 1,
-    ));
+    let mat = Rc::new(UsMatrix::scattered(&machine, &nodes, n, n + 1));
     mat.load(&build_system(n, seed));
 
     let placement: Vec<NodeId> = (0..nprocs).collect();

@@ -85,7 +85,12 @@ pub struct GraphResult {
 /// One Ant Farm thread per vertex: asynchronous Bellman-Ford. Each vertex
 /// keeps its best-known distance; on improvement it sends `d+w` to every
 /// successor. Termination: a host-side count of in-flight messages.
-pub fn shortest_path_antfarm(g: &Graph, src: u32, nodes: u16, seed: u64) -> (Vec<u32>, GraphResult) {
+pub fn shortest_path_antfarm(
+    g: &Graph,
+    src: u32,
+    nodes: u16,
+    seed: u64,
+) -> (Vec<u32>, GraphResult) {
     let sim = Sim::with_seed(seed);
     let machine = Machine::new(&sim, MachineConfig::small(nodes));
     let os = Os::boot(&machine);

@@ -177,8 +177,7 @@ pub fn hough_on(
                             // block-copy optimization's 42% implies.
                             for x in 0..size {
                                 let v = p.read_u32(row_addr.add(x & !3)).await;
-                                pixels[x as usize] =
-                                    v.to_le_bytes()[(x & 3) as usize];
+                                pixels[x as usize] = v.to_le_bytes()[(x & 3) as usize];
                             }
                         }
                         Discipline::BlockCopy | Discipline::BlockCopyTables => {

@@ -111,7 +111,10 @@ pub fn knights_tour(size: u8, nworkers: u16, seed: u64, jitter_pct: u32) -> Tour
     let sim = Sim::with_seed(seed);
     let mut costs = Costs::butterfly_one();
     costs.jitter_pct = jitter_pct;
-    let machine = Machine::new(&sim, MachineConfig::small(nworkers.max(2)).with_costs(costs));
+    let machine = Machine::new(
+        &sim,
+        MachineConfig::small(nworkers.max(2)).with_costs(costs),
+    );
     let os = Os::boot(&machine);
 
     // Shared pool of partial tours (host-side bodies; pool traffic charges
@@ -121,7 +124,11 @@ pub fn knights_tour(size: u8, nworkers: u16, seed: u64, jitter_pct: u32) -> Tour
     let found: Rc<RefCell<Option<(Tour, u16)>>> = Rc::new(RefCell::new(None));
     let expansions = Rc::new(std::cell::Cell::new(0u64));
 
-    async fn take(p: &Proc, pool: &RefCell<VecDeque<Tour>>, ctr: bfly_machine::GAddr) -> Option<Tour> {
+    async fn take(
+        p: &Proc,
+        pool: &RefCell<VecDeque<Tour>>,
+        ctr: bfly_machine::GAddr,
+    ) -> Option<Tour> {
         p.fetch_add(ctr, 1).await; // pool access through shared memory
         pool.borrow_mut().pop_front()
     }
@@ -203,7 +210,10 @@ mod tests {
     fn validity_checker_rejects_garbage() {
         assert!(!is_valid_tour(&[0, 1, 2], 5), "too short");
         let mut fake: Vec<u8> = (0..25).collect();
-        assert!(!is_valid_tour(&fake, 5), "sequential squares are not knight moves");
+        assert!(
+            !is_valid_tour(&fake, 5),
+            "sequential squares are not knight moves"
+        );
         fake.swap(0, 7);
         assert!(!is_valid_tour(&fake, 5));
     }

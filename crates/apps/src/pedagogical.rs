@@ -32,7 +32,13 @@ pub fn queens_seq(n: u32) -> u64 {
         while free != 0 {
             let bit = free & free.wrapping_neg();
             free ^= bit;
-            count += go(n, cols | bit, (diag1 | bit) << 1, (diag2 | bit) >> 1, row + 1);
+            count += go(
+                n,
+                cols | bit,
+                (diag1 | bit) << 1,
+                (diag2 | bit) >> 1,
+                row + 1,
+            );
         }
         count
     }
@@ -293,15 +299,13 @@ pub fn pentominoes_parallel(rows: i32, cols: i32, nprocs: u16, seed: u64) -> (u6
                                     continue;
                                 }
                                 for &(r, c) in shape {
-                                    board[((fr + r - ar) * cols + (fc + c - ac)) as usize] =
-                                        true;
+                                    board[((fr + r - ar) * cols + (fc + c - ac)) as usize] = true;
                                 }
                                 used[pi] = true;
                                 count += go(rows, cols, board, used, all, nodes);
                                 used[pi] = false;
                                 for &(r, c) in shape {
-                                    board[((fr + r - ar) * cols + (fc + c - ac)) as usize] =
-                                        false;
+                                    board[((fr + r - ar) * cols + (fc + c - ac)) as usize] = false;
                                 }
                             }
                         }

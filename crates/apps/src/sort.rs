@@ -79,7 +79,11 @@ pub fn odd_even_smp(nprocs: u16, n: usize, seed: u64, inject_bug: bool) -> SortR
                 for phase in 0..p_count {
                     // Partner for this phase.
                     let partner = if phase % 2 == 0 {
-                        if me % 2 == 0 { me + 1 } else { me - 1 }
+                        if me % 2 == 0 {
+                            me + 1
+                        } else {
+                            me - 1
+                        }
                     } else if me % 2 == 1 {
                         me + 1
                     } else if me == 0 {
@@ -105,8 +109,7 @@ pub fn odd_even_smp(nprocs: u16, n: usize, seed: u64, inject_bug: bool) -> SortR
                         .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
                         .collect();
                     // Merge; keep low half if I'm the lower rank.
-                    let mut merged: Vec<u32> =
-                        mine.iter().chain(theirs.iter()).copied().collect();
+                    let mut merged: Vec<u32> = mine.iter().chain(theirs.iter()).copied().collect();
                     merged.sort_unstable();
                     m.proc.compute(2 * seg as SimTime * CMP).await;
                     mine = if me < partner {
@@ -154,10 +157,7 @@ pub fn merge_sort_replay(
     // nondeterminism Instant Replay exists to tame).
     let mut costs = bfly_machine::Costs::butterfly_one();
     costs.jitter_pct = if sys.mode() == Mode::Off { 0 } else { 25 };
-    let machine = Machine::new(
-        &sim,
-        MachineConfig::small(nprocs.max(2)).with_costs(costs),
-    );
+    let machine = Machine::new(&sim, MachineConfig::small(nprocs.max(2)).with_costs(costs));
     let os = Os::boot(&machine);
 
     let mut rng = bfly_sim::SplitMix64::new(seed ^ 0xABCD);
@@ -175,57 +175,57 @@ pub fn merge_sort_replay(
     for w in 0..nprocs {
         let objs: Vec<_> = objs.to_vec();
         let result = result.clone();
-        handles.push(os.boot_process(w, &format!("sorter{w}"), move |p| async move {
-            // Sort my leaf.
-            let me = w as usize;
-            objs[me]
-                .write(&p, w as u32, |v| v.sort_unstable())
-                .await;
-            p.compute(seg as SimTime * 12 * CMP / 10).await;
-            // Tree merge: at level L, worker w merges if w % 2^(L+1) == 0.
-            let mut stride = 1;
-            while stride < nprocs as usize {
-                if !me.is_multiple_of(2 * stride) {
-                    break;
-                }
-                let other = me + stride;
-                if other < nprocs as usize {
-                    // Wait until the partner's segment is sorted/merged
-                    // (version >= expected); read it, merge into mine.
-                    let needed_version = {
-                        // Partner has written once per completed level + 1.
-                        let mut lvl = 0;
-                        let mut s = 1;
-                        while s < stride {
-                            if other.is_multiple_of(2 * s) {
-                                lvl += 1;
-                            }
-                            s *= 2;
-                        }
-                        lvl + 1
-                    };
-                    while objs[other].version() < needed_version {
-                        p.compute(40_000).await; // poll (spin-based join)
+        handles.push(
+            os.boot_process(w, &format!("sorter{w}"), move |p| async move {
+                // Sort my leaf.
+                let me = w as usize;
+                objs[me].write(&p, w as u32, |v| v.sort_unstable()).await;
+                p.compute(seg as SimTime * 12 * CMP / 10).await;
+                // Tree merge: at level L, worker w merges if w % 2^(L+1) == 0.
+                let mut stride = 1;
+                while stride < nprocs as usize {
+                    if !me.is_multiple_of(2 * stride) {
+                        break;
                     }
-                    let theirs = objs[other].read(&p, w as u32, |v| v.clone()).await;
-                    objs[me]
-                        .write(&p, w as u32, |v| {
-                            let mut merged = Vec::with_capacity(v.len() + theirs.len());
-                            merged.extend_from_slice(v);
-                            merged.extend_from_slice(&theirs);
-                            merged.sort_unstable();
-                            *v = merged;
-                        })
-                        .await;
-                    p.compute((stride * seg) as SimTime * CMP).await;
+                    let other = me + stride;
+                    if other < nprocs as usize {
+                        // Wait until the partner's segment is sorted/merged
+                        // (version >= expected); read it, merge into mine.
+                        let needed_version = {
+                            // Partner has written once per completed level + 1.
+                            let mut lvl = 0;
+                            let mut s = 1;
+                            while s < stride {
+                                if other.is_multiple_of(2 * s) {
+                                    lvl += 1;
+                                }
+                                s *= 2;
+                            }
+                            lvl + 1
+                        };
+                        while objs[other].version() < needed_version {
+                            p.compute(40_000).await; // poll (spin-based join)
+                        }
+                        let theirs = objs[other].read(&p, w as u32, |v| v.clone()).await;
+                        objs[me]
+                            .write(&p, w as u32, |v| {
+                                let mut merged = Vec::with_capacity(v.len() + theirs.len());
+                                merged.extend_from_slice(v);
+                                merged.extend_from_slice(&theirs);
+                                merged.sort_unstable();
+                                *v = merged;
+                            })
+                            .await;
+                        p.compute((stride * seg) as SimTime * CMP).await;
+                    }
+                    stride *= 2;
                 }
-                stride *= 2;
-            }
-            if me == 0 {
-                let sorted = objs[0].read(&p, 0, |v| v.clone()).await;
-                *result.borrow_mut() = sorted;
-            }
-        }));
+                if me == 0 {
+                    let sorted = objs[0].read(&p, 0, |v| v.clone()).await;
+                    *result.borrow_mut() = sorted;
+                }
+            }),
+        );
     }
     let stats = sim.run();
     let completed = stats.outcome == RunOutcome::Completed;

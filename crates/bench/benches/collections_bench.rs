@@ -5,7 +5,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::Arc;
 
-use bfly_collections::{ExtendibleHash, FetchPhiQueue, FirstFitSerial, ParallelFirstFit, TwoLockQueue};
+use bfly_collections::{
+    ExtendibleHash, FetchPhiQueue, FirstFitSerial, ParallelFirstFit, TwoLockQueue,
+};
 
 const THREADS: usize = 4;
 const OPS: usize = 5_000;
@@ -127,7 +129,7 @@ fn bench_exthash(c: &mut Criterion) {
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
     targets = bench_firstfit, bench_queues, bench_exthash

@@ -27,7 +27,10 @@ fn main() {
         let start = std::time::Instant::now();
         let table = f(quick);
         table.print();
-        println!("   [{name} regenerated in {:.2?} wall time]\n", start.elapsed());
+        println!(
+            "   [{name} regenerated in {:.2?} wall time]\n",
+            start.elapsed()
+        );
     }
     println!("all figures/tables regenerated in {:.2?}", t0.elapsed());
 }

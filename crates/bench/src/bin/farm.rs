@@ -1,0 +1,205 @@
+//! `farm` — client for the experiment-serving daemon (`farmd`).
+//!
+//! Talks the JSON-lines protocol of DESIGN.md §12. Subcommands:
+//!
+//! * `farm ping|stats|shutdown` — liveness, counters, graceful drain.
+//! * `farm submit --exp <name> [--params <json>] [--seed <n>] [--probe]
+//!   [--cache use|bypass|refresh] [--deadline-ms <n>] [--retries <n>]
+//!   [--wait]` — submit one job; `--wait` polls until it is terminal.
+//! * `farm status --id <n>` — poll one job.
+//! * `farm batch --jobs <file>` — submit a JSON-lines job file (`-` for
+//!   stdin) as one batch; `--cache <mode>` overrides every job's mode.
+//! * `farm bench [--min-speedup <x>]` — the CI end-to-end exercise: run
+//!   the standard job mix cold (`refresh`), then warm (`use`), verify the
+//!   warm bytes are bit-identical to a cache-bypassing recomputation, and
+//!   gate on the warm-over-cold speedup. Prints a JSON summary.
+//!
+//! Every subcommand takes `--addr <host:port | unix:/path>` (default
+//! `127.0.0.1:4655`).
+
+use std::io::Read;
+use std::time::Duration;
+
+use bfly_bench::farm::{run_batch, serve_bench_against};
+use bfly_farmd::json::Value;
+use bfly_farmd::Client;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("farm: {msg}");
+    std::process::exit(1);
+}
+
+fn connect(args: &[String]) -> Client {
+    let addr = arg_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:4655".into());
+    Client::connect(&addr).unwrap_or_else(|e| fail(&format!("connect {addr}: {e}")))
+}
+
+fn one_op(args: &[String], line: &str) -> ! {
+    let mut c = connect(args);
+    let v = c
+        .request_line(line)
+        .unwrap_or_else(|e| fail(&format!("request: {e}")));
+    println!("{}", v.dump());
+    std::process::exit(if v.get("ok").and_then(Value::as_bool) == Some(true) {
+        0
+    } else {
+        1
+    });
+}
+
+fn submit(args: &[String]) -> ! {
+    let exp = arg_value(args, "--exp").unwrap_or_else(|| fail("submit needs --exp <name>"));
+    let mut line = format!(r#"{{"op":"submit","exp":"{exp}""#);
+    if let Some(params) = arg_value(args, "--params") {
+        bfly_farmd::json::parse(&params)
+            .unwrap_or_else(|(at, m)| fail(&format!("--params is not JSON (at byte {at}): {m}")));
+        line.push_str(&format!(r#","params":{params}"#));
+    }
+    for flag in ["--seed", "--deadline-ms", "--retries"] {
+        if let Some(v) = arg_value(args, flag) {
+            let _: u64 = v
+                .parse()
+                .unwrap_or_else(|_| fail(&format!("{flag} takes an integer")));
+            line.push_str(&format!(r#","{}":{v}"#, flag[2..].replace('-', "_")));
+        }
+    }
+    if args.iter().any(|a| a == "--probe") {
+        line.push_str(r#","probe":true"#);
+    }
+    if let Some(mode) = arg_value(args, "--cache") {
+        line.push_str(&format!(r#","cache":"{mode}""#));
+    }
+    line.push('}');
+
+    let mut c = connect(args);
+    let mut v = c
+        .request_line(&line)
+        .unwrap_or_else(|e| fail(&format!("request: {e}")));
+    if args.iter().any(|a| a == "--wait") {
+        while v.get("ok").and_then(Value::as_bool) == Some(true)
+            && matches!(
+                v.get("state").and_then(Value::as_str),
+                Some("queued") | Some("running")
+            )
+        {
+            std::thread::sleep(Duration::from_millis(50));
+            let id = v.get("id").and_then(Value::as_u64).expect("reply has id");
+            v = c
+                .request_line(&format!(r#"{{"op":"status","id":{id}}}"#))
+                .unwrap_or_else(|e| fail(&format!("status poll: {e}")));
+        }
+    }
+    println!("{}", v.dump());
+    let ok = v.get("ok").and_then(Value::as_bool) == Some(true)
+        && v.get("state").and_then(Value::as_str) != Some("failed");
+    std::process::exit(if ok { 0 } else { 1 });
+}
+
+fn read_jobs(args: &[String]) -> Vec<String> {
+    let path = arg_value(args, "--jobs").unwrap_or_else(|| fail("batch needs --jobs <file|->"));
+    let text = if path == "-" {
+        let mut s = String::new();
+        std::io::stdin()
+            .read_to_string(&mut s)
+            .unwrap_or_else(|e| fail(&format!("read stdin: {e}")));
+        s
+    } else {
+        std::fs::read_to_string(&path).unwrap_or_else(|e| fail(&format!("read {path}: {e}")))
+    };
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(String::from)
+        .collect()
+}
+
+fn batch(args: &[String]) -> ! {
+    let jobs = read_jobs(args);
+    if jobs.is_empty() {
+        fail("no jobs in --jobs input");
+    }
+    let mode = arg_value(args, "--cache").unwrap_or_else(|| "use".into());
+    let mut c = connect(args);
+    match run_batch(&mut c, &jobs, &mode) {
+        Ok((v, wall)) => {
+            println!("{}", v.dump());
+            eprintln!(
+                "farm: {} jobs in {:.1} ms ({} cache hits)",
+                jobs.len(),
+                wall.as_secs_f64() * 1e3,
+                v.get("hits").and_then(Value::as_u64).unwrap_or(0)
+            );
+            let not_done = v
+                .get("results")
+                .and_then(Value::as_arr)
+                .map(|rs| {
+                    rs.iter()
+                        .filter(|r| r.get("state").and_then(Value::as_str) != Some("done"))
+                        .count()
+                })
+                .unwrap_or(0);
+            if not_done > 0 {
+                fail(&format!("{not_done} job(s) did not finish done"));
+            }
+            std::process::exit(0);
+        }
+        Err(e) => fail(&format!("batch: {e}")),
+    }
+}
+
+fn bench(args: &[String]) -> ! {
+    let addr = arg_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:4655".into());
+    let min_speedup: f64 = arg_value(args, "--min-speedup")
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| fail("--min-speedup takes a ratio like 5"))
+        })
+        .unwrap_or(0.0);
+    let s = serve_bench_against(&addr).unwrap_or_else(|e| fail(&format!("bench: {e}")));
+    println!(
+        "{{\"jobs\": {}, \"cold_wall_ms\": {:.1}, \"warm_wall_ms\": {:.3}, \"hits\": {}, \
+         \"hit_rate\": {:.3}, \"speedup\": {:.1}, \"bit_identical\": true}}",
+        s.jobs,
+        s.cold_wall.as_secs_f64() * 1e3,
+        s.warm_wall.as_secs_f64() * 1e3,
+        s.hits,
+        s.hit_rate(),
+        s.speedup().min(1e6)
+    );
+    if s.hits < s.jobs as u64 {
+        fail(&format!("warm batch hit only {}/{} jobs", s.hits, s.jobs));
+    }
+    if s.speedup() < min_speedup {
+        fail(&format!(
+            "warm speedup {:.1}x below the {min_speedup:.1}x floor",
+            s.speedup()
+        ));
+    }
+    std::process::exit(0);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("ping") => one_op(&args, r#"{"op":"ping"}"#),
+        Some("stats") => one_op(&args, r#"{"op":"stats"}"#),
+        Some("shutdown") => one_op(&args, r#"{"op":"shutdown"}"#),
+        Some("submit") => submit(&args),
+        Some("status") => {
+            let id = arg_value(&args, "--id").unwrap_or_else(|| fail("status needs --id <n>"));
+            one_op(&args, &format!(r#"{{"op":"status","id":{id}}}"#))
+        }
+        Some("batch") => batch(&args),
+        Some("bench") => bench(&args),
+        other => fail(&format!(
+            "unknown subcommand {other:?}; expected ping|stats|shutdown|submit|status|batch|bench"
+        )),
+    }
+}

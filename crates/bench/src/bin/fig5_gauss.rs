@@ -10,9 +10,7 @@ fn main() {
     let cli = BenchCli::parse("fig5_gauss");
     let probe = cli.begin();
     let (table, engine) = match cli.n {
-        Some(n) => {
-            bfly_bench::experiments::fig5_gauss_at(n, &[16, 32, 48, 64, 80, 96, 112, 128])
-        }
+        Some(n) => bfly_bench::experiments::fig5_gauss_at(n, &[16, 32, 48, 64, 80, 96, 112, 128]),
         None => bfly_bench::experiments::fig5_gauss_run(cli.scale()),
     };
     table.print();

@@ -22,6 +22,11 @@
 //!   toward passing while a real slowdown still trips. The CI
 //!   probe-overhead job runs this against a baseline generated on the
 //!   same runner from the pre-probe sources (`.perf-baseline/`).
+//! * `--serve-bench` — boot an in-process farm daemon on an ephemeral
+//!   port, run the standard job mix cold then warm (with a bit-identity
+//!   verification pass), and record the timings in the report's `serve`
+//!   section. `--serve-min-speedup <x>` additionally gates on the
+//!   warm-over-cold ratio (the CI farmd-e2e job uses 5).
 
 use std::time::Instant;
 
@@ -47,7 +52,10 @@ fn main() {
         .unwrap_or(0.20);
     let sweep_baseline = arg_value(&args, "--check-sweep");
     let sweep_tolerance: f64 = arg_value(&args, "--sweep-tolerance")
-        .map(|v| v.parse().expect("--sweep-tolerance takes a fraction like 0.02"))
+        .map(|v| {
+            v.parse()
+                .expect("--sweep-tolerance takes a fraction like 0.02")
+        })
         .unwrap_or(0.02);
     let sweep_best_of: usize = arg_value(&args, "--sweep-best-of")
         .map(|v| v.parse().expect("--sweep-best-of takes a count"))
@@ -88,6 +96,22 @@ fn main() {
         timed_sweep("fig5_gauss_full_n384", 8, Scale::full(), &mut report);
     }
 
+    let serve_min_speedup: Option<f64> = arg_value(&args, "--serve-min-speedup")
+        .map(|v| v.parse().expect("--serve-min-speedup takes a ratio like 5"));
+    if args.iter().any(|a| a == "--serve-bench") || serve_min_speedup.is_some() {
+        eprintln!("running cold/warm serve benchmark ...");
+        let s = bfly_bench::serve_bench().expect("serve bench");
+        eprintln!(
+            "  {} jobs: cold {:.1} ms, warm {:.3} ms ({} hits, {:.1}x)",
+            s.jobs,
+            s.cold_wall.as_secs_f64() * 1e3,
+            s.warm_wall.as_secs_f64() * 1e3,
+            s.hits,
+            s.speedup()
+        );
+        report.serve = Some(s);
+    }
+
     let headline = report.headline_events_per_sec();
     eprintln!("headline engine_events_per_sec = {headline:.0}");
 
@@ -98,7 +122,10 @@ fn main() {
         let baseline_json = std::fs::read_to_string(&baseline_path)
             .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
         match check_headline(&baseline_json, headline, tolerance) {
-            Ok(()) => eprintln!("perf gate: OK (within {:.0}% of baseline)", tolerance * 100.0),
+            Ok(()) => eprintln!(
+                "perf gate: OK (within {:.0}% of baseline)",
+                tolerance * 100.0
+            ),
             Err(msg) => {
                 eprintln!("perf gate: FAIL — {msg}");
                 std::process::exit(1);
@@ -128,5 +155,24 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+
+    if let Some(min) = serve_min_speedup {
+        let s = report.serve.as_ref().expect("serve bench ran above");
+        if s.hits < s.jobs as u64 {
+            eprintln!(
+                "serve gate: FAIL — warm batch hit {}/{} jobs in cache",
+                s.hits, s.jobs
+            );
+            std::process::exit(1);
+        }
+        if s.speedup() < min {
+            eprintln!(
+                "serve gate: FAIL — warm speedup {:.1}x below the {min:.1}x floor",
+                s.speedup()
+            );
+            std::process::exit(1);
+        }
+        eprintln!("serve gate: OK ({:.1}x >= {min:.1}x)", s.speedup());
     }
 }

@@ -13,8 +13,7 @@ use bfly_bench::BenchCli;
 fn main() {
     let cli = BenchCli::parse("tab16_attribution");
     let probe = cli.begin();
-    let (table, engine, part_a) =
-        bfly_bench::experiments::tab16_attribution_full(cli.scale());
+    let (table, engine, part_a) = bfly_bench::experiments::tab16_attribution_full(cli.scale());
     table.print();
     if cli.probe {
         cli.finish(probe.as_ref(), Some(&engine));

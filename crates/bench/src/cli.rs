@@ -20,7 +20,7 @@
 use bfly_probe::Probe;
 
 use crate::report::EngineStats;
-use crate::sweep::set_force_serial;
+use crate::sweep::set_thread_serial;
 use crate::Scale;
 
 /// Parsed common flags for one experiment binary.
@@ -98,7 +98,7 @@ impl BenchCli {
         }
         let probe = Probe::new();
         bfly_probe::install_ambient(Some(probe.clone()));
-        set_force_serial(true);
+        set_thread_serial(true);
         eprintln!("{}: probing enabled (sweeps run serially)", self.exp);
         Some(probe)
     }
@@ -114,7 +114,7 @@ impl BenchCli {
         }
         if let Some(p) = probe {
             bfly_probe::install_ambient(None);
-            set_force_serial(false);
+            set_thread_serial(false);
             let summary_path = format!("PROBE_{}.json", self.exp);
             let trace_path = format!("TRACE_{}.json", self.exp);
             std::fs::write(&summary_path, p.summary_json(self.exp))

@@ -22,13 +22,22 @@ pub fn tab7_alloc_amdahl(scale: Scale) -> Table {
 pub fn tab7_alloc_amdahl_run(scale: Scale) -> (Table, EngineStats) {
     let allocs_per_task: u64 = scale.pick(6, 3);
     let tasks: u64 = scale.pick(256, 64);
-    let ps: &[u16] = if scale.quick { &[4, 16] } else { &[4, 16, 64, 128] };
+    let ps: &[u16] = if scale.quick {
+        &[4, 16]
+    } else {
+        &[4, 16, 64, 128]
+    };
     let mut t = Table::new(
         &format!(
             "T7: US program doing {allocs_per_task} allocations per task, {tasks} tasks \
              (paper: serial allocator dominates until parallelized)"
         ),
-        &["P", "serial alloc (ms)", "parallel alloc (ms)", "serial/parallel"],
+        &[
+            "P",
+            "serial alloc (ms)",
+            "parallel alloc (ms)",
+            "serial/parallel",
+        ],
     );
     let run = |mode: AllocMode, p: u16| -> (u64, bfly_sim::exec::RunStats) {
         let sim = Sim::new();
@@ -84,7 +93,11 @@ pub fn tab8_crowd(scale: Scale) -> Table {
 
 /// [`tab8_crowd`] plus aggregated engine counters (for `--stats`).
 pub fn tab8_crowd_run(scale: Scale) -> (Table, EngineStats) {
-    let ns: &[u32] = if scale.quick { &[8, 16] } else { &[8, 16, 32, 64] };
+    let ns: &[u32] = if scale.quick {
+        &[8, 16]
+    } else {
+        &[8, 16, 32, 64]
+    };
     let mut t = Table::new(
         "T8: creating N processes — serial vs Crowd Control tree \
          (paper: tree helps, but the serialized template is the floor)",

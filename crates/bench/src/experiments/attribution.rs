@@ -139,11 +139,7 @@ pub fn tab16_attribution_full(scale: Scale) -> (Table, EngineStats, Probe) {
         );
         m.attach_probe(&pb);
         let os = Os::boot(&m);
-        let words: Rc<Vec<_>> = Rc::new(
-            (0..128u16)
-                .map(|n| m.node(n).alloc(4).unwrap())
-                .collect(),
-        );
+        let words: Rc<Vec<_>> = Rc::new((0..128u16).map(|n| m.node(n).alloc(4).unwrap()).collect());
         for p in 0..64u16 {
             let words = words.clone();
             os.boot_process(p, &format!("t{p}"), move |proc_| async move {

@@ -37,7 +37,14 @@ const SEED: u64 = 42;
 fn degrade_plan(nlinks: u32, factor: u32) -> FaultPlan {
     let mut plan = FaultPlan::new(SEED);
     for port in 0..nlinks {
-        plan.push(0, FaultKind::LinkDegrade { stage: 3, port, factor });
+        plan.push(
+            0,
+            FaultKind::LinkDegrade {
+                stage: 3,
+                port,
+                factor,
+            },
+        );
     }
     plan
 }

@@ -38,6 +38,14 @@ pub fn fig5_gauss_run(scale: Scale) -> (Table, EngineStats) {
 /// core both scales delegate to, and what `fig5_gauss --n <N>` uses for
 /// apples-to-apples perf comparisons across engine versions.
 pub fn fig5_gauss_at(n: u32, ps: &[u16]) -> (Table, EngineStats) {
+    fig5_gauss_at_seeded(n, ps, SEED)
+}
+
+/// [`fig5_gauss_at`] under an explicit seed — the farm daemon's registry
+/// entry, where the seed is part of the job (and hence of the cache key).
+/// The fixed-seed paths above delegate here with the historical
+/// [`SEED`], so their published tables are unchanged.
+pub fn fig5_gauss_at_seeded(n: u32, ps: &[u16], seed: u64) -> (Table, EngineStats) {
     let mut t = Table::new(
         &format!(
             "FIG5: Gaussian elimination N={n} — shared memory (US) vs message \
@@ -60,8 +68,8 @@ pub fn fig5_gauss_at(n: u32, ps: &[u16]) -> (Table, EngineStats) {
     // still produces bit-identical simulated-ns results to a serial loop.
     let points: Vec<(GaussResult, GaussResult)> = parallel_sweep(ps, |_, &p| {
         let all: Vec<u16> = (0..128).collect();
-        let us = gauss_us(p, n, all, SEED);
-        let smp = gauss_smp(p, n, SEED);
+        let us = gauss_us(p, n, all, seed);
+        let smp = gauss_smp(p, n, seed);
         assert!(
             us.max_err < 1e-6 && smp.max_err < 1e-6,
             "both implementations must actually solve the system"
@@ -81,7 +89,12 @@ pub fn fig5_gauss_at(n: u32, ps: &[u16]) -> (Table, EngineStats) {
             formula.to_string(),
             smp.comm_ops.to_string(),
             (p as u64 * n as u64).to_string(),
-            if us.time_ns < smp.time_ns { "US" } else { "SMP" }.into(),
+            if us.time_ns < smp.time_ns {
+                "US"
+            } else {
+                "SMP"
+            }
+            .into(),
         ]);
     }
     (t, engine)

@@ -65,7 +65,11 @@ pub fn tab5_scatter(scale: Scale) -> Table {
 /// [`tab5_scatter`] plus aggregated engine counters (for `--stats`).
 pub fn tab5_scatter_run(scale: Scale) -> (Table, EngineStats) {
     let n: u32 = scale.pick(96, 32);
-    let ps: &[u16] = if scale.quick { &[16, 32] } else { &[16, 32, 64, 96] };
+    let ps: &[u16] = if scale.quick {
+        &[16, 32]
+    } else {
+        &[16, 32, 64, 96]
+    };
     let mut t = Table::new(
         &format!(
             "T5: Gaussian elimination N={n}, matrix on few vs all memories \

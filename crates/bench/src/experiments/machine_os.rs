@@ -300,11 +300,7 @@ pub fn tab6_switch_run(scale: Scale) -> (Table, EngineStats) {
         );
         let os = Os::boot(&m);
         // One word on every node.
-        let words: Rc<Vec<_>> = Rc::new(
-            (0..128u16)
-                .map(|n| m.node(n).alloc(4).unwrap())
-                .collect(),
-        );
+        let words: Rc<Vec<_>> = Rc::new((0..128u16).map(|n| m.node(n).alloc(4).unwrap()).collect());
         for p in 0..64u16 {
             let words = words.clone();
             os.boot_process(p, &format!("t{p}"), move |proc_| async move {
@@ -326,7 +322,12 @@ pub fn tab6_switch_run(scale: Scale) -> (Table, EngineStats) {
             .map(|n| m.mem_resource(n).stats().total_wait_ns)
             .sum();
         t.row(vec![
-            if hotspot { "hot-spot (node 0)" } else { "uniform random" }.into(),
+            if hotspot {
+                "hot-spot (node 0)"
+            } else {
+                "uniform random"
+            }
+            .into(),
             total_refs.to_string(),
             format!("{:.2}", sim.now() as f64 / 1e6),
             format!("{:.0}", sw_wait),

@@ -18,10 +18,8 @@ pub use attribution::{tab16_attribution, tab16_attribution_full, tab16_attributi
 pub use bplus::{tab14_bplus, tab14_bplus_run};
 pub use bridge_x::{tab10_bridge, tab10_bridge_run};
 pub use faults::{tab15_faults, tab15_faults_run};
-pub use fig5::{fig5_gauss, fig5_gauss_at, fig5_gauss_run};
-pub use locality::{
-    tab4_hough_locality, tab4_hough_locality_run, tab5_scatter, tab5_scatter_run,
-};
+pub use fig5::{fig5_gauss, fig5_gauss_at, fig5_gauss_at_seeded, fig5_gauss_run};
+pub use locality::{tab4_hough_locality, tab4_hough_locality_run, tab5_scatter, tab5_scatter_run};
 pub use machine_os::{
     tab1_memory, tab1_memory_run, tab2_primitives, tab2_primitives_run, tab3_contention,
     tab3_contention_run, tab6_switch, tab6_switch_run,

@@ -1,0 +1,416 @@
+//! The farm daemon's experiment registry and the cold/warm serve
+//! benchmark.
+//!
+//! `bfly-farmd` is generic over a [`bfly_farmd::JobRunner`]; this module
+//! is the concrete registry wiring the daemon to the experiment
+//! implementations in [`crate::experiments`]. Every entry produces
+//! **canonical result bytes**: a single-line JSON object built through
+//! [`bfly_farmd::json::Value`] (sorted keys), a pure function of
+//! `(exp, params, seed)` — which is exactly what makes the daemon's
+//! content-addressed cache sound (`tests/farm_determinism.rs` proptests
+//! cached == cold-recomputed, bit for bit).
+//!
+//! Probed jobs install the ambient probe on the worker thread and pin
+//! that thread's sweeps serial via [`crate::sweep::with_thread_serial`]
+//! — NOT the process-global `set_force_serial`, so probed and unprobed
+//! jobs running on neighboring workers cannot race each other's sweep
+//! configuration.
+
+use std::time::{Duration, Instant};
+
+use bfly_farmd::json::{self, Value};
+use bfly_farmd::{Client, JobRunner, JobSpec, Listen, ServerConfig};
+use bfly_probe::Probe;
+
+use crate::report::EngineStats;
+use crate::sweep::with_thread_serial;
+use crate::{experiments, Scale, Table};
+
+/// Experiments served by the daemon, with their parameter contracts.
+/// `fig5_gauss` honors `{"n": int, "ps": [int], "seed"}`; the `tab*`
+/// entries honor `{"quick": bool}` (seed is folded into the cache key
+/// but the workloads are internally seeded — documented in
+/// EXPERIMENTS.md T17).
+const EXPS: &[&str] = &[
+    "fig5_gauss",
+    "tab1_memory",
+    "tab2_primitives",
+    "tab3_contention",
+    "tab4_hough_locality",
+    "tab5_scatter",
+    "tab6_switch",
+    "tab7_alloc_amdahl",
+    "tab8_crowd",
+    "tab9_replay",
+    "tab10_bridge",
+    "tab12_models",
+    "tab13_linda",
+    "tab14_bplus",
+    "tab15_faults",
+];
+
+/// The concrete experiment registry behind a farm daemon.
+pub struct Registry;
+
+impl Registry {
+    fn scale_of(params: &Value) -> Result<Scale, String> {
+        match params.get("quick") {
+            None => Ok(Scale::quick()),
+            Some(q) => match q.as_bool() {
+                Some(true) => Ok(Scale::quick()),
+                Some(false) => Ok(Scale::full()),
+                None => Err("`quick` must be a bool".into()),
+            },
+        }
+    }
+
+    /// Run the experiment body, returning its table and engine counters.
+    fn dispatch(spec: &JobSpec) -> Result<(Table, EngineStats), String> {
+        let params = &spec.params;
+        match spec.exp.as_str() {
+            "fig5_gauss" => {
+                let n = match params.get("n") {
+                    None => 48,
+                    Some(v) => v.as_u64().ok_or("`n` must be an integer")? as u32,
+                };
+                if !(8..=512).contains(&n) {
+                    return Err(format!("`n` out of the serving range 8..=512: {n}"));
+                }
+                let ps: Vec<u16> = match params.get("ps") {
+                    None => vec![16, 32, 64, 128],
+                    Some(v) => {
+                        let arr = v.as_arr().ok_or("`ps` must be an array of integers")?;
+                        if arr.is_empty() || arr.len() > 16 {
+                            return Err("`ps` must have 1..=16 points".into());
+                        }
+                        arr.iter()
+                            .map(|p| match p.as_u64() {
+                                Some(p @ 1..=128) => Ok(p as u16),
+                                _ => Err("`ps` entries must be in 1..=128".to_string()),
+                            })
+                            .collect::<Result<_, _>>()?
+                    }
+                };
+                Ok(experiments::fig5_gauss_at_seeded(n, &ps, spec.seed))
+            }
+            "tab1_memory" => Ok(experiments::tab1_memory_run(Self::scale_of(params)?)),
+            "tab2_primitives" => Ok(experiments::tab2_primitives_run(Self::scale_of(params)?)),
+            "tab3_contention" => Ok(experiments::tab3_contention_run(Self::scale_of(params)?)),
+            "tab4_hough_locality" => Ok(experiments::tab4_hough_locality_run(Self::scale_of(
+                params,
+            )?)),
+            "tab5_scatter" => Ok(experiments::tab5_scatter_run(Self::scale_of(params)?)),
+            "tab6_switch" => Ok(experiments::tab6_switch_run(Self::scale_of(params)?)),
+            "tab7_alloc_amdahl" => Ok(experiments::tab7_alloc_amdahl_run(Self::scale_of(params)?)),
+            "tab8_crowd" => Ok(experiments::tab8_crowd_run(Self::scale_of(params)?)),
+            "tab9_replay" => Ok(experiments::tab9_replay_run(Self::scale_of(params)?)),
+            "tab10_bridge" => Ok(experiments::tab10_bridge_run(Self::scale_of(params)?)),
+            "tab12_models" => Ok(experiments::tab12_models_run(Self::scale_of(params)?)),
+            "tab13_linda" => Ok(experiments::tab13_linda_run(Self::scale_of(params)?)),
+            "tab14_bplus" => Ok(experiments::tab14_bplus_run(Self::scale_of(params)?)),
+            "tab15_faults" => Ok(experiments::tab15_faults_run(Self::scale_of(params)?)),
+            other => Err(format!("unknown experiment `{other}`")),
+        }
+    }
+}
+
+impl JobRunner for Registry {
+    fn engine_version(&self) -> u32 {
+        bfly_sim::ENGINE_VERSION
+    }
+
+    fn experiments(&self) -> Vec<&'static str> {
+        EXPS.to_vec()
+    }
+
+    fn run(&self, spec: &JobSpec) -> Result<Vec<u8>, String> {
+        let probe = if spec.probe {
+            let p = Probe::new();
+            bfly_probe::install_ambient(Some(p.clone()));
+            Some(p)
+        } else {
+            None
+        };
+        // Probed jobs pin *this worker thread's* sweeps serial (the
+        // ambient probe is thread-local); the pin is restored even if the
+        // experiment panics, so a quarantined job can't poison the worker.
+        let outcome = if spec.probe {
+            with_thread_serial(|| Self::dispatch(spec))
+        } else {
+            Self::dispatch(spec)
+        };
+        if spec.probe {
+            bfly_probe::install_ambient(None);
+        }
+        let (table, engine) = outcome?;
+
+        let probe_value = match &probe {
+            None => Value::Null,
+            Some(p) => {
+                let summary = p.summary_json(&spec.exp);
+                // Side artifact for CI upload; never part of the result
+                // bytes (best-effort, a read-only cwd must not fail the
+                // job).
+                let _ = std::fs::write(
+                    format!("PROBE_farm_{}_s{}.json", spec.exp, spec.seed),
+                    &summary,
+                );
+                json::parse(&summary)
+                    .map_err(|(at, m)| format!("probe summary not JSON at {at}: {m}"))?
+            }
+        };
+        let table_value = json::parse(&table.to_json())
+            .map_err(|(at, m)| format!("table not JSON at {at}: {m}"))?;
+
+        // Canonical result object. `run` carries only the *deterministic*
+        // engine counters — host wall-clock would break the bit-identity
+        // guarantee (it lives in the response envelope instead).
+        let mut run = std::collections::BTreeMap::new();
+        run.insert("events".to_string(), Value::Int(engine.events as i64));
+        run.insert("sims".to_string(), Value::Int(engine.sims as i64));
+        run.insert("tasks".to_string(), Value::Int(engine.tasks as i64));
+        let mut obj = std::collections::BTreeMap::new();
+        obj.insert(
+            "schema".to_string(),
+            Value::Str("bfly-farm-result/1".into()),
+        );
+        obj.insert("exp".to_string(), Value::Str(spec.exp.clone()));
+        obj.insert(
+            "key".to_string(),
+            Value::Str(spec.key(self.engine_version())),
+        );
+        obj.insert(
+            "engine_version".to_string(),
+            Value::Int(self.engine_version() as i64),
+        );
+        obj.insert("seed".to_string(), Value::Int(spec.seed as i64));
+        obj.insert("params".to_string(), spec.params.clone());
+        obj.insert("run".to_string(), Value::Obj(run));
+        obj.insert("table".to_string(), table_value);
+        obj.insert("probe".to_string(), probe_value);
+        Ok(Value::Obj(obj).dump().into_bytes())
+    }
+}
+
+/// Outcome of the cold/warm serve benchmark (the `serve` section of
+/// `BENCH_sim.json`).
+#[derive(Debug, Clone)]
+pub struct ServeBenchResult {
+    /// Jobs per batch.
+    pub jobs: usize,
+    /// Wall-clock of the cold batch (every job recomputed).
+    pub cold_wall: Duration,
+    /// Wall-clock of the identical warm batch (served from cache).
+    pub warm_wall: Duration,
+    /// Cache hits reported for the warm batch.
+    pub hits: u64,
+}
+
+impl ServeBenchResult {
+    /// Warm-over-cold throughput ratio.
+    pub fn speedup(&self) -> f64 {
+        let w = self.warm_wall.as_secs_f64();
+        if w > 0.0 {
+            self.cold_wall.as_secs_f64() / w
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Fraction of warm-batch jobs served from cache.
+    pub fn hit_rate(&self) -> f64 {
+        if self.jobs > 0 {
+            self.hits as f64 / self.jobs as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The standard serve-benchmark job mix: several seeds of the FIG5 sweep
+/// plus a spread of quick tables — repeats across batches are what the
+/// cache serves warm.
+pub fn serve_bench_jobs() -> Vec<String> {
+    let mut jobs = Vec::new();
+    for seed in 1..=4u64 {
+        jobs.push(format!(
+            r#"{{"exp":"fig5_gauss","params":{{"n":32,"ps":[8,16,32]}},"seed":{seed}}}"#
+        ));
+    }
+    for exp in [
+        "tab1_memory",
+        "tab2_primitives",
+        "tab5_scatter",
+        "tab15_faults",
+    ] {
+        jobs.push(format!(
+            r#"{{"exp":"{exp}","params":{{"quick":true}},"seed":1}}"#
+        ));
+    }
+    jobs
+}
+
+fn batch_line(jobs: &[String], cache: &str) -> String {
+    let mut out = String::from(r#"{"op":"batch","jobs":["#);
+    for (i, j) in jobs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        // Splice the job object with the cache mode appended.
+        let body = j.trim().trim_end_matches('}');
+        out.push_str(body);
+        out.push_str(&format!(r#","cache":"{cache}"}}"#));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Submit `jobs` as one batch under the given cache mode; returns the
+/// parsed response and the client-side wall-clock.
+pub fn run_batch(
+    client: &mut Client,
+    jobs: &[String],
+    cache: &str,
+) -> std::io::Result<(Value, Duration)> {
+    let t0 = Instant::now();
+    let v = client.request_line(&batch_line(jobs, cache))?;
+    let wall = t0.elapsed();
+    if v.get("ok").and_then(Value::as_bool) != Some(true) {
+        return Err(std::io::Error::other(format!("batch failed: {}", v.dump())));
+    }
+    Ok((v, wall))
+}
+
+/// Extract the canonical `result` bytes of every job in a batch response
+/// (errors for non-`done` jobs).
+pub fn batch_results(v: &Value) -> std::io::Result<Vec<String>> {
+    let results = v
+        .get("results")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| std::io::Error::other("batch response has no results"))?;
+    results
+        .iter()
+        .map(|r| {
+            if r.get("state").and_then(Value::as_str) == Some("done") {
+                Ok(r.get("result").expect("done carries a result").dump())
+            } else {
+                Err(std::io::Error::other(format!("job not done: {}", r.dump())))
+            }
+        })
+        .collect()
+}
+
+/// Boot an in-process daemon on an ephemeral port with a throwaway cache
+/// directory, run the standard job mix cold then warm, verify the warm
+/// bytes are bit-identical to a cache-bypassing recomputation, and
+/// return the timings. This is `perf_report --serve-bench`.
+pub fn serve_bench() -> std::io::Result<ServeBenchResult> {
+    let cache_dir = std::env::temp_dir().join(format!("bfly_serve_bench_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let handle = bfly_farmd::spawn(
+        ServerConfig {
+            listen: Listen::Tcp("127.0.0.1:0".into()),
+            cache_dir: Some(cache_dir.clone()),
+            ..ServerConfig::default()
+        },
+        std::sync::Arc::new(Registry),
+    )?;
+    let out = serve_bench_against(&handle.addr);
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    out
+}
+
+/// The cold/warm/verify legs against an already-running daemon (shared
+/// by [`serve_bench`] and `farm bench`).
+pub fn serve_bench_against(addr: &str) -> std::io::Result<ServeBenchResult> {
+    let jobs = serve_bench_jobs();
+    let mut client = Client::connect(addr)?;
+    // Cold: `refresh` forces recomputation even on a warm daemon and
+    // leaves the cache populated for the warm leg.
+    let (cold, cold_wall) = run_batch(&mut client, &jobs, "refresh")?;
+    let cold_bytes = batch_results(&cold)?;
+    // Warm: identical batch, served from cache.
+    let (warm, warm_wall) = run_batch(&mut client, &jobs, "use")?;
+    let warm_bytes = batch_results(&warm)?;
+    let hits = warm
+        .get("hits")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| std::io::Error::other("warm batch reports no hit count"))?;
+    // Bit-identity: cached bytes must equal both the cold computation
+    // that populated them and a fresh cache-bypassing recomputation.
+    let (bypass, _) = run_batch(&mut client, &jobs, "bypass")?;
+    let bypass_bytes = batch_results(&bypass)?;
+    for (i, ((c, w), b)) in cold_bytes
+        .iter()
+        .zip(&warm_bytes)
+        .zip(&bypass_bytes)
+        .enumerate()
+    {
+        if c != w || w != b {
+            return Err(std::io::Error::other(format!(
+                "job {i}: cached result bytes differ from recomputed bytes"
+            )));
+        }
+    }
+    Ok(ServeBenchResult {
+        jobs: jobs.len(),
+        cold_wall,
+        warm_wall,
+        hits,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_rejects_bad_params_instead_of_panicking() {
+        let bad = [
+            r#"{"exp":"fig5_gauss","params":{"n":4}}"#,
+            r#"{"exp":"fig5_gauss","params":{"n":9999}}"#,
+            r#"{"exp":"fig5_gauss","params":{"ps":[]}}"#,
+            r#"{"exp":"fig5_gauss","params":{"ps":[300]}}"#,
+            r#"{"exp":"tab1_memory","params":{"quick":3}}"#,
+            r#"{"exp":"nope"}"#,
+        ];
+        for b in bad {
+            let spec = JobSpec::from_value(&json::parse(b).unwrap()).unwrap();
+            assert!(Registry.run(&spec).is_err(), "{b}");
+        }
+    }
+
+    #[test]
+    fn result_bytes_are_canonical_single_line_json() {
+        let spec = JobSpec::from_value(
+            &json::parse(r#"{"exp":"fig5_gauss","params":{"ps":[4,8],"n":12},"seed":3}"#).unwrap(),
+        )
+        .unwrap();
+        let bytes = Registry.run(&spec).unwrap();
+        let s = String::from_utf8(bytes).unwrap();
+        assert!(!s.contains('\n'));
+        let v = json::parse(&s).unwrap();
+        assert_eq!(v.dump(), s, "bytes are already the canonical dump");
+        assert_eq!(
+            v.get("schema").and_then(Value::as_str),
+            Some("bfly-farm-result/1")
+        );
+        assert_eq!(
+            v.get("engine_version").and_then(Value::as_u64),
+            Some(bfly_sim::ENGINE_VERSION as u64)
+        );
+        assert!(v.get("table").and_then(|t| t.get("rows")).is_some());
+        assert!(v.get("run").and_then(|r| r.get("events")).is_some());
+        assert!(v.get("probe").unwrap().is_null());
+    }
+
+    #[test]
+    fn batch_line_splices_cache_mode() {
+        let line = batch_line(&[r#"{"exp":"e","seed":1}"#.into()], "refresh");
+        let v = json::parse(&line).unwrap();
+        let job = &v.get("jobs").and_then(Value::as_arr).unwrap()[0];
+        assert_eq!(job.get("cache").and_then(Value::as_str), Some("refresh"));
+        assert_eq!(job.get("seed").and_then(Value::as_u64), Some(1));
+    }
+}

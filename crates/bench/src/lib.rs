@@ -8,11 +8,13 @@
 
 pub mod cli;
 pub mod experiments;
+pub mod farm;
 pub mod report;
 pub mod sweep;
 pub mod table;
 
 pub use cli::BenchCli;
+pub use farm::{serve_bench, Registry, ServeBenchResult};
 pub use sweep::parallel_sweep;
 pub use table::Table;
 

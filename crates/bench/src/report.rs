@@ -114,6 +114,9 @@ pub struct PerfReport {
     pub sweeps: Vec<SweepMeasure>,
     /// Result tables embedded for provenance (via [`Table::to_json`]).
     pub tables: Vec<String>,
+    /// Cold/warm serving benchmark (`perf_report --serve-bench`); absent
+    /// when the serving layer wasn't exercised.
+    pub serve: Option<crate::farm::ServeBenchResult>,
 }
 
 impl PerfReport {
@@ -178,7 +181,26 @@ impl PerfReport {
                 s.wall.as_secs_f64() * 1e3
             );
         }
-        out.push_str("\n  ],\n  \"tables\": [");
+        out.push_str("\n  ],\n  \"serve\": ");
+        match &self.serve {
+            None => out.push_str("null"),
+            Some(s) => {
+                let _ = write!(
+                    out,
+                    "{{\"jobs\": {}, \"cold_wall_ms\": {:.1}, \"warm_wall_ms\": {:.3}, \
+                     \"hits\": {}, \"hit_rate\": {:.3}, \"speedup\": {:.1}}}",
+                    s.jobs,
+                    s.cold_wall.as_secs_f64() * 1e3,
+                    s.warm_wall.as_secs_f64() * 1e3,
+                    s.hits,
+                    s.hit_rate(),
+                    // Clamp: an unmeasurably fast warm leg must not print
+                    // `inf` (invalid JSON).
+                    s.speedup().min(1e6)
+                );
+            }
+        }
+        out.push_str(",\n  \"tables\": [");
         for (i, t) in self.tables.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -385,6 +407,7 @@ mod tests {
                 wall: Duration::from_secs(1),
             }],
             tables: Vec::new(),
+            serve: None,
         };
         // geomean(1e7, 4e7) = 2e7
         assert!((report.headline_events_per_sec() - 2e7).abs() < 1e3);
@@ -414,6 +437,7 @@ mod tests {
                 },
             ],
             tables: Vec::new(),
+            serve: None,
         };
         let json = report.to_json();
         let quick = parse_sweep_wall_ms(&json, "fig5_gauss_quick").unwrap();

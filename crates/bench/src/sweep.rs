@@ -18,7 +18,9 @@
 //! degenerates to an in-place serial loop with zero thread overhead, so
 //! binaries can use it unconditionally.
 
+use std::cell::Cell;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -29,10 +31,43 @@ use std::sync::Mutex;
 /// results bit-identical — only wall-clock changes.
 static FORCE_SERIAL: AtomicBool = AtomicBool::new(false);
 
-/// Force (or stop forcing) serial in-place sweeps. Returns the previous
-/// setting.
+thread_local! {
+    /// Per-thread serial override — the form concurrent hosts (the farm
+    /// daemon's workers) must use. The process-global flag races when one
+    /// job probes and its neighbor doesn't: job A flips the global on, job
+    /// B's unprobed sweep on another thread goes serial (or worse, A's
+    /// teardown flips it off mid-way through another probed job). Pinning
+    /// the override to the thread that owns the ambient probe removes the
+    /// interference entirely.
+    static THREAD_SERIAL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Force (or stop forcing) serial in-place sweeps **process-wide**.
+/// Returns the previous setting. One-shot binaries may use this; anything
+/// hosting concurrent jobs must use [`with_thread_serial`] /
+/// [`set_thread_serial`] instead (see the `THREAD_SERIAL` note).
 pub fn set_force_serial(on: bool) -> bool {
     FORCE_SERIAL.swap(on, Ordering::Relaxed)
+}
+
+/// Force (or stop forcing) serial sweeps **on this thread only**.
+/// Returns the previous setting.
+pub fn set_thread_serial(on: bool) -> bool {
+    THREAD_SERIAL.with(|c| c.replace(on))
+}
+
+/// Run `f` with sweeps on this thread pinned serial, restoring the
+/// previous setting afterwards (also on panic, so a quarantined job can't
+/// leak the pin to the worker's next job).
+pub fn with_thread_serial<R>(f: impl FnOnce() -> R) -> R {
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            set_thread_serial(self.0);
+        }
+    }
+    let _restore = Restore(set_thread_serial(true));
+    f()
 }
 
 /// Serializes unit tests that toggle [`set_force_serial`] (the flag is
@@ -40,9 +75,10 @@ pub fn set_force_serial(on: bool) -> bool {
 #[cfg(test)]
 pub(crate) static TEST_SERIAL_LOCK: Mutex<()> = Mutex::new(());
 
-/// True if sweeps are currently forced serial.
+/// True if sweeps are currently forced serial (globally or on this
+/// thread).
 pub fn force_serial() -> bool {
-    FORCE_SERIAL.load(Ordering::Relaxed)
+    FORCE_SERIAL.load(Ordering::Relaxed) || THREAD_SERIAL.with(Cell::get)
 }
 
 /// Number of worker threads a sweep of `points` items would use.
@@ -57,6 +93,16 @@ pub fn sweep_threads(points: usize) -> usize {
         .max(1)
 }
 
+/// A sweep point whose closure panicked: the panic was caught, the worker
+/// thread kept pulling points, and the payload message is reported here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepPanic {
+    /// Index of the panicked point.
+    pub index: usize,
+    /// Stringified panic payload.
+    pub message: String,
+}
+
 /// Run `f` over every point, in parallel when the host has the cores for
 /// it, and return the results in point order. `f` is called as
 /// `f(index, &point)`.
@@ -64,24 +110,67 @@ pub fn sweep_threads(points: usize) -> usize {
 /// Work is distributed by an atomic next-index counter, so a straggler
 /// point (e.g. the largest P of a speedup curve) doesn't idle the other
 /// workers behind a static partition.
+///
+/// A panicking point panics the whole sweep (after every other point has
+/// been collected); hosts that must survive a poisoned point — the farm
+/// daemon quarantining a job — use [`try_parallel_sweep`].
 pub fn parallel_sweep<T, R, F>(points: &[T], f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    try_parallel_sweep(points, f)
+        .into_iter()
+        .map(|r| match r {
+            Ok(v) => v,
+            Err(p) => panic!("sweep point {} panicked: {}", p.index, p.message),
+        })
+        .collect()
+}
+
+/// [`parallel_sweep`], but a panicking point is caught and quarantined
+/// instead of taking the sweep down: its slot comes back as
+/// `Err(SweepPanic)` while **every other point still runs to completion**
+/// and ordered collection holds. The worker that caught the panic keeps
+/// claiming points (a sweep cannot lose capacity to one bad point).
+///
+/// `AssertUnwindSafe` is sound here because a panicked point's result
+/// slot is abandoned, never observed, and `f` is required by the
+/// determinism contract to be a pure function of `(index, point)` —
+/// there is no partially-mutated state for a later point to see.
+///
+/// (Only meaningful where panics unwind: the release profile's
+/// `panic = "abort"` ends the process at the panic site regardless.)
+pub fn try_parallel_sweep<T, R, F>(points: &[T], f: F) -> Vec<Result<R, SweepPanic>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let run_one = |i: usize, point: &T| -> Result<R, SweepPanic> {
+        catch_unwind(AssertUnwindSafe(|| f(i, point))).map_err(|payload| SweepPanic {
+            index: i,
+            message: panic_message(payload.as_ref()),
+        })
+    };
     let threads = sweep_threads(points.len());
     if threads <= 1 {
-        return points.iter().enumerate().map(|(i, p)| f(i, p)).collect();
+        return points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| run_one(i, p))
+            .collect();
     }
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = points.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<Result<R, SweepPanic>>>> =
+        points.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(point) = points.get(i) else { break };
-                let r = f(i, point);
+                let r = run_one(i, point);
                 *slots[i].lock().unwrap() = Some(r);
             });
         }
@@ -94,6 +183,16 @@ where
                 .expect("sweep point finished without a result")
         })
         .collect()
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
 }
 
 #[cfg(test)]
@@ -154,5 +253,61 @@ mod tests {
     fn empty_sweep_is_fine() {
         let out: Vec<u32> = parallel_sweep(&[] as &[u32], |_, &p| p);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn thread_serial_pins_only_the_owning_thread() {
+        let _g = TEST_SERIAL_LOCK.lock().unwrap();
+        assert!(!force_serial());
+        let seen_inside = std::thread::spawn(|| {
+            let was = set_thread_serial(true);
+            assert!(!was);
+            (force_serial(), sweep_threads(8))
+        })
+        .join()
+        .unwrap();
+        assert_eq!(seen_inside, (true, 1), "pinned on the owning thread");
+        assert!(
+            !force_serial(),
+            "another thread's pin must not leak to this one"
+        );
+    }
+
+    #[test]
+    fn with_thread_serial_restores_even_on_panic() {
+        let _g = TEST_SERIAL_LOCK.lock().unwrap();
+        assert!(!force_serial());
+        let caught = catch_unwind(|| {
+            with_thread_serial(|| {
+                assert!(force_serial());
+                panic!("job panic inside the pin");
+            })
+        });
+        assert!(caught.is_err());
+        assert!(
+            !force_serial(),
+            "a quarantined job must not leak its serial pin to the worker"
+        );
+    }
+
+    #[test]
+    fn try_sweep_quarantines_one_point_and_finishes_the_rest() {
+        let points: Vec<u64> = (0..16).collect();
+        let out = try_parallel_sweep(&points, |i, &p| {
+            if i == 5 {
+                panic!("poisoned point");
+            }
+            p * 2
+        });
+        assert_eq!(out.len(), 16);
+        for (i, r) in out.iter().enumerate() {
+            if i == 5 {
+                let e = r.as_ref().unwrap_err();
+                assert_eq!(e.index, 5);
+                assert!(e.message.contains("poisoned point"));
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), points[i] * 2);
+            }
+        }
     }
 }

@@ -10,7 +10,7 @@ use bfly_bench::report::{
     check_headline, check_sweep, parse_headline, parse_sweep_wall_ms, Metric, PerfReport,
     SweepMeasure,
 };
-use bfly_bench::Table;
+use bfly_bench::{ServeBenchResult, Table};
 use bfly_probe::json::validate_json;
 use bfly_probe::Probe;
 
@@ -35,6 +35,7 @@ fn sample_report() -> PerfReport {
             wall: Duration::from_millis(1_500),
         }],
         tables: Vec::new(),
+        serve: None,
     };
     let mut t = Table::new("demo \"table\"", &["P", "time (ms)"]);
     t.row(vec!["16".into(), "1.5".into()]);
@@ -71,6 +72,7 @@ fn bench_report_json_schema_is_stable() {
         "\"sweeps\": [",
         "\"points\":",
         "\"threads\":",
+        "\"serve\": null",
         "\"tables\": [",
     ] {
         assert!(json.contains(key), "report must carry {key}\n{json}");
@@ -87,6 +89,52 @@ fn bench_report_json_schema_is_stable() {
     let wall = parse_sweep_wall_ms(&json, "fig5_gauss_quick").expect("sweep scannable");
     assert!((wall - 1_500.0).abs() < 0.2);
     assert!(check_sweep(&json, "fig5_gauss_quick", wall, 0.02).is_ok());
+}
+
+#[test]
+fn serve_section_schema_is_stable() {
+    let mut report = sample_report();
+    report.serve = Some(ServeBenchResult {
+        jobs: 8,
+        cold_wall: Duration::from_millis(4_000),
+        warm_wall: Duration::from_millis(40),
+        hits: 8,
+    });
+    let json = report.to_json();
+    validate_json(&json).unwrap_or_else(|(pos, msg)| panic!("invalid report at {pos}: {msg}"));
+
+    // Golden key set for the serving benchmark section.
+    for key in [
+        "\"serve\": {",
+        "\"jobs\": 8",
+        "\"cold_wall_ms\": 4000.0",
+        "\"warm_wall_ms\": 40.000",
+        "\"hits\": 8",
+        "\"hit_rate\": 1.000",
+        "\"speedup\": 100.0",
+    ] {
+        assert!(json.contains(key), "serve section must carry {key}\n{json}");
+    }
+    // Section order is part of the schema: sweeps, then serve, then tables.
+    let sweeps_at = json.find("\"sweeps\"").unwrap();
+    let serve_at = json.find("\"serve\"").unwrap();
+    let tables_at = json.find("\"tables\"").unwrap();
+    assert!(sweeps_at < serve_at && serve_at < tables_at);
+
+    // The headline/sweep scanners must be unaffected by the new section.
+    assert!(parse_headline(&json).is_some());
+    assert!(parse_sweep_wall_ms(&json, "fig5_gauss_quick").is_some());
+
+    // An unmeasurably fast warm leg must stay valid JSON (no `inf`).
+    report.serve = Some(ServeBenchResult {
+        jobs: 1,
+        cold_wall: Duration::from_millis(100),
+        warm_wall: Duration::ZERO,
+        hits: 1,
+    });
+    let json = report.to_json();
+    validate_json(&json).unwrap_or_else(|(pos, msg)| panic!("invalid report at {pos}: {msg}"));
+    assert!(json.contains("\"speedup\": 1000000.0"));
 }
 
 fn sample_probe() -> Probe {

@@ -1,0 +1,111 @@
+//! Property tests for the sweep driver's panic quarantine
+//! (`try_parallel_sweep`): a worker panicking mid-sweep must not cost the
+//! sweep any other point, and ordered collection must hold regardless of
+//! which points die or which threads pick them up.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use bfly_bench::sweep::try_parallel_sweep;
+use proptest::prelude::*;
+
+/// The panic hook prints every caught panic's backtrace by default, which
+/// turns a 100-case property run into pages of noise. Silence it for the
+/// duration of one sweep (the hook is process-global, so tests in this
+/// file must not run sweeps outside this wrapper).
+fn quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = f();
+    std::panic::set_hook(prev);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Poison a random subset of points: every poisoned point comes back
+    /// as `Err` with its own index and message, every healthy point
+    /// completes with its expected value in its expected slot, and the
+    /// workers that caught panics keep claiming points.
+    #[test]
+    fn panicking_points_are_quarantined_and_the_rest_complete(
+        points in 1usize..40,
+        poison_bits in any::<u64>(),
+        salt in 0u64..1_000,
+    ) {
+        let poisoned: BTreeSet<usize> =
+            (0..points).filter(|i| poison_bits >> (i % 64) & 1 == 1).collect();
+        let inputs: Vec<u64> = (0..points as u64).map(|i| i.wrapping_mul(salt + 1)).collect();
+        let ran = AtomicUsize::new(0);
+
+        let out = quiet_panics(|| {
+            try_parallel_sweep(&inputs, |i, &x| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                if poisoned.contains(&i) {
+                    panic!("poison point {i}");
+                }
+                x.wrapping_add(i as u64)
+            })
+        });
+
+        // Every point ran exactly once — a panic must not starve or
+        // re-run anything.
+        prop_assert_eq!(ran.load(Ordering::Relaxed), points);
+        prop_assert_eq!(out.len(), points);
+        for (i, r) in out.iter().enumerate() {
+            if poisoned.contains(&i) {
+                let e = r.as_ref().expect_err("poisoned point must err");
+                prop_assert_eq!(e.index, i);
+                let expect = format!("poison point {i}");
+                prop_assert!(e.message.contains(&expect));
+            } else {
+                // Ordered collection: slot i holds point i's value.
+                prop_assert_eq!(*r.as_ref().expect("healthy point must complete"),
+                    inputs[i].wrapping_add(i as u64));
+            }
+        }
+    }
+
+    /// With panics in the mix, the surviving points still produce exactly
+    /// the bytes a serial run of the same closure would — the determinism
+    /// contract holds under quarantine.
+    #[test]
+    fn surviving_points_match_a_serial_run(
+        points in 1usize..24,
+        poison_bits in any::<u64>(),
+    ) {
+        let inputs: Vec<u64> = (0..points as u64).collect();
+        let body = |i: usize, x: u64| -> u64 {
+            if poison_bits >> (i % 64) & 1 == 1 {
+                panic!("die");
+            }
+            // A little simulated work so threads interleave.
+            let sim = bfly_sim::Sim::with_seed(x ^ 0xB17E);
+            let s = sim.clone();
+            sim.block_on(async move {
+                s.sleep(100 + x).await;
+                s.now()
+            })
+        };
+        let par = quiet_panics(|| try_parallel_sweep(&inputs, |i, &x| body(i, x)));
+        let ser: Vec<_> = quiet_panics(|| {
+            inputs
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| {
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(i, x)))
+                        .map_err(|_| ())
+                })
+                .collect()
+        });
+        prop_assert_eq!(par.len(), ser.len());
+        for (p, s) in par.iter().zip(&ser) {
+            match (p, s) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+                (Err(_), Err(())) => {}
+                _ => prop_assert!(false, "parallel and serial disagree on which points die"),
+            }
+        }
+    }
+}

@@ -89,7 +89,8 @@ impl Disk {
     }
 
     fn access_cost(&self, phys: u64) -> SimTime {
-        let sequential = self.head.get() == Some(phys.wrapping_sub(1)) || self.head.get() == Some(phys);
+        let sequential =
+            self.head.get() == Some(phys.wrapping_sub(1)) || self.head.get() == Some(phys);
         if sequential {
             self.params.per_block
         } else {
@@ -124,7 +125,9 @@ impl Disk {
     /// Write a physical block. Panics if the disk has failed; see
     /// [`Disk::try_write`].
     pub async fn write(&self, phys: u64, data: &[u8]) {
-        self.try_write(phys, data).await.expect("unhandled disk failure")
+        self.try_write(phys, data)
+            .await
+            .expect("unhandled disk failure")
     }
 
     /// Fallible write.

@@ -54,8 +54,7 @@ impl std::error::Error for BridgeError {}
 /// A tool: code shipped to a disk server, running on the server's process
 /// with direct access to that server's disk and the file's local stripe
 /// (physical block indices). Returns bytes for the client.
-pub type Tool =
-    Rc<dyn Fn(Rc<Proc>, Rc<Disk>, Vec<u64>) -> Pin<Box<dyn Future<Output = Vec<u8>>>>>;
+pub type Tool = Rc<dyn Fn(Rc<Proc>, Rc<Disk>, Vec<u64>) -> Pin<Box<dyn Future<Output = Vec<u8>>>>>;
 
 /// Wrap an async closure as a [`Tool`].
 pub fn tool<F, Fut>(f: F) -> Tool
@@ -196,7 +195,11 @@ async fn serve(fs: Rc<BridgeFs>, s: Rc<Server>, p: Rc<Proc>) {
                 };
                 reply.set(out);
             }
-            Req::Exec { tool, stripe, reply } => {
+            Req::Exec {
+                tool,
+                stripe,
+                reply,
+            } => {
                 if s.disk.is_failed() {
                     reply.set(Err(BridgeError::DiskFailed { disk: s.index }));
                 } else {
@@ -224,12 +227,7 @@ impl BridgeFs {
         Self::mount_inner(os, ndisks, params, true)
     }
 
-    fn mount_inner(
-        os: &Rc<Os>,
-        ndisks: usize,
-        params: DiskParams,
-        mirrored: bool,
-    ) -> Rc<BridgeFs> {
+    fn mount_inner(os: &Rc<Os>, ndisks: usize, params: DiskParams, mirrored: bool) -> Rc<BridgeFs> {
         assert!(ndisks >= 1 && ndisks <= os.machine.nodes() as usize);
         let servers: Vec<Rc<Server>> = (0..ndisks)
             .map(|d| {
@@ -252,11 +250,9 @@ impl BridgeFs {
         for s in &fs.servers {
             let s = s.clone();
             let fs2 = fs.clone();
-            os.boot_process(
-                s.node.get(),
-                &format!("bridge-srv{}", s.index),
-                move |p| serve(fs2, s, p),
-            );
+            os.boot_process(s.node.get(), &format!("bridge-srv{}", s.index), move |p| {
+                serve(fs2, s, p)
+            });
         }
         fs
     }
@@ -269,11 +265,14 @@ impl BridgeFs {
         let s = self.servers[d].clone();
         s.node.set(spare);
         let fs = self.clone();
-        self.os
-            .boot_process(spare, &format!("bridge-srv{d}-spare"), move |p| async move {
+        self.os.boot_process(
+            spare,
+            &format!("bridge-srv{d}-spare"),
+            move |p| async move {
                 p.compute(FS_RESTART).await;
                 serve(fs, s, p).await;
-            });
+            },
+        );
     }
 
     /// Attach a [`FaultPlan`]: `DiskFail`/`DiskRecover` events drive the
@@ -334,7 +333,10 @@ impl BridgeFs {
             .servers
             .iter()
             .enumerate()
-            .map(|(i, s)| s.disk.alloc_blocks(nblocks.div_ceil(d).max(1) + ((i as u64) < nblocks % d) as u64))
+            .map(|(i, s)| {
+                s.disk
+                    .alloc_blocks(nblocks.div_ceil(d).max(1) + ((i as u64) < nblocks % d) as u64)
+            })
             .collect();
         let mirror_base = if self.mirrored {
             self.servers
@@ -506,13 +508,7 @@ impl BridgeFs {
     /// Run `t` on the server holding disk `d`, over `file`'s stripe there.
     /// Only the tool's (usually small) result crosses the switch. Panics
     /// on an unhandled fault; see [`BridgeFs::try_exec_on`].
-    pub async fn exec_on(
-        &self,
-        client: &Proc,
-        f: &BridgeFile,
-        d: usize,
-        t: Tool,
-    ) -> Vec<u8> {
+    pub async fn exec_on(&self, client: &Proc, f: &BridgeFile, d: usize, t: Tool) -> Vec<u8> {
         match self.try_exec_on(client, f, d, t).await {
             Ok(out) => out,
             Err(e) => panic!("unhandled Bridge fault: {e}"),
@@ -557,11 +553,9 @@ impl BridgeFs {
             let c = client.clone();
             let file = f.clone();
             let t = t.clone();
-            handles.push(
-                self.os
-                    .sim()
-                    .spawn_named("bridge-exec", async move { fs.exec_on(&c, &file, d, t).await }),
-            );
+            handles.push(self.os.sim().spawn_named("bridge-exec", async move {
+                fs.exec_on(&c, &file, d, t).await
+            }));
         }
         let mut out = Vec::new();
         for h in handles {
@@ -725,7 +719,9 @@ mod tests {
             }
             assert_eq!(fs2.degraded_reads.get(), 2);
             // Writes to disk-0 primaries still succeed (replica only).
-            fs2.try_write_block(&p, &f2, 0, vec![99u8; 64]).await.unwrap();
+            fs2.try_write_block(&p, &f2, 0, vec![99u8; 64])
+                .await
+                .unwrap();
             fs2.disk(0).set_failed(false);
             // The stale primary on disk 0 is NOT repaired automatically;
             // the replica carries the fresh data.

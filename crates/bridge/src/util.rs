@@ -89,12 +89,7 @@ pub async fn copy_parallel(
 
 /// Naive search: every block travels to the client, which scans it.
 /// Returns the number of records equal to `needle`.
-pub async fn grep_naive(
-    fs: &Rc<BridgeFs>,
-    client: &Rc<Proc>,
-    f: &BridgeFile,
-    needle: u32,
-) -> u64 {
+pub async fn grep_naive(fs: &Rc<BridgeFs>, client: &Rc<Proc>, f: &BridgeFile, needle: u32) -> u64 {
     let mut count = 0u64;
     for i in 0..f.nblocks {
         let data = fs.read_block(client, f, i).await;
@@ -141,12 +136,7 @@ pub async fn grep_parallel(
 ///
 /// This is the structure of Bridge's sort/merge utilities: phase 1 scales
 /// with disks; phase 2 streams at client speed but reads sequentially.
-pub async fn sort_parallel(
-    fs: &Rc<BridgeFs>,
-    client: &Rc<Proc>,
-    f: &BridgeFile,
-    out: &BridgeFile,
-) {
+pub async fn sort_parallel(fs: &Rc<BridgeFs>, client: &Rc<Proc>, f: &BridgeFile, out: &BridgeFile) {
     assert_eq!(f.nblocks, out.nblocks);
     // Phase 1: sort each stripe server-side.
     let t = tool(|srv, disk, stripe| async move {
@@ -296,12 +286,7 @@ pub async fn merge_files(
         next_block: u64,
         nblocks: u64,
     }
-    async fn refill(
-        fs: &Rc<BridgeFs>,
-        client: &Rc<Proc>,
-        f: &BridgeFile,
-        s: &mut Stream,
-    ) {
+    async fn refill(fs: &Rc<BridgeFs>, client: &Rc<Proc>, f: &BridgeFile, s: &mut Stream) {
         if s.pos == s.keys.len() && s.next_block < s.nblocks {
             let data = fs.read_block(client, f, s.next_block).await;
             s.keys = data

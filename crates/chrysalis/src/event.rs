@@ -146,8 +146,7 @@ impl DualQueue {
 
     async fn microcode_touch(&self, p: &Proc) {
         p.compute(p.os.costs.dualq_op).await;
-        p.os
-            .machine
+        p.os.machine
             .mem_resource(self.home)
             .access(p.os.machine.cfg.costs.atomic_mem_service)
             .await;
@@ -250,7 +249,11 @@ mod tests {
             ev.wait(&p).await.unwrap()
         });
         sim.run();
-        assert_eq!(h.try_take().unwrap(), 2, "binary semaphore keeps last datum");
+        assert_eq!(
+            h.try_take().unwrap(),
+            2,
+            "binary semaphore keeps last datum"
+        );
     }
 
     #[test]
@@ -294,20 +297,20 @@ mod tests {
         let os2 = os.clone();
         let results = Rc::new(RefCell::new(Vec::new()));
         let mut hs = Vec::new();
-        let mut holder = os.boot_process(0, "holder", move |p| async move {
-            DualQueue::new(&p)
-        });
+        let mut holder = os.boot_process(0, "holder", move |p| async move { DualQueue::new(&p) });
         sim.run();
         let dq = holder.try_take().unwrap();
         for i in 0..3u16 {
             let dq = dq.clone();
             let r = results.clone();
-            hs.push(os2.boot_process(1 + i, &format!("w{i}"), move |q| async move {
-                // Stagger arrival so FIFO order is defined.
-                q.compute(i as u64 * US).await;
-                let v = dq.dequeue(&q).await;
-                r.borrow_mut().push((i, v));
-            }));
+            hs.push(
+                os2.boot_process(1 + i, &format!("w{i}"), move |q| async move {
+                    // Stagger arrival so FIFO order is defined.
+                    q.compute(i as u64 * US).await;
+                    let v = dq.dequeue(&q).await;
+                    r.borrow_mut().push((i, v));
+                }),
+            );
         }
         let dq2 = dq.clone();
         os2.boot_process(7, "producer", move |q| async move {

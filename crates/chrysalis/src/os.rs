@@ -100,10 +100,10 @@ impl Os {
             .node(node)
             .alloc(size)
             .ok_or_else(|| Throw::new(Throw::E_NO_MEM))?;
-        let id =
-            self.objects
-                .borrow_mut()
-                .insert(ObjKind::MemObj, owner, node, Some((addr, size)));
+        let id = self
+            .objects
+            .borrow_mut()
+            .insert(ObjKind::MemObj, owner, node, Some((addr, size)));
         Ok(MemObj { id, addr, size })
     }
 

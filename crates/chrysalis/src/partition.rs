@@ -67,7 +67,11 @@ impl Partition {
 
     /// Translate a partition-relative node index to a machine node.
     pub fn node(&self, idx: u16) -> NodeId {
-        assert!(idx < self.len(), "node {idx} outside partition {}", self.name);
+        assert!(
+            idx < self.len(),
+            "node {idx} outside partition {}",
+            self.name
+        );
         self.nodes.start + idx
     }
 

@@ -174,7 +174,8 @@ impl Proc {
         self.compute(costs.template_hold).await;
         drop(guard);
         // Parallel phase: remainder of creation on the creator's CPU.
-        self.compute(costs.create_process - costs.template_hold).await;
+        self.compute(costs.create_process - costs.template_hold)
+            .await;
         let proc_ = Proc::register(&self.os, on, name);
         self.os.sim().spawn_named(name, body(proc_))
     }
@@ -377,9 +378,7 @@ mod tests {
             let ok_cost = p.os.sim().now() - t0;
             assert_eq!(ok_cost, 70 * bfly_sim::US);
 
-            let r: KResult<u32> = p
-                .catch(async { Err(Throw::new(42)) })
-                .await;
+            let r: KResult<u32> = p.catch(async { Err(Throw::new(42)) }).await;
             assert_eq!(r.unwrap_err().code, 42);
             p.os.sim().now() - t0
         });

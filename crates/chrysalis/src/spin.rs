@@ -24,10 +24,7 @@ pub struct SpinLock {
 impl SpinLock {
     /// Wrap a lock word (caller must have zero-initialized it).
     pub fn new(addr: GAddr) -> SpinLock {
-        SpinLock {
-            addr,
-            backoff: 0,
-        }
+        SpinLock { addr, backoff: 0 }
     }
 
     /// Set the inter-attempt backoff.
@@ -51,7 +48,14 @@ impl SpinLock {
         if let Some(pr) = probe {
             let now = p.os.sim().now();
             pr.lock_spin(self.addr.node, p.node, failures, now - t0);
-            pr.span(self.addr.node as u32, p.node as u32, "lock_acquire", "lock", t0, now - t0);
+            pr.span(
+                self.addr.node as u32,
+                p.node as u32,
+                "lock_acquire",
+                "lock",
+                t0,
+                now - t0,
+            );
         }
         failures
     }

@@ -77,7 +77,10 @@ mod tests {
 
     #[test]
     fn display_names_kernel_codes() {
-        assert_eq!(Throw::new(Throw::E_NO_MEM).to_string(), "throw(1, E_NO_MEM)");
+        assert_eq!(
+            Throw::new(Throw::E_NO_MEM).to_string(),
+            "throw(1, E_NO_MEM)"
+        );
         assert_eq!(Throw::new(99).to_string(), "throw(99, user throw)");
     }
 

@@ -67,7 +67,10 @@ impl<K: Hash + Eq + Clone, V: Clone> ExtendibleHash<K, V> {
         let bucket = dir.buckets[idx].clone();
         drop(dir);
         let b = bucket.lock();
-        b.items.iter().find(|(kk, _)| kk == k).map(|(_, v)| v.clone())
+        b.items
+            .iter()
+            .find(|(kk, _)| kk == k)
+            .map(|(_, v)| v.clone())
     }
 
     /// Insert or replace; returns the previous value if any.
@@ -194,7 +197,10 @@ mod tests {
         for i in 0..10_000u64 {
             h.insert(i, i * 2);
         }
-        assert!(h.global_depth() > 5, "directory must have doubled repeatedly");
+        assert!(
+            h.global_depth() > 5,
+            "directory must have doubled repeatedly"
+        );
         for i in 0..10_000u64 {
             assert_eq!(h.get(&i), Some(i * 2), "key {i} lost in splits");
         }

@@ -288,10 +288,7 @@ mod tests {
         .unwrap();
         let par_contended = par.contended.load(Ordering::Relaxed);
 
-        assert_eq!(
-            par_contended, 0,
-            "distinct home regions must never contend"
-        );
+        assert_eq!(par_contended, 0, "distinct home regions must never contend");
         // Threshold is deliberately minimal: on a starved CI box the OS may
         // timeslice our threads so they rarely overlap, but with 80k total
         // operations at least some collisions always occur on one lock.

@@ -107,8 +107,7 @@ impl<T> FetchPhiQueue<T> {
                 ) {
                     Ok(_) => {
                         let v = unsafe { (*slot.val.get()).assume_init_read() };
-                        slot.seq
-                            .store(head + self.mask + 1, Ordering::Release);
+                        slot.seq.store(head + self.mask + 1, Ordering::Release);
                         return Some(v);
                     }
                     Err(h) => head = h,
@@ -269,7 +268,11 @@ mod tests {
         assert_eq!(all.len() as u64, PRODUCERS as u64 * PER);
         all.sort_unstable();
         all.dedup();
-        assert_eq!(all.len() as u64, PRODUCERS as u64 * PER, "duplicates detected");
+        assert_eq!(
+            all.len() as u64,
+            PRODUCERS as u64 * PER,
+            "duplicates detected"
+        );
     }
 
     #[test]

@@ -77,11 +77,7 @@ impl Elmwood {
 
     /// Create an object on `home` with the given entry procedures; returns
     /// its capability. The object's entries execute on `home`'s CPU.
-    pub fn create_object(
-        self: &Rc<Self>,
-        home: NodeId,
-        entries: Vec<(u32, Entry)>,
-    ) -> Capability {
+    pub fn create_object(self: &Rc<Self>, home: NodeId, entries: Vec<(u32, Entry)>) -> Capability {
         let cap = self.mint();
         let server = self.os.make_proc(home, "elmwood-obj");
         self.objects.borrow_mut().insert(
@@ -233,17 +229,23 @@ mod tests {
         let slow = |_p: Rc<Proc>, a: Vec<u8>| async move { Ok(a) };
         let cap_a = elm.create_object(
             1,
-            vec![(0, elm_entry(move |p, a| async move {
-                p.compute(10_000_000).await;
-                slow(p, a).await
-            }))],
+            vec![(
+                0,
+                elm_entry(move |p, a| async move {
+                    p.compute(10_000_000).await;
+                    slow(p, a).await
+                }),
+            )],
         );
         let cap_b = elm.create_object(
             2,
-            vec![(0, elm_entry(move |p, a| async move {
-                p.compute(10_000_000).await;
-                Ok(a)
-            }))],
+            vec![(
+                0,
+                elm_entry(move |p, a| async move {
+                    p.compute(10_000_000).await;
+                    Ok(a)
+                }),
+            )],
         );
         for (i, cap) in [(0u16, cap_a), (3, cap_b)] {
             let elm = elm.clone();

@@ -34,9 +34,7 @@ pub mod prelude {
     pub use crate::tuple_space::TupleSpace;
     pub use bfly_antfarm::{Ant, AntChannel, AntFarm};
     pub use bfly_bridge::{BridgeFile, BridgeFs, DiskParams};
-    pub use bfly_chrysalis::{
-        DualQueue, Event, KResult, MemObj, Os, Proc, SpinLock, Throw, VAddr,
-    };
+    pub use bfly_chrysalis::{DualQueue, Event, KResult, MemObj, Os, Proc, SpinLock, Throw, VAddr};
     pub use bfly_crowd::{serial_spawn, tree_spawn};
     pub use bfly_lynx::{Link, LynxRt};
     pub use bfly_machine::{Costs, GAddr, Machine, MachineConfig, NodeId, SwitchModel};

@@ -275,10 +275,7 @@ pub fn run_comparison(
 /// baseline the paper uses: "a comparison with the costs of the basic
 /// primitives provided by Chrysalis").
 pub fn remote_ref_baseline_ns(os: &Rc<Os>) -> SimTime {
-    os.machine
-        .cfg
-        .costs
-        .remote_word(os.machine.switch.stages)
+    os.machine.cfg.costs.remote_word(os.machine.switch.stages)
 }
 
 #[cfg(test)]
@@ -313,7 +310,12 @@ mod tests {
         assert!(by_name["lynx"] > by_name["shm_event"]);
         // All variants complete in a sane range.
         for r in &results {
-            assert!(r.mean_ns < 60_000_000.0, "{} exploded: {}", r.name, r.mean_ns);
+            assert!(
+                r.mean_ns < 60_000_000.0,
+                "{} exploded: {}",
+                r.name,
+                r.mean_ns
+            );
         }
     }
 }

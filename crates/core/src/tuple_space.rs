@@ -94,11 +94,7 @@ impl TupleSpace {
         let b = self.bucket(key);
         loop {
             b.lock.acquire(p).await;
-            let found = b
-                .tuples
-                .borrow()
-                .get(&key)
-                .and_then(|v| v.first().cloned());
+            let found = b.tuples.borrow().get(&key).and_then(|v| v.first().cloned());
             if let Some(val) = found {
                 // Value crosses back (the US "copy in" step).
                 let mut buf = vec![0u8; val.len()];
@@ -198,9 +194,8 @@ mod tests {
         let (sim, os) = boot(4);
         let ts = TupleSpace::new(&os, 64);
         let t1 = ts.clone();
-        let mut consumer = os.boot_process(1, "consumer", move |p| async move {
-            t1.in_(&p, 99).await
-        });
+        let mut consumer =
+            os.boot_process(1, "consumer", move |p| async move { t1.in_(&p, 99).await });
         let t2 = ts.clone();
         os.boot_process(2, "producer", move |p| async move {
             p.compute(5_000_000).await; // arrive late
@@ -240,9 +235,8 @@ mod tests {
     fn keys_scatter_across_buckets() {
         let (_sim, os) = boot(8);
         let ts = TupleSpace::new(&os, 64);
-        let nodes: std::collections::HashSet<u16> = (0..64u32)
-            .map(|k| ts.bucket(k).staging.node)
-            .collect();
+        let nodes: std::collections::HashSet<u16> =
+            (0..64u32).map(|k| ts.bucket(k).staging.node).collect();
         assert!(nodes.len() >= 6, "hashing must use most nodes: {nodes:?}");
     }
 }

@@ -56,15 +56,17 @@ pub async fn serial_spawn(creator: &Rc<Proc>, n: u32, f: WorkFn) {
         let done = done.clone();
         let gate = gate.clone();
         creator
-            .create_process(node_for(rank, nodes), &format!("crowd{rank}"), move |p| {
-                async move {
+            .create_process(
+                node_for(rank, nodes),
+                &format!("crowd{rank}"),
+                move |p| async move {
                     f(p, rank).await;
                     done.set(done.get() + 1);
                     if done.get() == n {
                         gate.open();
                     }
-                }
-            })
+                },
+            )
             .await;
     }
     gate.wait().await;
@@ -125,16 +127,7 @@ pub async fn tree_spawn(creator: &Rc<Proc>, n: u32, fanout: u32, f: WorkFn) {
     }
     let done = Rc::new(Cell::new(0u32));
     let gate = Gate::new();
-    spawn_subtree(
-        creator.clone(),
-        0,
-        n,
-        fanout,
-        f,
-        done.clone(),
-        gate.clone(),
-    )
-    .await;
+    spawn_subtree(creator.clone(), 0, n, fanout, f, done.clone(), gate.clone()).await;
     gate.wait().await;
 }
 
@@ -215,7 +208,7 @@ pub async fn replicate_readonly(
         populated += wave;
     }
     driver.compute(10_000).await; // tree bookkeeping
-    
+
     Replicated {
         copies: std::mem::take(&mut copies),
         size,

@@ -1,0 +1,307 @@
+//! Content-addressed result cache: sharded in-memory LRU with
+//! write-through disk persistence.
+//!
+//! The cache key is a 128-bit hash of `(exp, canonical params, seed,
+//! engine version)` — everything a deterministic run is a function of.
+//! The engine version is part of the key so a simulator change that can
+//! alter simulated results silently invalidates every prior entry instead
+//! of serving stale bytes (the same discipline as a content-addressed
+//! build cache). Values are the canonical result bytes; a hit is
+//! guaranteed bit-identical to a cold recomputation because the *runs*
+//! are deterministic (`tests/farm_determinism.rs` proptests this
+//! end-to-end).
+//!
+//! Sharding serves two masters: lock contention (each shard has its own
+//! mutex, so the daemon's workers don't serialize on one cache lock — the
+//! paper's §4.1 scatter lesson applied to our own serving layer) and LRU
+//! bounds (each shard evicts independently, so a burst of large results
+//! can't wipe the whole working set).
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// 64-bit FNV-1a.
+fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Content key for a job: 32 hex chars (two independent 64-bit FNV-1a
+/// passes over the same material). Stable across processes and platforms.
+pub fn content_key(exp: &str, canonical_params: &str, seed: u64, engine_version: u32) -> String {
+    let mut material = String::with_capacity(exp.len() + canonical_params.len() + 32);
+    material.push_str(exp);
+    material.push('\0');
+    material.push_str(canonical_params);
+    material.push('\0');
+    material.push_str(&seed.to_string());
+    material.push('\0');
+    material.push_str(&engine_version.to_string());
+    let a = fnv1a(0xcbf2_9ce4_8422_2325, material.as_bytes());
+    let b = fnv1a(0x6c62_272e_07bb_0142, material.as_bytes());
+    format!("{a:016x}{b:016x}")
+}
+
+/// Cache hit/miss counters, all monotonic.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    /// Served from the in-memory LRU.
+    pub mem_hits: AtomicU64,
+    /// Served from `FARM_CACHE/` after a memory miss.
+    pub disk_hits: AtomicU64,
+    /// Not present anywhere; the job was recomputed.
+    pub misses: AtomicU64,
+    /// Entries evicted from memory by the LRU bound (disk copies remain).
+    pub evictions: AtomicU64,
+}
+
+impl CacheStats {
+    /// Total hits (memory + disk).
+    pub fn hits(&self) -> u64 {
+        self.mem_hits.load(Ordering::Relaxed) + self.disk_hits.load(Ordering::Relaxed)
+    }
+
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits() + self.misses.load(Ordering::Relaxed)
+    }
+}
+
+struct Entry {
+    bytes: Vec<u8>,
+    /// Logical timestamp of last use; the LRU victim is the minimum.
+    last_use: u64,
+}
+
+struct Shard {
+    map: HashMap<String, Entry>,
+    bytes: usize,
+}
+
+/// Sharded LRU cache with optional disk persistence.
+pub struct Cache {
+    shards: Vec<Mutex<Shard>>,
+    /// Per-shard in-memory byte bound.
+    shard_budget: usize,
+    /// Disk tier root (`FARM_CACHE/`), `None` for memory-only.
+    dir: Option<PathBuf>,
+    clock: AtomicU64,
+    /// Counters.
+    pub stats: CacheStats,
+}
+
+impl Cache {
+    /// New cache with `shards` independent LRU shards bounded at
+    /// `max_bytes` total, persisting under `dir` when given.
+    pub fn new(dir: Option<PathBuf>, shards: usize, max_bytes: usize) -> Cache {
+        let shards = shards.max(1);
+        if let Some(d) = &dir {
+            // Best-effort: a read-only disk degrades to memory-only.
+            let _ = std::fs::create_dir_all(d);
+        }
+        Cache {
+            shard_budget: (max_bytes / shards).max(1),
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        map: HashMap::new(),
+                        bytes: 0,
+                    })
+                })
+                .collect(),
+            dir,
+            clock: AtomicU64::new(0),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Which shard a key lives in (stable: derived from the key hash).
+    pub fn shard_of(&self, key: &str) -> usize {
+        (fnv1a(0x9e37_79b9_7f4a_7c15, key.as_bytes()) % self.shards.len() as u64) as usize
+    }
+
+    fn disk_path(&self, key: &str) -> Option<PathBuf> {
+        // Two-level fan-out so FARM_CACHE/ never holds one giant flat dir.
+        self.dir
+            .as_ref()
+            .map(|d| d.join(&key[..2]).join(format!("{key}.json")))
+    }
+
+    /// Look up `key`. Memory first, then the disk tier (a disk hit is
+    /// promoted back into memory).
+    pub fn get(&self, key: &str) -> Option<Vec<u8>> {
+        let now = self.clock.fetch_add(1, Ordering::Relaxed);
+        let shard = &self.shards[self.shard_of(key)];
+        {
+            let mut s = shard.lock().unwrap();
+            if let Some(e) = s.map.get_mut(key) {
+                e.last_use = now;
+                self.stats.mem_hits.fetch_add(1, Ordering::Relaxed);
+                return Some(e.bytes.clone());
+            }
+        }
+        if let Some(p) = self.disk_path(key) {
+            if let Ok(bytes) = std::fs::read(&p) {
+                self.stats.disk_hits.fetch_add(1, Ordering::Relaxed);
+                self.insert_mem(key, bytes.clone(), now);
+                return Some(bytes);
+            }
+        }
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Insert `bytes` under `key`: into the memory LRU and, when a disk
+    /// tier is configured, write-through atomically (tmp file + rename,
+    /// so a killed daemon never leaves a torn cache entry).
+    pub fn put(&self, key: &str, bytes: Vec<u8>) {
+        if let Some(p) = self.disk_path(key) {
+            let write = || -> std::io::Result<()> {
+                let parent = p.parent().expect("disk_path always has a parent");
+                std::fs::create_dir_all(parent)?;
+                let tmp = parent.join(format!(".{}.tmp{}", key, std::process::id()));
+                std::fs::write(&tmp, &bytes)?;
+                std::fs::rename(&tmp, &p)
+            };
+            // Best-effort: a full/read-only disk must not fail the job.
+            let _ = write();
+        }
+        let now = self.clock.fetch_add(1, Ordering::Relaxed);
+        self.insert_mem(key, bytes, now);
+    }
+
+    fn insert_mem(&self, key: &str, bytes: Vec<u8>, now: u64) {
+        let shard = &self.shards[self.shard_of(key)];
+        let mut s = shard.lock().unwrap();
+        if let Some(old) = s.map.insert(
+            key.to_string(),
+            Entry {
+                bytes,
+                last_use: now,
+            },
+        ) {
+            s.bytes -= old.bytes.len();
+        }
+        s.bytes += s.map[key].bytes.len();
+        // Evict least-recently-used until within budget; never evict the
+        // entry just inserted (a single oversized result may stand alone).
+        while s.bytes > self.shard_budget && s.map.len() > 1 {
+            let victim = s
+                .map
+                .iter()
+                .filter(|(k, _)| k.as_str() != key)
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(v) => {
+                    let e = s.map.remove(&v).unwrap();
+                    s.bytes -= e.bytes.len();
+                    self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Bytes currently held in memory across all shards.
+    pub fn mem_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().bytes).sum()
+    }
+
+    /// Entries currently held in memory across all shards.
+    pub fn mem_entries(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().map.len())
+            .sum()
+    }
+
+    /// The disk tier root, if persistence is configured.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("bfly_farm_cache_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn key_is_stable_and_sensitive_to_every_component() {
+        let k = content_key("fig5_gauss", r#"{"n":16}"#, 7, 2);
+        assert_eq!(k.len(), 32);
+        assert_eq!(k, content_key("fig5_gauss", r#"{"n":16}"#, 7, 2));
+        assert_ne!(k, content_key("fig5_gauss", r#"{"n":17}"#, 7, 2));
+        assert_ne!(k, content_key("fig5_gauss", r#"{"n":16}"#, 8, 2));
+        assert_ne!(k, content_key("fig5_gauss", r#"{"n":16}"#, 7, 3));
+        assert_ne!(k, content_key("tab1_memory", r#"{"n":16}"#, 7, 2));
+    }
+
+    #[test]
+    fn lru_evicts_oldest_within_shard_budget() {
+        let c = Cache::new(None, 1, 100);
+        c.put("a", vec![0; 40]);
+        c.put("b", vec![0; 40]);
+        let _ = c.get("a"); // refresh a: b becomes the LRU victim
+        c.put("c", vec![0; 40]);
+        assert!(c.get("a").is_some());
+        assert!(c.get("b").is_none(), "b was least recently used");
+        assert!(c.get("c").is_some());
+        assert_eq!(c.stats.evictions.load(Ordering::Relaxed), 1);
+        assert!(c.mem_bytes() <= 100);
+    }
+
+    #[test]
+    fn disk_tier_survives_a_new_cache_instance() {
+        let dir = tmp_dir("persist");
+        let c = Cache::new(Some(dir.clone()), 4, 1 << 20);
+        c.put("deadbeef00112233445566778899aabb", b"payload".to_vec());
+        drop(c);
+        let c2 = Cache::new(Some(dir.clone()), 4, 1 << 20);
+        assert_eq!(
+            c2.get("deadbeef00112233445566778899aabb").as_deref(),
+            Some(b"payload".as_slice())
+        );
+        assert_eq!(c2.stats.disk_hits.load(Ordering::Relaxed), 1);
+        // Promoted to memory: second read is a mem hit.
+        let _ = c2.get("deadbeef00112233445566778899aabb");
+        assert_eq!(c2.stats.mem_hits.load(Ordering::Relaxed), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn eviction_keeps_disk_copy() {
+        let dir = tmp_dir("evict");
+        let c = Cache::new(Some(dir.clone()), 1, 10);
+        c.put("aa112233445566778899aabbccddeeff", vec![1; 8]);
+        c.put("bb112233445566778899aabbccddeeff", vec![2; 8]); // evicts aa from memory
+        assert_eq!(
+            c.get("aa112233445566778899aabbccddeeff").as_deref(),
+            Some(vec![1; 8].as_slice()),
+            "evicted entry must come back from disk"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shard_distribution_is_deterministic() {
+        let c = Cache::new(None, 8, 1 << 20);
+        for i in 0..64 {
+            let k = content_key("x", "{}", i, 1);
+            assert_eq!(c.shard_of(&k), c.shard_of(&k));
+            assert!(c.shard_of(&k) < 8);
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Blocking JSON-lines client for the daemon (used by the `farm` CLI in
+//! `bfly-bench` and by the serve benchmark).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+
+use crate::json::{self, Value};
+
+enum Conn {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+/// One connection to a farm daemon.
+pub struct Client {
+    reader: BufReader<Conn>,
+}
+
+impl std::io::Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+impl Client {
+    /// Connect to `host:port`, or to a Unix socket with a `unix:` prefix
+    /// (`unix:/run/farmd.sock`).
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let conn = if let Some(path) = addr.strip_prefix("unix:") {
+            #[cfg(unix)]
+            {
+                Conn::Unix(UnixStream::connect(path)?)
+            }
+            #[cfg(not(unix))]
+            {
+                let _ = path;
+                return Err(std::io::Error::other("unix sockets unsupported here"));
+            }
+        } else {
+            Conn::Tcp(TcpStream::connect(addr)?)
+        };
+        Ok(Client {
+            reader: BufReader::new(conn),
+        })
+    }
+
+    /// Send one request line, read and parse one response line.
+    pub fn request_line(&mut self, line: &str) -> std::io::Result<Value> {
+        debug_assert!(!line.contains('\n'), "requests are single lines");
+        let w = self.reader.get_mut();
+        w.write_all(line.as_bytes())?;
+        w.write_all(b"\n")?;
+        w.flush()?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(std::io::Error::other("daemon closed the connection"));
+        }
+        json::parse(reply.trim())
+            .map_err(|(at, msg)| std::io::Error::other(format!("bad response at byte {at}: {msg}")))
+    }
+
+    /// Send a [`Value`] request (canonically serialized).
+    pub fn request(&mut self, v: &Value) -> std::io::Result<Value> {
+        self.request_line(&v.dump())
+    }
+}

@@ -1,0 +1,435 @@
+//! Minimal JSON value model: parse, navigate, and **canonical** dump.
+//!
+//! The daemon's cache keys hash the canonical form of a job's parameters,
+//! so two clients sending `{"n":16,"ps":[4,8]}` and `{ "ps": [4, 8],
+//! "n": 16 }` hit the same cache line. Canonicalization = object keys in
+//! byte-sorted order (a `BTreeMap` gives us that for free), no
+//! insignificant whitespace, integers kept exact (`i64` fast path so a
+//! `u64`-sized seed as a signed literal survives; floats use Rust's
+//! shortest round-trip `Display`). Hand-rolled per the dependency policy
+//! (DESIGN.md §7): no serde in the build.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number with no fraction/exponent, kept exact.
+    Int(i64),
+    /// Any other number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object; `BTreeMap` so iteration (and hence [`Value::dump`]) is
+    /// key-sorted — the canonical form.
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Field of an object, if this is an object and the key exists.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// String payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Integer payload (exact ints only).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Integer widened/checked to `u64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(i) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        }
+    }
+
+    /// Number payload (int or float).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Bool payload.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array payload.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Object payload.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// True for `null` (used for optional protocol fields).
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Canonical single-line serialization: sorted object keys, no
+    /// whitespace. `parse(v.dump()) == v` for every value this module can
+    /// produce.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        self.dump_into(&mut out);
+        out
+    }
+
+    fn dump_into(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Value::Num(n) => {
+                if n.is_finite() {
+                    let tail_start = out.len();
+                    let _ = write!(out, "{n}");
+                    // `Display` for a float with no fraction prints `1`,
+                    // which would re-parse as Int and break round-trips;
+                    // keep the float marker.
+                    if !out[tail_start..].contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null"); // JSON has no NaN/inf
+                }
+            }
+            Value::Str(s) => push_json_str(out, s),
+            Value::Arr(a) => {
+                out.push('[');
+                for (i, v) in a.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.dump_into(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(m) => {
+                out.push('{');
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    push_json_str(out, k);
+                    out.push(':');
+                    v.dump_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Append `s` as a JSON string literal.
+pub fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parse one JSON document. Returns the value or `(byte offset, message)`.
+pub fn parse(s: &str) -> Result<Value, (usize, String)> {
+    let b = s.as_bytes();
+    let mut p = Parser { b, at: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.at != b.len() {
+        return Err((p.at, "trailing data after JSON value".into()));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    at: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&c) = self.b.get(self.at) {
+            if c == b' ' || c == b'\t' || c == b'\n' || c == b'\r' {
+                self.at += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn err<T>(&self, msg: &str) -> Result<T, (usize, String)> {
+        Err((self.at, msg.to_string()))
+    }
+
+    fn eat(&mut self, lit: &str) -> Result<(), (usize, String)> {
+        if self.b[self.at..].starts_with(lit.as_bytes()) {
+            self.at += lit.len();
+            Ok(())
+        } else {
+            self.err(&format!("expected `{lit}`"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, (usize, String)> {
+        match self.b.get(self.at) {
+            None => self.err("unexpected end of input"),
+            Some(b'n') => {
+                self.eat("null")?;
+                Ok(Value::Null)
+            }
+            Some(b't') => {
+                self.eat("true")?;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') => {
+                self.eat("false")?;
+                Ok(Value::Bool(false))
+            }
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => {
+                self.at += 1;
+                let mut arr = Vec::new();
+                self.skip_ws();
+                if self.b.get(self.at) == Some(&b']') {
+                    self.at += 1;
+                    return Ok(Value::Arr(arr));
+                }
+                loop {
+                    self.skip_ws();
+                    arr.push(self.value()?);
+                    self.skip_ws();
+                    match self.b.get(self.at) {
+                        Some(b',') => self.at += 1,
+                        Some(b']') => {
+                            self.at += 1;
+                            return Ok(Value::Arr(arr));
+                        }
+                        _ => return self.err("expected `,` or `]`"),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.at += 1;
+                let mut map = BTreeMap::new();
+                self.skip_ws();
+                if self.b.get(self.at) == Some(&b'}') {
+                    self.at += 1;
+                    return Ok(Value::Obj(map));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.eat(":")?;
+                    self.skip_ws();
+                    let val = self.value()?;
+                    map.insert(key, val);
+                    self.skip_ws();
+                    match self.b.get(self.at) {
+                        Some(b',') => self.at += 1,
+                        Some(b'}') => {
+                            self.at += 1;
+                            return Ok(Value::Obj(map));
+                        }
+                        _ => return self.err("expected `,` or `}`"),
+                    }
+                }
+            }
+            Some(c) if c.is_ascii_digit() || *c == b'-' => self.number(),
+            Some(_) => self.err("unexpected character"),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, (usize, String)> {
+        if self.b.get(self.at) != Some(&b'"') {
+            return self.err("expected string");
+        }
+        self.at += 1;
+        let mut out = String::new();
+        loop {
+            match self.b.get(self.at) {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.at += 1;
+                    match self.b.get(self.at) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .b
+                                .get(self.at + 1..self.at + 5)
+                                .ok_or((self.at, "short \\u escape".to_string()))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| (self.at, "bad \\u escape".to_string()))?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| (self.at, "bad \\u escape".to_string()))?;
+                            // Surrogate pairs are not reassembled; the
+                            // protocol never emits them. Lone surrogates
+                            // map to the replacement character.
+                            out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                            self.at += 4;
+                        }
+                        _ => return self.err("bad escape"),
+                    }
+                    self.at += 1;
+                }
+                Some(&c) if c < 0x20 => return self.err("raw control character in string"),
+                Some(_) => {
+                    // Multi-byte UTF-8: copy the whole scalar.
+                    let rest = &self.b[self.at..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| (self.at, "invalid UTF-8".to_string()))?;
+                    let ch = s.chars().next().unwrap();
+                    out.push(ch);
+                    self.at += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, (usize, String)> {
+        let start = self.at;
+        if self.b.get(self.at) == Some(&b'-') {
+            self.at += 1;
+        }
+        while self
+            .b
+            .get(self.at)
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.at += 1;
+        }
+        let tok = std::str::from_utf8(&self.b[start..self.at]).unwrap();
+        if !tok.contains(['.', 'e', 'E']) {
+            if let Ok(i) = tok.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        tok.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| (start, format!("bad number `{tok}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_and_sorts_keys() {
+        let v =
+            parse(r#"{ "zeta": [1, 2.5, -3], "alpha": {"b": true, "a": null}, "s": "x\n\"y" }"#)
+                .unwrap();
+        assert_eq!(
+            v.dump(),
+            r#"{"alpha":{"a":null,"b":true},"s":"x\n\"y","zeta":[1,2.5,-3]}"#
+        );
+        // Canonical form is a fixed point.
+        let again = parse(&v.dump()).unwrap();
+        assert_eq!(again, v);
+        assert_eq!(again.dump(), v.dump());
+    }
+
+    #[test]
+    fn key_order_is_canonicalized() {
+        let a = parse(r#"{"n":16,"ps":[4,8]}"#).unwrap();
+        let b = parse(r#"{ "ps": [4, 8], "n": 16 }"#).unwrap();
+        assert_eq!(a.dump(), b.dump());
+    }
+
+    #[test]
+    fn ints_stay_exact_and_floats_stay_floats() {
+        let v = parse("9007199254740993").unwrap(); // 2^53 + 1: breaks f64
+        assert_eq!(v.as_i64(), Some(9007199254740993));
+        assert_eq!(v.dump(), "9007199254740993");
+        let v = parse("2.0").unwrap();
+        assert_eq!(v.dump(), "2.0"); // keeps the float marker
+        assert_eq!(parse("1e3").unwrap().as_f64(), Some(1000.0));
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("tru").is_err());
+        assert!(parse("1 2").is_err());
+        let (at, _) = parse(r#"{"a": }"#).unwrap_err();
+        assert!(at >= 6);
+    }
+
+    #[test]
+    fn accessors() {
+        let v = parse(r#"{"b":true,"i":7,"s":"hi","a":[1],"o":{}}"#).unwrap();
+        assert_eq!(v.get("b").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("i").and_then(Value::as_u64), Some(7));
+        assert_eq!(v.get("s").and_then(Value::as_str), Some("hi"));
+        assert_eq!(
+            v.get("a").and_then(Value::as_arr).map(<[Value]>::len),
+            Some(1)
+        );
+        assert!(v.get("o").and_then(Value::as_obj).is_some());
+        assert!(v.get("missing").is_none());
+        assert!(Value::Null.is_null());
+    }
+}

@@ -1,0 +1,38 @@
+//! # bfly-farmd — the experiment-serving daemon
+//!
+//! The reproduction's serving layer (DESIGN.md §12): a std-only daemon
+//! that serves experiment runs over a JSON-lines protocol on a TCP or
+//! Unix socket. Clients submit jobs `{exp, params, seed}` singly or in
+//! batches; a shard scheduler fans cache misses across a work-stealing
+//! worker pool (the `parallel_sweep` determinism contract: results are a
+//! function of job identity, never worker identity); a content-addressed
+//! result cache (key = hash of exp + canonicalized params + seed +
+//! engine version) answers repeat hits without simulation, with LRU
+//! bounds and write-through disk persistence under `FARM_CACHE/`.
+//!
+//! Robustness discipline carried over from the fault-injection work
+//! (DESIGN.md §9): per-job wall-clock deadlines and bounded retries
+//! classify outcomes as [`job::Verdict`]s, a worker panic quarantines
+//! the job rather than the daemon, and SIGTERM (or `{"op":"shutdown"}`)
+//! drains gracefully — stop accepting, finish the queue, exit.
+//!
+//! The crate is generic over a [`server::JobRunner`]; the experiment
+//! registry (and the `farmd`/`farm` binaries) live in `bfly-bench`,
+//! which owns the simulation stack. See `README.md` for the protocol
+//! quickstart and `tests/farm_determinism.rs` for the bit-identity
+//! guarantee: for any job, cached bytes == cold-recomputed bytes.
+
+pub mod cache;
+pub mod client;
+pub mod job;
+pub mod json;
+pub mod server;
+
+pub use cache::{content_key, Cache, CacheStats};
+pub use client::Client;
+pub use job::{CacheMode, JobSpec, Verdict};
+pub use json::Value;
+pub use server::{
+    install_signal_drain, signal_drain_requested, spawn, JobRunner, Listen, ServerConfig,
+    ServerHandle,
+};

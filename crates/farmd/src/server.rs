@@ -1,0 +1,809 @@
+//! The serving loop: listener, connection threads, worker pool, drain.
+//!
+//! Shape (DESIGN.md §12): connection threads parse JSON-lines requests
+//! and answer cache hits inline; misses are enqueued to a work-stealing
+//! worker pool (shared next-job queue, same discipline as
+//! `bfly_bench::parallel_sweep` — any worker may take any job, and
+//! determinism is guaranteed because results are a function of job
+//! identity alone, never of worker identity). Worker panics are caught
+//! and quarantine the *job*; deadlines and bounded retries classify the
+//! outcome as a [`Verdict`] instead of tearing down the daemon; SIGTERM
+//! (or an `{"op":"shutdown"}` request) drains: stop accepting, refuse new
+//! submissions, finish everything queued, then exit.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::cache::Cache;
+use crate::job::{CacheMode, JobSpec, Verdict};
+use crate::json::{self, push_json_str, Value};
+
+/// The experiment registry the daemon serves. Implemented by
+/// `bfly-bench` (which owns the simulation stack); the daemon is generic
+/// so the serving layer stays dependency-free.
+pub trait JobRunner: Send + Sync + 'static {
+    /// Version of the simulation engine. Part of every cache key: bump it
+    /// whenever simulated results can change, and every prior cache entry
+    /// silently invalidates.
+    fn engine_version(&self) -> u32;
+    /// Experiment names this runner accepts.
+    fn experiments(&self) -> Vec<&'static str>;
+    /// Run one job to canonical result bytes (single-line JSON). Must be
+    /// a pure function of the job spec: bytes for the same spec must be
+    /// bit-identical on every call, on any thread.
+    fn run(&self, spec: &JobSpec) -> Result<Vec<u8>, String>;
+}
+
+/// Where to listen.
+#[derive(Debug, Clone)]
+pub enum Listen {
+    /// TCP, e.g. `127.0.0.1:4655` (`:0` for an ephemeral port).
+    Tcp(String),
+    /// Unix-domain socket path.
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address.
+    pub listen: Listen,
+    /// Worker threads. 0 = available parallelism.
+    pub workers: usize,
+    /// Disk tier root (`FARM_CACHE/`); `None` disables persistence.
+    pub cache_dir: Option<PathBuf>,
+    /// In-memory LRU bound, bytes (across all shards).
+    pub cache_bytes: usize,
+    /// Cache shard count.
+    pub cache_shards: usize,
+    /// Deadline for jobs that don't set one, ms.
+    pub default_deadline_ms: u64,
+    /// Post-panic retry budget for jobs that don't set one.
+    pub default_retries: u32,
+    /// Backpressure: submissions beyond this many queued jobs are
+    /// rejected with `queue full` instead of buffered without bound.
+    pub max_queue: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            listen: Listen::Tcp("127.0.0.1:0".into()),
+            workers: 0,
+            cache_dir: Some(PathBuf::from("FARM_CACHE")),
+            cache_bytes: 64 << 20,
+            cache_shards: 16,
+            default_deadline_ms: 300_000,
+            default_retries: 1,
+            max_queue: 1024,
+        }
+    }
+}
+
+enum State {
+    Queued,
+    Running,
+    Done {
+        bytes: Arc<Vec<u8>>,
+        cached: bool,
+        wall: Duration,
+    },
+    Failed {
+        verdict: Verdict,
+        error: String,
+    },
+}
+
+impl State {
+    fn terminal(&self) -> bool {
+        matches!(self, State::Done { .. } | State::Failed { .. })
+    }
+}
+
+struct JobRecord {
+    spec: JobSpec,
+    state: State,
+    submitted: Instant,
+    attempts: u32,
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    done: AtomicU64,
+    failed: AtomicU64,
+    quarantined: AtomicU64,
+    deadline_expired: AtomicU64,
+}
+
+struct Shared {
+    runner: Arc<dyn JobRunner>,
+    cache: Cache,
+    jobs: Mutex<HashMap<u64, JobRecord>>,
+    /// Signalled whenever any job reaches a terminal state (batch waiters).
+    done_cv: Condvar,
+    queue: Mutex<VecDeque<u64>>,
+    queue_cv: Condvar,
+    next_id: AtomicU64,
+    running: AtomicU64,
+    shutdown: AtomicBool,
+    counters: Counters,
+    config: ServerConfig,
+}
+
+/// A running daemon. Dropping the handle does not stop the server; call
+/// [`ServerHandle::shutdown`] (or send `{"op":"shutdown"}`).
+pub struct ServerHandle {
+    /// The bound address: `host:port` for TCP (with the real ephemeral
+    /// port), the socket path for Unix.
+    pub addr: String,
+    shared: Arc<Shared>,
+    listener: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Ask the daemon to drain (idempotent, non-blocking).
+    pub fn request_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Drain and wait for the daemon to finish everything queued.
+    pub fn shutdown(mut self) {
+        self.request_shutdown();
+        if let Some(t) = self.listener.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Wait until the daemon exits (after a drain is requested by signal
+    /// or protocol).
+    pub fn join(mut self) {
+        if let Some(t) = self.listener.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// SIGTERM/SIGINT latch. `std` cannot register signal handlers, but it
+/// already links libc on every supported platform, so the daemon binary
+/// declares the one symbol it needs. The handler only stores to an
+/// atomic — the only thing that is async-signal-safe.
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+/// True once SIGTERM/SIGINT has been received (after
+/// [`install_signal_drain`]).
+pub fn signal_drain_requested() -> bool {
+    SIGNALLED.load(Ordering::SeqCst)
+}
+
+/// Route SIGTERM and SIGINT into a graceful drain. Unix only; a no-op
+/// elsewhere (the protocol `shutdown` op still works everywhere).
+pub fn install_signal_drain() {
+    #[cfg(unix)]
+    {
+        extern "C" fn on_signal(_sig: i32) {
+            SIGNALLED.store(true, Ordering::SeqCst);
+        }
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+    }
+}
+
+enum Incoming {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+enum Acceptor {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener, PathBuf),
+}
+
+impl Acceptor {
+    fn accept(&self) -> std::io::Result<Incoming> {
+        match self {
+            Acceptor::Tcp(l) => l.accept().map(|(s, _)| Incoming::Tcp(s)),
+            #[cfg(unix)]
+            Acceptor::Unix(l, _) => l.accept().map(|(s, _)| Incoming::Unix(s)),
+        }
+    }
+}
+
+/// Boot a daemon: bind, spawn the worker pool and the listener thread,
+/// return immediately. The handle's `addr` field carries the actual
+/// bound address (useful with `:0`).
+pub fn spawn(config: ServerConfig, runner: Arc<dyn JobRunner>) -> std::io::Result<ServerHandle> {
+    let workers = if config.workers == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2)
+    } else {
+        config.workers
+    };
+    let (acceptor, addr) = match &config.listen {
+        Listen::Tcp(a) => {
+            let l = TcpListener::bind(a)?;
+            l.set_nonblocking(true)?;
+            let addr = l.local_addr()?.to_string();
+            (Acceptor::Tcp(l), addr)
+        }
+        #[cfg(unix)]
+        Listen::Unix(p) => {
+            // A stale socket file from a killed daemon would fail the bind.
+            let _ = std::fs::remove_file(p);
+            let l = UnixListener::bind(p)?;
+            l.set_nonblocking(true)?;
+            (Acceptor::Unix(l, p.clone()), p.display().to_string())
+        }
+    };
+
+    let shared = Arc::new(Shared {
+        runner,
+        cache: Cache::new(
+            config.cache_dir.clone(),
+            config.cache_shards,
+            config.cache_bytes,
+        ),
+        jobs: Mutex::new(HashMap::new()),
+        done_cv: Condvar::new(),
+        queue: Mutex::new(VecDeque::new()),
+        queue_cv: Condvar::new(),
+        next_id: AtomicU64::new(1),
+        running: AtomicU64::new(0),
+        shutdown: AtomicBool::new(false),
+        counters: Counters::default(),
+        config,
+    });
+
+    let worker_handles: Vec<_> = (0..workers)
+        .map(|i| {
+            let sh = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("farm-worker-{i}"))
+                .spawn(move || worker_loop(&sh))
+                .expect("spawn worker")
+        })
+        .collect();
+
+    let sh = Arc::clone(&shared);
+    let listener = std::thread::Builder::new()
+        .name("farm-listener".into())
+        .spawn(move || {
+            listener_loop(&sh, &acceptor);
+            drain(&sh);
+            for w in worker_handles {
+                let _ = w.join();
+            }
+            #[cfg(unix)]
+            if let Acceptor::Unix(_, path) = &acceptor {
+                let _ = std::fs::remove_file(path);
+            }
+        })
+        .expect("spawn listener");
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        listener: Some(listener),
+    })
+}
+
+fn listener_loop(sh: &Arc<Shared>, acceptor: &Acceptor) {
+    loop {
+        if sh.shutdown.load(Ordering::SeqCst) || signal_drain_requested() {
+            sh.shutdown.store(true, Ordering::SeqCst);
+            return;
+        }
+        match acceptor.accept() {
+            Ok(stream) => {
+                let sh = Arc::clone(sh);
+                let _ = std::thread::Builder::new()
+                    .name("farm-conn".into())
+                    .spawn(move || match stream {
+                        Incoming::Tcp(s) => {
+                            let _ = s.set_nonblocking(false);
+                            connection_loop(&sh, s);
+                        }
+                        #[cfg(unix)]
+                        Incoming::Unix(s) => {
+                            let _ = s.set_nonblocking(false);
+                            connection_loop(&sh, s);
+                        }
+                    });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+}
+
+/// Finish everything queued, then release the workers.
+fn drain(sh: &Arc<Shared>) {
+    loop {
+        let queued = sh.queue.lock().unwrap().len();
+        if queued == 0 && sh.running.load(Ordering::SeqCst) == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // Workers wait on the queue condvar with a timeout, so notifying is
+    // an optimization, not a correctness requirement.
+    sh.queue_cv.notify_all();
+}
+
+fn worker_loop(sh: &Arc<Shared>) {
+    loop {
+        let id = {
+            let mut q = sh.queue.lock().unwrap();
+            loop {
+                if let Some(id) = q.pop_front() {
+                    break Some(id);
+                }
+                if sh.shutdown.load(Ordering::SeqCst) || signal_drain_requested() {
+                    break None;
+                }
+                let (guard, _) = sh
+                    .queue_cv
+                    .wait_timeout(q, Duration::from_millis(100))
+                    .unwrap();
+                q = guard;
+            }
+        };
+        match id {
+            Some(id) => {
+                sh.running.fetch_add(1, Ordering::SeqCst);
+                execute(sh, id);
+                sh.running.fetch_sub(1, Ordering::SeqCst);
+            }
+            None => return,
+        }
+    }
+}
+
+/// Run one queued job to a terminal state.
+fn execute(sh: &Arc<Shared>, id: u64) {
+    let (spec, submitted) = {
+        let mut jobs = sh.jobs.lock().unwrap();
+        let Some(rec) = jobs.get_mut(&id) else { return };
+        rec.state = State::Running;
+        (rec.spec.clone(), rec.submitted)
+    };
+    let deadline = Duration::from_millis(spec.deadline_ms.unwrap_or(sh.config.default_deadline_ms));
+    let retries = spec.retries.unwrap_or(sh.config.default_retries);
+    let key = spec.key(sh.runner.engine_version());
+
+    // A job that sat in the queue past its deadline never starts: the
+    // client has given up, and running it would only delay live jobs.
+    if submitted.elapsed() > deadline {
+        finish(
+            sh,
+            id,
+            State::Failed {
+                verdict: Verdict::DeadlineExpired,
+                error: format!("deadline ({} ms) passed while queued", deadline.as_millis()),
+            },
+        );
+        return;
+    }
+
+    // Serve from cache (workers re-check: an identical job may have been
+    // computed since this one was enqueued).
+    if spec.cache == CacheMode::Use {
+        if let Some(bytes) = sh.cache.get(&key) {
+            finish(
+                sh,
+                id,
+                State::Done {
+                    bytes: Arc::new(bytes),
+                    cached: true,
+                    wall: Duration::ZERO,
+                },
+            );
+            return;
+        }
+    }
+
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        {
+            let mut jobs = sh.jobs.lock().unwrap();
+            if let Some(rec) = jobs.get_mut(&id) {
+                rec.attempts = attempt;
+            }
+        }
+        let t0 = Instant::now();
+        // Quarantine discipline: a panicking experiment must not take the
+        // worker (or the daemon) down. `AssertUnwindSafe` is sound here
+        // because a failed attempt shares no state with the next one —
+        // the runner is a pure function of the spec. NOTE: this protects
+        // builds with unwinding panics; the release profile uses
+        // `panic = "abort"`, where a panic still ends the process — the
+        // registry therefore validates jobs instead of panicking on them.
+        let outcome = catch_unwind(AssertUnwindSafe(|| sh.runner.run(&spec)));
+        let wall = t0.elapsed();
+        match outcome {
+            Ok(Ok(bytes)) => {
+                if spec.cache != CacheMode::Bypass {
+                    sh.cache.put(&key, bytes.clone());
+                }
+                finish(
+                    sh,
+                    id,
+                    State::Done {
+                        bytes: Arc::new(bytes),
+                        cached: false,
+                        wall,
+                    },
+                );
+                return;
+            }
+            Ok(Err(error)) => {
+                // A classified rejection is deterministic; retrying would
+                // reproduce it.
+                finish(
+                    sh,
+                    id,
+                    State::Failed {
+                        verdict: Verdict::Failed,
+                        error,
+                    },
+                );
+                return;
+            }
+            Err(panic) => {
+                let msg = panic_message(&panic);
+                if attempt > retries {
+                    finish(
+                        sh,
+                        id,
+                        State::Failed {
+                            verdict: Verdict::Quarantined,
+                            error: format!("panicked on all {attempt} attempts: {msg}"),
+                        },
+                    );
+                    return;
+                }
+                if submitted.elapsed() > deadline {
+                    finish(
+                        sh,
+                        id,
+                        State::Failed {
+                            verdict: Verdict::DeadlineExpired,
+                            error: format!("deadline passed after panic: {msg}"),
+                        },
+                    );
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+fn finish(sh: &Arc<Shared>, id: u64, state: State) {
+    match &state {
+        State::Done { .. } => sh.counters.done.fetch_add(1, Ordering::Relaxed),
+        State::Failed { verdict, .. } => match verdict {
+            Verdict::Quarantined => sh.counters.quarantined.fetch_add(1, Ordering::Relaxed),
+            Verdict::DeadlineExpired => {
+                sh.counters.deadline_expired.fetch_add(1, Ordering::Relaxed)
+            }
+            _ => sh.counters.failed.fetch_add(1, Ordering::Relaxed),
+        },
+        _ => 0,
+    };
+    let mut jobs = sh.jobs.lock().unwrap();
+    if let Some(rec) = jobs.get_mut(&id) {
+        rec.state = state;
+    }
+    sh.done_cv.notify_all();
+}
+
+fn connection_loop<S: std::io::Read + Write>(sh: &Arc<Shared>, stream: S) {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return,
+            Ok(_) => {}
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let reply = handle_request(sh, trimmed);
+        let w = reader.get_mut();
+        if w.write_all(reply.as_bytes()).is_err() || w.write_all(b"\n").is_err() {
+            return;
+        }
+        let _ = w.flush();
+        if sh.shutdown.load(Ordering::SeqCst) && trimmed.contains("\"shutdown\"") {
+            return;
+        }
+    }
+}
+
+fn error_reply(msg: &str) -> String {
+    let mut out = String::from("{\"ok\":false,\"error\":");
+    push_json_str(&mut out, msg);
+    out.push('}');
+    out
+}
+
+fn handle_request(sh: &Arc<Shared>, line: &str) -> String {
+    let v = match json::parse(line) {
+        Ok(v) => v,
+        Err((at, msg)) => return error_reply(&format!("bad JSON at byte {at}: {msg}")),
+    };
+    match v.get("op").and_then(Value::as_str) {
+        Some("ping") => format!(
+            "{{\"ok\":true,\"pong\":true,\"engine_version\":{}}}",
+            sh.runner.engine_version()
+        ),
+        Some("submit") => match JobSpec::from_value(&v) {
+            Ok(spec) => match admit(sh, spec) {
+                Ok(id) => status_reply(sh, id),
+                Err(e) => error_reply(&e),
+            },
+            Err(e) => error_reply(&e),
+        },
+        Some("status") => match v.get("id").and_then(Value::as_u64) {
+            Some(id) => status_reply(sh, id),
+            None => error_reply("status needs an integer `id`"),
+        },
+        Some("batch") => {
+            let Some(jobs) = v.get("jobs").and_then(Value::as_arr) else {
+                return error_reply("batch needs a `jobs` array");
+            };
+            handle_batch(sh, jobs)
+        }
+        Some("stats") => stats_reply(sh),
+        Some("shutdown") => {
+            sh.shutdown.store(true, Ordering::SeqCst);
+            "{\"ok\":true,\"draining\":true}".into()
+        }
+        Some(other) => error_reply(&format!("unknown op `{other}`")),
+        None => error_reply("request needs a string `op`"),
+    }
+}
+
+/// Admit one job: inline cache fast path, else enqueue. Returns the id.
+fn admit(sh: &Arc<Shared>, spec: JobSpec) -> Result<u64, String> {
+    if sh.shutdown.load(Ordering::SeqCst) || signal_drain_requested() {
+        return Err("draining: no new jobs accepted".into());
+    }
+    if !sh.runner.experiments().contains(&spec.exp.as_str()) {
+        return Err(format!("unknown experiment `{}`", spec.exp));
+    }
+    let id = sh.next_id.fetch_add(1, Ordering::Relaxed);
+    sh.counters.submitted.fetch_add(1, Ordering::Relaxed);
+
+    // Warm fast path: a `use`-mode hit never touches the queue — the
+    // connection thread answers from the cache shard directly. This is
+    // what makes warm batches orders of magnitude faster than cold ones.
+    if spec.cache == CacheMode::Use {
+        let key = spec.key(sh.runner.engine_version());
+        if let Some(bytes) = sh.cache.get(&key) {
+            sh.counters.done.fetch_add(1, Ordering::Relaxed);
+            sh.jobs.lock().unwrap().insert(
+                id,
+                JobRecord {
+                    spec,
+                    state: State::Done {
+                        bytes: Arc::new(bytes),
+                        cached: true,
+                        wall: Duration::ZERO,
+                    },
+                    submitted: Instant::now(),
+                    attempts: 0,
+                },
+            );
+            return Ok(id);
+        }
+    }
+
+    {
+        let q = sh.queue.lock().unwrap();
+        if q.len() >= sh.config.max_queue {
+            return Err(format!(
+                "queue full ({} jobs); backpressure: retry later",
+                q.len()
+            ));
+        }
+    }
+    sh.jobs.lock().unwrap().insert(
+        id,
+        JobRecord {
+            spec,
+            state: State::Queued,
+            submitted: Instant::now(),
+            attempts: 0,
+        },
+    );
+    sh.queue.lock().unwrap().push_back(id);
+    sh.queue_cv.notify_one();
+    Ok(id)
+}
+
+fn handle_batch(sh: &Arc<Shared>, jobs: &[Value]) -> String {
+    let t0 = Instant::now();
+    let mut ids: Vec<Result<u64, String>> = Vec::with_capacity(jobs.len());
+    for j in jobs {
+        match JobSpec::from_value(j) {
+            Ok(spec) => ids.push(admit(sh, spec)),
+            Err(e) => ids.push(Err(e)),
+        }
+    }
+    // Wait for every admitted job to reach a terminal state.
+    {
+        let mut guard = sh.jobs.lock().unwrap();
+        loop {
+            let all_done = ids.iter().all(|r| match r {
+                Ok(id) => guard.get(id).map(|r| r.state.terminal()).unwrap_or(true),
+                Err(_) => true,
+            });
+            if all_done {
+                break;
+            }
+            let (g, _) = sh
+                .done_cv
+                .wait_timeout(guard, Duration::from_millis(100))
+                .unwrap();
+            guard = g;
+        }
+    }
+    let wall = t0.elapsed();
+    let mut hits = 0u64;
+    let mut out = String::from("{\"ok\":true,");
+    {
+        let guard = sh.jobs.lock().unwrap();
+        for id in ids.iter().flatten() {
+            if let Some(State::Done { cached: true, .. }) = guard.get(id).map(|r| &r.state) {
+                hits += 1;
+            }
+        }
+        let _ = std::fmt::Write::write_fmt(
+            &mut out,
+            format_args!(
+                "\"jobs\":{},\"hits\":{},\"wall_ms\":{:.3},\"results\":[",
+                ids.len(),
+                hits,
+                wall.as_secs_f64() * 1e3
+            ),
+        );
+        for (i, r) in ids.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            match r {
+                Ok(id) => out.push_str(&status_object(&guard, *id)),
+                Err(e) => out.push_str(&error_reply(e)),
+            }
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+fn status_reply(sh: &Arc<Shared>, id: u64) -> String {
+    let jobs = sh.jobs.lock().unwrap();
+    status_object(&jobs, id)
+}
+
+/// One job's status as a JSON object (also the per-job element of a
+/// batch response). Result bytes are spliced verbatim: they are already
+/// canonical single-line JSON, and splicing keeps cached bytes
+/// bit-identical on the wire.
+fn status_object(jobs: &HashMap<u64, JobRecord>, id: u64) -> String {
+    let Some(rec) = jobs.get(&id) else {
+        return error_reply(&format!("no such job {id}"));
+    };
+    let mut out = format!("{{\"ok\":true,\"id\":{id},");
+    match &rec.state {
+        State::Queued => out.push_str("\"state\":\"queued\"}"),
+        State::Running => {
+            let _ = std::fmt::Write::write_fmt(
+                &mut out,
+                format_args!("\"state\":\"running\",\"attempts\":{}}}", rec.attempts),
+            );
+        }
+        State::Done {
+            bytes,
+            cached,
+            wall,
+        } => {
+            let _ = std::fmt::Write::write_fmt(
+                &mut out,
+                format_args!(
+                    "\"state\":\"done\",\"verdict\":\"done\",\"cached\":{},\
+                     \"wall_ms\":{:.3},\"result\":{}}}",
+                    cached,
+                    wall.as_secs_f64() * 1e3,
+                    String::from_utf8_lossy(bytes)
+                ),
+            );
+        }
+        State::Failed { verdict, error } => {
+            let _ = std::fmt::Write::write_fmt(
+                &mut out,
+                format_args!(
+                    "\"state\":\"failed\",\"verdict\":\"{}\",\"attempts\":{},\"error\":",
+                    verdict.as_str(),
+                    rec.attempts
+                ),
+            );
+            push_json_str(&mut out, error);
+            out.push('}');
+        }
+    }
+    out
+}
+
+fn stats_reply(sh: &Arc<Shared>) -> String {
+    let c = &sh.counters;
+    let cs = &sh.cache.stats;
+    let mut exps = sh.runner.experiments();
+    exps.sort_unstable();
+    let mut exp_json = String::from("[");
+    for (i, e) in exps.iter().enumerate() {
+        if i > 0 {
+            exp_json.push(',');
+        }
+        push_json_str(&mut exp_json, e);
+    }
+    exp_json.push(']');
+    format!(
+        "{{\"ok\":true,\"engine_version\":{},\"draining\":{},\
+         \"jobs\":{{\"submitted\":{},\"done\":{},\"failed\":{},\
+         \"quarantined\":{},\"deadline_expired\":{},\"queued\":{},\"running\":{}}},\
+         \"cache\":{{\"mem_hits\":{},\"disk_hits\":{},\"misses\":{},\"evictions\":{},\
+         \"mem_bytes\":{},\"mem_entries\":{}}},\"experiments\":{}}}",
+        sh.runner.engine_version(),
+        sh.shutdown.load(Ordering::SeqCst),
+        c.submitted.load(Ordering::Relaxed),
+        c.done.load(Ordering::Relaxed),
+        c.failed.load(Ordering::Relaxed),
+        c.quarantined.load(Ordering::Relaxed),
+        c.deadline_expired.load(Ordering::Relaxed),
+        sh.queue.lock().unwrap().len(),
+        sh.running.load(Ordering::SeqCst),
+        cs.mem_hits.load(Ordering::Relaxed),
+        cs.disk_hits.load(Ordering::Relaxed),
+        cs.misses.load(Ordering::Relaxed),
+        cs.evictions.load(Ordering::Relaxed),
+        sh.cache.mem_bytes(),
+        sh.cache.mem_entries(),
+        exp_json
+    )
+}

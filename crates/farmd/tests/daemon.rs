@@ -1,0 +1,332 @@
+//! End-to-end daemon tests against a toy runner: protocol round-trips,
+//! cache hits, batch ordering, panic quarantine, deadlines, backpressure
+//! refusal, and graceful drain — all over a real socket.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bfly_farmd::json::Value;
+use bfly_farmd::{spawn, Client, JobRunner, JobSpec, Listen, ServerConfig};
+
+/// Deterministic toy runner: result bytes are a pure function of the
+/// spec. `exp == "boom"` panics; `exp == "slow"` sleeps 50 ms first.
+struct Toy {
+    runs: AtomicU64,
+}
+
+impl JobRunner for Toy {
+    fn engine_version(&self) -> u32 {
+        1
+    }
+
+    fn experiments(&self) -> Vec<&'static str> {
+        vec!["echo", "boom", "slow", "reject"]
+    }
+
+    fn run(&self, spec: &JobSpec) -> Result<Vec<u8>, String> {
+        self.runs.fetch_add(1, Ordering::SeqCst);
+        match spec.exp.as_str() {
+            "boom" => panic!("toy panic for seed {}", spec.seed),
+            "reject" => Err("toy rejection".into()),
+            _ => {
+                if spec.exp == "slow" {
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                }
+                Ok(format!(
+                    r#"{{"echo":{},"params":{}}}"#,
+                    spec.seed,
+                    spec.params.dump()
+                )
+                .into_bytes())
+            }
+        }
+    }
+}
+
+fn boot(cache_dir: Option<PathBuf>) -> (bfly_farmd::ServerHandle, Arc<Toy>) {
+    let toy = Arc::new(Toy {
+        runs: AtomicU64::new(0),
+    });
+    let handle = spawn(
+        ServerConfig {
+            listen: Listen::Tcp("127.0.0.1:0".into()),
+            workers: 2,
+            cache_dir,
+            default_retries: 1,
+            ..ServerConfig::default()
+        },
+        toy.clone(),
+    )
+    .expect("boot daemon");
+    (handle, toy)
+}
+
+fn req(c: &mut Client, line: &str) -> Value {
+    c.request_line(line).expect("request")
+}
+
+#[test]
+fn submit_status_cache_and_verdicts() {
+    let (handle, toy) = boot(None);
+    let mut c = Client::connect(&handle.addr).unwrap();
+
+    let pong = req(&mut c, r#"{"op":"ping"}"#);
+    assert_eq!(pong.get("engine_version").and_then(Value::as_i64), Some(1));
+
+    // Cold submit: queued (or already done), poll status to terminal.
+    let r = req(
+        &mut c,
+        r#"{"op":"submit","exp":"echo","seed":7,"params":{"x":1}}"#,
+    );
+    assert_eq!(r.get("ok").and_then(Value::as_bool), Some(true));
+    let id = r.get("id").and_then(Value::as_u64).unwrap();
+    let done = poll_done(&mut c, id);
+    assert_eq!(done.get("cached").and_then(Value::as_bool), Some(false));
+    let result = done.get("result").unwrap().dump();
+    assert!(result.contains("\"echo\":7"));
+
+    // Same job again: answered inline from cache, bit-identical bytes.
+    let runs_before = toy.runs.load(Ordering::SeqCst);
+    let r2 = req(
+        &mut c,
+        r#"{"op":"submit","exp":"echo","seed":7,"params":{"x":1}}"#,
+    );
+    assert_eq!(r2.get("state").and_then(Value::as_str), Some("done"));
+    assert_eq!(r2.get("cached").and_then(Value::as_bool), Some(true));
+    assert_eq!(r2.get("result").unwrap().dump(), result);
+    assert_eq!(toy.runs.load(Ordering::SeqCst), runs_before, "no recompute");
+
+    // Param canonicalization: key order must not matter.
+    let r3 = req(
+        &mut c,
+        r#"{"op":"submit","exp":"echo","params":{ "x": 1 },"seed":7}"#,
+    );
+    assert_eq!(r3.get("cached").and_then(Value::as_bool), Some(true));
+
+    // Bypass recomputes and still matches (determinism check path).
+    let r4 = req(
+        &mut c,
+        r#"{"op":"submit","exp":"echo","seed":7,"params":{"x":1},"cache":"bypass"}"#,
+    );
+    let id4 = r4.get("id").and_then(Value::as_u64).unwrap();
+    let done4 = poll_done(&mut c, id4);
+    assert_eq!(done4.get("cached").and_then(Value::as_bool), Some(false));
+    assert_eq!(done4.get("result").unwrap().dump(), result);
+
+    // Rejection is a classified failure, not a panic.
+    let r5 = req(&mut c, r#"{"op":"submit","exp":"reject","seed":1}"#);
+    let id5 = r5.get("id").and_then(Value::as_u64).unwrap();
+    let f = poll_terminal(&mut c, id5);
+    assert_eq!(f.get("verdict").and_then(Value::as_str), Some("failed"));
+
+    // Unknown experiment refused at admission.
+    let r6 = req(&mut c, r#"{"op":"submit","exp":"nope","seed":1}"#);
+    assert_eq!(r6.get("ok").and_then(Value::as_bool), Some(false));
+
+    handle.shutdown();
+}
+
+#[test]
+fn panics_quarantine_the_job_not_the_daemon() {
+    let (handle, toy) = boot(None);
+    let mut c = Client::connect(&handle.addr).unwrap();
+
+    let r = req(
+        &mut c,
+        r#"{"op":"submit","exp":"boom","seed":3,"retries":2}"#,
+    );
+    let id = r.get("id").and_then(Value::as_u64).unwrap();
+    let f = poll_terminal(&mut c, id);
+    assert_eq!(
+        f.get("verdict").and_then(Value::as_str),
+        Some("quarantined")
+    );
+    assert_eq!(f.get("attempts").and_then(Value::as_i64), Some(3));
+    assert_eq!(toy.runs.load(Ordering::SeqCst), 3, "1 attempt + 2 retries");
+
+    // Daemon (and the worker that caught the panic) still serve jobs.
+    let r = req(&mut c, r#"{"op":"submit","exp":"echo","seed":9}"#);
+    let id = r.get("id").and_then(Value::as_u64).unwrap();
+    let done = poll_done(&mut c, id);
+    assert!(done.get("result").unwrap().dump().contains("\"echo\":9"));
+
+    let stats = req(&mut c, r#"{"op":"stats"}"#);
+    let jobs = stats.get("jobs").unwrap();
+    assert_eq!(jobs.get("quarantined").and_then(Value::as_i64), Some(1));
+
+    handle.shutdown();
+}
+
+#[test]
+fn batch_keeps_submission_order_and_counts_hits() {
+    let (handle, _toy) = boot(None);
+    let mut c = Client::connect(&handle.addr).unwrap();
+
+    // Mixed batch: two unique jobs, one repeated (warm after the first
+    // completes is not guaranteed within a batch — repeats across
+    // batches are the warm case).
+    let b1 = req(
+        &mut c,
+        r#"{"op":"batch","jobs":[
+            {"exp":"echo","seed":1},{"exp":"echo","seed":2},{"exp":"slow","seed":3}]}"#
+            .replace('\n', " ")
+            .trim(),
+    );
+    assert_eq!(b1.get("ok").and_then(Value::as_bool), Some(true));
+    let results = b1.get("results").and_then(Value::as_arr).unwrap();
+    assert_eq!(results.len(), 3);
+    for (i, seed) in [1i64, 2, 3].iter().enumerate() {
+        let r = results[i].get("result").unwrap().dump();
+        assert!(
+            r.contains(&format!("\"echo\":{seed}")),
+            "batch results must come back in submission order: {r}"
+        );
+    }
+
+    // Second identical batch: all warm.
+    let b2 = req(
+        &mut c,
+        r#"{"op":"batch","jobs":[
+            {"exp":"echo","seed":1},{"exp":"echo","seed":2},{"exp":"slow","seed":3}]}"#
+            .replace('\n', " ")
+            .trim(),
+    );
+    assert_eq!(b2.get("hits").and_then(Value::as_i64), Some(3));
+    // Warm batch result bytes are bit-identical to the cold ones.
+    let warm = b2.get("results").and_then(Value::as_arr).unwrap();
+    for (cold_r, warm_r) in results.iter().zip(warm) {
+        assert_eq!(
+            cold_r.get("result").unwrap().dump(),
+            warm_r.get("result").unwrap().dump()
+        );
+    }
+
+    // A malformed job fails alone; the rest of the batch still runs.
+    let b3 = req(
+        &mut c,
+        r#"{"op":"batch","jobs":[{"exp":"echo","seed":4},{"seed":5}]}"#,
+    );
+    let results = b3.get("results").and_then(Value::as_arr).unwrap();
+    assert_eq!(
+        results[0].get("state").and_then(Value::as_str),
+        Some("done")
+    );
+    assert_eq!(results[1].get("ok").and_then(Value::as_bool), Some(false));
+
+    handle.shutdown();
+}
+
+#[test]
+fn deadline_expires_queued_jobs() {
+    let (handle, _toy) = boot(None);
+    let mut c = Client::connect(&handle.addr).unwrap();
+    // 2 workers, so 3 slow jobs ahead keep the queue busy ≥50 ms while
+    // the 0 ms-deadline job waits behind them.
+    let b = req(
+        &mut c,
+        r#"{"op":"batch","jobs":[
+            {"exp":"slow","seed":11},{"exp":"slow","seed":12},{"exp":"slow","seed":13},
+            {"exp":"slow","seed":14,"deadline_ms":0}]}"#
+            .replace('\n', " ")
+            .trim(),
+    );
+    let results = b.get("results").and_then(Value::as_arr).unwrap();
+    assert_eq!(
+        results[3].get("verdict").and_then(Value::as_str),
+        Some("deadline_expired"),
+        "{}",
+        results[3].dump()
+    );
+
+    handle.shutdown();
+}
+
+#[test]
+fn disk_cache_survives_daemon_restart() {
+    let dir = std::env::temp_dir().join(format!("bfly_farm_e2e_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let (handle, toy) = boot(Some(dir.clone()));
+    let mut c = Client::connect(&handle.addr).unwrap();
+    let r = req(&mut c, r#"{"op":"submit","exp":"echo","seed":42}"#);
+    let id = r.get("id").and_then(Value::as_u64).unwrap();
+    let cold = poll_done(&mut c, id).get("result").unwrap().dump();
+    assert_eq!(toy.runs.load(Ordering::SeqCst), 1);
+    handle.shutdown();
+
+    // Fresh daemon, same FARM_CACHE: warm from disk, zero recomputes.
+    let (handle2, toy2) = boot(Some(dir.clone()));
+    let mut c2 = Client::connect(&handle2.addr).unwrap();
+    let r = req(&mut c2, r#"{"op":"submit","exp":"echo","seed":42}"#);
+    assert_eq!(r.get("cached").and_then(Value::as_bool), Some(true));
+    assert_eq!(r.get("result").unwrap().dump(), cold);
+    assert_eq!(toy2.runs.load(Ordering::SeqCst), 0);
+    handle2.shutdown();
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn graceful_drain_finishes_queued_work_then_refuses() {
+    let (handle, _toy) = boot(None);
+    let mut c = Client::connect(&handle.addr).unwrap();
+    let r = req(&mut c, r#"{"op":"submit","exp":"slow","seed":77}"#);
+    let id = r.get("id").and_then(Value::as_u64).unwrap();
+
+    let d = req(&mut c, r#"{"op":"shutdown"}"#);
+    assert_eq!(d.get("draining").and_then(Value::as_bool), Some(true));
+
+    // The drain waits for the queued job; join returning proves the
+    // daemon exited cleanly rather than abandoning job `id`.
+    let _ = id;
+    handle.join();
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_round_trip() {
+    let path = std::env::temp_dir().join(format!("bfly_farmd_{}.sock", std::process::id()));
+    let toy = Arc::new(Toy {
+        runs: AtomicU64::new(0),
+    });
+    let handle = spawn(
+        ServerConfig {
+            listen: Listen::Unix(path.clone()),
+            workers: 1,
+            cache_dir: None,
+            ..ServerConfig::default()
+        },
+        toy,
+    )
+    .unwrap();
+    let mut c = Client::connect(&format!("unix:{}", path.display())).unwrap();
+    let pong = req(&mut c, r#"{"op":"ping"}"#);
+    assert_eq!(pong.get("pong").and_then(Value::as_bool), Some(true));
+    handle.shutdown();
+    assert!(!path.exists(), "socket file cleaned up on drain");
+}
+
+fn poll_terminal(c: &mut Client, id: u64) -> Value {
+    for _ in 0..600 {
+        let s = c
+            .request_line(&format!(r#"{{"op":"status","id":{id}}}"#))
+            .unwrap();
+        match s.get("state").and_then(Value::as_str) {
+            Some("done") | Some("failed") => return s,
+            _ => std::thread::sleep(std::time::Duration::from_millis(10)),
+        }
+    }
+    panic!("job {id} never reached a terminal state");
+}
+
+fn poll_done(c: &mut Client, id: u64) -> Value {
+    let s = poll_terminal(c, id);
+    assert_eq!(
+        s.get("state").and_then(Value::as_str),
+        Some("done"),
+        "{}",
+        s.dump()
+    );
+    s
+}

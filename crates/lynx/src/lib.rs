@@ -165,7 +165,9 @@ impl LinkEnd {
         // Reply payload travels back (charged to the *caller's* CPU as it
         // blocks on reception; the server charged its own reply path).
         if let Ok(data) = &out {
-            self.rt.transfer(caller, server.node, data.len().max(16)).await;
+            self.rt
+                .transfer(caller, server.node, data.len().max(16))
+                .await;
         }
         out
     }
@@ -440,7 +442,11 @@ mod tests {
         });
         assert_eq!(sim.run().outcome, RunOutcome::Completed);
         assert!(h.try_take().unwrap());
-        assert_eq!(*nodes_seen.borrow(), vec![1, 4], "second call served on node 4");
+        assert_eq!(
+            *nodes_seen.borrow(),
+            vec![1, 4],
+            "second call served on node 4"
+        );
     }
 
     #[test]

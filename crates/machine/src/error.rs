@@ -43,7 +43,10 @@ mod tests {
 
     #[test]
     fn errors_render_usefully() {
-        assert_eq!(MachineError::NodeDown { node: 7 }.to_string(), "node 7 is down");
+        assert_eq!(
+            MachineError::NodeDown { node: 7 }.to_string(),
+            "node 7 is down"
+        );
         assert_eq!(
             MachineError::LinkDown { stage: 1, port: 9 }.to_string(),
             "switch link (stage 1, port 9) is down"

@@ -333,7 +333,9 @@ impl Machine {
             }
             self.sim.sleep(self.jittered(c.remote_issue)).await;
             if !target.is_up() {
-                return Err(self.detected(MachineError::NodeDown { node: addr.node }).await);
+                return Err(self
+                    .detected(MachineError::NodeDown { node: addr.node })
+                    .await);
             }
             if let Err(e) = self.switch.try_traverse(&self.sim, from, addr.node).await {
                 return Err(self.detected(e).await);
@@ -424,7 +426,9 @@ impl Machine {
         self.stats.atomics.set(self.stats.atomics.get() + 1);
         let _cpu = self.nodes[from as usize].cpu.acquire().await;
         if from == addr.node {
-            self.sim.sleep(self.jittered(c.local_issue + c.atomic_extra)).await;
+            self.sim
+                .sleep(self.jittered(c.local_issue + c.atomic_extra))
+                .await;
             let svc = self.jittered(c.atomic_mem_service);
             target.mem.access(svc).await;
             if self.probe_on.get() {
@@ -447,9 +451,13 @@ impl Machine {
                 self.sim.sleep(self.switch.latency()).await;
                 return Ok(());
             }
-            self.sim.sleep(self.jittered(c.remote_issue + c.atomic_extra)).await;
+            self.sim
+                .sleep(self.jittered(c.remote_issue + c.atomic_extra))
+                .await;
             if !target.is_up() {
-                return Err(self.detected(MachineError::NodeDown { node: addr.node }).await);
+                return Err(self
+                    .detected(MachineError::NodeDown { node: addr.node })
+                    .await);
             }
             if let Err(e) = self.switch.try_traverse(&self.sim, from, addr.node).await {
                 return Err(self.detected(e).await);
@@ -498,11 +506,7 @@ impl Machine {
     }
 
     /// Fallible test-and-set.
-    pub async fn try_test_and_set(
-        &self,
-        from: NodeId,
-        addr: GAddr,
-    ) -> Result<u32, MachineError> {
+    pub async fn try_test_and_set(&self, from: NodeId, addr: GAddr) -> Result<u32, MachineError> {
         self.try_atomic_ref(from, addr).await?;
         let node = &self.nodes[addr.node as usize];
         let mut b = [0u8; 4];
@@ -537,21 +541,38 @@ impl Machine {
         let c = &self.cfg.costs;
         let target = &self.nodes[addr.node as usize];
         self.check_issuer(from)?;
-        self.stats.block_transfers.set(self.stats.block_transfers.get() + 1);
-        self.stats.block_bytes.set(self.stats.block_bytes.get() + len as u64);
+        self.stats
+            .block_transfers
+            .set(self.stats.block_transfers.get() + 1);
+        self.stats
+            .block_bytes
+            .set(self.stats.block_bytes.get() + len as u64);
         let bytes = len as SimTime;
         // Block transfers are rare enough (thousands per run, not millions)
         // to trace individually; `t0` is read only with a probe attached.
-        let t0 = if self.probe_on.get() { self.sim.now() } else { 0 };
+        let t0 = if self.probe_on.get() {
+            self.sim.now()
+        } else {
+            0
+        };
         let _cpu = self.nodes[from as usize].cpu.acquire().await;
         if from == addr.node {
-            self.sim.sleep(self.jittered(c.local_issue + c.block_setup)).await;
+            self.sim
+                .sleep(self.jittered(c.local_issue + c.block_setup))
+                .await;
             let svc = self.jittered(bytes * c.block_per_byte_mem);
             target.mem.access(svc).await;
             if self.probe_on.get() {
                 if let Some(p) = &*self.probe.borrow() {
                     p.local_ref(from, svc);
-                    p.span(addr.node as u32, from as u32, "block_ref", "mem", t0, self.sim.now() - t0);
+                    p.span(
+                        addr.node as u32,
+                        from as u32,
+                        "block_ref",
+                        "mem",
+                        t0,
+                        self.sim.now() - t0,
+                    );
                 }
             }
         } else {
@@ -572,14 +593,25 @@ impl Machine {
                     .await;
                 if self.probe_on.get() {
                     if let Some(p) = &*self.probe.borrow() {
-                        p.span(addr.node as u32, from as u32, "block_ref", "mem", t0, self.sim.now() - t0);
+                        p.span(
+                            addr.node as u32,
+                            from as u32,
+                            "block_ref",
+                            "mem",
+                            t0,
+                            self.sim.now() - t0,
+                        );
                     }
                 }
                 return Ok(());
             }
-            self.sim.sleep(self.jittered(c.remote_issue + c.block_setup)).await;
+            self.sim
+                .sleep(self.jittered(c.remote_issue + c.block_setup))
+                .await;
             if !target.is_up() {
-                return Err(self.detected(MachineError::NodeDown { node: addr.node }).await);
+                return Err(self
+                    .detected(MachineError::NodeDown { node: addr.node })
+                    .await);
             }
             if let Err(e) = self.switch.try_traverse(&self.sim, from, addr.node).await {
                 return Err(self.detected(e).await);
@@ -602,7 +634,14 @@ impl Machine {
             }
             if self.probe_on.get() {
                 if let Some(p) = &*self.probe.borrow() {
-                    p.span(addr.node as u32, from as u32, "block_ref", "mem", t0, self.sim.now() - t0);
+                    p.span(
+                        addr.node as u32,
+                        from as u32,
+                        "block_ref",
+                        "mem",
+                        t0,
+                        self.sim.now() - t0,
+                    );
                 }
             }
         }
@@ -710,9 +749,11 @@ impl Machine {
             FaultKind::NodeRecover { node } => m.nodes[node as usize].set_up(true),
             FaultKind::LinkDown { stage, port } => m.switch.set_link_up(stage, port, false),
             FaultKind::LinkUp { stage, port } => m.switch.set_link_up(stage, port, true),
-            FaultKind::LinkDegrade { stage, port, factor } => {
-                m.switch.set_link_degrade(stage, port, factor)
-            }
+            FaultKind::LinkDegrade {
+                stage,
+                port,
+                factor,
+            } => m.switch.set_link_degrade(stage, port, factor),
             FaultKind::DiskFail { .. }
             | FaultKind::DiskRecover { .. }
             | FaultKind::MessageLoss { .. }

@@ -166,7 +166,10 @@ impl FirstFit {
         if idx + 1 < self.free.len() {
             let (o, s) = self.free[idx];
             let (no, ns) = self.free[idx + 1];
-            assert!(o + s <= no, "double free or overlapping free at {offset:#x}");
+            assert!(
+                o + s <= no,
+                "double free or overlapping free at {offset:#x}"
+            );
             if o + s == no {
                 self.free[idx] = (o, s + ns);
                 self.free.remove(idx + 1);
@@ -175,7 +178,10 @@ impl FirstFit {
         if idx > 0 {
             let (po, ps) = self.free[idx - 1];
             let (o, s) = self.free[idx];
-            assert!(po + ps <= o, "double free or overlapping free at {offset:#x}");
+            assert!(
+                po + ps <= o,
+                "double free or overlapping free at {offset:#x}"
+            );
             if po + ps == o {
                 self.free[idx - 1] = (po, ps + s);
                 self.free.remove(idx);

@@ -118,7 +118,10 @@ mod tests {
         let mut f = SarFile::new();
         assert!(f.alloc_block(256).is_some());
         assert!(f.alloc_block(256).is_some());
-        assert!(f.alloc_block(8).is_none(), "no SARs left for a third process");
+        assert!(
+            f.alloc_block(8).is_none(),
+            "no SARs left for a third process"
+        );
     }
 
     #[test]

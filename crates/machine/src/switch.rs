@@ -24,7 +24,10 @@ struct LinkState {
 }
 
 impl LinkState {
-    const HEALTHY: LinkState = LinkState { up: true, degrade: 1 };
+    const HEALTHY: LinkState = LinkState {
+        up: true,
+        degrade: 1,
+    };
 }
 
 /// The switching network of one machine.

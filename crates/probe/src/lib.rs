@@ -212,7 +212,9 @@ impl Probe {
             inner: Rc::new(Inner {
                 nodes: (0..MAX_NODES).map(|_| NodeCounters::default()).collect(),
                 steal: (0..MAX_NODES * MAX_NODES).map(|_| Cell::new(0)).collect(),
-                mem_queues: (0..MAX_NODES).map(|_| Rc::new(QueueStats::default())).collect(),
+                mem_queues: (0..MAX_NODES)
+                    .map(|_| Rc::new(QueueStats::default()))
+                    .collect(),
                 switch_ports: RefCell::new(BTreeMap::new()),
                 timeline: Timeline::default(),
             }),
@@ -260,7 +262,14 @@ impl Probe {
     /// One hop through switch port `(stage, port)`: queued `wait_ns`,
     /// occupied the port for `service_ns`, observed `depth` requests ahead
     /// on arrival.
-    pub fn switch_hop(&self, stage: u32, port: u32, wait_ns: SimTime, service_ns: SimTime, depth: usize) {
+    pub fn switch_hop(
+        &self,
+        stage: u32,
+        port: u32,
+        wait_ns: SimTime,
+        service_ns: SimTime,
+        depth: usize,
+    ) {
         let mut ports = self.inner.switch_ports.borrow_mut();
         let p = ports.entry((stage, port)).or_default();
         p.hops += 1;
@@ -311,7 +320,15 @@ impl Probe {
 
     /// Record a completed span. `pid` is the home node of the activity,
     /// `tid` the acting node/rank.
-    pub fn span(&self, pid: u32, tid: u32, name: &'static str, cat: &'static str, ts: SimTime, dur: SimTime) {
+    pub fn span(
+        &self,
+        pid: u32,
+        tid: u32,
+        name: &'static str,
+        cat: &'static str,
+        ts: SimTime,
+        dur: SimTime,
+    ) {
         self.inner.timeline.span(Span {
             pid,
             tid,
@@ -347,11 +364,7 @@ impl Probe {
 
     /// Total stolen ns across all victims.
     pub fn total_stolen_ns(&self) -> u64 {
-        self.inner
-            .nodes
-            .iter()
-            .map(|n| n.mem_stolen_ns.get())
-            .sum()
+        self.inner.nodes.iter().map(|n| n.mem_stolen_ns.get()).sum()
     }
 
     /// Contention-attribution table: per-victim stolen cycles with shares
@@ -362,12 +375,22 @@ impl Probe {
 
     /// Total switch-port queueing delay, ns, across all ports.
     pub fn switch_wait_ns(&self) -> u64 {
-        self.inner.switch_ports.borrow().values().map(|p| p.wait_ns).sum()
+        self.inner
+            .switch_ports
+            .borrow()
+            .values()
+            .map(|p| p.wait_ns)
+            .sum()
     }
 
     /// Total hops recorded through detailed switch ports.
     pub fn switch_hops(&self) -> u64 {
-        self.inner.switch_ports.borrow().values().map(|p| p.hops).sum()
+        self.inner
+            .switch_ports
+            .borrow()
+            .values()
+            .map(|p| p.hops)
+            .sum()
     }
 
     /// Snapshot of per-port switch statistics, in `(stage, port)` order.

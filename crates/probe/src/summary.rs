@@ -63,7 +63,11 @@ pub(crate) fn build_attribution(probe: &Probe) -> Attribution {
         victims.push(VictimRow {
             victim,
             stolen_ns: stolen,
-            share: if total == 0 { 0.0 } else { stolen as f64 / total as f64 },
+            share: if total == 0 {
+                0.0
+            } else {
+                stolen as f64 / total as f64
+            },
             top_thief,
         });
     }

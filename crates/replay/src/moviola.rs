@@ -182,8 +182,7 @@ impl Moviola {
         let mut actors: Vec<u32> = self.records.iter().map(|r| r.actor).collect();
         actors.sort_unstable();
         actors.dedup();
-        let col: HashMap<u32, usize> =
-            actors.iter().enumerate().map(|(i, &a)| (a, i)).collect();
+        let col: HashMap<u32, usize> = actors.iter().enumerate().map(|(i, &a)| (a, i)).collect();
         let mut out = String::new();
         out.push_str("      time ");
         for a in &actors {

@@ -70,9 +70,7 @@ impl<T> SharedObject<T> {
         );
         match (want_write, expect.kind) {
             (false, AccessKind::Read) | (true, AccessKind::Write { .. }) => {}
-            _ => panic!(
-                "replay divergence: actor {actor} access kind differs from script"
-            ),
+            _ => panic!("replay divergence: actor {actor} access kind differs from script"),
         }
         loop {
             let v = self.version.get();
@@ -152,7 +150,7 @@ impl<T> SharedObject<T> {
 mod tests {
     use super::*;
     use bfly_chrysalis::Os;
-    use bfly_machine::{Machine, MachineConfig, Costs};
+    use bfly_machine::{Costs, Machine, MachineConfig};
     use bfly_sim::exec::RunOutcome;
     use bfly_sim::Sim;
 
@@ -160,10 +158,7 @@ mod tests {
         let sim = Sim::with_seed(seed);
         let mut costs = Costs::butterfly_one();
         costs.jitter_pct = 30; // real nondeterminism across seeds
-        let m = Machine::new(
-            &sim,
-            MachineConfig::small(8).with_costs(costs),
-        );
+        let m = Machine::new(&sim, MachineConfig::small(8).with_costs(costs));
         (sim.clone(), Os::boot(&m))
     }
 

@@ -89,7 +89,11 @@ impl ReplaySystem {
     pub(crate) fn log(&self, rec: AccessRecord) {
         self.accesses.set(self.accesses.get() + 1);
         if self.mode.get() == Mode::Record {
-            self.logs.borrow_mut().entry(rec.actor).or_default().push(rec);
+            self.logs
+                .borrow_mut()
+                .entry(rec.actor)
+                .or_default()
+                .push(rec);
         }
     }
 

@@ -927,11 +927,7 @@ impl Drop for Delay {
         // a later pop — see [`Timers::take_cancelled`].
         if !self.fired {
             if let Some(seq) = self.registered {
-                self.sim
-                    .timers
-                    .borrow_mut()
-                    .cancelled
-                    .push((self.at, seq));
+                self.sim.timers.borrow_mut().cancelled.push((self.at, seq));
             }
         }
     }
@@ -1147,10 +1143,7 @@ mod tests {
         }
         let stats = sim.run();
         assert_eq!(stats.outcome, RunOutcome::Completed);
-        assert_eq!(
-            *log.borrow(),
-            vec![(100, "a"), (200, "b"), (300, "c")]
-        );
+        assert_eq!(*log.borrow(), vec![(100, "a"), (200, "b"), (300, "c")]);
     }
 
     #[test]
@@ -1423,11 +1416,11 @@ mod tests {
         let sim = Sim::new();
         let log: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
         for at in [
-            5_000u64,             // wheel
-            2_000_000,            // past the ~1ms horizon: overflow
-            900_000,              // wheel
-            1_500_000,            // overflow at t=0, near once now>0.5ms
-            2_000_000 + 1,        // overflow, adjacent instant
+            5_000u64,      // wheel
+            2_000_000,     // past the ~1ms horizon: overflow
+            900_000,       // wheel
+            1_500_000,     // overflow at t=0, near once now>0.5ms
+            2_000_000 + 1, // overflow, adjacent instant
         ] {
             let s = sim.clone();
             let l = log.clone();

@@ -135,12 +135,22 @@ impl FaultPlan {
                 }
                 1 => {
                     let factor = 2 + rng.next_below(7) as u32;
-                    plan.push(t, FaultKind::LinkDegrade { stage, port, factor });
+                    plan.push(
+                        t,
+                        FaultKind::LinkDegrade {
+                            stage,
+                            port,
+                            factor,
+                        },
+                    );
                 }
                 _ => {
-                    plan.push(t, FaultKind::MessageLoss {
-                        pct: rng.next_below(30) as u8,
-                    });
+                    plan.push(
+                        t,
+                        FaultKind::MessageLoss {
+                            pct: rng.next_below(30) as u8,
+                        },
+                    );
                 }
             }
         }
@@ -197,7 +207,11 @@ impl FaultPlan {
                 FaultKind::LinkUp { stage, port } => {
                     writeln!(out, "{} link-up {} {}", ev.at, stage, port)
                 }
-                FaultKind::LinkDegrade { stage, port, factor } => {
+                FaultKind::LinkDegrade {
+                    stage,
+                    port,
+                    factor,
+                } => {
                     writeln!(out, "{} link-degrade {} {} {}", ev.at, stage, port, factor)
                 }
                 FaultKind::DiskFail { disk } => writeln!(out, "{} disk-fail {}", ev.at, disk),
@@ -220,9 +234,7 @@ impl FaultPlan {
             message: msg.to_string(),
         };
         let mut lines = text.lines().enumerate();
-        let (_, header) = lines
-            .next()
-            .ok_or_else(|| err(1, "empty fault plan"))?;
+        let (_, header) = lines.next().ok_or_else(|| err(1, "empty fault plan"))?;
         let seed = header
             .strip_prefix("faultplan v1 seed=")
             .and_then(|s| s.trim().parse::<u64>().ok())
@@ -245,7 +257,9 @@ impl FaultPlan {
                 .first()
                 .and_then(|s| s.parse::<u64>().ok())
                 .ok_or_else(|| err(lineno, "missing event time"))?;
-            let verb = *fields.get(1).ok_or_else(|| err(lineno, "missing event kind"))?;
+            let verb = *fields
+                .get(1)
+                .ok_or_else(|| err(lineno, "missing event kind"))?;
             let kind = match verb {
                 "node-crash" => FaultKind::NodeCrash {
                     node: num("missing node id")? as u32,

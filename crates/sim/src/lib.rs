@@ -30,9 +30,17 @@ pub mod sync;
 pub mod time;
 pub mod trace;
 
-pub use exec::{
-    Deadline, Elapsed, JoinHandle, RunOutcome, RunStats, Sim, SimError, Watchdog,
-};
+pub use exec::{Deadline, Elapsed, JoinHandle, RunOutcome, RunStats, Sim, SimError, Watchdog};
+
+/// Version of the simulation engine's *observable behavior*: bump this
+/// whenever a change can alter simulated results (event ordering, cost
+/// model, RNG). Consumers that memoize simulation output — the farm
+/// daemon's content-addressed result cache — fold this into their cache
+/// keys, so an engine change silently invalidates every stale entry
+/// instead of serving bytes the current engine would not reproduce.
+/// (2 = the PR 2 fast-path executor; the PR 3 probes and the serving
+/// layer are observational and did not bump it.)
+pub const ENGINE_VERSION: u32 = 2;
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultSpec};
 pub use resource::{Resource, ResourceGuard, ResourceStats};
 pub use rng::SplitMix64;

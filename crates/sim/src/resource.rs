@@ -213,9 +213,7 @@ impl Resource {
                 WaitState::Cancelled => continue,
                 WaitState::Queued => {
                     w.slot.state.set(WaitState::Granted);
-                    self.inner
-                        .in_service
-                        .set(self.inner.in_service.get() + 1);
+                    self.inner.in_service.set(self.inner.in_service.get() + 1);
                     let wait = self.inner.sim.now() - w.slot.enqueued_at;
                     self.inner
                         .total_wait_ns
@@ -266,7 +264,10 @@ impl Future for Acquire {
                     waker: RefCell::new(Some(cx.waker().clone())),
                     enqueued_at: inner.sim.now(),
                 });
-                inner.queue.borrow_mut().push_back(Waiter { slot: slot.clone() });
+                inner
+                    .queue
+                    .borrow_mut()
+                    .push_back(Waiter { slot: slot.clone() });
                 let qlen = inner.queue.borrow().len();
                 if qlen > inner.max_queue.get() {
                     inner.max_queue.set(qlen);
@@ -349,11 +350,7 @@ impl Access {
     /// Transition into the service sleep (server just acquired), polling
     /// the delay once so a zero-length service resolves immediately, just
     /// as `sleep(0).await` would.
-    fn start_service(
-        &mut self,
-        waited: SimTime,
-        cx: &mut Context<'_>,
-    ) -> Poll<SimTime> {
+    fn start_service(&mut self, waited: SimTime, cx: &mut Context<'_>) -> Poll<SimTime> {
         if self.res.inner.probe_on.get() {
             if let Some(p) = &*self.res.inner.probe.borrow() {
                 p.served(waited, self.service);
@@ -402,7 +399,10 @@ impl Future for Access {
                     waker: RefCell::new(Some(cx.waker().clone())),
                     enqueued_at: t0,
                 });
-                inner.queue.borrow_mut().push_back(Waiter { slot: slot.clone() });
+                inner
+                    .queue
+                    .borrow_mut()
+                    .push_back(Waiter { slot: slot.clone() });
                 let qlen = inner.queue.borrow().len();
                 if qlen > inner.max_queue.get() {
                     inner.max_queue.set(qlen);
@@ -412,9 +412,10 @@ impl Future for Access {
                 if inner.in_service.get() < inner.capacity {
                     this.res.grant_next();
                     if slot.state.get() == WaitState::Granted {
-                        this.res.inner.acquisitions.set(
-                            this.res.inner.acquisitions.get() + 1,
-                        );
+                        this.res
+                            .inner
+                            .acquisitions
+                            .set(this.res.inner.acquisitions.get() + 1);
                         return this.start_service(0, cx);
                     }
                 }

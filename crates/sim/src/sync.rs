@@ -278,10 +278,7 @@ impl Drop for Park {
         if let Some(slot) = &self.slot {
             if !slot.woken.get() {
                 // Remove ourselves so a future wake_one isn't wasted.
-                self.q
-                    .waiters
-                    .borrow_mut()
-                    .retain(|s| !Rc::ptr_eq(s, slot));
+                self.q.waiters.borrow_mut().retain(|s| !Rc::ptr_eq(s, slot));
             }
         }
     }

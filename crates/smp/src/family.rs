@@ -194,7 +194,9 @@ impl Family {
         F: Fn(Member) -> Fut + 'static,
         Fut: Future<Output = ()> + 'static,
     {
-        let placement = (0..n).map(|r| (r % os.machine.nodes() as u32) as NodeId).collect();
+        let placement = (0..n)
+            .map(|r| (r % os.machine.nodes() as u32) as NodeId)
+            .collect();
         Self::spawn_placed(os, n, topology, placement, SmpCosts::default(), body)
     }
 
@@ -222,7 +224,9 @@ impl Family {
             inboxes: (0..n).map(|_| Channel::new()).collect(),
             buffers: RefCell::new(HashMap::new()),
             bcast_buffers: RefCell::new(HashMap::new()),
-            caches: (0..n).map(|_| RefCell::new(SarCache::new(cache_cap))).collect(),
+            caches: (0..n)
+                .map(|_| RefCell::new(SarCache::new(cache_cap)))
+                .collect(),
             messages_sent: Cell::new(0),
             bytes_sent: Cell::new(0),
             maps_paid: Cell::new(0),
@@ -371,7 +375,11 @@ impl Member {
         let st = &self.state;
         let p = &self.proc;
         let probe = st.os.machine.probe_if_on();
-        let t_send = if probe.is_some() { st.os.sim().now() } else { 0 };
+        let t_send = if probe.is_some() {
+            st.os.sim().now()
+        } else {
+            0
+        };
         p.compute(st.costs.send_sw).await;
 
         let t0 = st.os.sim().now();
@@ -389,7 +397,14 @@ impl Member {
                         let to_node = st.placement[to as usize];
                         pr.msg_send(from_node, to_node, data.len());
                         let now = st.os.sim().now();
-                        pr.span(to_node as u32, self.rank, "smp_send", "send", t_send, now - t_send);
+                        pr.span(
+                            to_node as u32,
+                            self.rank,
+                            "smp_send",
+                            "send",
+                            t_send,
+                            now - t_send,
+                        );
                     }
                     return Ok(());
                 }
@@ -723,7 +738,8 @@ mod tests {
                 } else {
                     for _ in 0..5 {
                         let d = m.recv_from(0).await;
-                        g.borrow_mut().push(u32::from_le_bytes(d.try_into().unwrap()));
+                        g.borrow_mut()
+                            .push(u32::from_le_bytes(d.try_into().unwrap()));
                     }
                 }
             }
@@ -958,7 +974,9 @@ mod tests {
         assert_eq!(stats.outcome, RunOutcome::Completed);
         assert_eq!(
             out.borrow().clone().unwrap(),
-            Err(SmpError::Timeout { after: 5 * bfly_sim::MS })
+            Err(SmpError::Timeout {
+                after: 5 * bfly_sim::MS
+            })
         );
     }
 

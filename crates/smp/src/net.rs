@@ -185,6 +185,9 @@ mod tests {
         let total: f64 = values.borrow().iter().sum();
         // Sum of (self + 4 neighbors)/5 over a regular graph preserves mass.
         let expect: f64 = (0..16).map(|r| r as f64).sum();
-        assert!((total - expect).abs() < 1e-9, "mass conserved: {total} vs {expect}");
+        assert!(
+            (total - expect).abs() < 1e-9,
+            "mass conserved: {total} vs {expect}"
+        );
     }
 }

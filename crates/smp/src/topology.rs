@@ -63,7 +63,10 @@ impl Topology {
                 let (x, y) = (rank % w, rank / w);
                 let mut push = |nx: i64, ny: i64| {
                     let (nx, ny) = if wrap {
-                        ((nx.rem_euclid(w as i64)) as u32, (ny.rem_euclid(h as i64)) as u32)
+                        (
+                            (nx.rem_euclid(w as i64)) as u32,
+                            (ny.rem_euclid(h as i64)) as u32,
+                        )
                     } else {
                         if nx < 0 || ny < 0 || nx >= w as i64 || ny >= h as i64 {
                             return;
@@ -153,7 +156,11 @@ mod tests {
     fn torus_is_regular() {
         let t = Topology::Torus { w: 4, h: 4 };
         for r in 0..16 {
-            assert_eq!(t.neighbors(r, 16).len(), 4, "every torus node has 4 neighbors");
+            assert_eq!(
+                t.neighbors(r, 16).len(),
+                4,
+                "every torus node has 4 neighbors"
+            );
         }
         assert!(t.connected(0, 3, 16), "row wraparound");
         assert!(t.connected(0, 12, 16), "column wraparound");

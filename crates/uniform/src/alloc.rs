@@ -85,9 +85,17 @@ impl UsAllocator {
             AllocMode::Parallel => (self.locks[idx], self.nodes[idx]),
         };
         let probe = self.os.machine.probe_if_on();
-        let t0 = if probe.is_some() { self.os.sim().now() } else { 0 };
+        let t0 = if probe.is_some() {
+            self.os.sim().now()
+        } else {
+            0
+        };
         lock.acquire(p).await;
-        let t_locked = if probe.is_some() { self.os.sim().now() } else { 0 };
+        let t_locked = if probe.is_some() {
+            self.os.sim().now()
+        } else {
+            0
+        };
         p.compute(compute).await;
         // Under Serial the single allocator still *places* round-robin
         // (placement was never the bottleneck; the lock was).
@@ -105,8 +113,20 @@ impl UsAllocator {
         if let Some(pr) = probe {
             let now = self.os.sim().now();
             let home = lock.addr.node;
-            pr.alloc_op(home, t_locked - t0, now - t_locked, self.mode == AllocMode::Serial);
-            pr.span(home as u32, p.node as u32, "us_alloc", "alloc", t0, now - t0);
+            pr.alloc_op(
+                home,
+                t_locked - t0,
+                now - t_locked,
+                self.mode == AllocMode::Serial,
+            );
+            pr.span(
+                home as u32,
+                p.node as u32,
+                "us_alloc",
+                "alloc",
+                t0,
+                now - t0,
+            );
         }
         self.sizes
             .borrow_mut()
@@ -198,8 +218,7 @@ mod tests {
         let m = Machine::new(&sim, MachineConfig::small(8));
         let os = Os::boot(&m);
         let us = Us::init(&os, 4);
-        let nodes: std::collections::HashSet<u16> =
-            (0..16).map(|_| us.share(128).node).collect();
+        let nodes: std::collections::HashSet<u16> = (0..16).map(|_| us.share(128).node).collect();
         assert!(
             nodes.len() >= 7,
             "scatter must hit (nearly) all nodes, got {nodes:?}"

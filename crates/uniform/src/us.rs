@@ -150,13 +150,24 @@ impl Us {
                     gate,
                 } => {
                     let probe = self.os.machine.probe_if_on();
-                    let t0 = if probe.is_some() { self.os.sim().now() } else { 0 };
+                    let t0 = if probe.is_some() {
+                        self.os.sim().now()
+                    } else {
+                        0
+                    };
                     p.compute(self.costs.dispatch).await;
                     f(p.clone(), idx).await;
                     if let Some(pr) = &probe {
                         pr.task_claimed(p.node);
                         let now = self.os.sim().now();
-                        pr.span(p.node as u32, p.node as u32, "us_task", "task", t0, now - t0);
+                        pr.span(
+                            p.node as u32,
+                            p.node as u32,
+                            "us_task",
+                            "task",
+                            t0,
+                            now - t0,
+                        );
                     }
                     self.tasks_run.set(self.tasks_run.get() + 1);
                     remaining.set(remaining.get() - 1);
@@ -173,13 +184,24 @@ impl Us {
                             break;
                         }
                         let probe = self.os.machine.probe_if_on();
-                        let t0 = if probe.is_some() { self.os.sim().now() } else { 0 };
+                        let t0 = if probe.is_some() {
+                            self.os.sim().now()
+                        } else {
+                            0
+                        };
                         p.compute(self.costs.dispatch).await;
                         (g.f)(p.clone(), g.base + idx).await;
                         if let Some(pr) = &probe {
                             pr.task_claimed(p.node);
                             let now = self.os.sim().now();
-                            pr.span(p.node as u32, p.node as u32, "us_task", "task", t0, now - t0);
+                            pr.span(
+                                p.node as u32,
+                                p.node as u32,
+                                "us_task",
+                                "task",
+                                t0,
+                                now - t0,
+                            );
                         }
                         self.tasks_run.set(self.tasks_run.get() + 1);
                         let done = p.fetch_add(g.done, 1).await as u64 + 1;
@@ -199,11 +221,7 @@ impl Us {
 
     /// Apply `f` to every index in `range`, in parallel across all managers.
     /// Resolves when every task has completed. (BBN's `GenTaskForEachIndex`.)
-    pub async fn gen_on_index(
-        self: &Rc<Self>,
-        range: std::ops::Range<u64>,
-        f: TaskFn,
-    ) {
+    pub async fn gen_on_index(self: &Rc<Self>, range: std::ops::Range<u64>, f: TaskFn) {
         let total = range.end.saturating_sub(range.start);
         if total == 0 {
             return;
@@ -300,7 +318,9 @@ impl Us {
     /// Allocate shared memory *from inside the computation*, paying the
     /// allocator's (serial or parallel) cost. This is the §4.1 Amdahl knob.
     pub async fn alloc(&self, p: &Proc, bytes: u32) -> GAddr {
-        self.allocator.alloc(p, bytes, self.costs.alloc_compute).await
+        self.allocator
+            .alloc(p, bytes, self.costs.alloc_compute)
+            .await
     }
 
     /// Free memory obtained from [`Us::alloc`].
@@ -495,7 +515,10 @@ mod tests {
         }
         let (t_enum, ok_enum) = run(true);
         let (t_gen, ok_gen) = run(false);
-        assert!(ok_enum && ok_gen, "both dispatch styles run every task once");
+        assert!(
+            ok_enum && ok_gen,
+            "both dispatch styles run every task once"
+        );
         assert!(
             t_gen < t_enum,
             "generator dispatch must initialize faster ({t_gen} vs {t_enum})"

@@ -12,8 +12,8 @@
 use std::cell::Cell;
 use std::rc::Rc;
 
-use butterfly::prelude::*;
 use bfly_lynx::entry;
+use butterfly::prelude::*;
 
 const N: u32 = 64;
 
@@ -192,14 +192,15 @@ fn main() {
         for w in 0..4u16 {
             let ts = ts.clone();
             let words = words.clone();
-            bf.os.boot_process(w, &format!("w{w}"), move |p| async move {
-                let mut acc = 0u32;
-                let per = N / 4;
-                for i in (w as u32 * per)..((w as u32 + 1) * per) {
-                    acc += p.read_u32(words[i as usize]).await;
-                }
-                ts.out(&p, w as u32, &acc.to_le_bytes()).await;
-            });
+            bf.os
+                .boot_process(w, &format!("w{w}"), move |p| async move {
+                    let mut acc = 0u32;
+                    let per = N / 4;
+                    for i in (w as u32 * per)..((w as u32 + 1) * per) {
+                        acc += p.read_u32(words[i as usize]).await;
+                    }
+                    ts.out(&p, w as u32, &acc.to_le_bytes()).await;
+                });
         }
         let t2 = ts.clone();
         let mut h = bf.os.boot_process(9, "gather", move |p| async move {

@@ -8,8 +8,7 @@
 use std::rc::Rc;
 
 use bfly_bridge::util::{
-    copy_naive, copy_parallel, fill_random, grep_naive, grep_parallel, peek_records,
-    sort_parallel,
+    copy_naive, copy_parallel, fill_random, grep_naive, grep_parallel, peek_records, sort_parallel,
 };
 use bfly_bridge::{BridgeFs, DiskParams};
 use bfly_chrysalis::Os;

@@ -68,9 +68,9 @@ fn main() {
     let bf = Butterfly::boot(16);
     let ts = TupleSpace::new(&bf.os, 256);
     let t2 = ts.clone();
-    let mut got = bf.os.boot_process(3, "consumer", move |p| async move {
-        t2.in_(&p, 7).await
-    });
+    let mut got = bf
+        .os
+        .boot_process(3, "consumer", move |p| async move { t2.in_(&p, 7).await });
     let t3 = ts.clone();
     bf.os.boot_process(11, "producer", move |p| async move {
         t3.out(&p, 7, b"tuples travel through shared memory").await;

@@ -40,7 +40,10 @@ fn main() {
     let (t64, e64) = run_pipeline(64);
     assert_eq!(e8, e64, "answers must not depend on processor count");
     println!(" 8 processors: {}   ({e8} edge pixels found)", fmt_time(t8));
-    println!("64 processors: {}   ({e64} edge pixels found)", fmt_time(t64));
+    println!(
+        "64 processors: {}   ({e64} edge pixels found)",
+        fmt_time(t64)
+    );
     println!(
         "\nspeedup 8->64: {:.1}x  (the paper's \"tiny fraction of the time\n\
          required to perform the same operations locally\")",

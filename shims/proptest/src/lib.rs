@@ -124,7 +124,10 @@ pub mod strategy {
             Self: Sized,
             F: Fn(Self::Value) -> O,
         {
-            Map { source: self, map: f }
+            Map {
+                source: self,
+                map: f,
+            }
         }
     }
 
@@ -524,10 +527,7 @@ mod tests {
     #[test]
     fn vec_and_option_and_map_compose() {
         let mut rng = TestRng::from_seed(23);
-        let strat = crate::collection::vec(
-            crate::option::of((0u64..10).prop_map(|x| x * 2)),
-            3..7,
-        );
+        let strat = crate::collection::vec(crate::option::of((0u64..10).prop_map(|x| x * 2)), 3..7);
         for _ in 0..200 {
             let v = strat.generate(&mut rng);
             assert!((3..7).contains(&v.len()));

@@ -92,8 +92,14 @@ fn claim_hough_locality_ordering() {
     let c = hough(16, 64, 12, Discipline::BlockCopyTables, 3);
     assert_eq!(a.peak, b.peak);
     assert_eq!(b.peak, c.peak);
-    assert!(b.time_ns as f64 <= a.time_ns as f64 * 0.92, "block copy >= 8%");
-    assert!(c.time_ns as f64 <= b.time_ns as f64 * 0.92, "tables >= 8% more");
+    assert!(
+        b.time_ns as f64 <= a.time_ns as f64 * 0.92,
+        "block copy >= 8%"
+    );
+    assert!(
+        c.time_ns as f64 <= b.time_ns as f64 * 0.92,
+        "tables >= 8% more"
+    );
 }
 
 /// §4.1: spreading data over all memories beats packing it onto a few,
@@ -157,7 +163,10 @@ fn claim_replay_cheap_and_faithful() {
     let (off, _) = merge_sort_replay(4, 256, 9, ReplaySystem::new(Mode::Off));
     let (rec, sys) = merge_sort_replay(4, 256, 9, ReplaySystem::new(Mode::Record));
     let overhead = rec.time_ns as f64 / off.time_ns as f64 - 1.0;
-    assert!(overhead < 0.08, "monitoring overhead {overhead:.3} too high");
+    assert!(
+        overhead < 0.08,
+        "monitoring overhead {overhead:.3} too high"
+    );
 
     let replayed = ReplaySystem::for_replay(&sys.trace());
     let (rep, _) = merge_sort_replay(4, 256, 9, replayed);

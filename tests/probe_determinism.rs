@@ -47,7 +47,10 @@ fn probed_vs_bare(work: impl Fn() -> GaussResult) -> (Fingerprint, Fingerprint) 
         + (0..8u16)
             .map(|n| probe.node(n).local_refs.get() + probe.node(n).remote_out.get())
             .sum::<u64>();
-    assert!(seen > 0, "ambient probe recorded nothing — instrumentation lost");
+    assert!(
+        seen > 0,
+        "ambient probe recorded nothing — instrumentation lost"
+    );
     let off = Fingerprint::of(work());
     (on, off)
 }

@@ -101,7 +101,10 @@ fn object_reclamation_spans_layers() {
     });
     bf.sim.run();
     let after: u32 = (0..8).map(|n| bf.machine.node(n).allocated_bytes()).sum();
-    assert_eq!(before, after, "deleting the process must reclaim its objects");
+    assert_eq!(
+        before, after,
+        "deleting the process must reclaim its objects"
+    );
 }
 
 /// The leak hazard is real: system-owned objects survive their creator.
@@ -129,21 +132,19 @@ fn whole_stack_determinism() {
     fn run(seed: u64) -> (u64, Vec<u32>) {
         let mut costs = Costs::butterfly_one();
         costs.jitter_pct = 20;
-        let bf = Butterfly::boot_config(
-            MachineConfig::small(8).with_costs(costs),
-            seed,
-        );
+        let bf = Butterfly::boot_config(MachineConfig::small(8).with_costs(costs), seed);
         let order = Rc::new(std::cell::RefCell::new(Vec::new()));
         for i in 0..6u16 {
             let order = order.clone();
             let machine = bf.machine.clone();
-            bf.os.boot_process(i, &format!("p{i}"), move |p| async move {
-                let a = machine.node((i + 1) % 8).alloc(4).unwrap();
-                for _ in 0..4 {
-                    p.read_u32(a).await;
-                }
-                order.borrow_mut().push(i as u32);
-            });
+            bf.os
+                .boot_process(i, &format!("p{i}"), move |p| async move {
+                    let a = machine.node((i + 1) % 8).alloc(4).unwrap();
+                    for _ in 0..4 {
+                        p.read_u32(a).await;
+                    }
+                    order.borrow_mut().push(i as u32);
+                });
         }
         bf.sim.run();
         let o = order.borrow().clone();
