@@ -21,6 +21,8 @@
 //! threads anywhere, charging the microcoded dual-queue costs plus a
 //! coroutine switch.
 
+// This crate needs no unsafe; keep it that way.
+#![forbid(unsafe_code)]
 use std::cell::Cell;
 use std::future::Future;
 use std::rc::Rc;

@@ -27,6 +27,8 @@
 //! Applications compute on real data in simulated memory, so each returns
 //! a checkable answer alongside its simulated-time measurement.
 
+// This crate needs no unsafe; keep it that way.
+#![forbid(unsafe_code)]
 pub mod alphabeta;
 pub mod biff;
 pub mod components;
@@ -37,3 +39,4 @@ pub mod hough;
 pub mod knight;
 pub mod pedagogical;
 pub mod sort;
+pub mod witness;

@@ -1,0 +1,288 @@
+//! Seeded race witnesses for the sanitizer experiment (T18).
+//!
+//! Each witness is a small, *plausible* Butterfly program containing a
+//! synchronization bug of a kind the Rochester debugging studies describe
+//! (§3.2: "the most common errors were synchronization errors — forgetting
+//! to lock, or locking in inconsistent order"), paired with a corrected
+//! variant. All witnesses terminate deterministically — the buggy runs
+//! compute the *same answers* as the fixed ones under the deterministic
+//! simulator; only `bfly-san` can tell them apart. That is the point: on
+//! the real machine these latent bugs surfaced once in tens of thousands
+//! of runs, which is why the paper's groups built Instant Replay and
+//! Moviola. The sanitizer finds them in one run.
+//!
+//! * [`dualq_racey`] / [`dualq_correct`] — a producer/consumer over a
+//!   shared ring where the producer's lock discipline was dropped (the
+//!   classic "forgot the lock" port of dual-queue code). The consumer
+//!   still locks, so the sanitizer's lockset attribution shows the
+//!   asymmetry: `{}` on one side, `{L…}` on the other.
+//! * [`pivot_racey`] / [`pivot_correct`] — a Gauss step where a reducer
+//!   reads the pivot row while its owner is still writing it (missing
+//!   step barrier). Allocation-site attribution pins the racing words to
+//!   the `Us::share` that created the matrix rows.
+//! * [`lock_order_cycle`] — two processes taking two spin locks in
+//!   opposite orders, temporally separated so the run completes; the
+//!   lock-order graph still records the A→B / B→A cycle that would
+//!   deadlock under an adversarial schedule.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use bfly_chrysalis::{Os, SpinLock};
+use bfly_machine::{Machine, MachineConfig};
+use bfly_sim::sync::Gate;
+use bfly_sim::time::{SimTime, MS, US};
+use bfly_sim::Sim;
+use bfly_uniform::Us;
+
+/// Outcome of one witness run: the answer is checkable so the
+/// "sanitized and bare runs are bit-identical" contract can be asserted
+/// end to end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WitnessResult {
+    /// Simulated completion time.
+    pub time_ns: SimTime,
+    /// Deterministic checksum of the computed answer.
+    pub checksum: u64,
+}
+
+// Large enough that the witness workloads never wrap: the dropped-lock bug
+// stays *latent* (right answer, wrong synchronization) instead of manifest.
+const RING: u32 = 32;
+
+fn dualq(items: u32, producer_locks: bool) -> WitnessResult {
+    let sim = Sim::with_seed(0xD0A1);
+    let m = Machine::new(&sim, MachineConfig::small(8));
+    let os = Os::boot(&m);
+    // Ring of RING slots, then the published-count word, then the lock.
+    let ring = m.node(0).alloc(RING * 4 + 4).expect("witness ring");
+    let head = ring.add(RING * 4);
+    let lock_word = m.node(0).alloc(4).expect("witness lock");
+    m.poke_u32(lock_word, 0);
+    m.poke_u32(head, 0);
+    let lock = SpinLock::new(lock_word).with_backoff(20 * US);
+
+    // Producer: writes each item into its slot, then publishes the new
+    // count. The buggy variant does this bare — the lock acquire/release
+    // pair was dropped in the port.
+    os.boot_process(1, "dq-producer", move |p| async move {
+        for i in 0..items {
+            if producer_locks {
+                lock.acquire(&p).await;
+            }
+            p.write_u32(ring.add((i % RING) * 4), i * 7 + 1).await;
+            p.write_u32(head, i + 1).await;
+            if producer_locks {
+                lock.release(&p).await;
+            }
+            p.compute(30 * US).await; // inter-item think time
+        }
+    });
+
+    // Consumer: locks, checks for a new item, drains it.
+    let sum = Rc::new(Cell::new(0u64));
+    let sum2 = sum.clone();
+    os.boot_process(2, "dq-consumer", move |p| async move {
+        let mut consumed = 0u32;
+        while consumed < items {
+            lock.acquire(&p).await;
+            let h = p.read_u32(head).await;
+            if h > consumed {
+                let v = p.read_u32(ring.add((consumed % RING) * 4)).await;
+                sum2.set(sum2.get() + v as u64);
+                consumed += 1;
+            }
+            lock.release(&p).await;
+            p.compute(20 * US).await;
+        }
+    });
+
+    sim.run();
+    WitnessResult {
+        time_ns: sim.now(),
+        checksum: sum.get(),
+    }
+}
+
+/// Dual-queue producer/consumer where the producer's locking was dropped.
+/// Seeded HB races on the ring slots and the published-count word, with
+/// lockset attribution (`{}` vs the consumer's lock).
+pub fn dualq_racey(items: u32) -> WitnessResult {
+    dualq(items, false)
+}
+
+/// The corrected dual queue: both sides lock. Race-clean.
+pub fn dualq_correct(items: u32) -> WitnessResult {
+    dualq(items, true)
+}
+
+fn pivot(n: u32, with_barrier: bool) -> WitnessResult {
+    let sim = Sim::with_seed(0x61A5);
+    let m = Machine::new(&sim, MachineConfig::small(16));
+    let os = Os::boot(&m);
+    // The Uniform System is used only as the shared-memory allocator here
+    // (its managers are shut down immediately): `Us::share` registers the
+    // rows with the sanitizer, so findings carry allocation sites.
+    let us = Us::init(&os, 1);
+    us.shutdown();
+    let pivot_row = us.share(n * 8);
+    let work_row = us.share(n * 8);
+    for j in 0..n {
+        m.poke_f64(pivot_row.add(j * 8), 0.0);
+        m.poke_f64(work_row.add(j * 8), (j + 2) as f64);
+    }
+    let barrier = Gate::new();
+
+    // Pivot owner: fills in the pivot row.
+    let b1 = barrier.clone();
+    os.boot_process(1, "pivot-owner", move |p| async move {
+        for j in 0..n {
+            p.write_f64(pivot_row.add(j * 8), (j + 1) as f64).await;
+            p.compute(10 * US).await;
+        }
+        b1.open();
+    });
+
+    // Reducer: subtracts a multiple of the pivot row from its row. The
+    // buggy variant starts immediately — before the owner is done — so its
+    // reads race the owner's writes word by word.
+    let err = Rc::new(Cell::new(0f64));
+    let err2 = err.clone();
+    let b2 = barrier.clone();
+    os.boot_process(2, "reducer", move |p| async move {
+        if with_barrier {
+            b2.wait().await;
+        } else {
+            // A generous delay instead of a barrier — the §3.2 bug
+            // pattern: "it worked every time we tried it". The delay is
+            // long enough that the owner always finishes first, so the
+            // answer is right; but a delay is not a happens-before edge,
+            // and the sanitizer flags the race anyway.
+            p.compute(5 * MS).await;
+        }
+        for j in 0..n {
+            let pv = p.read_f64(pivot_row.add(j * 8)).await;
+            let w = p.read_f64(work_row.add(j * 8)).await;
+            p.write_f64(work_row.add(j * 8), w - 0.5 * pv).await;
+        }
+        // Deterministic residual over the reduced row.
+        let mut e = 0.0;
+        for j in 0..n {
+            e += p.read_f64(work_row.add(j * 8)).await;
+        }
+        err2.set(e);
+    });
+
+    sim.run();
+    WitnessResult {
+        time_ns: sim.now(),
+        checksum: err.get().to_bits(),
+    }
+}
+
+/// Gauss step with the inter-step barrier missing: the reducer reads the
+/// pivot row while its owner still writes it. Seeded HB race with
+/// `Us::share` allocation-site attribution.
+pub fn pivot_racey(n: u32) -> WitnessResult {
+    pivot(n, false)
+}
+
+/// The corrected step: reducer waits for the owner's barrier. Race-clean.
+pub fn pivot_correct(n: u32) -> WitnessResult {
+    pivot(n, true)
+}
+
+/// Two spin locks taken in opposite orders by two processes. The runs are
+/// temporally separated (the second process starts long after the first
+/// finished) so the program completes — but the AB→BA ordering is recorded
+/// in the lock-order graph as a cycle: a deadlock waiting for the right
+/// schedule, exactly the class of bug the knight's-tour study hit.
+pub fn lock_order_cycle() -> WitnessResult {
+    let sim = Sim::with_seed(0xABBA);
+    let m = Machine::new(&sim, MachineConfig::small(8));
+    let os = Os::boot(&m);
+    let w1 = m.node(0).alloc(4).expect("witness lock A");
+    let w2 = m.node(1).alloc(4).expect("witness lock B");
+    m.poke_u32(w1, 0);
+    m.poke_u32(w2, 0);
+    let l1 = SpinLock::new(w1);
+    let l2 = SpinLock::new(w2);
+    let count = Rc::new(Cell::new(0u64));
+
+    let c1 = count.clone();
+    os.boot_process(2, "ab-order", move |p| async move {
+        l1.acquire(&p).await;
+        l2.acquire(&p).await;
+        c1.set(c1.get() + 1);
+        p.compute(100 * US).await;
+        l2.release(&p).await;
+        l1.release(&p).await;
+    });
+    let c2 = count.clone();
+    os.boot_process(3, "ba-order", move |p| async move {
+        p.compute(10 * MS).await; // long after ab-order finished
+        l2.acquire(&p).await;
+        l1.acquire(&p).await;
+        c2.set(c2.get() + 1);
+        l1.release(&p).await;
+        l2.release(&p).await;
+    });
+
+    sim.run();
+    WitnessResult {
+        time_ns: sim.now(),
+        checksum: count.get(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn witnesses_terminate_and_agree() {
+        // Buggy and fixed variants compute the same answers under the
+        // deterministic scheduler — the bugs are latent, not manifest.
+        assert_eq!(dualq_racey(20).checksum, dualq_correct(20).checksum);
+        assert_eq!(pivot_racey(16).checksum, pivot_correct(16).checksum);
+        assert_eq!(lock_order_cycle().checksum, 2);
+    }
+
+    #[test]
+    fn witnesses_are_deterministic() {
+        assert_eq!(dualq_racey(20), dualq_racey(20));
+        assert_eq!(pivot_racey(16), pivot_racey(16));
+        assert_eq!(lock_order_cycle(), lock_order_cycle());
+    }
+
+    #[test]
+    fn sanitizer_flags_exactly_the_buggy_variants() {
+        let run = |f: &dyn Fn()| {
+            let prev = bfly_san::install_ambient(Some(bfly_san::Sanitizer::new()));
+            f();
+            bfly_san::install_ambient(prev).expect("sanitizer was installed")
+        };
+        let s = run(&|| {
+            dualq_racey(20);
+        });
+        assert!(s.race_count() > 0, "dropped-lock producer must race");
+        assert_eq!(s.cycle_count(), 0);
+        let s = run(&|| {
+            dualq_correct(20);
+        });
+        assert!(s.is_clean(), "locked dual queue must be clean");
+        let s = run(&|| {
+            pivot_racey(16);
+        });
+        assert!(s.race_count() > 0, "barrier-free pivot must race");
+        let s = run(&|| {
+            pivot_correct(16);
+        });
+        assert!(s.is_clean(), "barriered pivot must be clean");
+        let s = run(&|| {
+            lock_order_cycle();
+        });
+        assert_eq!(s.race_count(), 0, "lock-order witness has no data race");
+        assert!(s.cycle_count() > 0, "AB-BA ordering must form a cycle");
+    }
+}

@@ -1,0 +1,24 @@
+//! T18 — the race & lock-order sanitizer's acceptance run: seeded witness
+//! bugs (dropped lock, missing barrier, AB-BA lock order) must be flagged
+//! with lockset and allocation-site attribution, and the whole application
+//! suite must come back race-clean. Everything is `assert!`ed.
+//!
+//! Flags: `--quick`, `--stats`, `--probe`, `--sanitize` (see
+//! [`bfly_bench::BenchCli`]). Like `tab16_attribution`, this binary
+//! *always* writes `SAN_tab18_races.json` — the findings report is the
+//! result — from the sanitizer that analyzed the three buggy witnesses
+//! together (the experiment scopes a sanitizer per scenario, so an outer
+//! `--sanitize` ambient sees nothing; the suite report wins).
+use bfly_bench::BenchCli;
+
+fn main() {
+    let cli = BenchCli::parse("tab18_races");
+    let probe = cli.begin();
+    let (table, engine, suite) = bfly_bench::experiments::tab18_races_full(cli.scale());
+    table.print();
+    cli.finish(probe.as_ref(), Some(&engine));
+    let path = "SAN_tab18_races.json";
+    std::fs::write(path, suite.report_json("tab18_races"))
+        .unwrap_or_else(|e| panic!("write {path}: {e}"));
+    eprintln!("wrote {path} ({})", suite.verdict_line());
+}

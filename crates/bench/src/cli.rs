@@ -34,6 +34,8 @@ pub struct BenchCli {
     pub stats: bool,
     /// Attach a probe and export `PROBE_/TRACE_` files.
     pub probe: bool,
+    /// Attach the race & lock-order sanitizer and export `SAN_` files.
+    pub sanitize: bool,
     /// Optional problem-size override.
     pub n: Option<u32>,
 }
@@ -51,6 +53,7 @@ impl BenchCli {
             quick: false,
             stats: false,
             probe: false,
+            sanitize: false,
             n: None,
         };
         let mut args = args.into_iter();
@@ -59,6 +62,7 @@ impl BenchCli {
                 "--quick" => cli.quick = true,
                 "--stats" => cli.stats = true,
                 "--probe" => cli.probe = true,
+                "--sanitize" => cli.sanitize = true,
                 "--n" => {
                     let v = args
                         .next()
@@ -67,11 +71,12 @@ impl BenchCli {
                 }
                 "--help" | "-h" => {
                     eprintln!(
-                        "usage: {exp} [--quick] [--stats] [--probe] [--n <size>]\n\
-                         \x20 --quick  reduced problem sizes\n\
-                         \x20 --stats  engine-throughput summary line\n\
-                         \x20 --probe  write PROBE_{exp}.json + TRACE_{exp}.json\n\
-                         \x20 --n <N>  problem-size override (where supported)"
+                        "usage: {exp} [--quick] [--stats] [--probe] [--sanitize] [--n <size>]\n\
+                         \x20 --quick     reduced problem sizes\n\
+                         \x20 --stats     engine-throughput summary line\n\
+                         \x20 --probe     write PROBE_{exp}.json + TRACE_{exp}.json\n\
+                         \x20 --sanitize  race & lock-order checking, write SAN_{exp}.json\n\
+                         \x20 --n <N>     problem-size override (where supported)"
                     );
                     std::process::exit(0);
                 }
@@ -90,9 +95,18 @@ impl BenchCli {
         }
     }
 
-    /// Set up probing if requested: create a probe, install it ambiently,
-    /// and force sweeps serial. Call once before running the experiment.
+    /// Set up probing and/or sanitizing if requested: create the tools,
+    /// install them ambiently, and force sweeps serial. Call once before
+    /// running the experiment.
     pub fn begin(&self) -> Option<Probe> {
+        if self.sanitize {
+            // Same ambient-install playbook as the probe: every `Sim` and
+            // `Machine` constructed on this thread auto-attaches. Sweeps
+            // must run serially so worker threads don't miss the ambient.
+            bfly_san::install_ambient(Some(bfly_san::Sanitizer::new()));
+            set_thread_serial(true);
+            eprintln!("{}: sanitizer enabled (sweeps run serially)", self.exp);
+        }
         if !self.probe {
             return None;
         }
@@ -122,6 +136,15 @@ impl BenchCli {
             std::fs::write(&trace_path, p.chrome_trace())
                 .unwrap_or_else(|e| panic!("write {trace_path}: {e}"));
             eprintln!("wrote {summary_path} and {trace_path}");
+        }
+        if self.sanitize {
+            if let Some(s) = bfly_san::install_ambient(None) {
+                set_thread_serial(false);
+                let san_path = format!("SAN_{}.json", self.exp);
+                std::fs::write(&san_path, s.report_json(self.exp))
+                    .unwrap_or_else(|e| panic!("write {san_path}: {e}"));
+                eprintln!("wrote {san_path} ({})", s.verdict_line());
+            }
         }
     }
 }

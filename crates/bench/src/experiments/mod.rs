@@ -11,6 +11,7 @@ pub mod locality;
 pub mod machine_os;
 pub mod models;
 pub mod replay_x;
+pub mod san_x;
 pub mod speedups;
 
 pub use amdahl::{tab7_alloc_amdahl, tab7_alloc_amdahl_run, tab8_crowd, tab8_crowd_run};
@@ -26,4 +27,5 @@ pub use machine_os::{
 };
 pub use models::{tab12_models, tab12_models_run, tab13_linda, tab13_linda_run};
 pub use replay_x::{tab9_replay, tab9_replay_run};
+pub use san_x::{tab18_races, tab18_races_full, tab18_races_run};
 pub use speedups::{tab11_speedups, tab11_speedups_run};

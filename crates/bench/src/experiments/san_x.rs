@@ -1,0 +1,240 @@
+//! T18 — deterministic race & lock-order sanitizing (no direct paper
+//! table; §3.2's *debugging* story as a measurement).
+//!
+//! The paper's groups met the Butterfly's nondeterminism with replay
+//! tooling (Instant Replay, Moviola) because synchronization bugs surfaced
+//! rarely and unreproducibly. Over the deterministic simulator we can do
+//! one better: `bfly-san` finds the bug classes of §3.2 — forgotten locks,
+//! missing barriers, inconsistent lock order — in a *single run*, from
+//! happens-before analysis, even when the schedule never manifests them.
+//!
+//! Part A runs the seeded witnesses of [`bfly_apps::witness`]: each buggy
+//! variant must be flagged (with lockset and allocation-site attribution)
+//! and each corrected variant must come back clean. Part B sweeps the
+//! whole application suite under the sanitizer and requires **zero**
+//! findings — the reproduced applications really are race-free, and the
+//! sanitizer does not cry wolf. Both parts are `assert!`ed, so the `san`
+//! binary doubles as the sanitizer's acceptance test.
+
+use bfly_apps::components::connected_components;
+use bfly_apps::gauss::{gauss_smp, gauss_us};
+use bfly_apps::hough::{hough, Discipline};
+use bfly_apps::knight::knights_tour;
+use bfly_apps::pedagogical::queens_parallel;
+use bfly_apps::sort::odd_even_smp;
+use bfly_apps::witness::{
+    dualq_correct, dualq_racey, lock_order_cycle, pivot_correct, pivot_racey,
+};
+use bfly_san::Sanitizer;
+
+use crate::report::EngineStats;
+use crate::{Scale, Table};
+
+/// Run `f` under a fresh ambient sanitizer; returns the sanitizer with
+/// everything `f` simulated analyzed. The previous ambient (if any — e.g.
+/// an outer `--sanitize`) is restored afterwards.
+fn under_san(f: impl FnOnce()) -> Sanitizer {
+    let prev = bfly_san::install_ambient(Some(Sanitizer::new()));
+    f();
+    bfly_san::install_ambient(prev).expect("sanitizer installed above")
+}
+
+/// T18 — sanitizer witness suite + clean-application sweep.
+pub fn tab18_races(scale: Scale) -> Table {
+    tab18_races_run(scale).0
+}
+
+/// [`tab18_races`] plus aggregated engine counters (for `--stats`).
+pub fn tab18_races_run(scale: Scale) -> (Table, EngineStats) {
+    let (t, e, _) = tab18_races_full(scale);
+    (t, e)
+}
+
+/// Full form: also returns the witness-suite sanitizer (all three buggy
+/// witnesses analyzed together) so the binary can always export
+/// `SAN_tab18_races.json` — the findings report is the result.
+pub fn tab18_races_full(scale: Scale) -> (Table, EngineStats, Sanitizer) {
+    let mut t = Table::new(
+        "T18: deterministic race & lock-order sanitizing \
+         (witnesses must flag; the application suite must be clean)",
+        &["program", "races", "cycles", "verdict / attribution"],
+    );
+    let mut engine = EngineStats::default();
+
+    // ---- Part A: seeded witnesses ---------------------------------------
+    let s = under_san(|| {
+        dualq_racey(20);
+    });
+    assert!(
+        s.race_count() > 0,
+        "dropped-lock dual queue must race: {}",
+        s.verdict_line()
+    );
+    let report = s.report_json("dualq_racey");
+    assert!(
+        report.contains("\"locks\": []") && report.contains("L0@"),
+        "dual-queue race must show the lockset asymmetry (bare producer \
+         vs locking consumer)"
+    );
+    t.row(vec![
+        "witness: dual queue, lock dropped".into(),
+        s.race_count().to_string(),
+        s.cycle_count().to_string(),
+        "FLAGGED - lockset {} vs {lock}".into(),
+    ]);
+
+    let s = under_san(|| {
+        dualq_correct(20);
+    });
+    assert!(s.is_clean(), "locked dual queue: {}", s.verdict_line());
+    t.row(vec![
+        "witness: dual queue, fixed".into(),
+        "0".into(),
+        "0".into(),
+        "clean".into(),
+    ]);
+
+    let s = under_san(|| {
+        pivot_racey(16);
+    });
+    assert!(
+        s.race_count() > 0,
+        "barrier-free pivot must race: {}",
+        s.verdict_line()
+    );
+    assert!(
+        s.report_json("pivot_racey").contains("Us::share"),
+        "pivot race must carry its Us::share allocation site"
+    );
+    t.row(vec![
+        "witness: pivot row, no barrier".into(),
+        s.race_count().to_string(),
+        s.cycle_count().to_string(),
+        "FLAGGED - alloc site Us::share".into(),
+    ]);
+
+    let s = under_san(|| {
+        pivot_correct(16);
+    });
+    assert!(s.is_clean(), "barriered pivot: {}", s.verdict_line());
+    t.row(vec![
+        "witness: pivot row, barriered".into(),
+        "0".into(),
+        "0".into(),
+        "clean".into(),
+    ]);
+
+    let s = under_san(|| {
+        lock_order_cycle();
+    });
+    assert_eq!(s.race_count(), 0, "lock-order witness has no data race");
+    assert!(
+        s.cycle_count() > 0,
+        "AB-BA ordering must be reported: {}",
+        s.verdict_line()
+    );
+    t.row(vec![
+        "witness: AB-BA lock order".into(),
+        "0".into(),
+        s.cycle_count().to_string(),
+        "FLAGGED - lock-order cycle".into(),
+    ]);
+
+    // The exported report: all three buggy witnesses analyzed together.
+    let suite = under_san(|| {
+        dualq_racey(20);
+        pivot_racey(16);
+        lock_order_cycle();
+    });
+    assert!(!suite.is_clean() && suite.race_count() >= 2 && suite.cycle_count() >= 1);
+
+    // ---- Part B: the application suite must be race-clean ---------------
+    let gauss_n: u32 = scale.pick(24, 10);
+    let gauss_p: u16 = scale.pick(8, 4);
+    let clean_row = |t: &mut Table, name: &str, s: &Sanitizer| {
+        assert!(
+            s.is_clean(),
+            "{name} must be race-clean under the sanitizer: {} {:?}",
+            s.verdict_line(),
+            s.race_fingerprint()
+        );
+        t.row(vec![
+            format!("app: {name}"),
+            "0".into(),
+            "0".into(),
+            "clean".into(),
+        ]);
+    };
+
+    let mut run = None;
+    let s = under_san(|| run = Some(gauss_us(gauss_p, gauss_n, (0..128).collect(), 7)));
+    engine.add(&run.expect("gauss_us ran").run);
+    clean_row(&mut t, "gauss (Uniform System)", &s);
+
+    let mut run = None;
+    let s = under_san(|| run = Some(gauss_smp(gauss_p, gauss_n, 7)));
+    engine.add(&run.expect("gauss_smp ran").run);
+    clean_row(&mut t, "gauss (SMP messages)", &s);
+
+    let mut run = None;
+    let s = under_san(|| {
+        run = Some(hough(
+            4,
+            scale.pick(48, 24),
+            16,
+            Discipline::BlockCopyTables,
+            7,
+        ))
+    });
+    engine.add(&run.expect("hough ran").run);
+    clean_row(&mut t, "hough transform", &s);
+
+    let mut run = None;
+    let s = under_san(|| run = Some(odd_even_smp(8, scale.pick(64, 24), 3, false)));
+    engine.add(&run.expect("sort ran").run);
+    clean_row(&mut t, "odd-even sort (SMP)", &s);
+
+    let mut run = None;
+    let s = under_san(|| run = Some(connected_components(4, 32, 32, 3)));
+    engine.add(&run.expect("components ran").run);
+    clean_row(&mut t, "connected components", &s);
+
+    let mut run = None;
+    let s = under_san(|| run = Some(knights_tour(5, scale.pick(6, 4), 100, 30)));
+    engine.add(&run.expect("knight ran").run);
+    clean_row(&mut t, "knight's tour", &s);
+
+    let s = under_san(|| {
+        bfly_apps::alphabeta::alphabeta_parallel(scale.pick(4, 3), 4, 8, 11);
+    });
+    clean_row(&mut t, "alpha-beta search", &s);
+
+    let s = under_san(|| {
+        queens_parallel(scale.pick(7, 6), 4, 3);
+    });
+    clean_row(&mut t, "8-queens (pedagogical)", &s);
+
+    let s = under_san(run_biff_pipeline);
+    clean_row(&mut t, "biff filter pipeline", &s);
+
+    (t, engine, suite)
+}
+
+/// A small BIFF pipeline (blur then edge-detect), as the class projects
+/// chained filters.
+fn run_biff_pipeline() {
+    use bfly_apps::biff::{test_image, Biff, Filter};
+    use std::rc::Rc;
+
+    let sim = bfly_sim::Sim::with_seed(5);
+    let biff = Rc::new(Biff::new(&sim, 8));
+    let (w, h) = (32, 24);
+    let img = biff.download(&test_image(w, h, 5), w, h);
+    let b2 = biff.clone();
+    biff.os().boot_process(0, "driver", move |p| async move {
+        let a = b2.apply(Filter::BoxBlur, &img, &p).await;
+        let _ = b2.apply(Filter::Sobel, &a, &p).await;
+        b2.shutdown();
+    });
+    sim.run();
+}

@@ -47,6 +47,7 @@ const EXPS: &[&str] = &[
     "tab13_linda",
     "tab14_bplus",
     "tab15_faults",
+    "tab18_races",
 ];
 
 /// The concrete experiment registry behind a farm daemon.
@@ -64,8 +65,24 @@ impl Registry {
         }
     }
 
-    /// Run the experiment body, returning its table and engine counters.
-    fn dispatch(spec: &JobSpec) -> Result<(Table, EngineStats), String> {
+    /// Run the experiment body, returning its table, engine counters, and
+    /// (for the sanitizer experiment) the findings report to embed.
+    fn dispatch(spec: &JobSpec) -> Result<(Table, EngineStats, Option<String>), String> {
+        if spec.exp == "tab18_races" {
+            // The sanitizer experiment scopes its own per-scenario
+            // sanitizers; the witness-suite findings report is embedded in
+            // the canonical result the way probe summaries are. It is a
+            // pure function of the (seeded) witnesses, so the cache
+            // identity stays sound.
+            let (table, engine, suite) =
+                experiments::tab18_races_full(Self::scale_of(&spec.params)?);
+            return Ok((table, engine, Some(suite.report_json(&spec.exp))));
+        }
+        let (table, engine) = Self::dispatch_plain(spec)?;
+        Ok((table, engine, None))
+    }
+
+    fn dispatch_plain(spec: &JobSpec) -> Result<(Table, EngineStats), String> {
         let params = &spec.params;
         match spec.exp.as_str() {
             "fig5_gauss" => {
@@ -142,7 +159,7 @@ impl JobRunner for Registry {
         if spec.probe {
             bfly_probe::install_ambient(None);
         }
-        let (table, engine) = outcome?;
+        let (table, engine, san_report) = outcome?;
 
         let probe_value = match &probe {
             None => Value::Null,
@@ -157,6 +174,17 @@ impl JobRunner for Registry {
                 );
                 json::parse(&summary)
                     .map_err(|(at, m)| format!("probe summary not JSON at {at}: {m}"))?
+            }
+        };
+        let san_value = match &san_report {
+            None => Value::Null,
+            Some(report) => {
+                // Side artifact for CI upload, like the probe summary;
+                // never part of the result bytes.
+                let _ =
+                    std::fs::write(format!("SAN_farm_{}_s{}.json", spec.exp, spec.seed), report);
+                json::parse(report)
+                    .map_err(|(at, m)| format!("san report not JSON at {at}: {m}"))?
             }
         };
         let table_value = json::parse(&table.to_json())
@@ -188,6 +216,7 @@ impl JobRunner for Registry {
         obj.insert("run".to_string(), Value::Obj(run));
         obj.insert("table".to_string(), table_value);
         obj.insert("probe".to_string(), probe_value);
+        obj.insert("san".to_string(), san_value);
         Ok(Value::Obj(obj).dump().into_bytes())
     }
 }

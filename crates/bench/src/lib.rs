@@ -6,6 +6,8 @@
 //! `benches/figures.rs` target regenerates everything in quick mode under
 //! `cargo bench`.
 
+// This crate needs no unsafe; keep it that way.
+#![forbid(unsafe_code)]
 pub mod cli;
 pub mod experiments;
 pub mod farm;

@@ -204,6 +204,89 @@ fn probe_summary_json_schema_is_stable() {
     }
 }
 
+/// A sanitizer with real findings: the buggy witness suite (lock-dropped
+/// dual queue, barrier-free pivot, AB-BA lock order) run to completion.
+fn sample_sanitizer() -> bfly_san::Sanitizer {
+    use bfly_apps::witness::{dualq_racey, lock_order_cycle, pivot_racey};
+    let prev = bfly_san::install_ambient(Some(bfly_san::Sanitizer::new()));
+    dualq_racey(20);
+    pivot_racey(16);
+    lock_order_cycle();
+    bfly_san::install_ambient(prev).expect("sanitizer installed above")
+}
+
+#[test]
+fn san_report_json_schema_is_stable() {
+    let json = sample_sanitizer().report_json("schema_test");
+    validate_json(&json).unwrap_or_else(|(pos, msg)| panic!("invalid SAN report at {pos}: {msg}"));
+    for key in [
+        "\"schema\": \"bfly-san/1\"",
+        "\"experiment\": \"schema_test\"",
+        "\"clean\": false",
+        "\"tasks\":",
+        "\"words_tracked\":",
+        "\"plain_reads\":",
+        "\"plain_writes\":",
+        "\"atomic_ops\":",
+        "\"host_ops\":",
+        "\"sync_ops\":",
+        "\"msg_ops\":",
+        "\"suppressed\":",
+        "\"races_total\":",
+        "\"races\": [",
+        "\"kind\": \"write-read\"",
+        "\"alloc_site\":",
+        "\"nodes\": [",
+        "\"first\": {",
+        "\"second\": {",
+        "\"task\":",
+        "\"site\":",
+        "\"epoch\":",
+        "\"from_node\":",
+        "\"locks\": [",
+        "\"lockset_warnings_total\":",
+        "\"lockset_warnings\": [",
+        "\"lock_order\": {\"locks\":",
+        "\"edges\":",
+        "\"cycles\": [",
+        "\"sites\": [",
+        // Attribution the tooling keys on: the pivot race carries its
+        // shared-allocation site; the cycle names both lock objects.
+        "Us::share",
+        "\"L0@",
+        "\"L1@",
+    ] {
+        assert!(json.contains(key), "SAN report must carry {key}\n{json}");
+    }
+    // Section order is part of the schema: counters, then ranked races,
+    // then advisory lockset warnings, then the lock-order graph.
+    let schema_at = json.find("\"schema\"").unwrap();
+    let races_at = json.find("\"races_total\"").unwrap();
+    let warns_at = json.find("\"lockset_warnings_total\"").unwrap();
+    let order_at = json.find("\"lock_order\"").unwrap();
+    assert!(schema_at < races_at && races_at < warns_at && warns_at < order_at);
+}
+
+#[test]
+fn san_clean_report_schema_is_stable() {
+    // A clean report (no findings) must keep the same shape with empty
+    // arrays — downstream tooling reads `clean` without special-casing.
+    let json = bfly_san::Sanitizer::new().report_json("empty");
+    validate_json(&json).unwrap_or_else(|(pos, msg)| panic!("invalid SAN report at {pos}: {msg}"));
+    for key in [
+        "\"schema\": \"bfly-san/1\"",
+        "\"clean\": true",
+        "\"races_total\": 0",
+        "\"lockset_warnings_total\": 0",
+        "\"cycles\": []",
+    ] {
+        assert!(
+            json.contains(key),
+            "clean SAN report must carry {key}\n{json}"
+        );
+    }
+}
+
 #[test]
 fn chrome_trace_json_schema_is_stable() {
     let json = sample_probe().chrome_trace();

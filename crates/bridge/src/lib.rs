@@ -23,6 +23,8 @@
 //! Experiment T10 reproduces the headline claim: linear speedup into
 //! several dozen disks for copy / search / sort style utilities.
 
+// This crate needs no unsafe; keep it that way.
+#![forbid(unsafe_code)]
 pub mod disk;
 pub mod fs;
 pub mod util;

@@ -23,6 +23,8 @@
 //! Everything the Rochester packages (Uniform System, SMP, Lynx, Ant Farm)
 //! need bottoms out here, exactly as it did at Rochester.
 
+// This crate needs no unsafe; keep it that way.
+#![forbid(unsafe_code)]
 pub mod costs;
 pub mod event;
 pub mod objects;

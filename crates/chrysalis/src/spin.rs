@@ -57,11 +57,20 @@ impl SpinLock {
                 now - t0,
             );
         }
+        // Happens-before through the lock word is already induced by the
+        // successful test_and_set; the sanitizer hook only maintains the
+        // per-task lockset and the lock-order graph.
+        if let Some(s) = p.os.machine.san_if_on() {
+            s.lock_acquired(self.addr.node, self.addr.offset as u64);
+        }
         failures
     }
 
     /// Release the lock.
     pub async fn release(&self, p: &Proc) {
+        if let Some(s) = p.os.machine.san_if_on() {
+            s.lock_released(self.addr.node, self.addr.offset as u64);
+        }
         p.atomic_store(self.addr, 0).await;
     }
 

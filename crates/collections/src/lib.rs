@@ -15,6 +15,8 @@
 //! contention; the simulator-side Amdahl experiment uses the
 //! `bfly-uniform` allocator model instead.
 
+// Every unsafe operation must be visible (and justified) at its own site.
+#![deny(unsafe_op_in_unsafe_fn)]
 pub mod exthash;
 pub mod firstfit;
 pub mod queues;

@@ -34,10 +34,12 @@ struct Slot<T> {
     val: UnsafeCell<MaybeUninit<T>>,
 }
 
-// Safety: access to `val` is serialized by the `seq` protocol — a slot's
+// SAFETY: access to `val` is serialized by the `seq` protocol — a slot's
 // value is written only by the ticket holder for whom `seq == ticket`, and
 // read only by the dequeuer for whom `seq == ticket + 1`.
 unsafe impl<T: Send> Send for FetchPhiQueue<T> {}
+// SAFETY: as above; shared references only ever touch `val` through the
+// ticket protocol, so `&FetchPhiQueue<T>` is safe to share across threads.
 unsafe impl<T: Send> Sync for FetchPhiQueue<T> {}
 
 impl<T> FetchPhiQueue<T> {
@@ -77,6 +79,10 @@ impl<T> FetchPhiQueue<T> {
                     Ordering::Relaxed,
                 ) {
                     Ok(_) => {
+                        // SAFETY: winning the CAS made us the sole holder
+                        // of ticket `tail`; per the seq protocol nobody
+                        // else touches this slot until the Release store
+                        // below publishes it.
                         unsafe { (*slot.val.get()).write(v) };
                         slot.seq.store(tail + 1, Ordering::Release);
                         return Ok(());
@@ -106,6 +112,11 @@ impl<T> FetchPhiQueue<T> {
                     Ordering::Relaxed,
                 ) {
                     Ok(_) => {
+                        // SAFETY: `seq == head + 1` (Acquire) proves the
+                        // enqueuer's write completed and was published;
+                        // winning the CAS makes us the sole reader of this
+                        // ticket, so the value is initialized and read
+                        // exactly once.
                         let v = unsafe { (*slot.val.get()).assume_init_read() };
                         slot.seq.store(head + self.mask + 1, Ordering::Release);
                         return Some(v);

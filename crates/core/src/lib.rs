@@ -21,6 +21,8 @@
 //! see DESIGN.md for the inventory and EXPERIMENTS.md for the
 //! figure-by-figure reproduction.
 
+// This crate needs no unsafe; keep it that way.
+#![forbid(unsafe_code)]
 pub mod builder;
 pub mod elmwood;
 pub mod rpc_compare;

@@ -17,6 +17,8 @@
 //! the template-serialized part remains a hard floor — experiment T8
 //! measures both.
 
+// This crate needs no unsafe; keep it that way.
+#![forbid(unsafe_code)]
 use std::cell::Cell;
 use std::future::Future;
 use std::pin::Pin;

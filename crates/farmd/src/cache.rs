@@ -139,7 +139,7 @@ impl Cache {
         let now = self.clock.fetch_add(1, Ordering::Relaxed);
         let shard = &self.shards[self.shard_of(key)];
         {
-            let mut s = shard.lock().unwrap();
+            let mut s = crate::locked(shard);
             if let Some(e) = s.map.get_mut(key) {
                 e.last_use = now;
                 self.stats.mem_hits.fetch_add(1, Ordering::Relaxed);
@@ -178,7 +178,7 @@ impl Cache {
 
     fn insert_mem(&self, key: &str, bytes: Vec<u8>, now: u64) {
         let shard = &self.shards[self.shard_of(key)];
-        let mut s = shard.lock().unwrap();
+        let mut s = crate::locked(shard);
         if let Some(old) = s.map.insert(
             key.to_string(),
             Entry {
@@ -200,7 +200,10 @@ impl Cache {
                 .map(|(k, _)| k.clone());
             match victim {
                 Some(v) => {
-                    let e = s.map.remove(&v).unwrap();
+                    let e = s
+                        .map
+                        .remove(&v)
+                        .expect("eviction victim was chosen from this shard's map");
                     s.bytes -= e.bytes.len();
                     self.stats.evictions.fetch_add(1, Ordering::Relaxed);
                 }
@@ -211,15 +214,12 @@ impl Cache {
 
     /// Bytes currently held in memory across all shards.
     pub fn mem_bytes(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().unwrap().bytes).sum()
+        self.shards.iter().map(|s| crate::locked(s).bytes).sum()
     }
 
     /// Entries currently held in memory across all shards.
     pub fn mem_entries(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().unwrap().map.len())
-            .sum()
+        self.shards.iter().map(|s| crate::locked(s).map.len()).sum()
     }
 
     /// The disk tier root, if persistence is configured.

@@ -22,11 +22,24 @@
 //! quickstart and `tests/farm_determinism.rs` for the bit-identity
 //! guarantee: for any job, cached bytes == cold-recomputed bytes.
 
+// Every unsafe operation must be visible (and justified) at its own site.
+#![deny(unsafe_op_in_unsafe_fn)]
 pub mod cache;
 pub mod client;
 pub mod job;
 pub mod json;
 pub mod server;
+
+/// Lock a mutex, recovering the data if a previous holder panicked.
+///
+/// The daemon's quarantine discipline extends to its own shared state: a
+/// worker that panicked while holding a cache-shard or scheduler lock has
+/// already been contained (the job is quarantined), and every structure
+/// guarded by these mutexes is left consistent between operations — so a
+/// poisoned lock must degrade to a plain lock, never kill the daemon.
+pub(crate) fn locked<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 pub use cache::{content_key, Cache, CacheStats};
 pub use client::Client;

@@ -198,6 +198,8 @@ pub fn install_signal_drain() {
         }
         const SIGINT: i32 = 2;
         const SIGTERM: i32 = 15;
+        // SAFETY: `signal` is declared with the correct libc prototype,
+        // and the handler only performs an async-signal-safe atomic store.
         unsafe {
             signal(SIGTERM, on_signal);
             signal(SIGINT, on_signal);
@@ -340,7 +342,7 @@ fn listener_loop(sh: &Arc<Shared>, acceptor: &Acceptor) {
 /// Finish everything queued, then release the workers.
 fn drain(sh: &Arc<Shared>) {
     loop {
-        let queued = sh.queue.lock().unwrap().len();
+        let queued = crate::locked(&sh.queue).len();
         if queued == 0 && sh.running.load(Ordering::SeqCst) == 0 {
             break;
         }
@@ -354,7 +356,7 @@ fn drain(sh: &Arc<Shared>) {
 fn worker_loop(sh: &Arc<Shared>) {
     loop {
         let id = {
-            let mut q = sh.queue.lock().unwrap();
+            let mut q = crate::locked(&sh.queue);
             loop {
                 if let Some(id) = q.pop_front() {
                     break Some(id);
@@ -362,10 +364,12 @@ fn worker_loop(sh: &Arc<Shared>) {
                 if sh.shutdown.load(Ordering::SeqCst) || signal_drain_requested() {
                     break None;
                 }
+                // Same poison policy as `crate::locked`: a panicking
+                // holder was already quarantined; keep serving.
                 let (guard, _) = sh
                     .queue_cv
                     .wait_timeout(q, Duration::from_millis(100))
-                    .unwrap();
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
                 q = guard;
             }
         };
@@ -383,7 +387,7 @@ fn worker_loop(sh: &Arc<Shared>) {
 /// Run one queued job to a terminal state.
 fn execute(sh: &Arc<Shared>, id: u64) {
     let (spec, submitted) = {
-        let mut jobs = sh.jobs.lock().unwrap();
+        let mut jobs = crate::locked(&sh.jobs);
         let Some(rec) = jobs.get_mut(&id) else { return };
         rec.state = State::Running;
         (rec.spec.clone(), rec.submitted)
@@ -427,7 +431,7 @@ fn execute(sh: &Arc<Shared>, id: u64) {
     loop {
         attempt += 1;
         {
-            let mut jobs = sh.jobs.lock().unwrap();
+            let mut jobs = crate::locked(&sh.jobs);
             if let Some(rec) = jobs.get_mut(&id) {
                 rec.attempts = attempt;
             }
@@ -522,7 +526,7 @@ fn finish(sh: &Arc<Shared>, id: u64, state: State) {
         },
         _ => 0,
     };
-    let mut jobs = sh.jobs.lock().unwrap();
+    let mut jobs = crate::locked(&sh.jobs);
     if let Some(rec) = jobs.get_mut(&id) {
         rec.state = state;
     }
@@ -616,7 +620,7 @@ fn admit(sh: &Arc<Shared>, spec: JobSpec) -> Result<u64, String> {
         let key = spec.key(sh.runner.engine_version());
         if let Some(bytes) = sh.cache.get(&key) {
             sh.counters.done.fetch_add(1, Ordering::Relaxed);
-            sh.jobs.lock().unwrap().insert(
+            crate::locked(&sh.jobs).insert(
                 id,
                 JobRecord {
                     spec,
@@ -634,7 +638,7 @@ fn admit(sh: &Arc<Shared>, spec: JobSpec) -> Result<u64, String> {
     }
 
     {
-        let q = sh.queue.lock().unwrap();
+        let q = crate::locked(&sh.queue);
         if q.len() >= sh.config.max_queue {
             return Err(format!(
                 "queue full ({} jobs); backpressure: retry later",
@@ -642,7 +646,7 @@ fn admit(sh: &Arc<Shared>, spec: JobSpec) -> Result<u64, String> {
             ));
         }
     }
-    sh.jobs.lock().unwrap().insert(
+    crate::locked(&sh.jobs).insert(
         id,
         JobRecord {
             spec,
@@ -651,7 +655,7 @@ fn admit(sh: &Arc<Shared>, spec: JobSpec) -> Result<u64, String> {
             attempts: 0,
         },
     );
-    sh.queue.lock().unwrap().push_back(id);
+    crate::locked(&sh.queue).push_back(id);
     sh.queue_cv.notify_one();
     Ok(id)
 }
@@ -667,7 +671,7 @@ fn handle_batch(sh: &Arc<Shared>, jobs: &[Value]) -> String {
     }
     // Wait for every admitted job to reach a terminal state.
     {
-        let mut guard = sh.jobs.lock().unwrap();
+        let mut guard = crate::locked(&sh.jobs);
         loop {
             let all_done = ids.iter().all(|r| match r {
                 Ok(id) => guard.get(id).map(|r| r.state.terminal()).unwrap_or(true),
@@ -679,7 +683,7 @@ fn handle_batch(sh: &Arc<Shared>, jobs: &[Value]) -> String {
             let (g, _) = sh
                 .done_cv
                 .wait_timeout(guard, Duration::from_millis(100))
-                .unwrap();
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
             guard = g;
         }
     }
@@ -687,7 +691,7 @@ fn handle_batch(sh: &Arc<Shared>, jobs: &[Value]) -> String {
     let mut hits = 0u64;
     let mut out = String::from("{\"ok\":true,");
     {
-        let guard = sh.jobs.lock().unwrap();
+        let guard = crate::locked(&sh.jobs);
         for id in ids.iter().flatten() {
             if let Some(State::Done { cached: true, .. }) = guard.get(id).map(|r| &r.state) {
                 hits += 1;
@@ -717,7 +721,7 @@ fn handle_batch(sh: &Arc<Shared>, jobs: &[Value]) -> String {
 }
 
 fn status_reply(sh: &Arc<Shared>, id: u64) -> String {
-    let jobs = sh.jobs.lock().unwrap();
+    let jobs = crate::locked(&sh.jobs);
     status_object(&jobs, id)
 }
 
@@ -796,7 +800,7 @@ fn stats_reply(sh: &Arc<Shared>) -> String {
         c.failed.load(Ordering::Relaxed),
         c.quarantined.load(Ordering::Relaxed),
         c.deadline_expired.load(Ordering::Relaxed),
-        sh.queue.lock().unwrap().len(),
+        crate::locked(&sh.queue).len(),
         sh.running.load(Ordering::SeqCst),
         cs.mem_hits.load(Ordering::Relaxed),
         cs.disk_hits.load(Ordering::Relaxed),

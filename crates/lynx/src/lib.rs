@@ -23,6 +23,8 @@
 //!   messages, i.e. milliseconds — far above a bare remote reference);
 //! * exceptions: a handler returning a [`Throw`] propagates to the caller.
 
+// This crate needs no unsafe; keep it that way.
+#![forbid(unsafe_code)]
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::future::Future;

@@ -28,6 +28,8 @@
 //! Memory is *really backed*: applications compute on actual bytes through
 //! simulated references, so every experiment's answer is checkable.
 
+// This crate needs no unsafe; keep it that way.
+#![forbid(unsafe_code)]
 pub mod addr;
 pub mod cost;
 pub mod error;

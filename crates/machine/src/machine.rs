@@ -126,6 +126,10 @@ pub struct Machine {
     /// the disabled path to one predictable branch per reference.
     probe: RefCell<Option<Probe>>,
     probe_on: Cell<bool>,
+    /// Optional ambient sanitizer (see `bfly-san`), captured at boot like
+    /// the probe. The disabled path is one `Option` discriminant test per
+    /// reference; hooks never touch simulated time.
+    san: Option<bfly_san::Sanitizer>,
 }
 
 impl Machine {
@@ -146,6 +150,7 @@ impl Machine {
             fault_latch,
             probe: RefCell::new(None),
             probe_on: Cell::new(false),
+            san: bfly_san::ambient(),
         });
         // Applications build their own machines internally, so a probe can
         // be installed "ambiently" for the thread and picked up here.
@@ -178,6 +183,13 @@ impl Machine {
         } else {
             None
         }
+    }
+
+    /// The attached sanitizer, if any. Higher layers (Chrysalis locks,
+    /// the Uniform System allocator, SMP sends) use this to report lock
+    /// and allocation events into the machine's sanitizer.
+    pub fn san_if_on(&self) -> Option<&bfly_san::Sanitizer> {
+        self.san.as_ref()
     }
 
     /// True while remote references may charge their consecutive pure
@@ -363,6 +375,9 @@ impl Machine {
     /// Fallible 32-bit read.
     pub async fn try_read_u32(&self, from: NodeId, addr: GAddr) -> Result<u32, MachineError> {
         self.try_word_ref(from, addr, 4).await?;
+        if let Some(s) = &self.san {
+            s.plain_access(from, addr.node, addr.offset as u64, 4, false);
+        }
         let mut b = [0u8; 4];
         self.nodes[addr.node as usize].load(addr.offset, &mut b);
         Ok(u32::from_le_bytes(b))
@@ -381,6 +396,9 @@ impl Machine {
         val: u32,
     ) -> Result<(), MachineError> {
         self.try_word_ref(from, addr, 4).await?;
+        if let Some(s) = &self.san {
+            s.plain_access(from, addr.node, addr.offset as u64, 4, true);
+        }
         self.nodes[addr.node as usize].store(addr.offset, &val.to_le_bytes());
         Ok(())
     }
@@ -393,6 +411,9 @@ impl Machine {
     /// Fallible 64-bit float read.
     pub async fn try_read_f64(&self, from: NodeId, addr: GAddr) -> Result<f64, MachineError> {
         self.try_word_ref(from, addr, 8).await?;
+        if let Some(s) = &self.san {
+            s.plain_access(from, addr.node, addr.offset as u64, 8, false);
+        }
         let mut b = [0u8; 8];
         self.nodes[addr.node as usize].load(addr.offset, &mut b);
         Ok(f64::from_le_bytes(b))
@@ -411,6 +432,9 @@ impl Machine {
         val: f64,
     ) -> Result<(), MachineError> {
         self.try_word_ref(from, addr, 8).await?;
+        if let Some(s) = &self.san {
+            s.plain_access(from, addr.node, addr.offset as u64, 8, true);
+        }
         self.nodes[addr.node as usize].store(addr.offset, &val.to_le_bytes());
         Ok(())
     }
@@ -491,6 +515,9 @@ impl Machine {
         delta: u32,
     ) -> Result<u32, MachineError> {
         self.try_atomic_ref(from, addr).await?;
+        if let Some(s) = &self.san {
+            s.atomic_access(from, addr.node, addr.offset as u64);
+        }
         let node = &self.nodes[addr.node as usize];
         let mut b = [0u8; 4];
         node.load(addr.offset, &mut b);
@@ -508,6 +535,9 @@ impl Machine {
     /// Fallible test-and-set.
     pub async fn try_test_and_set(&self, from: NodeId, addr: GAddr) -> Result<u32, MachineError> {
         self.try_atomic_ref(from, addr).await?;
+        if let Some(s) = &self.san {
+            s.atomic_access(from, addr.node, addr.offset as u64);
+        }
         let node = &self.nodes[addr.node as usize];
         let mut b = [0u8; 4];
         node.load(addr.offset, &mut b);
@@ -529,6 +559,9 @@ impl Machine {
         val: u32,
     ) -> Result<(), MachineError> {
         self.try_atomic_ref(from, addr).await?;
+        if let Some(s) = &self.san {
+            s.atomic_access(from, addr.node, addr.offset as u64);
+        }
         self.nodes[addr.node as usize].store(addr.offset, &val.to_le_bytes());
         Ok(())
     }
@@ -663,6 +696,9 @@ impl Machine {
         out: &mut [u8],
     ) -> Result<(), MachineError> {
         self.try_block_ref(from, addr, out.len() as u32).await?;
+        if let Some(s) = &self.san {
+            s.plain_access(from, addr.node, addr.offset as u64, out.len() as u64, false);
+        }
         self.nodes[addr.node as usize].load(addr.offset, out);
         Ok(())
     }
@@ -680,6 +716,9 @@ impl Machine {
         src: &[u8],
     ) -> Result<(), MachineError> {
         self.try_block_ref(from, addr, src.len() as u32).await?;
+        if let Some(s) = &self.san {
+            s.plain_access(from, addr.node, addr.offset as u64, src.len() as u64, true);
+        }
         self.nodes[addr.node as usize].store(addr.offset, src);
         Ok(())
     }
@@ -767,11 +806,29 @@ impl Machine {
 
     /// Read memory without charging simulated time (host/debugger access).
     pub fn peek(&self, addr: GAddr, out: &mut [u8]) {
+        if let Some(s) = &self.san {
+            s.plain_access(
+                bfly_san::HOST_NODE,
+                addr.node,
+                addr.offset as u64,
+                out.len() as u64,
+                false,
+            );
+        }
         self.nodes[addr.node as usize].load(addr.offset, out);
     }
 
     /// Write memory without charging simulated time (host/debugger access).
     pub fn poke(&self, addr: GAddr, src: &[u8]) {
+        if let Some(s) = &self.san {
+            s.plain_access(
+                bfly_san::HOST_NODE,
+                addr.node,
+                addr.offset as u64,
+                src.len() as u64,
+                true,
+            );
+        }
         self.nodes[addr.node as usize].store(addr.offset, src);
     }
 

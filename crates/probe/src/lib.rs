@@ -30,6 +30,8 @@
 //! makes serial and parallel results bit-identical, so this changes nothing
 //! but wall-clock.
 
+// This crate needs no unsafe; keep it that way.
+#![forbid(unsafe_code)]
 pub mod chrome;
 pub mod json;
 pub mod summary;

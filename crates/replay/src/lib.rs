@@ -24,6 +24,8 @@
 //! timeline — the "graphical execution browser" used to find bottlenecks,
 //! message-ordering bugs, and the odd-even-merge-sort deadlock of Figure 6.
 
+// This crate needs no unsafe; keep it that way.
+#![forbid(unsafe_code)]
 pub mod moviola;
 pub mod object;
 pub mod system;

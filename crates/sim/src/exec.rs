@@ -83,6 +83,10 @@ pub(crate) struct Inner {
     tasks_spawned: Cell<u64>,
     wall_ns: Cell<u64>,
     recorder: RefCell<Option<Recorder>>,
+    /// Ambient sanitizer captured at construction (see `bfly_san`). The
+    /// disabled path is one `Option<Rc>` discriminant test per hook;
+    /// hooks are strictly observational (no effect on the schedule).
+    san: Option<bfly_san::Sanitizer>,
 }
 
 /// A task's diagnostic name. The unnamed-spawn fast path stores a static
@@ -202,27 +206,41 @@ impl WakerNode {
 static WAKER_VTABLE: RawWakerVTable =
     RawWakerVTable::new(rw_clone, rw_wake, rw_wake_by_ref, rw_drop);
 
+// SAFETY: `p` is a strong `Rc<WakerNode>` count (see the contract above);
+// cloning takes one more count without consuming the caller's.
 unsafe fn rw_clone(p: *const ()) -> RawWaker {
+    // SAFETY: as above — `p` came from `Rc::into_raw` and is still live.
     unsafe { Rc::increment_strong_count(p as *const WakerNode) };
     RawWaker::new(p, &WAKER_VTABLE)
 }
 
+// SAFETY: `wake` consumes the waker, so this consumes its strong count.
 unsafe fn rw_wake(p: *const ()) {
+    // SAFETY: `p` is a strong count from `Rc::into_raw`; reclaiming it
+    // here balances the count the consumed waker owned.
     let node = unsafe { Rc::from_raw(p as *const WakerNode) };
     node.wake();
 }
 
+// SAFETY: `wake_by_ref` must not consume the waker's strong count.
 unsafe fn rw_wake_by_ref(p: *const ()) {
+    // SAFETY: `p` is a strong count from `Rc::into_raw`; `ManuallyDrop`
+    // borrows it without taking ownership, leaving the count untouched.
     let node = ManuallyDrop::new(unsafe { Rc::from_raw(p as *const WakerNode) });
     node.wake();
 }
 
+// SAFETY: dropping the waker releases the strong count it owned.
 unsafe fn rw_drop(p: *const ()) {
+    // SAFETY: `p` is a strong count from `Rc::into_raw`, reclaimed exactly
+    // once here.
     drop(unsafe { Rc::from_raw(p as *const WakerNode) });
 }
 
 fn waker_for(node: &Rc<WakerNode>) -> Waker {
     let ptr = Rc::into_raw(node.clone()) as *const ();
+    // SAFETY: the vtable's contract (above) matches the pointer handed
+    // over: one strong `Rc<WakerNode>` count, single-threaded use only.
     unsafe { Waker::from_raw(RawWaker::new(ptr, &WAKER_VTABLE)) }
 }
 
@@ -542,6 +560,12 @@ impl Sim {
 
     /// Create a simulation whose injected nondeterminism derives from `seed`.
     pub fn with_seed(seed: u64) -> Self {
+        // A new simulation is a new "world" for the sanitizer: task-slab
+        // keys restart, so their identities must not alias earlier runs.
+        let san = bfly_san::ambient();
+        if let Some(s) = &san {
+            s.world_started();
+        }
         Sim {
             inner: Rc::new(Inner {
                 now: Cell::new(0),
@@ -557,6 +581,7 @@ impl Sim {
                 tasks_spawned: Cell::new(0),
                 wall_ns: Cell::new(0),
                 recorder: RefCell::new(None),
+                san,
             }),
         }
     }
@@ -623,6 +648,7 @@ impl Sim {
         let state = Rc::new(JoinState {
             result: RefCell::new(None),
             waiters: RefCell::new(Vec::new()),
+            san_id: Cell::new(0),
         });
         let wrapped: BoxFut = Box::pin(Wrapped {
             fut,
@@ -649,6 +675,15 @@ impl Sim {
         self.inner
             .tasks_spawned
             .set(self.inner.tasks_spawned.get() + 1);
+        if let Some(s) = &self.inner.san {
+            let tasks = self.inner.tasks.borrow();
+            let name = tasks.slots[idx as usize]
+                .task
+                .as_ref()
+                .map(|t| t.name.as_str())
+                .unwrap_or("task");
+            s.task_spawned(key, name);
+        }
         self.inner.ready.push(key);
         JoinHandle { state }
     }
@@ -694,9 +729,19 @@ impl Sim {
         self.inner
             .events_processed
             .set(self.inner.events_processed.get() + 1);
+        // Tell the sanitizer which task's accesses are about to happen
+        // (restored after the poll: destructors and `fire` can nest).
+        let san_prev = self
+            .inner
+            .san
+            .as_ref()
+            .map(|s| s.task_started(key, task.name.as_str()));
         let mut cx = Context::from_waker(&task.waker);
         match task.fut.as_mut().poll(&mut cx) {
             Poll::Ready(()) => {
+                if let Some(s) = &self.inner.san {
+                    s.task_finished();
+                }
                 self.inner.live.set(self.inner.live.get() - 1);
                 self.inner.tasks.borrow_mut().retire(idx as u32);
                 // `task` (and its future) drop here, outside any borrow:
@@ -708,6 +753,9 @@ impl Sim {
                 self.inner.tasks.borrow_mut().slots[idx].task = Some(task);
             }
         }
+        if let (Some(s), Some(prev)) = (&self.inner.san, san_prev) {
+            s.task_suspended(prev);
+        }
     }
 
     /// Fire one timer entry. When the waker is one of ours (it always is
@@ -718,6 +766,9 @@ impl Sim {
     /// own) fall back to a plain wake.
     fn fire(&self, waker: &Waker) {
         if std::ptr::eq(waker.vtable(), &WAKER_VTABLE) {
+            // SAFETY: the vtable check proves `data` is the strong
+            // `Rc<WakerNode>` our vtable functions manage; borrowing it
+            // for the duration of this call cannot outlive the waker.
             let node = unsafe { &*(waker.data() as *const WakerNode) };
             if !node.queued.get() {
                 self.poll_task(node.key);
@@ -757,6 +808,11 @@ impl Sim {
             debug_assert!(entry.at >= self.inner.now.get(), "time went backwards");
             self.inner.now.set(entry.at);
             self.fire(&entry.waker);
+        }
+        // Quiescence orders everything the tasks did before subsequent
+        // host-side code (stuck tasks included: they will never run again).
+        if let Some(s) = &self.inner.san {
+            s.run_quiesced();
         }
         let outcome = if self.inner.live.get() == 0 {
             RunOutcome::Completed
@@ -1035,6 +1091,9 @@ impl Future for YieldNow {
 struct JoinState<T> {
     result: RefCell<Option<T>>,
     waiters: RefCell<Vec<Waker>>,
+    /// Lazily-assigned sanitizer sync-object id (0 = unassigned): task
+    /// completion releases into it, join resolution acquires from it.
+    san_id: Cell<u64>,
 }
 
 /// The executor-facing wrapper around a spawned future: forwards polls,
@@ -1057,6 +1116,9 @@ impl<T, F: Future<Output = T>> Future for Wrapped<T, F> {
         match fut.poll(cx) {
             Poll::Ready(out) => {
                 *this.state.result.borrow_mut() = Some(out);
+                if let Some(s) = &this._sim.san {
+                    s.sync_release(s.sync_id(&this.state.san_id));
+                }
                 for w in this.state.waiters.borrow_mut().drain(..) {
                     w.wake();
                 }
@@ -1075,7 +1137,11 @@ pub struct JoinHandle<T> {
 impl<T> JoinHandle<T> {
     /// Take the result if the task has completed.
     pub fn try_take(&mut self) -> Option<T> {
-        self.state.result.borrow_mut().take()
+        let v = self.state.result.borrow_mut().take();
+        if v.is_some() {
+            bfly_san::if_on(|s| s.sync_acquire(s.sync_id(&self.state.san_id)));
+        }
+        v
     }
 
     /// True once the task has completed (and the result not yet taken).
@@ -1088,6 +1154,7 @@ impl<T> Future for JoinHandle<T> {
     type Output = T;
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
         if let Some(v) = self.state.result.borrow_mut().take() {
+            bfly_san::if_on(|s| s.sync_acquire(s.sync_id(&self.state.san_id)));
             return Poll::Ready(v);
         }
         self.state.waiters.borrow_mut().push(cx.waker().clone());

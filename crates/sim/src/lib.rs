@@ -22,6 +22,8 @@
 //! *simulated* machine has 128 processors; the simulator itself needs exact
 //! virtual-time ordering, which a single thread provides for free.
 
+// Every unsafe operation must be visible (and justified) at its own site.
+#![deny(unsafe_op_in_unsafe_fn)]
 pub mod exec;
 pub mod fault;
 pub mod resource;

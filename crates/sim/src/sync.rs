@@ -18,6 +18,8 @@ pub struct Gate {
 struct GateInner {
     open: Cell<bool>,
     waiters: RefCell<Vec<Waker>>,
+    /// Lazily-assigned sanitizer sync-object id (0 = unassigned).
+    san: Cell<u64>,
 }
 
 impl Gate {
@@ -27,12 +29,14 @@ impl Gate {
             inner: Rc::new(GateInner {
                 open: Cell::new(false),
                 waiters: RefCell::new(Vec::new()),
+                san: Cell::new(0),
             }),
         }
     }
 
     /// Open the gate, waking all waiters.
     pub fn open(&self) {
+        bfly_san::if_on(|s| s.sync_release(s.sync_id(&self.inner.san)));
         self.inner.open.set(true);
         for w in self.inner.waiters.borrow_mut().drain(..) {
             w.wake();
@@ -72,6 +76,7 @@ impl Future for GateWait {
     type Output = ();
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
         if self.inner.open.get() {
+            bfly_san::if_on(|s| s.sync_acquire(s.sync_id(&self.inner.san)));
             Poll::Ready(())
         } else {
             self.inner.waiters.borrow_mut().push(cx.waker().clone());
@@ -94,6 +99,8 @@ pub struct PromiseHandle<T> {
 struct PromiseInner<T> {
     value: RefCell<Option<T>>,
     waiters: RefCell<Vec<Waker>>,
+    /// Lazily-assigned sanitizer sync-object id (0 = unassigned).
+    san: Cell<u64>,
 }
 
 impl<T: Clone> Promise<T> {
@@ -102,6 +109,7 @@ impl<T: Clone> Promise<T> {
         let inner = Rc::new(PromiseInner {
             value: RefCell::new(None),
             waiters: RefCell::new(Vec::new()),
+            san: Cell::new(0),
         });
         (
             Promise {
@@ -116,6 +124,7 @@ impl<T: Clone> Promise<T> {
         let inner = self.inner.clone();
         std::future::poll_fn(move |cx| {
             if let Some(v) = inner.value.borrow().as_ref() {
+                bfly_san::if_on(|s| s.sync_acquire(s.sync_id(&inner.san)));
                 return Poll::Ready(v.clone());
             }
             inner.waiters.borrow_mut().push(cx.waker().clone());
@@ -126,7 +135,11 @@ impl<T: Clone> Promise<T> {
 
     /// Non-blocking check.
     pub fn try_get(&self) -> Option<T> {
-        self.inner.value.borrow().clone()
+        let v = self.inner.value.borrow().clone();
+        if v.is_some() {
+            bfly_san::if_on(|s| s.sync_acquire(s.sync_id(&self.inner.san)));
+        }
+        v
     }
 }
 
@@ -156,6 +169,7 @@ impl<T> PromiseHandle<T> {
             }
             *slot = Some(v);
         }
+        bfly_san::if_on(|s| s.sync_release(s.sync_id(&self.inner.san)));
         for w in self.inner.waiters.borrow_mut().drain(..) {
             w.wake();
         }
@@ -176,6 +190,8 @@ pub struct WaitQueue {
 
 struct WaitQueueInner {
     waiters: RefCell<VecDeque<Rc<ParkSlot>>>,
+    /// Lazily-assigned sanitizer sync-object id (0 = unassigned).
+    san: Cell<u64>,
 }
 
 struct ParkSlot {
@@ -189,6 +205,7 @@ impl WaitQueue {
         WaitQueue {
             inner: Rc::new(WaitQueueInner {
                 waiters: RefCell::new(VecDeque::new()),
+                san: Cell::new(0),
             }),
         }
     }
@@ -206,6 +223,7 @@ impl WaitQueue {
         let slot = self.inner.waiters.borrow_mut().pop_front();
         match slot {
             Some(s) => {
+                bfly_san::if_on(|sn| sn.sync_release(sn.sync_id(&self.inner.san)));
                 s.woken.set(true);
                 if let Some(w) = s.waker.borrow_mut().take() {
                     w.wake();
@@ -263,6 +281,7 @@ impl Future for Park {
             }
             Some(slot) => {
                 if slot.woken.get() {
+                    bfly_san::if_on(|s| s.sync_acquire(s.sync_id(&self.q.san)));
                     Poll::Ready(())
                 } else {
                     *slot.waker.borrow_mut() = Some(cx.waker().clone());
@@ -301,6 +320,8 @@ impl<T> Clone for Channel<T> {
 struct ChanInner<T> {
     data: RefCell<VecDeque<T>>,
     waiters: WaitQueue,
+    /// Lazily-assigned sanitizer sync-object id (0 = unassigned).
+    san: Cell<u64>,
 }
 
 impl<T> Channel<T> {
@@ -310,12 +331,14 @@ impl<T> Channel<T> {
             inner: Rc::new(ChanInner {
                 data: RefCell::new(VecDeque::new()),
                 waiters: WaitQueue::new(),
+                san: Cell::new(0),
             }),
         }
     }
 
     /// Enqueue a value; wakes one blocked receiver if any.
     pub fn send(&self, v: T) {
+        bfly_san::if_on(|s| s.chan_send(s.sync_id(&self.inner.san)));
         self.inner.data.borrow_mut().push_back(v);
         self.inner.waiters.wake_one();
     }
@@ -324,6 +347,7 @@ impl<T> Channel<T> {
     pub async fn recv(&self) -> T {
         loop {
             if let Some(v) = self.inner.data.borrow_mut().pop_front() {
+                bfly_san::if_on(|s| s.chan_recv(s.sync_id(&self.inner.san)));
                 return v;
             }
             self.inner.waiters.park().await;
@@ -332,7 +356,11 @@ impl<T> Channel<T> {
 
     /// Non-blocking dequeue.
     pub fn try_recv(&self) -> Option<T> {
-        self.inner.data.borrow_mut().pop_front()
+        let v = self.inner.data.borrow_mut().pop_front();
+        if v.is_some() {
+            bfly_san::if_on(|s| s.chan_recv(s.sync_id(&self.inner.san)));
+        }
+        v
     }
 
     /// Queued item count.

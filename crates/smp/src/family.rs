@@ -450,6 +450,25 @@ impl Member {
                         .node(node)
                         .alloc(CHANNEL_BUF)
                         .expect("SMP: node out of channel-buffer memory");
+                    if let Some(s) = st.os.machine.san_if_on() {
+                        s.alloc_range(
+                            b.node,
+                            b.offset as u64,
+                            CHANNEL_BUF as u64,
+                            &format!("smp channel buffer {}->{}", key.0, key.1),
+                        );
+                        // The sender overwrites the staging buffer on its
+                        // next send without waiting for the receiver's
+                        // copy-out — in the real SMP the hardware
+                        // double-buffered. A modeling artifact, not an
+                        // application race: exempt it.
+                        s.exempt_range(
+                            b.node,
+                            b.offset as u64,
+                            CHANNEL_BUF as u64,
+                            "smp staging buffer reuse (double-buffered in hardware)",
+                        );
+                    }
                     st.buffers.borrow_mut().insert(key, b);
                     b
                 }
@@ -516,6 +535,11 @@ impl Member {
             st.messages_corrupted.set(st.messages_corrupted.get() + 1);
         }
 
+        // Message-induced happens-before edge (send side). Placed after
+        // the loss gate so the per-link FIFO pairs exactly with receives.
+        if let Some(s) = st.os.machine.san_if_on() {
+            s.msg_send(st.placement[self.rank as usize], peer);
+        }
         st.inboxes[to as usize].send(Envelope {
             from: self.rank,
             data: payload,
@@ -547,6 +571,20 @@ impl Member {
                         .node(st.placement[self.rank as usize])
                         .alloc(CHANNEL_BUF)
                         .expect("SMP: node out of broadcast-buffer memory");
+                    if let Some(s) = st.os.machine.san_if_on() {
+                        s.alloc_range(
+                            b.node,
+                            b.offset as u64,
+                            CHANNEL_BUF as u64,
+                            &format!("smp broadcast buffer rank {}", self.rank),
+                        );
+                        s.exempt_range(
+                            b.node,
+                            b.offset as u64,
+                            CHANNEL_BUF as u64,
+                            "smp staging buffer reuse (double-buffered in hardware)",
+                        );
+                    }
                     st.bcast_buffers.borrow_mut().insert(self.rank, b);
                     b
                 }
@@ -570,6 +608,9 @@ impl Member {
                 .await;
             st.messages_sent.set(st.messages_sent.get() + 1);
             st.bytes_sent.set(st.bytes_sent.get() + data.len() as u64);
+            if let Some(s) = st.os.machine.san_if_on() {
+                s.msg_send(st.placement[self.rank as usize], st.placement[to as usize]);
+            }
             st.inboxes[to as usize].send(Envelope {
                 from: self.rank,
                 data: data.to_vec(),
@@ -584,6 +625,12 @@ impl Member {
         let st = &self.state;
         let p = &self.proc;
         let env = st.inboxes[self.rank as usize].recv().await;
+        if let Some(s) = st.os.machine.san_if_on() {
+            s.msg_recv(
+                st.placement[env.from as usize],
+                st.placement[self.rank as usize],
+            );
+        }
         p.compute(st.costs.recv_sw + st.os.costs.dualq_op).await;
         // Copy the payload out of the staging buffer. (Copy the address out
         // first: an `if let` on the borrow would hold the RefCell guard

@@ -18,6 +18,8 @@
 //! (lines, rings, meshes, tori) of processes connected by byte streams,
 //! buildable in half a page of code.
 
+// This crate needs no unsafe; keep it that way.
+#![forbid(unsafe_code)]
 pub mod family;
 pub mod net;
 pub mod sarcache;

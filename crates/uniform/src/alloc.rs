@@ -109,6 +109,14 @@ impl UsAllocator {
             .node(place)
             .alloc(bytes)
             .expect("US shared memory exhausted");
+        if let Some(s) = self.os.machine.san_if_on() {
+            s.alloc_range(
+                addr.node,
+                addr.offset as u64,
+                bytes as u64,
+                &format!("Us::alloc({bytes})"),
+            );
+        }
         lock.release(p).await;
         if let Some(pr) = probe {
             let now = self.os.sim().now();
@@ -140,6 +148,9 @@ impl UsAllocator {
             .borrow_mut()
             .remove(&(addr.node, addr.offset))
             .unwrap_or(bytes);
+        if let Some(s) = self.os.machine.san_if_on() {
+            s.free_range(addr.node, addr.offset as u64);
+        }
         self.os.machine.node(addr.node).free(addr, recorded);
     }
 
@@ -151,6 +162,14 @@ impl UsAllocator {
         for k in 0..self.nodes.len() {
             let n = self.nodes[(i + k) % self.nodes.len()];
             if let Some(a) = self.os.machine.node(n).alloc(bytes) {
+                if let Some(s) = self.os.machine.san_if_on() {
+                    s.alloc_range(
+                        a.node,
+                        a.offset as u64,
+                        bytes as u64,
+                        &format!("Us::share({bytes})"),
+                    );
+                }
                 return a;
             }
         }

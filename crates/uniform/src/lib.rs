@@ -22,6 +22,8 @@
 //! * block-copy helpers (`copy_in`/`copy_out` on [`bfly_chrysalis::Proc`])
 //!   for the "cache shared data in local memory" idiom.
 
+// This crate needs no unsafe; keep it that way.
+#![forbid(unsafe_code)]
 pub mod alloc;
 pub mod matrix;
 pub mod us;

@@ -156,7 +156,17 @@ impl Us {
                         0
                     };
                     p.compute(self.costs.dispatch).await;
-                    f(p.clone(), idx).await;
+                    {
+                        // Attribution frame so sanitizer findings name the
+                        // US task, not just the manager (gated: the format
+                        // is not paid on un-sanitized runs).
+                        let _frame = self
+                            .os
+                            .machine
+                            .san_if_on()
+                            .map(|_| bfly_san::annotate(&format!("us_task {idx}")));
+                        f(p.clone(), idx).await;
+                    }
                     if let Some(pr) = &probe {
                         pr.task_claimed(p.node);
                         let now = self.os.sim().now();
@@ -190,7 +200,13 @@ impl Us {
                             0
                         };
                         p.compute(self.costs.dispatch).await;
-                        (g.f)(p.clone(), g.base + idx).await;
+                        {
+                            let _frame =
+                                self.os.machine.san_if_on().map(|_| {
+                                    bfly_san::annotate(&format!("us_task {}", g.base + idx))
+                                });
+                            (g.f)(p.clone(), g.base + idx).await;
+                        }
                         if let Some(pr) = &probe {
                             pr.task_claimed(p.node);
                             let now = self.os.sim().now();

@@ -1,0 +1,387 @@
+//! # xtask — workspace lint gates
+//!
+//! `cargo xtask lint` enforces the repository's structural invariants,
+//! the ones `rustc` and `clippy` cannot see:
+//!
+//! 1. **Dependency edges** — `bfly-farmd` is the serving substrate and
+//!    must stay std-only: `bench -> farmd`, never the reverse. A single
+//!    `bfly-*` line in farmd's `[dependencies]` would invert the layering
+//!    and drag the whole simulation stack into the daemon.
+//! 2. **SAFETY comments** — every `unsafe` keyword must have a
+//!    `// SAFETY:` justification within the five preceding lines.
+//! 3. **Unsafe allowlist** — `unsafe` may appear only in `sim`,
+//!    `collections`, and `farmd`. New crates are born `#![forbid(unsafe_code)]`.
+//! 4. **Daemon unwrap ban** — no bare `.unwrap()` in farmd's
+//!    `server.rs`/`cache.rs` hot paths (outside `#[cfg(test)]`): a
+//!    poisoned cache shard must degrade, not kill the daemon.
+//!
+//! Each check is a pure function over `(path label, file contents)` so the
+//! unit tests below can feed deliberate violations without touching disk.
+//! The checks are line-based and intentionally unclever: they strip `//`
+//! comments before matching, which is enough for this codebase and keeps
+//! the gate auditable. `crates/xtask` itself is excluded from the walk —
+//! its test fixtures contain the very violations the gate exists to catch.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Crates allowed to contain the `unsafe` keyword at all.
+const UNSAFE_ALLOWLIST: &[&str] = &["sim", "collections", "farmd"];
+
+/// farmd files where bare `.unwrap()` is banned outside `#[cfg(test)]`.
+const NO_UNWRAP_FILES: &[&str] = &["crates/farmd/src/server.rs", "crates/farmd/src/cache.rs"];
+
+/// How far back (in lines) a `// SAFETY:` comment may sit from its
+/// `unsafe` keyword and still count as adjacent.
+const SAFETY_WINDOW: usize = 5;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(),
+        Some(other) => {
+            eprintln!("xtask: unknown command `{other}` (try `cargo xtask lint`)");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo xtask lint");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn lint() -> ExitCode {
+    let root = workspace_root();
+    let mut violations: Vec<String> = Vec::new();
+
+    // Check 1: farmd stays dependency-free (bench -> farmd, never the reverse).
+    let farmd_manifest = root.join("crates/farmd/Cargo.toml");
+    match std::fs::read_to_string(&farmd_manifest) {
+        Ok(text) => violations.extend(check_farmd_isolation("crates/farmd/Cargo.toml", &text)),
+        Err(e) => violations.push(format!("crates/farmd/Cargo.toml: unreadable: {e}")),
+    }
+
+    // Checks 2–4 walk every Rust source under crates/ (xtask excluded).
+    for path in rust_sources(&root.join("crates")) {
+        let label = path
+            .strip_prefix(&root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                violations.push(format!("{label}: unreadable: {e}"));
+                continue;
+            }
+        };
+        violations.extend(check_safety_comments(&label, &text));
+        violations.extend(check_unsafe_allowlist(&label, &text));
+        if NO_UNWRAP_FILES.contains(&label.as_str()) {
+            violations.extend(check_no_bare_unwrap(&label, &text));
+        }
+    }
+
+    if violations.is_empty() {
+        println!(
+            "xtask lint: ok (dependency edges, SAFETY comments, unsafe allowlist, daemon unwraps)"
+        );
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("xtask lint: {v}");
+        }
+        eprintln!("xtask lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// Resolve the workspace root from this crate's own manifest directory
+/// (`crates/xtask` -> two levels up), so the gate works from any cwd.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/xtask sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+/// Recursively collect `.rs` files under `dir`, skipping build output and
+/// this crate (whose test fixtures are deliberate violations).
+fn rust_sources(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name == "target" || name == "xtask" {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Check 1: dependency edges
+// ---------------------------------------------------------------------------
+
+/// farmd's `[dependencies]` section must be empty: the daemon is std-only,
+/// and in particular must never depend on a `bfly-*` crate (that would
+/// reverse the `bench -> farmd` edge and couple the serving layer to the
+/// simulation stack).
+fn check_farmd_isolation(label: &str, manifest: &str) -> Vec<String> {
+    let mut violations = Vec::new();
+    let mut in_deps = false;
+    for (i, raw) in manifest.lines().enumerate() {
+        let line = strip_comment(raw, "#").trim();
+        if line.starts_with('[') {
+            in_deps = line == "[dependencies]";
+            continue;
+        }
+        if in_deps && !line.is_empty() {
+            let dep = line.split(['=', '.']).next().unwrap_or(line).trim();
+            violations.push(format!(
+                "{label}:{}: farmd must stay std-only (bench -> farmd, never the reverse); \
+                 found dependency `{dep}`",
+                i + 1
+            ));
+        }
+    }
+    violations
+}
+
+// ---------------------------------------------------------------------------
+// Check 2: SAFETY comments
+// ---------------------------------------------------------------------------
+
+/// Every `unsafe` keyword needs a `// SAFETY:` comment on the same line or
+/// within the [`SAFETY_WINDOW`] preceding lines. Attribute spellings
+/// (`unsafe_code`, `unsafe_op_in_unsafe_fn`) are not uses of unsafe.
+fn check_safety_comments(label: &str, text: &str) -> Vec<String> {
+    let mut violations = Vec::new();
+    let lines: Vec<&str> = text.lines().collect();
+    for (i, raw) in lines.iter().enumerate() {
+        if !line_uses_unsafe(raw) {
+            continue;
+        }
+        let start = i.saturating_sub(SAFETY_WINDOW);
+        let justified = lines[start..=i].iter().any(|l| l.contains("SAFETY:"));
+        if !justified {
+            violations.push(format!(
+                "{label}:{}: `unsafe` without a `// SAFETY:` comment within {SAFETY_WINDOW} lines",
+                i + 1
+            ));
+        }
+    }
+    violations
+}
+
+// ---------------------------------------------------------------------------
+// Check 3: unsafe allowlist
+// ---------------------------------------------------------------------------
+
+/// `unsafe` may only appear in the allowlisted crates. `label` is a
+/// workspace-relative path like `crates/sim/src/exec.rs`.
+fn check_unsafe_allowlist(label: &str, text: &str) -> Vec<String> {
+    let crate_name = label
+        .strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .unwrap_or("");
+    if UNSAFE_ALLOWLIST.contains(&crate_name) {
+        return Vec::new();
+    }
+    let mut violations = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        if line_uses_unsafe(raw) {
+            violations.push(format!(
+                "{label}:{}: `unsafe` outside the allowlist ({}); new crates stay \
+                 `#![forbid(unsafe_code)]`",
+                i + 1,
+                UNSAFE_ALLOWLIST.join(", ")
+            ));
+        }
+    }
+    violations
+}
+
+// ---------------------------------------------------------------------------
+// Check 4: daemon unwrap ban
+// ---------------------------------------------------------------------------
+
+/// No bare `.unwrap()` before the first `#[cfg(test)]`: a poisoned lock or
+/// missing cache entry in the daemon's hot path must degrade gracefully
+/// (see `bfly_farmd::locked`), never abort the process. `.unwrap_or*` and
+/// `.unwrap_or_else` are fine — only the exact panicking form is banned.
+fn check_no_bare_unwrap(label: &str, text: &str) -> Vec<String> {
+    let mut violations = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        if raw.trim_start().starts_with("#[cfg(test)]") {
+            break;
+        }
+        if strip_comment(raw, "//").contains(".unwrap()") {
+            violations.push(format!(
+                "{label}:{}: bare `.unwrap()` in a daemon path; use `crate::locked`, \
+                 `.unwrap_or_else`, or `.expect(\"why this cannot fail\")`",
+                i + 1
+            ));
+        }
+    }
+    violations
+}
+
+// ---------------------------------------------------------------------------
+// Shared line helpers
+// ---------------------------------------------------------------------------
+
+/// Does this line use the `unsafe` keyword in code (not in a comment, not
+/// as part of an attribute/lint name)?
+fn line_uses_unsafe(raw: &str) -> bool {
+    if raw.contains("unsafe_code") || raw.contains("unsafe_op_in_unsafe_fn") {
+        return false;
+    }
+    let code = strip_comment(raw, "//");
+    contains_word(code, "unsafe")
+}
+
+/// Strip a trailing line comment introduced by `marker`. Line-based and
+/// string-literal-naive, which is sufficient for this codebase.
+fn strip_comment<'a>(raw: &'a str, marker: &str) -> &'a str {
+    match raw.find(marker) {
+        Some(pos) => &raw[..pos],
+        None => raw,
+    }
+}
+
+/// Whole-word containment: `needle` bounded by non-identifier characters.
+fn contains_word(haystack: &str, needle: &str) -> bool {
+    let mut from = 0;
+    while let Some(rel) = haystack[from..].find(needle) {
+        let start = from + rel;
+        let end = start + needle.len();
+        let pre_ok = start == 0
+            || !haystack[..start]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let post_ok = !haystack[end..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if pre_ok && post_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Tests: each check must fire on a deliberate violation and stay quiet on
+// the compliant form.
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn farmd_isolation_flags_bfly_dependency() {
+        let bad =
+            "[package]\nname = \"bfly-farmd\"\n\n[dependencies]\nbfly-sim = { workspace = true }\n";
+        let v = check_farmd_isolation("crates/farmd/Cargo.toml", bad);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("bfly-sim"), "{v:?}");
+    }
+
+    #[test]
+    fn farmd_isolation_flags_any_dependency_not_just_bfly() {
+        let bad = "[dependencies]\nserde = \"1\"\n";
+        let v = check_farmd_isolation("crates/farmd/Cargo.toml", bad);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("serde"), "{v:?}");
+    }
+
+    #[test]
+    fn farmd_isolation_accepts_empty_section_with_comments() {
+        let good = "[package]\nname = \"bfly-farmd\"\n\n# bench -> farmd, never the reverse\n[dependencies]\n# (deliberately empty)\n\n[dev-dependencies]\n";
+        assert!(check_farmd_isolation("crates/farmd/Cargo.toml", good).is_empty());
+    }
+
+    #[test]
+    fn safety_check_flags_unjustified_unsafe() {
+        let bad = "fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
+        let v = check_safety_comments("crates/sim/src/x.rs", bad);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains(":2:"), "{v:?}");
+    }
+
+    #[test]
+    fn safety_check_accepts_adjacent_justification() {
+        let good = "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid.\n    unsafe { *p }\n}\n";
+        assert!(check_safety_comments("crates/sim/src/x.rs", good).is_empty());
+    }
+
+    #[test]
+    fn safety_check_rejects_justification_beyond_window() {
+        let mut bad = String::from("// SAFETY: too far away to count.\n");
+        for _ in 0..SAFETY_WINDOW {
+            bad.push_str("fn pad() {}\n");
+        }
+        bad.push_str("fn f(p: *const u8) -> u8 { unsafe { *p } }\n");
+        let v = check_safety_comments("crates/sim/src/x.rs", &bad);
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn safety_check_ignores_attributes_and_comments() {
+        let good = "#![deny(unsafe_op_in_unsafe_fn)]\n#![forbid(unsafe_code)]\n// unsafe is discussed here but not used\n";
+        assert!(check_safety_comments("crates/x/src/lib.rs", good).is_empty());
+    }
+
+    #[test]
+    fn allowlist_flags_unsafe_in_foreign_crate() {
+        let bad = "// SAFETY: justified, but in the wrong crate entirely.\nlet x = unsafe { transmute(y) };\n";
+        let v = check_unsafe_allowlist("crates/apps/src/gauss.rs", bad);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("allowlist"), "{v:?}");
+    }
+
+    #[test]
+    fn allowlist_accepts_unsafe_in_sim() {
+        let text = "// SAFETY: fine here.\nlet x = unsafe { transmute(y) };\n";
+        assert!(check_unsafe_allowlist("crates/sim/src/exec.rs", text).is_empty());
+    }
+
+    #[test]
+    fn allowlist_does_not_match_identifiers_containing_unsafe() {
+        let text = "fn unsafely_named() {}\nlet not_unsafe_here = 1;\n";
+        assert!(check_unsafe_allowlist("crates/apps/src/x.rs", text).is_empty());
+    }
+
+    #[test]
+    fn unwrap_ban_flags_bare_unwrap_before_tests_only() {
+        let text = "fn hot() {\n    let g = m.lock().unwrap();\n}\n#[cfg(test)]\nmod tests {\n    fn t() { m.lock().unwrap(); }\n}\n";
+        let v = check_no_bare_unwrap("crates/farmd/src/server.rs", text);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains(":2:"), "{v:?}");
+    }
+
+    #[test]
+    fn unwrap_ban_accepts_recovering_forms() {
+        let text = "fn hot() {\n    let g = crate::locked(&m);\n    let v = o.unwrap_or_else(|p| p.into_inner());\n    let w = o.unwrap_or(0); // and a comment saying .unwrap() is banned\n}\n";
+        assert!(check_no_bare_unwrap("crates/farmd/src/server.rs", text).is_empty());
+    }
+}

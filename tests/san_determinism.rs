@@ -1,0 +1,143 @@
+//! The sanitizer observability contract, mirroring `probe_determinism.rs`:
+//! `bfly-san` is *observational only*. Running a workload with an ambient
+//! [`bfly_san::Sanitizer`] installed must produce bit-identical simulated
+//! results — virtual end time, communication counts, solution accuracy,
+//! and the full [`RunStats`](bfly_sim::exec::RunStats) fingerprint — as
+//! the same workload with the sanitizer off.
+//!
+//! And the sanitizer's own *findings* must be deterministic: the seeded
+//! witnesses of [`bfly_apps::witness`] are flagged with an identical race
+//! fingerprint on every run.
+
+use bfly_apps::gauss::{gauss_smp, gauss_smp_faulty, gauss_us, GaussResult};
+use bfly_apps::witness::{dualq_racey, lock_order_cycle, pivot_racey};
+use bfly_san::{install_ambient, Sanitizer};
+use bfly_sim::{FaultKind, FaultPlan};
+use proptest::prelude::*;
+
+/// Everything the sanitizer must not perturb, extracted from one run.
+#[derive(Debug, Clone, PartialEq)]
+struct Fingerprint {
+    time_ns: u64,
+    comm_ops: u64,
+    max_err_bits: u64,
+    run: bfly_sim::exec::RunStats,
+}
+
+impl Fingerprint {
+    fn of(r: GaussResult) -> Self {
+        Fingerprint {
+            time_ns: r.time_ns,
+            comm_ops: r.comm_ops,
+            // Bit pattern, not float compare: determinism means *identical*.
+            max_err_bits: r.max_err.to_bits(),
+            run: r.run,
+        }
+    }
+}
+
+/// Run `work` once with an ambient sanitizer installed and once without,
+/// asserting the sanitizer actually saw traffic (the on-run was
+/// instrumented, not silently unsanitized) and returning both fingerprints.
+fn sanitized_vs_bare(work: impl Fn() -> GaussResult) -> (Fingerprint, Fingerprint) {
+    let prev = install_ambient(Some(Sanitizer::new()));
+    let on = Fingerprint::of(work());
+    let san = install_ambient(prev).expect("sanitizer installed above");
+    let (reads, writes, atomics, syncs) = san.traffic();
+    assert!(
+        reads + writes + atomics + syncs > 0,
+        "ambient sanitizer recorded nothing — instrumentation lost"
+    );
+    assert!(
+        san.is_clean(),
+        "the application suite is race-clean; sanitizer says {}",
+        san.verdict_line()
+    );
+    let off = Fingerprint::of(work());
+    (on, off)
+}
+
+/// T15-style plan: degrade a couple of switch links, never lose messages
+/// (loss would wedge the pivot broadcast — see `gauss_smp_faulty` docs).
+fn degrade_plan(seed: u64) -> FaultPlan {
+    let mut plan = FaultPlan::new(seed);
+    plan.push(
+        0,
+        FaultKind::LinkDegrade {
+            stage: 3,
+            port: (seed % 16) as u32,
+            factor: 4,
+        },
+    );
+    plan.push(
+        50_000,
+        FaultKind::LinkDegrade {
+            stage: 3,
+            port: ((seed + 5) % 16) as u32,
+            factor: 8,
+        },
+    );
+    plan
+}
+
+#[test]
+fn fig5_us_point_is_sanitizer_invariant() {
+    let all: Vec<u16> = (0..128).collect();
+    let (on, off) = sanitized_vs_bare(|| gauss_us(16, 24, all.clone(), 11));
+    assert_eq!(on, off, "sanitizer changed the Uniform System FIG5 point");
+}
+
+#[test]
+fn fig5_smp_point_is_sanitizer_invariant() {
+    let (on, off) = sanitized_vs_bare(|| gauss_smp(16, 24, 11));
+    assert_eq!(on, off, "sanitizer changed the SMP FIG5 point");
+}
+
+#[test]
+fn t15_faulty_point_is_sanitizer_invariant() {
+    let plan = degrade_plan(11);
+    let (on, off) = sanitized_vs_bare(|| gauss_smp_faulty(16, 24, 11, &plan));
+    assert_eq!(on, off, "sanitizer changed the degraded-link T15 point");
+}
+
+/// Run the full buggy-witness suite under a fresh sanitizer and return the
+/// stable findings fingerprint.
+fn witness_findings() -> (Vec<String>, String) {
+    let prev = install_ambient(Some(Sanitizer::new()));
+    dualq_racey(20);
+    pivot_racey(16);
+    lock_order_cycle();
+    let san = install_ambient(prev).expect("sanitizer installed above");
+    (san.race_fingerprint(), san.verdict_line())
+}
+
+#[test]
+fn witness_findings_are_deterministic() {
+    let (fp1, verdict1) = witness_findings();
+    assert!(
+        !fp1.is_empty(),
+        "witness suite must produce findings: {verdict1}"
+    );
+    for _ in 0..2 {
+        let (fp, verdict) = witness_findings();
+        assert_eq!(fp, fp1, "race fingerprint drifted between runs");
+        assert_eq!(verdict, verdict1, "verdict drifted between runs");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Any seed, both models, with and without faults: sanitizer on vs off
+    /// must fingerprint identically.
+    #[test]
+    fn sanitizer_never_perturbs_results(seed in 0u64..1_000) {
+        let all: Vec<u16> = (0..128).collect();
+        let (on, off) = sanitized_vs_bare(|| gauss_us(8, 16, all.clone(), seed));
+        prop_assert_eq!(on, off);
+
+        let plan = degrade_plan(seed);
+        let (on, off) = sanitized_vs_bare(|| gauss_smp_faulty(8, 16, seed, &plan));
+        prop_assert_eq!(on, off);
+    }
+}
