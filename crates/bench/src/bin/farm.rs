@@ -13,14 +13,18 @@
 //!   the standard job mix cold (`refresh`), then warm (`use`), verify the
 //!   warm bytes are bit-identical to a cache-bypassing recomputation, and
 //!   gate on the warm-over-cold speedup. Prints a JSON summary.
+//!   `--router <n>` boots an in-process n-shard cluster behind a
+//!   `farm-router` and benches through it instead of `--addr`.
 //!
 //! Every subcommand takes `--addr <host:port | unix:/path>` (default
-//! `127.0.0.1:4655`).
+//! `127.0.0.1:4655`). Transient refusals — connection failures and
+//! `queue full` backpressure — are retried with bounded, seeded-jitter
+//! exponential backoff (`--retry-tries <n>`, default 6; 0 disables).
 
 use std::io::Read;
 use std::time::Duration;
 
-use bfly_bench::farm::{run_batch, serve_bench_against};
+use bfly_bench::farm::{run_batch, serve_bench_against, transient_client_error, Backoff};
 use bfly_farmd::json::Value;
 use bfly_farmd::Client;
 
@@ -36,9 +40,36 @@ fn fail(msg: &str) -> ! {
     std::process::exit(1);
 }
 
+/// The client retry schedule: bounded exponential backoff with seeded
+/// jitter (25 ms base, 2 s cap). `--retry-tries 0` makes every transient
+/// refusal immediately fatal.
+fn backoff_of(args: &[String]) -> Backoff {
+    let tries: u32 = arg_value(args, "--retry-tries")
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| fail("--retry-tries takes a count"))
+        })
+        .unwrap_or(6);
+    Backoff::new(tries, 25, 2_000)
+}
+
 fn connect(args: &[String]) -> Client {
     let addr = arg_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:4655".into());
-    Client::connect(&addr).unwrap_or_else(|e| fail(&format!("connect {addr}: {e}")))
+    let mut backoff = backoff_of(args);
+    loop {
+        match Client::connect(&addr) {
+            Ok(c) => return c,
+            Err(e) if !backoff.exhausted() => {
+                let d = backoff.next_delay();
+                eprintln!(
+                    "farm: connect {addr}: {e}; retrying in {} ms",
+                    d.as_millis()
+                );
+                std::thread::sleep(d);
+            }
+            Err(e) => fail(&format!("connect {addr}: {e}")),
+        }
+    }
 }
 
 fn one_op(args: &[String], line: &str) -> ! {
@@ -79,9 +110,22 @@ fn submit(args: &[String]) -> ! {
     line.push('}');
 
     let mut c = connect(args);
-    let mut v = c
-        .request_line(&line)
-        .unwrap_or_else(|e| fail(&format!("request: {e}")));
+    let mut backoff = backoff_of(args);
+    let mut v = loop {
+        let v = c
+            .request_line(&line)
+            .unwrap_or_else(|e| fail(&format!("request: {e}")));
+        if v.get("ok").and_then(Value::as_bool) == Some(true) {
+            break v;
+        }
+        let err = v.get("error").and_then(Value::as_str).unwrap_or("");
+        if !transient_client_error(err) || backoff.exhausted() {
+            break v;
+        }
+        let d = backoff.next_delay();
+        eprintln!("farm: {err}; retrying in {} ms", d.as_millis());
+        std::thread::sleep(d);
+    };
     if args.iter().any(|a| a == "--wait") {
         while v.get("ok").and_then(Value::as_bool) == Some(true)
             && matches!(
@@ -127,7 +171,18 @@ fn batch(args: &[String]) -> ! {
     }
     let mode = arg_value(args, "--cache").unwrap_or_else(|| "use".into());
     let mut c = connect(args);
-    match run_batch(&mut c, &jobs, &mode) {
+    let mut backoff = backoff_of(args);
+    let outcome = loop {
+        match run_batch(&mut c, &jobs, &mode) {
+            Err(e) if transient_client_error(&e.to_string()) && !backoff.exhausted() => {
+                let d = backoff.next_delay();
+                eprintln!("farm: {e}; retrying in {} ms", d.as_millis());
+                std::thread::sleep(d);
+            }
+            other => break other,
+        }
+    };
+    match outcome {
         Ok((v, wall)) => {
             println!("{}", v.dump());
             eprintln!(
@@ -155,17 +210,48 @@ fn batch(args: &[String]) -> ! {
 }
 
 fn bench(args: &[String]) -> ! {
-    let addr = arg_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:4655".into());
     let min_speedup: f64 = arg_value(args, "--min-speedup")
         .map(|v| {
             v.parse()
                 .unwrap_or_else(|_| fail("--min-speedup takes a ratio like 5"))
         })
         .unwrap_or(0.0);
+    // `--router <n>` benches through an in-process n-shard cluster
+    // instead of a daemon at --addr; the router speaks the same protocol
+    // so the serve legs are unchanged — only the topology differs.
+    let cluster = arg_value(args, "--router").map(|n| {
+        let n: usize = n
+            .parse()
+            .unwrap_or_else(|_| fail("--router takes a shard count"));
+        if n < 2 {
+            fail("--router needs at least 2 shards");
+        }
+        bfly_bench::cluster::Cluster::boot(n, 2)
+            .unwrap_or_else(|e| fail(&format!("boot cluster: {e}")))
+    });
+    let addr = match &cluster {
+        Some(cl) => cl.router.addr.clone(),
+        None => arg_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:4655".into()),
+    };
     let s = serve_bench_against(&addr).unwrap_or_else(|e| fail(&format!("bench: {e}")));
+    let (shards, rerouted, lost) = match &cluster {
+        None => (1, 0, 0),
+        Some(cl) => {
+            let stats = cl.stats().unwrap_or_else(|e| fail(&format!("stats: {e}")));
+            let stat = |k: &str| {
+                stats
+                    .get("jobs")
+                    .and_then(|j| j.get(k))
+                    .and_then(Value::as_u64)
+                    .unwrap_or(0)
+            };
+            (cl.len(), stat("rerouted"), stat("lost"))
+        }
+    };
     println!(
-        "{{\"jobs\": {}, \"cold_wall_ms\": {:.1}, \"warm_wall_ms\": {:.3}, \"hits\": {}, \
-         \"hit_rate\": {:.3}, \"speedup\": {:.1}, \"bit_identical\": true}}",
+        "{{\"jobs\": {}, \"shards\": {shards}, \"cold_wall_ms\": {:.1}, \
+         \"warm_wall_ms\": {:.3}, \"hits\": {}, \"hit_rate\": {:.3}, \"speedup\": {:.1}, \
+         \"rerouted\": {rerouted}, \"lost\": {lost}, \"bit_identical\": true}}",
         s.jobs,
         s.cold_wall.as_secs_f64() * 1e3,
         s.warm_wall.as_secs_f64() * 1e3,
@@ -173,6 +259,12 @@ fn bench(args: &[String]) -> ! {
         s.hit_rate(),
         s.speedup().min(1e6)
     );
+    if let Some(cl) = cluster {
+        cl.shutdown();
+    }
+    if lost != 0 {
+        fail(&format!("cluster lost {lost} jobs"));
+    }
     if s.hits < s.jobs as u64 {
         fail(&format!("warm batch hit only {}/{} jobs", s.hits, s.jobs));
     }

@@ -1,0 +1,73 @@
+//! `farm_chaos` — run one seeded chaos schedule against a real in-process
+//! farmd cluster (shards behind chaos proxies behind a `farm-router`)
+//! and verify the cluster invariants:
+//!
+//! * no submitted job is lost (every one reaches a terminal verdict),
+//! * no job's terminal verdict is delivered twice,
+//! * every `done` result is byte-identical to a pure recomputation —
+//!   across failover, replication, and disk-tier corruption.
+//!
+//! The fault schedule is `FaultPlan::random(seed, ..)` mapped onto shard
+//! kills, link cuts/delays, and disk corruption across the chaos window.
+//! Exits 0 with a one-line JSON outcome on stdout when every invariant
+//! holds; exits 1 with the violation on stderr otherwise. The CI
+//! `cluster-chaos` job runs this and uploads the router stats artifact.
+//!
+//! Usage: `farm_chaos [--seed N] [--shards N] [--window-ms N] [--stats-out FILE]`
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parsed<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    match arg_value(args, flag) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("farm_chaos: {flag} takes a number, got `{v}`");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "farm_chaos [--seed N] [--shards N] [--window-ms N] [--stats-out FILE]\n\
+             seeded chaos run against an in-process farm-router cluster"
+        );
+        return;
+    }
+    let seed: u64 = parsed(&args, "--seed", 0);
+    let shards: usize = parsed(&args, "--shards", 3);
+    let window_ms: u64 = parsed(&args, "--window-ms", 2_000);
+    if shards < 2 {
+        eprintln!("farm_chaos: need at least 2 shards for failover to mean anything");
+        std::process::exit(2);
+    }
+
+    eprintln!("farm_chaos: seed {seed}, {shards} shards, {window_ms} ms chaos window");
+    match bfly_bench::cluster::chaos_run(seed, shards, window_ms) {
+        Ok(out) => {
+            if let Some(path) = arg_value(&args, "--stats-out") {
+                if let Err(e) = std::fs::write(&path, &out.stats_json) {
+                    eprintln!("farm_chaos: write {path}: {e}");
+                    std::process::exit(1);
+                }
+                eprintln!("farm_chaos: wrote router stats to {path}");
+            }
+            eprintln!(
+                "farm_chaos: OK — {} faults injected, {} jobs done, {} rerouted, 0 lost",
+                out.faults, out.done, out.rerouted
+            );
+            println!("{}", out.to_json());
+        }
+        Err(e) => {
+            eprintln!("farm_chaos: INVARIANT VIOLATION — {e}");
+            std::process::exit(1);
+        }
+    }
+}

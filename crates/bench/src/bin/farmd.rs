@@ -16,6 +16,8 @@
 //!   defaults for jobs that don't set their own.
 //! * `--port-file <path>` — write the bound address there once listening
 //!   (how the CI farmd-e2e job finds an ephemeral port).
+//! * `--shard-id <name>` — identity reported in `ping`/`stats` when this
+//!   daemon serves as a cluster shard behind `farm-router`.
 
 use std::sync::Arc;
 
@@ -68,6 +70,9 @@ fn main() {
     }
     if let Some(q) = parsed(&args, "--max-queue") {
         config.max_queue = q;
+    }
+    if let Some(id) = arg_value(&args, "--shard-id") {
+        config.shard_id = Some(id);
     }
 
     install_signal_drain();

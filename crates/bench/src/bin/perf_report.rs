@@ -27,6 +27,12 @@
 //!   verification pass), and record the timings in the report's `serve`
 //!   section. `--serve-min-speedup <x>` additionally gates on the
 //!   warm-over-cold ratio (the CI farmd-e2e job uses 5).
+//! * `--cluster-bench` — boot an in-process 3-shard farmd cluster behind
+//!   a `farm-router` (replication 2), run the job mix cold / warm /
+//!   warm-after-killing-a-shard with per-job latency sampling and a
+//!   bit-identity check across all three legs, and record p50/p99 per
+//!   leg in the report's `cluster` section. `--cluster-shards <n>`
+//!   overrides the shard count.
 
 use std::time::Instant;
 
@@ -110,6 +116,32 @@ fn main() {
             s.speedup()
         );
         report.serve = Some(s);
+    }
+
+    if args.iter().any(|a| a == "--cluster-bench") {
+        let shards: usize = arg_value(&args, "--cluster-shards")
+            .map(|v| v.parse().expect("--cluster-shards takes a count"))
+            .unwrap_or(3);
+        eprintln!("running {shards}-shard cluster benchmark ...");
+        let c = bfly_bench::cluster::cluster_bench(shards).expect("cluster bench");
+        let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+        eprintln!(
+            "  {} jobs x {} shards (R={}): cold p50 {:.1} / p99 {:.1} ms, \
+             warm p50 {:.3} / p99 {:.3} ms, failover p50 {:.3} / p99 {:.3} ms \
+             ({} rerouted, {} lost)",
+            c.jobs,
+            c.shards,
+            c.replicas,
+            ms(c.cold.p50),
+            ms(c.cold.p99),
+            ms(c.warm.p50),
+            ms(c.warm.p99),
+            ms(c.failover.p50),
+            ms(c.failover.p99),
+            c.rerouted,
+            c.lost
+        );
+        report.cluster = Some(c);
     }
 
     let headline = report.headline_events_per_sec();

@@ -329,6 +329,75 @@ pub fn batch_results(v: &Value) -> std::io::Result<Vec<String>> {
         .collect()
 }
 
+/// True for daemon/router errors a client should retry with backoff:
+/// admission backpressure, not verdicts. Transport-level connect
+/// failures are transient too, but those surface as `io::Error`, not as
+/// protocol error strings — callers handle both (see the `farm` bin).
+pub fn transient_client_error(err: &str) -> bool {
+    err.contains("queue full")
+}
+
+/// Bounded exponential backoff with seeded jitter for `farm` client
+/// retries: delay `n` is `min(cap, base << n)` scaled by a jitter factor
+/// in `[0.5, 1.0]` drawn from a [`bfly_sim::SplitMix64`] stream. The
+/// jitter decorrelates a fleet of clients hammering one router after a
+/// `queue full` refusal; the seed makes any single client's retry
+/// schedule reproducible.
+pub struct Backoff {
+    rng: bfly_sim::SplitMix64,
+    attempt: u32,
+    max_tries: u32,
+    base_ms: u64,
+    cap_ms: u64,
+}
+
+impl Backoff {
+    /// Backoff seeded from the process id (decorrelated across client
+    /// processes, stable within one).
+    pub fn new(max_tries: u32, base_ms: u64, cap_ms: u64) -> Backoff {
+        Backoff::seeded(std::process::id() as u64, max_tries, base_ms, cap_ms)
+    }
+
+    /// Fully deterministic backoff for tests.
+    pub fn seeded(seed: u64, max_tries: u32, base_ms: u64, cap_ms: u64) -> Backoff {
+        Backoff {
+            rng: bfly_sim::SplitMix64::new(seed ^ 0xb0ff_0ff5_ee1d_ed00),
+            attempt: 0,
+            max_tries,
+            base_ms,
+            cap_ms,
+        }
+    }
+
+    /// True once the retry budget is spent.
+    pub fn exhausted(&self) -> bool {
+        self.attempt >= self.max_tries
+    }
+
+    /// Next delay in the schedule (advances the attempt counter).
+    /// Always at least 1ms, never more than `cap_ms`.
+    pub fn next_delay(&mut self) -> Duration {
+        let exp = self.attempt.min(16);
+        self.attempt = self.attempt.saturating_add(1);
+        let raw = self.base_ms.saturating_shl(exp).min(self.cap_ms);
+        // Jitter in [0.5, 1.0]: half the window is guaranteed spacing,
+        // half is decorrelation.
+        let frac = (self.rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let ms = ((raw as f64) * (0.5 + 0.5 * frac)).round() as u64;
+        Duration::from_millis(ms.clamp(1, self.cap_ms))
+    }
+}
+
+trait SaturatingShl {
+    fn saturating_shl(self, n: u32) -> Self;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, n: u32) -> u64 {
+        self.checked_shl(n).unwrap_or(u64::MAX)
+    }
+}
+
 /// Boot an in-process daemon on an ephemeral port with a throwaway cache
 /// directory, run the standard job mix cold then warm, verify the warm
 /// bytes are bit-identical to a cache-bypassing recomputation, and
@@ -432,6 +501,47 @@ mod tests {
         assert!(v.get("table").and_then(|t| t.get("rows")).is_some());
         assert!(v.get("run").and_then(|r| r.get("events")).is_some());
         assert!(v.get("probe").unwrap().is_null());
+    }
+
+    #[test]
+    fn backoff_is_bounded_jittered_and_seed_deterministic() {
+        let delays = |seed: u64| -> Vec<Duration> {
+            let mut b = Backoff::seeded(seed, 6, 10, 400);
+            let mut out = Vec::new();
+            while !b.exhausted() {
+                out.push(b.next_delay());
+            }
+            out
+        };
+        let a = delays(7);
+        assert_eq!(a.len(), 6, "budget is bounded");
+        assert_eq!(a, delays(7), "same seed, same schedule");
+        assert_ne!(a, delays(8), "different seeds decorrelate");
+        for (i, d) in a.iter().enumerate() {
+            let ceil = (10u64 << i).min(400);
+            assert!(
+                d.as_millis() as u64 >= (ceil / 2).max(1) && d.as_millis() as u64 <= ceil,
+                "delay {i} = {d:?} outside [{}..{ceil}]ms",
+                ceil / 2
+            );
+        }
+        // The exponential actually grows until the cap bites.
+        assert!(a[3] > a[0], "later delays dominate earlier ones");
+
+        // Overflow safety: an absurd attempt count can't shift past 64.
+        let mut b = Backoff::seeded(1, u32::MAX, u64::MAX / 2, u64::MAX);
+        for _ in 0..40 {
+            let _ = b.next_delay();
+        }
+    }
+
+    #[test]
+    fn transient_errors_are_only_backpressure() {
+        assert!(transient_client_error(
+            "queue full (4096 jobs); backpressure: retry later"
+        ));
+        assert!(!transient_client_error("draining: no new jobs accepted"));
+        assert!(!transient_client_error("unknown experiment `nope`"));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 // This crate needs no unsafe; keep it that way.
 #![forbid(unsafe_code)]
 pub mod cli;
+pub mod cluster;
 pub mod experiments;
 pub mod farm;
 pub mod report;

@@ -117,6 +117,9 @@ pub struct PerfReport {
     /// Cold/warm serving benchmark (`perf_report --serve-bench`); absent
     /// when the serving layer wasn't exercised.
     pub serve: Option<crate::farm::ServeBenchResult>,
+    /// Sharded-cluster latency benchmark (`perf_report --cluster-bench`);
+    /// absent when the router wasn't exercised.
+    pub cluster: Option<crate::cluster::ClusterBenchResult>,
 }
 
 impl PerfReport {
@@ -197,6 +200,32 @@ impl PerfReport {
                     // Clamp: an unmeasurably fast warm leg must not print
                     // `inf` (invalid JSON).
                     s.speedup().min(1e6)
+                );
+            }
+        }
+        out.push_str(",\n  \"cluster\": ");
+        match &self.cluster {
+            None => out.push_str("null"),
+            Some(c) => {
+                let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+                let _ = write!(
+                    out,
+                    "{{\"shards\": {}, \"replicas\": {}, \"jobs\": {}, \
+                     \"cold_p50_ms\": {:.1}, \"cold_p99_ms\": {:.1}, \
+                     \"warm_p50_ms\": {:.3}, \"warm_p99_ms\": {:.3}, \
+                     \"failover_p50_ms\": {:.3}, \"failover_p99_ms\": {:.3}, \
+                     \"rerouted\": {}, \"lost\": {}}}",
+                    c.shards,
+                    c.replicas,
+                    c.jobs,
+                    ms(c.cold.p50),
+                    ms(c.cold.p99),
+                    ms(c.warm.p50),
+                    ms(c.warm.p99),
+                    ms(c.failover.p50),
+                    ms(c.failover.p99),
+                    c.rerouted,
+                    c.lost
                 );
             }
         }
@@ -408,6 +437,7 @@ mod tests {
             }],
             tables: Vec::new(),
             serve: None,
+            cluster: None,
         };
         // geomean(1e7, 4e7) = 2e7
         assert!((report.headline_events_per_sec() - 2e7).abs() < 1e3);
@@ -438,6 +468,7 @@ mod tests {
             ],
             tables: Vec::new(),
             serve: None,
+            cluster: None,
         };
         let json = report.to_json();
         let quick = parse_sweep_wall_ms(&json, "fig5_gauss_quick").unwrap();

@@ -36,6 +36,7 @@ fn sample_report() -> PerfReport {
         }],
         tables: Vec::new(),
         serve: None,
+        cluster: None,
     };
     let mut t = Table::new("demo \"table\"", &["P", "time (ms)"]);
     t.row(vec!["16".into(), "1.5".into()]);
@@ -73,6 +74,7 @@ fn bench_report_json_schema_is_stable() {
         "\"points\":",
         "\"threads\":",
         "\"serve\": null",
+        "\"cluster\": null",
         "\"tables\": [",
     ] {
         assert!(json.contains(key), "report must carry {key}\n{json}");
@@ -135,6 +137,63 @@ fn serve_section_schema_is_stable() {
     let json = report.to_json();
     validate_json(&json).unwrap_or_else(|(pos, msg)| panic!("invalid report at {pos}: {msg}"));
     assert!(json.contains("\"speedup\": 1000000.0"));
+}
+
+#[test]
+fn cluster_section_schema_is_stable() {
+    use bfly_bench::cluster::{ClusterBenchResult, LatencyLeg};
+    let mut report = sample_report();
+    report.cluster = Some(ClusterBenchResult {
+        shards: 3,
+        replicas: 2,
+        jobs: 8,
+        cold: LatencyLeg {
+            p50: Duration::from_millis(500),
+            p99: Duration::from_millis(900),
+        },
+        warm: LatencyLeg {
+            p50: Duration::from_millis(2),
+            p99: Duration::from_millis(5),
+        },
+        failover: LatencyLeg {
+            p50: Duration::from_millis(3),
+            p99: Duration::from_millis(40),
+        },
+        rerouted: 4,
+        lost: 0,
+    });
+    let json = report.to_json();
+    validate_json(&json).unwrap_or_else(|(pos, msg)| panic!("invalid report at {pos}: {msg}"));
+
+    // Golden key set for the cluster benchmark section.
+    for key in [
+        "\"cluster\": {",
+        "\"shards\": 3",
+        "\"replicas\": 2",
+        "\"jobs\": 8",
+        "\"cold_p50_ms\": 500.0",
+        "\"cold_p99_ms\": 900.0",
+        "\"warm_p50_ms\": 2.000",
+        "\"warm_p99_ms\": 5.000",
+        "\"failover_p50_ms\": 3.000",
+        "\"failover_p99_ms\": 40.000",
+        "\"rerouted\": 4",
+        "\"lost\": 0",
+    ] {
+        assert!(
+            json.contains(key),
+            "cluster section must carry {key}\n{json}"
+        );
+    }
+    // Section order is part of the schema: serve, then cluster, then tables.
+    let serve_at = json.find("\"serve\"").unwrap();
+    let cluster_at = json.find("\"cluster\"").unwrap();
+    let tables_at = json.find("\"tables\"").unwrap();
+    assert!(serve_at < cluster_at && cluster_at < tables_at);
+
+    // The headline/sweep scanners must be unaffected by the new section.
+    assert!(parse_headline(&json).is_some());
+    assert!(parse_sweep_wall_ms(&json, "fig5_gauss_quick").is_some());
 }
 
 fn sample_probe() -> Probe {

@@ -1,0 +1,179 @@
+//! Shard health: a small state machine driven by ping outcomes.
+//!
+//! ```text
+//!            ok                    fail × evict_after
+//!   Up  ←─────────── Suspect ─────────────────────────→ Down
+//!    │ fail              ↑ fail                           │ ok
+//!    └───────────────────┘                                ▼
+//!   Up ←── ok × probation_oks ─── Probation ── fail ──→ Down
+//! ```
+//!
+//! `Up` and `Suspect` shards serve traffic (one dropped ping must not
+//! evict a shard mid-batch); `Down` and `Probation` shards do not. A
+//! rejoining shard sits in probation until it answers `probation_oks`
+//! consecutive pings — a flapping shard (the chaos harness's favourite)
+//! must prove itself before the ring warms it back up, or every flap
+//! would trigger a rebalance.
+
+/// Health of one shard, as seen by the router's prober.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Health {
+    /// Answering pings.
+    Up,
+    /// Missed `fails` consecutive pings (still serving).
+    Suspect { fails: u32 },
+    /// Evicted: not serving, being probed for rejoin.
+    Down,
+    /// Rejoining: answered `oks` consecutive probes, not yet serving.
+    Probation { oks: u32 },
+}
+
+/// What a ping outcome changed, from the ring's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transition {
+    /// No membership change.
+    None,
+    /// The shard just left the serving set (rebalance away from it).
+    Left,
+    /// The shard just rejoined the serving set (rebalance onto it).
+    Joined,
+}
+
+/// Tunable thresholds.
+#[derive(Debug, Clone, Copy)]
+pub struct HealthPolicy {
+    /// Consecutive ping failures before eviction.
+    pub evict_after: u32,
+    /// Consecutive probe successes before a rejoin.
+    pub probation_oks: u32,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            evict_after: 3,
+            probation_oks: 2,
+        }
+    }
+}
+
+impl Health {
+    /// Is this shard in the serving set?
+    pub fn serving(self) -> bool {
+        matches!(self, Health::Up | Health::Suspect { .. })
+    }
+
+    /// Wire name for `stats`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Health::Up => "up",
+            Health::Suspect { .. } => "suspect",
+            Health::Down => "down",
+            Health::Probation { .. } => "probation",
+        }
+    }
+
+    /// Record a successful ping.
+    pub fn record_ok(&mut self, policy: &HealthPolicy) -> Transition {
+        match *self {
+            Health::Up => Transition::None,
+            Health::Suspect { .. } => {
+                *self = Health::Up;
+                Transition::None
+            }
+            Health::Down => {
+                *self = if policy.probation_oks <= 1 {
+                    Health::Up
+                } else {
+                    Health::Probation { oks: 1 }
+                };
+                if policy.probation_oks <= 1 {
+                    Transition::Joined
+                } else {
+                    Transition::None
+                }
+            }
+            Health::Probation { oks } => {
+                if oks + 1 >= policy.probation_oks {
+                    *self = Health::Up;
+                    Transition::Joined
+                } else {
+                    *self = Health::Probation { oks: oks + 1 };
+                    Transition::None
+                }
+            }
+        }
+    }
+
+    /// Record a failed ping.
+    pub fn record_fail(&mut self, policy: &HealthPolicy) -> Transition {
+        match *self {
+            Health::Up => {
+                if policy.evict_after <= 1 {
+                    *self = Health::Down;
+                    Transition::Left
+                } else {
+                    *self = Health::Suspect { fails: 1 };
+                    Transition::None
+                }
+            }
+            Health::Suspect { fails } => {
+                if fails + 1 >= policy.evict_after {
+                    *self = Health::Down;
+                    Transition::Left
+                } else {
+                    *self = Health::Suspect { fails: fails + 1 };
+                    Transition::None
+                }
+            }
+            Health::Down => Transition::None,
+            Health::Probation { .. } => {
+                // A flap during probation starts rejoin over.
+                *self = Health::Down;
+                Transition::None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eviction_takes_consecutive_failures() {
+        let p = HealthPolicy::default(); // evict_after 3, probation 2
+        let mut h = Health::Up;
+        assert_eq!(h.record_fail(&p), Transition::None);
+        assert!(h.serving(), "one dropped ping must not evict");
+        assert_eq!(h.record_ok(&p), Transition::None);
+        assert_eq!(h, Health::Up, "a success resets the failure streak");
+        for _ in 0..2 {
+            assert_eq!(h.record_fail(&p), Transition::None);
+        }
+        assert_eq!(h.record_fail(&p), Transition::Left);
+        assert_eq!(h, Health::Down);
+        assert!(!h.serving());
+    }
+
+    #[test]
+    fn rejoin_goes_through_probation() {
+        let p = HealthPolicy::default();
+        let mut h = Health::Down;
+        assert_eq!(h.record_ok(&p), Transition::None);
+        assert!(!h.serving(), "probation does not serve yet");
+        assert_eq!(h.record_ok(&p), Transition::Joined);
+        assert_eq!(h, Health::Up);
+    }
+
+    #[test]
+    fn a_flap_during_probation_starts_over() {
+        let p = HealthPolicy::default();
+        let mut h = Health::Down;
+        assert_eq!(h.record_ok(&p), Transition::None);
+        assert_eq!(h.record_fail(&p), Transition::None);
+        assert_eq!(h, Health::Down);
+        assert_eq!(h.record_ok(&p), Transition::None);
+        assert_eq!(h.record_ok(&p), Transition::Joined);
+    }
+}

@@ -1,0 +1,107 @@
+//! `farm-router` — cluster front-end for farmd shards (DESIGN.md §14).
+//!
+//! Routes `farm` protocol traffic across N farmd shards by content key,
+//! with health-checked failover and warm rebalance. Flags:
+//!
+//! * `--listen <host:port>` — client-facing TCP address (default
+//!   `127.0.0.1:4656`; use `:0` for an ephemeral port).
+//! * `--shard <host:port>` — one farmd shard; repeat for each shard
+//!   (at least one required).
+//! * `--replicas <n>` — cache replication factor R (default 2).
+//! * `--vnodes <n>` — virtual nodes per shard (default 64).
+//! * `--workers <n>` — dispatcher threads (default 4).
+//! * `--max-queue <n>` — routing-queue backpressure bound (default 4096).
+//! * `--ping-interval-ms <n>` / `--ping-timeout-ms <n>` — prober cadence
+//!   and deadline (defaults 500 / 250).
+//! * `--attempt-timeout-ms <n>` — per-shard forwarding deadline
+//!   (default 10000).
+//! * `--route-deadline-ms <n>` — total routing budget for jobs without
+//!   their own deadline (default 30000).
+//! * `--evict-after <n>` / `--probation-oks <n>` — health thresholds
+//!   (defaults 3 / 2).
+//! * `--port-file <path>` — write the bound address once listening.
+//!
+//! SIGTERM/SIGINT (or `{"op":"shutdown"}`) drains: stop accepting,
+//! route every queued job to a terminal verdict, exit.
+
+use bfly_farm_router::{spawn, RouterConfig};
+use bfly_farmd::{install_signal_drain, signal_drain_requested};
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parsed<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    arg_value(args, flag).map(|v| {
+        v.parse()
+            .unwrap_or_else(|_| panic!("{flag} takes a number, got `{v}`"))
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut config = RouterConfig {
+        listen: arg_value(&args, "--listen").unwrap_or_else(|| "127.0.0.1:4656".into()),
+        ..RouterConfig::default()
+    };
+    let mut i = 0;
+    while i + 1 < args.len() {
+        if args[i] == "--shard" {
+            config.shards.push(args[i + 1].clone());
+        }
+        i += 1;
+    }
+    if let Some(r) = parsed(&args, "--replicas") {
+        config.replicas = r;
+    }
+    if let Some(v) = parsed(&args, "--vnodes") {
+        config.vnodes = v;
+    }
+    if let Some(w) = parsed(&args, "--workers") {
+        config.workers = w;
+    }
+    if let Some(q) = parsed(&args, "--max-queue") {
+        config.max_queue = q;
+    }
+    if let Some(ms) = parsed(&args, "--ping-interval-ms") {
+        config.ping_interval_ms = ms;
+    }
+    if let Some(ms) = parsed(&args, "--ping-timeout-ms") {
+        config.ping_timeout_ms = ms;
+    }
+    if let Some(ms) = parsed(&args, "--attempt-timeout-ms") {
+        config.attempt_timeout_ms = ms;
+    }
+    if let Some(ms) = parsed(&args, "--route-deadline-ms") {
+        config.route_deadline_ms = ms;
+    }
+    if let Some(n) = parsed(&args, "--evict-after") {
+        config.health.evict_after = n;
+    }
+    if let Some(n) = parsed(&args, "--probation-oks") {
+        config.health.probation_oks = n;
+    }
+    if config.shards.is_empty() {
+        eprintln!("farm-router: at least one --shard <host:port> is required");
+        std::process::exit(2);
+    }
+
+    install_signal_drain();
+    let handle = spawn(config).unwrap_or_else(|e| {
+        eprintln!("farm-router: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("farm-router: serving on {}", handle.addr);
+    if let Some(path) = arg_value(&args, "--port-file") {
+        std::fs::write(&path, &handle.addr).expect("write --port-file");
+    }
+
+    handle.join();
+    if signal_drain_requested() {
+        eprintln!("farm-router: signal received, drained");
+    }
+    eprintln!("farm-router: bye");
+}

@@ -1,0 +1,975 @@
+//! The routing daemon: listener, dispatcher pool, shard prober.
+//!
+//! Protocol-compatible with a single farmd on the client side (`ping`,
+//! `submit`, `status`, `batch`, `stats`, `shutdown`), a farmd client on
+//! the shard side. A submitted job is queued, then *dispatched*: the
+//! dispatcher walks the job's ring preference order restricted to
+//! serving shards, forwards it as a batch-of-one, and classifies the
+//! outcome —
+//!
+//! * terminal verdict from the shard (`done`/`failed`/...) → recorded
+//!   once (at-most-once delivery: a late duplicate from a raced
+//!   failover is counted and dropped);
+//! * transport failure (connect refused, io timeout, cut connection,
+//!   `killed`) or transient refusal (`draining`, `queue full`) →
+//!   fail over to the next shard in preference order (`rerouted`++);
+//! * deadline exhausted with no shard reachable → terminal
+//!   `deadline_expired` with an `unroutable` error. Every admitted job
+//!   reaches *some* terminal state: `lost` (in `stats`) stays 0.
+//!
+//! Cold results are replicated to the key's remaining replica shards
+//! (`cache_push`) so the next failover finds a warm copy.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use bfly_farmd::json::{self, push_json_str, Value};
+use bfly_farmd::JobSpec;
+
+use crate::conn::ShardConn;
+use crate::health::{Health, HealthPolicy};
+use crate::locked;
+use crate::rebalance::rebalance;
+use crate::ring::Ring;
+
+/// Router configuration.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// TCP listen address (`:0` for an ephemeral port).
+    pub listen: String,
+    /// Shard addresses (`host:port` each). Fixed membership; *serving*
+    /// membership is health-gated.
+    pub shards: Vec<String>,
+    /// Cache replication factor R.
+    pub replicas: usize,
+    /// Virtual nodes per shard on the ring.
+    pub vnodes: usize,
+    /// Dispatcher threads.
+    pub workers: usize,
+    /// Backpressure bound on the routing queue.
+    pub max_queue: usize,
+    /// Prober sweep interval, ms.
+    pub ping_interval_ms: u64,
+    /// Ping/connect deadline, ms.
+    pub ping_timeout_ms: u64,
+    /// Per-attempt forwarding deadline, ms (must exceed the longest
+    /// honest job execution; shorter means spurious failovers, which
+    /// are safe but wasteful).
+    pub attempt_timeout_ms: u64,
+    /// Total routing budget per job when the job sets no deadline, ms.
+    pub route_deadline_ms: u64,
+    /// Eviction/probation thresholds.
+    pub health: HealthPolicy,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            listen: "127.0.0.1:0".into(),
+            shards: Vec::new(),
+            replicas: 2,
+            vnodes: 64,
+            workers: 4,
+            max_queue: 4096,
+            ping_interval_ms: 500,
+            ping_timeout_ms: 250,
+            attempt_timeout_ms: 10_000,
+            route_deadline_ms: 30_000,
+            health: HealthPolicy::default(),
+        }
+    }
+}
+
+/// One shard as the router sees it.
+struct ShardState {
+    addr: String,
+    /// `shard_id` learned from the shard's own ping reply (falls back
+    /// to the address until the first successful ping).
+    id: Mutex<Option<String>>,
+    health: Mutex<Health>,
+}
+
+enum RState {
+    Queued,
+    Routing,
+    Done {
+        /// Raw result bytes exactly as the shard sent them.
+        raw: Arc<String>,
+        cached: bool,
+        wall_ms: f64,
+    },
+    Failed {
+        verdict: String,
+        error: String,
+    },
+}
+
+impl RState {
+    fn terminal(&self) -> bool {
+        matches!(self, RState::Done { .. } | RState::Failed { .. })
+    }
+}
+
+struct RJob {
+    spec: JobSpec,
+    state: RState,
+    reroutes: u32,
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    rerouted: AtomicU64,
+    duplicates: AtomicU64,
+    unroutable: AtomicU64,
+    rebalanced_keys: AtomicU64,
+    cache_pushes: AtomicU64,
+    rebalances: AtomicU64,
+}
+
+struct Shared {
+    config: RouterConfig,
+    shards: Vec<ShardState>,
+    /// Ring index == `shards` index (fixed membership; health gates the
+    /// serving set, so the ring itself never mutates after boot).
+    ring: Ring,
+    /// Engine version learned from shard pings; 0 = not yet known. All
+    /// shards must agree (mixed engine versions would split the cache
+    /// namespace); the prober records the first one seen.
+    engine_version: AtomicU32,
+    jobs: Mutex<HashMap<u64, RJob>>,
+    done_cv: Condvar,
+    queue: Mutex<VecDeque<u64>>,
+    queue_cv: Condvar,
+    next_id: AtomicU64,
+    routing: AtomicU64,
+    shutdown: AtomicBool,
+    counters: Counters,
+}
+
+/// A running router. Call [`RouterHandle::shutdown`] (or send
+/// `{"op":"shutdown"}`) to drain.
+pub struct RouterHandle {
+    /// Bound address (`host:port`, with the real ephemeral port).
+    pub addr: String,
+    shared: Arc<Shared>,
+    listener: Option<std::thread::JoinHandle<()>>,
+}
+
+impl RouterHandle {
+    /// Ask the router to drain (idempotent, non-blocking).
+    pub fn request_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Drain and wait: every queued job reaches a terminal state first.
+    pub fn shutdown(mut self) {
+        self.request_shutdown();
+        if let Some(t) = self.listener.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Wait until the router exits.
+    pub fn join(mut self) {
+        if let Some(t) = self.listener.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// In-process snapshot of the `stats` reply. The accounting outlives
+    /// the sockets: after a drain closes every connection, this still
+    /// reports the final counters (harnesses use it to assert lost == 0
+    /// without racing the listener's exit).
+    pub fn stats_json(&self) -> String {
+        stats_reply(&self.shared)
+    }
+
+    /// Ring preference order (shard indexes, primary first) for a
+    /// content key. The ring is fixed at boot, so harnesses can aim a
+    /// job at a known primary instead of hoping a seed sweep happens to
+    /// cover every shard (vnode arc sizes vary with shard addresses).
+    pub fn preference(&self, key: &str) -> Vec<usize> {
+        self.shared.ring.preference(key)
+    }
+}
+
+/// Boot a router: bind, spawn dispatchers and the prober, return.
+pub fn spawn(config: RouterConfig) -> std::io::Result<RouterHandle> {
+    if config.shards.is_empty() {
+        return Err(std::io::Error::other("router needs at least one shard"));
+    }
+    let listener = TcpListener::bind(&config.listen)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?.to_string();
+
+    let mut ring = Ring::new(config.replicas, config.vnodes);
+    let shards: Vec<ShardState> = config
+        .shards
+        .iter()
+        .map(|a| {
+            ring.add(a);
+            ShardState {
+                addr: a.clone(),
+                id: Mutex::new(None),
+                health: Mutex::new(Health::Up),
+            }
+        })
+        .collect();
+
+    let workers = config.workers.max(1);
+    let shared = Arc::new(Shared {
+        shards,
+        ring,
+        engine_version: AtomicU32::new(0),
+        jobs: Mutex::new(HashMap::new()),
+        done_cv: Condvar::new(),
+        queue: Mutex::new(VecDeque::new()),
+        queue_cv: Condvar::new(),
+        next_id: AtomicU64::new(1),
+        routing: AtomicU64::new(0),
+        shutdown: AtomicBool::new(false),
+        counters: Counters::default(),
+        config,
+    });
+
+    let dispatchers: Vec<_> = (0..workers)
+        .map(|i| {
+            let sh = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("router-dispatch-{i}"))
+                .spawn(move || dispatcher_loop(&sh))
+                .expect("spawn dispatcher")
+        })
+        .collect();
+
+    let prober = {
+        let sh = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("router-prober".into())
+            .spawn(move || prober_loop(&sh))
+            .expect("spawn prober")
+    };
+
+    let sh = Arc::clone(&shared);
+    let listener_thread = std::thread::Builder::new()
+        .name("router-listener".into())
+        .spawn(move || {
+            listener_loop(&sh, &listener);
+            drain(&sh);
+            for d in dispatchers {
+                let _ = d.join();
+            }
+            let _ = prober.join();
+        })
+        .expect("spawn listener");
+
+    Ok(RouterHandle {
+        addr,
+        shared,
+        listener: Some(listener_thread),
+    })
+}
+
+fn listener_loop(sh: &Arc<Shared>, listener: &TcpListener) {
+    loop {
+        if sh.shutdown.load(Ordering::SeqCst) || bfly_farmd::signal_drain_requested() {
+            sh.shutdown.store(true, Ordering::SeqCst);
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let sh = Arc::clone(sh);
+                let _ = std::thread::Builder::new()
+                    .name("router-conn".into())
+                    .spawn(move || {
+                        let _ = stream.set_nonblocking(false);
+                        // Same rationale as farmd: replies are small
+                        // write pairs; Nagle + delayed ACK would add
+                        // ~40 ms to every protocol turn.
+                        let _ = stream.set_nodelay(true);
+                        connection_loop(&sh, stream);
+                    });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+}
+
+/// Route everything queued to a terminal state, then release workers.
+fn drain(sh: &Arc<Shared>) {
+    loop {
+        let queued = locked(&sh.queue).len();
+        if queued == 0 && sh.routing.load(Ordering::SeqCst) == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    sh.queue_cv.notify_all();
+}
+
+fn dispatcher_loop(sh: &Arc<Shared>) {
+    loop {
+        let id = {
+            let mut q = locked(&sh.queue);
+            loop {
+                if let Some(id) = q.pop_front() {
+                    break Some(id);
+                }
+                if sh.shutdown.load(Ordering::SeqCst) || bfly_farmd::signal_drain_requested() {
+                    break None;
+                }
+                let (guard, _) = sh
+                    .queue_cv
+                    .wait_timeout(q, Duration::from_millis(100))
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                q = guard;
+            }
+        };
+        match id {
+            Some(id) => {
+                sh.routing.fetch_add(1, Ordering::SeqCst);
+                dispatch(sh, id);
+                sh.routing.fetch_sub(1, Ordering::SeqCst);
+            }
+            None => return,
+        }
+    }
+}
+
+/// One forwarding attempt's classified outcome.
+enum Outcome {
+    Done {
+        raw: String,
+        cached: bool,
+        wall_ms: f64,
+    },
+    Failed {
+        verdict: String,
+        error: String,
+    },
+    /// Worth failing over: the *shard* failed, not the job.
+    Transient(String),
+}
+
+/// Errors that mean "try another shard", not "the job is bad".
+fn transient_error(e: &str) -> bool {
+    e.contains("queue full") || e.contains("draining") || e.contains("killed")
+}
+
+/// Serialize a spec as a protocol job object.
+fn spec_json(spec: &JobSpec) -> String {
+    let mut out = String::from("{\"exp\":");
+    push_json_str(&mut out, &spec.exp);
+    let _ = std::fmt::Write::write_fmt(
+        &mut out,
+        format_args!(",\"params\":{},\"seed\":{}", spec.params.dump(), spec.seed),
+    );
+    if let Some(d) = spec.deadline_ms {
+        let _ = std::fmt::Write::write_fmt(&mut out, format_args!(",\"deadline_ms\":{d}"));
+    }
+    if let Some(r) = spec.retries {
+        let _ = std::fmt::Write::write_fmt(&mut out, format_args!(",\"retries\":{r}"));
+    }
+    if spec.probe {
+        out.push_str(",\"probe\":true");
+    }
+    out.push_str(",\"cache\":\"");
+    out.push_str(spec.cache.as_str());
+    out.push_str("\"}");
+    out
+}
+
+/// Extract the raw `result` bytes from a batch-of-one reply line. The
+/// fields before `result` are fixed-format (none can contain the
+/// marker), and `result` is the status object's final field, so the
+/// slice between the marker and the closing `}]}` is exactly the bytes
+/// the shard spliced in.
+fn raw_result(line: &str) -> Option<&str> {
+    let at = line.find("\"result\":")?;
+    line[at + "\"result\":".len()..].strip_suffix("}]}")
+}
+
+/// Run one queued job to a terminal state by forwarding it shard-ward.
+fn dispatch(sh: &Arc<Shared>, id: u64) {
+    let spec = {
+        let mut jobs = locked(&sh.jobs);
+        let Some(rec) = jobs.get_mut(&id) else { return };
+        rec.state = RState::Routing;
+        rec.spec.clone()
+    };
+    let t0 = Instant::now();
+    let budget = Duration::from_millis(
+        spec.deadline_ms
+            .unwrap_or(sh.config.route_deadline_ms)
+            .max(1),
+    );
+    let line = format!("{{\"op\":\"batch\",\"jobs\":[{}]}}", spec_json(&spec));
+    let mut attempted_any = false;
+    // `rerouted` counts jobs served away from their ring primary —
+    // whether the primary died mid-flight (attempt failed, failover) or
+    // was already evicted (routed straight to a replica). Once per job.
+    let mut reroute_counted = false;
+    let mut last_err = String::from("no serving shard");
+
+    while t0.elapsed() < budget {
+        let Some(ev) = engine_version(sh) else {
+            // No shard has ever answered a ping: placement is undefined.
+            // Wait for the prober (or the budget) rather than guessing.
+            std::thread::sleep(Duration::from_millis(25));
+            continue;
+        };
+        let key = spec.key(ev);
+        let pref = sh.ring.preference(&key);
+        let primary = pref.first().copied();
+        let serving: Vec<usize> = pref
+            .into_iter()
+            .filter(|&i| locked(&sh.shards[i].health).serving())
+            .collect();
+        if serving.is_empty() {
+            last_err = "no serving shard".into();
+            std::thread::sleep(Duration::from_millis(50));
+            continue;
+        }
+        let mut progressed = false;
+        for idx in serving {
+            let remaining = budget.saturating_sub(t0.elapsed());
+            if remaining.is_zero() {
+                break;
+            }
+            if attempted_any {
+                // This attempt is a failover from a previous failure.
+                if let Some(rec) = locked(&sh.jobs).get_mut(&id) {
+                    rec.reroutes += 1;
+                }
+            }
+            attempted_any = true;
+            if Some(idx) != primary && !reroute_counted {
+                sh.counters.rerouted.fetch_add(1, Ordering::Relaxed);
+                reroute_counted = true;
+            }
+            match forward(sh, idx, &line, remaining) {
+                Outcome::Done {
+                    raw,
+                    cached,
+                    wall_ms,
+                } => {
+                    let raw = Arc::new(raw);
+                    if record_done(sh, id, Arc::clone(&raw), cached, wall_ms) && !cached {
+                        replicate(sh, &key, &raw, idx);
+                    }
+                    return;
+                }
+                Outcome::Failed { verdict, error } => {
+                    record_failed(sh, id, &verdict, &error);
+                    return;
+                }
+                Outcome::Transient(e) => {
+                    // The prober owns eviction; a dispatcher only files
+                    // the evidence.
+                    let _ = locked(&sh.shards[idx].health).record_fail(&sh.config.health);
+                    last_err = e;
+                    progressed = true;
+                }
+            }
+        }
+        if !progressed {
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+    sh.counters.unroutable.fetch_add(1, Ordering::Relaxed);
+    record_failed(
+        sh,
+        id,
+        "deadline_expired",
+        &format!("unroutable after {} ms: {last_err}", budget.as_millis()),
+    );
+}
+
+/// Forward the prepared batch-of-one line to shard `idx`.
+fn forward(sh: &Arc<Shared>, idx: usize, line: &str, remaining: Duration) -> Outcome {
+    let addr = &sh.shards[idx].addr;
+    let connect_t = Duration::from_millis(sh.config.ping_timeout_ms.max(1)).min(remaining);
+    let mut conn = match ShardConn::connect(addr, connect_t) {
+        Ok(c) => c,
+        Err(e) => return Outcome::Transient(format!("{addr}: connect: {e}")),
+    };
+    let io_t = Duration::from_millis(sh.config.attempt_timeout_ms.max(1)).min(remaining);
+    if let Err(e) = conn.set_io_timeout(io_t) {
+        return Outcome::Transient(format!("{addr}: {e}"));
+    }
+    let raw = match conn.request_raw(line) {
+        Ok(r) => r,
+        Err(e) => return Outcome::Transient(format!("{addr}: {e}")),
+    };
+    let v = match json::parse(&raw) {
+        Ok(v) => v,
+        Err((at, msg)) => return Outcome::Transient(format!("{addr}: bad reply at {at}: {msg}")),
+    };
+    if v.get("ok").and_then(Value::as_bool) != Some(true) {
+        let err = v
+            .get("error")
+            .and_then(Value::as_str)
+            .unwrap_or("unknown error")
+            .to_string();
+        return if transient_error(&err) {
+            Outcome::Transient(format!("{addr}: {err}"))
+        } else {
+            Outcome::Failed {
+                verdict: "failed".into(),
+                error: err,
+            }
+        };
+    }
+    let Some(results) = v.get("results").and_then(Value::as_arr) else {
+        return Outcome::Transient(format!("{addr}: reply without results"));
+    };
+    let Some(el) = results.first() else {
+        return Outcome::Transient(format!("{addr}: empty results"));
+    };
+    if el.get("ok").and_then(Value::as_bool) != Some(true) {
+        let err = el
+            .get("error")
+            .and_then(Value::as_str)
+            .unwrap_or("unknown error")
+            .to_string();
+        return if transient_error(&err) {
+            Outcome::Transient(format!("{addr}: {err}"))
+        } else {
+            Outcome::Failed {
+                verdict: "failed".into(),
+                error: err,
+            }
+        };
+    }
+    match el.get("state").and_then(Value::as_str) {
+        Some("done") => match raw_result(&raw) {
+            Some(res) => Outcome::Done {
+                raw: res.to_string(),
+                cached: el.get("cached").and_then(Value::as_bool).unwrap_or(false),
+                wall_ms: el.get("wall_ms").and_then(Value::as_f64).unwrap_or(0.0),
+            },
+            None => Outcome::Transient(format!("{addr}: done reply without result bytes")),
+        },
+        Some("failed") => Outcome::Failed {
+            verdict: el
+                .get("verdict")
+                .and_then(Value::as_str)
+                .unwrap_or("failed")
+                .to_string(),
+            error: el
+                .get("error")
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_string(),
+        },
+        other => Outcome::Transient(format!("{addr}: non-terminal batch state {other:?}")),
+    }
+}
+
+/// Record a `done` verdict exactly once. Returns false (and counts a
+/// duplicate) if the job already reached a terminal state — the
+/// at-most-once delivery guard for raced failovers.
+fn record_done(sh: &Arc<Shared>, id: u64, raw: Arc<String>, cached: bool, wall_ms: f64) -> bool {
+    let mut jobs = locked(&sh.jobs);
+    let Some(rec) = jobs.get_mut(&id) else {
+        return false;
+    };
+    if rec.state.terminal() {
+        sh.counters.duplicates.fetch_add(1, Ordering::Relaxed);
+        return false;
+    }
+    rec.state = RState::Done {
+        raw,
+        cached,
+        wall_ms,
+    };
+    sh.done_cv.notify_all();
+    true
+}
+
+fn record_failed(sh: &Arc<Shared>, id: u64, verdict: &str, error: &str) {
+    let mut jobs = locked(&sh.jobs);
+    let Some(rec) = jobs.get_mut(&id) else { return };
+    if rec.state.terminal() {
+        sh.counters.duplicates.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    rec.state = RState::Failed {
+        verdict: verdict.to_string(),
+        error: error.to_string(),
+    };
+    sh.done_cv.notify_all();
+}
+
+/// Copy a freshly computed result to the key's other serving replicas,
+/// so the next failover (or the next submission routed while the
+/// executor is down) finds a warm copy. Best-effort: replication is an
+/// optimization, correctness comes from recomputation determinism.
+fn replicate(sh: &Arc<Shared>, key: &str, raw: &str, executor: usize) {
+    let push = format!("{{\"op\":\"cache_push\",\"key\":\"{key}\",\"result\":{raw}}}");
+    let timeout = Duration::from_millis(sh.config.ping_timeout_ms.max(1) * 4);
+    for idx in sh.ring.replica_set(key) {
+        if idx == executor || !locked(&sh.shards[idx].health).serving() {
+            continue;
+        }
+        if let Ok(mut c) = ShardConn::connect(&sh.shards[idx].addr, timeout) {
+            if c.request_raw(&push).is_ok() {
+                sh.counters.cache_pushes.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+fn engine_version(sh: &Arc<Shared>) -> Option<u32> {
+    match sh.engine_version.load(Ordering::SeqCst) {
+        0 => None,
+        v => Some(v),
+    }
+}
+
+/// The prober: pings every shard each sweep, drives the health state
+/// machine, learns engine version and shard ids, and triggers a warm
+/// rebalance whenever the serving set changes.
+fn prober_loop(sh: &Arc<Shared>) {
+    let timeout = Duration::from_millis(sh.config.ping_timeout_ms.max(1));
+    let mut last_serving: Option<Vec<bool>> = None;
+    loop {
+        if sh.shutdown.load(Ordering::SeqCst) || bfly_farmd::signal_drain_requested() {
+            return;
+        }
+        for s in &sh.shards {
+            let outcome = ShardConn::connect(&s.addr, timeout)
+                .and_then(|mut c| c.request_raw("{\"op\":\"ping\"}"));
+            match outcome.ok().and_then(|raw| json::parse(&raw).ok()) {
+                Some(pong) if pong.get("pong").and_then(Value::as_bool) == Some(true) => {
+                    if let Some(ev) = pong.get("engine_version").and_then(Value::as_u64) {
+                        let _ = sh.engine_version.compare_exchange(
+                            0,
+                            ev as u32,
+                            Ordering::SeqCst,
+                            Ordering::SeqCst,
+                        );
+                    }
+                    if let Some(id) = pong.get("shard_id").and_then(Value::as_str) {
+                        let mut slot = locked(&s.id);
+                        if slot.as_deref() != Some(id) {
+                            *slot = Some(id.to_string());
+                        }
+                    }
+                    let _ = locked(&s.health).record_ok(&sh.config.health);
+                }
+                _ => {
+                    let _ = locked(&s.health).record_fail(&sh.config.health);
+                }
+            }
+        }
+        let serving: Vec<bool> = sh
+            .shards
+            .iter()
+            .map(|s| locked(&s.health).serving())
+            .collect();
+        let changed = last_serving.as_ref() != Some(&serving);
+        if changed && serving.iter().any(|&b| b) {
+            let live: Vec<(usize, String)> = sh
+                .shards
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| serving[*i])
+                .map(|(i, s)| (i, s.addr.clone()))
+                .collect();
+            let moved = rebalance(&live, &sh.ring, timeout * 4);
+            sh.counters.rebalances.fetch_add(1, Ordering::Relaxed);
+            sh.counters
+                .rebalanced_keys
+                .fetch_add(moved, Ordering::Relaxed);
+        }
+        if changed {
+            last_serving = Some(serving);
+        }
+        // Sleep in small slices so shutdown stays responsive.
+        let mut left = sh.config.ping_interval_ms.max(1);
+        while left > 0 && !sh.shutdown.load(Ordering::SeqCst) {
+            let step = left.min(50);
+            std::thread::sleep(Duration::from_millis(step));
+            left -= step;
+        }
+    }
+}
+
+fn connection_loop(sh: &Arc<Shared>, stream: TcpStream) {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return,
+            Ok(_) => {}
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let reply = handle_request(sh, trimmed);
+        let w = reader.get_mut();
+        if w.write_all(reply.as_bytes()).is_err() || w.write_all(b"\n").is_err() {
+            return;
+        }
+        let _ = w.flush();
+        if sh.shutdown.load(Ordering::SeqCst) && trimmed.contains("\"shutdown\"") {
+            return;
+        }
+    }
+}
+
+fn error_reply(msg: &str) -> String {
+    let mut out = String::from("{\"ok\":false,\"error\":");
+    push_json_str(&mut out, msg);
+    out.push('}');
+    out
+}
+
+fn handle_request(sh: &Arc<Shared>, line: &str) -> String {
+    let v = match json::parse(line) {
+        Ok(v) => v,
+        Err((at, msg)) => return error_reply(&format!("bad JSON at byte {at}: {msg}")),
+    };
+    match v.get("op").and_then(Value::as_str) {
+        Some("ping") => format!(
+            "{{\"ok\":true,\"pong\":true,\"router\":true,\"engine_version\":{},\"shards\":{}}}",
+            sh.engine_version.load(Ordering::SeqCst),
+            sh.shards.len()
+        ),
+        Some("submit") => match JobSpec::from_value(&v) {
+            Ok(spec) => match admit(sh, spec) {
+                Ok(id) => status_reply(sh, id),
+                Err(e) => error_reply(&e),
+            },
+            Err(e) => error_reply(&e),
+        },
+        Some("status") => match v.get("id").and_then(Value::as_u64) {
+            Some(id) => status_reply(sh, id),
+            None => error_reply("status needs an integer `id`"),
+        },
+        Some("batch") => {
+            let Some(jobs) = v.get("jobs").and_then(Value::as_arr) else {
+                return error_reply("batch needs a `jobs` array");
+            };
+            handle_batch(sh, jobs)
+        }
+        Some("stats") => stats_reply(sh),
+        Some("shutdown") => {
+            sh.shutdown.store(true, Ordering::SeqCst);
+            "{\"ok\":true,\"draining\":true}".into()
+        }
+        Some(other) => error_reply(&format!("unknown op `{other}`")),
+        None => error_reply("request needs a string `op`"),
+    }
+}
+
+fn admit(sh: &Arc<Shared>, spec: JobSpec) -> Result<u64, String> {
+    if sh.shutdown.load(Ordering::SeqCst) || bfly_farmd::signal_drain_requested() {
+        return Err("draining: no new jobs accepted".into());
+    }
+    {
+        let q = locked(&sh.queue);
+        if q.len() >= sh.config.max_queue {
+            return Err(format!(
+                "queue full ({} jobs); backpressure: retry later",
+                q.len()
+            ));
+        }
+    }
+    let id = sh.next_id.fetch_add(1, Ordering::Relaxed);
+    sh.counters.submitted.fetch_add(1, Ordering::Relaxed);
+    locked(&sh.jobs).insert(
+        id,
+        RJob {
+            spec,
+            state: RState::Queued,
+            reroutes: 0,
+        },
+    );
+    locked(&sh.queue).push_back(id);
+    sh.queue_cv.notify_one();
+    Ok(id)
+}
+
+fn handle_batch(sh: &Arc<Shared>, jobs: &[Value]) -> String {
+    let t0 = Instant::now();
+    let mut ids: Vec<Result<u64, String>> = Vec::with_capacity(jobs.len());
+    for j in jobs {
+        match JobSpec::from_value(j) {
+            Ok(spec) => ids.push(admit(sh, spec)),
+            Err(e) => ids.push(Err(e)),
+        }
+    }
+    {
+        let mut guard = locked(&sh.jobs);
+        loop {
+            let all_done = ids.iter().all(|r| match r {
+                Ok(id) => guard.get(id).map(|r| r.state.terminal()).unwrap_or(true),
+                Err(_) => true,
+            });
+            if all_done {
+                break;
+            }
+            let (g, _) = sh
+                .done_cv
+                .wait_timeout(guard, Duration::from_millis(100))
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            guard = g;
+        }
+    }
+    let wall = t0.elapsed();
+    let mut hits = 0u64;
+    let mut out = String::from("{\"ok\":true,");
+    {
+        let guard = locked(&sh.jobs);
+        for id in ids.iter().flatten() {
+            if let Some(RState::Done { cached: true, .. }) = guard.get(id).map(|r| &r.state) {
+                hits += 1;
+            }
+        }
+        let _ = std::fmt::Write::write_fmt(
+            &mut out,
+            format_args!(
+                "\"jobs\":{},\"hits\":{},\"wall_ms\":{:.3},\"results\":[",
+                ids.len(),
+                hits,
+                wall.as_secs_f64() * 1e3
+            ),
+        );
+        for (i, r) in ids.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            match r {
+                Ok(id) => out.push_str(&status_object(&guard, *id)),
+                Err(e) => out.push_str(&error_reply(e)),
+            }
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+fn status_reply(sh: &Arc<Shared>, id: u64) -> String {
+    let jobs = locked(&sh.jobs);
+    status_object(&jobs, id)
+}
+
+/// One job's status, farmd-shaped: clients cannot tell a router from a
+/// single daemon. Result bytes are spliced verbatim.
+fn status_object(jobs: &HashMap<u64, RJob>, id: u64) -> String {
+    let Some(rec) = jobs.get(&id) else {
+        return error_reply(&format!("no such job {id}"));
+    };
+    let mut out = format!("{{\"ok\":true,\"id\":{id},");
+    match &rec.state {
+        RState::Queued => out.push_str("\"state\":\"queued\"}"),
+        RState::Routing => {
+            let _ = std::fmt::Write::write_fmt(
+                &mut out,
+                format_args!("\"state\":\"running\",\"attempts\":{}}}", rec.reroutes + 1),
+            );
+        }
+        RState::Done {
+            raw,
+            cached,
+            wall_ms,
+        } => {
+            let _ = std::fmt::Write::write_fmt(
+                &mut out,
+                format_args!(
+                    "\"state\":\"done\",\"verdict\":\"done\",\"cached\":{cached},\
+                     \"wall_ms\":{wall_ms:.3},\"result\":{raw}}}"
+                ),
+            );
+        }
+        RState::Failed { verdict, error } => {
+            let _ = std::fmt::Write::write_fmt(
+                &mut out,
+                format_args!(
+                    "\"state\":\"failed\",\"verdict\":\"{}\",\"attempts\":{},\"error\":",
+                    verdict,
+                    rec.reroutes + 1
+                ),
+            );
+            push_json_str(&mut out, error);
+            out.push('}');
+        }
+    }
+    out
+}
+
+fn stats_reply(sh: &Arc<Shared>) -> String {
+    let c = &sh.counters;
+    // One consistent snapshot of job states under the jobs lock; `lost`
+    // is submitted minus everything accounted for, and the cluster
+    // invariant (chaos-tested) is that it is always 0.
+    let (done, failed, queued, routing) = {
+        let jobs = locked(&sh.jobs);
+        let mut done = 0u64;
+        let mut failed = 0u64;
+        let mut queued = 0u64;
+        let mut routing = 0u64;
+        for rec in jobs.values() {
+            match rec.state {
+                RState::Done { .. } => done += 1,
+                RState::Failed { .. } => failed += 1,
+                RState::Queued => queued += 1,
+                RState::Routing => routing += 1,
+            }
+        }
+        (done, failed, queued, routing)
+    };
+    let submitted = c.submitted.load(Ordering::Relaxed);
+    let lost = submitted.saturating_sub(done + failed + queued + routing);
+    let mut shards_json = String::from("[");
+    for (i, s) in sh.shards.iter().enumerate() {
+        if i > 0 {
+            shards_json.push(',');
+        }
+        shards_json.push_str("{\"addr\":");
+        push_json_str(&mut shards_json, &s.addr);
+        shards_json.push_str(",\"id\":");
+        let id = locked(&s.id);
+        push_json_str(&mut shards_json, id.as_deref().unwrap_or(&s.addr));
+        drop(id);
+        shards_json.push_str(",\"health\":\"");
+        shards_json.push_str(locked(&s.health).as_str());
+        shards_json.push_str("\"}");
+    }
+    shards_json.push(']');
+    format!(
+        "{{\"ok\":true,\"router\":true,\"engine_version\":{},\"draining\":{},\
+         \"jobs\":{{\"submitted\":{},\"done\":{},\"failed\":{},\"queued\":{},\
+         \"routing\":{},\"lost\":{},\"rerouted\":{},\"duplicates\":{},\"unroutable\":{}}},\
+         \"cluster\":{{\"replicas\":{},\"rebalances\":{},\"rebalanced_keys\":{},\
+         \"cache_pushes\":{},\"shards\":{}}}}}",
+        sh.engine_version.load(Ordering::SeqCst),
+        sh.shutdown.load(Ordering::SeqCst),
+        submitted,
+        done,
+        failed,
+        queued,
+        routing,
+        lost,
+        c.rerouted.load(Ordering::Relaxed),
+        c.duplicates.load(Ordering::Relaxed),
+        c.unroutable.load(Ordering::Relaxed),
+        sh.ring.replicas(),
+        c.rebalances.load(Ordering::Relaxed),
+        c.rebalanced_keys.load(Ordering::Relaxed),
+        c.cache_pushes.load(Ordering::Relaxed),
+        shards_json
+    )
+}

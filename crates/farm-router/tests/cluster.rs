@@ -1,0 +1,374 @@
+//! End-to-end router tests over real sockets: placement, warm repeats,
+//! failover with `rerouted` accounting, rejoin through probation, and
+//! drain. Three in-process farmd shards run a deterministic toy runner;
+//! the bench crate's chaos harness covers the full registry and the
+//! seeded fault schedules — this file pins the router mechanics.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bfly_farm_router::{spawn as spawn_router, RouterConfig, RouterHandle};
+use bfly_farmd::json::Value;
+use bfly_farmd::{
+    spawn as spawn_shard, Client, JobRunner, JobSpec, Listen, ServerConfig, ServerHandle,
+};
+
+/// Deterministic toy runner (result bytes are a pure function of the
+/// spec), shared by all shards so recomputation is bit-identical.
+struct Toy {
+    runs: AtomicU64,
+}
+
+impl JobRunner for Toy {
+    fn engine_version(&self) -> u32 {
+        1
+    }
+
+    fn experiments(&self) -> Vec<&'static str> {
+        vec!["echo", "reject"]
+    }
+
+    fn run(&self, spec: &JobSpec) -> Result<Vec<u8>, String> {
+        self.runs.fetch_add(1, Ordering::SeqCst);
+        match spec.exp.as_str() {
+            "reject" => Err("toy rejection".into()),
+            _ => Ok(format!(
+                r#"{{"echo":{},"params":{}}}"#,
+                spec.seed,
+                spec.params.dump()
+            )
+            .into_bytes()),
+        }
+    }
+}
+
+struct TestCluster {
+    shards: RefCell<Vec<Option<ServerHandle>>>,
+    addrs: Vec<String>,
+    router: Option<RouterHandle>,
+    toy: Arc<Toy>,
+}
+
+fn shard_config(id: usize) -> ServerConfig {
+    ServerConfig {
+        listen: Listen::Tcp("127.0.0.1:0".into()),
+        workers: 2,
+        shard_id: Some(format!("shard-{id}")),
+        default_retries: 1,
+        // Memory-only: the default disk tier would be shared by every
+        // shard in this process (same FARM_CACHE dir) and would leak
+        // warm entries across test runs.
+        cache_dir: None,
+        ..ServerConfig::default()
+    }
+}
+
+fn boot(n: usize, replicas: usize) -> TestCluster {
+    let toy = Arc::new(Toy {
+        runs: AtomicU64::new(0),
+    });
+    let shards: Vec<Option<ServerHandle>> = (0..n)
+        .map(|i| Some(spawn_shard(shard_config(i), toy.clone()).expect("boot shard")))
+        .collect();
+    let addrs: Vec<String> = shards
+        .iter()
+        .map(|s| s.as_ref().expect("live shard").addr.clone())
+        .collect();
+    let router = spawn_router(RouterConfig {
+        shards: addrs.clone(),
+        replicas,
+        // Fast prober so eviction/rejoin fit in test time.
+        ping_interval_ms: 40,
+        ping_timeout_ms: 150,
+        attempt_timeout_ms: 3_000,
+        route_deadline_ms: 8_000,
+        ..RouterConfig::default()
+    })
+    .expect("boot router");
+    TestCluster {
+        shards: RefCell::new(shards),
+        addrs,
+        router: Some(router),
+        toy,
+    }
+}
+
+impl TestCluster {
+    fn client(&self) -> Client {
+        let addr = &self.router.as_ref().expect("router up").addr;
+        Client::connect(addr).expect("connect to router")
+    }
+
+    fn stats(&self) -> Value {
+        self.client()
+            .request_line(r#"{"op":"stats"}"#)
+            .expect("stats")
+    }
+
+    /// Abrupt in-process kill of shard `i` (SIGKILL stand-in).
+    fn kill_shard(&self, i: usize) {
+        let handle = self.shards.borrow_mut()[i].take().expect("shard live");
+        handle.kill();
+    }
+
+    /// Restart shard `i` on its original address (same ring slot).
+    fn revive_shard(&self, i: usize) {
+        let handle = spawn_shard(
+            ServerConfig {
+                listen: Listen::Tcp(self.addrs[i].clone()),
+                ..shard_config(i)
+            },
+            self.toy.clone(),
+        )
+        .expect("revive shard");
+        self.shards.borrow_mut()[i] = Some(handle);
+    }
+}
+
+impl Drop for TestCluster {
+    fn drop(&mut self) {
+        if let Some(r) = self.router.take() {
+            r.request_shutdown();
+            r.shutdown();
+        }
+        for s in self.shards.borrow_mut().iter_mut().filter_map(Option::take) {
+            s.kill();
+        }
+    }
+}
+
+fn submit_poll(c: &mut Client, line: &str) -> Value {
+    let r = c.request_line(line).expect("submit");
+    assert_eq!(
+        r.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "submit refused: {}",
+        r.dump()
+    );
+    let id = r.get("id").and_then(Value::as_u64).expect("job id");
+    let t0 = Instant::now();
+    loop {
+        let s = c
+            .request_line(&format!(r#"{{"op":"status","id":{id}}}"#))
+            .expect("status");
+        match s.get("state").and_then(Value::as_str) {
+            Some("done") | Some("failed") => return s,
+            _ => {
+                assert!(t0.elapsed() < Duration::from_secs(20), "job {id} stuck");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+fn jobs_stat(stats: &Value, field: &str) -> u64 {
+    stats
+        .get("jobs")
+        .and_then(|j| j.get(field))
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("stats.jobs.{field} missing: {}", stats.dump()))
+}
+
+fn shard_health(stats: &Value, idx: usize) -> String {
+    stats
+        .get("cluster")
+        .and_then(|c| c.get("shards"))
+        .and_then(Value::as_arr)
+        .and_then(|s| s.get(idx))
+        .and_then(|s| s.get("health"))
+        .and_then(Value::as_str)
+        .unwrap_or("?")
+        .to_string()
+}
+
+#[test]
+fn routes_jobs_and_serves_warm_repeats() {
+    let cl = boot(3, 2);
+    let mut c = cl.client();
+
+    let done = submit_poll(
+        &mut c,
+        r#"{"op":"submit","exp":"echo","seed":1,"params":{"x":1}}"#,
+    );
+    assert_eq!(done.get("cached").and_then(Value::as_bool), Some(false));
+    let cold = done.get("result").expect("result").dump();
+    assert!(cold.contains("\"echo\":1"));
+
+    // Repeat: warm, bit-identical, no extra toy run.
+    let runs = cl.toy.runs.load(Ordering::SeqCst);
+    let again = submit_poll(
+        &mut c,
+        r#"{"op":"submit","exp":"echo","seed":1,"params":{"x":1}}"#,
+    );
+    assert_eq!(again.get("cached").and_then(Value::as_bool), Some(true));
+    assert_eq!(again.get("result").expect("result").dump(), cold);
+    assert_eq!(cl.toy.runs.load(Ordering::SeqCst), runs);
+
+    // A terminal failure passes through as a verdict, not a reroute.
+    let failed = submit_poll(&mut c, r#"{"op":"submit","exp":"reject","seed":2}"#);
+    assert_eq!(failed.get("state").and_then(Value::as_str), Some("failed"));
+
+    let st = cl.stats();
+    assert_eq!(jobs_stat(&st, "submitted"), 3);
+    assert_eq!(jobs_stat(&st, "done"), 2);
+    assert_eq!(jobs_stat(&st, "failed"), 1);
+    assert_eq!(jobs_stat(&st, "lost"), 0);
+    assert_eq!(jobs_stat(&st, "rerouted"), 0);
+}
+
+#[test]
+fn batch_replies_are_farmd_shaped() {
+    let cl = boot(2, 2);
+    let mut c = cl.client();
+    let r = c
+        .request_line(
+            r#"{"op":"batch","jobs":[{"exp":"echo","seed":10},{"exp":"echo","seed":11},{"exp":"echo","seed":10}]}"#,
+        )
+        .expect("batch");
+    assert_eq!(r.get("ok").and_then(Value::as_bool), Some(true));
+    assert_eq!(r.get("jobs").and_then(Value::as_u64), Some(3));
+    let results = r.get("results").and_then(Value::as_arr).expect("results");
+    assert_eq!(results.len(), 3);
+    for el in results {
+        assert_eq!(el.get("state").and_then(Value::as_str), Some("done"));
+    }
+    // Replies come back in submission order; the duplicate is a hit
+    // (either inline on its warm shard or via the router's own replica).
+    assert_eq!(
+        results[0].get("result").expect("result").dump(),
+        results[2].get("result").expect("result").dump()
+    );
+    assert_eq!(r.get("hits").and_then(Value::as_u64), Some(1));
+}
+
+#[test]
+fn failover_reroutes_and_counts_and_rejoin_needs_probation() {
+    let cl = boot(3, 2);
+    let mut c = cl.client();
+
+    // Warm the cluster across several placements.
+    for seed in 0..6 {
+        let line = format!(r#"{{"op":"submit","exp":"echo","seed":{seed}}}"#);
+        submit_poll(&mut c, &line);
+    }
+    assert_eq!(jobs_stat(&cl.stats(), "lost"), 0);
+
+    // The ring is fixed at boot but its arcs depend on the shards'
+    // (ephemeral) addresses, so a fixed seed sweep is not guaranteed to
+    // put any key on shard 0 — pick seeds whose *primary* is shard 0
+    // deterministically via the handle's preference hook.
+    let router = cl.router.as_ref().expect("router up");
+    let primary_of = |seed: u64| {
+        let v = bfly_farmd::json::parse(&format!(r#"{{"exp":"echo","seed":{seed}}}"#))
+            .expect("spec json");
+        let spec = bfly_farmd::JobSpec::from_value(&v).expect("spec");
+        router.preference(&spec.key(1))[0]
+    };
+    let aimed: Vec<u64> = (0..1_000).filter(|&s| primary_of(s) == 0).take(2).collect();
+    assert_eq!(aimed.len(), 2, "shard 0 owns a nonzero arc of the ring");
+
+    // Kill shard 0 *abruptly* (no drain). Jobs that prefer it must fail
+    // over to a replica; nothing may be lost. Bypass the cache on the
+    // repeats so the router must actually reach a live shard (warm hits
+    // would mask a broken failover path).
+    cl.kill_shard(0);
+    for seed in (0..12).chain(aimed) {
+        let line = format!(r#"{{"op":"submit","exp":"echo","seed":{seed},"cache":"bypass"}}"#);
+        let done = submit_poll(&mut c, &line);
+        assert_eq!(
+            done.get("state").and_then(Value::as_str),
+            Some("done"),
+            "post-kill job failed: {}",
+            done.dump()
+        );
+    }
+    let st = cl.stats();
+    assert_eq!(jobs_stat(&st, "lost"), 0);
+    assert_eq!(jobs_stat(&st, "done"), 20);
+    // The two aimed seeds preferred the dead shard, so failover must
+    // have fired (counted once per job served away from its primary).
+    assert!(
+        jobs_stat(&st, "rerouted") >= 2,
+        "killing a shard must surface as rerouted >= 2: {}",
+        st.dump()
+    );
+
+    // The prober evicts after consecutive ping failures.
+    let t0 = Instant::now();
+    loop {
+        let health = shard_health(&cl.stats(), 0);
+        if health == "down" {
+            break;
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "shard 0 never evicted (health {health})"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    // Restart shard 0 on the SAME address: rejoin goes through
+    // probation and lands back at `up`.
+    cl.revive_shard(0);
+    let t0 = Instant::now();
+    loop {
+        let health = shard_health(&cl.stats(), 0);
+        if health == "up" {
+            break;
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "shard 0 never rejoined (health {health})"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    // The cluster still answers and still accounts for every job.
+    submit_poll(&mut c, r#"{"op":"submit","exp":"echo","seed":99}"#);
+    let st = cl.stats();
+    assert_eq!(jobs_stat(&st, "lost"), 0);
+    assert_eq!(jobs_stat(&st, "duplicates"), 0);
+}
+
+#[test]
+fn drain_routes_everything_queued_before_exit() {
+    let cl = boot(2, 1);
+    let mut c = cl.client();
+    for seed in 0..4 {
+        let line = format!(r#"{{"op":"submit","exp":"echo","seed":{seed}}}"#);
+        let r = c.request_line(&line).expect("submit");
+        assert_eq!(r.get("ok").and_then(Value::as_bool), Some(true));
+    }
+    // Stats connection opened *before* the drain: the listener stops
+    // accepting once shutdown is requested (same contract as farmd),
+    // but established connections keep serving.
+    let mut sc = cl.client();
+    // Drain via protocol; afterwards new submits are refused.
+    let r = c
+        .request_line(r#"{"op":"shutdown"}"#)
+        .expect("shutdown request");
+    assert_eq!(r.get("draining").and_then(Value::as_bool), Some(true));
+    // The router finishes routing everything already admitted. It may
+    // drain and exit between polls (closing even the pre-opened stats
+    // connection), so a socket error here means the drain *completed* —
+    // switch to the in-process snapshot for the final accounting.
+    let t0 = Instant::now();
+    loop {
+        let st = match sc.request_line(r#"{"op":"stats"}"#) {
+            Ok(st) => st,
+            Err(_) => {
+                let line = cl.router.as_ref().expect("router handle").stats_json();
+                bfly_farmd::json::parse(&line).expect("stats json")
+            }
+        };
+        if jobs_stat(&st, "queued") == 0 && jobs_stat(&st, "routing") == 0 {
+            assert_eq!(jobs_stat(&st, "lost"), 0);
+            assert_eq!(jobs_stat(&st, "done") + jobs_stat(&st, "failed"), 4);
+            break;
+        }
+        assert!(t0.elapsed() < Duration::from_secs(15), "drain stuck");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}

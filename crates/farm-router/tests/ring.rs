@@ -1,0 +1,115 @@
+//! Property tests for the consistent-hash ring (ISSUE 6 satellite):
+//! bounded key movement under membership change, and replica placement
+//! invariants. These are the properties the cluster's warm-cache story
+//! rests on — if a single shard bounce moved most keys, every flap
+//! would cold-start the fleet.
+
+use bfly_farm_router::Ring;
+use proptest::prelude::*;
+
+fn keys(n: usize) -> Vec<String> {
+    // Content keys are 32-hex; synthesize a spread of them.
+    (0..n)
+        .map(|i| format!("{:032x}", (i as u128) * 0x9e37_79b9))
+        .collect()
+}
+
+fn ring_of(n: usize, replicas: usize) -> Ring {
+    let mut r = Ring::new(replicas, 64);
+    for i in 0..n {
+        r.add(&format!("10.0.0.{i}:4655"));
+    }
+    r
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Removing one of N shards moves only the keys the removed shard
+    /// owned — in expectation K/N of them, and never more than the
+    /// removed shard's share. Surviving keys keep their primary.
+    #[test]
+    fn leave_moves_only_the_leavers_keys((n, victim) in (3usize..8).prop_flat_map(|n| (Just(n), 0usize..n))) {
+        let ks = keys(400);
+        let mut r = ring_of(n, 1);
+        let before: Vec<usize> = ks.iter().map(|k| r.primary(k).expect("non-empty ring")).collect();
+        let owned = before.iter().filter(|&&p| p == victim).count();
+        let name = format!("10.0.0.{victim}:4655");
+        r.remove(&name);
+        let mut moved = 0usize;
+        for (k, &b) in ks.iter().zip(&before) {
+            let after = r.primary(k).expect("ring still non-empty");
+            prop_assert_ne!(after, victim, "no key may map to a removed shard");
+            if after != b {
+                moved += 1;
+                prop_assert_eq!(b, victim, "only the leaver's keys may move");
+            }
+        }
+        prop_assert_eq!(moved, owned, "exactly the leaver's keys move");
+    }
+
+    /// Adding an (N+1)-th shard steals keys only for itself: every moved
+    /// key now maps to the newcomer, and the move count stays near the
+    /// fair share K/(N+1) (within 3x — vnode smoothing, not perfection).
+    #[test]
+    fn join_steals_at_most_a_bounded_share(n in 2usize..8) {
+        let ks = keys(400);
+        let mut r = ring_of(n, 1);
+        let before: Vec<usize> = ks.iter().map(|k| r.primary(k).expect("non-empty ring")).collect();
+        let newcomer = r.add("10.0.1.99:4655");
+        let mut moved = 0usize;
+        for (k, &b) in ks.iter().zip(&before) {
+            let after = r.primary(k).expect("non-empty ring");
+            if after != b {
+                prop_assert_eq!(after, newcomer, "moved keys must move to the newcomer");
+                moved += 1;
+            }
+        }
+        let fair = ks.len() / (n + 1);
+        prop_assert!(
+            moved <= 3 * fair,
+            "join moved {} keys; fair share is {} (n = {})",
+            moved, fair, n
+        );
+    }
+
+    /// The replica set always holds min(R, N) distinct shards, is a
+    /// prefix of the preference order, and the preference order is a
+    /// permutation of the whole ring.
+    #[test]
+    fn replica_sets_are_distinct_prefixes((n, replicas, salt) in (1usize..8, 1usize..5, any::<u64>())) {
+        let r = ring_of(n, replicas);
+        let key = format!("{salt:032x}");
+        let pref = r.preference(&key);
+        prop_assert_eq!(pref.len(), n, "preference covers the whole ring");
+        let mut sorted = pref.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), n, "preference has no duplicate shards");
+        let set = r.replica_set(&key);
+        prop_assert_eq!(set.len(), replicas.min(n));
+        prop_assert_eq!(&pref[..set.len()], &set[..], "replica set is the preference prefix");
+    }
+
+    /// Placement is a pure function of the key and membership — two
+    /// rings built with the same shards in any insertion order agree on
+    /// every key (the router and a future peer need no coordination).
+    #[test]
+    fn placement_ignores_insertion_order(n in 2usize..8) {
+        let ks = keys(100);
+        let fwd = ring_of(n, 2);
+        let mut rev = Ring::new(2, 64);
+        for i in (0..n).rev() {
+            rev.add(&format!("10.0.0.{i}:4655"));
+        }
+        for k in &ks {
+            let a: Vec<&str> = fwd.replica_set(k).into_iter()
+                .map(|i| fwd.name_of(i).expect("live shard"))
+                .collect();
+            let b: Vec<&str> = rev.replica_set(k).into_iter()
+                .map(|i| rev.name_of(i).expect("live shard"))
+                .collect();
+            prop_assert_eq!(&a, &b, "placement must not depend on insertion order");
+        }
+    }
+}

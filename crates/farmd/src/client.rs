@@ -62,11 +62,60 @@ impl Client {
                 return Err(std::io::Error::other("unix sockets unsupported here"));
             }
         } else {
-            Conn::Tcp(TcpStream::connect(addr)?)
+            let stream = TcpStream::connect(addr)?;
+            // Requests and replies are small write pairs (line + '\n');
+            // with Nagle on, the second write of each pair stalls behind
+            // the peer's delayed ACK (~40 ms per turn on a long-lived
+            // connection). Latency here is protocol turns, not bytes.
+            stream.set_nodelay(true)?;
+            Conn::Tcp(stream)
         };
         Ok(Client {
             reader: BufReader::new(conn),
         })
+    }
+
+    /// Connect to `host:port` with a bounded connect deadline, and apply
+    /// the same bound to every subsequent read and write. The router's
+    /// health checks and failover hinge on this: a dead shard must turn
+    /// into a timely error, never a hung thread. TCP only (the router
+    /// dials shards over TCP); `unix:` addresses fall back to
+    /// [`Client::connect`] + [`Client::set_io_timeout`].
+    pub fn connect_timeout(addr: &str, timeout: std::time::Duration) -> std::io::Result<Client> {
+        if addr.starts_with("unix:") {
+            let c = Client::connect(addr)?;
+            c.set_io_timeout(Some(timeout))?;
+            return Ok(c);
+        }
+        use std::net::ToSocketAddrs;
+        let sock = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::other(format!("no address for `{addr}`")))?;
+        let stream = TcpStream::connect_timeout(&sock, timeout)?;
+        stream.set_nodelay(true)?;
+        let c = Client {
+            reader: BufReader::new(Conn::Tcp(stream)),
+        };
+        c.set_io_timeout(Some(timeout))?;
+        Ok(c)
+    }
+
+    /// Bound every read and write on this connection (`None` = block
+    /// forever). A timed-out request leaves the connection unusable —
+    /// reconnect rather than reuse it.
+    pub fn set_io_timeout(&self, timeout: Option<std::time::Duration>) -> std::io::Result<()> {
+        match self.reader.get_ref() {
+            Conn::Tcp(s) => {
+                s.set_read_timeout(timeout)?;
+                s.set_write_timeout(timeout)
+            }
+            #[cfg(unix)]
+            Conn::Unix(s) => {
+                s.set_read_timeout(timeout)?;
+                s.set_write_timeout(timeout)
+            }
+        }
     }
 
     /// Send one request line, read and parse one response line.

@@ -41,7 +41,7 @@ pub(crate) fn locked<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T>
     m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
-pub use cache::{content_key, Cache, CacheStats};
+pub use cache::{content_key, content_sum, Cache, CacheStats};
 pub use client::Client;
 pub use job::{CacheMode, JobSpec, Verdict};
 pub use json::Value;

@@ -72,6 +72,12 @@ pub struct ServerConfig {
     /// Backpressure: submissions beyond this many queued jobs are
     /// rejected with `queue full` instead of buffered without bound.
     pub max_queue: usize,
+    /// Stable cluster identity, reported in `ping`/`stats` so a router
+    /// can tell shards apart across restarts. `None` for standalone use.
+    pub shard_id: Option<String>,
+    /// Artificial delay before each disk-tier write, ms (fault-injection
+    /// knob for drain/crash tests; 0 in production).
+    pub disk_write_delay_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -85,6 +91,8 @@ impl Default for ServerConfig {
             default_deadline_ms: 300_000,
             default_retries: 1,
             max_queue: 1024,
+            shard_id: None,
+            disk_write_delay_ms: 0,
         }
     }
 }
@@ -136,6 +144,9 @@ struct Shared {
     next_id: AtomicU64,
     running: AtomicU64,
     shutdown: AtomicBool,
+    /// Abrupt-kill latch (chaos harness): like a crash, not a drain —
+    /// queued jobs are abandoned and pending disk writes are discarded.
+    killed: AtomicBool,
     counters: Counters,
     config: ServerConfig,
 }
@@ -170,6 +181,24 @@ impl ServerHandle {
         if let Some(t) = self.listener.take() {
             let _ = t.join();
         }
+    }
+
+    /// Abrupt in-process kill — the chaos harness's stand-in for
+    /// SIGKILL. Unlike a drain, queued jobs are abandoned, in-flight
+    /// batches are cut, and pending disk-tier writes are *discarded*
+    /// (exactly what a real crash loses). Idempotent.
+    pub fn kill(&self) {
+        self.shared.killed.store(true, Ordering::SeqCst);
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.cache.discard_pending();
+        self.shared.queue_cv.notify_all();
+        self.shared.done_cv.notify_all();
+    }
+
+    /// Jobs currently queued or running (chaos-harness introspection).
+    pub fn inflight(&self) -> usize {
+        crate::locked(&self.shared.queue).len()
+            + self.shared.running.load(Ordering::SeqCst) as usize
     }
 }
 
@@ -257,13 +286,15 @@ pub fn spawn(config: ServerConfig, runner: Arc<dyn JobRunner>) -> std::io::Resul
         }
     };
 
+    let cache = Cache::new(
+        config.cache_dir.clone(),
+        config.cache_shards,
+        config.cache_bytes,
+    );
+    cache.set_write_delay_ms(config.disk_write_delay_ms);
     let shared = Arc::new(Shared {
         runner,
-        cache: Cache::new(
-            config.cache_dir.clone(),
-            config.cache_shards,
-            config.cache_bytes,
-        ),
+        cache,
         jobs: Mutex::new(HashMap::new()),
         done_cv: Condvar::new(),
         queue: Mutex::new(VecDeque::new()),
@@ -271,6 +302,7 @@ pub fn spawn(config: ServerConfig, runner: Arc<dyn JobRunner>) -> std::io::Resul
         next_id: AtomicU64::new(1),
         running: AtomicU64::new(0),
         shutdown: AtomicBool::new(false),
+        killed: AtomicBool::new(false),
         counters: Counters::default(),
         config,
     });
@@ -322,6 +354,10 @@ fn listener_loop(sh: &Arc<Shared>, acceptor: &Acceptor) {
                     .spawn(move || match stream {
                         Incoming::Tcp(s) => {
                             let _ = s.set_nonblocking(false);
+                            // Replies are small write pairs (line + '\n');
+                            // Nagle would stall the second write behind
+                            // the peer's delayed ACK on every turn.
+                            let _ = s.set_nodelay(true);
                             connection_loop(&sh, s);
                         }
                         #[cfg(unix)]
@@ -339,15 +375,23 @@ fn listener_loop(sh: &Arc<Shared>, acceptor: &Acceptor) {
     }
 }
 
-/// Finish everything queued, then release the workers.
+/// Finish everything queued, then release the workers. A graceful drain
+/// also flushes the cache's write-behind queue so a drained shard
+/// rejoins with a complete warm disk tier (an abrupt kill does not —
+/// pending writes are lost exactly as in a real crash).
 fn drain(sh: &Arc<Shared>) {
     loop {
+        if sh.killed.load(Ordering::SeqCst) {
+            sh.queue_cv.notify_all();
+            return;
+        }
         let queued = crate::locked(&sh.queue).len();
         if queued == 0 && sh.running.load(Ordering::SeqCst) == 0 {
             break;
         }
         std::thread::sleep(Duration::from_millis(10));
     }
+    sh.cache.flush();
     // Workers wait on the queue condvar with a timeout, so notifying is
     // an optimization, not a correctness requirement.
     sh.queue_cv.notify_all();
@@ -358,6 +402,10 @@ fn worker_loop(sh: &Arc<Shared>) {
         let id = {
             let mut q = crate::locked(&sh.queue);
             loop {
+                if sh.killed.load(Ordering::SeqCst) {
+                    // Crash semantics: abandon the queue, exit now.
+                    break None;
+                }
                 if let Some(id) = q.pop_front() {
                     break Some(id);
                 }
@@ -546,6 +594,10 @@ fn connection_loop<S: std::io::Read + Write>(sh: &Arc<Shared>, stream: S) {
         if trimmed.is_empty() {
             continue;
         }
+        if sh.killed.load(Ordering::SeqCst) {
+            // A killed daemon answers nothing — cut the connection.
+            return;
+        }
         let reply = handle_request(sh, trimmed);
         let w = reader.get_mut();
         if w.write_all(reply.as_bytes()).is_err() || w.write_all(b"\n").is_err() {
@@ -571,10 +623,18 @@ fn handle_request(sh: &Arc<Shared>, line: &str) -> String {
         Err((at, msg)) => return error_reply(&format!("bad JSON at byte {at}: {msg}")),
     };
     match v.get("op").and_then(Value::as_str) {
-        Some("ping") => format!(
-            "{{\"ok\":true,\"pong\":true,\"engine_version\":{}}}",
-            sh.runner.engine_version()
-        ),
+        Some("ping") => {
+            let mut out = format!(
+                "{{\"ok\":true,\"pong\":true,\"engine_version\":{}",
+                sh.runner.engine_version()
+            );
+            if let Some(id) = &sh.config.shard_id {
+                out.push_str(",\"shard_id\":");
+                push_json_str(&mut out, id);
+            }
+            out.push('}');
+            out
+        }
         Some("submit") => match JobSpec::from_value(&v) {
             Ok(spec) => match admit(sh, spec) {
                 Ok(id) => status_reply(sh, id),
@@ -593,6 +653,33 @@ fn handle_request(sh: &Arc<Shared>, line: &str) -> String {
             handle_batch(sh, jobs)
         }
         Some("stats") => stats_reply(sh),
+        // Cluster verbs (DESIGN.md §14): the warm-rebalance surface. A
+        // router walks `cache_keys`, copies entries out with `cache_pull`,
+        // and seeds replicas with `cache_push`.
+        Some("cache_keys") => {
+            let mut out = String::from("{\"ok\":true,\"keys\":[");
+            for (i, k) in sh.cache.keys().iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_json_str(&mut out, k);
+            }
+            out.push_str("]}");
+            out
+        }
+        Some("cache_pull") => match v.get("key").and_then(Value::as_str) {
+            Some(key) if valid_cache_key(key) => match sh.cache.get(key) {
+                // Result bytes are canonical single-line JSON; splice them
+                // verbatim so a pulled entry stays bit-identical.
+                Some(bytes) => format!(
+                    "{{\"ok\":true,\"found\":true,\"result\":{}}}",
+                    String::from_utf8_lossy(&bytes)
+                ),
+                None => "{\"ok\":true,\"found\":false}".into(),
+            },
+            _ => error_reply("cache_pull needs a 32-hex `key`"),
+        },
+        Some("cache_push") => cache_push(sh, &v, line),
         Some("shutdown") => {
             sh.shutdown.store(true, Ordering::SeqCst);
             "{\"ok\":true,\"draining\":true}".into()
@@ -600,6 +687,40 @@ fn handle_request(sh: &Arc<Shared>, line: &str) -> String {
         Some(other) => error_reply(&format!("unknown op `{other}`")),
         None => error_reply("request needs a string `op`"),
     }
+}
+
+fn valid_cache_key(key: &str) -> bool {
+    key.len() == 32 && key.bytes().all(|b| b.is_ascii_hexdigit())
+}
+
+/// Store a pulled entry under its content key (`cache_push`). The result
+/// bytes are extracted as the raw `"result":` suffix of the request line
+/// rather than re-serialized through our JSON model: the cluster's
+/// bit-identity contract requires the stored bytes to be exactly the
+/// bytes the origin shard computed, and re-dumping could re-order keys.
+/// The router always sends `result` as the final field, so the suffix is
+/// well-defined; we still parse the line first to validate it.
+fn cache_push(sh: &Arc<Shared>, v: &Value, line: &str) -> String {
+    let Some(key) = v.get("key").and_then(Value::as_str) else {
+        return error_reply("cache_push needs a 32-hex `key`");
+    };
+    if !valid_cache_key(key) {
+        return error_reply("cache_push needs a 32-hex `key`");
+    }
+    if v.get("result").is_none() {
+        return error_reply("cache_push needs a `result` object");
+    }
+    // First occurrence is the field marker: `op` and `key` are fixed
+    // format and cannot contain this substring.
+    let Some(at) = line.find("\"result\":") else {
+        return error_reply("cache_push needs a `result` field");
+    };
+    let raw = line[at + "\"result\":".len()..].trim_end();
+    let Some(raw) = raw.strip_suffix('}') else {
+        return error_reply("cache_push: `result` must be the final field");
+    };
+    sh.cache.put(key, raw.as_bytes().to_vec());
+    "{\"ok\":true,\"stored\":true}".into()
 }
 
 /// Admit one job: inline cache fast path, else enqueue. Returns the id.
@@ -673,6 +794,10 @@ fn handle_batch(sh: &Arc<Shared>, jobs: &[Value]) -> String {
     {
         let mut guard = crate::locked(&sh.jobs);
         loop {
+            if sh.killed.load(Ordering::SeqCst) {
+                // Crash semantics: the batch never completes.
+                return error_reply("killed");
+            }
             let all_done = ids.iter().all(|r| match r {
                 Ok(id) => guard.get(id).map(|r| r.state.terminal()).unwrap_or(true),
                 Err(_) => true,
@@ -787,12 +912,20 @@ fn stats_reply(sh: &Arc<Shared>) -> String {
         push_json_str(&mut exp_json, e);
     }
     exp_json.push(']');
+    let mut shard_json = String::new();
+    if let Some(id) = &sh.config.shard_id {
+        shard_json.push_str("\"shard_id\":");
+        push_json_str(&mut shard_json, id);
+        shard_json.push(',');
+    }
     format!(
-        "{{\"ok\":true,\"engine_version\":{},\"draining\":{},\
+        "{{\"ok\":true,{}\"engine_version\":{},\"draining\":{},\
          \"jobs\":{{\"submitted\":{},\"done\":{},\"failed\":{},\
          \"quarantined\":{},\"deadline_expired\":{},\"queued\":{},\"running\":{}}},\
          \"cache\":{{\"mem_hits\":{},\"disk_hits\":{},\"misses\":{},\"evictions\":{},\
+         \"corrupt\":{},\"pending_writes\":{},\"disk_writes\":{},\
          \"mem_bytes\":{},\"mem_entries\":{}}},\"experiments\":{}}}",
+        shard_json,
         sh.runner.engine_version(),
         sh.shutdown.load(Ordering::SeqCst),
         c.submitted.load(Ordering::Relaxed),
@@ -806,6 +939,9 @@ fn stats_reply(sh: &Arc<Shared>) -> String {
         cs.disk_hits.load(Ordering::Relaxed),
         cs.misses.load(Ordering::Relaxed),
         cs.evictions.load(Ordering::Relaxed),
+        cs.corrupt.load(Ordering::Relaxed),
+        sh.cache.pending_writes(),
+        sh.cache.disk_writes(),
         sh.cache.mem_bytes(),
         sh.cache.mem_entries(),
         exp_json

@@ -283,6 +283,152 @@ fn graceful_drain_finishes_queued_work_then_refuses() {
     handle.join();
 }
 
+/// Regression test for the drain/flush bug: with a write-behind disk
+/// tier, SIGTERM-style drain must flush pending disk writes before exit,
+/// or a drained shard rejoins with holes in its warm cache. The write
+/// delay widens the race window so an unflushed drain would lose the
+/// entry deterministically.
+#[test]
+fn drain_flushes_pending_disk_writes() {
+    let dir = std::env::temp_dir().join(format!("bfly_farm_drainflush_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let toy = Arc::new(Toy {
+        runs: AtomicU64::new(0),
+    });
+    let handle = spawn(
+        ServerConfig {
+            listen: Listen::Tcp("127.0.0.1:0".into()),
+            workers: 2,
+            cache_dir: Some(dir.clone()),
+            disk_write_delay_ms: 150,
+            ..ServerConfig::default()
+        },
+        toy,
+    )
+    .expect("boot daemon");
+    let mut c = Client::connect(&handle.addr).unwrap();
+    let r = req(&mut c, r#"{"op":"submit","exp":"echo","seed":99}"#);
+    let id = r.get("id").and_then(Value::as_u64).unwrap();
+    let cold = poll_done(&mut c, id).get("result").unwrap().dump();
+    // Drain immediately: the disk write is still sitting in the
+    // write-behind queue behind the 150 ms delay.
+    let d = req(&mut c, r#"{"op":"shutdown"}"#);
+    assert_eq!(d.get("draining").and_then(Value::as_bool), Some(true));
+    handle.join();
+
+    // Rejoin with the same FARM_CACHE: the entry must be on disk.
+    let (handle2, toy2) = boot(Some(dir.clone()));
+    let mut c2 = Client::connect(&handle2.addr).unwrap();
+    let r = req(&mut c2, r#"{"op":"submit","exp":"echo","seed":99}"#);
+    assert_eq!(
+        r.get("cached").and_then(Value::as_bool),
+        Some(true),
+        "drained shard must rejoin with a complete warm cache: {}",
+        r.dump()
+    );
+    assert_eq!(r.get("result").unwrap().dump(), cold);
+    assert_eq!(toy2.runs.load(Ordering::SeqCst), 0, "no recompute");
+    handle2.shutdown();
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The cluster verbs: `cache_keys` exports the servable key set,
+/// `cache_pull` copies an entry out bit-identically, and `cache_push`
+/// seeds it into another shard (the warm-rebalance path).
+#[test]
+fn cluster_cache_verbs_round_trip_bit_identically() {
+    let (a, _toy) = boot(None);
+    let (b, toy_b) = boot(None);
+    let mut ca = Client::connect(&a.addr).unwrap();
+    let mut cb = Client::connect(&b.addr).unwrap();
+
+    let r = req(
+        &mut ca,
+        r#"{"op":"submit","exp":"echo","seed":5,"params":{"k":2}}"#,
+    );
+    let id = r.get("id").and_then(Value::as_u64).unwrap();
+    let cold = poll_done(&mut ca, id).get("result").unwrap().dump();
+
+    let keys = req(&mut ca, r#"{"op":"cache_keys"}"#);
+    let keys = keys.get("keys").and_then(Value::as_arr).unwrap();
+    assert_eq!(keys.len(), 1);
+    let key = keys[0].as_str().unwrap().to_string();
+    assert_eq!(key.len(), 32);
+
+    let pulled = req(&mut ca, &format!(r#"{{"op":"cache_pull","key":"{key}"}}"#));
+    assert_eq!(pulled.get("found").and_then(Value::as_bool), Some(true));
+    let result = pulled.get("result").unwrap().dump();
+    assert_eq!(result, cold, "pulled bytes must match the cold result");
+
+    // Push into shard b; the same job is then a warm hit there with
+    // bit-identical bytes and zero recomputes.
+    let push = req(
+        &mut cb,
+        &format!(r#"{{"op":"cache_push","key":"{key}","result":{result}}}"#),
+    );
+    assert_eq!(push.get("stored").and_then(Value::as_bool), Some(true));
+    let warm = req(
+        &mut cb,
+        r#"{"op":"submit","exp":"echo","seed":5,"params":{"k":2}}"#,
+    );
+    assert_eq!(warm.get("cached").and_then(Value::as_bool), Some(true));
+    assert_eq!(warm.get("result").unwrap().dump(), cold);
+    assert_eq!(toy_b.runs.load(Ordering::SeqCst), 0);
+
+    // Bad keys are refused.
+    let bad = req(&mut cb, r#"{"op":"cache_pull","key":"nope"}"#);
+    assert_eq!(bad.get("ok").and_then(Value::as_bool), Some(false));
+
+    a.shutdown();
+    b.shutdown();
+}
+
+/// An abrupt kill is a crash, not a drain: pending disk writes are lost.
+#[test]
+fn kill_discards_pending_disk_writes() {
+    let dir = std::env::temp_dir().join(format!("bfly_farm_kill_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let toy = Arc::new(Toy {
+        runs: AtomicU64::new(0),
+    });
+    let handle = spawn(
+        ServerConfig {
+            listen: Listen::Tcp("127.0.0.1:0".into()),
+            workers: 2,
+            cache_dir: Some(dir.clone()),
+            disk_write_delay_ms: 5_000,
+            ..ServerConfig::default()
+        },
+        toy,
+    )
+    .expect("boot daemon");
+    let mut c = Client::connect(&handle.addr).unwrap();
+    let r = req(&mut c, r#"{"op":"submit","exp":"echo","seed":13}"#);
+    let id = r.get("id").and_then(Value::as_u64).unwrap();
+    let _ = poll_done(&mut c, id);
+    handle.kill();
+    handle.join();
+
+    // Restart on the same dir: the entry never reached disk.
+    let (handle2, toy2) = boot(Some(dir.clone()));
+    let mut c2 = Client::connect(&handle2.addr).unwrap();
+    let r = req(&mut c2, r#"{"op":"submit","exp":"echo","seed":13}"#);
+    let id = r.get("id").and_then(Value::as_u64).unwrap();
+    let done = poll_done(&mut c2, id);
+    assert_eq!(
+        done.get("cached").and_then(Value::as_bool),
+        Some(false),
+        "a killed shard loses pending writes, like a real crash"
+    );
+    assert_eq!(toy2.runs.load(Ordering::SeqCst), 1);
+    handle2.shutdown();
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[cfg(unix)]
 #[test]
 fn unix_socket_round_trip() {

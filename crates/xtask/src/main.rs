@@ -6,14 +6,18 @@
 //! 1. **Dependency edges** — `bfly-farmd` is the serving substrate and
 //!    must stay std-only: `bench -> farmd`, never the reverse. A single
 //!    `bfly-*` line in farmd's `[dependencies]` would invert the layering
-//!    and drag the whole simulation stack into the daemon.
+//!    and drag the whole simulation stack into the daemon. Likewise
+//!    `bfly-farm-router` may depend on exactly `bfly-farmd` (protocol +
+//!    content keys) and nothing else: the router routes jobs, it cannot
+//!    run them, so `bench -> router -> farmd` stays acyclic.
 //! 2. **SAFETY comments** — every `unsafe` keyword must have a
 //!    `// SAFETY:` justification within the five preceding lines.
 //! 3. **Unsafe allowlist** — `unsafe` may appear only in `sim`,
 //!    `collections`, and `farmd`. New crates are born `#![forbid(unsafe_code)]`.
 //! 4. **Daemon unwrap ban** — no bare `.unwrap()` in farmd's
-//!    `server.rs`/`cache.rs` hot paths (outside `#[cfg(test)]`): a
-//!    poisoned cache shard must degrade, not kill the daemon.
+//!    `server.rs`/`cache.rs` hot paths or anywhere in the router's
+//!    sources (outside `#[cfg(test)]`): a poisoned lock or a flaky shard
+//!    must degrade, not kill the serving layer.
 //!
 //! Each check is a pure function over `(path label, file contents)` so the
 //! unit tests below can feed deliberate violations without touching disk.
@@ -28,8 +32,24 @@ use std::process::ExitCode;
 /// Crates allowed to contain the `unsafe` keyword at all.
 const UNSAFE_ALLOWLIST: &[&str] = &["sim", "collections", "farmd"];
 
-/// farmd files where bare `.unwrap()` is banned outside `#[cfg(test)]`.
-const NO_UNWRAP_FILES: &[&str] = &["crates/farmd/src/server.rs", "crates/farmd/src/cache.rs"];
+/// Serving-layer files where bare `.unwrap()` is banned outside
+/// `#[cfg(test)]`: farmd's hot paths plus every router source — a
+/// router thread that panics on a poisoned lock takes the whole
+/// cluster's front door with it.
+const NO_UNWRAP_FILES: &[&str] = &[
+    "crates/farmd/src/server.rs",
+    "crates/farmd/src/cache.rs",
+    "crates/farm-router/src/conn.rs",
+    "crates/farm-router/src/health.rs",
+    "crates/farm-router/src/lib.rs",
+    "crates/farm-router/src/main.rs",
+    "crates/farm-router/src/rebalance.rs",
+    "crates/farm-router/src/ring.rs",
+    "crates/farm-router/src/router.rs",
+];
+
+/// The only dependency `bfly-farm-router` may declare.
+const ROUTER_ALLOWED_DEP: &str = "bfly-farmd";
 
 /// How far back (in lines) a `// SAFETY:` comment may sit from its
 /// `unsafe` keyword and still count as adjacent.
@@ -59,6 +79,16 @@ fn lint() -> ExitCode {
     match std::fs::read_to_string(&farmd_manifest) {
         Ok(text) => violations.extend(check_farmd_isolation("crates/farmd/Cargo.toml", &text)),
         Err(e) => violations.push(format!("crates/farmd/Cargo.toml: unreadable: {e}")),
+    }
+
+    // Check 1b: the router depends on exactly farmd, nothing else.
+    let router_manifest = root.join("crates/farm-router/Cargo.toml");
+    match std::fs::read_to_string(&router_manifest) {
+        Ok(text) => violations.extend(check_router_isolation(
+            "crates/farm-router/Cargo.toml",
+            &text,
+        )),
+        Err(e) => violations.push(format!("crates/farm-router/Cargo.toml: unreadable: {e}")),
     }
 
     // Checks 2–4 walk every Rust source under crates/ (xtask excluded).
@@ -159,6 +189,43 @@ fn check_farmd_isolation(label: &str, manifest: &str) -> Vec<String> {
                 i + 1
             ));
         }
+    }
+    violations
+}
+
+/// The router's `[dependencies]` must be exactly [`ROUTER_ALLOWED_DEP`]:
+/// it speaks the farmd protocol and reuses farmd's json/client/key code,
+/// but must never grow an edge into the simulation stack (it routes
+/// jobs; it cannot run them). An empty section is also a violation —
+/// the router without the farmd protocol types is not the router.
+fn check_router_isolation(label: &str, manifest: &str) -> Vec<String> {
+    let mut violations = Vec::new();
+    let mut in_deps = false;
+    let mut saw_allowed = false;
+    for (i, raw) in manifest.lines().enumerate() {
+        let line = strip_comment(raw, "#").trim();
+        if line.starts_with('[') {
+            in_deps = line == "[dependencies]";
+            continue;
+        }
+        if in_deps && !line.is_empty() {
+            let dep = line.split(['=', '.']).next().unwrap_or(line).trim();
+            if dep == ROUTER_ALLOWED_DEP {
+                saw_allowed = true;
+            } else {
+                violations.push(format!(
+                    "{label}:{}: farm-router may depend on exactly `{ROUTER_ALLOWED_DEP}` \
+                     (bench -> router -> farmd, never the reverse); found `{dep}`",
+                    i + 1
+                ));
+            }
+        }
+    }
+    if !saw_allowed {
+        violations.push(format!(
+            "{label}: farm-router must declare its one dependency `{ROUTER_ALLOWED_DEP}` \
+             (the protocol and content-key types live there)"
+        ));
     }
     violations
 }
@@ -318,6 +385,47 @@ mod tests {
     fn farmd_isolation_accepts_empty_section_with_comments() {
         let good = "[package]\nname = \"bfly-farmd\"\n\n# bench -> farmd, never the reverse\n[dependencies]\n# (deliberately empty)\n\n[dev-dependencies]\n";
         assert!(check_farmd_isolation("crates/farmd/Cargo.toml", good).is_empty());
+    }
+
+    #[test]
+    fn router_isolation_flags_simulation_dependency() {
+        let bad = "[package]\nname = \"bfly-farm-router\"\n\n[dependencies]\n\
+                   bfly-farmd = { workspace = true }\nbfly-sim = { workspace = true }\n";
+        let v = check_router_isolation("crates/farm-router/Cargo.toml", bad);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("bfly-sim"), "{v:?}");
+    }
+
+    #[test]
+    fn router_isolation_requires_the_farmd_edge() {
+        let bad = "[package]\nname = \"bfly-farm-router\"\n\n[dependencies]\n\n[dev-dependencies]\nproptest = { workspace = true }\n";
+        let v = check_router_isolation("crates/farm-router/Cargo.toml", bad);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("bfly-farmd"), "{v:?}");
+    }
+
+    #[test]
+    fn router_isolation_accepts_exactly_farmd() {
+        let good = "[package]\nname = \"bfly-farm-router\"\n\n# router -> farmd only\n\
+                    [dependencies]\nbfly-farmd = { workspace = true }\n\n\
+                    [dev-dependencies]\nproptest = { workspace = true }\n";
+        assert!(check_router_isolation("crates/farm-router/Cargo.toml", good).is_empty());
+    }
+
+    #[test]
+    fn unwrap_ban_covers_router_sources() {
+        // The gate is wired to every router source file; a bare unwrap
+        // in any of them must trip it.
+        for f in NO_UNWRAP_FILES {
+            assert!(
+                f.starts_with("crates/farmd/") || f.starts_with("crates/farm-router/"),
+                "{f} is not a serving-layer file"
+            );
+        }
+        assert!(NO_UNWRAP_FILES.contains(&"crates/farm-router/src/router.rs"));
+        let text = "fn route() {\n    let g = shards.lock().unwrap();\n}\n";
+        let v = check_no_bare_unwrap("crates/farm-router/src/router.rs", text);
+        assert_eq!(v.len(), 1, "{v:?}");
     }
 
     #[test]

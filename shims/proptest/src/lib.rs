@@ -129,6 +129,21 @@ pub mod strategy {
                 map: f,
             }
         }
+
+        /// Chain a dependent strategy: generate a value, build a second
+        /// strategy from it, and generate from that (e.g. an index into
+        /// a generated length).
+        fn prop_flat_map<O, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            O: Strategy,
+            F: Fn(Self::Value) -> O,
+        {
+            FlatMap {
+                source: self,
+                map: f,
+            }
+        }
     }
 
     /// Strategy produced by [`Strategy::prop_map`].
@@ -147,6 +162,26 @@ pub mod strategy {
 
         fn generate(&self, rng: &mut TestRng) -> O {
             (self.map)(self.source.generate(rng))
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S, O, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        O: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> O::Value {
+            (self.map)(self.source.generate(rng)).generate(rng)
         }
     }
 
@@ -485,6 +520,16 @@ macro_rules! prop_assert_ne {
                 "assertion failed: `{} != {}`\n  both: {:?}",
                 stringify!($left),
                 stringify!($right),
+                __l
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "{}\n  both: {:?}",
+                format!($($fmt)+),
                 __l
             )));
         }
