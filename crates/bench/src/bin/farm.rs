@@ -15,6 +15,11 @@
 //!   gate on the warm-over-cold speedup. Prints a JSON summary.
 //!   `--router <n>` boots an in-process n-shard cluster behind a
 //!   `farm-router` and benches through it instead of `--addr`.
+//! * `farm bench --sustained [--io-mode <m>] [--conns <n>] [--window <n>]
+//!   [--duration-ms <n>] [--rate <rps>] [--min-rps <x>] [--router <n>]`
+//!   — the serving-throughput benchmark (EXPERIMENTS.md T20): pipelined
+//!   warm-hit saturation against an in-process daemon per io-mode, and
+//!   (with `--router`) an open-loop mixed load through a shard fleet.
 //!
 //! Every subcommand takes `--addr <host:port | unix:/path>` (default
 //! `127.0.0.1:4655`). Transient refusals — connection failures and
@@ -126,19 +131,20 @@ fn submit(args: &[String]) -> ! {
         eprintln!("farm: {err}; retrying in {} ms", d.as_millis());
         std::thread::sleep(d);
     };
-    if args.iter().any(|a| a == "--wait") {
-        while v.get("ok").and_then(Value::as_bool) == Some(true)
-            && matches!(
-                v.get("state").and_then(Value::as_str),
-                Some("queued") | Some("running")
-            )
-        {
-            std::thread::sleep(Duration::from_millis(50));
-            let id = v.get("id").and_then(Value::as_u64).expect("reply has id");
-            v = c
-                .request_line(&format!(r#"{{"op":"status","id":{id}}}"#))
-                .unwrap_or_else(|e| fail(&format!("status poll: {e}")));
-        }
+    if args.iter().any(|a| a == "--wait")
+        && v.get("ok").and_then(Value::as_bool) == Some(true)
+        && matches!(
+            v.get("state").and_then(Value::as_str),
+            Some("queued") | Some("running")
+        )
+    {
+        // Long-poll via the `wait` verb (completion latency is a condvar
+        // wakeup, not a poll quantum); await_terminal falls back to a
+        // 50 ms status poll against daemons that predate `wait`.
+        let id = v.get("id").and_then(Value::as_u64).expect("reply has id");
+        v = c
+            .await_terminal(id, 50)
+            .unwrap_or_else(|e| fail(&format!("wait: {e}")));
     }
     println!("{}", v.dump());
     let ok = v.get("ok").and_then(Value::as_bool) == Some(true)
@@ -209,7 +215,117 @@ fn batch(args: &[String]) -> ! {
     }
 }
 
+/// `farm bench --sustained`: the serving-throughput benchmark
+/// (EXPERIMENTS.md T20). Direct saturation legs in both io-modes (or
+/// one, with `--io-mode`), plus the open-loop router leg with
+/// `--router <n>`. Gates on `--min-rps` against the best direct leg.
+fn bench_sustained(args: &[String]) -> ! {
+    use bfly_bench::sustained::{sustained_direct, sustained_router, SustainedConfig};
+    use bfly_farmd::IoMode;
+
+    let mut cfg = SustainedConfig::default();
+    if let Some(n) = arg_value(args, "--conns") {
+        cfg.conns = n.parse().unwrap_or_else(|_| fail("--conns takes a count"));
+    }
+    if let Some(n) = arg_value(args, "--window") {
+        cfg.window = n.parse().unwrap_or_else(|_| fail("--window takes a count"));
+    }
+    if let Some(ms) = arg_value(args, "--duration-ms") {
+        let ms: u64 = ms
+            .parse()
+            .unwrap_or_else(|_| fail("--duration-ms takes milliseconds"));
+        cfg.duration = Duration::from_millis(ms);
+    }
+    if let Some(r) = arg_value(args, "--rate") {
+        cfg.offered_rps = r.parse().unwrap_or_else(|_| fail("--rate takes req/s"));
+    }
+    let min_rps: f64 = arg_value(args, "--min-rps")
+        .map(|v| v.parse().unwrap_or_else(|_| fail("--min-rps takes req/s")))
+        .unwrap_or(0.0);
+    let modes: Vec<IoMode> = match arg_value(args, "--io-mode") {
+        Some(m) => vec![m.parse().unwrap_or_else(|e: String| fail(&e))],
+        None => vec![IoMode::Reactor, IoMode::Threads],
+    };
+
+    let mut best = 0.0f64;
+    let mut parts: Vec<String> = Vec::new();
+    for mode in modes {
+        let leg = sustained_direct(mode, &cfg)
+            .unwrap_or_else(|e| fail(&format!("sustained ({mode:?}): {e}")));
+        eprintln!(
+            "farm: {} sustained: {} req in {:.0} ms = {:.0} req/s (p50 {:?} p99 {:?} p999 {:?})",
+            leg.io_mode,
+            leg.requests,
+            leg.wall.as_secs_f64() * 1e3,
+            leg.rps(),
+            leg.lat.p50,
+            leg.lat.p99,
+            leg.lat.p999
+        );
+        best = best.max(leg.rps());
+        parts.push(format!(
+            "\"{}\": {{\"requests\": {}, \"rps\": {:.0}, \"p50_us\": {}, \"p99_us\": {}, \
+             \"p999_us\": {}}}",
+            leg.io_mode,
+            leg.requests,
+            leg.rps(),
+            leg.lat.p50.as_micros(),
+            leg.lat.p99.as_micros(),
+            leg.lat.p999.as_micros()
+        ));
+    }
+    if let Some(n) = arg_value(args, "--router") {
+        let n: usize = n
+            .parse()
+            .unwrap_or_else(|_| fail("--router takes a shard count"));
+        let leg = sustained_router(n.max(2), IoMode::Reactor, &cfg)
+            .unwrap_or_else(|e| fail(&format!("sustained router: {e}")));
+        eprintln!(
+            "farm: router sustained: {} req at {} offered = {:.0} req/s achieved \
+             (warm p50 {:?} p99 {:?} p999 {:?}; {} refused, {} rerouted, {} lost)",
+            leg.completed,
+            leg.offered_rps,
+            leg.rps(),
+            leg.warm.p50,
+            leg.warm.p99,
+            leg.warm.p999,
+            leg.refused,
+            leg.rerouted,
+            leg.lost
+        );
+        parts.push(format!(
+            "\"router\": {{\"shards\": {}, \"offered_rps\": {}, \"completed\": {}, \
+             \"rps\": {:.0}, \"refused\": {}, \"lost\": {}, \"warm_p50_ms\": {:.3}, \
+             \"warm_p99_ms\": {:.3}, \"warm_p999_ms\": {:.3}}}",
+            leg.shards,
+            leg.offered_rps,
+            leg.completed,
+            leg.rps(),
+            leg.refused,
+            leg.lost,
+            leg.warm.p50.as_secs_f64() * 1e3,
+            leg.warm.p99.as_secs_f64() * 1e3,
+            leg.warm.p999.as_secs_f64() * 1e3
+        ));
+    }
+    println!(
+        "{{\"conns\": {}, \"window\": {}, {}}}",
+        cfg.conns,
+        cfg.window,
+        parts.join(", ")
+    );
+    if best < min_rps {
+        fail(&format!(
+            "sustained throughput {best:.0} req/s below the {min_rps:.0} req/s floor"
+        ));
+    }
+    std::process::exit(0);
+}
+
 fn bench(args: &[String]) -> ! {
+    if args.iter().any(|a| a == "--sustained") {
+        bench_sustained(args);
+    }
     let min_speedup: f64 = arg_value(args, "--min-speedup")
         .map(|v| {
             v.parse()

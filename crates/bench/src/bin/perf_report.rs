@@ -118,6 +118,39 @@ fn main() {
         report.serve = Some(s);
     }
 
+    if args.iter().any(|a| a == "--serve-bench") {
+        eprintln!("running sustained open-loop serve benchmark ...");
+        let cfg = bfly_bench::SustainedConfig::default();
+        let sus = bfly_bench::sustained::sustained_suite(&cfg, true).expect("sustained bench");
+        for (mode, leg) in [("reactor", &sus.reactor), ("threads", &sus.threads)] {
+            eprintln!(
+                "  {mode}: {} req in {:.0} ms = {:.0} req/s (p50 {:?} p99 {:?} p999 {:?})",
+                leg.requests,
+                leg.wall.as_secs_f64() * 1e3,
+                leg.rps(),
+                leg.lat.p50,
+                leg.lat.p99,
+                leg.lat.p999,
+            );
+        }
+        if let Some(r) = &sus.router {
+            eprintln!(
+                "  router: {} req at {} offered = {:.0} req/s achieved \
+                 (warm p50 {:?} p99 {:?} p999 {:?}; {} refused, {} rerouted, {} lost)",
+                r.completed,
+                r.offered_rps,
+                r.rps(),
+                r.warm.p50,
+                r.warm.p99,
+                r.warm.p999,
+                r.refused,
+                r.rerouted,
+                r.lost,
+            );
+        }
+        report.sustained = Some(sus);
+    }
+
     if args.iter().any(|a| a == "--cluster-bench") {
         let shards: usize = arg_value(&args, "--cluster-shards")
             .map(|v| v.parse().expect("--cluster-shards takes a count"))
@@ -126,18 +159,22 @@ fn main() {
         let c = bfly_bench::cluster::cluster_bench(shards).expect("cluster bench");
         let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
         eprintln!(
-            "  {} jobs x {} shards (R={}): cold p50 {:.1} / p99 {:.1} ms, \
-             warm p50 {:.3} / p99 {:.3} ms, failover p50 {:.3} / p99 {:.3} ms \
+            "  {} jobs x {} shards (R={}): cold p50 {:.1} / p99 {:.1} / p999 {:.1} ms, \
+             warm p50 {:.3} / p99 {:.3} / p999 {:.3} ms, \
+             failover p50 {:.3} / p99 {:.3} / p999 {:.3} ms \
              ({} rerouted, {} lost)",
             c.jobs,
             c.shards,
             c.replicas,
             ms(c.cold.p50),
             ms(c.cold.p99),
+            ms(c.cold.p999),
             ms(c.warm.p50),
             ms(c.warm.p99),
+            ms(c.warm.p999),
             ms(c.failover.p50),
             ms(c.failover.p99),
+            ms(c.failover.p999),
             c.rerouted,
             c.lost
         );

@@ -35,7 +35,7 @@ use std::time::{Duration, Instant};
 
 use bfly_farm_router::{spawn as spawn_router, RouterConfig, RouterHandle};
 use bfly_farmd::json::Value;
-use bfly_farmd::{Client, JobRunner, JobSpec, Listen, ServerConfig, ServerHandle};
+use bfly_farmd::{Client, IoMode, JobRunner, JobSpec, Listen, ServerConfig, ServerHandle};
 use bfly_sim::{FaultKind, FaultPlan, FaultSpec, MS};
 
 use crate::farm::Registry;
@@ -193,22 +193,31 @@ pub struct Cluster {
     /// the proxy target stays valid.
     shard_addrs: Vec<String>,
     dirs: Vec<PathBuf>,
+    /// Shard serving loop; revived shards come back in the same mode.
+    io_mode: IoMode,
 }
 
-fn shard_config(i: usize, listen: String, dir: PathBuf) -> ServerConfig {
+fn shard_config(i: usize, listen: String, dir: PathBuf, io_mode: IoMode) -> ServerConfig {
     ServerConfig {
         listen: Listen::Tcp(listen),
         workers: 2,
         cache_dir: Some(dir),
         shard_id: Some(format!("shard-{i}")),
         default_retries: 1,
+        io_mode,
         ..ServerConfig::default()
     }
 }
 
 impl Cluster {
-    /// Boot `n` shards and a router with replication factor `replicas`.
+    /// Boot `n` shards and a router with replication factor `replicas`,
+    /// shards in the default thread-per-connection mode.
     pub fn boot(n: usize, replicas: usize) -> std::io::Result<Cluster> {
+        Cluster::boot_mode(n, replicas, IoMode::Threads)
+    }
+
+    /// [`Cluster::boot`] with an explicit shard io-mode.
+    pub fn boot_mode(n: usize, replicas: usize, io_mode: IoMode) -> std::io::Result<Cluster> {
         let uniq = format!(
             "{}_{}",
             std::process::id(),
@@ -225,7 +234,7 @@ impl Cluster {
         let mut proxies = Vec::with_capacity(n);
         for (i, dir) in dirs.iter().enumerate() {
             let h = bfly_farmd::spawn(
-                shard_config(i, "127.0.0.1:0".into(), dir.clone()),
+                shard_config(i, "127.0.0.1:0".into(), dir.clone(), io_mode),
                 std::sync::Arc::new(Registry),
             )?;
             shard_addrs.push(h.addr.clone());
@@ -255,6 +264,7 @@ impl Cluster {
             shards: Mutex::new(shards),
             shard_addrs,
             dirs,
+            io_mode,
         })
     }
 
@@ -298,7 +308,12 @@ impl Cluster {
         let mut last = None;
         for _ in 0..40 {
             match bfly_farmd::spawn(
-                shard_config(i, self.shard_addrs[i].clone(), self.dirs[i].clone()),
+                shard_config(
+                    i,
+                    self.shard_addrs[i].clone(),
+                    self.dirs[i].clone(),
+                    self.io_mode,
+                ),
                 std::sync::Arc::new(Registry),
             ) {
                 Ok(h) => {
@@ -514,8 +529,15 @@ fn reference_bytes(line: &str) -> std::io::Result<String> {
     String::from_utf8(bytes).map_err(other)
 }
 
-/// Submit one job line through `c` and poll to a terminal state.
+/// Submit one job line through `c` and drive it to a terminal state.
 /// Retries transient refusals (queue full) with the client backoff.
+///
+/// Completion notification uses the server-side `wait` verb (completion
+/// latency is a condvar wakeup on the far end, not a client poll
+/// quantum), falling back to a 15 ms `status` poll loop against daemons
+/// that predate `wait`. The `deadline` still bounds the total, so a
+/// stuck job surfaces as an error here even if the far end never
+/// answers `complete`.
 fn submit_terminal(c: &mut Client, line: &str, deadline: Duration) -> std::io::Result<Value> {
     let submit = format!(
         "{{\"op\":\"submit\",{}",
@@ -534,6 +556,7 @@ fn submit_terminal(c: &mut Client, line: &str, deadline: Duration) -> std::io::R
         }
         std::thread::sleep(backoff.next_delay());
     };
+    let mut use_wait = true;
     loop {
         match v.get("state").and_then(Value::as_str) {
             Some("done") | Some("failed") => return Ok(v),
@@ -545,6 +568,29 @@ fn submit_terminal(c: &mut Client, line: &str, deadline: Duration) -> std::io::R
                     .get("id")
                     .and_then(Value::as_u64)
                     .ok_or_else(|| other("reply without id"))?;
+                if use_wait {
+                    let w = c.wait_jobs(&[id], 10_000)?;
+                    if w.get("ok").and_then(Value::as_bool) == Some(true) {
+                        if w.get("complete").and_then(Value::as_bool) == Some(true) {
+                            v = w
+                                .get("results")
+                                .and_then(Value::as_arr)
+                                .and_then(|a| a.first())
+                                .cloned()
+                                .ok_or_else(|| other("wait reply missing results"))?;
+                            if v.get("ok").and_then(Value::as_bool) != Some(true) {
+                                return Err(other(format!("job {id} vanished: {}", v.dump())));
+                            }
+                        }
+                        continue; // incomplete: long-poll again (deadline-checked)
+                    }
+                    let err = w.get("error").and_then(Value::as_str).unwrap_or("");
+                    if err.contains("unknown op") {
+                        use_wait = false; // pre-`wait` daemon: poll instead
+                        continue;
+                    }
+                    return Err(other(format!("wait failed: {err}")));
+                }
                 std::thread::sleep(Duration::from_millis(15));
                 v = c.request_line(&format!("{{\"op\":\"status\",\"id\":{id}}}"))?;
             }
@@ -557,6 +603,23 @@ fn submit_terminal(c: &mut Client, line: &str, deadline: Duration) -> std::io::R
 /// pass after healing), then assert the cluster invariants. See the
 /// module docs for what is guaranteed.
 pub fn chaos_run(seed: u64, shards: usize, window_ms: u64) -> std::io::Result<ChaosOutcome> {
+    chaos_run_mode(seed, shards, window_ms, IoMode::Threads, 0)
+}
+
+/// [`chaos_run`] with an explicit shard io-mode and, when
+/// `forced_delay_ms > 0`, a link delay on shard 0's proxy from boot
+/// until [`Cluster::heal`] (seeded `LinkDelay` faults on that proxy may
+/// rewrite it mid-window, like any two schedule faults may collide).
+/// The forced delay pins the "degraded but alive link" case regardless
+/// of seed: the reactor must keep the slow connection parked without
+/// stalling its poll loop, and the invariants must hold anyway.
+pub fn chaos_run_mode(
+    seed: u64,
+    shards: usize,
+    window_ms: u64,
+    io_mode: IoMode,
+    forced_delay_ms: u64,
+) -> std::io::Result<ChaosOutcome> {
     let jobs = chaos_jobs();
     // Reference results first (pure recomputation, no cluster involved).
     let refs: Vec<String> = jobs
@@ -564,7 +627,10 @@ pub fn chaos_run(seed: u64, shards: usize, window_ms: u64) -> std::io::Result<Ch
         .map(|j| reference_bytes(j))
         .collect::<Result<_, _>>()?;
 
-    let cluster = Arc::new(Cluster::boot(shards, 2)?);
+    let cluster = Arc::new(Cluster::boot_mode(shards, 2, io_mode)?);
+    if forced_delay_ms > 0 {
+        cluster.proxies[0].set_delay_ms(forced_delay_ms);
+    }
     let faults = cluster_faults(seed, shards, window_ms);
     let fault_count = faults.len();
 
@@ -708,14 +774,26 @@ pub fn chaos_run(seed: u64, shards: usize, window_ms: u64) -> std::io::Result<Ch
 pub struct LatencyLeg {
     pub p50: Duration,
     pub p99: Duration,
+    pub p999: Duration,
 }
 
-fn percentiles(mut samples: Vec<Duration>) -> LatencyLeg {
+/// Sort the samples and pick p50/p99/p999 (nearest-rank on the sorted
+/// vector; an empty sample set yields all-zero percentiles so optional
+/// legs never panic).
+pub fn percentiles(mut samples: Vec<Duration>) -> LatencyLeg {
+    if samples.is_empty() {
+        return LatencyLeg {
+            p50: Duration::ZERO,
+            p99: Duration::ZERO,
+            p999: Duration::ZERO,
+        };
+    }
     samples.sort_unstable();
-    let pick = |p: usize| samples[(samples.len().saturating_sub(1)) * p / 100];
+    let pick = |p: usize| samples[(samples.len().saturating_sub(1)) * p / 1000];
     LatencyLeg {
-        p50: pick(50),
-        p99: pick(99),
+        p50: pick(500),
+        p99: pick(990),
+        p999: pick(999),
     }
 }
 
@@ -836,9 +914,17 @@ mod tests {
         let leg = percentiles((1..=100).map(Duration::from_millis).collect());
         assert_eq!(leg.p50, Duration::from_millis(50));
         assert_eq!(leg.p99, Duration::from_millis(99));
+        assert_eq!(leg.p999, Duration::from_millis(99));
+        // p999 separates from p99 once the tail has enough resolution.
+        let big = percentiles((1..=10_000).map(Duration::from_micros).collect());
+        assert_eq!(big.p99, Duration::from_micros(9_900));
+        assert_eq!(big.p999, Duration::from_micros(9_990));
         let one = percentiles(vec![Duration::from_millis(7)]);
         assert_eq!(one.p50, Duration::from_millis(7));
         assert_eq!(one.p99, Duration::from_millis(7));
+        assert_eq!(one.p999, Duration::from_millis(7));
+        let empty = percentiles(Vec::new());
+        assert_eq!(empty.p999, Duration::ZERO, "empty legs must not panic");
     }
 
     #[test]

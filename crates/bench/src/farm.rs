@@ -334,7 +334,10 @@ pub fn batch_results(v: &Value) -> std::io::Result<Vec<String>> {
 /// failures are transient too, but those surface as `io::Error`, not as
 /// protocol error strings — callers handle both (see the `farm` bin).
 pub fn transient_client_error(err: &str) -> bool {
-    err.contains("queue full")
+    // `busy` is the daemon's connection-cap refusal (max-conns reached):
+    // the daemon is healthy but saturated, so retry after backoff — same
+    // contract as queue backpressure.
+    err.contains("queue full") || err.contains("busy")
 }
 
 /// Bounded exponential backoff with seeded jitter for `farm` client
@@ -540,6 +543,7 @@ mod tests {
         assert!(transient_client_error(
             "queue full (4096 jobs); backpressure: retry later"
         ));
+        assert!(transient_client_error("busy: 4096 connections, try again"));
         assert!(!transient_client_error("draining: no new jobs accepted"));
         assert!(!transient_client_error("unknown experiment `nope`"));
     }

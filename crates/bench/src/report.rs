@@ -117,6 +117,9 @@ pub struct PerfReport {
     /// Cold/warm serving benchmark (`perf_report --serve-bench`); absent
     /// when the serving layer wasn't exercised.
     pub serve: Option<crate::farm::ServeBenchResult>,
+    /// Sustained serving-throughput benchmark (both io-modes, plus the
+    /// open-loop router leg when run); absent when not exercised.
+    pub sustained: Option<crate::sustained::SustainedResult>,
     /// Sharded-cluster latency benchmark (`perf_report --cluster-bench`);
     /// absent when the router wasn't exercised.
     pub cluster: Option<crate::cluster::ClusterBenchResult>,
@@ -203,6 +206,64 @@ impl PerfReport {
                 );
             }
         }
+        out.push_str(",\n  \"serve_sustained\": ");
+        match &self.sustained {
+            None => out.push_str("null"),
+            Some(s) => {
+                let direct = |out: &mut String, d: &crate::sustained::DirectLeg| {
+                    let _ = write!(
+                        out,
+                        "{{\"requests\": {}, \"wall_ms\": {:.1}, \"rps\": {:.0}, \
+                         \"p50_us\": {}, \"p99_us\": {}, \"p999_us\": {}}}",
+                        d.requests,
+                        d.wall.as_secs_f64() * 1e3,
+                        d.rps(),
+                        d.lat.p50.as_micros(),
+                        d.lat.p99.as_micros(),
+                        d.lat.p999.as_micros()
+                    );
+                };
+                let _ = write!(
+                    out,
+                    "{{\"conns\": {}, \"window\": {}, \"reactor\": ",
+                    s.reactor.conns, s.reactor.window
+                );
+                direct(&mut out, &s.reactor);
+                out.push_str(", \"threads\": ");
+                direct(&mut out, &s.threads);
+                out.push_str(", \"router\": ");
+                match &s.router {
+                    None => out.push_str("null"),
+                    Some(r) => {
+                        let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+                        let _ = write!(
+                            out,
+                            "{{\"shards\": {}, \"conns\": {}, \"offered_rps\": {}, \
+                             \"completed\": {}, \"rps\": {:.0}, \"refused\": {}, \
+                             \"warm_p50_ms\": {:.3}, \"warm_p99_ms\": {:.3}, \
+                             \"warm_p999_ms\": {:.3}, \"cold_p50_ms\": {:.3}, \
+                             \"cold_p99_ms\": {:.3}, \"cold_p999_ms\": {:.3}, \
+                             \"rerouted\": {}, \"lost\": {}}}",
+                            r.shards,
+                            r.conns,
+                            r.offered_rps,
+                            r.completed,
+                            r.rps(),
+                            r.refused,
+                            ms(r.warm.p50),
+                            ms(r.warm.p99),
+                            ms(r.warm.p999),
+                            ms(r.cold.p50),
+                            ms(r.cold.p99),
+                            ms(r.cold.p999),
+                            r.rerouted,
+                            r.lost
+                        );
+                    }
+                }
+                out.push('}');
+            }
+        }
         out.push_str(",\n  \"cluster\": ");
         match &self.cluster {
             None => out.push_str("null"),
@@ -211,19 +272,23 @@ impl PerfReport {
                 let _ = write!(
                     out,
                     "{{\"shards\": {}, \"replicas\": {}, \"jobs\": {}, \
-                     \"cold_p50_ms\": {:.1}, \"cold_p99_ms\": {:.1}, \
-                     \"warm_p50_ms\": {:.3}, \"warm_p99_ms\": {:.3}, \
+                     \"cold_p50_ms\": {:.1}, \"cold_p99_ms\": {:.1}, \"cold_p999_ms\": {:.1}, \
+                     \"warm_p50_ms\": {:.3}, \"warm_p99_ms\": {:.3}, \"warm_p999_ms\": {:.3}, \
                      \"failover_p50_ms\": {:.3}, \"failover_p99_ms\": {:.3}, \
+                     \"failover_p999_ms\": {:.3}, \
                      \"rerouted\": {}, \"lost\": {}}}",
                     c.shards,
                     c.replicas,
                     c.jobs,
                     ms(c.cold.p50),
                     ms(c.cold.p99),
+                    ms(c.cold.p999),
                     ms(c.warm.p50),
                     ms(c.warm.p99),
+                    ms(c.warm.p999),
                     ms(c.failover.p50),
                     ms(c.failover.p99),
+                    ms(c.failover.p999),
                     c.rerouted,
                     c.lost
                 );
@@ -437,6 +502,7 @@ mod tests {
             }],
             tables: Vec::new(),
             serve: None,
+            sustained: None,
             cluster: None,
         };
         // geomean(1e7, 4e7) = 2e7
@@ -468,6 +534,7 @@ mod tests {
             ],
             tables: Vec::new(),
             serve: None,
+            sustained: None,
             cluster: None,
         };
         let json = report.to_json();

@@ -10,7 +10,8 @@
 //! is deliberately small — CI runs one more fixed seed via the
 //! `cluster-chaos` job and `farm_chaos`.
 
-use bfly_bench::cluster::chaos_run;
+use bfly_bench::cluster::{chaos_run, chaos_run_mode};
+use bfly_farmd::IoMode;
 use proptest::prelude::*;
 
 proptest! {
@@ -34,6 +35,23 @@ proptest! {
 #[test]
 fn chaos_seed_zero_regression() {
     let out = chaos_run(0, 3, 2_000).expect("seed-0 chaos run");
+    assert_eq!(out.lost, 0);
+    assert_eq!(out.duplicates, 0);
+    assert_eq!(out.done, out.submitted);
+    assert!(out.faults > 0, "the schedule must actually inject faults");
+}
+
+/// The same anchor schedule against poll(2)-reactor shards, plus a
+/// forced 25 ms link delay on shard 0's proxy: a degraded-but-alive
+/// link must park in the reactor without stalling the poll loop, and
+/// the cluster invariants (nothing lost, nothing double-delivered,
+/// bit-identical results) must survive the io-mode swap.
+#[test]
+fn reactor_chaos_seed_zero_with_link_delay() {
+    if !cfg!(unix) {
+        return; // the reactor is poll(2)-backed
+    }
+    let out = chaos_run_mode(0, 3, 2_000, IoMode::Reactor, 25).expect("seed-0 reactor chaos run");
     assert_eq!(out.lost, 0);
     assert_eq!(out.duplicates, 0);
     assert_eq!(out.done, out.submitted);

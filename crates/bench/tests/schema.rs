@@ -36,6 +36,7 @@ fn sample_report() -> PerfReport {
         }],
         tables: Vec::new(),
         serve: None,
+        sustained: None,
         cluster: None,
     };
     let mut t = Table::new("demo \"table\"", &["P", "time (ms)"]);
@@ -140,6 +141,101 @@ fn serve_section_schema_is_stable() {
 }
 
 #[test]
+fn serve_sustained_section_schema_is_stable() {
+    use bfly_bench::cluster::LatencyLeg;
+    use bfly_bench::sustained::{DirectLeg, RouterLeg, SustainedResult};
+    let leg = |io_mode: &'static str, requests: u64| DirectLeg {
+        io_mode,
+        conns: 4,
+        window: 8,
+        requests,
+        wall: Duration::from_secs(2),
+        lat: LatencyLeg {
+            p50: Duration::from_micros(250),
+            p99: Duration::from_micros(600),
+            p999: Duration::from_micros(4_000),
+        },
+    };
+    let mut report = sample_report();
+    report.sustained = Some(SustainedResult {
+        reactor: leg("reactor", 240_000),
+        threads: leg("threads", 180_000),
+        router: Some(RouterLeg {
+            shards: 3,
+            conns: 4,
+            offered_rps: 12_000,
+            completed: 24_000,
+            refused: 0,
+            wall: Duration::from_secs(2),
+            warm: LatencyLeg {
+                p50: Duration::from_millis(4),
+                p99: Duration::from_millis(20),
+                p999: Duration::from_millis(45),
+            },
+            cold: LatencyLeg {
+                p50: Duration::from_millis(8),
+                p99: Duration::from_millis(30),
+                p999: Duration::from_millis(50),
+            },
+            warm_requests: 23_800,
+            lost: 0,
+            rerouted: 2,
+        }),
+    });
+    let json = report.to_json();
+    validate_json(&json).unwrap_or_else(|(pos, msg)| panic!("invalid report at {pos}: {msg}"));
+
+    // Golden key set for the sustained serving section.
+    for key in [
+        "\"serve_sustained\": {",
+        "\"conns\": 4",
+        "\"window\": 8",
+        "\"reactor\": {\"requests\": 240000",
+        "\"threads\": {\"requests\": 180000",
+        "\"rps\": 120000",
+        "\"p50_us\": 250",
+        "\"p99_us\": 600",
+        "\"p999_us\": 4000",
+        "\"router\": {\"shards\": 3",
+        "\"offered_rps\": 12000",
+        "\"completed\": 24000",
+        "\"refused\": 0",
+        "\"warm_p50_ms\": 4.000",
+        "\"warm_p99_ms\": 20.000",
+        "\"warm_p999_ms\": 45.000",
+        "\"cold_p50_ms\": 8.000",
+        "\"cold_p999_ms\": 50.000",
+        "\"lost\": 0",
+    ] {
+        assert!(
+            json.contains(key),
+            "serve_sustained section must carry {key}\n{json}"
+        );
+    }
+    // Section order is part of the schema: serve, then serve_sustained,
+    // then cluster.
+    let serve_at = json.find("\"serve\"").unwrap();
+    let sustained_at = json.find("\"serve_sustained\"").unwrap();
+    let cluster_at = json.find("\"cluster\"").unwrap();
+    assert!(serve_at < sustained_at && sustained_at < cluster_at);
+
+    // A run without the router leg keeps the shape with a null slot.
+    let mut report = sample_report();
+    report.sustained = Some(SustainedResult {
+        reactor: leg("reactor", 1),
+        threads: leg("threads", 1),
+        router: None,
+    });
+    let json = report.to_json();
+    validate_json(&json).unwrap_or_else(|(pos, msg)| panic!("invalid report at {pos}: {msg}"));
+    assert!(json.contains("\"router\": null"));
+
+    // The headline/sweep scanners must be unaffected by the new section.
+    assert!(parse_headline(&json).is_some());
+    assert!(parse_sweep_wall_ms(&json, "fig5_gauss_quick").is_some());
+}
+
+#[test]
 fn cluster_section_schema_is_stable() {
     use bfly_bench::cluster::{ClusterBenchResult, LatencyLeg};
     let mut report = sample_report();
@@ -150,14 +246,17 @@ fn cluster_section_schema_is_stable() {
         cold: LatencyLeg {
             p50: Duration::from_millis(500),
             p99: Duration::from_millis(900),
+            p999: Duration::from_millis(950),
         },
         warm: LatencyLeg {
             p50: Duration::from_millis(2),
             p99: Duration::from_millis(5),
+            p999: Duration::from_millis(7),
         },
         failover: LatencyLeg {
             p50: Duration::from_millis(3),
             p99: Duration::from_millis(40),
+            p999: Duration::from_millis(60),
         },
         rerouted: 4,
         lost: 0,
@@ -173,10 +272,13 @@ fn cluster_section_schema_is_stable() {
         "\"jobs\": 8",
         "\"cold_p50_ms\": 500.0",
         "\"cold_p99_ms\": 900.0",
+        "\"cold_p999_ms\": 950.0",
         "\"warm_p50_ms\": 2.000",
         "\"warm_p99_ms\": 5.000",
+        "\"warm_p999_ms\": 7.000",
         "\"failover_p50_ms\": 3.000",
         "\"failover_p99_ms\": 40.000",
+        "\"failover_p999_ms\": 60.000",
         "\"rerouted\": 4",
         "\"lost\": 0",
     ] {

@@ -44,11 +44,34 @@ impl ShardConn {
 
     /// Send one request line; return the raw (trimmed) reply line.
     pub fn request_raw(&mut self, line: &str) -> std::io::Result<String> {
+        self.send_raw(line)?;
+        self.recv_raw()
+    }
+
+    /// Send one request line without waiting for the reply. Pairs with
+    /// [`ShardConn::recv_raw`] for pipelined dispatch: N sends, then N
+    /// receives in order (the shard answers a connection's requests
+    /// strictly FIFO in both io-modes).
+    pub fn send_raw(&mut self, line: &str) -> std::io::Result<()> {
         debug_assert!(!line.contains('\n'), "requests are single lines");
         let w = self.reader.get_mut();
         w.write_all(line.as_bytes())?;
         w.write_all(b"\n")?;
-        w.flush()?;
+        w.flush()
+    }
+
+    /// Send a pre-framed run of newline-terminated request lines in one
+    /// write. The pipelined group path frames a whole bucket up front so
+    /// a dispatcher sweep costs one syscall, not one per job.
+    pub fn send_all(&mut self, framed: &str) -> std::io::Result<()> {
+        debug_assert!(framed.ends_with('\n'), "lines are newline-framed");
+        let w = self.reader.get_mut();
+        w.write_all(framed.as_bytes())?;
+        w.flush()
+    }
+
+    /// Read one raw (trimmed) reply line.
+    pub fn recv_raw(&mut self) -> std::io::Result<String> {
         let mut reply = String::new();
         let n = self.reader.read_line(&mut reply)?;
         if n == 0 {

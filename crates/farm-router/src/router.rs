@@ -131,9 +131,44 @@ struct Counters {
     rebalances: AtomicU64,
 }
 
+/// Keep-alive connections to each shard, checked out by dispatchers and
+/// the replicator. A fresh TCP dial per forwarded job caps the router at
+/// connection-setup rate, not shard serving rate; reuse moves the warm
+/// path to one request/reply round trip per job. Connections are only
+/// returned after a complete reply line (protocol-synchronized), and a
+/// checkout that turns out stale (shard restarted since) is dropped and
+/// redialed rather than charged to the shard's health.
+struct ConnPool {
+    slots: Vec<Mutex<Vec<ShardConn>>>,
+}
+
+/// Pooled keep-alive connections per shard. Dispatchers × failover can
+/// momentarily want more; extras are dropped on return, not kept.
+const POOL_PER_SHARD: usize = 16;
+
+impl ConnPool {
+    fn new(shards: usize) -> ConnPool {
+        ConnPool {
+            slots: (0..shards).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+
+    fn take(&self, idx: usize) -> Option<ShardConn> {
+        locked(&self.slots[idx]).pop()
+    }
+
+    fn put(&self, idx: usize, conn: ShardConn) {
+        let mut slot = locked(&self.slots[idx]);
+        if slot.len() < POOL_PER_SHARD {
+            slot.push(conn);
+        }
+    }
+}
+
 struct Shared {
     config: RouterConfig,
     shards: Vec<ShardState>,
+    pool: ConnPool,
     /// Ring index == `shards` index (fixed membership; health gates the
     /// serving set, so the ring itself never mutates after boot).
     ring: Ring,
@@ -223,6 +258,7 @@ pub fn spawn(config: RouterConfig) -> std::io::Result<RouterHandle> {
 
     let workers = config.workers.max(1);
     let shared = Arc::new(Shared {
+        pool: ConnPool::new(shards.len()),
         shards,
         ring,
         engine_version: AtomicU32::new(0),
@@ -315,13 +351,21 @@ fn drain(sh: &Arc<Shared>) {
     sh.queue_cv.notify_all();
 }
 
+/// Max jobs one dispatcher pops from the queue per sweep. Under load the
+/// queue runs deep, every popped run buckets by target shard, and each
+/// bucket rides one pipelined connection — the round trip amortizes over
+/// the whole bucket instead of repeating per job (the difference between
+/// ~workers/RTT and ~bucket/RTT throughput; see DESIGN.md §15).
+const GROUP_MAX: usize = 64;
+
 fn dispatcher_loop(sh: &Arc<Shared>) {
     loop {
-        let id = {
+        let ids: Option<Vec<u64>> = {
             let mut q = locked(&sh.queue);
             loop {
-                if let Some(id) = q.pop_front() {
-                    break Some(id);
+                if !q.is_empty() {
+                    let take = q.len().min(GROUP_MAX);
+                    break Some(q.drain(..take).collect());
                 }
                 if sh.shutdown.load(Ordering::SeqCst) || bfly_farmd::signal_drain_requested() {
                     break None;
@@ -333,14 +377,211 @@ fn dispatcher_loop(sh: &Arc<Shared>) {
                 q = guard;
             }
         };
-        match id {
-            Some(id) => {
-                sh.routing.fetch_add(1, Ordering::SeqCst);
-                dispatch(sh, id);
-                sh.routing.fetch_sub(1, Ordering::SeqCst);
+        match ids {
+            Some(ids) => {
+                sh.routing.fetch_add(ids.len() as u64, Ordering::SeqCst);
+                let n = ids.len() as u64;
+                if let [id] = ids[..] {
+                    dispatch(sh, id);
+                } else {
+                    dispatch_group(sh, ids);
+                }
+                sh.routing.fetch_sub(n, Ordering::SeqCst);
             }
             None => return,
         }
+    }
+}
+
+/// One job's share of a pipelined bucket.
+struct GroupJob {
+    id: u64,
+    line: String,
+    key: String,
+    /// Whether the bucket's shard is this job's ring primary (reroute
+    /// accounting, matched to [`dispatch`]'s).
+    primary: bool,
+}
+
+/// Route a popped run of jobs: bucket them by the shard [`dispatch`]
+/// would try first, then pipeline each bucket over a single connection.
+/// Any job the fast path cannot finish — placement unknown, no serving
+/// shard, a transient refusal, a broken stream — falls back to the
+/// single-job [`dispatch`] with its full failover/budget machinery. The
+/// fast path only ever shortcuts the slow one, never replaces it.
+fn dispatch_group(sh: &Arc<Shared>, ids: Vec<u64>) {
+    let Some(ev) = engine_version(sh) else {
+        for id in ids {
+            dispatch(sh, id);
+        }
+        return;
+    };
+    let mut buckets: Vec<(usize, Vec<GroupJob>)> = Vec::new();
+    let mut slow: Vec<u64> = Vec::new();
+    // One lock acquisition marks the whole run Routing; per-id locking
+    // here fights the admission and wait paths for the same mutex.
+    let prepared: Vec<(u64, JobSpec)> = {
+        let mut jobs = locked(&sh.jobs);
+        ids.iter()
+            .filter_map(|&id| {
+                let rec = jobs.get_mut(&id)?;
+                rec.state = RState::Routing;
+                Some((id, rec.spec.clone()))
+            })
+            .collect()
+    };
+    for (id, spec) in prepared {
+        let key = spec.key(ev);
+        let pref = sh.ring.preference(&key);
+        let primary = pref.first().copied();
+        let Some(idx) = pref
+            .into_iter()
+            .find(|&i| locked(&sh.shards[i].health).serving())
+        else {
+            slow.push(id);
+            continue;
+        };
+        let job = GroupJob {
+            id,
+            line: format!("{{\"op\":\"batch\",\"jobs\":[{}]}}", spec_json(&spec)),
+            key,
+            primary: Some(idx) == primary,
+        };
+        match buckets.iter_mut().find(|(i, _)| *i == idx) {
+            Some((_, v)) => v.push(job),
+            None => buckets.push((idx, vec![job])),
+        }
+    }
+    for (idx, group) in buckets {
+        forward_group(sh, idx, group, &mut slow);
+    }
+    for id in slow {
+        dispatch(sh, id);
+    }
+}
+
+/// Pipeline one bucket over one shard connection: send every line, then
+/// read replies strictly in order (the shard answers a connection FIFO
+/// in both io-modes). Jobs with a terminal protocol reply are recorded
+/// here; everything else lands in `slow`. A transport error anywhere
+/// desynchronizes the stream, so the connection is dropped and the
+/// unresolved tail goes slow — re-sending is safe because execution is
+/// deterministic and cache-keyed, and [`record_done`]'s at-most-once
+/// guard absorbs any raced duplicate.
+fn forward_group(sh: &Arc<Shared>, idx: usize, group: Vec<GroupJob>, slow: &mut Vec<u64>) {
+    let io_t = Duration::from_millis(sh.config.attempt_timeout_ms.max(1));
+    let pooled = sh.pool.take(idx).filter(|c| c.set_io_timeout(io_t).is_ok());
+    let mut conn = match pooled {
+        Some(c) => c,
+        None => {
+            let connect_t = Duration::from_millis(sh.config.ping_timeout_ms.max(1));
+            let fresh = ShardConn::connect(&sh.shards[idx].addr, connect_t)
+                .and_then(|c| c.set_io_timeout(io_t).map(|()| c));
+            match fresh {
+                Ok(c) => c,
+                Err(_) => {
+                    let _ = locked(&sh.shards[idx].health).record_fail(&sh.config.health);
+                    slow.extend(group.into_iter().map(|g| g.id));
+                    return;
+                }
+            }
+        }
+    };
+    // One write for the whole bucket: per-line sends cost a syscall per
+    // job, and a dispatcher sweep is up to GROUP_MAX of them.
+    let mut wire = String::with_capacity(group.iter().map(|g| g.line.len() + 1).sum());
+    for g in &group {
+        wire.push_str(&g.line);
+        wire.push('\n');
+    }
+    let sent = match conn.send_all(&wire) {
+        Ok(()) => group.len(),
+        // A partial write corrupts the stream; the read loop resolves
+        // what did go out and the remainder goes slow.
+        Err(_) => 0,
+    };
+    let addr = &sh.shards[idx].addr;
+    let mut read = 0;
+    let mut stream_ok = true;
+    let mut rerouted = 0u64;
+    // Terminal outcomes accumulate here and are recorded under one jobs
+    // lock after the read loop: per-reply locking makes a 64-job bucket
+    // take the serving path's hottest mutex 64 times.
+    let mut recorded: Vec<(usize, Outcome)> = Vec::new();
+    for (gi, g) in group.iter().take(sent).enumerate() {
+        let raw = match conn.recv_raw() {
+            Ok(r) => r,
+            Err(_) => {
+                let _ = locked(&sh.shards[idx].health).record_fail(&sh.config.health);
+                stream_ok = false;
+                break;
+            }
+        };
+        read += 1;
+        match classify_reply(addr, &raw) {
+            Outcome::Transient(_) => {
+                // The shard answered (stream still synchronized) but
+                // refused the job; the slow path owns retry/failover.
+                let _ = locked(&sh.shards[idx].health).record_fail(&sh.config.health);
+                slow.push(g.id);
+            }
+            outcome => {
+                if !g.primary {
+                    rerouted += 1;
+                }
+                recorded.push((gi, outcome));
+            }
+        }
+    }
+    if rerouted > 0 {
+        sh.counters.rerouted.fetch_add(rerouted, Ordering::Relaxed);
+    }
+    let mut to_replicate: Vec<(usize, Arc<String>)> = Vec::new();
+    let terminal = !recorded.is_empty();
+    {
+        let mut jobs = locked(&sh.jobs);
+        for (gi, outcome) in recorded {
+            let Some(rec) = jobs.get_mut(&group[gi].id) else {
+                continue;
+            };
+            if rec.state.terminal() {
+                sh.counters.duplicates.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            match outcome {
+                Outcome::Done {
+                    raw,
+                    cached,
+                    wall_ms,
+                } => {
+                    let raw = Arc::new(raw);
+                    if !cached {
+                        to_replicate.push((gi, Arc::clone(&raw)));
+                    }
+                    rec.state = RState::Done {
+                        raw,
+                        cached,
+                        wall_ms,
+                    };
+                }
+                Outcome::Failed { verdict, error } => {
+                    rec.state = RState::Failed { verdict, error };
+                }
+                Outcome::Transient(_) => unreachable!("filtered in the read loop"),
+            }
+        }
+    }
+    if terminal {
+        // One broadcast for the whole bucket (see record_done_quiet).
+        sh.done_cv.notify_all();
+    }
+    for (gi, raw) in to_replicate {
+        replicate(sh, &group[gi].key, &raw, idx);
+    }
+    if stream_ok && sent == group.len() {
+        sh.pool.put(idx, conn);
+    } else {
+        slow.extend(group.iter().skip(read).map(|g| g.id));
     }
 }
 
@@ -361,7 +602,7 @@ enum Outcome {
 
 /// Errors that mean "try another shard", not "the job is bad".
 fn transient_error(e: &str) -> bool {
-    e.contains("queue full") || e.contains("draining") || e.contains("killed")
+    e.contains("queue full") || e.contains("draining") || e.contains("killed") || e.contains("busy")
 }
 
 /// Serialize a spec as a protocol job object.
@@ -494,14 +735,28 @@ fn dispatch(sh: &Arc<Shared>, id: u64) {
 }
 
 /// Forward the prepared batch-of-one line to shard `idx`.
+///
+/// Warm path: a pooled keep-alive connection — one request/reply round
+/// trip, no TCP handshake. A stale pooled connection (shard restarted or
+/// closed it since checkout) fails fast and falls through to a fresh
+/// dial without counting against the shard: re-sending the batch is
+/// safe because job execution is deterministic and cache-keyed.
 fn forward(sh: &Arc<Shared>, idx: usize, line: &str, remaining: Duration) -> Outcome {
+    let io_t = Duration::from_millis(sh.config.attempt_timeout_ms.max(1)).min(remaining);
+    if let Some(mut conn) = sh.pool.take(idx) {
+        if conn.set_io_timeout(io_t).is_ok() {
+            if let Ok(raw) = conn.request_raw(line) {
+                sh.pool.put(idx, conn);
+                return classify_reply(&sh.shards[idx].addr, &raw);
+            }
+        }
+    }
     let addr = &sh.shards[idx].addr;
     let connect_t = Duration::from_millis(sh.config.ping_timeout_ms.max(1)).min(remaining);
     let mut conn = match ShardConn::connect(addr, connect_t) {
         Ok(c) => c,
         Err(e) => return Outcome::Transient(format!("{addr}: connect: {e}")),
     };
-    let io_t = Duration::from_millis(sh.config.attempt_timeout_ms.max(1)).min(remaining);
     if let Err(e) = conn.set_io_timeout(io_t) {
         return Outcome::Transient(format!("{addr}: {e}"));
     }
@@ -509,7 +764,13 @@ fn forward(sh: &Arc<Shared>, idx: usize, line: &str, remaining: Duration) -> Out
         Ok(r) => r,
         Err(e) => return Outcome::Transient(format!("{addr}: {e}")),
     };
-    let v = match json::parse(&raw) {
+    sh.pool.put(idx, conn);
+    classify_reply(addr, &raw)
+}
+
+/// Classify a complete shard reply line into a dispatch [`Outcome`].
+fn classify_reply(addr: &str, raw: &str) -> Outcome {
+    let v = match json::parse(raw) {
         Ok(v) => v,
         Err((at, msg)) => return Outcome::Transient(format!("{addr}: bad reply at {at}: {msg}")),
     };
@@ -550,7 +811,7 @@ fn forward(sh: &Arc<Shared>, idx: usize, line: &str, remaining: Duration) -> Out
         };
     }
     match el.get("state").and_then(Value::as_str) {
-        Some("done") => match raw_result(&raw) {
+        Some("done") => match raw_result(raw) {
             Some(res) => Outcome::Done {
                 raw: res.to_string(),
                 cached: el.get("cached").and_then(Value::as_bool).unwrap_or(false),
@@ -578,6 +839,23 @@ fn forward(sh: &Arc<Shared>, idx: usize, line: &str, remaining: Duration) -> Out
 /// duplicate) if the job already reached a terminal state — the
 /// at-most-once delivery guard for raced failovers.
 fn record_done(sh: &Arc<Shared>, id: u64, raw: Arc<String>, cached: bool, wall_ms: f64) -> bool {
+    let hit = record_done_quiet(sh, id, raw, cached, wall_ms);
+    sh.done_cv.notify_all();
+    hit
+}
+
+/// [`record_done`] without the condvar broadcast. The pipelined group
+/// path records a whole bucket and notifies once: per-job `notify_all`
+/// wakes every long-poll waiter per completion, and each wakeup rescans
+/// its id set under the jobs mutex — at serving rates that contention
+/// was the throughput ceiling, not the shard round trip.
+fn record_done_quiet(
+    sh: &Arc<Shared>,
+    id: u64,
+    raw: Arc<String>,
+    cached: bool,
+    wall_ms: f64,
+) -> bool {
     let mut jobs = locked(&sh.jobs);
     let Some(rec) = jobs.get_mut(&id) else {
         return false;
@@ -591,11 +869,15 @@ fn record_done(sh: &Arc<Shared>, id: u64, raw: Arc<String>, cached: bool, wall_m
         cached,
         wall_ms,
     };
-    sh.done_cv.notify_all();
     true
 }
 
 fn record_failed(sh: &Arc<Shared>, id: u64, verdict: &str, error: &str) {
+    record_failed_quiet(sh, id, verdict, error);
+    sh.done_cv.notify_all();
+}
+
+fn record_failed_quiet(sh: &Arc<Shared>, id: u64, verdict: &str, error: &str) {
     let mut jobs = locked(&sh.jobs);
     let Some(rec) = jobs.get_mut(&id) else { return };
     if rec.state.terminal() {
@@ -606,7 +888,6 @@ fn record_failed(sh: &Arc<Shared>, id: u64, verdict: &str, error: &str) {
         verdict: verdict.to_string(),
         error: error.to_string(),
     };
-    sh.done_cv.notify_all();
 }
 
 /// Copy a freshly computed result to the key's other serving replicas,
@@ -620,8 +901,17 @@ fn replicate(sh: &Arc<Shared>, key: &str, raw: &str, executor: usize) {
         if idx == executor || !locked(&sh.shards[idx].health).serving() {
             continue;
         }
+        if let Some(mut c) = sh.pool.take(idx) {
+            if c.set_io_timeout(timeout).is_ok() && c.request_raw(&push).is_ok() {
+                sh.pool.put(idx, c);
+                sh.counters.cache_pushes.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            // Stale keep-alive: drop it and redial below.
+        }
         if let Ok(mut c) = ShardConn::connect(&sh.shards[idx].addr, timeout) {
             if c.request_raw(&push).is_ok() {
+                sh.pool.put(idx, c);
                 sh.counters.cache_pushes.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -707,7 +997,19 @@ fn prober_loop(sh: &Arc<Shared>) {
 fn connection_loop(sh: &Arc<Shared>, stream: TcpStream) {
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
+    // Replies accumulate here while the reader still holds complete
+    // pipelined request lines, and go out in one write before any read
+    // that could touch the socket. A pipelined burst of N requests then
+    // costs one reply syscall instead of N — at serving rates the
+    // per-reply write+flush was a measurable share of the core.
+    let mut pending = String::new();
     loop {
+        if !pending.is_empty() && !reader.buffer().contains(&b'\n') {
+            if reader.get_mut().write_all(pending.as_bytes()).is_err() {
+                return;
+            }
+            pending.clear();
+        }
         line.clear();
         match reader.read_line(&mut line) {
             Ok(0) | Err(_) => return,
@@ -718,12 +1020,10 @@ fn connection_loop(sh: &Arc<Shared>, stream: TcpStream) {
             continue;
         }
         let reply = handle_request(sh, trimmed);
-        let w = reader.get_mut();
-        if w.write_all(reply.as_bytes()).is_err() || w.write_all(b"\n").is_err() {
-            return;
-        }
-        let _ = w.flush();
+        pending.push_str(&reply);
+        pending.push('\n');
         if sh.shutdown.load(Ordering::SeqCst) && trimmed.contains("\"shutdown\"") {
+            let _ = reader.get_mut().write_all(pending.as_bytes());
             return;
         }
     }
@@ -737,6 +1037,21 @@ fn error_reply(msg: &str) -> String {
 }
 
 fn handle_request(sh: &Arc<Shared>, line: &str) -> String {
+    // Shed load before parsing: under sustained overload the refused
+    // share of submits would otherwise pay the full JSON parse just to
+    // be turned away, and that parse time comes out of the same core
+    // that dispatch needs to drain the queue. The prefix check is exact
+    // for every client in this workspace (they all emit `op` first);
+    // hand-written submits with other field orders still shed inside
+    // `admit`, just after the parse.
+    if line.starts_with("{\"op\":\"submit\"") {
+        let q = locked(&sh.queue);
+        if q.len() >= sh.config.max_queue {
+            let n = q.len();
+            drop(q);
+            return error_reply(&format!("queue full ({n} jobs); backpressure: retry later"));
+        }
+    }
     let v = match json::parse(line) {
         Ok(v) => v,
         Err((at, msg)) => return error_reply(&format!("bad JSON at byte {at}: {msg}")),
@@ -764,6 +1079,7 @@ fn handle_request(sh: &Arc<Shared>, line: &str) -> String {
             };
             handle_batch(sh, jobs)
         }
+        Some("wait") => handle_wait(sh, &v),
         Some("stats") => stats_reply(sh),
         Some("shutdown") => {
             sh.shutdown.store(true, Ordering::SeqCst);
@@ -861,52 +1177,196 @@ fn handle_batch(sh: &Arc<Shared>, jobs: &[Value]) -> String {
     out
 }
 
+/// `wait` bounds, mirroring farmd's (the router is protocol-compatible
+/// with a single daemon, so the verbs must agree on limits and shape).
+const MAX_WAIT_IDS: usize = 4096;
+const DEFAULT_WAIT_TIMEOUT_MS: u64 = 30_000;
+const MAX_WAIT_TIMEOUT_MS: u64 = 600_000;
+
+fn parse_wait(v: &Value) -> Result<(Vec<u64>, u64), String> {
+    let Some(ids_v) = v.get("ids").and_then(Value::as_arr) else {
+        return Err("wait needs an `ids` array".into());
+    };
+    if ids_v.len() > MAX_WAIT_IDS {
+        return Err(format!("wait supports at most {MAX_WAIT_IDS} ids"));
+    }
+    let mut ids = Vec::with_capacity(ids_v.len());
+    for x in ids_v {
+        match x.as_u64() {
+            Some(id) => ids.push(id),
+            None => return Err("wait ids must be unsigned integers".into()),
+        }
+    }
+    let timeout_ms = v
+        .get("timeout_ms")
+        .and_then(Value::as_u64)
+        .unwrap_or(DEFAULT_WAIT_TIMEOUT_MS)
+        .min(MAX_WAIT_TIMEOUT_MS);
+    Ok((ids, timeout_ms))
+}
+
+/// The router-side long-poll: block on the done condvar until every
+/// watched id is terminal (dispatchers route jobs to terminal states in
+/// the background) or the timeout lapses. Farmd-shaped reply, so a
+/// cluster client on the `wait` path cannot tell a router from a single
+/// daemon — and stops paying the status-poll quantum either way.
+/// Unknown ids count as terminal, so a waiter can never hang on history.
+fn handle_wait(sh: &Arc<Shared>, v: &Value) -> String {
+    let (ids, timeout_ms) = match parse_wait(v) {
+        Ok(p) => p,
+        Err(e) => return error_reply(&e),
+    };
+    let deadline = Instant::now() + Duration::from_millis(timeout_ms);
+    let mut guard = locked(&sh.jobs);
+    // Track only the ids still pending: each condvar wakeup rechecks the
+    // shrinking remainder, not the whole set. With many concurrent
+    // long-polls at serving rates, full rescans under the jobs mutex are
+    // measurable contention.
+    let mut pending: Vec<u64> = ids.clone();
+    loop {
+        pending.retain(|id| guard.get(id).map(|r| !r.state.terminal()).unwrap_or(false));
+        if pending.is_empty() {
+            return wait_reply(guard, &ids, true);
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return wait_reply(guard, &ids, false);
+        }
+        let step = (deadline - now).min(Duration::from_millis(100));
+        let (g, _) = sh
+            .done_cv
+            .wait_timeout(guard, step)
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        guard = g;
+    }
+}
+
+/// Build the wait reply: statuses are *snapshotted* under the jobs lock
+/// (cheap `Arc` clones of the result bytes), then the guard is dropped
+/// before any formatting. A wait round can cover thousands of ids whose
+/// results total megabytes; splicing those bytes while holding the one
+/// mutex every admission, dispatch, and record needs would serialize the
+/// whole serving path behind reply formatting.
+fn wait_reply(
+    guard: std::sync::MutexGuard<'_, HashMap<u64, RJob>>,
+    ids: &[u64],
+    complete: bool,
+) -> String {
+    let snaps: Vec<StatusSnap> = ids.iter().map(|id| snap_status(&guard, *id)).collect();
+    drop(guard);
+    let mut out = format!("{{\"ok\":true,\"complete\":{complete},\"results\":[");
+    for (i, (id, snap)) in ids.iter().zip(&snaps).enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_status_snap(&mut out, *id, snap);
+    }
+    out.push_str("]}");
+    out
+}
+
 fn status_reply(sh: &Arc<Shared>, id: u64) -> String {
     let jobs = locked(&sh.jobs);
     status_object(&jobs, id)
 }
 
-/// One job's status, farmd-shaped: clients cannot tell a router from a
-/// single daemon. Result bytes are spliced verbatim.
-fn status_object(jobs: &HashMap<u64, RJob>, id: u64) -> String {
+/// One id's status captured under the jobs lock. Result bytes are held
+/// by `Arc`, so the snapshot never copies them.
+enum StatusSnap {
+    Missing,
+    Queued,
+    Routing {
+        attempts: u32,
+    },
+    Done {
+        raw: Arc<String>,
+        cached: bool,
+        wall_ms: f64,
+    },
+    Failed {
+        verdict: String,
+        error: String,
+        attempts: u32,
+    },
+}
+
+fn snap_status(jobs: &HashMap<u64, RJob>, id: u64) -> StatusSnap {
     let Some(rec) = jobs.get(&id) else {
-        return error_reply(&format!("no such job {id}"));
+        return StatusSnap::Missing;
     };
-    let mut out = format!("{{\"ok\":true,\"id\":{id},");
     match &rec.state {
-        RState::Queued => out.push_str("\"state\":\"queued\"}"),
-        RState::Routing => {
+        RState::Queued => StatusSnap::Queued,
+        RState::Routing => StatusSnap::Routing {
+            attempts: rec.reroutes + 1,
+        },
+        RState::Done {
+            raw,
+            cached,
+            wall_ms,
+        } => StatusSnap::Done {
+            raw: Arc::clone(raw),
+            cached: *cached,
+            wall_ms: *wall_ms,
+        },
+        RState::Failed { verdict, error } => StatusSnap::Failed {
+            verdict: verdict.clone(),
+            error: error.clone(),
+            attempts: rec.reroutes + 1,
+        },
+    }
+}
+
+/// Format one snapshotted status, farmd-shaped: clients cannot tell a
+/// router from a single daemon. Result bytes are spliced verbatim.
+fn push_status_snap(out: &mut String, id: u64, snap: &StatusSnap) {
+    if let StatusSnap::Missing = snap {
+        out.push_str(&error_reply(&format!("no such job {id}")));
+        return;
+    }
+    let _ = std::fmt::Write::write_fmt(out, format_args!("{{\"ok\":true,\"id\":{id},"));
+    match snap {
+        StatusSnap::Missing => unreachable!("handled above"),
+        StatusSnap::Queued => out.push_str("\"state\":\"queued\"}"),
+        StatusSnap::Routing { attempts } => {
             let _ = std::fmt::Write::write_fmt(
-                &mut out,
-                format_args!("\"state\":\"running\",\"attempts\":{}}}", rec.reroutes + 1),
+                out,
+                format_args!("\"state\":\"running\",\"attempts\":{attempts}}}"),
             );
         }
-        RState::Done {
+        StatusSnap::Done {
             raw,
             cached,
             wall_ms,
         } => {
             let _ = std::fmt::Write::write_fmt(
-                &mut out,
+                out,
                 format_args!(
                     "\"state\":\"done\",\"verdict\":\"done\",\"cached\":{cached},\
                      \"wall_ms\":{wall_ms:.3},\"result\":{raw}}}"
                 ),
             );
         }
-        RState::Failed { verdict, error } => {
+        StatusSnap::Failed {
+            verdict,
+            error,
+            attempts,
+        } => {
             let _ = std::fmt::Write::write_fmt(
-                &mut out,
-                format_args!(
-                    "\"state\":\"failed\",\"verdict\":\"{}\",\"attempts\":{},\"error\":",
-                    verdict,
-                    rec.reroutes + 1
-                ),
+                out,
+                format_args!("\"state\":\"failed\",\"verdict\":\"{verdict}\",\"attempts\":{attempts},\"error\":"),
             );
-            push_json_str(&mut out, error);
+            push_json_str(out, error);
             out.push('}');
         }
     }
+}
+
+/// One job's status as a standalone reply line (single-id `status` verb
+/// and the batch reply builder, where the caller already holds the lock).
+fn status_object(jobs: &HashMap<u64, RJob>, id: u64) -> String {
+    let snap = snap_status(jobs, id);
+    let mut out = String::new();
+    push_status_snap(&mut out, id, &snap);
     out
 }
 

@@ -28,6 +28,8 @@ pub mod cache;
 pub mod client;
 pub mod job;
 pub mod json;
+#[cfg(unix)]
+pub(crate) mod reactor;
 pub mod server;
 
 /// Lock a mutex, recovering the data if a previous holder panicked.
@@ -46,6 +48,6 @@ pub use client::Client;
 pub use job::{CacheMode, JobSpec, Verdict};
 pub use json::Value;
 pub use server::{
-    install_signal_drain, signal_drain_requested, spawn, JobRunner, Listen, ServerConfig,
+    install_signal_drain, signal_drain_requested, spawn, IoMode, JobRunner, Listen, ServerConfig,
     ServerHandle,
 };

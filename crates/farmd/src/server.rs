@@ -1,6 +1,6 @@
-//! The serving loop: listener, connection threads, worker pool, drain.
+//! The serving loop: listener, connection handling, worker pool, drain.
 //!
-//! Shape (DESIGN.md §12): connection threads parse JSON-lines requests
+//! Shape (DESIGN.md §12): connection handlers parse JSON-lines requests
 //! and answer cache hits inline; misses are enqueued to a work-stealing
 //! worker pool (shared next-job queue, same discipline as
 //! `bfly_bench::parallel_sweep` — any worker may take any job, and
@@ -10,6 +10,14 @@
 //! outcome as a [`Verdict`] instead of tearing down the daemon; SIGTERM
 //! (or an `{"op":"shutdown"}` request) drains: stop accepting, refuse new
 //! submissions, finish everything queued, then exit.
+//!
+//! Two I/O front ends share everything below the protocol layer
+//! (DESIGN.md §15): the legacy thread-per-connection path here, and the
+//! poll(2)-driven reactor in [`crate::reactor`] (`IoMode::Reactor`),
+//! which serves thousands of connections from one thread with pipelined
+//! requests and a long-poll `wait` verb instead of client-side status
+//! spinning. Replies are built by the same functions in both modes, so
+//! result bytes on the wire are mode-independent.
 
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
@@ -18,7 +26,7 @@ use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -52,6 +60,31 @@ pub enum Listen {
     Unix(PathBuf),
 }
 
+/// Which serving front end handles connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoMode {
+    /// One OS thread per connection (the legacy path). Simple, but
+    /// each idle connection pins a thread, and blocking verbs occupy
+    /// it for their whole wait.
+    #[default]
+    Threads,
+    /// A single poll(2)-driven reactor thread multiplexing every
+    /// connection (DESIGN.md §15). Unix only; falls back to `Threads`
+    /// elsewhere.
+    Reactor,
+}
+
+impl std::str::FromStr for IoMode {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "threads" => Ok(IoMode::Threads),
+            "reactor" => Ok(IoMode::Reactor),
+            other => Err(format!("unknown io mode `{other}` (threads|reactor)")),
+        }
+    }
+}
+
 /// Daemon configuration.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -78,6 +111,17 @@ pub struct ServerConfig {
     /// Artificial delay before each disk-tier write, ms (fault-injection
     /// knob for drain/crash tests; 0 in production).
     pub disk_write_delay_ms: u64,
+    /// Serving front end: thread-per-connection or the poll(2) reactor.
+    pub io_mode: IoMode,
+    /// Concurrent-connection cap. A dial past the cap gets a typed
+    /// `busy` error and a clean close instead of (in thread mode)
+    /// another parked OS thread.
+    pub max_conns: usize,
+    /// Terminal job records retained for `status`/`wait` after
+    /// completion. Older terminal records are evicted (oldest first) so
+    /// a daemon under sustained load holds bounded memory; querying an
+    /// evicted id answers `no such job`.
+    pub max_records: usize,
 }
 
 impl Default for ServerConfig {
@@ -93,11 +137,14 @@ impl Default for ServerConfig {
             max_queue: 1024,
             shard_id: None,
             disk_write_delay_ms: 0,
+            io_mode: IoMode::default(),
+            max_conns: 4096,
+            max_records: 1 << 16,
         }
     }
 }
 
-enum State {
+pub(crate) enum State {
     Queued,
     Running,
     Done {
@@ -112,14 +159,14 @@ enum State {
 }
 
 impl State {
-    fn terminal(&self) -> bool {
+    pub(crate) fn terminal(&self) -> bool {
         matches!(self, State::Done { .. } | State::Failed { .. })
     }
 }
 
-struct JobRecord {
+pub(crate) struct JobRecord {
     spec: JobSpec,
-    state: State,
+    pub(crate) state: State,
     submitted: Instant,
     attempts: u32,
 }
@@ -133,22 +180,31 @@ struct Counters {
     deadline_expired: AtomicU64,
 }
 
-struct Shared {
+pub(crate) struct Shared {
     runner: Arc<dyn JobRunner>,
     cache: Cache,
-    jobs: Mutex<HashMap<u64, JobRecord>>,
+    pub(crate) jobs: Mutex<HashMap<u64, JobRecord>>,
     /// Signalled whenever any job reaches a terminal state (batch waiters).
-    done_cv: Condvar,
-    queue: Mutex<VecDeque<u64>>,
+    pub(crate) done_cv: Condvar,
+    pub(crate) queue: Mutex<VecDeque<u64>>,
     queue_cv: Condvar,
     next_id: AtomicU64,
-    running: AtomicU64,
-    shutdown: AtomicBool,
+    pub(crate) running: AtomicU64,
+    pub(crate) shutdown: AtomicBool,
     /// Abrupt-kill latch (chaos harness): like a crash, not a drain —
     /// queued jobs are abandoned and pending disk writes are discarded.
-    killed: AtomicBool,
+    pub(crate) killed: AtomicBool,
     counters: Counters,
-    config: ServerConfig,
+    pub(crate) config: ServerConfig,
+    /// Ids of terminal records in completion order; the eviction ring
+    /// that bounds `jobs` under sustained load (`max_records`).
+    terminal_ring: Mutex<VecDeque<u64>>,
+    /// The reactor's self-pipe (reactor mode only). `finish` pokes it so
+    /// a reactor parked in poll(2) learns that a job some connection is
+    /// waiting on turned terminal. Owned here so any thread holding the
+    /// `Shared` arc can wake without racing a closing fd.
+    #[cfg(unix)]
+    pub(crate) wake_pipe: Option<crate::reactor::WakePipe>,
 }
 
 /// A running daemon. Dropping the handle does not stop the server; call
@@ -161,10 +217,22 @@ pub struct ServerHandle {
     listener: Option<std::thread::JoinHandle<()>>,
 }
 
+/// Poke the reactor's wake pipe, if one is attached. A no-op in thread
+/// mode (and on non-unix targets), where condvars already wake waiters.
+fn reactor_wake(sh: &Shared) {
+    #[cfg(unix)]
+    if let Some(p) = &sh.wake_pipe {
+        p.wake();
+    }
+    #[cfg(not(unix))]
+    let _ = sh;
+}
+
 impl ServerHandle {
     /// Ask the daemon to drain (idempotent, non-blocking).
     pub fn request_shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
+        reactor_wake(&self.shared);
     }
 
     /// Drain and wait for the daemon to finish everything queued.
@@ -193,6 +261,7 @@ impl ServerHandle {
         self.shared.cache.discard_pending();
         self.shared.queue_cv.notify_all();
         self.shared.done_cv.notify_all();
+        reactor_wake(&self.shared);
     }
 
     /// Jobs currently queued or running (chaos-harness introspection).
@@ -236,24 +305,96 @@ pub fn install_signal_drain() {
     }
 }
 
-enum Incoming {
+pub(crate) enum Incoming {
     Tcp(TcpStream),
     #[cfg(unix)]
     Unix(UnixStream),
 }
 
-enum Acceptor {
+impl Incoming {
+    pub(crate) fn set_nonblocking(&self, nb: bool) -> std::io::Result<()> {
+        match self {
+            Incoming::Tcp(s) => s.set_nonblocking(nb),
+            #[cfg(unix)]
+            Incoming::Unix(s) => s.set_nonblocking(nb),
+        }
+    }
+
+    /// Disable Nagle on TCP (replies are small write pairs; Nagle would
+    /// stall each behind the peer's delayed ACK). No-op on Unix sockets.
+    pub(crate) fn set_nodelay(&self) {
+        if let Incoming::Tcp(s) = self {
+            let _ = s.set_nodelay(true);
+        }
+    }
+
+    #[cfg(unix)]
+    pub(crate) fn raw_fd(&self) -> std::os::unix::io::RawFd {
+        use std::os::unix::io::AsRawFd;
+        match self {
+            Incoming::Tcp(s) => s.as_raw_fd(),
+            Incoming::Unix(s) => s.as_raw_fd(),
+        }
+    }
+}
+
+impl std::io::Read for Incoming {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Incoming::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Incoming::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Incoming {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Incoming::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Incoming::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn write_vectored(&mut self, bufs: &[std::io::IoSlice<'_>]) -> std::io::Result<usize> {
+        match self {
+            Incoming::Tcp(s) => s.write_vectored(bufs),
+            #[cfg(unix)]
+            Incoming::Unix(s) => s.write_vectored(bufs),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Incoming::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Incoming::Unix(s) => s.flush(),
+        }
+    }
+}
+
+pub(crate) enum Acceptor {
     Tcp(TcpListener),
     #[cfg(unix)]
     Unix(UnixListener, PathBuf),
 }
 
 impl Acceptor {
-    fn accept(&self) -> std::io::Result<Incoming> {
+    pub(crate) fn accept(&self) -> std::io::Result<Incoming> {
         match self {
             Acceptor::Tcp(l) => l.accept().map(|(s, _)| Incoming::Tcp(s)),
             #[cfg(unix)]
             Acceptor::Unix(l, _) => l.accept().map(|(s, _)| Incoming::Unix(s)),
+        }
+    }
+
+    #[cfg(unix)]
+    pub(crate) fn raw_fd(&self) -> std::os::unix::io::RawFd {
+        use std::os::unix::io::AsRawFd;
+        match self {
+            Acceptor::Tcp(l) => l.as_raw_fd(),
+            Acceptor::Unix(l, _) => l.as_raw_fd(),
         }
     }
 }
@@ -304,6 +445,13 @@ pub fn spawn(config: ServerConfig, runner: Arc<dyn JobRunner>) -> std::io::Resul
         shutdown: AtomicBool::new(false),
         killed: AtomicBool::new(false),
         counters: Counters::default(),
+        terminal_ring: Mutex::new(VecDeque::new()),
+        #[cfg(unix)]
+        wake_pipe: if config.io_mode == IoMode::Reactor {
+            crate::reactor::WakePipe::new()
+        } else {
+            None
+        },
         config,
     });
 
@@ -321,6 +469,12 @@ pub fn spawn(config: ServerConfig, runner: Arc<dyn JobRunner>) -> std::io::Resul
     let listener = std::thread::Builder::new()
         .name("farm-listener".into())
         .spawn(move || {
+            #[cfg(unix)]
+            match sh.config.io_mode {
+                IoMode::Reactor => crate::reactor::serve(&sh, &acceptor),
+                IoMode::Threads => listener_loop(&sh, &acceptor),
+            }
+            #[cfg(not(unix))]
             listener_loop(&sh, &acceptor);
             drain(&sh);
             for w in worker_handles {
@@ -340,7 +494,32 @@ pub fn spawn(config: ServerConfig, runner: Arc<dyn JobRunner>) -> std::io::Resul
     })
 }
 
-fn listener_loop(sh: &Arc<Shared>, acceptor: &Acceptor) {
+/// The typed over-capacity refusal: `busy` is a distinct field (not just
+/// error-string prose) so clients and the router classify it as
+/// transient backpressure, like `queue full`.
+pub(crate) fn busy_reply(max_conns: usize) -> String {
+    format!(
+        "{{\"ok\":false,\"busy\":true,\"error\":\"busy: at connection limit ({max_conns}); retry later\"}}"
+    )
+}
+
+/// Refuse an over-cap dial: one typed error line, then a clean close.
+/// Best-effort — the reply fits any fresh socket's send buffer.
+pub(crate) fn refuse_busy(mut stream: Incoming, max_conns: usize) {
+    let _ = stream.set_nonblocking(false);
+    stream.set_nodelay();
+    let mut line = busy_reply(max_conns);
+    line.push('\n');
+    let _ = stream.write_all(line.as_bytes());
+    let _ = stream.flush();
+}
+
+pub(crate) fn listener_loop(sh: &Arc<Shared>, acceptor: &Acceptor) {
+    // Live-connection gauge: the fix for the accept-loop thread leak.
+    // Idle connections used to accumulate one parked OS thread each,
+    // without bound; past `max_conns` a dial now gets a typed `busy`
+    // error and a clean close instead of a thread.
+    let live = Arc::new(AtomicUsize::new(0));
     loop {
         if sh.shutdown.load(Ordering::SeqCst) || signal_drain_requested() {
             sh.shutdown.store(true, Ordering::SeqCst);
@@ -348,24 +527,39 @@ fn listener_loop(sh: &Arc<Shared>, acceptor: &Acceptor) {
         }
         match acceptor.accept() {
             Ok(stream) => {
+                if live.load(Ordering::SeqCst) >= sh.config.max_conns {
+                    refuse_busy(stream, sh.config.max_conns);
+                    continue;
+                }
+                live.fetch_add(1, Ordering::SeqCst);
                 let sh = Arc::clone(sh);
-                let _ = std::thread::Builder::new()
-                    .name("farm-conn".into())
-                    .spawn(move || match stream {
-                        Incoming::Tcp(s) => {
-                            let _ = s.set_nonblocking(false);
-                            // Replies are small write pairs (line + '\n');
-                            // Nagle would stall the second write behind
-                            // the peer's delayed ACK on every turn.
-                            let _ = s.set_nodelay(true);
-                            connection_loop(&sh, s);
-                        }
-                        #[cfg(unix)]
-                        Incoming::Unix(s) => {
-                            let _ = s.set_nonblocking(false);
-                            connection_loop(&sh, s);
-                        }
-                    });
+                let live_in = Arc::clone(&live);
+                let spawned =
+                    std::thread::Builder::new()
+                        .name("farm-conn".into())
+                        .spawn(move || {
+                            match stream {
+                                Incoming::Tcp(s) => {
+                                    let _ = s.set_nonblocking(false);
+                                    // Replies are small write pairs (line + '\n');
+                                    // Nagle would stall the second write behind
+                                    // the peer's delayed ACK on every turn.
+                                    let _ = s.set_nodelay(true);
+                                    connection_loop(&sh, s);
+                                }
+                                #[cfg(unix)]
+                                Incoming::Unix(s) => {
+                                    let _ = s.set_nonblocking(false);
+                                    connection_loop(&sh, s);
+                                }
+                            }
+                            live_in.fetch_sub(1, Ordering::SeqCst);
+                        });
+                if spawned.is_err() {
+                    // Thread creation failed (fd/thread exhaustion):
+                    // the closure never ran, so undo the reservation.
+                    live.fetch_sub(1, Ordering::SeqCst);
+                }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(25));
@@ -574,11 +768,30 @@ fn finish(sh: &Arc<Shared>, id: u64, state: State) {
         },
         _ => 0,
     };
-    let mut jobs = crate::locked(&sh.jobs);
-    if let Some(rec) = jobs.get_mut(&id) {
-        rec.state = state;
+    {
+        let mut jobs = crate::locked(&sh.jobs);
+        if let Some(rec) = jobs.get_mut(&id) {
+            rec.state = state;
+        }
+        record_terminal(sh, &mut jobs, id);
     }
     sh.done_cv.notify_all();
+    reactor_wake(sh);
+}
+
+/// Append `id` to the terminal ring and evict the oldest terminal
+/// records past `max_records`. Only terminal ids enter the ring, so an
+/// evicted record is always answerable history, never live state; the
+/// queued/running population is separately bounded by `max_queue` and
+/// the worker count.
+fn record_terminal(sh: &Shared, jobs: &mut HashMap<u64, JobRecord>, id: u64) {
+    let mut ring = crate::locked(&sh.terminal_ring);
+    ring.push_back(id);
+    while ring.len() > sh.config.max_records {
+        if let Some(old) = ring.pop_front() {
+            jobs.remove(&old);
+        }
+    }
 }
 
 fn connection_loop<S: std::io::Read + Write>(sh: &Arc<Shared>, stream: S) {
@@ -610,7 +823,7 @@ fn connection_loop<S: std::io::Read + Write>(sh: &Arc<Shared>, stream: S) {
     }
 }
 
-fn error_reply(msg: &str) -> String {
+pub(crate) fn error_reply(msg: &str) -> String {
     let mut out = String::from("{\"ok\":false,\"error\":");
     push_json_str(&mut out, msg);
     out.push('}');
@@ -622,6 +835,15 @@ fn handle_request(sh: &Arc<Shared>, line: &str) -> String {
         Ok(v) => v,
         Err((at, msg)) => return error_reply(&format!("bad JSON at byte {at}: {msg}")),
     };
+    handle_parsed(sh, &v, line)
+}
+
+/// Dispatch one parsed request. `line` is the raw request (needed by
+/// `cache_push`, which splices its `result` bytes verbatim). Both I/O
+/// front ends route through here; the reactor intercepts the blocking
+/// verbs (`batch`, `wait`) before calling it and parks the connection
+/// instead of a thread.
+pub(crate) fn handle_parsed(sh: &Arc<Shared>, v: &Value, line: &str) -> String {
     match v.get("op").and_then(Value::as_str) {
         Some("ping") => {
             let mut out = format!(
@@ -635,7 +857,7 @@ fn handle_request(sh: &Arc<Shared>, line: &str) -> String {
             out.push('}');
             out
         }
-        Some("submit") => match JobSpec::from_value(&v) {
+        Some("submit") => match JobSpec::from_value(v) {
             Ok(spec) => match admit(sh, spec) {
                 Ok(id) => status_reply(sh, id),
                 Err(e) => error_reply(&e),
@@ -652,6 +874,7 @@ fn handle_request(sh: &Arc<Shared>, line: &str) -> String {
             };
             handle_batch(sh, jobs)
         }
+        Some("wait") => handle_wait(sh, v),
         Some("stats") => stats_reply(sh),
         // Cluster verbs (DESIGN.md §14): the warm-rebalance surface. A
         // router walks `cache_keys`, copies entries out with `cache_pull`,
@@ -679,7 +902,7 @@ fn handle_request(sh: &Arc<Shared>, line: &str) -> String {
             },
             _ => error_reply("cache_pull needs a 32-hex `key`"),
         },
-        Some("cache_push") => cache_push(sh, &v, line),
+        Some("cache_push") => cache_push(sh, v, line),
         Some("shutdown") => {
             sh.shutdown.store(true, Ordering::SeqCst);
             "{\"ok\":true,\"draining\":true}".into()
@@ -741,7 +964,8 @@ fn admit(sh: &Arc<Shared>, spec: JobSpec) -> Result<u64, String> {
         let key = spec.key(sh.runner.engine_version());
         if let Some(bytes) = sh.cache.get(&key) {
             sh.counters.done.fetch_add(1, Ordering::Relaxed);
-            crate::locked(&sh.jobs).insert(
+            let mut jobs = crate::locked(&sh.jobs);
+            jobs.insert(
                 id,
                 JobRecord {
                     spec,
@@ -754,6 +978,7 @@ fn admit(sh: &Arc<Shared>, spec: JobSpec) -> Result<u64, String> {
                     attempts: 0,
                 },
             );
+            record_terminal(sh, &mut jobs, id);
             return Ok(id);
         }
     }
@@ -781,8 +1006,9 @@ fn admit(sh: &Arc<Shared>, spec: JobSpec) -> Result<u64, String> {
     Ok(id)
 }
 
-fn handle_batch(sh: &Arc<Shared>, jobs: &[Value]) -> String {
-    let t0 = Instant::now();
+/// Admit every job of a batch, preserving order. Shared between the
+/// blocking batch handler below and the reactor's parked batches.
+pub(crate) fn batch_admit(sh: &Arc<Shared>, jobs: &[Value]) -> Vec<Result<u64, String>> {
     let mut ids: Vec<Result<u64, String>> = Vec::with_capacity(jobs.len());
     for j in jobs {
         match JobSpec::from_value(j) {
@@ -790,19 +1016,67 @@ fn handle_batch(sh: &Arc<Shared>, jobs: &[Value]) -> String {
             Err(e) => ids.push(Err(e)),
         }
     }
+    ids
+}
+
+/// True once every admitted id is terminal (a rejected slot, or an id
+/// already evicted from the record ring, counts as terminal).
+pub(crate) fn batch_done(jobs: &HashMap<u64, JobRecord>, ids: &[Result<u64, String>]) -> bool {
+    ids.iter().all(|r| match r {
+        Ok(id) => jobs.get(id).map(|r| r.state.terminal()).unwrap_or(true),
+        Err(_) => true,
+    })
+}
+
+/// The batch response envelope. Built identically by both I/O front
+/// ends, so batch replies are mode-independent (modulo `wall_ms`, which
+/// is wall time by definition).
+pub(crate) fn batch_reply(
+    jobs: &HashMap<u64, JobRecord>,
+    ids: &[Result<u64, String>],
+    wall: Duration,
+) -> String {
+    let mut hits = 0u64;
+    for id in ids.iter().flatten() {
+        if let Some(State::Done { cached: true, .. }) = jobs.get(id).map(|r| &r.state) {
+            hits += 1;
+        }
+    }
+    let mut out = String::from("{\"ok\":true,");
+    let _ = std::fmt::Write::write_fmt(
+        &mut out,
+        format_args!(
+            "\"jobs\":{},\"hits\":{},\"wall_ms\":{:.3},\"results\":[",
+            ids.len(),
+            hits,
+            wall.as_secs_f64() * 1e3
+        ),
+    );
+    for (i, r) in ids.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        match r {
+            Ok(id) => out.push_str(&status_object(jobs, *id)),
+            Err(e) => out.push_str(&error_reply(e)),
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+fn handle_batch(sh: &Arc<Shared>, jobs: &[Value]) -> String {
+    let t0 = Instant::now();
+    let ids = batch_admit(sh, jobs);
     // Wait for every admitted job to reach a terminal state.
-    {
+    let guard = {
         let mut guard = crate::locked(&sh.jobs);
         loop {
             if sh.killed.load(Ordering::SeqCst) {
                 // Crash semantics: the batch never completes.
                 return error_reply("killed");
             }
-            let all_done = ids.iter().all(|r| match r {
-                Ok(id) => guard.get(id).map(|r| r.state.terminal()).unwrap_or(true),
-                Err(_) => true,
-            });
-            if all_done {
+            if batch_done(&guard, &ids) {
                 break;
             }
             let (g, _) = sh
@@ -811,38 +1085,95 @@ fn handle_batch(sh: &Arc<Shared>, jobs: &[Value]) -> String {
                 .unwrap_or_else(|poisoned| poisoned.into_inner());
             guard = g;
         }
+        guard
+    };
+    batch_reply(&guard, &ids, t0.elapsed())
+}
+
+/// Most ids a single `wait` may watch: bounds reply size and the
+/// per-wakeup completion scan.
+pub(crate) const MAX_WAIT_IDS: usize = 4096;
+const DEFAULT_WAIT_TIMEOUT_MS: u64 = 30_000;
+pub(crate) const MAX_WAIT_TIMEOUT_MS: u64 = 600_000;
+
+/// Parse a `wait` request: `{"op":"wait","ids":[..],"timeout_ms":N}`.
+/// Returns the watched ids and the clamped timeout.
+pub(crate) fn parse_wait(v: &Value) -> Result<(Vec<u64>, u64), String> {
+    let Some(ids_v) = v.get("ids").and_then(Value::as_arr) else {
+        return Err("wait needs an `ids` array".into());
+    };
+    if ids_v.len() > MAX_WAIT_IDS {
+        return Err(format!("wait supports at most {MAX_WAIT_IDS} ids"));
     }
-    let wall = t0.elapsed();
-    let mut hits = 0u64;
-    let mut out = String::from("{\"ok\":true,");
-    {
-        let guard = crate::locked(&sh.jobs);
-        for id in ids.iter().flatten() {
-            if let Some(State::Done { cached: true, .. }) = guard.get(id).map(|r| &r.state) {
-                hits += 1;
-            }
+    let mut ids = Vec::with_capacity(ids_v.len());
+    for x in ids_v {
+        match x.as_u64() {
+            Some(id) => ids.push(id),
+            None => return Err("wait ids must be unsigned integers".into()),
         }
-        let _ = std::fmt::Write::write_fmt(
-            &mut out,
-            format_args!(
-                "\"jobs\":{},\"hits\":{},\"wall_ms\":{:.3},\"results\":[",
-                ids.len(),
-                hits,
-                wall.as_secs_f64() * 1e3
-            ),
-        );
-        for (i, r) in ids.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            match r {
-                Ok(id) => out.push_str(&status_object(&guard, *id)),
-                Err(e) => out.push_str(&error_reply(e)),
-            }
+    }
+    let timeout_ms = v
+        .get("timeout_ms")
+        .and_then(Value::as_u64)
+        .unwrap_or(DEFAULT_WAIT_TIMEOUT_MS)
+        .min(MAX_WAIT_TIMEOUT_MS);
+    Ok((ids, timeout_ms))
+}
+
+/// True once every watched id is terminal; unknown (or already evicted)
+/// ids count as terminal so a waiter can never hang on history.
+pub(crate) fn wait_done(jobs: &HashMap<u64, JobRecord>, ids: &[u64]) -> bool {
+    ids.iter()
+        .all(|id| jobs.get(id).map(|r| r.state.terminal()).unwrap_or(true))
+}
+
+/// The `wait` response: `complete` says whether every id turned
+/// terminal (false = the timeout elapsed first); `results` carries a
+/// status object per id, in request order, either way.
+pub(crate) fn wait_reply(jobs: &HashMap<u64, JobRecord>, ids: &[u64], complete: bool) -> String {
+    let mut out = format!("{{\"ok\":true,\"complete\":{complete},\"results\":[");
+    for (i, id) in ids.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
         }
+        out.push_str(&status_object(jobs, *id));
     }
     out.push_str("]}");
     out
+}
+
+/// The long-poll verb, thread-mode flavor: block this connection's
+/// thread on the done condvar until every watched id is terminal or the
+/// timeout lapses. (The reactor parks the connection instead and arms a
+/// timer-wheel deadline — no thread is held either way on the reactor
+/// path.) This is what replaces the client-side 15 ms status-poll loop:
+/// completion notification latency becomes a condvar wakeup, not a poll
+/// quantum.
+fn handle_wait(sh: &Arc<Shared>, v: &Value) -> String {
+    let (ids, timeout_ms) = match parse_wait(v) {
+        Ok(p) => p,
+        Err(e) => return error_reply(&e),
+    };
+    let deadline = Instant::now() + Duration::from_millis(timeout_ms);
+    let mut guard = crate::locked(&sh.jobs);
+    loop {
+        if sh.killed.load(Ordering::SeqCst) {
+            return error_reply("killed");
+        }
+        if wait_done(&guard, &ids) {
+            return wait_reply(&guard, &ids, true);
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return wait_reply(&guard, &ids, false);
+        }
+        let step = (deadline - now).min(Duration::from_millis(100));
+        let (g, _) = sh
+            .done_cv
+            .wait_timeout(guard, step)
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        guard = g;
+    }
 }
 
 fn status_reply(sh: &Arc<Shared>, id: u64) -> String {

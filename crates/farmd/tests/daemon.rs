@@ -476,3 +476,219 @@ fn poll_done(c: &mut Client, id: u64) -> Value {
     );
     s
 }
+
+/// [`boot`] with an explicit io-mode and connection limit.
+fn boot_mode(
+    io_mode: bfly_farmd::IoMode,
+    max_conns: usize,
+) -> (bfly_farmd::ServerHandle, Arc<Toy>) {
+    let toy = Arc::new(Toy {
+        runs: AtomicU64::new(0),
+    });
+    let handle = spawn(
+        ServerConfig {
+            listen: Listen::Tcp("127.0.0.1:0".into()),
+            workers: 2,
+            cache_dir: None,
+            default_retries: 1,
+            io_mode,
+            max_conns,
+            ..ServerConfig::default()
+        },
+        toy.clone(),
+    )
+    .expect("boot daemon");
+    (handle, toy)
+}
+
+fn io_modes() -> Vec<bfly_farmd::IoMode> {
+    if cfg!(unix) {
+        vec![bfly_farmd::IoMode::Threads, bfly_farmd::IoMode::Reactor]
+    } else {
+        vec![bfly_farmd::IoMode::Threads]
+    }
+}
+
+/// The `wait` long-poll, in both io-modes: results come back in request
+/// order once every id is terminal; a too-short timeout reports
+/// `complete:false` with the non-terminal ids still pending; unknown
+/// ids count as terminal (a waiter can never hang on history); and the
+/// argument contract is enforced.
+#[test]
+fn wait_verb_long_polls_to_terminal() {
+    for mode in io_modes() {
+        let (handle, _) = boot_mode(mode, 4096);
+        let mut c = Client::connect(&handle.addr).unwrap();
+
+        // Three slow jobs on two workers: genuinely non-terminal at
+        // submit time, so the wait below actually blocks.
+        let mut ids = Vec::new();
+        for seed in 0..3 {
+            let r = req(
+                &mut c,
+                &format!(r#"{{"op":"submit","exp":"slow","seed":{seed},"params":{{}}}}"#),
+            );
+            assert_eq!(r.get("ok").and_then(Value::as_bool), Some(true));
+            ids.push(r.get("id").and_then(Value::as_u64).unwrap());
+        }
+
+        // A 1 ms timeout cannot cover a 50 ms job: complete must be
+        // false (the ids were just submitted on saturated workers).
+        let quick = c.wait_jobs(&ids, 1).expect("short wait");
+        assert_eq!(quick.get("complete").and_then(Value::as_bool), Some(false));
+
+        let v = c.wait_jobs(&ids, 30_000).expect("wait");
+        assert_eq!(
+            v.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "{}",
+            v.dump()
+        );
+        assert_eq!(v.get("complete").and_then(Value::as_bool), Some(true));
+        let results = v.get("results").and_then(Value::as_arr).unwrap();
+        assert_eq!(results.len(), ids.len());
+        for (id, r) in ids.iter().zip(results) {
+            assert_eq!(r.get("id").and_then(Value::as_u64), Some(*id), "order kept");
+            assert_eq!(r.get("state").and_then(Value::as_str), Some("done"));
+        }
+
+        // Unknown ids are terminal immediately, interleaved with real ones.
+        let v = c
+            .wait_jobs(&[ids[0], 999_999], 30_000)
+            .expect("wait unknown");
+        assert_eq!(v.get("complete").and_then(Value::as_bool), Some(true));
+        let results = v.get("results").and_then(Value::as_arr).unwrap();
+        assert_eq!(
+            results[0].get("state").and_then(Value::as_str),
+            Some("done")
+        );
+        assert_eq!(results[1].get("ok").and_then(Value::as_bool), Some(false));
+
+        // Contract: ids must be an array of unsigned integers.
+        let bad = req(&mut c, r#"{"op":"wait","ids":"nope"}"#);
+        assert_eq!(bad.get("ok").and_then(Value::as_bool), Some(false));
+
+        handle.shutdown();
+    }
+}
+
+/// Over-capacity accepts, in both io-modes: with `max_conns` pinned low
+/// and the limit held by idle connections, a storm of 2000 further
+/// dials must each get the typed `busy` refusal followed by a clean
+/// close — never a hang, never a protocol-less reset, and never an
+/// accepted-but-ignored socket. The held connections must still serve.
+#[test]
+fn dials_past_max_conns_get_typed_busy_and_clean_close() {
+    use std::io::{BufRead, BufReader};
+
+    const HELD: usize = 16;
+    const DIALS: usize = 2_000;
+    const DIALERS: usize = 20;
+    for mode in io_modes() {
+        let (handle, _) = boot_mode(mode, HELD);
+        // Saturate the limit with idle keep-alive connections.
+        let held: Vec<std::net::TcpStream> = (0..HELD)
+            .map(|_| std::net::TcpStream::connect(&handle.addr).expect("held dial"))
+            .collect();
+        // Give the acceptor a beat to count them all in.
+        std::thread::sleep(std::time::Duration::from_millis(100));
+
+        let addr = handle.addr.clone();
+        let busy = Arc::new(AtomicU64::new(0));
+        let dialers: Vec<_> = (0..DIALERS)
+            .map(|_| {
+                let addr = addr.clone();
+                let busy = busy.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..(DIALS / DIALERS) {
+                        let stream = std::net::TcpStream::connect(&addr).expect("dial");
+                        stream
+                            .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+                            .unwrap();
+                        let mut r = BufReader::new(stream);
+                        let mut line = String::new();
+                        r.read_line(&mut line).expect("busy reply");
+                        assert!(
+                            line.contains("\"busy\":true"),
+                            "expected typed busy refusal, got: {line}"
+                        );
+                        busy.fetch_add(1, Ordering::SeqCst);
+                        // Clean close: EOF, not a reset mid-stream.
+                        line.clear();
+                        assert_eq!(r.read_line(&mut line).expect("clean close"), 0);
+                    }
+                })
+            })
+            .collect();
+        for d in dialers {
+            d.join().expect("dialer panicked");
+        }
+        assert_eq!(busy.load(Ordering::SeqCst), DIALS as u64);
+
+        // The connections inside the limit still serve after the storm.
+        let mut held_client = {
+            let s = held.into_iter().next().unwrap();
+            drop(s); // free one slot ...
+            Client::connect(&handle.addr).expect("slot freed")
+        };
+        let pong = req(&mut held_client, r#"{"op":"ping"}"#);
+        assert_eq!(pong.get("pong").and_then(Value::as_bool), Some(true));
+        handle.shutdown();
+    }
+}
+
+/// End-to-end flow under the poll(2) reactor: submit/status/cache,
+/// batch ordering, verdicts, and backpressure behave exactly as in
+/// thread mode — the serving semantics do not depend on the io-mode.
+#[test]
+fn reactor_end_to_end_matches_thread_semantics() {
+    if !cfg!(unix) {
+        return;
+    }
+    let (handle, toy) = boot_mode(bfly_farmd::IoMode::Reactor, 4096);
+    let mut c = Client::connect(&handle.addr).unwrap();
+
+    let pong = req(&mut c, r#"{"op":"ping"}"#);
+    assert_eq!(pong.get("engine_version").and_then(Value::as_i64), Some(1));
+
+    let r = req(
+        &mut c,
+        r#"{"op":"submit","exp":"echo","seed":7,"params":{"x":1}}"#,
+    );
+    assert_eq!(r.get("ok").and_then(Value::as_bool), Some(true));
+    let id = r.get("id").and_then(Value::as_u64).unwrap();
+    let done = c.await_terminal(id, 10).unwrap();
+    assert_eq!(done.get("state").and_then(Value::as_str), Some("done"));
+    assert_eq!(done.get("cached").and_then(Value::as_bool), Some(false));
+    let cold_runs = toy.runs.load(Ordering::SeqCst);
+
+    // Same spec again: served from cache, no new run.
+    let r = req(
+        &mut c,
+        r#"{"op":"submit","exp":"echo","seed":7,"params":{"x":1}}"#,
+    );
+    assert_eq!(r.get("cached").and_then(Value::as_bool), Some(true));
+    assert_eq!(toy.runs.load(Ordering::SeqCst), cold_runs);
+
+    // Batch: replies in submission order, failures quarantined per-job.
+    let b = req(
+        &mut c,
+        r#"{"op":"batch","jobs":[{"exp":"echo","seed":1,"params":{}},{"exp":"boom","seed":2,"params":{}},{"exp":"echo","seed":3,"params":{}}]}"#,
+    );
+    let results = b.get("results").and_then(Value::as_arr).unwrap();
+    assert_eq!(results.len(), 3);
+    assert_eq!(
+        results[0].get("state").and_then(Value::as_str),
+        Some("done")
+    );
+    assert_eq!(
+        results[1].get("state").and_then(Value::as_str),
+        Some("failed")
+    );
+    assert_eq!(
+        results[2].get("state").and_then(Value::as_str),
+        Some("done")
+    );
+
+    handle.shutdown();
+}

@@ -15,9 +15,14 @@
 //! 3. **Unsafe allowlist** — `unsafe` may appear only in `sim`,
 //!    `collections`, and `farmd`. New crates are born `#![forbid(unsafe_code)]`.
 //! 4. **Daemon unwrap ban** — no bare `.unwrap()` in farmd's
-//!    `server.rs`/`cache.rs` hot paths or anywhere in the router's
-//!    sources (outside `#[cfg(test)]`): a poisoned lock or a flaky shard
-//!    must degrade, not kill the serving layer.
+//!    `server.rs`/`cache.rs`/`reactor.rs` hot paths or anywhere in the
+//!    router's sources (outside `#[cfg(test)]`): a poisoned lock or a
+//!    flaky shard must degrade, not kill the serving layer.
+//! 5. **Reactor thread ban** — no `thread::spawn` (or `thread::Builder`)
+//!    in farmd's reactor modules: the reactor's whole contract is one
+//!    thread multiplexing every connection, and a thread quietly spawned
+//!    per connection or per request would reintroduce exactly the
+//!    unbounded-threads regime `--io-mode reactor` exists to replace.
 //!
 //! Each check is a pure function over `(path label, file contents)` so the
 //! unit tests below can feed deliberate violations without touching disk.
@@ -39,6 +44,7 @@ const UNSAFE_ALLOWLIST: &[&str] = &["sim", "collections", "farmd"];
 const NO_UNWRAP_FILES: &[&str] = &[
     "crates/farmd/src/server.rs",
     "crates/farmd/src/cache.rs",
+    "crates/farmd/src/reactor.rs",
     "crates/farm-router/src/conn.rs",
     "crates/farm-router/src/health.rs",
     "crates/farm-router/src/lib.rs",
@@ -50,6 +56,12 @@ const NO_UNWRAP_FILES: &[&str] = &[
 
 /// The only dependency `bfly-farm-router` may declare.
 const ROUTER_ALLOWED_DEP: &str = "bfly-farmd";
+
+/// Farmd reactor modules where spawning threads is banned outside
+/// `#[cfg(test)]`: one reactor thread owns every connection, and the
+/// worker pool is sized and spawned by `server.rs` — a spawn here is a
+/// per-connection or per-request thread sneaking back in.
+const NO_THREAD_SPAWN_FILES: &[&str] = &["crates/farmd/src/reactor.rs"];
 
 /// How far back (in lines) a `// SAFETY:` comment may sit from its
 /// `unsafe` keyword and still count as adjacent.
@@ -110,11 +122,15 @@ fn lint() -> ExitCode {
         if NO_UNWRAP_FILES.contains(&label.as_str()) {
             violations.extend(check_no_bare_unwrap(&label, &text));
         }
+        if NO_THREAD_SPAWN_FILES.contains(&label.as_str()) {
+            violations.extend(check_no_thread_spawn(&label, &text));
+        }
     }
 
     if violations.is_empty() {
         println!(
-            "xtask lint: ok (dependency edges, SAFETY comments, unsafe allowlist, daemon unwraps)"
+            "xtask lint: ok (dependency edges, SAFETY comments, unsafe allowlist, daemon \
+             unwraps, reactor thread ban)"
         );
         ExitCode::SUCCESS
     } else {
@@ -309,6 +325,29 @@ fn check_no_bare_unwrap(label: &str, text: &str) -> Vec<String> {
     violations
 }
 
+/// Check 5: no thread spawning in the reactor modules (outside
+/// `#[cfg(test)]`). `std::thread::sleep` and comments discussing threads
+/// are fine; `thread::spawn` and `thread::Builder` are not — the reactor
+/// exists so that one thread multiplexes every connection, and workers
+/// are spawned by `server.rs` only.
+fn check_no_thread_spawn(label: &str, text: &str) -> Vec<String> {
+    let mut violations = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        if raw.trim_start().starts_with("#[cfg(test)]") {
+            break;
+        }
+        let code = strip_comment(raw, "//");
+        if code.contains("thread::spawn") || code.contains("thread::Builder") {
+            violations.push(format!(
+                "{label}:{}: thread spawn in a reactor module; the poll loop owns all \
+                 connection I/O and worker threads belong to server.rs",
+                i + 1
+            ));
+        }
+    }
+    violations
+}
+
 // ---------------------------------------------------------------------------
 // Shared line helpers
 // ---------------------------------------------------------------------------
@@ -491,5 +530,25 @@ mod tests {
     fn unwrap_ban_accepts_recovering_forms() {
         let text = "fn hot() {\n    let g = crate::locked(&m);\n    let v = o.unwrap_or_else(|p| p.into_inner());\n    let w = o.unwrap_or(0); // and a comment saying .unwrap() is banned\n}\n";
         assert!(check_no_bare_unwrap("crates/farmd/src/server.rs", text).is_empty());
+    }
+
+    #[test]
+    fn thread_spawn_ban_flags_spawn_and_builder() {
+        let text = "fn accept(&mut self) {\n    std::thread::spawn(move || serve(conn));\n    thread::Builder::new().name(\"conn\".into()).spawn(f);\n}\n";
+        let v = check_no_thread_spawn("crates/farmd/src/reactor.rs", text);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].contains(":2:"), "{v:?}");
+        assert!(v[1].contains(":3:"), "{v:?}");
+    }
+
+    #[test]
+    fn thread_spawn_ban_ignores_sleep_comments_and_test_modules() {
+        let text = "//! one reactor thread owns the poll loop; thread::spawn is banned\nfn run(&mut self) {\n    std::thread::sleep(Duration::from_millis(1));\n    // unlike the thread::spawn-per-conn mode, we park here\n}\n#[cfg(test)]\nmod tests {\n    fn t() { std::thread::spawn(|| {}); }\n}\n";
+        assert!(check_no_thread_spawn("crates/farmd/src/reactor.rs", text).is_empty());
+    }
+
+    #[test]
+    fn thread_spawn_ban_covers_the_reactor_module() {
+        assert!(NO_THREAD_SPAWN_FILES.contains(&"crates/farmd/src/reactor.rs"));
     }
 }
