@@ -21,7 +21,7 @@
 //! flat while SMP's *increase*, because doubling P doubles SMP's
 //! communication but barely changes the Uniform System's.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
@@ -29,6 +29,7 @@ use bfly_chrysalis::Os;
 use bfly_machine::{Machine, MachineConfig, NodeId};
 use bfly_sim::{FaultPlan, Sim, SimTime};
 use bfly_smp::{Family, SmpCosts, Topology};
+use bfly_snap::{Section, Snap};
 use bfly_uniform::{task, Us, UsMatrix};
 
 /// Cost of one floating-point operation, including operand handling
@@ -83,11 +84,110 @@ fn check_solution(mat: &UsMatrix, n: u32) -> f64 {
     max_err
 }
 
+enum PreparedMode {
+    Us {
+        us: Rc<Us>,
+        row_updates: Rc<Cell<u64>>,
+        mat: Rc<UsMatrix>,
+        n: u32,
+    },
+    Smp {
+        fam: Family,
+        mat: Rc<UsMatrix>,
+        n: u32,
+    },
+}
+
+/// A Gaussian-elimination run that has been fully set up but not yet
+/// driven: the program (tasks, matrix, runtime) is in place and `sim` can
+/// be stepped with [`Sim::run_events`], snapshotted mid-flight with
+/// [`PreparedGauss::snapshot`], or driven to completion with
+/// [`PreparedGauss::finish`]. This is the checkpoint/restore seam: a
+/// restore rebuilds the same prepared program (same arguments, same seed)
+/// and fast-forwards, and the snapshot's extra sections (machine, runtime,
+/// probe/san when ambient) prove the replayed state matches.
+pub struct PreparedGauss {
+    /// The engine. Public so checkpointing callers can step and restore.
+    pub sim: Sim,
+    machine: Rc<Machine>,
+    mode: PreparedMode,
+}
+
+impl PreparedGauss {
+    /// The simulated machine (for late probe attachment in replay).
+    pub fn machine(&self) -> &Rc<Machine> {
+        &self.machine
+    }
+
+    /// Full-state snapshot: engine + scheduler sections from
+    /// [`Sim::snapshot`], then machine queues/counters, the runtime
+    /// (`us` or `smp`) section, and — when ambient instrumentation is
+    /// installed — `probe` and `san` sections built from their plain-data
+    /// counter dumps.
+    pub fn snapshot(&self) -> Snap {
+        let mut snap = self.sim.snapshot();
+        snap.push(self.machine.snapshot_section());
+        match &self.mode {
+            PreparedMode::Us { us, .. } => {
+                snap.push(us.snapshot_section());
+            }
+            PreparedMode::Smp { fam, .. } => {
+                snap.push(fam.snapshot_section());
+            }
+        }
+        if let Some(p) = bfly_probe::ambient() {
+            let mut s = Section::new("probe");
+            for (k, v) in p.snapshot_fields() {
+                s.field_u64(k, v);
+            }
+            snap.push(s);
+        }
+        if let Some(sn) = bfly_san::ambient() {
+            let mut s = Section::new("san");
+            for (k, v) in sn.snapshot_fields() {
+                s.field_u64(k, v);
+            }
+            snap.push(s);
+        }
+        snap
+    }
+
+    /// Drive the run to quiescence and assemble the [`GaussResult`].
+    /// Works from any intermediate point — fresh, stepped, or restored.
+    pub fn finish(self) -> GaussResult {
+        let run = self.sim.run();
+        let st = self.machine.stats();
+        match self.mode {
+            PreparedMode::Us {
+                row_updates, mat, n, ..
+            } => GaussResult {
+                time_ns: self.sim.now(),
+                // Row updates (N²−N) plus pivot block copies (≈ P(N−1)):
+                // the paper's Uniform System communication-operation count.
+                comm_ops: row_updates.get() + st.block_transfers,
+                max_err: check_solution(&mat, n),
+                run,
+            },
+            PreparedMode::Smp { fam, mat, n } => GaussResult {
+                time_ns: self.sim.now(),
+                comm_ops: fam.messages_sent(),
+                max_err: check_solution(&mat, n),
+                run,
+            },
+        }
+    }
+}
+
 /// Uniform System Gaussian elimination on `nprocs` processors of a
 /// 128-node machine, with the matrix scattered over `mem_nodes` memories
 /// (pass all nodes for the paper's recommended placement, a small set for
 /// the contended baseline of experiment T5).
 pub fn gauss_us(nprocs: u16, n: u32, mem_nodes: Vec<NodeId>, seed: u64) -> GaussResult {
+    prepare_gauss_us(nprocs, n, mem_nodes, seed).finish()
+}
+
+/// Set up [`gauss_us`] without running it (checkpoint/restore seam).
+pub fn prepare_gauss_us(nprocs: u16, n: u32, mem_nodes: Vec<NodeId>, seed: u64) -> PreparedGauss {
     let sim = Sim::with_seed(seed);
     let machine = Machine::new(&sim, MachineConfig::rochester());
     let os = Os::boot(&machine);
@@ -170,15 +270,15 @@ pub fn gauss_us(nprocs: u16, n: u32, mem_nodes: Vec<NodeId>, seed: u64) -> Gauss
         }
         us2.shutdown();
     });
-    let run = sim.run();
-    let st = machine.stats();
-    GaussResult {
-        time_ns: sim.now(),
-        // Row updates (N²−N) plus pivot block copies (≈ P(N−1)): the
-        // paper's Uniform System communication-operation count.
-        comm_ops: row_updates.get() + st.block_transfers,
-        max_err: check_solution(&mat, n),
-        run,
+    PreparedGauss {
+        sim,
+        machine,
+        mode: PreparedMode::Us {
+            us,
+            row_updates,
+            mat,
+            n,
+        },
     }
 }
 
@@ -195,6 +295,12 @@ pub fn gauss_smp(nprocs: u16, n: u32, seed: u64) -> GaussResult {
 /// hang the pivot broadcast (the algorithm has no application-level
 /// resend), so stick to link/degrade events for completed runs.
 pub fn gauss_smp_faulty(nprocs: u16, n: u32, seed: u64, plan: &FaultPlan) -> GaussResult {
+    prepare_gauss_smp_faulty(nprocs, n, seed, plan).finish()
+}
+
+/// Set up [`gauss_smp_faulty`] without running it (checkpoint/restore
+/// seam).
+pub fn prepare_gauss_smp_faulty(nprocs: u16, n: u32, seed: u64, plan: &FaultPlan) -> PreparedGauss {
     let sim = Sim::with_seed(seed);
     let machine = Machine::new(&sim, MachineConfig::rochester());
     machine.install_faults(plan);
@@ -256,12 +362,10 @@ pub fn gauss_smp_faulty(nprocs: u16, n: u32, seed: u64, plan: &FaultPlan) -> Gau
         },
     );
     fam.install_faults(plan);
-    let run = sim.run();
-    GaussResult {
-        time_ns: sim.now(),
-        comm_ops: fam.messages_sent(),
-        max_err: check_solution(&mat, n),
-        run,
+    PreparedGauss {
+        sim,
+        machine,
+        mode: PreparedMode::Smp { fam, mat, n },
     }
 }
 

@@ -147,6 +147,9 @@ fn submit(args: &[String]) -> ! {
             .unwrap_or_else(|e| fail(&format!("wait: {e}")));
     }
     println!("{}", v.dump());
+    if v.get("resumed_from_snapshot").and_then(Value::as_bool) == Some(true) {
+        eprintln!("farm: job resumed from a mid-run snapshot checkpoint");
+    }
     let ok = v.get("ok").and_then(Value::as_bool) == Some(true)
         && v.get("state").and_then(Value::as_str) != Some("failed");
     std::process::exit(if ok { 0 } else { 1 });
@@ -350,8 +353,8 @@ fn bench(args: &[String]) -> ! {
         None => arg_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:4655".into()),
     };
     let s = serve_bench_against(&addr).unwrap_or_else(|e| fail(&format!("bench: {e}")));
-    let (shards, rerouted, lost) = match &cluster {
-        None => (1, 0, 0),
+    let (shards, rerouted, lost, resumed) = match &cluster {
+        None => (1, 0, 0, 0),
         Some(cl) => {
             let stats = cl.stats().unwrap_or_else(|e| fail(&format!("stats: {e}")));
             let stat = |k: &str| {
@@ -361,13 +364,14 @@ fn bench(args: &[String]) -> ! {
                     .and_then(Value::as_u64)
                     .unwrap_or(0)
             };
-            (cl.len(), stat("rerouted"), stat("lost"))
+            (cl.len(), stat("rerouted"), stat("lost"), stat("resumed"))
         }
     };
     println!(
         "{{\"jobs\": {}, \"shards\": {shards}, \"cold_wall_ms\": {:.1}, \
          \"warm_wall_ms\": {:.3}, \"hits\": {}, \"hit_rate\": {:.3}, \"speedup\": {:.1}, \
-         \"rerouted\": {rerouted}, \"lost\": {lost}, \"bit_identical\": true}}",
+         \"rerouted\": {rerouted}, \"lost\": {lost}, \"resumed\": {resumed}, \
+         \"bit_identical\": true}}",
         s.jobs,
         s.cold_wall.as_secs_f64() * 1e3,
         s.warm_wall.as_secs_f64() * 1e3,

@@ -3,15 +3,37 @@
 //!
 //! Flags: `--quick`, `--stats`, `--probe` (see [`bfly_bench::BenchCli`]),
 //! plus `--n <N>` to pin the matrix size over the full processor list
-//! (used for apples-to-apples perf comparisons across engine versions).
-use bfly_bench::BenchCli;
+//! (used for apples-to-apples perf comparisons across engine versions)
+//! and `--checkpoint-every <events>` / `--resume <file>` to checkpoint
+//! completed sweep points so an interrupted run restarts from its last
+//! durable checkpoint with bit-identical output.
+use bfly_bench::{BenchCli, SweepCheckpointer};
 
 fn main() {
     let cli = BenchCli::parse("fig5_gauss");
     let probe = cli.begin();
-    let (table, engine) = match cli.n {
-        Some(n) => bfly_bench::experiments::fig5_gauss_at(n, &[16, 32, 48, 64, 80, 96, 112, 128]),
-        None => bfly_bench::experiments::fig5_gauss_run(cli.scale()),
+    let full_ps: &[u16] = &[16, 32, 48, 64, 80, 96, 112, 128];
+    let quick_ps: &[u16] = &[16, 32, 64, 128];
+    let (n, ps) = match cli.n {
+        Some(n) => (n, full_ps),
+        None => (
+            cli.scale().pick(384, 48),
+            if cli.quick { quick_ps } else { full_ps },
+        ),
+    };
+    let (table, engine) = match cli.checkpoint() {
+        Some((every, sink)) => {
+            let ckpt = SweepCheckpointer {
+                every,
+                sink: &sink,
+            };
+            let (t, e, resumed) = bfly_bench::experiments::fig5_gauss_at_ckpt(n, ps, &ckpt);
+            if resumed > 0 {
+                eprintln!("fig5_gauss: resumed {resumed}/{} points from checkpoint", ps.len());
+            }
+            (t, e)
+        }
+        None => bfly_bench::experiments::fig5_gauss_at(n, ps),
     };
     table.print();
     cli.finish(probe.as_ref(), Some(&engine));

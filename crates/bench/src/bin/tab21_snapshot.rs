@@ -1,0 +1,89 @@
+//! T21 — snapshot-anchored time-travel replay.
+//!
+//! Default mode regenerates table T21 (straight vs pause/resume vs
+//! snapshot/restore vs late-probe suffix attribution). Two extra flags
+//! drive the anchor machinery directly:
+//!
+//! * `--snapshot-out <file>` — run the T21 program to its half-way cut
+//!   and write the verified snapshot bytes to `<file>`.
+//! * `--from-snapshot <file> [--probe] [--sanitize]` — rebuild from a
+//!   snapshot written by `--snapshot-out`, seek to the anchor (proof of
+//!   bit-identity included), attach the probe *at the anchor* when
+//!   `--probe` is given (suffix-only attribution), and finish the run.
+//!   `--sanitize` installs the race sanitizer ambiently before the
+//!   rebuild — shadow state is re-derived over the replayed prefix, races
+//!   in the suffix are reported as usual.
+
+use bfly_bench::BenchCli;
+use bfly_probe::Probe;
+
+fn take_flag(args: &mut Vec<String>, name: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == name)?;
+    if i + 1 >= args.len() {
+        panic!("tab21_snapshot: {name} takes a value");
+    }
+    args.remove(i);
+    Some(args.remove(i))
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let snapshot_out = take_flag(&mut args, "--snapshot-out");
+    let from_snapshot = take_flag(&mut args, "--from-snapshot");
+    let cli = BenchCli::parse_from("tab21_snapshot", args);
+
+    if let Some(path) = snapshot_out {
+        let scale = cli.scale();
+        let n: u32 = cli.n.unwrap_or_else(|| scale.pick(96, 32));
+        // Cut where the table does: half of the straight run's events.
+        let total = bfly_bench::experiments::t21_cut_snapshot(n, 16, 21, u64::MAX);
+        let anchor = bfly_replay::SnapshotAnchor::from_bytes(&total).expect("own bytes");
+        let bytes = bfly_bench::experiments::t21_cut_snapshot(n, 16, 21, anchor.events() / 2);
+        std::fs::write(&path, &bytes).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        eprintln!(
+            "tab21_snapshot: wrote {} bytes (anchor at {} events) to {path}",
+            bytes.len(),
+            anchor.events() / 2
+        );
+        return;
+    }
+
+    if let Some(path) = from_snapshot {
+        let bytes = std::fs::read(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+        if cli.sanitize {
+            bfly_san::install_ambient(Some(bfly_san::Sanitizer::new()));
+        }
+        let probe = cli.probe.then(Probe::new);
+        let (result, anchor_events) =
+            bfly_bench::experiments::t21_resume_from(&bytes, probe.as_ref())
+                .unwrap_or_else(|e| panic!("resume from {path}: {e}"));
+        println!(
+            "resumed from anchor @{anchor_events} events: sim {:.1} ms, {} comm ops, \
+             {} total events, max_err {:.2e}",
+            result.time_ns as f64 / 1e6,
+            result.comm_ops,
+            result.run.events,
+            result.max_err
+        );
+        if let Some(p) = &probe {
+            let suffix: u64 = p
+                .snapshot_fields()
+                .iter()
+                .filter(|(k, _)| matches!(*k, "local_refs" | "remote_out"))
+                .map(|&(_, v)| v)
+                .sum();
+            println!("late-attached probe saw {suffix} memory refs (suffix only)");
+        }
+        if cli.sanitize {
+            if let Some(s) = bfly_san::install_ambient(None) {
+                println!("{}", s.verdict_line());
+            }
+        }
+        return;
+    }
+
+    let probe = cli.begin();
+    let (table, engine) = bfly_bench::experiments::tab21_snapshot_run(cli.scale());
+    table.print();
+    cli.finish(probe.as_ref(), Some(&engine));
+}

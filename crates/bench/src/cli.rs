@@ -38,6 +38,12 @@ pub struct BenchCli {
     pub sanitize: bool,
     /// Optional problem-size override.
     pub n: Option<u32>,
+    /// Persist a sweep checkpoint after at least this many engine events
+    /// (experiments with checkpoint support; implies a checkpoint file).
+    pub checkpoint_every: Option<u64>,
+    /// Checkpoint/resume file. Defaults to `CKPT_<exp>.snap` when
+    /// `--checkpoint-every` is given without `--resume`.
+    pub resume: Option<String>,
 }
 
 impl BenchCli {
@@ -55,6 +61,8 @@ impl BenchCli {
             probe: false,
             sanitize: false,
             n: None,
+            checkpoint_every: None,
+            resume: None,
         };
         let mut args = args.into_iter();
         while let Some(a) = args.next() {
@@ -69,14 +77,33 @@ impl BenchCli {
                         .unwrap_or_else(|| panic!("{exp}: --n takes a value"));
                     cli.n = Some(v.parse().unwrap_or_else(|_| panic!("{exp}: bad --n {v}")));
                 }
+                "--checkpoint-every" => {
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| panic!("{exp}: --checkpoint-every takes a value"));
+                    cli.checkpoint_every = Some(
+                        v.parse()
+                            .unwrap_or_else(|_| panic!("{exp}: bad --checkpoint-every {v}")),
+                    );
+                }
+                "--resume" => {
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| panic!("{exp}: --resume takes a value"));
+                    cli.resume = Some(v);
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: {exp} [--quick] [--stats] [--probe] [--sanitize] [--n <size>]\n\
+                         \x20          [--checkpoint-every <events>] [--resume <file>]\n\
                          \x20 --quick     reduced problem sizes\n\
                          \x20 --stats     engine-throughput summary line\n\
                          \x20 --probe     write PROBE_{exp}.json + TRACE_{exp}.json\n\
                          \x20 --sanitize  race & lock-order checking, write SAN_{exp}.json\n\
-                         \x20 --n <N>     problem-size override (where supported)"
+                         \x20 --n <N>     problem-size override (where supported)\n\
+                         \x20 --checkpoint-every <E>  persist a sweep checkpoint every ~E engine\n\
+                         \x20             events (experiments with checkpoint support)\n\
+                         \x20 --resume <file>  checkpoint/resume file (default CKPT_{exp}.snap)"
                     );
                     std::process::exit(0);
                 }
@@ -84,6 +111,21 @@ impl BenchCli {
             }
         }
         cli
+    }
+
+    /// The checkpoint policy implied by `--checkpoint-every` / `--resume`:
+    /// either flag activates a file-backed sweep checkpoint (so `--resume`
+    /// alone both restores and keeps checkpointing at a default cadence).
+    pub fn checkpoint(&self) -> Option<(u64, crate::snapshot::FileSink)> {
+        if self.checkpoint_every.is_none() && self.resume.is_none() {
+            return None;
+        }
+        let every = self.checkpoint_every.unwrap_or(1_000_000);
+        let path = self
+            .resume
+            .clone()
+            .unwrap_or_else(|| format!("CKPT_{}.snap", self.exp));
+        Some((every, crate::snapshot::FileSink::new(path)))
     }
 
     /// The scale implied by `--quick`.
@@ -165,6 +207,29 @@ mod tests {
         let cli = BenchCli::parse_from("t", argv(&[]));
         assert!(!cli.quick && !cli.stats && !cli.probe);
         assert_eq!(cli.n, None);
+        assert!(cli.checkpoint().is_none());
+    }
+
+    #[test]
+    fn parses_checkpoint_flags() {
+        let cli = BenchCli::parse_from(
+            "t",
+            argv(&["--checkpoint-every", "50000", "--resume", "ckpt.snap"]),
+        );
+        assert_eq!(cli.checkpoint_every, Some(50000));
+        assert_eq!(cli.resume.as_deref(), Some("ckpt.snap"));
+        let (every, _) = cli.checkpoint().expect("checkpointing active");
+        assert_eq!(every, 50000);
+        // --resume alone still activates checkpointing (restore + default
+        // cadence); --checkpoint-every alone defaults the file name.
+        assert!(BenchCli::parse_from("t", argv(&["--resume", "x.snap"]))
+            .checkpoint()
+            .is_some());
+        assert!(
+            BenchCli::parse_from("t", argv(&["--checkpoint-every", "9"]))
+                .checkpoint()
+                .is_some()
+        );
     }
 
     #[test]

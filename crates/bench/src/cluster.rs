@@ -494,6 +494,12 @@ pub struct ChaosOutcome {
     pub lost: u64,
     pub rerouted: u64,
     pub duplicates: u64,
+    /// Jobs whose result was computed from a mid-run snapshot checkpoint
+    /// left by a killed or failed-over earlier attempt (ISSUE 8): chaos
+    /// kills land mid-simulation, so a nonzero count here is the
+    /// resumable-jobs path actually exercised — and those results passed
+    /// the same byte-identity check as every other.
+    pub resumed: u64,
     pub rebalanced_keys: u64,
     /// Raw router `stats` snapshot (the CI artifact).
     pub stats_json: String,
@@ -505,7 +511,8 @@ impl ChaosOutcome {
         format!(
             "{{\"seed\": {}, \"shards\": {}, \"faults\": {}, \"submitted\": {}, \
              \"done\": {}, \"failed\": {}, \"lost\": {}, \"rerouted\": {}, \
-             \"duplicates\": {}, \"rebalanced_keys\": {}, \"bit_identical\": true}}",
+             \"duplicates\": {}, \"resumed\": {}, \"rebalanced_keys\": {}, \
+             \"bit_identical\": true}}",
             self.seed,
             self.shards,
             self.faults,
@@ -515,6 +522,7 @@ impl ChaosOutcome {
             self.lost,
             self.rerouted,
             self.duplicates,
+            self.resumed,
             self.rebalanced_keys
         )
     }
@@ -733,6 +741,12 @@ pub fn chaos_run_mode(
         lost: stat("lost")?,
         rerouted: stat("rerouted")?,
         duplicates: stat("duplicates")?,
+        // Tolerate routers predating resume accounting, like
+        // `rebalanced_keys` below.
+        resumed: jobs_obj
+            .get("resumed")
+            .and_then(Value::as_u64)
+            .unwrap_or(0),
         rebalanced_keys: stats
             .get("cluster")
             .and_then(|c| c.get("rebalanced_keys"))

@@ -1,9 +1,12 @@
 //! FIG5 — Gaussian elimination: shared memory vs message passing (§4.1,
 //! Figure 5).
 
+use std::sync::Mutex;
+
 use bfly_apps::gauss::{gauss_smp, gauss_us, GaussResult};
 
 use crate::report::EngineStats;
+use crate::snapshot::{preload, SweepCheckpointer, SweepCkpt};
 use crate::{parallel_sweep, Scale, Table};
 
 /// Seed shared by every FIG5 point: the sweep is deterministic because the
@@ -41,11 +44,101 @@ pub fn fig5_gauss_at(n: u32, ps: &[u16]) -> (Table, EngineStats) {
     fig5_gauss_at_seeded(n, ps, SEED)
 }
 
+/// [`fig5_gauss_at`] with sweep checkpointing under the historical
+/// [`SEED`] (the `--checkpoint-every`/`--resume` binary path).
+pub fn fig5_gauss_at_ckpt(
+    n: u32,
+    ps: &[u16],
+    ckpt: &SweepCheckpointer<'_>,
+) -> (Table, EngineStats, usize) {
+    fig5_gauss_at_seeded_ckpt(n, ps, SEED, ckpt)
+}
+
 /// [`fig5_gauss_at`] under an explicit seed — the farm daemon's registry
 /// entry, where the seed is part of the job (and hence of the cache key).
 /// The fixed-seed paths above delegate here with the historical
 /// [`SEED`], so their published tables are unchanged.
 pub fn fig5_gauss_at_seeded(n: u32, ps: &[u16], seed: u64) -> (Table, EngineStats) {
+    let (t, e, _) = fig5_gauss_inner(n, ps, seed, None);
+    (t, e)
+}
+
+/// [`fig5_gauss_at_seeded`] with sweep checkpointing: already-completed
+/// points found in the checkpoint (same experiment, n, seed, and point
+/// list) are decoded instead of recomputed, and every completed point is
+/// persisted once at least `ckpt.every` engine events have elapsed since
+/// the last save. The table and result values are bit-identical to an
+/// uninterrupted run — checkpoints record exact results of deterministic
+/// simulations, so a resume changes host wall time only.
+///
+/// Returns the number of points resumed from the checkpoint alongside the
+/// usual pair, for `resumed_from_snapshot` accounting in the farm.
+pub fn fig5_gauss_at_seeded_ckpt(
+    n: u32,
+    ps: &[u16],
+    seed: u64,
+    ckpt: &SweepCheckpointer<'_>,
+) -> (Table, EngineStats, usize) {
+    let (t, e, resumed) = fig5_gauss_inner(n, ps, seed, Some(ckpt));
+    (t, e, resumed)
+}
+
+fn fig5_gauss_inner(
+    n: u32,
+    ps: &[u16],
+    seed: u64,
+    ckpt: Option<&SweepCheckpointer<'_>>,
+) -> (Table, EngineStats, usize) {
+    let done = match ckpt {
+        Some(c) => preload(c.sink, "fig5_gauss", n, seed, ps),
+        None => Default::default(),
+    };
+    let resumed = done.len();
+    // Accumulator shared by the sweep workers: the growing checkpoint and
+    // the events elapsed since it was last persisted.
+    struct Acc {
+        ckpt: SweepCkpt,
+        since_save: u64,
+    }
+    let acc = Mutex::new(Acc {
+        ckpt: {
+            let mut c = SweepCkpt::new("fig5_gauss", n, seed, ps);
+            c.points = done.clone();
+            c
+        },
+        since_save: 0,
+    });
+    // Every (P) point is an independent pair of simulations with a
+    // point-determined seed, so the sweep fans across host threads and
+    // still produces bit-identical simulated-ns results to a serial loop.
+    let points: Vec<(GaussResult, GaussResult)> = parallel_sweep(ps, |idx, &p| {
+        if let Some(pair) = done.get(&idx) {
+            return pair.clone();
+        }
+        let all: Vec<u16> = (0..128).collect();
+        let us = gauss_us(p, n, all, seed);
+        let smp = gauss_smp(p, n, seed);
+        assert!(
+            us.max_err < 1e-6 && smp.max_err < 1e-6,
+            "both implementations must actually solve the system"
+        );
+        let pair = (us, smp);
+        if let Some(c) = ckpt {
+            let mut a = acc.lock().unwrap();
+            a.since_save += pair.0.run.events + pair.1.run.events;
+            a.ckpt.points.insert(idx, pair.clone());
+            if a.since_save >= c.every {
+                a.since_save = 0;
+                c.sink.save(&a.ckpt.encode());
+            }
+        }
+        pair
+    });
+    let (t, e) = fig5_table(n, ps, &points);
+    (t, e, resumed)
+}
+
+fn fig5_table(n: u32, ps: &[u16], points: &[(GaussResult, GaussResult)]) -> (Table, EngineStats) {
     let mut t = Table::new(
         &format!(
             "FIG5: Gaussian elimination N={n} — shared memory (US) vs message \
@@ -63,21 +156,8 @@ pub fn fig5_gauss_at_seeded(n: u32, ps: &[u16], seed: u64) -> (Table, EngineStat
             "winner",
         ],
     );
-    // Every (P) point is an independent pair of simulations with a
-    // point-determined seed, so the sweep fans across host threads and
-    // still produces bit-identical simulated-ns results to a serial loop.
-    let points: Vec<(GaussResult, GaussResult)> = parallel_sweep(ps, |_, &p| {
-        let all: Vec<u16> = (0..128).collect();
-        let us = gauss_us(p, n, all, seed);
-        let smp = gauss_smp(p, n, seed);
-        assert!(
-            us.max_err < 1e-6 && smp.max_err < 1e-6,
-            "both implementations must actually solve the system"
-        );
-        (us, smp)
-    });
     let mut engine = EngineStats::default();
-    for (&p, (us, smp)) in ps.iter().zip(&points) {
+    for (&p, (us, smp)) in ps.iter().zip(points) {
         engine.add(&us.run);
         engine.add(&smp.run);
         let formula = (n as u64 * n as u64 - n as u64) + p as u64 * (n as u64 - 1);

@@ -1,0 +1,215 @@
+//! T21 — snapshot-anchored time-travel replay.
+//!
+//! The claim under test: a mid-run engine snapshot is a *proof-carrying*
+//! resume point. `run(k) → snapshot → rebuild → seek(k)` reaches a state
+//! whose canonical bytes equal the snapshot's (the anchor verifies this on
+//! arrival), continuing from it is bit-identical to never having paused,
+//! and instrumentation can be attached at the anchor so probe attribution
+//! covers only the suffix — the expensive monitored replay shrinks from
+//! "whole run" to "the region under study".
+
+use bfly_apps::gauss::{prepare_gauss_us, GaussResult, PreparedGauss};
+use bfly_probe::Probe;
+use bfly_replay::SnapshotAnchor;
+use bfly_sim::snap::{run_to_cut, verify_prefix};
+use bfly_snap::{Section, Snap, SnapError};
+
+use crate::report::EngineStats;
+use crate::{Scale, Table};
+
+/// T21's own seed (independent of FIG5's, so the two experiments' cached
+/// farm results never collide).
+const SEED: u64 = 21;
+
+/// Name of the self-describing metadata section a T21 snapshot carries so
+/// `tab21_snapshot --from-snapshot <file>` can rebuild the right program.
+pub const T21_SECTION: &str = "t21";
+
+fn prepare(n: u32, p: u16, seed: u64) -> PreparedGauss {
+    let all: Vec<u16> = (0..128).collect();
+    prepare_gauss_us(p, n, all, seed)
+}
+
+fn same_result(a: &GaussResult, b: &GaussResult) -> bool {
+    a.time_ns == b.time_ns
+        && a.comm_ops == b.comm_ops
+        && a.max_err.to_bits() == b.max_err.to_bits()
+        && a.run == b.run
+}
+
+/// Produce snapshot bytes for the T21 program cut at `cut` events: the
+/// full `PreparedGauss` snapshot (engine, sim, machine, us sections) plus
+/// a `t21` metadata section recording the program parameters.
+pub fn t21_cut_snapshot(n: u32, p: u16, seed: u64, cut: u64) -> Vec<u8> {
+    let prepared = prepare(n, p, seed);
+    let _ = run_to_cut(&prepared.sim, cut);
+    let mut snap = prepared.snapshot();
+    let mut meta = Section::new(T21_SECTION);
+    meta.field_u64("n", n as u64)
+        .field_u64("p", p as u64)
+        .field_u64("seed", seed);
+    snap.push(meta);
+    snap.encode()
+}
+
+/// Resume the T21 program from snapshot bytes: rebuild from the embedded
+/// metadata, seek to the anchor (verified), optionally attach a probe at
+/// the anchor so its attribution covers the suffix only, and finish.
+/// Returns the result and the anchor's event count.
+pub fn t21_resume_from(
+    bytes: &[u8],
+    late_probe: Option<&Probe>,
+) -> Result<(GaussResult, u64), SnapError> {
+    let snap = Snap::decode(bytes)?;
+    let meta = snap.require(T21_SECTION)?;
+    let n = meta.get_u64("n")? as u32;
+    let p = meta.get_u64("p")? as u16;
+    let seed = meta.get_u64("seed")?;
+    let anchor = SnapshotAnchor::from_snap(snap)?;
+    let prepared = prepare(n, p, seed);
+    let _ = anchor.seek(&prepared.sim)?;
+    if let Some(probe) = late_probe {
+        prepared.machine().attach_probe(probe);
+    }
+    let events = anchor.events();
+    Ok((prepared.finish(), events))
+}
+
+/// Regenerate table T21.
+pub fn tab21_snapshot(scale: Scale) -> Table {
+    tab21_snapshot_run(scale).0
+}
+
+/// [`tab21_snapshot`] plus aggregated engine counters.
+pub fn tab21_snapshot_run(scale: Scale) -> (Table, EngineStats) {
+    let n: u32 = scale.pick(96, 32);
+    let p: u16 = 16;
+    let mut engine = EngineStats::default();
+
+    // Leg 1 — the uninterrupted reference run.
+    let straight = prepare(n, p, SEED).finish();
+    engine.add(&straight.run);
+    let total = straight.run.events;
+    let cut = total / 2;
+
+    // Leg 2 — pause at the cut, then finish the same engine.
+    let paused = prepare(n, p, SEED);
+    let _ = run_to_cut(&paused.sim, cut);
+    let resumed = paused.finish();
+    let pause_ok = same_result(&straight, &resumed);
+
+    // Leg 3 — snapshot at the cut, rebuild, seek (anchor-verified), and
+    // additionally verify the *full* snapshot (machine + runtime
+    // sections) before finishing.
+    let bytes = t21_cut_snapshot(n, p, SEED, cut);
+    let snap = Snap::decode(&bytes).expect("own snapshot decodes");
+    let anchor = SnapshotAnchor::from_snap(Snap::decode(&bytes).unwrap()).expect("valid anchor");
+    let rebuilt = prepare(n, p, SEED);
+    anchor.seek(&rebuilt.sim).expect("seek verifies the prefix");
+    verify_prefix(&snap, &rebuilt.snapshot()).expect("machine/runtime sections also match");
+    let restored = rebuilt.finish();
+    engine.add(&restored.run);
+    let restore_ok = same_result(&straight, &restored);
+
+    // Leg 4 — time travel with late instrumentation: seek unmonitored,
+    // attach the probe at the anchor, so attribution covers only the
+    // suffix. A full-run probe sees strictly more traffic.
+    let probe_full = Probe::new();
+    let full_prep = prepare(n, p, SEED);
+    full_prep.machine().attach_probe(&probe_full);
+    let probed_full = full_prep.finish();
+    let full_remote: u64 = probe_sum(&probe_full, "remote_out");
+    let probe_suffix = Probe::new();
+    let (probed_suffix, anchor_events) =
+        t21_resume_from(&bytes, Some(&probe_suffix)).expect("resume with late probe");
+    let suffix_remote: u64 = probe_sum(&probe_suffix, "remote_out");
+    let probe_ok = same_result(&straight, &probed_full)
+        && same_result(&straight, &probed_suffix)
+        && suffix_remote < full_remote
+        && suffix_remote > 0;
+
+    let mut t = Table::new(
+        &format!(
+            "T21: snapshot-anchored time travel — gauss US P={p} N={n}. \
+             run(k)→snapshot→rebuild→seek(k) is proof-verified bit-identical \
+             (engine+machine+runtime sections); late-attached probes see only \
+             the suffix."
+        ),
+        &["leg", "events", "sim ms", "comm ops", "verified"],
+    );
+    let ms = |r: &GaussResult| format!("{:.1}", r.time_ns as f64 / 1e6);
+    t.row(vec![
+        "straight".into(),
+        total.to_string(),
+        ms(&straight),
+        straight.comm_ops.to_string(),
+        "reference".into(),
+    ]);
+    t.row(vec![
+        format!("pause@{cut}+finish"),
+        resumed.run.events.to_string(),
+        ms(&resumed),
+        resumed.comm_ops.to_string(),
+        if pause_ok { "bit-identical" } else { "DIVERGED" }.into(),
+    ]);
+    t.row(vec![
+        format!("snapshot@{cut}+restore"),
+        restored.run.events.to_string(),
+        ms(&restored),
+        restored.comm_ops.to_string(),
+        if restore_ok {
+            "bit-identical"
+        } else {
+            "DIVERGED"
+        }
+        .into(),
+    ]);
+    t.row(vec![
+        format!("late probe@{anchor_events}"),
+        format!("{} suffix", total - anchor_events),
+        ms(&probed_suffix),
+        format!("{suffix_remote}/{full_remote} remote"),
+        if probe_ok {
+            "suffix-only attribution"
+        } else {
+            "DIVERGED"
+        }
+        .into(),
+    ]);
+    assert!(
+        pause_ok && restore_ok && probe_ok,
+        "T21 bit-identity must hold (pause={pause_ok} restore={restore_ok} probe={probe_ok})"
+    );
+    (t, engine)
+}
+
+fn probe_sum(p: &Probe, key: &str) -> u64 {
+    p.snapshot_fields()
+        .iter()
+        .find(|(k, _)| *k == key)
+        .map(|&(_, v)| v)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t21_quick_holds_its_claims() {
+        // The run asserts bit-identity internally.
+        let (t, e) = tab21_snapshot_run(Scale::quick());
+        assert!(t.render().contains("bit-identical"));
+        assert!(e.events > 0);
+    }
+
+    #[test]
+    fn resume_rejects_foreign_bytes() {
+        assert!(t21_resume_from(b"junk", None).is_err());
+        // A valid engine snapshot without the t21 metadata section is
+        // not resumable by the T21 binary.
+        let sim = bfly_sim::Sim::with_seed(1);
+        let bytes = sim.snapshot().encode();
+        assert!(t21_resume_from(&bytes, None).is_err());
+    }
+}

@@ -48,6 +48,7 @@ const EXPS: &[&str] = &[
     "tab14_bplus",
     "tab15_faults",
     "tab18_races",
+    "tab21_snapshot",
 ];
 
 /// The concrete experiment registry behind a farm daemon.
@@ -65,9 +66,13 @@ impl Registry {
         }
     }
 
-    /// Run the experiment body, returning its table, engine counters, and
-    /// (for the sanitizer experiment) the findings report to embed.
-    fn dispatch(spec: &JobSpec) -> Result<(Table, EngineStats, Option<String>), String> {
+    /// Run the experiment body, returning its table, engine counters,
+    /// (for the sanitizer experiment) the findings report to embed, and
+    /// the number of sweep points resumed from a checkpoint.
+    fn dispatch(
+        spec: &JobSpec,
+        ckpt: Option<&crate::snapshot::SweepCheckpointer<'_>>,
+    ) -> Result<(Table, EngineStats, Option<String>, usize), String> {
         if spec.exp == "tab18_races" {
             // The sanitizer experiment scopes its own per-scenario
             // sanitizers; the witness-suite findings report is embedded in
@@ -76,14 +81,18 @@ impl Registry {
             // identity stays sound.
             let (table, engine, suite) =
                 experiments::tab18_races_full(Self::scale_of(&spec.params)?);
-            return Ok((table, engine, Some(suite.report_json(&spec.exp))));
+            return Ok((table, engine, Some(suite.report_json(&spec.exp)), 0));
         }
-        let (table, engine) = Self::dispatch_plain(spec)?;
-        Ok((table, engine, None))
+        let (table, engine, resumed) = Self::dispatch_plain(spec, ckpt)?;
+        Ok((table, engine, None, resumed))
     }
 
-    fn dispatch_plain(spec: &JobSpec) -> Result<(Table, EngineStats), String> {
+    fn dispatch_plain(
+        spec: &JobSpec,
+        ckpt: Option<&crate::snapshot::SweepCheckpointer<'_>>,
+    ) -> Result<(Table, EngineStats, usize), String> {
         let params = &spec.params;
+        let plain = |r: (Table, EngineStats)| (r.0, r.1, 0);
         match spec.exp.as_str() {
             "fig5_gauss" => {
                 let n = match params.get("n") {
@@ -108,26 +117,56 @@ impl Registry {
                             .collect::<Result<_, _>>()?
                     }
                 };
-                Ok(experiments::fig5_gauss_at_seeded(n, &ps, spec.seed))
+                Ok(match ckpt {
+                    // The checkpointed sweep is bit-identical to the plain
+                    // one (resumed points are exact recorded results), so
+                    // the cache identity is unaffected.
+                    Some(c) => experiments::fig5_gauss_at_seeded_ckpt(n, &ps, spec.seed, c),
+                    None => plain(experiments::fig5_gauss_at_seeded(n, &ps, spec.seed)),
+                })
             }
-            "tab1_memory" => Ok(experiments::tab1_memory_run(Self::scale_of(params)?)),
-            "tab2_primitives" => Ok(experiments::tab2_primitives_run(Self::scale_of(params)?)),
-            "tab3_contention" => Ok(experiments::tab3_contention_run(Self::scale_of(params)?)),
-            "tab4_hough_locality" => Ok(experiments::tab4_hough_locality_run(Self::scale_of(
+            "tab1_memory" => Ok(plain(experiments::tab1_memory_run(Self::scale_of(params)?))),
+            "tab2_primitives" => Ok(plain(experiments::tab2_primitives_run(Self::scale_of(
                 params,
-            )?)),
-            "tab5_scatter" => Ok(experiments::tab5_scatter_run(Self::scale_of(params)?)),
-            "tab6_switch" => Ok(experiments::tab6_switch_run(Self::scale_of(params)?)),
-            "tab7_alloc_amdahl" => Ok(experiments::tab7_alloc_amdahl_run(Self::scale_of(params)?)),
-            "tab8_crowd" => Ok(experiments::tab8_crowd_run(Self::scale_of(params)?)),
-            "tab9_replay" => Ok(experiments::tab9_replay_run(Self::scale_of(params)?)),
-            "tab10_bridge" => Ok(experiments::tab10_bridge_run(Self::scale_of(params)?)),
-            "tab12_models" => Ok(experiments::tab12_models_run(Self::scale_of(params)?)),
-            "tab13_linda" => Ok(experiments::tab13_linda_run(Self::scale_of(params)?)),
-            "tab14_bplus" => Ok(experiments::tab14_bplus_run(Self::scale_of(params)?)),
-            "tab15_faults" => Ok(experiments::tab15_faults_run(Self::scale_of(params)?)),
+            )?))),
+            "tab3_contention" => Ok(plain(experiments::tab3_contention_run(Self::scale_of(
+                params,
+            )?))),
+            "tab4_hough_locality" => Ok(plain(experiments::tab4_hough_locality_run(
+                Self::scale_of(params)?,
+            ))),
+            "tab5_scatter" => Ok(plain(experiments::tab5_scatter_run(Self::scale_of(params)?))),
+            "tab6_switch" => Ok(plain(experiments::tab6_switch_run(Self::scale_of(params)?))),
+            "tab7_alloc_amdahl" => Ok(plain(experiments::tab7_alloc_amdahl_run(Self::scale_of(
+                params,
+            )?))),
+            "tab8_crowd" => Ok(plain(experiments::tab8_crowd_run(Self::scale_of(params)?))),
+            "tab9_replay" => Ok(plain(experiments::tab9_replay_run(Self::scale_of(params)?))),
+            "tab10_bridge" => Ok(plain(experiments::tab10_bridge_run(Self::scale_of(params)?))),
+            "tab12_models" => Ok(plain(experiments::tab12_models_run(Self::scale_of(params)?))),
+            "tab13_linda" => Ok(plain(experiments::tab13_linda_run(Self::scale_of(params)?))),
+            "tab14_bplus" => Ok(plain(experiments::tab14_bplus_run(Self::scale_of(params)?))),
+            "tab15_faults" => Ok(plain(experiments::tab15_faults_run(Self::scale_of(params)?))),
+            "tab21_snapshot" => Ok(plain(experiments::tab21_snapshot_run(Self::scale_of(
+                params,
+            )?))),
             other => Err(format!("unknown experiment `{other}`")),
         }
+    }
+}
+
+/// Adapts the daemon's exclusive `&mut dyn Checkpointer` transport to the
+/// sweep's shared-reference [`crate::snapshot::CkptSink`] (the sweep
+/// closure runs on many host threads at once).
+struct CkptBridge<'a>(std::sync::Mutex<&'a mut dyn bfly_farmd::Checkpointer>);
+
+impl crate::snapshot::CkptSink for CkptBridge<'_> {
+    fn load(&self) -> Option<Vec<u8>> {
+        self.0.lock().unwrap().load()
+    }
+
+    fn save(&self, bytes: &[u8]) {
+        self.0.lock().unwrap().save(bytes)
     }
 }
 
@@ -141,6 +180,47 @@ impl JobRunner for Registry {
     }
 
     fn run(&self, spec: &JobSpec) -> Result<Vec<u8>, String> {
+        self.run_with(spec, None).map(|(bytes, _)| bytes)
+    }
+
+    /// Resumable serving: sweep experiments persist every completed point
+    /// through the daemon's transport and reuse whatever a previous
+    /// (killed, failed-over) attempt left behind. Result bytes stay
+    /// bit-identical to an uninterrupted run — resumed points are exact
+    /// recorded results of deterministic simulations.
+    fn run_checkpointed(
+        &self,
+        spec: &JobSpec,
+        ckpt: &mut dyn bfly_farmd::Checkpointer,
+    ) -> Result<Vec<u8>, String> {
+        // Probed jobs aggregate ambient-probe counters across the whole
+        // sweep; resuming mid-sweep would change the embedded summary, so
+        // they always run uninterrupted.
+        if spec.probe {
+            return self.run(spec);
+        }
+        let (bytes, resumed) = {
+            let bridge = CkptBridge(std::sync::Mutex::new(&mut *ckpt));
+            // `every: 0` persists after every completed sweep point: a
+            // point costs seconds of simulation, a save costs one small
+            // durable write.
+            let c = crate::snapshot::SweepCheckpointer {
+                every: 0,
+                sink: &bridge,
+            };
+            self.run_with(spec, Some(&c))?
+        };
+        ckpt.resumed(resumed as u64);
+        Ok(bytes)
+    }
+}
+
+impl Registry {
+    fn run_with(
+        &self,
+        spec: &JobSpec,
+        ckpt: Option<&crate::snapshot::SweepCheckpointer<'_>>,
+    ) -> Result<(Vec<u8>, usize), String> {
         let probe = if spec.probe {
             let p = Probe::new();
             bfly_probe::install_ambient(Some(p.clone()));
@@ -152,14 +232,14 @@ impl JobRunner for Registry {
         // ambient probe is thread-local); the pin is restored even if the
         // experiment panics, so a quarantined job can't poison the worker.
         let outcome = if spec.probe {
-            with_thread_serial(|| Self::dispatch(spec))
+            with_thread_serial(|| Self::dispatch(spec, ckpt))
         } else {
-            Self::dispatch(spec)
+            Self::dispatch(spec, ckpt)
         };
         if spec.probe {
             bfly_probe::install_ambient(None);
         }
-        let (table, engine, san_report) = outcome?;
+        let (table, engine, san_report, resumed) = outcome?;
 
         let probe_value = match &probe {
             None => Value::Null,
@@ -217,7 +297,7 @@ impl JobRunner for Registry {
         obj.insert("table".to_string(), table_value);
         obj.insert("probe".to_string(), probe_value);
         obj.insert("san".to_string(), san_value);
-        Ok(Value::Obj(obj).dump().into_bytes())
+        Ok((Value::Obj(obj).dump().into_bytes(), resumed))
     }
 }
 
@@ -504,6 +584,65 @@ mod tests {
         assert!(v.get("table").and_then(|t| t.get("rows")).is_some());
         assert!(v.get("run").and_then(|r| r.get("events")).is_some());
         assert!(v.get("probe").unwrap().is_null());
+    }
+
+    #[test]
+    fn checkpointed_run_is_bit_identical_and_reports_resume() {
+        struct MemCkpt {
+            bytes: Option<Vec<u8>>,
+            saves: u64,
+            resumed: u64,
+        }
+        impl bfly_farmd::Checkpointer for MemCkpt {
+            fn load(&mut self) -> Option<Vec<u8>> {
+                self.bytes.clone()
+            }
+            fn save(&mut self, b: &[u8]) {
+                self.bytes = Some(b.to_vec());
+                self.saves += 1;
+            }
+            fn resumed(&mut self, units: u64) {
+                self.resumed += units;
+            }
+        }
+        let spec = JobSpec::from_value(
+            &json::parse(r#"{"exp":"fig5_gauss","params":{"n":12,"ps":[4,8]},"seed":3}"#).unwrap(),
+        )
+        .unwrap();
+        let plain = Registry.run(&spec).unwrap();
+        let mut cold = MemCkpt {
+            bytes: None,
+            saves: 0,
+            resumed: 0,
+        };
+        let cold_bytes = Registry.run_checkpointed(&spec, &mut cold).unwrap();
+        assert_eq!(plain, cold_bytes, "checkpointing must not change bytes");
+        assert_eq!(cold.saves, 2, "every completed point is persisted");
+        assert_eq!(cold.resumed, 0);
+
+        // A rerun over the surviving checkpoint resumes every point and
+        // still produces the same bytes.
+        let mut warm = MemCkpt {
+            bytes: cold.bytes.clone(),
+            saves: 0,
+            resumed: 0,
+        };
+        let warm_bytes = Registry.run_checkpointed(&spec, &mut warm).unwrap();
+        assert_eq!(plain, warm_bytes, "resumed run must be bit-identical");
+        assert_eq!(warm.resumed, 2, "both points came from the checkpoint");
+
+        // Probed jobs never touch the transport (the probe summary
+        // aggregates across the whole sweep).
+        let mut probed_spec = spec.clone();
+        probed_spec.probe = true;
+        let mut probed = MemCkpt {
+            bytes: None,
+            saves: 0,
+            resumed: 0,
+        };
+        let _ = Registry.run_checkpointed(&probed_spec, &mut probed).unwrap();
+        assert_eq!(probed.saves, 0);
+        assert_eq!(probed.resumed, 0);
     }
 
     #[test]

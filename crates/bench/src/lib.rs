@@ -13,12 +13,14 @@ pub mod cluster;
 pub mod experiments;
 pub mod farm;
 pub mod report;
+pub mod snapshot;
 pub mod sustained;
 pub mod sweep;
 pub mod table;
 
 pub use cli::BenchCli;
 pub use farm::{serve_bench, Registry, ServeBenchResult};
+pub use snapshot::{CkptSink, FileSink, SweepCheckpointer, SweepCkpt};
 pub use sustained::{SustainedConfig, SustainedResult};
 pub use sweep::parallel_sweep;
 pub use table::Table;

@@ -39,6 +39,10 @@ fn chaos_seed_zero_regression() {
     assert_eq!(out.duplicates, 0);
     assert_eq!(out.done, out.submitted);
     assert!(out.faults > 0, "the schedule must actually inject faults");
+    // Snapshot-resumed completions (if the kill timing produced any)
+    // passed the same byte-identity gate as everything else; the count
+    // can only be a subset of the dones.
+    assert!(out.resumed <= out.done, "resumed accounting out of range");
 }
 
 /// The same anchor schedule against poll(2)-reactor shards, plus a

@@ -1,0 +1,170 @@
+//! Resumable farmd jobs, end to end (ISSUE 8): a daemon is killed
+//! abruptly mid-job after it has durably saved at least one mid-run
+//! snapshot checkpoint; a fresh daemon on the same cache directory is
+//! handed the same job and must (a) finish it from the checkpoint
+//! rather than from scratch, (b) report `resumed_from_snapshot: true`
+//! in the status reply and `resumed >= 1` in its stats, and (c) return
+//! result bytes byte-identical to a pure uninterrupted recomputation —
+//! a resume is a pure optimization, invisible in the result.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bfly_bench::Registry;
+use bfly_farmd::json::{parse, Value};
+use bfly_farmd::{spawn, Client, JobRunner, JobSpec, Listen, ServerConfig};
+
+/// Four sweep points: the checkpointer saves after each completed
+/// point, so the kill (triggered by the first durable save) lands with
+/// three points of real compute still owed — a resume that restarted
+/// from scratch would be visible as `resumed: false`.
+const JOB: &str = r#""exp":"fig5_gauss","params":{"n":24,"ps":[4,8,12,16]},"seed":909"#;
+
+fn boot(dir: &Path) -> (bfly_farmd::ServerHandle, Client) {
+    let handle = spawn(
+        ServerConfig {
+            listen: Listen::Tcp("127.0.0.1:0".into()),
+            cache_dir: Some(dir.to_path_buf()),
+            workers: 2,
+            ..ServerConfig::default()
+        },
+        Arc::new(Registry),
+    )
+    .expect("spawn daemon");
+    let client = Client::connect(&handle.addr).expect("connect");
+    (handle, client)
+}
+
+fn jobs_stat(c: &mut Client, key: &str) -> u64 {
+    let v = c.request_line(r#"{"op":"stats"}"#).expect("stats");
+    v.get("jobs")
+        .and_then(|j| j.get(key))
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("stats.jobs.{key} missing: {}", v.dump()))
+}
+
+/// Submit and drive to a terminal state over the long-poll `wait` verb.
+fn submit_terminal(c: &mut Client, deadline: Duration) -> Value {
+    let v = c
+        .request_line(&format!("{{\"op\":\"submit\",{JOB}}}"))
+        .expect("submit");
+    assert_eq!(
+        v.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "submit refused: {}",
+        v.dump()
+    );
+    let id = v.get("id").and_then(Value::as_u64).expect("reply has id");
+    let t0 = Instant::now();
+    let mut v = v;
+    loop {
+        match v.get("state").and_then(Value::as_str) {
+            Some("done") | Some("failed") => return v,
+            _ => {
+                assert!(t0.elapsed() < deadline, "job stuck: {}", v.dump());
+                let w = c.wait_jobs(&[id], 10_000).expect("wait");
+                if w.get("complete").and_then(Value::as_bool) == Some(true) {
+                    v = w
+                        .get("results")
+                        .and_then(Value::as_arr)
+                        .and_then(|a| a.first())
+                        .cloned()
+                        .expect("wait reply carries the result");
+                }
+            }
+        }
+    }
+}
+
+fn temp_cache_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "bfly_farm_resume_{tag}_{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("create cache dir");
+    d
+}
+
+#[test]
+fn killed_job_resumes_byte_identical_on_a_fresh_daemon() {
+    // The uninterrupted reference: what the resumed run must equal,
+    // byte for byte.
+    let spec =
+        JobSpec::from_value(&parse(&format!("{{{JOB}}}")).expect("job parses")).expect("spec");
+    let reference =
+        String::from_utf8(Registry.run(&spec).expect("reference run")).expect("utf-8 result");
+
+    let dir = temp_cache_dir("kill");
+    let budget = Duration::from_secs(600);
+
+    // Daemon A: submit, then kill the instant a checkpoint is durable.
+    // `save` flushes the write-behind queue before the counter ticks,
+    // so `checkpoints >= 1` in stats proves bytes reached disk — bytes
+    // an abrupt kill (which discards *pending* writes) cannot revoke.
+    let (handle_a, mut client_a) = boot(&dir);
+    let v = client_a
+        .request_line(&format!("{{\"op\":\"submit\",{JOB}}}"))
+        .expect("submit");
+    assert_eq!(
+        v.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "submit refused: {}",
+        v.dump()
+    );
+    let t0 = Instant::now();
+    while jobs_stat(&mut client_a, "checkpoints") == 0 {
+        assert!(
+            t0.elapsed() < budget,
+            "no checkpoint saved within the budget"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    handle_a.kill();
+
+    // Daemon B, same cache directory: the same job must complete from
+    // the checkpoint and say so.
+    let (handle_b, mut client_b) = boot(&dir);
+    let done = submit_terminal(&mut client_b, budget);
+    assert_eq!(
+        done.get("state").and_then(Value::as_str),
+        Some("done"),
+        "resumed job failed: {}",
+        done.dump()
+    );
+    assert_eq!(
+        done.get("cached").and_then(Value::as_bool),
+        Some(false),
+        "result served from cache — the kill raced the job to completion: {}",
+        done.dump()
+    );
+    assert_eq!(
+        done.get("resumed_from_snapshot").and_then(Value::as_bool),
+        Some(true),
+        "job recomputed from scratch instead of resuming: {}",
+        done.dump()
+    );
+    let got = done.get("result").expect("done carries result").dump();
+    assert_eq!(
+        got, reference,
+        "resumed result bytes diverged from the uninterrupted run"
+    );
+    assert!(
+        jobs_stat(&mut client_b, "resumed") >= 1,
+        "daemon stats did not count the resume"
+    );
+
+    // A warm re-submit now hits the result cache (not the resume path):
+    // same bytes, `cached: true`, `resumed_from_snapshot: false`.
+    let warm = submit_terminal(&mut client_b, budget);
+    assert_eq!(warm.get("cached").and_then(Value::as_bool), Some(true));
+    assert_eq!(
+        warm.get("resumed_from_snapshot").and_then(Value::as_bool),
+        Some(false)
+    );
+    assert_eq!(warm.get("result").expect("result").dump(), reference);
+
+    handle_b.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

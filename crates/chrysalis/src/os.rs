@@ -164,6 +164,14 @@ impl Os {
         self.procs_created.get()
     }
 
+    /// Chrysalis OS counters as a snapshot section (`os`).
+    pub fn snapshot_section(&self) -> bfly_snap::Section {
+        let mut s = bfly_snap::Section::new("os");
+        s.field_u64("procs_created", self.procs_created())
+            .field_u64("live_objects", self.live_objects() as u64);
+        s
+    }
+
     /// Register a process object without starting a task for it. Intended
     /// for runtime libraries (e.g. Ant Farm) that multiplex many lightweight
     /// threads over one heavyweight host process per node.

@@ -100,6 +100,9 @@ enum RState {
         /// Raw result bytes exactly as the shard sent them.
         raw: Arc<String>,
         cached: bool,
+        /// The executing shard rebuilt the job from a mid-run checkpoint
+        /// (a killed or failed-over earlier attempt's progress).
+        resumed: bool,
         wall_ms: f64,
     },
     Failed {
@@ -552,6 +555,7 @@ fn forward_group(sh: &Arc<Shared>, idx: usize, group: Vec<GroupJob>, slow: &mut 
                 Outcome::Done {
                     raw,
                     cached,
+                    resumed,
                     wall_ms,
                 } => {
                     let raw = Arc::new(raw);
@@ -561,6 +565,7 @@ fn forward_group(sh: &Arc<Shared>, idx: usize, group: Vec<GroupJob>, slow: &mut 
                     rec.state = RState::Done {
                         raw,
                         cached,
+                        resumed,
                         wall_ms,
                     };
                 }
@@ -590,6 +595,7 @@ enum Outcome {
     Done {
         raw: String,
         cached: bool,
+        resumed: bool,
         wall_ms: f64,
     },
     Failed {
@@ -700,10 +706,11 @@ fn dispatch(sh: &Arc<Shared>, id: u64) {
                 Outcome::Done {
                     raw,
                     cached,
+                    resumed,
                     wall_ms,
                 } => {
                     let raw = Arc::new(raw);
-                    if record_done(sh, id, Arc::clone(&raw), cached, wall_ms) && !cached {
+                    if record_done(sh, id, Arc::clone(&raw), cached, resumed, wall_ms) && !cached {
                         replicate(sh, &key, &raw, idx);
                     }
                     return;
@@ -815,6 +822,10 @@ fn classify_reply(addr: &str, raw: &str) -> Outcome {
             Some(res) => Outcome::Done {
                 raw: res.to_string(),
                 cached: el.get("cached").and_then(Value::as_bool).unwrap_or(false),
+                resumed: el
+                    .get("resumed_from_snapshot")
+                    .and_then(Value::as_bool)
+                    .unwrap_or(false),
                 wall_ms: el.get("wall_ms").and_then(Value::as_f64).unwrap_or(0.0),
             },
             None => Outcome::Transient(format!("{addr}: done reply without result bytes")),
@@ -838,8 +849,15 @@ fn classify_reply(addr: &str, raw: &str) -> Outcome {
 /// Record a `done` verdict exactly once. Returns false (and counts a
 /// duplicate) if the job already reached a terminal state — the
 /// at-most-once delivery guard for raced failovers.
-fn record_done(sh: &Arc<Shared>, id: u64, raw: Arc<String>, cached: bool, wall_ms: f64) -> bool {
-    let hit = record_done_quiet(sh, id, raw, cached, wall_ms);
+fn record_done(
+    sh: &Arc<Shared>,
+    id: u64,
+    raw: Arc<String>,
+    cached: bool,
+    resumed: bool,
+    wall_ms: f64,
+) -> bool {
+    let hit = record_done_quiet(sh, id, raw, cached, resumed, wall_ms);
     sh.done_cv.notify_all();
     hit
 }
@@ -854,6 +872,7 @@ fn record_done_quiet(
     id: u64,
     raw: Arc<String>,
     cached: bool,
+    resumed: bool,
     wall_ms: f64,
 ) -> bool {
     let mut jobs = locked(&sh.jobs);
@@ -867,6 +886,7 @@ fn record_done_quiet(
     rec.state = RState::Done {
         raw,
         cached,
+        resumed,
         wall_ms,
     };
     true
@@ -1281,6 +1301,7 @@ enum StatusSnap {
     Done {
         raw: Arc<String>,
         cached: bool,
+        resumed: bool,
         wall_ms: f64,
     },
     Failed {
@@ -1302,10 +1323,12 @@ fn snap_status(jobs: &HashMap<u64, RJob>, id: u64) -> StatusSnap {
         RState::Done {
             raw,
             cached,
+            resumed,
             wall_ms,
         } => StatusSnap::Done {
             raw: Arc::clone(raw),
             cached: *cached,
+            resumed: *resumed,
             wall_ms: *wall_ms,
         },
         RState::Failed { verdict, error } => StatusSnap::Failed {
@@ -1336,12 +1359,16 @@ fn push_status_snap(out: &mut String, id: u64, snap: &StatusSnap) {
         StatusSnap::Done {
             raw,
             cached,
+            resumed,
             wall_ms,
         } => {
+            // Field order mirrors farmd's status object exactly —
+            // `result` stays final for the raw-splice invariant.
             let _ = std::fmt::Write::write_fmt(
                 out,
                 format_args!(
                     "\"state\":\"done\",\"verdict\":\"done\",\"cached\":{cached},\
+                     \"resumed_from_snapshot\":{resumed},\
                      \"wall_ms\":{wall_ms:.3},\"result\":{raw}}}"
                 ),
             );
@@ -1375,21 +1402,25 @@ fn stats_reply(sh: &Arc<Shared>) -> String {
     // One consistent snapshot of job states under the jobs lock; `lost`
     // is submitted minus everything accounted for, and the cluster
     // invariant (chaos-tested) is that it is always 0.
-    let (done, failed, queued, routing) = {
+    let (done, failed, queued, routing, resumed) = {
         let jobs = locked(&sh.jobs);
         let mut done = 0u64;
         let mut failed = 0u64;
         let mut queued = 0u64;
         let mut routing = 0u64;
+        let mut resumed = 0u64;
         for rec in jobs.values() {
             match rec.state {
-                RState::Done { .. } => done += 1,
+                RState::Done { resumed: r, .. } => {
+                    done += 1;
+                    resumed += r as u64;
+                }
                 RState::Failed { .. } => failed += 1,
                 RState::Queued => queued += 1,
                 RState::Routing => routing += 1,
             }
         }
-        (done, failed, queued, routing)
+        (done, failed, queued, routing, resumed)
     };
     let submitted = c.submitted.load(Ordering::Relaxed);
     let lost = submitted.saturating_sub(done + failed + queued + routing);
@@ -1412,7 +1443,8 @@ fn stats_reply(sh: &Arc<Shared>) -> String {
     format!(
         "{{\"ok\":true,\"router\":true,\"engine_version\":{},\"draining\":{},\
          \"jobs\":{{\"submitted\":{},\"done\":{},\"failed\":{},\"queued\":{},\
-         \"routing\":{},\"lost\":{},\"rerouted\":{},\"duplicates\":{},\"unroutable\":{}}},\
+         \"routing\":{},\"lost\":{},\"resumed\":{},\"rerouted\":{},\"duplicates\":{},\
+         \"unroutable\":{}}},\
          \"cluster\":{{\"replicas\":{},\"rebalances\":{},\"rebalanced_keys\":{},\
          \"cache_pushes\":{},\"shards\":{}}}}}",
         sh.engine_version.load(Ordering::SeqCst),
@@ -1423,6 +1455,7 @@ fn stats_reply(sh: &Arc<Shared>) -> String {
         queued,
         routing,
         lost,
+        resumed,
         c.rerouted.load(Ordering::Relaxed),
         c.duplicates.load(Ordering::Relaxed),
         c.unroutable.load(Ordering::Relaxed),

@@ -121,6 +121,19 @@ impl JobSpec {
             engine_version,
         )
     }
+
+    /// Content-address of this job's *mid-run checkpoint* under
+    /// `engine_version`. Deliberately distinct from [`JobSpec::key`]
+    /// (`#snap` suffix) so partial-progress snapshots share the cache
+    /// tiers with finished results without ever being served as one.
+    pub fn snap_key(&self, engine_version: u32) -> String {
+        content_key(
+            &self.exp,
+            &format!("{}#snap", self.canonical_params()),
+            self.seed,
+            engine_version,
+        )
+    }
 }
 
 /// Terminal verdict of one job, mirroring the PR 1 fault-verdict
@@ -201,5 +214,13 @@ mod tests {
         probed.probe = true;
         assert_ne!(a.key(2), probed.key(2));
         assert_ne!(a.key(2), a.key(3), "engine bump invalidates");
+    }
+
+    #[test]
+    fn snap_key_never_collides_with_result_key() {
+        let j = JobSpec::from_value(&parse(r#"{"exp":"e","params":{"n":16}}"#).unwrap()).unwrap();
+        assert_ne!(j.key(2), j.snap_key(2));
+        assert_ne!(j.snap_key(2), j.snap_key(3), "engine bump invalidates");
+        assert_eq!(j.snap_key(2).len(), j.key(2).len(), "same key format");
     }
 }

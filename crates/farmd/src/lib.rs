@@ -48,6 +48,6 @@ pub use client::Client;
 pub use job::{CacheMode, JobSpec, Verdict};
 pub use json::Value;
 pub use server::{
-    install_signal_drain, signal_drain_requested, spawn, IoMode, JobRunner, Listen, ServerConfig,
-    ServerHandle,
+    install_signal_drain, signal_drain_requested, spawn, Checkpointer, IoMode, JobRunner, Listen,
+    ServerConfig, ServerHandle,
 };

@@ -373,6 +373,11 @@ struct Reactor {
     /// Recycled byte buffers (input and reply); connections churn,
     /// allocations should not.
     pool: Vec<Vec<u8>>,
+    /// Staging area for read(2): one reactor-owned chunk every
+    /// connection reads through, so a read round costs a copy of the
+    /// bytes that actually arrived instead of a 64 KiB zero-fill of
+    /// the connection buffer's grow region.
+    scratch: Box<[u8]>,
     pollfds: Vec<PollFd>,
     /// pollfds\[2 + i\] belongs to slab slot `poll_map[i]`.
     poll_map: Vec<usize>,
@@ -393,6 +398,7 @@ pub(crate) fn serve(sh: &Arc<Shared>, acceptor: &Acceptor) {
         parked: Vec::new(),
         wheel: Wheel::new(),
         pool: Vec::new(),
+        scratch: vec![0u8; READ_CHUNK].into_boxed_slice(),
         pollfds: Vec::new(),
         poll_map: Vec::new(),
     }
@@ -609,38 +615,35 @@ impl Reactor {
     fn handle_readable(&mut self, idx: usize) {
         let mut dead = false;
         {
+            // Reads stage through the reactor's scratch chunk and only
+            // the received bytes are appended to the connection buffer.
+            // Reading straight into `rbuf` would mean zero-filling a
+            // READ_CHUNK grow region per round (Vec::resize), a 64 KiB
+            // memset to carry a typical 100-byte request line.
+            let scratch = &mut self.scratch[..];
             let Some(conn) = self.slots[idx].conn.as_mut() else {
                 return;
             };
             let mut rounds = 0;
             loop {
-                let len = conn.rbuf.len();
-                if len - conn.rpos > MAX_LINE {
+                if conn.rbuf.len() - conn.rpos > MAX_LINE {
                     break; // oversize tail; process_input answers it
                 }
-                conn.rbuf.resize(len + READ_CHUNK, 0);
-                match conn.stream.read(&mut conn.rbuf[len..]) {
+                match conn.stream.read(scratch) {
                     Ok(0) => {
-                        conn.rbuf.truncate(len);
                         conn.peer_eof = true;
                         break;
                     }
                     Ok(n) => {
-                        conn.rbuf.truncate(len + n);
+                        conn.rbuf.extend_from_slice(&scratch[..n]);
                         rounds += 1;
-                        if n < READ_CHUNK || rounds >= MAX_READ_ROUNDS {
+                        if n < scratch.len() || rounds >= MAX_READ_ROUNDS {
                             break;
                         }
                     }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        conn.rbuf.truncate(len);
-                        break;
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
-                        conn.rbuf.truncate(len);
-                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
                     Err(_) => {
-                        conn.rbuf.truncate(len);
                         dead = true;
                         break;
                     }
@@ -931,14 +934,15 @@ impl Reactor {
                 return;
             };
             'flush: while !conn.out.is_empty() {
-                let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(conn.out.len().min(MAX_VECS));
-                for (i, b) in conn.out.iter().enumerate() {
-                    if i >= MAX_VECS {
-                        break;
-                    }
-                    slices.push(IoSlice::new(&b.buf[b.off..]));
+                // Gather on the stack (IoSlice is Copy): no heap vec
+                // per writev round.
+                let mut slices = [IoSlice::new(&[]); MAX_VECS];
+                let mut nvec = 0;
+                for b in conn.out.iter().take(MAX_VECS) {
+                    slices[nvec] = IoSlice::new(&b.buf[b.off..]);
+                    nvec += 1;
                 }
-                match conn.stream.write_vectored(&slices) {
+                match conn.stream.write_vectored(&slices[..nvec]) {
                     Ok(0) => {
                         dead = true;
                         break 'flush;

@@ -48,6 +48,40 @@ pub trait JobRunner: Send + Sync + 'static {
     /// a pure function of the job spec: bytes for the same spec must be
     /// bit-identical on every call, on any thread.
     fn run(&self, spec: &JobSpec) -> Result<Vec<u8>, String>;
+    /// [`JobRunner::run`] with a checkpoint transport. Runners that
+    /// support resumable jobs load prior progress from `ckpt`, persist
+    /// progress through it as they go, and report how much was actually
+    /// reusable via [`Checkpointer::resumed`] — while still returning
+    /// bytes bit-identical to an uninterrupted [`JobRunner::run`]. The
+    /// default ignores the transport, so checkpointing is strictly
+    /// opt-in per runner (and per experiment inside a runner).
+    fn run_checkpointed(
+        &self,
+        spec: &JobSpec,
+        ckpt: &mut dyn Checkpointer,
+    ) -> Result<Vec<u8>, String> {
+        let _ = ckpt;
+        self.run(spec)
+    }
+}
+
+/// Mid-job checkpoint transport handed to [`JobRunner::run_checkpointed`].
+/// The daemon stays dependency-free: it moves opaque bytes (the runner
+/// decides what they mean — `bfly-bench` stores versioned sweep-point
+/// checkpoints) between the worker and the cache tiers under the job's
+/// [`JobSpec::snap_key`].
+pub trait Checkpointer: Send {
+    /// Latest surviving checkpoint bytes for this job, if any.
+    fn load(&mut self) -> Option<Vec<u8>>;
+    /// Persist checkpoint bytes durably — they must survive the process
+    /// dying right after this call returns.
+    fn save(&mut self, bytes: &[u8]);
+    /// Called by the runner with the number of work units it actually
+    /// reused from a loaded checkpoint (0 for a mismatched or stale one).
+    /// Drives the `resumed_from_snapshot` reply field.
+    fn resumed(&mut self, units: u64) {
+        let _ = units;
+    }
 }
 
 /// Where to listen.
@@ -150,6 +184,9 @@ pub(crate) enum State {
     Done {
         bytes: Arc<Vec<u8>>,
         cached: bool,
+        /// Computed from a mid-run checkpoint left by an earlier
+        /// (killed or failed-over) attempt at the same job.
+        resumed: bool,
         wall: Duration,
     },
     Failed {
@@ -178,6 +215,10 @@ struct Counters {
     failed: AtomicU64,
     quarantined: AtomicU64,
     deadline_expired: AtomicU64,
+    /// Durable mid-job checkpoints written by workers.
+    checkpoints: AtomicU64,
+    /// Jobs completed from a prior attempt's checkpoint.
+    resumed: AtomicU64,
 }
 
 pub(crate) struct Shared {
@@ -626,6 +667,34 @@ fn worker_loop(sh: &Arc<Shared>) {
     }
 }
 
+/// Cache-backed checkpoint transport: snapshots live in the same
+/// mem+disk tiers as results, under the job's `#snap` key. Saves are
+/// flushed through the write-behind queue before returning, so a
+/// checkpoint the runner believes written genuinely survives an abrupt
+/// kill (which discards pending writes — exactly what a crash loses).
+struct CacheCheckpointer<'a> {
+    cache: &'a Cache,
+    key: String,
+    counters: &'a Counters,
+    resumed_units: u64,
+}
+
+impl Checkpointer for CacheCheckpointer<'_> {
+    fn load(&mut self) -> Option<Vec<u8>> {
+        self.cache.get(&self.key)
+    }
+
+    fn save(&mut self, bytes: &[u8]) {
+        self.cache.put(&self.key, bytes.to_vec());
+        self.cache.flush();
+        self.counters.checkpoints.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn resumed(&mut self, units: u64) {
+        self.resumed_units += units;
+    }
+}
+
 /// Run one queued job to a terminal state.
 fn execute(sh: &Arc<Shared>, id: u64) {
     let (spec, submitted) = {
@@ -662,12 +731,27 @@ fn execute(sh: &Arc<Shared>, id: u64) {
                 State::Done {
                     bytes: Arc::new(bytes),
                     cached: true,
+                    resumed: false,
                     wall: Duration::ZERO,
                 },
             );
             return;
         }
     }
+
+    // Mid-run checkpoints ride the cache tiers under the `#snap` key.
+    // Only `use`-mode jobs get the transport: `bypass` must not touch the
+    // cache at all (it is the bit-identity control), and `refresh`
+    // promises a cold recomputation. The transport outlives the retry
+    // loop, so an attempt that panics mid-sweep resumes from its own
+    // checkpoints on the next attempt.
+    let checkpointed = spec.cache == CacheMode::Use;
+    let mut ckpt = CacheCheckpointer {
+        cache: &sh.cache,
+        key: spec.snap_key(sh.runner.engine_version()),
+        counters: &sh.counters,
+        resumed_units: 0,
+    };
 
     let mut attempt = 0u32;
     loop {
@@ -686,7 +770,13 @@ fn execute(sh: &Arc<Shared>, id: u64) {
         // builds with unwinding panics; the release profile uses
         // `panic = "abort"`, where a panic still ends the process — the
         // registry therefore validates jobs instead of panicking on them.
-        let outcome = catch_unwind(AssertUnwindSafe(|| sh.runner.run(&spec)));
+        let outcome = if checkpointed {
+            catch_unwind(AssertUnwindSafe(|| {
+                sh.runner.run_checkpointed(&spec, &mut ckpt)
+            }))
+        } else {
+            catch_unwind(AssertUnwindSafe(|| sh.runner.run(&spec)))
+        };
         let wall = t0.elapsed();
         match outcome {
             Ok(Ok(bytes)) => {
@@ -699,6 +789,7 @@ fn execute(sh: &Arc<Shared>, id: u64) {
                     State::Done {
                         bytes: Arc::new(bytes),
                         cached: false,
+                        resumed: ckpt.resumed_units > 0,
                         wall,
                     },
                 );
@@ -758,7 +849,12 @@ fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
 
 fn finish(sh: &Arc<Shared>, id: u64, state: State) {
     match &state {
-        State::Done { .. } => sh.counters.done.fetch_add(1, Ordering::Relaxed),
+        State::Done { resumed, .. } => {
+            if *resumed {
+                sh.counters.resumed.fetch_add(1, Ordering::Relaxed);
+            }
+            sh.counters.done.fetch_add(1, Ordering::Relaxed)
+        }
         State::Failed { verdict, .. } => match verdict {
             Verdict::Quarantined => sh.counters.quarantined.fetch_add(1, Ordering::Relaxed),
             Verdict::DeadlineExpired => {
@@ -972,6 +1068,7 @@ fn admit(sh: &Arc<Shared>, spec: JobSpec) -> Result<u64, String> {
                     state: State::Done {
                         bytes: Arc::new(bytes),
                         cached: true,
+                        resumed: false,
                         wall: Duration::ZERO,
                     },
                     submitted: Instant::now(),
@@ -1201,14 +1298,19 @@ fn status_object(jobs: &HashMap<u64, JobRecord>, id: u64) -> String {
         State::Done {
             bytes,
             cached,
+            resumed,
             wall,
         } => {
+            // `result` stays the FINAL field: `cache_push` and the
+            // router's raw-result splice both locate the bytes by that
+            // invariant.
             let _ = std::fmt::Write::write_fmt(
                 &mut out,
                 format_args!(
                     "\"state\":\"done\",\"verdict\":\"done\",\"cached\":{},\
-                     \"wall_ms\":{:.3},\"result\":{}}}",
+                     \"resumed_from_snapshot\":{},\"wall_ms\":{:.3},\"result\":{}}}",
                     cached,
+                    resumed,
                     wall.as_secs_f64() * 1e3,
                     String::from_utf8_lossy(bytes)
                 ),
@@ -1252,7 +1354,8 @@ fn stats_reply(sh: &Arc<Shared>) -> String {
     format!(
         "{{\"ok\":true,{}\"engine_version\":{},\"draining\":{},\
          \"jobs\":{{\"submitted\":{},\"done\":{},\"failed\":{},\
-         \"quarantined\":{},\"deadline_expired\":{},\"queued\":{},\"running\":{}}},\
+         \"quarantined\":{},\"deadline_expired\":{},\"checkpoints\":{},\
+         \"resumed\":{},\"queued\":{},\"running\":{}}},\
          \"cache\":{{\"mem_hits\":{},\"disk_hits\":{},\"misses\":{},\"evictions\":{},\
          \"corrupt\":{},\"pending_writes\":{},\"disk_writes\":{},\
          \"mem_bytes\":{},\"mem_entries\":{}}},\"experiments\":{}}}",
@@ -1264,6 +1367,8 @@ fn stats_reply(sh: &Arc<Shared>) -> String {
         c.failed.load(Ordering::Relaxed),
         c.quarantined.load(Ordering::Relaxed),
         c.deadline_expired.load(Ordering::Relaxed),
+        c.checkpoints.load(Ordering::Relaxed),
+        c.resumed.load(Ordering::Relaxed),
         crate::locked(&sh.queue).len(),
         sh.running.load(Ordering::SeqCst),
         cs.mem_hits.load(Ordering::Relaxed),

@@ -626,13 +626,29 @@ fn dials_past_max_conns_get_typed_busy_and_clean_close() {
         assert_eq!(busy.load(Ordering::SeqCst), DIALS as u64);
 
         // The connections inside the limit still serve after the storm.
-        let mut held_client = {
-            let s = held.into_iter().next().unwrap();
-            drop(s); // free one slot ...
-            Client::connect(&handle.addr).expect("slot freed")
-        };
-        let pong = req(&mut held_client, r#"{"op":"ping"}"#);
-        assert_eq!(pong.get("pong").and_then(Value::as_bool), Some(true));
+        // Freeing a slot is asynchronous — the server sees the FIN of
+        // the dropped connection on its own schedule, and a dial that
+        // races it is (correctly) refused busy — so retry briefly.
+        drop(held.into_iter().next().unwrap()); // free one slot ...
+        let t0 = std::time::Instant::now();
+        loop {
+            let mut held_client = Client::connect(&handle.addr).expect("slot freed");
+            let pong = req(&mut held_client, r#"{"op":"ping"}"#);
+            if pong.get("pong").and_then(Value::as_bool) == Some(true) {
+                break;
+            }
+            assert_eq!(
+                pong.get("busy").and_then(Value::as_bool),
+                Some(true),
+                "expected pong or a busy refusal, got: {}",
+                pong.dump()
+            );
+            assert!(
+                t0.elapsed() < std::time::Duration::from_secs(10),
+                "freed slot never became dialable"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
         handle.shutdown();
     }
 }

@@ -232,6 +232,33 @@ impl Machine {
         }
     }
 
+    /// Deterministic machine state as a `bfly-snap` section: aggregate
+    /// reference counters plus the memory-unit and switch-port queue
+    /// occupancy the snapshot hash must cover (ISSUE/DESIGN.md §16). All
+    /// purely simulated quantities — no wall clock — so the section is
+    /// bit-stable across identical executions and usable for restore
+    /// verification.
+    pub fn snapshot_section(&self) -> bfly_snap::Section {
+        let s = self.stats();
+        let mut out = bfly_snap::Section::new("machine");
+        out.field_u64("nodes", self.cfg.nodes as u64)
+            .field_u64("local_refs", s.local_refs)
+            .field_u64("remote_refs", s.remote_refs)
+            .field_u64("block_transfers", s.block_transfers)
+            .field_u64("block_bytes", s.block_bytes)
+            .field_u64("atomics", s.atomics)
+            .field_u64s(
+                "mem_queue",
+                self.nodes.iter().map(|n| n.mem.queue_len() as u64),
+            )
+            .field_u64s(
+                "mem_busy",
+                self.nodes.iter().map(|n| n.mem.in_service() as u64),
+            )
+            .field_u64("switch_port_wait", self.switch.total_port_wait());
+        out
+    }
+
     /// Reset aggregate counters.
     pub fn reset_stats(&self) {
         self.stats.local_refs.set(0);

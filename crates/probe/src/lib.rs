@@ -395,6 +395,34 @@ impl Probe {
             .sum()
     }
 
+    /// The probe's shadow state as flat `(name, value)` counters for
+    /// checkpoint hashing (`bfly-snap` sections are built by the caller —
+    /// this crate stays dependency-free). Every quantity is derived from
+    /// simulated time and event counts, never from the host clock, so two
+    /// identical executions produce identical fields at any event cut.
+    pub fn snapshot_fields(&self) -> Vec<(&'static str, u64)> {
+        let sum = |f: fn(&NodeCounters) -> &Cell<u64>| -> u64 {
+            self.inner.nodes.iter().map(|n| f(n).get()).sum()
+        };
+        vec![
+            ("local_refs", sum(|n| &n.local_refs)),
+            ("remote_out", sum(|n| &n.remote_out)),
+            ("remote_in", sum(|n| &n.remote_in)),
+            ("mem_local_ns", sum(|n| &n.mem_local_ns)),
+            ("mem_stolen_ns", sum(|n| &n.mem_stolen_ns)),
+            ("lock_acquires", sum(|n| &n.lock_acquires)),
+            ("lock_spin_ns", sum(|n| &n.lock_spin_ns)),
+            ("alloc_ops", sum(|n| &n.alloc_ops)),
+            ("tasks_claimed", sum(|n| &n.tasks_claimed)),
+            ("msgs_sent", sum(|n| &n.msgs_sent)),
+            ("msg_bytes", sum(|n| &n.msg_bytes)),
+            ("switch_hops", self.switch_hops()),
+            ("switch_wait_ns", self.switch_wait_ns()),
+            ("spans", self.inner.timeline.span_count() as u64),
+            ("instants", self.inner.timeline.instant_count() as u64),
+        ]
+    }
+
     /// Snapshot of per-port switch statistics, in `(stage, port)` order.
     pub fn switch_ports(&self) -> Vec<((u32, u32), PortStats)> {
         self.inner

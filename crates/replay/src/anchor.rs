@@ -1,0 +1,137 @@
+//! Snapshot-anchored time travel: start a replay from a mid-run engine
+//! snapshot instead of from event zero.
+//!
+//! Instant Replay re-executes a program by forcing the recorded access
+//! order; for long runs that still means replaying the whole prefix just
+//! to reach the interesting region. A [`SnapshotAnchor`] removes that
+//! cost structure at the *instrumentation* level: the prefix is
+//! fast-forwarded without probes or sanitizer shadow state (the engine's
+//! determinism makes it bit-identical anyway, and the anchor **proves** it
+//! by re-verifying the snapshot bytes on arrival), then monitoring is
+//! attached for the suffix only. That turns "replay 10M events under the
+//! sanitizer to look at the last 100k" into "seek, attach, run 100k" —
+//! experiment T21 measures exactly this.
+
+use bfly_sim::exec::StepOutcome;
+use bfly_sim::snap::verify_prefix;
+use bfly_sim::Sim;
+use bfly_snap::{Snap, SnapError};
+
+/// A validated engine snapshot usable as a replay starting point.
+pub struct SnapshotAnchor {
+    snap: Snap,
+    events: u64,
+}
+
+impl SnapshotAnchor {
+    /// Parse and validate snapshot bytes: checksum, `bfly-snap/1` magic,
+    /// an `engine` section with this engine's version, and an event
+    /// count. Snapshots from other engine versions are rejected here, the
+    /// same rule [`Sim::restore`] applies.
+    pub fn from_bytes(bytes: &[u8]) -> Result<SnapshotAnchor, SnapError> {
+        Self::from_snap(Snap::decode(bytes)?)
+    }
+
+    /// [`SnapshotAnchor::from_bytes`] for an already-decoded snapshot.
+    pub fn from_snap(snap: Snap) -> Result<SnapshotAnchor, SnapError> {
+        let engine = snap.require(bfly_sim::snap::ENGINE_SECTION)?;
+        let version = engine.get_u64("version")?;
+        if version != bfly_sim::ENGINE_VERSION as u64 {
+            return Err(SnapError::Corrupt {
+                line: 0,
+                msg: format!(
+                    "anchor is from engine version {version}, this engine is {}",
+                    bfly_sim::ENGINE_VERSION
+                ),
+            });
+        }
+        let events = engine.get_u64("events")?;
+        Ok(SnapshotAnchor { snap, events })
+    }
+
+    /// Cumulative engine events at the anchor point.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Content hash of the anchor snapshot.
+    pub fn hash(&self) -> String {
+        self.snap.hash()
+    }
+
+    /// The underlying snapshot (extra sections — machine, runtime,
+    /// probe — ride along for higher-level verification).
+    pub fn snap(&self) -> &Snap {
+        &self.snap
+    }
+
+    /// Fast-forward a freshly rebuilt program to the anchor and prove
+    /// arrival: after `run_events(anchor.events())`, the engine's
+    /// re-captured sections must be byte-identical to the snapshot's.
+    /// A different program, seed, or a non-deterministic rebuild fails
+    /// with [`SnapError::Divergent`] instead of silently replaying the
+    /// wrong execution.
+    pub fn seek(&self, sim: &Sim) -> Result<StepOutcome, SnapError> {
+        let outcome = sim.run_events(self.events);
+        verify_prefix(&self.snap, &sim.snapshot())?;
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn program(seed: u64) -> Sim {
+        let sim = Sim::with_seed(seed);
+        for t in 0..4u64 {
+            let s = sim.clone();
+            sim.spawn_named(&format!("w{t}"), async move {
+                for i in 0..30u64 {
+                    let d = s.with_rng(|r| r.jitter(400 + t, 10));
+                    s.sleep(d + i).await;
+                    s.yield_now().await;
+                }
+            });
+        }
+        sim
+    }
+
+    #[test]
+    fn seek_reaches_the_anchor_and_verifies() {
+        let a = program(5);
+        let _ = a.run_events(100);
+        let bytes = a.snapshot().encode();
+        let anchor = SnapshotAnchor::from_bytes(&bytes).expect("valid anchor");
+        assert_eq!(anchor.events(), 100);
+        let replay = program(5);
+        let outcome = anchor.seek(&replay).expect("seek verifies");
+        assert_eq!(outcome, StepOutcome::Paused);
+        // Both continuations land on identical final state.
+        let ra = a.run();
+        let rb = replay.run();
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn seek_rejects_the_wrong_program() {
+        let a = program(5);
+        let _ = a.run_events(100);
+        let anchor = SnapshotAnchor::from_snap(a.snapshot()).unwrap();
+        let err = anchor.seek(&program(6)).unwrap_err();
+        assert!(matches!(err, SnapError::Divergent { .. }), "{err}");
+    }
+
+    #[test]
+    fn bad_bytes_and_wrong_versions_are_rejected() {
+        assert!(SnapshotAnchor::from_bytes(b"not a snapshot").is_err());
+        let a = program(1);
+        let _ = a.run_events(10);
+        let mut doctored = bfly_snap::Snap::new();
+        let mut engine = bfly_snap::Section::new(bfly_sim::snap::ENGINE_SECTION);
+        engine.field_u64("version", 999).field_u64("events", 10);
+        doctored.push(engine);
+        let err = SnapshotAnchor::from_snap(doctored).map(|_| ()).unwrap_err();
+        assert!(matches!(err, SnapError::Corrupt { .. }), "{err}");
+    }
+}

@@ -26,10 +26,12 @@
 
 // This crate needs no unsafe; keep it that way.
 #![forbid(unsafe_code)]
+pub mod anchor;
 pub mod moviola;
 pub mod object;
 pub mod system;
 
+pub use anchor::SnapshotAnchor;
 pub use moviola::Moviola;
 pub use object::SharedObject;
 pub use system::{AccessKind, AccessRecord, Mode, ReplaySystem};

@@ -962,6 +962,25 @@ impl Sanitizer {
         )
     }
 
+    /// The sanitizer's shadow state as flat `(name, value)` counters for
+    /// checkpoint hashing (`bfly-snap` sections are built by the caller —
+    /// this crate stays dependency-free). Deterministic by construction:
+    /// everything here derives from the simulated event stream, so two
+    /// identical executions produce identical fields at any event cut.
+    pub fn snapshot_fields(&self) -> Vec<(&'static str, u64)> {
+        let (reads, writes, atomics, syncs) = self.traffic();
+        vec![
+            ("races", self.race_count() as u64),
+            ("warnings", self.warning_count() as u64),
+            ("cycles", self.cycle_count() as u64),
+            ("plain_reads", reads),
+            ("plain_writes", writes),
+            ("atomic_ops", atomics),
+            ("sync_ops", syncs),
+            ("suppressed", self.inner.suppressed.get()),
+        ]
+    }
+
     /// One-line human summary of the verdict.
     pub fn verdict_line(&self) -> String {
         format!(

@@ -82,6 +82,17 @@ pub(crate) struct Inner {
     events_processed: Cell<u64>,
     tasks_spawned: Cell<u64>,
     wall_ns: Cell<u64>,
+    /// Popped-but-unfired entries of the current timer batch, persisted
+    /// across [`Sim::run_events`] pauses so a bounded run can stop at any
+    /// event count without losing scheduled wakeups. `run` takes the
+    /// vector out for the duration of the loop (hot path stays on locals)
+    /// and puts the remainder back before returning.
+    batch: RefCell<Vec<TimerEntry>>,
+    batch_pos: Cell<usize>,
+    /// Whether the sanitizer has been told about the current quiescence
+    /// (guards against double notification when `run` is called again
+    /// after `run_events` already drained the schedule).
+    quiesce_notified: Cell<bool>,
     recorder: RefCell<Option<Recorder>>,
     /// Ambient sanitizer captured at construction (see `bfly_san`). The
     /// disabled path is one `Option<Rc>` discriminant test per hook;
@@ -471,6 +482,18 @@ impl Timers {
     }
 }
 
+/// Why [`Sim::run_events`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The cumulative event target was reached with work still pending;
+    /// the simulation can be snapshotted here and continued later.
+    Paused,
+    /// The schedule drained: every task completed or is stuck. Calling
+    /// [`Sim::run`] now computes the final [`RunStats`] without doing any
+    /// further work.
+    Quiescent,
+}
+
 /// Why [`Sim::run`] returned.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RunOutcome {
@@ -580,6 +603,9 @@ impl Sim {
                 events_processed: Cell::new(0),
                 tasks_spawned: Cell::new(0),
                 wall_ns: Cell::new(0),
+                batch: RefCell::new(Vec::new()),
+                batch_pos: Cell::new(0),
+                quiesce_notified: Cell::new(false),
                 recorder: RefCell::new(None),
                 san,
             }),
@@ -675,6 +701,10 @@ impl Sim {
         self.inner
             .tasks_spawned
             .set(self.inner.tasks_spawned.get() + 1);
+        // New work after quiescence re-arms the sanitizer notification
+        // (only host code can create work once the schedule is drained,
+        // and it must start with a spawn).
+        self.inner.quiesce_notified.set(false);
         if let Some(s) = &self.inner.san {
             let tasks = self.inner.tasks.borrow();
             let name = tasks.slots[idx as usize]
@@ -778,19 +808,33 @@ impl Sim {
         waker.wake_by_ref();
     }
 
-    /// Run until all tasks complete or nothing can make progress.
-    pub fn run(&self) -> RunStats {
+    /// Run until the cumulative event count ([`RunStats::events`]) reaches
+    /// `target_events` or nothing can make progress, whichever comes
+    /// first. `Paused` means the schedule still has work: the simulation
+    /// is at a well-defined cut point (pending timer-batch entries are
+    /// preserved) from which a later `run_events`/[`Sim::run`] call
+    /// continues exactly as if never interrupted — the property the
+    /// snapshot/restore machinery (`bfly-snap`, DESIGN.md §16) is built
+    /// on. The target is *cumulative*, counted from simulation start, so
+    /// restore paths can fast-forward to an absolute snapshot cut.
+    pub fn run_events(&self, target_events: u64) -> StepOutcome {
         let wall_start = Instant::now();
         // Entries at the current instant, drained one at a time with the
         // ready queue emptied in between. Safe to hold across polls: once
         // the first entry fires, `now` equals the batch instant, so no new
         // timer can be registered earlier than (or at the same instant
-        // with a smaller seq than) the remaining entries.
-        let mut batch: Vec<TimerEntry> = Vec::new();
-        let mut batch_pos = 0usize;
-        loop {
-            while let Some(key) = self.inner.ready.pop() {
+        // with a smaller seq than) the remaining entries. Taken out of
+        // `inner` for the loop (hot path on locals) and put back — with
+        // any unfired remainder — on exit.
+        let mut batch: Vec<TimerEntry> = std::mem::take(&mut *self.inner.batch.borrow_mut());
+        let mut batch_pos = self.inner.batch_pos.replace(0);
+        let outcome = loop {
+            if self.inner.events_processed.get() >= target_events {
+                break StepOutcome::Paused;
+            }
+            if let Some(key) = self.inner.ready.pop() {
                 self.poll_task(key);
+                continue;
             }
             if batch_pos == batch.len() {
                 batch.clear();
@@ -800,7 +844,7 @@ impl Sim {
                     .borrow_mut()
                     .pop_batch(self.inner.now.get(), &mut batch);
                 if batch.is_empty() {
-                    break; // no ready work, no timers: quiescent
+                    break StepOutcome::Quiescent; // no ready work, no timers
                 }
             }
             let entry = &batch[batch_pos];
@@ -808,12 +852,27 @@ impl Sim {
             debug_assert!(entry.at >= self.inner.now.get(), "time went backwards");
             self.inner.now.set(entry.at);
             self.fire(&entry.waker);
-        }
+        };
+        *self.inner.batch.borrow_mut() = batch;
+        self.inner.batch_pos.set(batch_pos);
+        self.inner
+            .wall_ns
+            .set(self.inner.wall_ns.get() + wall_start.elapsed().as_nanos() as u64);
         // Quiescence orders everything the tasks did before subsequent
         // host-side code (stuck tasks included: they will never run again).
-        if let Some(s) = &self.inner.san {
-            s.run_quiesced();
+        // Notified once per quiescence, not once per run call.
+        if outcome == StepOutcome::Quiescent && !self.inner.quiesce_notified.get() {
+            self.inner.quiesce_notified.set(true);
+            if let Some(s) = &self.inner.san {
+                s.run_quiesced();
+            }
         }
+        outcome
+    }
+
+    /// Run until all tasks complete or nothing can make progress.
+    pub fn run(&self) -> RunStats {
+        let _ = self.run_events(u64::MAX);
         let outcome = if self.inner.live.get() == 0 {
             RunOutcome::Completed
         } else {
@@ -828,9 +887,6 @@ impl Sim {
                 .collect();
             RunOutcome::Deadlock { stuck }
         };
-        self.inner
-            .wall_ns
-            .set(self.inner.wall_ns.get() + wall_start.elapsed().as_nanos() as u64);
         RunStats {
             end_time: self.now(),
             events: self.inner.events_processed.get(),
@@ -1169,6 +1225,100 @@ pub async fn join_all<T: 'static>(handles: Vec<JoinHandle<T>>) -> Vec<T> {
         out.push(h.await);
     }
     out
+}
+
+// ---------------------------------------------------------------------------
+// Raw state capture for the snapshot layer (`crate::snap`).
+
+/// Every piece of deterministic scheduler state, as plain data: no wakers,
+/// no futures, and deliberately no wall-clock (`wall_ns` is excluded so
+/// snapshot bytes are a pure function of simulated state — enforced by the
+/// `cargo xtask lint` snapshot-purity gate on the formatting layer).
+/// Futures and wakers are re-derived on restore by rebuilding the program
+/// and fast-forwarding (DESIGN.md §16).
+pub(crate) struct CoreState {
+    pub now: SimTime,
+    pub seq: u64,
+    pub live: usize,
+    pub events: u64,
+    pub spawned: u64,
+    pub rng_state: u64,
+    /// `(index, generation, occupied, name)` per slab slot, index order.
+    pub slots: Vec<(u32, u32, bool, String)>,
+    /// Free-list contents in stack order (reuse order matters).
+    pub free: Vec<u32>,
+    /// Ready-queue task keys in queue order.
+    pub ready: Vec<u64>,
+    /// Unfired `(at, seq)` of the in-flight timer batch, fire order.
+    pub batch: Vec<(SimTime, u64)>,
+    /// Live wheel entries as `(at, seq)`, canonically sorted, with
+    /// cancelled entries removed.
+    pub wheel: Vec<(SimTime, u64)>,
+    /// Overflow-heap entries as `(at, seq)`, canonically sorted, with
+    /// cancelled entries removed.
+    pub overflow: Vec<(SimTime, u64)>,
+}
+
+impl Sim {
+    pub(crate) fn core_state(&self) -> CoreState {
+        let inner = &*self.inner;
+        let tasks = inner.tasks.borrow();
+        let slots = tasks
+            .slots
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let name = s
+                    .task
+                    .as_ref()
+                    .map(|t| t.name.as_str().to_string())
+                    .unwrap_or_default();
+                (i as u32, s.gen, s.task.is_some(), name)
+            })
+            .collect();
+        let timers = inner.timers.borrow();
+        // Cancelled entries are pruned *lazily* (during pops), so whether a
+        // dead `(at, seq)` still physically sits in the wheel/heap depends
+        // on how far draining got — scratch state, not schedule state. The
+        // canonical capture is the live set: entries minus their matching
+        // cancellation records. (A record with no matching entry is stale —
+        // its entry already fired — and matches nothing here.)
+        let dead: std::collections::HashSet<(SimTime, u64)> =
+            timers.cancelled.iter().copied().collect();
+        let mut wheel: Vec<(SimTime, u64)> = timers
+            .wheel
+            .iter()
+            .flat_map(|b| b.live().iter().map(|e| (e.at, e.seq)))
+            .filter(|k| !dead.contains(k))
+            .collect();
+        wheel.sort_unstable();
+        let mut overflow: Vec<(SimTime, u64)> = timers
+            .overflow
+            .iter()
+            .map(|Reverse(e)| (e.at, e.seq))
+            .filter(|k| !dead.contains(k))
+            .collect();
+        overflow.sort_unstable();
+        let batch_ref = inner.batch.borrow();
+        let batch = batch_ref[inner.batch_pos.get()..]
+            .iter()
+            .map(|e| (e.at, e.seq))
+            .collect();
+        CoreState {
+            now: inner.now.get(),
+            seq: inner.seq.get(),
+            live: inner.live.get(),
+            events: inner.events_processed.get(),
+            spawned: inner.tasks_spawned.get(),
+            rng_state: inner.rng.borrow().state(),
+            slots,
+            free: tasks.free.clone(),
+            ready: inner.ready.q.borrow().iter().copied().collect(),
+            batch,
+            wheel,
+            overflow,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -28,11 +28,18 @@ pub mod exec;
 pub mod fault;
 pub mod resource;
 pub mod rng;
+pub mod snap;
 pub mod sync;
 pub mod time;
 pub mod trace;
 
-pub use exec::{Deadline, Elapsed, JoinHandle, RunOutcome, RunStats, Sim, SimError, Watchdog};
+pub use exec::{
+    Deadline, Elapsed, JoinHandle, RunOutcome, RunStats, Sim, SimError, StepOutcome, Watchdog,
+};
+
+/// The engine, by the name the checkpoint/restore surface uses
+/// (`Engine::snapshot()` / `Engine::restore()` — see [`snap`]).
+pub type Engine = Sim;
 
 /// Version of the simulation engine's *observable behavior*: bump this
 /// whenever a change can alter simulated results (event ordering, cost

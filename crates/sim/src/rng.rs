@@ -18,6 +18,18 @@ impl SplitMix64 {
         Self { state: seed }
     }
 
+    /// The raw generator state, for checkpointing. Together with
+    /// [`SplitMix64::from_state`] this makes the RNG stream resumable:
+    /// `from_state(g.state())` continues exactly where `g` stopped.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Rebuild a generator mid-stream from a captured [`SplitMix64::state`].
+    pub fn from_state(state: u64) -> Self {
+        Self { state }
+    }
+
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -69,6 +81,18 @@ mod tests {
         let mut a = SplitMix64::new(42);
         let mut b = SplitMix64::new(42);
         for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn state_capture_resumes_the_stream() {
+        let mut a = SplitMix64::new(42);
+        for _ in 0..17 {
+            a.next_u64();
+        }
+        let mut b = SplitMix64::from_state(a.state());
+        for _ in 0..100 {
             assert_eq!(a.next_u64(), b.next_u64());
         }
     }

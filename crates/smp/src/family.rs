@@ -293,6 +293,17 @@ impl Family {
         self.state.messages_corrupted.get()
     }
 
+    /// SMP message-passing counters as a snapshot section (`smp`).
+    pub fn snapshot_section(&self) -> bfly_snap::Section {
+        let mut s = bfly_snap::Section::new("smp");
+        s.field_u64("messages_sent", self.messages_sent())
+            .field_u64("bytes_sent", self.bytes_sent())
+            .field_u64("maps_paid", self.maps_paid())
+            .field_u64("messages_lost", self.messages_lost())
+            .field_u64("messages_corrupted", self.messages_corrupted());
+        s
+    }
+
     /// Attach a [`FaultPlan`] to this family: `MessageLoss` and
     /// `MessageCorrupt` events set the family's loss/corruption
     /// probabilities at their virtual times. Node, link, and disk events

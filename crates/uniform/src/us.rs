@@ -139,6 +139,15 @@ impl Us {
         self.nprocs
     }
 
+    /// Uniform System runtime counters as a snapshot section (`us`).
+    pub fn snapshot_section(&self) -> bfly_snap::Section {
+        let mut s = bfly_snap::Section::new("us");
+        s.field_u64("nprocs", self.nprocs as u64)
+            .field_u64("tasks_run", self.tasks_run.get())
+            .field_u64("generators_run", self.generators_run.get());
+        s
+    }
+
     async fn manager_loop(self: &Rc<Self>, p: Rc<Proc>) {
         loop {
             match self.chan.recv().await {

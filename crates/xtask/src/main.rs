@@ -23,6 +23,13 @@
 //!    thread multiplexing every connection, and a thread quietly spawned
 //!    per connection or per request would reintroduce exactly the
 //!    unbounded-threads regime `--io-mode reactor` exists to replace.
+//! 6. **Snapshot purity** — no `SystemTime` or `Instant::now` in the
+//!    modules that produce serialized snapshot state (DESIGN.md §16):
+//!    snapshot bytes must be a pure function of simulated state, and the
+//!    restore proof (`verify_prefix`) turns one smuggled wall-clock read
+//!    into a `Divergent` error on every resume. Host timing that must
+//!    exist (e.g. `RunStats::wall`) lives outside these modules and
+//!    outside the captured sections.
 //!
 //! Each check is a pure function over `(path label, file contents)` so the
 //! unit tests below can feed deliberate violations without touching disk.
@@ -62,6 +69,18 @@ const ROUTER_ALLOWED_DEP: &str = "bfly-farmd";
 /// worker pool is sized and spawned by `server.rs` — a spawn here is a
 /// per-connection or per-request thread sneaking back in.
 const NO_THREAD_SPAWN_FILES: &[&str] = &["crates/farmd/src/reactor.rs"];
+
+/// Modules whose output becomes serialized snapshot state (the `bfly-snap`
+/// container, the engine state sections, the RNG stream, and the sweep
+/// checkpointer): wall-clock reads are banned outside `#[cfg(test)]`.
+/// A snapshot that embeds host time is unreproducible — the restore
+/// proof would reject every resume as divergent.
+const SNAPSHOT_PURE_FILES: &[&str] = &[
+    "crates/snap/src/lib.rs",
+    "crates/sim/src/snap.rs",
+    "crates/sim/src/rng.rs",
+    "crates/bench/src/snapshot.rs",
+];
 
 /// How far back (in lines) a `// SAFETY:` comment may sit from its
 /// `unsafe` keyword and still count as adjacent.
@@ -125,12 +144,15 @@ fn lint() -> ExitCode {
         if NO_THREAD_SPAWN_FILES.contains(&label.as_str()) {
             violations.extend(check_no_thread_spawn(&label, &text));
         }
+        if SNAPSHOT_PURE_FILES.contains(&label.as_str()) {
+            violations.extend(check_snapshot_purity(&label, &text));
+        }
     }
 
     if violations.is_empty() {
         println!(
             "xtask lint: ok (dependency edges, SAFETY comments, unsafe allowlist, daemon \
-             unwraps, reactor thread ban)"
+             unwraps, reactor thread ban, snapshot purity)"
         );
         ExitCode::SUCCESS
     } else {
@@ -348,6 +370,31 @@ fn check_no_thread_spawn(label: &str, text: &str) -> Vec<String> {
     violations
 }
 
+/// Check 6: snapshot purity — no wall-clock sources in the modules that
+/// produce serialized snapshot state (outside `#[cfg(test)]`; tests may
+/// time themselves). Both `SystemTime` and `Instant::now` are matched as
+/// substrings of comment-stripped code: the former is banned in any
+/// position (even a type mention invites storing one), the latter as the
+/// only way to *read* an `Instant` (passing one in as data stays legal —
+/// it cannot originate here).
+fn check_snapshot_purity(label: &str, text: &str) -> Vec<String> {
+    let mut violations = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        if raw.trim_start().starts_with("#[cfg(test)]") {
+            break;
+        }
+        let code = strip_comment(raw, "//");
+        if code.contains("SystemTime") || code.contains("Instant::now") {
+            violations.push(format!(
+                "{label}:{}: wall-clock source in a snapshot-state module; snapshot bytes \
+                 must be a pure function of simulated state (DESIGN.md §16)",
+                i + 1
+            ));
+        }
+    }
+    violations
+}
+
 // ---------------------------------------------------------------------------
 // Shared line helpers
 // ---------------------------------------------------------------------------
@@ -550,5 +597,36 @@ mod tests {
     #[test]
     fn thread_spawn_ban_covers_the_reactor_module() {
         assert!(NO_THREAD_SPAWN_FILES.contains(&"crates/farmd/src/reactor.rs"));
+    }
+
+    #[test]
+    fn snapshot_purity_flags_wall_clock_reads() {
+        let text = "fn state_section() {\n    let t0 = std::time::Instant::now();\n    let epoch = SystemTime::now().duration_since(UNIX_EPOCH);\n}\n";
+        let v = check_snapshot_purity("crates/sim/src/snap.rs", text);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].contains(":2:"), "{v:?}");
+        assert!(v[1].contains(":3:"), "{v:?}");
+    }
+
+    #[test]
+    fn snapshot_purity_flags_a_stored_system_time_type() {
+        // Even an un-read SystemTime field is a violation: it exists to
+        // be read eventually, and then the snapshot is wall-dependent.
+        let text = "struct Snap {\n    taken_at: std::time::SystemTime,\n}\n";
+        let v = check_snapshot_purity("crates/snap/src/lib.rs", text);
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn snapshot_purity_ignores_comments_and_test_modules() {
+        let text = "//! the gate bans SystemTime and Instant::now here\nfn pure(now: u64) -> u64 {\n    now // simulated time passed in as data, not read from the host\n}\n#[cfg(test)]\nmod tests {\n    fn t() { let _ = std::time::Instant::now(); }\n}\n";
+        assert!(check_snapshot_purity("crates/sim/src/rng.rs", text).is_empty());
+    }
+
+    #[test]
+    fn snapshot_purity_covers_the_serialized_state_modules() {
+        for f in ["crates/snap/src/lib.rs", "crates/sim/src/snap.rs"] {
+            assert!(SNAPSHOT_PURE_FILES.contains(&f), "{f} must stay gated");
+        }
     }
 }

@@ -1,0 +1,257 @@
+//! The snapshot/restore contract (DESIGN.md §16): for any cut point k,
+//! `run(k) → snapshot → rebuild → fast-forward(k) → run(rest)` must be
+//! bit-identical to the uninterrupted run — virtual end time,
+//! communication counts, solution accuracy bits, and the full
+//! [`RunStats`](bfly_sim::exec::RunStats) fingerprint — and the restore
+//! must *prove* it reached the captured state (every section of the
+//! rebuilt snapshot byte-equal to the original, via
+//! [`verify_prefix`](bfly_sim::snap::verify_prefix)).
+//!
+//! Covered workloads: a FIG5 point in both programming models (Uniform
+//! System and SMP message passing) and a T15 point (SMP under link
+//! degradation), each bare, probed (`--probe`), and sanitized
+//! (`--sanitize`) — instrumentation sections ride inside the snapshot
+//! and must survive the round trip too. A golden schema test pins the
+//! `bfly-snap/1` container format so a silent format change cannot ship
+//! as a refactor.
+
+use bfly_apps::gauss::{prepare_gauss_smp_faulty, prepare_gauss_us, GaussResult, PreparedGauss};
+use bfly_probe::Probe;
+use bfly_san::Sanitizer;
+use bfly_sim::snap::{run_to_cut, verify_prefix};
+use bfly_sim::{FaultKind, FaultPlan};
+use bfly_snap::{Snap, FORMAT, SUM_MARKER};
+use proptest::prelude::*;
+
+/// Everything a resume must reproduce, extracted from one run.
+#[derive(Debug, Clone, PartialEq)]
+struct Fingerprint {
+    time_ns: u64,
+    comm_ops: u64,
+    max_err_bits: u64,
+    run: bfly_sim::exec::RunStats,
+}
+
+impl Fingerprint {
+    fn of(r: GaussResult) -> Self {
+        Fingerprint {
+            time_ns: r.time_ns,
+            comm_ops: r.comm_ops,
+            // Bit pattern, not float compare: determinism means *identical*.
+            max_err_bits: r.max_err.to_bits(),
+            run: r.run,
+        }
+    }
+}
+
+/// Which ambient instrumentation a leg runs under. Each leg installs a
+/// *fresh* instance: instrumentation counters are cumulative over the
+/// instance's lifetime, so the snapshot's `probe`/`san` sections only
+/// compare equal if the straight, cut, and restore legs each start
+/// their instrumentation from zero.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Instr {
+    Bare,
+    Probed,
+    Sanitized,
+}
+
+fn with_instr<T>(instr: Instr, f: impl FnOnce() -> T) -> T {
+    match instr {
+        Instr::Bare => f(),
+        Instr::Probed => {
+            let prev = bfly_probe::install_ambient(Some(Probe::new()));
+            let out = f();
+            bfly_probe::install_ambient(prev);
+            out
+        }
+        Instr::Sanitized => {
+            let prev = bfly_san::install_ambient(Some(Sanitizer::new()));
+            let out = f();
+            bfly_san::install_ambient(prev);
+            out
+        }
+    }
+}
+
+/// T15-style plan: degrade a couple of switch links, never lose messages
+/// (loss would wedge the pivot broadcast — see `gauss_smp_faulty` docs).
+fn degrade_plan(seed: u64) -> FaultPlan {
+    let mut plan = FaultPlan::new(seed);
+    plan.push(
+        0,
+        FaultKind::LinkDegrade {
+            stage: 3,
+            port: (seed % 16) as u32,
+            factor: 4,
+        },
+    );
+    plan.push(
+        50_000,
+        FaultKind::LinkDegrade {
+            stage: 3,
+            port: ((seed + 5) % 16) as u32,
+            factor: 8,
+        },
+    );
+    plan
+}
+
+/// The property core. `mk` rebuilds the same deterministic program from
+/// scratch (same arguments, same seed — the restore contract's "re-run
+/// the setup code"). Three legs, each under its own fresh
+/// instrumentation:
+///
+/// 1. straight — the uninterrupted reference run;
+/// 2. cut — run to `cut` events, snapshot, keep only the bytes;
+/// 3. restore — decode, rebuild via `mk`, fast-forward to the
+///    snapshot's event count, **prove** every section matches
+///    (`verify_prefix`), then finish.
+///
+/// Returns (straight, restored) fingerprints; the caller asserts
+/// equality so proptest failures print both.
+fn snapshot_round_trip(
+    mk: &dyn Fn() -> PreparedGauss,
+    cut_frac_pct: u64,
+    instr: Instr,
+) -> (Fingerprint, Fingerprint) {
+    let straight = with_instr(instr, || Fingerprint::of(mk().finish()));
+    let cut = straight.run.events * cut_frac_pct / 100;
+
+    let bytes = with_instr(instr, || {
+        let prepared = mk();
+        let _ = run_to_cut(&prepared.sim, cut);
+        let snap = prepared.snapshot();
+        match instr {
+            Instr::Bare => {}
+            Instr::Probed => assert!(
+                snap.section("probe").is_some(),
+                "probed snapshot lost its probe section"
+            ),
+            Instr::Sanitized => assert!(
+                snap.section("san").is_some(),
+                "sanitized snapshot lost its san section"
+            ),
+        }
+        snap.encode()
+    });
+
+    let restored = with_instr(instr, || {
+        let snap = Snap::decode(&bytes).expect("own snapshot bytes decode");
+        let events = snap
+            .require(bfly_sim::snap::ENGINE_SECTION)
+            .and_then(|s| s.get_u64("events"))
+            .expect("engine section carries the fast-forward target");
+        let rebuilt = mk();
+        let _ = run_to_cut(&rebuilt.sim, events);
+        verify_prefix(&snap, &rebuilt.snapshot()).expect("restore proof: replayed state matches");
+        Fingerprint::of(rebuilt.finish())
+    });
+    (straight, restored)
+}
+
+fn fig5_us(seed: u64) -> PreparedGauss {
+    let all: Vec<u16> = (0..128).collect();
+    prepare_gauss_us(8, 16, all, seed)
+}
+
+fn t15_smp(seed: u64) -> PreparedGauss {
+    prepare_gauss_smp_faulty(8, 16, seed, &degrade_plan(seed))
+}
+
+#[test]
+fn fig5_us_round_trip_probed() {
+    let (straight, restored) = snapshot_round_trip(&|| fig5_us(11), 50, Instr::Probed);
+    assert_eq!(straight, restored, "probed US resume diverged");
+}
+
+#[test]
+fn t15_smp_round_trip_sanitized() {
+    let (straight, restored) = snapshot_round_trip(&|| t15_smp(11), 50, Instr::Sanitized);
+    assert_eq!(straight, restored, "sanitized T15 resume diverged");
+}
+
+#[test]
+fn edge_cuts_round_trip() {
+    // cut = 0 (restore replays nothing) and cut = 100 % (the snapshot
+    // *is* the quiescent state; finish processes zero further events).
+    for pct in [0, 100] {
+        let (straight, restored) = snapshot_round_trip(&|| fig5_us(7), pct, Instr::Bare);
+        assert_eq!(straight, restored, "cut at {pct}% diverged");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Any seed, any cut point, both models, rotating instrumentation:
+    /// a snapshot-resumed run must fingerprint identically to an
+    /// uninterrupted one.
+    #[test]
+    fn snapshot_resume_is_bit_identical(seed in 0u64..1_000, cut_pct in 0u64..=100) {
+        let instr = match seed % 3 {
+            0 => Instr::Bare,
+            1 => Instr::Probed,
+            _ => Instr::Sanitized,
+        };
+        let (straight, restored) =
+            snapshot_round_trip(&|| fig5_us(seed), cut_pct, instr);
+        prop_assert_eq!(straight, restored, "US diverged (instr {:?})", instr);
+
+        let (straight, restored) =
+            snapshot_round_trip(&|| t15_smp(seed), cut_pct, instr);
+        prop_assert_eq!(straight, restored, "T15 diverged (instr {:?})", instr);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Golden schema: the container format is a compatibility surface.
+
+/// Pin the `bfly-snap/1` wire schema. If this test fails, the snapshot
+/// format changed: bump the format/engine version and state the
+/// migration story rather than editing the assertions.
+#[test]
+fn golden_snapshot_schema() {
+    let prepared = fig5_us(42);
+    let _ = run_to_cut(&prepared.sim, 1_000);
+    let bytes = prepared.snapshot().encode();
+    let text = std::str::from_utf8(&bytes).expect("snapshots are UTF-8");
+
+    // Header: the literal version line (pinned, not via the constant —
+    // the constant changing IS the regression under test).
+    let mut lines = text.lines();
+    assert_eq!(lines.next(), Some("bfly-snap/1"));
+    assert_eq!(FORMAT, "bfly-snap/1");
+
+    // Section order is fixed: engine metadata, scheduler state, then
+    // the layers in dependency order.
+    let names: Vec<&str> = text.lines().filter(|l| l.starts_with('[')).collect();
+    assert_eq!(names, ["[engine]", "[sim]", "[machine]", "[us]"]);
+
+    // The engine section carries exactly the restore contract: format
+    // owner version and the fast-forward event target.
+    let snap = Snap::decode(&bytes).expect("round trip");
+    let engine = snap.require("engine").expect("engine section");
+    assert_eq!(
+        engine.get_u64("version").expect("version field"),
+        bfly_sim::ENGINE_VERSION as u64
+    );
+    assert_eq!(engine.get_u64("events").expect("events field"), 1_000);
+
+    // Trailer: a 32-hex content sum over everything above it, equal to
+    // the decoded snapshot's own hash.
+    let last = text.lines().last().expect("nonempty");
+    let sum = last.strip_prefix(SUM_MARKER).expect("#sum trailer");
+    assert_eq!(sum.len(), 32);
+    assert!(sum.bytes().all(|b| b.is_ascii_hexdigit()));
+    assert_eq!(sum, snap.hash());
+
+    // The sum is load-bearing: one flipped state byte must be rejected.
+    let mut bad = bytes.clone();
+    let pos = text.find("now=").expect("sim clock field") + "now=".len();
+    bad[pos] = if bad[pos] == b'9' { b'8' } else { b'9' };
+    assert!(
+        Snap::decode(&bad).is_err(),
+        "tampered snapshot must fail its content sum"
+    );
+}
