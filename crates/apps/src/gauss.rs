@@ -159,7 +159,10 @@ impl PreparedGauss {
         let st = self.machine.stats();
         match self.mode {
             PreparedMode::Us {
-                row_updates, mat, n, ..
+                row_updates,
+                mat,
+                n,
+                ..
             } => GaussResult {
                 time_ns: self.sim.now(),
                 // Row updates (N²−N) plus pivot block copies (≈ P(N−1)):

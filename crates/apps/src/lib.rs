@@ -37,6 +37,8 @@ pub mod gauss;
 pub mod graph;
 pub mod hough;
 pub mod knight;
+pub mod pdes_gauss;
 pub mod pedagogical;
+pub mod phold;
 pub mod sort;
 pub mod witness;

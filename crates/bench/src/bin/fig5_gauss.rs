@@ -23,13 +23,13 @@ fn main() {
     };
     let (table, engine) = match cli.checkpoint() {
         Some((every, sink)) => {
-            let ckpt = SweepCheckpointer {
-                every,
-                sink: &sink,
-            };
+            let ckpt = SweepCheckpointer { every, sink: &sink };
             let (t, e, resumed) = bfly_bench::experiments::fig5_gauss_at_ckpt(n, ps, &ckpt);
             if resumed > 0 {
-                eprintln!("fig5_gauss: resumed {resumed}/{} points from checkpoint", ps.len());
+                eprintln!(
+                    "fig5_gauss: resumed {resumed}/{} points from checkpoint",
+                    ps.len()
+                );
             }
             (t, e)
         }

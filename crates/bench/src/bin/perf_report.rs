@@ -22,6 +22,20 @@
 //!   toward passing while a real slowdown still trips. The CI
 //!   probe-overhead job runs this against a baseline generated on the
 //!   same runner from the pre-probe sources (`.perf-baseline/`).
+//!   Additionally walks the per-section trend checklist (`serve`,
+//!   `serve_sustained`, `cluster`, `pdes`) with per-section thresholds,
+//!   skipping — with a notice — sections absent from the baseline (older
+//!   baselines predate them) or not exercised by this invocation. With
+//!   `--require-sections`, a section the baseline has but this run did
+//!   not produce fails the gate instead of skipping: the CI perf-trend
+//!   job sets it so every schema section stays covered.
+//! * `--pdes-bench` — run the parallel-in-time engine benchmark (PHOLD
+//!   throughput workloads, 2-worker bit-identity pass, and — on
+//!   multi-core hosts — the FIG5 N=384 single-point speedup on
+//!   `--pdes-hosts` workers, default 8) into the report's `pdes`
+//!   section. `--pdes-min-geomean <events/s>` additionally gates on the
+//!   workload geomean (the acceptance floor is 2x the committed serial
+//!   engine headline).
 //! * `--serve-bench` — boot an in-process farm daemon on an ephemeral
 //!   port, run the standard job mix cold then warm (with a bit-identity
 //!   verification pass), and record the timings in the report's `serve`
@@ -37,7 +51,8 @@
 use std::time::Instant;
 
 use bfly_bench::report::{
-    check_headline, check_sweep, engine_microbench, PerfReport, SweepMeasure,
+    check_headline, check_section, check_sweep, engine_microbench, pdes_bench, Direction,
+    PerfReport, SweepMeasure,
 };
 use bfly_bench::sweep::sweep_threads;
 use bfly_bench::Scale;
@@ -181,6 +196,48 @@ fn main() {
         report.cluster = Some(c);
     }
 
+    let pdes_min_geomean: Option<f64> = arg_value(&args, "--pdes-min-geomean")
+        .map(|v| v.parse().expect("--pdes-min-geomean takes events/s"));
+    if args.iter().any(|a| a == "--pdes-bench") || pdes_min_geomean.is_some() {
+        let hosts: usize = arg_value(&args, "--pdes-hosts")
+            .map(|v| v.parse().expect("--pdes-hosts takes a count"))
+            .unwrap_or(8);
+        eprintln!("running PDES engine benchmark ...");
+        let p = pdes_bench(hosts);
+        for m in &p.metrics {
+            eprintln!(
+                "  {:<16} {:>12} events  {:>9.1} ms  {:>8.2} Mevents/s",
+                m.name,
+                m.events,
+                m.wall.as_secs_f64() * 1e3,
+                m.events_per_sec() / 1e6
+            );
+        }
+        eprintln!(
+            "  geomean {:.2} Mevents/s, bit_identical: {}",
+            p.geomean_events_per_sec() / 1e6,
+            p.bit_identical
+        );
+        match &p.speedup {
+            None => eprintln!(
+                "  speedup point SKIPPED: single-core host (or --pdes-hosts 1) — \
+                 run on a multi-core machine to measure it"
+            ),
+            Some(s) => eprintln!(
+                "  speedup: {:.1} ms serial -> {:.1} ms on {} hosts = {:.2}x",
+                s.serial.as_secs_f64() * 1e3,
+                s.parallel.as_secs_f64() * 1e3,
+                s.hosts,
+                s.speedup()
+            ),
+        }
+        assert!(
+            p.bit_identical,
+            "PDES determinism contract violated: parallel digest differs from serial"
+        );
+        report.pdes = Some(p);
+    }
+
     let headline = report.headline_events_per_sec();
     eprintln!("headline engine_events_per_sec = {headline:.0}");
 
@@ -224,6 +281,69 @@ fn main() {
                 std::process::exit(1);
             }
         }
+
+        // Per-section trend checklist: every schema-pinned section of the
+        // report, each with its own tolerance (throughput floors tight,
+        // latency ceilings loose — CI runners are noisy in the tails).
+        let checks: &[(&str, &str, f64, Direction)] = &[
+            ("serve", "cold_wall_ms", 0.50, Direction::Lower),
+            ("serve", "warm_wall_ms", 0.50, Direction::Lower),
+            ("serve_sustained", "rps", 0.30, Direction::Higher),
+            ("serve_sustained", "p99_us", 1.00, Direction::Lower),
+            ("cluster", "warm_p99_ms", 1.00, Direction::Lower),
+            ("cluster", "lost", 0.00, Direction::Lower),
+            ("pdes", "events_per_sec_geomean", 0.25, Direction::Higher),
+            ("pdes", "speedup", 0.30, Direction::Higher),
+        ];
+        let require_sections = args.iter().any(|a| a == "--require-sections");
+        let current_json = report.to_json();
+        let mut failed = false;
+        for &(section, field, tol, dir) in checks {
+            let have_current =
+                bfly_bench::report::parse_section_field(&current_json, section, field).is_some();
+            if !have_current {
+                if require_sections
+                    && bfly_bench::report::parse_section_field(&baseline_json, section, field)
+                        .is_some()
+                {
+                    eprintln!(
+                        "trend gate: FAIL — {section}.{field} in baseline but not produced \
+                         by this run (pass the matching --*-bench flag)"
+                    );
+                    failed = true;
+                } else {
+                    eprintln!("trend gate: SKIP {section}.{field} (not run this invocation)");
+                }
+                continue;
+            }
+            match check_section(&baseline_json, &current_json, section, field, tol, dir) {
+                Ok(true) => eprintln!(
+                    "trend gate: OK {section}.{field} (within {:.0}%)",
+                    tol * 100.0
+                ),
+                Ok(false) => eprintln!(
+                    "trend gate: SKIP {section}.{field} (baseline predates section; \
+                     the next committed report picks it up)"
+                ),
+                Err(msg) => {
+                    eprintln!("trend gate: FAIL — {msg}");
+                    failed = true;
+                }
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
+
+    if let Some(min) = pdes_min_geomean {
+        let p = report.pdes.as_ref().expect("pdes bench ran above");
+        let g = p.geomean_events_per_sec();
+        if g < min {
+            eprintln!("pdes gate: FAIL — geomean {g:.0} events/s below the {min:.0} floor");
+            std::process::exit(1);
+        }
+        eprintln!("pdes gate: OK ({g:.0} >= {min:.0} events/s)");
     }
 
     if let Some(min) = serve_min_speedup {

@@ -743,10 +743,7 @@ pub fn chaos_run_mode(
         duplicates: stat("duplicates")?,
         // Tolerate routers predating resume accounting, like
         // `rebalanced_keys` below.
-        resumed: jobs_obj
-            .get("resumed")
-            .and_then(Value::as_u64)
-            .unwrap_or(0),
+        resumed: jobs_obj.get("resumed").and_then(Value::as_u64).unwrap_or(0),
         rebalanced_keys: stats
             .get("cluster")
             .and_then(|c| c.get("rebalanced_keys"))

@@ -150,7 +150,12 @@ pub fn tab21_snapshot_run(scale: Scale) -> (Table, EngineStats) {
         resumed.run.events.to_string(),
         ms(&resumed),
         resumed.comm_ops.to_string(),
-        if pause_ok { "bit-identical" } else { "DIVERGED" }.into(),
+        if pause_ok {
+            "bit-identical"
+        } else {
+            "DIVERGED"
+        }
+        .into(),
     ]);
     t.row(vec![
         format!("snapshot@{cut}+restore"),

@@ -49,6 +49,7 @@ const EXPS: &[&str] = &[
     "tab15_faults",
     "tab18_races",
     "tab21_snapshot",
+    "tab22_pdes",
 ];
 
 /// The concrete experiment registry behind a farm daemon.
@@ -135,21 +136,39 @@ impl Registry {
             "tab4_hough_locality" => Ok(plain(experiments::tab4_hough_locality_run(
                 Self::scale_of(params)?,
             ))),
-            "tab5_scatter" => Ok(plain(experiments::tab5_scatter_run(Self::scale_of(params)?))),
+            "tab5_scatter" => Ok(plain(experiments::tab5_scatter_run(Self::scale_of(
+                params,
+            )?))),
             "tab6_switch" => Ok(plain(experiments::tab6_switch_run(Self::scale_of(params)?))),
             "tab7_alloc_amdahl" => Ok(plain(experiments::tab7_alloc_amdahl_run(Self::scale_of(
                 params,
             )?))),
             "tab8_crowd" => Ok(plain(experiments::tab8_crowd_run(Self::scale_of(params)?))),
             "tab9_replay" => Ok(plain(experiments::tab9_replay_run(Self::scale_of(params)?))),
-            "tab10_bridge" => Ok(plain(experiments::tab10_bridge_run(Self::scale_of(params)?))),
-            "tab12_models" => Ok(plain(experiments::tab12_models_run(Self::scale_of(params)?))),
+            "tab10_bridge" => Ok(plain(experiments::tab10_bridge_run(Self::scale_of(
+                params,
+            )?))),
+            "tab12_models" => Ok(plain(experiments::tab12_models_run(Self::scale_of(
+                params,
+            )?))),
             "tab13_linda" => Ok(plain(experiments::tab13_linda_run(Self::scale_of(params)?))),
             "tab14_bplus" => Ok(plain(experiments::tab14_bplus_run(Self::scale_of(params)?))),
-            "tab15_faults" => Ok(plain(experiments::tab15_faults_run(Self::scale_of(params)?))),
+            "tab15_faults" => Ok(plain(experiments::tab15_faults_run(Self::scale_of(
+                params,
+            )?))),
             "tab21_snapshot" => Ok(plain(experiments::tab21_snapshot_run(Self::scale_of(
                 params,
             )?))),
+            "tab22_pdes" => {
+                // `hosts` is the top-level serving knob (JobSpec::hosts),
+                // not a param: results are bit-identical for every value,
+                // so it stays out of the cache key and the result bytes.
+                let hosts = spec.hosts.unwrap_or(1) as usize;
+                Ok(plain(experiments::tab22_pdes_at(
+                    Self::scale_of(params)?,
+                    hosts,
+                )))
+            }
             other => Err(format!("unknown experiment `{other}`")),
         }
     }
@@ -587,6 +606,26 @@ mod tests {
     }
 
     #[test]
+    fn pdes_job_bytes_and_key_are_hosts_independent() {
+        let parse_spec = |s: &str| JobSpec::from_value(&json::parse(s).unwrap()).unwrap();
+        let serial = parse_spec(r#"{"exp":"tab22_pdes","params":{"quick":true},"seed":7}"#);
+        let par = parse_spec(r#"{"exp":"tab22_pdes","params":{"quick":true},"seed":7,"hosts":4}"#);
+        assert_eq!(
+            serial.key(bfly_sim::ENGINE_VERSION),
+            par.key(bfly_sim::ENGINE_VERSION),
+            "hosts must not enter the cache identity"
+        );
+        let a = Registry.run(&serial).unwrap();
+        let b = Registry.run(&par).unwrap();
+        assert_eq!(a, b, "tab22_pdes result bytes must be hosts-independent");
+        let s = String::from_utf8(a).unwrap();
+        assert!(
+            !s.contains("hosts"),
+            "hosts must not leak into result bytes"
+        );
+    }
+
+    #[test]
     fn checkpointed_run_is_bit_identical_and_reports_resume() {
         struct MemCkpt {
             bytes: Option<Vec<u8>>,
@@ -640,7 +679,9 @@ mod tests {
             saves: 0,
             resumed: 0,
         };
-        let _ = Registry.run_checkpointed(&probed_spec, &mut probed).unwrap();
+        let _ = Registry
+            .run_checkpointed(&probed_spec, &mut probed)
+            .unwrap();
         assert_eq!(probed.saves, 0);
         assert_eq!(probed.resumed, 0);
     }

@@ -123,6 +123,69 @@ pub struct PerfReport {
     /// Sharded-cluster latency benchmark (`perf_report --cluster-bench`);
     /// absent when the router wasn't exercised.
     pub cluster: Option<crate::cluster::ClusterBenchResult>,
+    /// Parallel-in-time engine benchmark (`perf_report --pdes-bench`);
+    /// absent when the PDES engine wasn't exercised.
+    pub pdes: Option<PdesBench>,
+}
+
+/// Host-parallel speedup of one pinned PDES point (FIG5 N=384 on a
+/// 512-node machine): the same simulation run serially and on `hosts`
+/// worker threads, bit-identity asserted along the way.
+#[derive(Debug, Clone)]
+pub struct PdesSpeedup {
+    /// Host worker threads of the parallel leg.
+    pub hosts: usize,
+    /// Serial (`hosts = 1`) wall-clock.
+    pub serial: Duration,
+    /// Parallel wall-clock on `hosts` workers.
+    pub parallel: Duration,
+}
+
+impl PdesSpeedup {
+    /// Serial-over-parallel wall ratio.
+    pub fn speedup(&self) -> f64 {
+        let p = self.parallel.as_secs_f64();
+        if p > 0.0 {
+            self.serial.as_secs_f64() / p
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The `pdes` report section: raw event-loop throughput of the
+/// parallel-in-time engine (PHOLD workloads — every event is one heap
+/// pop, handler, RNG draw, and push, so events/s measures the engine,
+/// not application arithmetic), plus the single-point host-parallel
+/// speedup when the host has cores to measure it on.
+#[derive(Debug, Clone)]
+pub struct PdesBench {
+    /// Per-workload serial-engine throughput.
+    pub metrics: Vec<Metric>,
+    /// Host-parallel speedup point; `None` on single-core hosts (the
+    /// measurement would be noise, not signal).
+    pub speedup: Option<PdesSpeedup>,
+    /// Every workload re-run on 2 host workers produced bit-identical
+    /// state digests (the determinism contract, asserted at bench time).
+    pub bit_identical: bool,
+}
+
+impl PdesBench {
+    /// Geometric mean of per-workload events/sec — same aggregation as
+    /// [`PerfReport::headline_events_per_sec`], same reasoning.
+    pub fn geomean_events_per_sec(&self) -> f64 {
+        let rates: Vec<f64> = self
+            .metrics
+            .iter()
+            .map(Metric::events_per_sec)
+            .filter(|r| *r > 0.0)
+            .collect();
+        if rates.is_empty() {
+            return 0.0;
+        }
+        let log_sum: f64 = rates.iter().map(|r| r.ln()).sum();
+        (log_sum / rates.len() as f64).exp()
+    }
 }
 
 impl PerfReport {
@@ -294,6 +357,49 @@ impl PerfReport {
                 );
             }
         }
+        out.push_str(",\n  \"pdes\": ");
+        match &self.pdes {
+            None => out.push_str("null"),
+            Some(p) => {
+                let _ = write!(
+                    out,
+                    "{{\"events_per_sec_geomean\": {:.0}, \"bit_identical\": {}, \
+                     \"microbench\": [",
+                    p.geomean_events_per_sec(),
+                    p.bit_identical
+                );
+                for (i, m) in p.metrics.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str("{\"name\": ");
+                    push_json_str(&mut out, &m.name);
+                    let _ = write!(
+                        out,
+                        ", \"events\": {}, \"wall_ms\": {:.3}, \"events_per_sec\": {:.0}}}",
+                        m.events,
+                        m.wall.as_secs_f64() * 1e3,
+                        m.events_per_sec()
+                    );
+                }
+                out.push_str("], \"speedup\": ");
+                match &p.speedup {
+                    None => out.push_str("null"),
+                    Some(s) => {
+                        let _ = write!(
+                            out,
+                            "{{\"hosts\": {}, \"serial_wall_ms\": {:.1}, \
+                             \"parallel_wall_ms\": {:.1}, \"speedup\": {:.2}}}",
+                            s.hosts,
+                            s.serial.as_secs_f64() * 1e3,
+                            s.parallel.as_secs_f64() * 1e3,
+                            s.speedup().min(1e6)
+                        );
+                    }
+                }
+                out.push('}');
+            }
+        }
         out.push_str(",\n  \"tables\": [");
         for (i, t) in self.tables.iter().enumerate() {
             if i > 0 {
@@ -378,6 +484,146 @@ pub fn check_sweep(
         ))
     } else {
         Ok(())
+    }
+}
+
+/// Extract a numeric `field` out of the named top-level `section` of a
+/// previously written report, without a JSON parser: find `"section":`,
+/// then the first `"field":` after it, then the number. Returns `None`
+/// when the section is absent, `null`, or the field is missing — the
+/// trend gate uses that to skip sections older baselines don't carry.
+pub fn parse_section_field(json: &str, section: &str, field: &str) -> Option<f64> {
+    let skey = format!("\"{section}\":");
+    let at = json.find(&skey)? + skey.len();
+    let mut rest = json[at..].trim_start();
+    if rest.starts_with("null") {
+        return None;
+    }
+    // Take the first occurrence of the key that is followed by a number:
+    // a key can name both an object and a scalar inside it (the `pdes`
+    // section's `"speedup": {..., "speedup": 6.00}`), and a `null` slot
+    // must read as absent, not as a parse of the word `null`.
+    let fkey = format!("\"{field}\":");
+    loop {
+        let f = rest.find(&fkey)? + fkey.len();
+        let v = rest[f..].trim_start();
+        let end = v
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+            .unwrap_or(v.len());
+        if end > 0 {
+            if let Ok(n) = v[..end].parse() {
+                return Some(n);
+            }
+        }
+        rest = &rest[f..];
+    }
+}
+
+/// Which way a metric regresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Bigger is better (throughput): fail when current < floor.
+    Higher,
+    /// Smaller is better (wall-clock, latency): fail when current > ceiling.
+    Lower,
+}
+
+/// One per-section trend gate: `Ok(true)` = checked and passed,
+/// `Ok(false)` = skipped (the baseline predates this section — the next
+/// committed report will pick it up), `Err` = regression, with both
+/// numbers in the message.
+pub fn check_section(
+    baseline_json: &str,
+    current_json: &str,
+    section: &str,
+    field: &str,
+    tolerance: f64,
+    dir: Direction,
+) -> Result<bool, String> {
+    let Some(base) = parse_section_field(baseline_json, section, field) else {
+        return Ok(false);
+    };
+    let cur = parse_section_field(current_json, section, field)
+        .ok_or_else(|| format!("current report lost section {section}.{field} the baseline has"))?;
+    let ok = match dir {
+        Direction::Higher => cur >= base * (1.0 - tolerance),
+        Direction::Lower => cur <= base * (1.0 + tolerance),
+    };
+    if ok {
+        Ok(true)
+    } else {
+        Err(format!(
+            "{section}.{field} regressed: {cur:.1} vs baseline {base:.1} \
+             ({:.0}% tolerance, {})",
+            tolerance * 100.0,
+            match dir {
+                Direction::Higher => "higher is better",
+                Direction::Lower => "lower is better",
+            }
+        ))
+    }
+}
+
+/// Run the PDES engine benchmark: PHOLD throughput workloads (serial
+/// engine), a 2-worker bit-identity pass over each, and — when the host
+/// has at least two cores — the FIG5 N=384 single-point host-parallel
+/// speedup on `min(hosts, available cores)` workers.
+pub fn pdes_bench(hosts: usize) -> PdesBench {
+    use bfly_apps::phold::phold_sim;
+
+    // (name, nodes, jobs/node, hops): ~1.2M events each, shaped to
+    // stress different engine paths — many cold heaps, one hot heap,
+    // and a wide fan of in-flight events.
+    let shapes: [(&str, u32, u32, u32); 3] = [
+        ("phold_wide_1k", 1024, 12, 100),
+        ("phold_dense_64", 64, 64, 300),
+        ("phold_deep_256", 256, 16, 300),
+    ];
+    let mut metrics = Vec::new();
+    let mut bit_identical = true;
+    for (name, nodes, jobs, hops) in shapes {
+        let build = || phold_sim(11, nodes, jobs, hops, 4_000);
+        let mut warm = build();
+        warm.run();
+        let mut sim = build();
+        let t = std::time::Instant::now();
+        let stats = sim.run();
+        let wall = t.elapsed();
+        let mut par = build();
+        par.run_parallel(2);
+        bit_identical &= par.state_digest() == sim.state_digest();
+        metrics.push(Metric {
+            name: name.to_string(),
+            events: stats.events,
+            wall,
+        });
+    }
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let speedup = if cores >= 2 && hosts >= 2 {
+        let hosts = hosts.min(cores);
+        let point = || bfly_apps::pdes_gauss::pdes_gauss_sim(256, 384, 7, 512);
+        let mut serial = point();
+        let t = std::time::Instant::now();
+        serial.run();
+        let serial_wall = t.elapsed();
+        let mut par = point();
+        let t = std::time::Instant::now();
+        par.run_parallel(hosts);
+        let parallel_wall = t.elapsed();
+        bit_identical &= par.state_digest() == serial.state_digest();
+        Some(PdesSpeedup {
+            hosts,
+            serial: serial_wall,
+            parallel: parallel_wall,
+        })
+    } else {
+        None
+    };
+    PdesBench {
+        metrics,
+        speedup,
+        bit_identical,
     }
 }
 
@@ -504,6 +750,7 @@ mod tests {
             serve: None,
             sustained: None,
             cluster: None,
+            pdes: None,
         };
         // geomean(1e7, 4e7) = 2e7
         assert!((report.headline_events_per_sec() - 2e7).abs() < 1e3);
@@ -536,6 +783,7 @@ mod tests {
             serve: None,
             sustained: None,
             cluster: None,
+            pdes: None,
         };
         let json = report.to_json();
         let quick = parse_sweep_wall_ms(&json, "fig5_gauss_quick").unwrap();
@@ -546,6 +794,53 @@ mod tests {
         assert!(check_sweep(&json, "fig5_gauss_quick", 810.0, 0.02).is_ok());
         assert!(check_sweep(&json, "fig5_gauss_quick", 900.0, 0.02).is_err());
         assert!(check_sweep(&json, "missing", 1.0, 0.02).is_err());
+    }
+
+    #[test]
+    fn section_scanner_and_gate_cover_nested_and_null_slots() {
+        let base = r#"{"serve": {"cold_wall_ms": 100.0, "warm_wall_ms": 2.0},
+            "pdes": {"events_per_sec_geomean": 30000000,
+                     "speedup": {"hosts": 8, "speedup": 6.00}}}"#;
+        assert_eq!(
+            parse_section_field(base, "serve", "cold_wall_ms"),
+            Some(100.0)
+        );
+        assert_eq!(parse_section_field(base, "pdes", "speedup"), Some(6.0));
+        assert_eq!(parse_section_field(base, "pdes", "hosts"), Some(8.0));
+        assert_eq!(parse_section_field(base, "cluster", "lost"), None);
+        let nulled = r#"{"serve": null, "pdes": {"speedup": null}}"#;
+        assert_eq!(parse_section_field(nulled, "serve", "cold_wall_ms"), None);
+        assert_eq!(parse_section_field(nulled, "pdes", "speedup"), None);
+
+        let slower = r#"{"serve": {"cold_wall_ms": 200.0},
+            "pdes": {"events_per_sec_geomean": 10000000,
+                     "speedup": {"hosts": 8, "speedup": 6.00}}}"#;
+        // Lower-is-better: 200 vs 100 baseline fails at 50% tolerance.
+        assert!(
+            check_section(base, slower, "serve", "cold_wall_ms", 0.5, Direction::Lower).is_err()
+        );
+        assert!(
+            check_section(slower, base, "serve", "cold_wall_ms", 0.5, Direction::Lower).is_ok()
+        );
+        // Higher-is-better: a 3x throughput drop fails at 25% tolerance.
+        assert!(check_section(
+            base,
+            slower,
+            "pdes",
+            "events_per_sec_geomean",
+            0.25,
+            Direction::Higher
+        )
+        .is_err());
+        // Section absent from the baseline: checked=false, not an error.
+        assert_eq!(
+            check_section(base, slower, "cluster", "lost", 0.0, Direction::Lower),
+            Ok(false)
+        );
+        // Section in the baseline but lost from the current report: error.
+        assert!(
+            check_section(base, nulled, "serve", "cold_wall_ms", 0.5, Direction::Lower).is_err()
+        );
     }
 
     #[test]

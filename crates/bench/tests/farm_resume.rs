@@ -78,10 +78,7 @@ fn submit_terminal(c: &mut Client, deadline: Duration) -> Value {
 }
 
 fn temp_cache_dir(tag: &str) -> PathBuf {
-    let d = std::env::temp_dir().join(format!(
-        "bfly_farm_resume_{tag}_{}",
-        std::process::id()
-    ));
+    let d = std::env::temp_dir().join(format!("bfly_farm_resume_{tag}_{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&d);
     std::fs::create_dir_all(&d).expect("create cache dir");
     d

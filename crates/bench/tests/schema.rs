@@ -38,6 +38,7 @@ fn sample_report() -> PerfReport {
         serve: None,
         sustained: None,
         cluster: None,
+        pdes: None,
     };
     let mut t = Table::new("demo \"table\"", &["P", "time (ms)"]);
     t.row(vec!["16".into(), "1.5".into()]);
@@ -292,6 +293,72 @@ fn cluster_section_schema_is_stable() {
     let cluster_at = json.find("\"cluster\"").unwrap();
     let tables_at = json.find("\"tables\"").unwrap();
     assert!(serve_at < cluster_at && cluster_at < tables_at);
+
+    // The headline/sweep scanners must be unaffected by the new section.
+    assert!(parse_headline(&json).is_some());
+    assert!(parse_sweep_wall_ms(&json, "fig5_gauss_quick").is_some());
+}
+
+#[test]
+fn pdes_section_schema_is_stable() {
+    use bfly_bench::report::{parse_section_field, PdesBench, PdesSpeedup};
+    let mut report = sample_report();
+    report.pdes = Some(PdesBench {
+        metrics: vec![
+            Metric {
+                name: "phold_wide_1k".into(),
+                events: 1_228_800,
+                wall: Duration::from_millis(30),
+            },
+            Metric {
+                name: "phold_dense_64".into(),
+                events: 1_228_800,
+                wall: Duration::from_millis(25),
+            },
+        ],
+        speedup: Some(PdesSpeedup {
+            hosts: 8,
+            serial: Duration::from_millis(2_400),
+            parallel: Duration::from_millis(400),
+        }),
+        bit_identical: true,
+    });
+    let json = report.to_json();
+    validate_json(&json).unwrap_or_else(|(pos, msg)| panic!("invalid report at {pos}: {msg}"));
+
+    // Golden key set for the PDES engine section.
+    for key in [
+        "\"pdes\": {",
+        "\"events_per_sec_geomean\":",
+        "\"bit_identical\": true",
+        "\"microbench\": [",
+        "\"name\": \"phold_wide_1k\"",
+        "\"events\": 1228800",
+        "\"speedup\": {\"hosts\": 8",
+        "\"serial_wall_ms\": 2400.0",
+        "\"parallel_wall_ms\": 400.0",
+        "\"speedup\": 6.00",
+    ] {
+        assert!(json.contains(key), "pdes section must carry {key}\n{json}");
+    }
+    // Section order is part of the schema: cluster, then pdes, then tables.
+    let cluster_at = json.find("\"cluster\"").unwrap();
+    let pdes_at = json.find("\"pdes\"").unwrap();
+    let tables_at = json.find("\"tables\"").unwrap();
+    assert!(cluster_at < pdes_at && pdes_at < tables_at);
+
+    // The trend-gate scanner reads the section fields back.
+    let g = parse_section_field(&json, "pdes", "events_per_sec_geomean").unwrap();
+    assert!(g > 1e7, "geomean scannable: {g}");
+    let s = parse_section_field(&json, "pdes", "speedup").unwrap();
+    assert!((s - 6.0).abs() < 0.01);
+    // A single-core report (speedup null) keeps the shape; the scanner
+    // reports the field as absent rather than misparsing.
+    report.pdes.as_mut().unwrap().speedup = None;
+    let json = report.to_json();
+    validate_json(&json).unwrap_or_else(|(pos, msg)| panic!("invalid report at {pos}: {msg}"));
+    assert!(json.contains("\"speedup\": null"));
+    assert!(parse_section_field(&json, "pdes", "speedup").is_none());
 
     // The headline/sweep scanners must be unaffected by the new section.
     assert!(parse_headline(&json).is_some());

@@ -35,6 +35,7 @@ pub mod cost;
 pub mod error;
 pub mod machine;
 pub mod node;
+pub mod pdes_map;
 pub mod sar;
 pub mod switch;
 
@@ -42,4 +43,5 @@ pub use addr::{GAddr, NodeId};
 pub use cost::{Costs, SwitchModel};
 pub use error::MachineError;
 pub use machine::{Machine, MachineConfig, MachineStats};
+pub use pdes_map::PdesTopology;
 pub use sar::{SarBlock, SarFile};

@@ -779,13 +779,26 @@ impl Sanitizer {
         };
         let first_word = offset >> 2;
         let last_word = (offset + len - 1) >> 2;
+        // One shadow borrow covers every word of the access: block
+        // transfers and row copies span dozens of 4-byte words, and a
+        // RefCell borrow per word was the dominant cost of the check.
+        // The race/warning side tables live in their own cells, so the
+        // per-word bookkeeping can run while the borrow is held.
+        let mut shadow = self.inner.shadow.borrow_mut();
         for w in first_word..=last_word {
-            self.word_access(node, w, cur, &vc, is_write);
+            self.word_access(&mut shadow, node, w, cur, &vc, is_write);
         }
     }
 
-    fn word_access(&self, node: u16, word: u64, cur: Access, vc: &VClock, is_write: bool) {
-        let mut shadow = self.inner.shadow.borrow_mut();
+    fn word_access(
+        &self,
+        shadow: &mut HashMap<(u16, u64), ShadowWord>,
+        node: u16,
+        word: u64,
+        cur: Access,
+        vc: &VClock,
+        is_write: bool,
+    ) {
         let sw = shadow.entry((node, word)).or_insert_with(ShadowWord::new);
 
         // Happens-before checks.
@@ -852,8 +865,6 @@ impl Sanitizer {
                 }
             }
         }
-        drop(shadow);
-
         if warn {
             let mut warns = self.inner.warnings.borrow_mut();
             let e = warns.entry(cur.dsite).or_insert(WarnInfo {

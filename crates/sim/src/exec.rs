@@ -683,20 +683,30 @@ impl Sim {
             _sim: self.inner.clone(),
         });
 
-        let (idx, gen) = self.inner.tasks.borrow_mut().alloc();
+        let (idx, gen): (u32, u32);
+
+        // One borrow covers both the slot allocation and the task install:
+        // nothing in between re-enters the executor (waker construction is
+        // pure), and spawn sits on the hot path of every fork-heavy model.
+        {
+            let mut tasks = self.inner.tasks.borrow_mut();
+            let (i, g) = tasks.alloc();
+            idx = i;
+            gen = g;
+            let node = Rc::new(WakerNode {
+                key: pack(idx, gen),
+                queued: Cell::new(true), // starts queued
+                ready: self.inner.ready.clone(),
+            });
+            let waker = waker_for(&node);
+            tasks.slots[idx as usize].task = Some(Box::new(Task {
+                fut: wrapped,
+                waker,
+                node,
+                name,
+            }));
+        }
         let key = pack(idx, gen);
-        let node = Rc::new(WakerNode {
-            key,
-            queued: Cell::new(true), // starts queued
-            ready: self.inner.ready.clone(),
-        });
-        let waker = waker_for(&node);
-        self.inner.tasks.borrow_mut().slots[idx as usize].task = Some(Box::new(Task {
-            fut: wrapped,
-            waker,
-            node,
-            name,
-        }));
         self.inner.live.set(self.inner.live.get() + 1);
         self.inner
             .tasks_spawned

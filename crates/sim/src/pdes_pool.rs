@@ -1,0 +1,217 @@
+//! # The sanctioned PDES worker pool.
+//!
+//! The *only* PDES module allowed to touch host-thread primitives (xtask
+//! lint check 7 bans `thread::` from `pdes.rs`/`pdes_window.rs` and pins
+//! the ban list here). It deliberately knows nothing about events or
+//! windows: it hands each partition value to one scoped worker thread and
+//! exposes two synchronization pieces — a barrier ([`SyncPoint`]) and a
+//! partition-to-partition mailbox grid ([`Mailboxes`]) — that the windowed
+//! executor in [`crate::pdes_window`] builds its protocol from.
+//!
+//! Wall-clock reads and `HashMap` iteration stay banned here too: the
+//! pool may schedule work on host threads, but nothing it does may leak
+//! host timing or hash order into simulation results.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+/// Run `f(index, &mut part)` for every partition, each on its own host
+/// worker. Partition 0 runs on the calling thread (so `hosts == 1` spawns
+/// nothing and degenerates to a plain serial call); partitions 1.. run on
+/// scoped threads that are joined before this returns. Panics propagate.
+pub fn run_partitioned<T, F>(parts: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    if parts.len() <= 1 {
+        if let Some(p) = parts.first_mut() {
+            f(0, p);
+        }
+        return;
+    }
+    std::thread::scope(|s| {
+        let mut it = parts.iter_mut().enumerate();
+        let first = it.next();
+        let fr = &f;
+        for (i, part) in it {
+            s.spawn(move || fr(i, part));
+        }
+        if let Some((i, part)) = first {
+            f(i, part);
+        }
+    });
+}
+
+/// A reusable rendezvous for all workers. `wait` returns `true` on exactly
+/// one worker per generation (the leader), which the window protocol uses
+/// to elect the coordinator for global-minimum computation.
+pub struct SyncPoint {
+    barrier: Barrier,
+}
+
+impl SyncPoint {
+    /// A sync point for `n` workers.
+    pub fn new(n: usize) -> SyncPoint {
+        SyncPoint {
+            barrier: Barrier::new(n),
+        }
+    }
+
+    /// Block until all workers arrive; `true` for the elected leader.
+    pub fn wait(&self) -> bool {
+        self.barrier.wait().is_leader()
+    }
+}
+
+/// One shared `u64` cell per partition plus a global cell — the window
+/// protocol publishes per-partition minima here and the leader publishes
+/// the chosen window start. Plain sequentially-consistent atomics: every
+/// access is separated from its readers by a [`SyncPoint::wait`], so the
+/// values are never racy; atomics just make that legible to the compiler.
+pub struct SharedMins {
+    per_part: Vec<AtomicU64>,
+    global: AtomicU64,
+}
+
+impl SharedMins {
+    /// Cells for `n` partitions, all starting at `u64::MAX`.
+    pub fn new(n: usize) -> SharedMins {
+        SharedMins {
+            per_part: (0..n).map(|_| AtomicU64::new(u64::MAX)).collect(),
+            global: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    /// Publish partition `p`'s earliest pending timestamp.
+    pub fn publish(&self, p: usize, min: u64) {
+        self.per_part[p].store(min, Ordering::SeqCst);
+    }
+
+    /// Leader: fold the per-partition minima into the global cell.
+    pub fn reduce(&self) -> u64 {
+        let g = self
+            .per_part
+            .iter()
+            .map(|c| c.load(Ordering::SeqCst))
+            .min()
+            .unwrap_or(u64::MAX);
+        self.global.store(g, Ordering::SeqCst);
+        g
+    }
+
+    /// All workers: read the leader's published global minimum.
+    pub fn global(&self) -> u64 {
+        self.global.load(Ordering::SeqCst)
+    }
+}
+
+/// An `n × n` grid of single-producer single-consumer mailboxes: worker
+/// `p` pushes outbound values into `(p, q)` during a window and drains
+/// column `(*, p)` after the barrier. Each cell is touched by exactly one
+/// producer and one consumer in alternating barrier-separated phases, so
+/// the mutexes are never contended — they exist to keep the pool 100%
+/// safe code.
+pub struct Mailboxes<T> {
+    n: usize,
+    cells: Vec<Mutex<Vec<T>>>,
+}
+
+impl<T: Send> Mailboxes<T> {
+    /// An empty `n × n` grid.
+    pub fn new(n: usize) -> Mailboxes<T> {
+        Mailboxes {
+            n,
+            cells: (0..n * n).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+
+    /// Producer `from`: append `items` for consumer `to`.
+    pub fn post(&self, from: usize, to: usize, items: &mut Vec<T>) {
+        if items.is_empty() {
+            return;
+        }
+        let mut cell = self.cells[from * self.n + to]
+            .lock()
+            .expect("pdes pool: mailbox poisoned");
+        cell.append(items);
+    }
+
+    /// Consumer `to`: take everything posted by every producer, in
+    /// producer order (deterministic; the consumer re-sorts by event key
+    /// anyway because heap insertion order is irrelevant to pop order).
+    pub fn take_all(&self, to: usize, into: &mut Vec<T>) {
+        for from in 0..self.n {
+            let mut cell = self.cells[from * self.n + to]
+                .lock()
+                .expect("pdes pool: mailbox poisoned");
+            into.append(&mut cell);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_partitioned_visits_every_partition_once() {
+        let mut parts: Vec<u64> = vec![0; 7];
+        run_partitioned(&mut parts, |i, p| *p = i as u64 + 1);
+        assert_eq!(parts, vec![1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn single_partition_runs_inline() {
+        let mut parts = vec![0u64];
+        run_partitioned(&mut parts, |_, p| *p = 9);
+        assert_eq!(parts, vec![9]);
+    }
+
+    #[test]
+    fn mins_reduce_to_global_minimum() {
+        let m = SharedMins::new(3);
+        m.publish(0, 30);
+        m.publish(1, 10);
+        m.publish(2, 20);
+        assert_eq!(m.reduce(), 10);
+        assert_eq!(m.global(), 10);
+    }
+
+    #[test]
+    fn mailboxes_round_trip_in_producer_order() {
+        let mb: Mailboxes<u32> = Mailboxes::new(2);
+        mb.post(0, 1, &mut vec![1, 2]);
+        mb.post(1, 1, &mut vec![3]);
+        let mut got = Vec::new();
+        mb.take_all(1, &mut got);
+        assert_eq!(got, vec![1, 2, 3]);
+        let mut empty = Vec::new();
+        mb.take_all(1, &mut empty);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn syncpoint_elects_exactly_one_leader() {
+        let sp = SyncPoint::new(4);
+        let leaders = std::sync::atomic::AtomicU64::new(0);
+        let mut parts = [(); 4];
+        std::thread::scope(|s| {
+            let sp = &sp;
+            let leaders = &leaders;
+            let mut it = parts.iter_mut();
+            let _first = it.next();
+            for _ in it {
+                s.spawn(move || {
+                    if sp.wait() {
+                        leaders.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+            if sp.wait() {
+                leaders.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        assert_eq!(leaders.load(Ordering::SeqCst), 1);
+    }
+}

@@ -235,7 +235,9 @@ mod tests {
         let mut engine = Section::new(ENGINE_SECTION);
         engine.field_u64("version", 9999).field_u64("events", 200);
         doctored.push(engine).push(a.state_section());
-        let err = Sim::restore(&doctored, || program(1)).map(|_| ()).unwrap_err();
+        let err = Sim::restore(&doctored, || program(1))
+            .map(|_| ())
+            .unwrap_err();
         assert!(matches!(err, SnapError::Corrupt { .. }), "{err}");
     }
 

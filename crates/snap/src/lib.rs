@@ -73,7 +73,10 @@ impl fmt::Display for SnapError {
             SnapError::BadMagic(got) => write!(f, "not a {FORMAT} snapshot (got `{got}`)"),
             SnapError::Corrupt { line, msg } => write!(f, "corrupt snapshot at line {line}: {msg}"),
             SnapError::SumMismatch { expected, got } => {
-                write!(f, "snapshot checksum mismatch: expected {expected}, got {got}")
+                write!(
+                    f,
+                    "snapshot checksum mismatch: expected {expected}, got {got}"
+                )
             }
             SnapError::MissingField { section, field } => {
                 write!(f, "snapshot missing field [{section}] {field}")
@@ -133,12 +136,13 @@ fn unescape(v: &str, line: usize) -> Result<String, SnapError> {
                 line,
                 msg: "truncated escape".into(),
             })?;
-            let code = u8::from_str_radix(std::str::from_utf8(hex).unwrap_or("zz"), 16).map_err(
-                |_| SnapError::Corrupt {
-                    line,
-                    msg: "bad escape".into(),
-                },
-            )?;
+            let code =
+                u8::from_str_radix(std::str::from_utf8(hex).unwrap_or("zz"), 16).map_err(|_| {
+                    SnapError::Corrupt {
+                        line,
+                        msg: "bad escape".into(),
+                    }
+                })?;
             out.push(code as char);
             i += 3;
         } else {
@@ -413,7 +417,10 @@ mod tests {
     fn golden_schema_bfly_snap_1() {
         let enc = sample().encode();
         let text = String::from_utf8(enc).unwrap();
-        assert!(text.starts_with("bfly-snap/1\n"), "header line is the format tag");
+        assert!(
+            text.starts_with("bfly-snap/1\n"),
+            "header line is the format tag"
+        );
         let expected_body = "bfly-snap/1\n\
                              [engine]\n\
                              version=2\n\
@@ -451,8 +458,16 @@ mod tests {
             dec.section("sim").unwrap().get("note"),
             Some("has=equals and % and\nnewline")
         );
-        assert_eq!(dec.section("sim").unwrap().get_u64s("ready").unwrap(), [7, 8, 9]);
-        assert!(dec.section("sim").unwrap().get_u64s("empty").unwrap().is_empty());
+        assert_eq!(
+            dec.section("sim").unwrap().get_u64s("ready").unwrap(),
+            [7, 8, 9]
+        );
+        assert!(dec
+            .section("sim")
+            .unwrap()
+            .get_u64s("empty")
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -483,7 +498,10 @@ mod tests {
             sim.get_u64("absent"),
             Err(SnapError::MissingField { .. })
         ));
-        assert!(matches!(s.require("nope"), Err(SnapError::MissingField { .. })));
+        assert!(matches!(
+            s.require("nope"),
+            Err(SnapError::MissingField { .. })
+        ));
     }
 
     #[test]

@@ -30,6 +30,15 @@
 //!    into a `Divergent` error on every resume. Host timing that must
 //!    exist (e.g. `RunStats::wall`) lives outside these modules and
 //!    outside the captured sections.
+//! 7. **PDES purity** — the bit-identical parallel-executor contract
+//!    (DESIGN.md §17) holds only if the PDES modules are deterministic
+//!    pure functions of simulated state. In `crates/sim/src/pdes*`:
+//!    no wall-clock sources, no `HashMap`/`HashSet` (their iteration
+//!    order is randomized per process, and one order-dependent fold
+//!    breaks serial ≡ parallel silently), and no `thread::` anywhere
+//!    except `pdes_pool.rs`, the one sanctioned scoped-thread pool —
+//!    a thread spawned elsewhere is an unsynchronized executor escaping
+//!    the three-barrier window protocol.
 //!
 //! Each check is a pure function over `(path label, file contents)` so the
 //! unit tests below can feed deliberate violations without touching disk.
@@ -81,6 +90,22 @@ const SNAPSHOT_PURE_FILES: &[&str] = &[
     "crates/sim/src/rng.rs",
     "crates/bench/src/snapshot.rs",
 ];
+
+/// The PDES executor modules (DESIGN.md §17). Serial ≡ parallel is a
+/// bit-identity contract, so everything here must be a deterministic
+/// pure function of simulated state: no wall clocks, no randomized-order
+/// containers. `pdes_pool.rs` is the one module allowed to touch
+/// `thread::` — it hosts the sanctioned scoped worker pool that the
+/// window protocol drives.
+const PDES_PURE_FILES: &[&str] = &[
+    "crates/sim/src/pdes.rs",
+    "crates/sim/src/pdes_pool.rs",
+    "crates/sim/src/pdes_snap.rs",
+    "crates/sim/src/pdes_window.rs",
+];
+
+/// The single PDES module where `thread::` is sanctioned.
+const PDES_POOL_FILE: &str = "crates/sim/src/pdes_pool.rs";
 
 /// How far back (in lines) a `// SAFETY:` comment may sit from its
 /// `unsafe` keyword and still count as adjacent.
@@ -147,12 +172,15 @@ fn lint() -> ExitCode {
         if SNAPSHOT_PURE_FILES.contains(&label.as_str()) {
             violations.extend(check_snapshot_purity(&label, &text));
         }
+        if PDES_PURE_FILES.contains(&label.as_str()) {
+            violations.extend(check_pdes_purity(&label, &text));
+        }
     }
 
     if violations.is_empty() {
         println!(
             "xtask lint: ok (dependency edges, SAFETY comments, unsafe allowlist, daemon \
-             unwraps, reactor thread ban, snapshot purity)"
+             unwraps, reactor thread ban, snapshot purity, PDES purity)"
         );
         ExitCode::SUCCESS
     } else {
@@ -395,6 +423,47 @@ fn check_snapshot_purity(label: &str, text: &str) -> Vec<String> {
     violations
 }
 
+/// Check 7: PDES purity — the parallel executor's bit-identity contract
+/// (DESIGN.md §17) bans, outside `#[cfg(test)]`, in every PDES module:
+/// wall-clock sources (`SystemTime`, `Instant::now`) and the std hash
+/// containers (`HashMap`, `HashSet` — iteration order is randomized per
+/// process, so one order-dependent fold silently breaks serial ≡
+/// parallel; use `BTreeMap` or dense `Vec` indexing). `thread::` is
+/// additionally banned everywhere except [`PDES_POOL_FILE`], the one
+/// sanctioned scoped-thread pool driven by the window barrier protocol.
+fn check_pdes_purity(label: &str, text: &str) -> Vec<String> {
+    let mut violations = Vec::new();
+    let threads_allowed = label == PDES_POOL_FILE;
+    for (i, raw) in text.lines().enumerate() {
+        if raw.trim_start().starts_with("#[cfg(test)]") {
+            break;
+        }
+        let code = strip_comment(raw, "//");
+        if code.contains("SystemTime") || code.contains("Instant::now") {
+            violations.push(format!(
+                "{label}:{}: wall-clock source in a PDES module; parallel results must be \
+                 bit-identical to serial (DESIGN.md §17)",
+                i + 1
+            ));
+        }
+        if code.contains("HashMap") || code.contains("HashSet") {
+            violations.push(format!(
+                "{label}:{}: randomized-iteration container in a PDES module; use BTreeMap \
+                 or dense Vec indexing so event order is deterministic (DESIGN.md §17)",
+                i + 1
+            ));
+        }
+        if !threads_allowed && code.contains("thread::") {
+            violations.push(format!(
+                "{label}:{}: `thread::` outside the sanctioned pool ({PDES_POOL_FILE}); \
+                 workers are spawned only by the window protocol's scoped pool",
+                i + 1
+            ));
+        }
+    }
+    violations
+}
+
 // ---------------------------------------------------------------------------
 // Shared line helpers
 // ---------------------------------------------------------------------------
@@ -627,6 +696,61 @@ mod tests {
     fn snapshot_purity_covers_the_serialized_state_modules() {
         for f in ["crates/snap/src/lib.rs", "crates/sim/src/snap.rs"] {
             assert!(SNAPSHOT_PURE_FILES.contains(&f), "{f} must stay gated");
+        }
+    }
+
+    #[test]
+    fn pdes_purity_flags_wall_clock_and_hash_containers() {
+        let text = "fn window(&mut self) {\n    let t0 = std::time::Instant::now();\n    let mut inbox: HashMap<u32, Vec<Ev>> = HashMap::new();\n    let seen: HashSet<u64> = HashSet::new();\n}\n";
+        let v = check_pdes_purity("crates/sim/src/pdes_window.rs", text);
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert!(v[0].contains("wall-clock"), "{v:?}");
+        assert!(v[1].contains("randomized-iteration"), "{v:?}");
+        assert!(v[2].contains("randomized-iteration"), "{v:?}");
+    }
+
+    #[test]
+    fn pdes_purity_flags_threads_outside_the_pool() {
+        let text =
+            "fn run_parallel(&mut self) {\n    std::thread::spawn(move || self.partition(0));\n}\n";
+        let v = check_pdes_purity("crates/sim/src/pdes.rs", text);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("sanctioned pool"), "{v:?}");
+    }
+
+    #[test]
+    fn pdes_purity_sanctions_threads_in_the_pool_module_only() {
+        let text = "pub fn run<F: Fn(usize) + Sync>(n: usize, f: F) {\n    std::thread::scope(|s| {\n        for w in 0..n { s.spawn(|| f(w)); }\n    });\n}\n";
+        assert!(check_pdes_purity(PDES_POOL_FILE, text).is_empty());
+        // The same text in any other PDES module trips the thread ban.
+        let v = check_pdes_purity("crates/sim/src/pdes_window.rs", text);
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn pdes_purity_still_bans_clocks_and_hashes_in_the_pool() {
+        // pdes_pool.rs is exempt from the thread ban only; a wall-clock
+        // read or a HashMap in the pool is as fatal as anywhere else.
+        let text = "fn drive() {\n    let t = SystemTime::now();\n    let m = HashMap::new();\n}\n";
+        let v = check_pdes_purity(PDES_POOL_FILE, text);
+        assert_eq!(v.len(), 2, "{v:?}");
+    }
+
+    #[test]
+    fn pdes_purity_ignores_comments_and_test_modules() {
+        let text = "//! lint check 7 bans thread::, HashMap, and Instant::now here\nfn merge(&mut self) {\n    // BTreeMap, not HashMap: iteration order is part of the contract\n    self.inbox.iter().for_each(|e| self.push(e));\n}\n#[cfg(test)]\nmod tests {\n    fn t() { let _ = std::collections::HashMap::<u32, u32>::new(); }\n}\n";
+        assert!(check_pdes_purity("crates/sim/src/pdes.rs", text).is_empty());
+    }
+
+    #[test]
+    fn pdes_purity_covers_every_pdes_module() {
+        for f in [
+            "crates/sim/src/pdes.rs",
+            "crates/sim/src/pdes_pool.rs",
+            "crates/sim/src/pdes_snap.rs",
+            "crates/sim/src/pdes_window.rs",
+        ] {
+            assert!(PDES_PURE_FILES.contains(&f), "{f} must stay gated");
         }
     }
 }
