@@ -483,6 +483,15 @@ fn san_report_json_schema_is_stable() {
         "Us::share",
         "\"L0@",
         "\"L1@",
+        // The machine-readable lock-graph export bfly-lint cross-checks
+        // against (PR10): per-lock records, from/to edges, cycles as
+        // id lists, and the interned locksets.
+        "\"lock_graph\": {",
+        "\"id\": 0,",
+        "\"acquires\":",
+        "\"from\": ",
+        "\"to\": ",
+        "\"locksets\": [",
     ] {
         assert!(json.contains(key), "SAN report must carry {key}\n{json}");
     }
@@ -507,12 +516,18 @@ fn san_clean_report_schema_is_stable() {
         "\"races_total\": 0",
         "\"lockset_warnings_total\": 0",
         "\"cycles\": []",
+        // Empty lock_graph keeps its full shape: same keys, empty arrays.
+        "\"lock_graph\": {",
+        "\"locks\": []",
+        "\"edges\": []",
     ] {
         assert!(
             json.contains(key),
             "clean SAN report must carry {key}\n{json}"
         );
     }
+    // The export rides after the human-oriented lock_order summary.
+    assert!(json.find("\"lock_order\"").unwrap() < json.find("\"lock_graph\"").unwrap());
 }
 
 #[test]

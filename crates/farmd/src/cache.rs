@@ -485,6 +485,7 @@ fn writer_loop(queue: &Arc<(Mutex<WriteQueue>, Condvar)>, dir: &Path) {
                 }
                 let (guard, _) = queue
                     .1
+                    // lint: allow(blocking): write-behind drain runs on the dedicated writer thread spawned by Cache::spawn_writer, never a reactor callback
                     .wait_timeout(q, std::time::Duration::from_millis(100))
                     .unwrap_or_else(|poisoned| poisoned.into_inner());
                 q = guard;
@@ -492,6 +493,7 @@ fn writer_loop(queue: &Arc<(Mutex<WriteQueue>, Condvar)>, dir: &Path) {
         };
         let Some((key, bytes)) = job else { return };
         if delay_ms > 0 {
+            // lint: allow(blocking): fault-injection write delay, writer thread only
             std::thread::sleep(std::time::Duration::from_millis(delay_ms));
         }
         let path = dir.join(&key[..2]).join(format!("{key}.json"));

@@ -486,6 +486,7 @@ impl Reactor {
             };
             if n < 0 {
                 // EINTR or a transient failure: back off and retry.
+                // lint: allow(blocking): 1ms backoff on a failed poll(2) IS the reactor's idle point; nothing is runnable when poll errors
                 std::thread::sleep(Duration::from_millis(1));
                 continue;
             }
@@ -1012,6 +1013,7 @@ impl Reactor {
             if !pending || Instant::now() >= deadline {
                 return;
             }
+            // lint: allow(blocking): shutdown drain — the event loop has already exited; sleeping here blocks no connection
             std::thread::sleep(Duration::from_millis(2));
         }
     }

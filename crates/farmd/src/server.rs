@@ -603,8 +603,10 @@ pub(crate) fn listener_loop(sh: &Arc<Shared>, acceptor: &Acceptor) {
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                // lint: allow(blocking): accept-loop backoff on the thread-per-conn listener; the poll reactor serves with its own accept path
                 std::thread::sleep(Duration::from_millis(25));
             }
+            // lint: allow(blocking): same accept-error backoff as the WouldBlock arm above
             Err(_) => std::thread::sleep(Duration::from_millis(25)),
         }
     }
@@ -624,6 +626,7 @@ fn drain(sh: &Arc<Shared>) {
         if queued == 0 && sh.running.load(Ordering::SeqCst) == 0 {
             break;
         }
+        // lint: allow(blocking): graceful-drain poll during shutdown; the reactor has already stopped dispatching by the time drain runs
         std::thread::sleep(Duration::from_millis(10));
     }
     sh.cache.flush();
@@ -651,6 +654,7 @@ fn worker_loop(sh: &Arc<Shared>) {
                 // holder was already quarantined; keep serving.
                 let (guard, _) = sh
                     .queue_cv
+                    // lint: allow(blocking): worker_loop runs on the spawned worker threads; the spawn call severs it from the reactor at runtime
                     .wait_timeout(q, Duration::from_millis(100))
                     .unwrap_or_else(|poisoned| poisoned.into_inner());
                 q = guard;
@@ -1178,6 +1182,7 @@ fn handle_batch(sh: &Arc<Shared>, jobs: &[Value]) -> String {
             }
             let (g, _) = sh
                 .done_cv
+                // lint: allow(blocking): thread-per-conn path only — the reactor matches op=="batch" before its handle_parsed fallback and parks the connection instead
                 .wait_timeout(guard, Duration::from_millis(100))
                 .unwrap_or_else(|poisoned| poisoned.into_inner());
             guard = g;
@@ -1267,6 +1272,7 @@ fn handle_wait(sh: &Arc<Shared>, v: &Value) -> String {
         let step = (deadline - now).min(Duration::from_millis(100));
         let (g, _) = sh
             .done_cv
+            // lint: allow(blocking): thread-per-conn path only -- the reactor matches op=="wait" before its handle_parsed fallback and parks the connection instead
             .wait_timeout(guard, step)
             .unwrap_or_else(|poisoned| poisoned.into_inner());
         guard = g;
@@ -1376,6 +1382,7 @@ fn stats_reply(sh: &Arc<Shared>) -> String {
         cs.misses.load(Ordering::Relaxed),
         cs.evictions.load(Ordering::Relaxed),
         cs.corrupt.load(Ordering::Relaxed),
+        // lint: allow(lock_order): the cache's internal write-queue mutex merely shares the field name `queue` with the job queue held here; distinct locks
         sh.cache.pending_writes(),
         sh.cache.disk_writes(),
         sh.cache.mem_bytes(),

@@ -1,0 +1,340 @@
+//! Token-stream checks (the migrated xtask checks 2–5) and the
+//! exemption grammar.
+//!
+//! Exemption form, one per comment, anchored to the violation line or
+//! the line directly above it:
+//!
+//! ```text
+//! // lint: allow(<check>): <why>
+//! ```
+//!
+//! The `<why>` is mandatory — an allow without a justification is itself
+//! a finding (`exemption`, error). The marker must open the comment;
+//! mid-sentence mentions of the grammar (like the ones in this doc
+//! comment) are inert.
+
+use crate::lex::Lexed;
+use crate::parse::ParsedFile;
+use crate::report::{Finding, Severity};
+
+/// Every valid check name, i.e. the vocabulary of `allow(…)`.
+pub const VALID_CHECKS: &[&str] = &[
+    "safety",
+    "unsafe_crate",
+    "unwrap",
+    "thread_spawn",
+    "determinism",
+    "blocking",
+    "lock_order",
+    "lock_coverage",
+];
+
+/// One parsed `lint: allow` exemption.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Exemption {
+    pub file: String,
+    pub line: u32,
+    pub check: String,
+    pub reason: String,
+}
+
+/// Parse all exemptions in one file. Malformed ones come back as
+/// findings (check `exemption`, severity error).
+pub fn parse_exemptions(label: &str, lexed: &Lexed) -> (Vec<Exemption>, Vec<Finding>) {
+    let mut out = Vec::new();
+    let mut bad = Vec::new();
+    for (line, text) in &lexed.comments {
+        // Strip exactly ONE comment marker. Greedy stripping would make a
+        // doc-comment example like `//! // lint: allow(x): y` open with
+        // the marker and fire; one-marker stripping leaves the inner `//`
+        // in place, keeping quoted grammar examples inert.
+        let t = text.trim_start();
+        let body = ["//!", "///", "/*!", "/**", "//", "/*"]
+            .iter()
+            .find_map(|m| t.strip_prefix(m))
+            .unwrap_or(t)
+            .trim_start()
+            .trim_end();
+        let Some(rest) = body.strip_prefix("lint:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let mut fail = |msg: String| {
+            bad.push(Finding {
+                check: "exemption".into(),
+                severity: Severity::Error,
+                file: label.to_string(),
+                line: *line,
+                function: String::new(),
+                message: msg,
+                chain: Vec::new(),
+            });
+        };
+        let Some(inner) = rest.strip_prefix("allow(") else {
+            fail(format!(
+                "malformed lint comment (expected `lint: allow(<check>): <why>`): {body}"
+            ));
+            continue;
+        };
+        let Some(close) = inner.find(')') else {
+            fail("malformed lint comment: unclosed allow(".into());
+            continue;
+        };
+        let check = inner[..close].trim().to_string();
+        if !VALID_CHECKS.contains(&check.as_str()) {
+            fail(format!(
+                "unknown check {:?} in lint: allow (valid: {})",
+                check,
+                VALID_CHECKS.join(", ")
+            ));
+            continue;
+        }
+        let after = inner[close + 1..].trim_start();
+        let Some(reason) = after.strip_prefix(':') else {
+            fail(format!(
+                "lint: allow({check}) is missing its `: <why>` justification"
+            ));
+            continue;
+        };
+        let reason = reason.trim().to_string();
+        if reason.is_empty() {
+            fail(format!("lint: allow({check}) has an empty justification"));
+            continue;
+        }
+        out.push(Exemption {
+            file: label.to_string(),
+            line: *line,
+            check,
+            reason,
+        });
+    }
+    (out, bad)
+}
+
+/// Find an exemption for `check` covering `line` (same line or the line
+/// directly above).
+pub fn exempt_for<'a>(
+    exemptions: &'a [Exemption],
+    file: &str,
+    check: &str,
+    line: u32,
+) -> Option<&'a Exemption> {
+    exemptions
+        .iter()
+        .find(|e| e.file == file && e.check == check && (e.line == line || e.line + 1 == line))
+}
+
+/// Crate directory for a workspace-relative label
+/// (`crates/sim/src/a.rs` → `sim`); empty otherwise.
+pub fn crate_of(label: &str) -> &str {
+    label
+        .strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("")
+}
+
+/// Check `safety` + `unsafe_crate`: every `unsafe` outside `#[cfg(test)]`
+/// needs a `SAFETY:` comment within `window` lines above, and must live
+/// in an allowlisted crate.
+pub fn check_unsafe(
+    label: &str,
+    lexed: &Lexed,
+    parsed: &ParsedFile,
+    allowlist: &[String],
+    window: u32,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let krate = crate_of(label);
+    for &(line, in_test) in &parsed.unsafe_uses {
+        if in_test {
+            continue;
+        }
+        if !allowlist.iter().any(|c| c == krate) {
+            out.push(Finding {
+                check: "unsafe_crate".into(),
+                severity: Severity::Error,
+                file: label.to_string(),
+                line,
+                function: String::new(),
+                message: format!(
+                    "`unsafe` in crate `{krate}` which is outside the unsafe allowlist"
+                ),
+                chain: Vec::new(),
+            });
+            continue;
+        }
+        let documented = (line.saturating_sub(window)..=line)
+            .any(|l| matches!(lexed.comment_on(l), Some(c) if c.contains("SAFETY")));
+        if !documented {
+            out.push(Finding {
+                check: "safety".into(),
+                severity: Severity::Error,
+                file: label.to_string(),
+                line,
+                function: String::new(),
+                message: format!(
+                    "`unsafe` without a `// SAFETY:` comment within {window} lines above"
+                ),
+                chain: Vec::new(),
+            });
+        }
+    }
+    out
+}
+
+/// Check `unwrap`: bare `.unwrap()` in serving-path files.
+pub fn check_unwrap(label: &str, parsed: &ParsedFile, no_unwrap: &[String]) -> Vec<Finding> {
+    if !no_unwrap.iter().any(|f| f == label) {
+        return Vec::new();
+    }
+    parsed
+        .unwraps
+        .iter()
+        .filter(|(_, in_test)| !in_test)
+        .map(|&(line, _)| Finding {
+            check: "unwrap".into(),
+            severity: Severity::Error,
+            file: label.to_string(),
+            line,
+            function: String::new(),
+            message: "bare `.unwrap()` on the serving path (use `?` or explicit handling)".into(),
+            chain: Vec::new(),
+        })
+        .collect()
+}
+
+/// Check `thread_spawn`: no ad-hoc executors in reactor modules.
+pub fn check_thread_spawn(label: &str, parsed: &ParsedFile, no_spawn: &[String]) -> Vec<Finding> {
+    if !no_spawn.iter().any(|f| f == label) {
+        return Vec::new();
+    }
+    parsed
+        .thread_spawns
+        .iter()
+        .filter(|(_, in_test)| !in_test)
+        .map(|&(line, _)| Finding {
+            check: "thread_spawn".into(),
+            severity: Severity::Error,
+            file: label.to_string(),
+            line,
+            function: String::new(),
+            message: "`thread::spawn`/`thread::Builder` inside a reactor module".into(),
+            chain: Vec::new(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+    use crate::parse::parse;
+
+    #[test]
+    fn exemption_grammar_roundtrip() {
+        let l = lex("// lint: allow(unwrap): poisoned mutex means a prior panic\nx.unwrap();\n");
+        let (ex, bad) = parse_exemptions("f.rs", &l);
+        assert!(bad.is_empty());
+        assert_eq!(ex.len(), 1);
+        assert_eq!(ex[0].check, "unwrap");
+        assert!(ex[0].reason.contains("poisoned"));
+        assert!(exempt_for(&ex, "f.rs", "unwrap", 2).is_some());
+        assert!(exempt_for(&ex, "f.rs", "unwrap", 3).is_none());
+        assert!(exempt_for(&ex, "f.rs", "safety", 2).is_none());
+    }
+
+    #[test]
+    fn exemption_requires_reason() {
+        let l = lex("// lint: allow(unwrap):\n// lint: allow(unwrap)\n// lint: allow(bogus): x\n");
+        let (ex, bad) = parse_exemptions("f.rs", &l);
+        assert!(ex.is_empty());
+        assert_eq!(bad.len(), 3);
+        assert!(bad.iter().all(|f| f.check == "exemption"));
+    }
+
+    #[test]
+    fn grammar_mentions_mid_comment_are_inert() {
+        let l = lex("// the exemption grammar (`// lint: allow(check): why`) is documented\n");
+        let (ex, bad) = parse_exemptions("f.rs", &l);
+        assert!(ex.is_empty());
+        assert!(bad.is_empty());
+    }
+
+    #[test]
+    fn doc_comment_grammar_examples_are_inert() {
+        // A doc comment *quoting* the grammar nests a second `//`; only
+        // one marker is stripped, so the quoted form never parses.
+        let l = lex("//! // lint: allow(<check>): <why>\n/// // lint: allow(unwrap): quoted\n");
+        let (ex, bad) = parse_exemptions("f.rs", &l);
+        assert!(ex.is_empty(), "{ex:?}");
+        assert!(bad.is_empty(), "{bad:?}");
+    }
+
+    #[test]
+    fn safety_comment_window() {
+        let src = "
+// SAFETY: bounds checked by caller
+fn f(p: *const u8) -> u8 { unsafe { *p } }
+
+
+
+
+fn far(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+";
+        let lexed = lex(src);
+        let parsed = parse(&lexed);
+        let f = check_unsafe("crates/sim/src/x.rs", &lexed, &parsed, &["sim".into()], 5);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].check, "safety");
+        assert_eq!(f[0].line, 9);
+    }
+
+    #[test]
+    fn unsafe_outside_allowlist() {
+        let src = "fn f(p: *const u8) -> u8 { unsafe { *p } }";
+        let lexed = lex(src);
+        let parsed = parse(&lexed);
+        let f = check_unsafe("crates/bench/src/x.rs", &lexed, &parsed, &["sim".into()], 5);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].check, "unsafe_crate");
+    }
+
+    #[test]
+    fn unwrap_scoped_to_listed_files() {
+        let src = "fn f() { x.unwrap(); }";
+        let lexed = lex(src);
+        let parsed = parse(&lexed);
+        let listed = vec!["crates/farmd/src/server.rs".to_string()];
+        assert_eq!(
+            check_unwrap("crates/farmd/src/server.rs", &parsed, &listed).len(),
+            1
+        );
+        assert_eq!(
+            check_unwrap("crates/farmd/src/other.rs", &parsed, &listed).len(),
+            0
+        );
+        let _ = lexed;
+    }
+
+    #[test]
+    fn block_comment_mention_is_not_a_violation() {
+        // Regression for the old line-based false positive: a banned
+        // token inside /* */ must not fire.
+        let src = "fn f() { /* x.unwrap() would be wrong here */ let v = safe(); }";
+        let parsed = parse(&lex(src));
+        let listed = vec!["f.rs".to_string()];
+        assert!(check_unwrap("f.rs", &parsed, &listed).is_empty());
+    }
+
+    #[test]
+    fn string_literal_slashes_do_not_hide_violations() {
+        // Regression for the old false negative: `//` inside a string
+        // must not comment out the rest of the line.
+        let src = "fn f() { let u = \"http://x\"; y.unwrap(); }";
+        let parsed = parse(&lex(src));
+        let listed = vec!["f.rs".to_string()];
+        assert_eq!(check_unwrap("f.rs", &parsed, &listed).len(), 1);
+    }
+}

@@ -1,0 +1,517 @@
+//! Workspace call graph: resolved-name edge construction plus
+//! transitive taint propagation (BFS, shortest chains).
+//!
+//! Resolution is heuristic by design. The rules, in order:
+//!
+//! * method calls (`.name(…)`) resolve only within the caller's crate —
+//!   bare method names are too ambiguous across crate boundaries — and
+//!   never to names on the common-method denylist (`push`, `len`, …);
+//! * qualified calls (`Type::name(…)`, `module::name(…)`) prefer
+//!   candidates whose impl type, module, or file stem matches the
+//!   qualifier (`Self::`/`crate::` resolve caller-relative);
+//! * plain calls prefer same-file, then same-crate, then dependency
+//!   crates (per the workspace manifest dep map);
+//! * production callers never resolve into `#[cfg(test)]` items.
+//!
+//! Over-approximation (an extra edge) is the safe direction: it can only
+//! make the purity gate stricter, never let a real taint chain escape.
+
+use crate::parse::{FnItem, SourceHit, TaintKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-file metadata the resolver needs.
+#[derive(Clone, Debug)]
+pub struct FileMeta {
+    /// Workspace-relative label, e.g. `crates/sim/src/snap.rs`.
+    pub label: String,
+    /// Crate directory name (`sim`, `farmd`, …); empty if unknown.
+    pub krate: String,
+    /// File stem (`snap`), used for `module::fn` qualifier matching.
+    pub stem: String,
+}
+
+/// Method names too common to resolve by bare name (std / iterator /
+/// collection vocabulary). A call to one of these never creates an edge.
+const METHOD_DENYLIST: &[&str] = &[
+    "new",
+    "default",
+    "clone",
+    "len",
+    "is_empty",
+    "push",
+    "pop",
+    "insert",
+    "remove",
+    "get",
+    "get_mut",
+    "set",
+    "take",
+    "replace",
+    "contains",
+    "contains_key",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "next",
+    "map",
+    "and_then",
+    "or_else",
+    "unwrap",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "expect",
+    "ok",
+    "err",
+    "is_some",
+    "is_none",
+    "as_ref",
+    "as_mut",
+    "as_str",
+    "as_bytes",
+    "as_slice",
+    "to_string",
+    "to_vec",
+    "to_owned",
+    "into",
+    "from",
+    "parse",
+    "fmt",
+    "eq",
+    "ne",
+    "cmp",
+    "partial_cmp",
+    "hash",
+    "drop",
+    "send",
+    "flush",
+    "extend",
+    "clear",
+    "sort",
+    "sort_unstable",
+    "sort_by",
+    "sort_by_key",
+    "split",
+    "splitn",
+    "trim",
+    "starts_with",
+    "ends_with",
+    "find",
+    "position",
+    "filter",
+    "filter_map",
+    "fold",
+    "collect",
+    "count",
+    "sum",
+    "min",
+    "max",
+    "abs",
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "entry",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+    "chars",
+    "lines",
+    "bytes",
+    "rev",
+    "zip",
+    "enumerate",
+    "skip",
+    "chain",
+    "any",
+    "all",
+    "cloned",
+    "copied",
+    "flatten",
+    "flat_map",
+    "nth",
+    "last",
+    "first",
+    "fill",
+    "resize",
+    "truncate",
+    "join",
+    "write",
+    "read",
+    "read_to_string",
+    "write_all",
+    "to_le_bytes",
+    "from_le_bytes",
+    "wrapping_add",
+    "wrapping_mul",
+    "checked_add",
+    "saturating_sub",
+    "min_by_key",
+    "max_by_key",
+    "binary_search",
+    "binary_search_by",
+];
+
+/// The assembled call graph.
+pub struct Graph {
+    /// `edges[f]` = resolved callees of `f` as `(callee, call line)`.
+    pub edges: Vec<Vec<(usize, u32)>>,
+    /// Reverse edges: `redges[f]` = callers of `f` as `(caller, line)`.
+    pub redges: Vec<Vec<(usize, u32)>>,
+    /// Total resolved edge count (after dedup).
+    pub edge_count: usize,
+}
+
+/// Build the graph. `deps[crate]` = crates it may call into; an empty
+/// map disables the visibility filter (used by unit tests).
+pub fn build(
+    fns: &[FnItem],
+    files: &[FileMeta],
+    deps: &BTreeMap<String, BTreeSet<String>>,
+) -> Graph {
+    // Index: bare name -> candidate fn ids.
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (i, f) in fns.iter().enumerate() {
+        by_name.entry(f.name.as_str()).or_default().push(i);
+    }
+
+    let visible = |caller_crate: &str, target_crate: &str| -> bool {
+        if deps.is_empty() || caller_crate == target_crate {
+            return true;
+        }
+        deps.get(caller_crate)
+            .map(|d| d.contains(target_crate))
+            .unwrap_or(false)
+    };
+
+    let mut edges: Vec<Vec<(usize, u32)>> = vec![Vec::new(); fns.len()];
+    for (ci, caller) in fns.iter().enumerate() {
+        let cmeta = &files[caller.file];
+        let mut seen: BTreeSet<usize> = BTreeSet::new();
+        for call in &caller.calls {
+            if call.method && METHOD_DENYLIST.contains(&call.name.as_str()) {
+                continue;
+            }
+            let Some(cands) = by_name.get(call.name.as_str()) else {
+                continue;
+            };
+            // Base visibility: crate reachability, test barrier, not self.
+            let mut pool: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&t| t != ci)
+                .filter(|&t| !fns[t].in_test || caller.in_test)
+                .filter(|&t| visible(&cmeta.krate, &files[fns[t].file].krate))
+                .collect();
+            if pool.is_empty() {
+                continue;
+            }
+            if call.method {
+                // Same-crate only for bare method names.
+                pool.retain(|&t| files[fns[t].file].krate == cmeta.krate);
+            } else if call.path.len() >= 2 {
+                let q = call.path[call.path.len() - 2].as_str();
+                let narrowed: Vec<usize> = match q {
+                    "Self" | "self" => pool
+                        .iter()
+                        .copied()
+                        .filter(|&t| {
+                            fns[t].file == caller.file && fns[t].impl_type == caller.impl_type
+                        })
+                        .collect(),
+                    "crate" => pool
+                        .iter()
+                        .copied()
+                        .filter(|&t| files[fns[t].file].krate == cmeta.krate)
+                        .collect(),
+                    // A named qualifier that matches no workspace impl type,
+                    // module, or file stem is a std/external type
+                    // (`Vec::new`, `Instant::now`): no edge at all — falling
+                    // back to the bare-name pool would invent edges like
+                    // `Vec::new` -> `Cache::new`.
+                    _ => pool
+                        .iter()
+                        .copied()
+                        .filter(|&t| {
+                            fns[t].impl_type.as_deref() == Some(q)
+                                || fns[t].module.last().map(String::as_str) == Some(q)
+                                || files[fns[t].file].stem == q
+                        })
+                        .collect(),
+                };
+                match q {
+                    // Caller-relative qualifiers keep the visibility pool as
+                    // a fallback: the target may sit in another impl block
+                    // or file of the same crate.
+                    "Self" | "self" | "crate" => {
+                        if !narrowed.is_empty() {
+                            pool = narrowed;
+                        }
+                    }
+                    _ => pool = narrowed,
+                }
+                if pool.is_empty() {
+                    continue;
+                }
+            }
+            // Locality preference: same file beats same crate beats deps.
+            let same_file: Vec<usize> = pool
+                .iter()
+                .copied()
+                .filter(|&t| fns[t].file == caller.file)
+                .collect();
+            let chosen: Vec<usize> = if !same_file.is_empty() {
+                same_file
+            } else {
+                let same_crate: Vec<usize> = pool
+                    .iter()
+                    .copied()
+                    .filter(|&t| files[fns[t].file].krate == cmeta.krate)
+                    .collect();
+                if !same_crate.is_empty() {
+                    same_crate
+                } else {
+                    pool
+                }
+            };
+            for t in chosen {
+                if seen.insert(t) {
+                    edges[ci].push((t, call.line));
+                }
+            }
+        }
+    }
+
+    let mut redges: Vec<Vec<(usize, u32)>> = vec![Vec::new(); fns.len()];
+    let mut edge_count = 0usize;
+    for (ci, outs) in edges.iter().enumerate() {
+        edge_count += outs.len();
+        for &(t, line) in outs {
+            redges[t].push((ci, line));
+        }
+    }
+    Graph {
+        edges,
+        redges,
+        edge_count,
+    }
+}
+
+/// Taint state for one function under one kind.
+#[derive(Clone, Debug)]
+pub struct TaintNode {
+    /// Step toward the source: `(callee id, call line)`; `None` at the
+    /// directly-tainted function itself.
+    pub via: Option<(usize, u32)>,
+    /// The direct source, set only on the source function.
+    pub src: Option<SourceHit>,
+}
+
+/// Propagate one taint kind caller-ward (BFS ⇒ shortest chains).
+/// `sources[f]` are the *non-exempt* direct hits of function `f`.
+pub fn propagate(
+    g: &Graph,
+    fns_len: usize,
+    sources: &[Vec<SourceHit>],
+    kind: TaintKind,
+) -> Vec<Option<TaintNode>> {
+    let mut reach: Vec<Option<TaintNode>> = vec![None; fns_len];
+    let mut queue: std::collections::VecDeque<usize> = Default::default();
+    for (f, hits) in sources.iter().enumerate() {
+        if let Some(hit) = hits.iter().find(|h| h.kind == kind) {
+            reach[f] = Some(TaintNode {
+                via: None,
+                src: Some(hit.clone()),
+            });
+            queue.push_back(f);
+        }
+    }
+    while let Some(f) = queue.pop_front() {
+        for &(caller, line) in &g.redges[f] {
+            if reach[caller].is_none() {
+                reach[caller] = Some(TaintNode {
+                    via: Some((f, line)),
+                    src: None,
+                });
+                queue.push_back(caller);
+            }
+        }
+    }
+    reach
+}
+
+/// Walk the `via` chain from `root` to the source function. Returns the
+/// hop list (fn ids starting at `root`) and the source hit.
+pub fn chain(reach: &[Option<TaintNode>], root: usize) -> (Vec<usize>, Option<SourceHit>) {
+    let mut hops = vec![root];
+    let mut cur = root;
+    let mut guard = 0;
+    loop {
+        let Some(node) = reach[cur].as_ref() else {
+            return (hops, None);
+        };
+        match node.via {
+            Some((next, _)) => {
+                hops.push(next);
+                cur = next;
+            }
+            None => return (hops, node.src.clone()),
+        }
+        guard += 1;
+        if guard > reach.len() {
+            return (hops, None); // cycle safety; cannot happen with BFS parents
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+    use crate::parse::parse;
+
+    fn setup(srcs: &[(&str, &str)]) -> (Vec<FnItem>, Vec<FileMeta>) {
+        let mut fns = Vec::new();
+        let mut files = Vec::new();
+        for (fi, (label, src)) in srcs.iter().enumerate() {
+            let parsed = parse(&lex(src));
+            for mut f in parsed.fns {
+                f.file = fi;
+                fns.push(f);
+            }
+            let stem = label
+                .rsplit('/')
+                .next()
+                .unwrap_or(label)
+                .trim_end_matches(".rs")
+                .to_string();
+            let krate = label
+                .strip_prefix("crates/")
+                .and_then(|r| r.split('/').next())
+                .unwrap_or("")
+                .to_string();
+            files.push(FileMeta {
+                label: label.to_string(),
+                krate,
+                stem,
+            });
+        }
+        (fns, files)
+    }
+
+    #[test]
+    fn transitive_taint_three_hops() {
+        let (fns, files) = setup(&[(
+            "crates/x/src/a.rs",
+            "
+fn root() { mid(); }
+fn mid() { helper(); }
+fn helper() { deep(); }
+fn deep() { let t = Instant::now(); }
+",
+        )]);
+        let g = build(&fns, &files, &BTreeMap::new());
+        let sources: Vec<_> = fns.iter().map(|f| f.sources.clone()).collect();
+        let reach = propagate(&g, fns.len(), &sources, TaintKind::WallClock);
+        assert!(reach[0].is_some(), "root must be tainted through 3 hops");
+        let (hops, src) = chain(&reach, 0);
+        assert_eq!(hops, vec![0, 1, 2, 3]);
+        assert_eq!(src.unwrap().what, "Instant::now");
+    }
+
+    #[test]
+    fn test_fns_do_not_taint_production() {
+        let (fns, files) = setup(&[(
+            "crates/x/src/a.rs",
+            "
+fn root() { helper(); }
+#[cfg(test)]
+mod tests {
+    fn helper() { let t = Instant::now(); }
+}
+",
+        )]);
+        let g = build(&fns, &files, &BTreeMap::new());
+        // root (prod) must not resolve into the test-only helper.
+        assert!(g.edges[0].is_empty());
+    }
+
+    #[test]
+    fn method_calls_stay_within_crate() {
+        let (fns, files) = setup(&[
+            ("crates/a/src/lib.rs", "fn caller(&self) { self.tick(); }"),
+            ("crates/b/src/lib.rs", "impl T { fn tick(&self) {} }"),
+        ]);
+        let g = build(&fns, &files, &BTreeMap::new());
+        assert!(
+            g.edges[0].is_empty(),
+            "cross-crate bare method must not resolve"
+        );
+    }
+
+    #[test]
+    fn qualifier_narrows_to_impl_type() {
+        let (fns, files) = setup(&[(
+            "crates/x/src/a.rs",
+            "
+impl Alpha { fn go() {} }
+impl Beta { fn go() {} }
+fn caller() { Beta::go(); }
+",
+        )]);
+        let g = build(&fns, &files, &BTreeMap::new());
+        assert_eq!(g.edges[2].len(), 1);
+        assert_eq!(fns[g.edges[2][0].0].qualified(), "Beta::go");
+    }
+
+    #[test]
+    fn dep_map_blocks_unrelated_crates() {
+        let srcs = [
+            ("crates/a/src/lib.rs", "fn caller() { shared_helper(); }"),
+            ("crates/b/src/lib.rs", "fn shared_helper() {}"),
+        ];
+        let (fns, files) = setup(&srcs);
+        // a does NOT depend on b.
+        let mut deps = BTreeMap::new();
+        deps.insert("a".to_string(), BTreeSet::new());
+        deps.insert("b".to_string(), BTreeSet::new());
+        let g = build(&fns, &files, &deps);
+        assert!(g.edges[0].is_empty());
+        // With the dep declared, the edge appears.
+        let mut deps2 = BTreeMap::new();
+        deps2.insert("a".to_string(), ["b".to_string()].into_iter().collect());
+        let g2 = build(&fns, &files, &deps2);
+        assert_eq!(g2.edges[0].len(), 1);
+    }
+
+    #[test]
+    fn foreign_qualifier_produces_no_edge() {
+        // `Vec::new()` must not resolve to a workspace `Cache::new` just
+        // because the bare names collide.
+        let (fns, files) = setup(&[(
+            "crates/x/src/a.rs",
+            "
+impl Cache { fn new() { let t = Instant::now(); } }
+fn caller() { let v = Vec::new(); }
+",
+        )]);
+        let g = build(&fns, &files, &BTreeMap::new());
+        assert!(g.edges[1].is_empty(), "{:?}", g.edges[1]);
+    }
+
+    #[test]
+    fn denylisted_method_names_never_resolve() {
+        let (fns, files) = setup(&[(
+            "crates/x/src/a.rs",
+            "
+impl Q { fn push(&self) { let t = Instant::now(); } }
+fn caller(&self) { q.push(1); }
+",
+        )]);
+        let g = build(&fns, &files, &BTreeMap::new());
+        assert!(g.edges[1].is_empty());
+    }
+}

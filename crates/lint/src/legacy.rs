@@ -1,0 +1,94 @@
+//! A faithful replica of the pre-PR10 line-based check model, kept so
+//! tests can *prove* the two ways it was blind:
+//!
+//! 1. **Path-glob scoping**: only files on a fixed watchlist were
+//!    scanned, so a tainted helper one file away was invisible no
+//!    matter how directly a watched root called it.
+//! 2. **Line stripping**: comments were stripped by cutting the line at
+//!    the first `//`, which misses `/* */` block comments (false
+//!    positive on banned tokens inside them) and mangles lines where
+//!    `//` sits inside a string literal (false negative for code after
+//!    the string).
+//!
+//! Nothing in the engine calls this module; it exists as the baseline
+//! the corpus tests compare against.
+
+/// The old comment stripper: cut at the first `//`, wherever it is.
+pub fn strip_comment(raw: &str) -> &str {
+    match raw.find("//") {
+        Some(i) => &raw[..i],
+        None => raw,
+    }
+}
+
+/// The old purity scan: for each *watched* file, flag lines containing
+/// any banned substring, stopping at the first `#[cfg(test)]`.
+/// Returns `(label, line, matched token)`.
+pub fn scan(
+    files: &[(String, String)],
+    watched: &[String],
+    banned: &[&str],
+) -> Vec<(String, u32, String)> {
+    let mut out = Vec::new();
+    for (label, text) in files {
+        if !watched.iter().any(|w| w == label) {
+            continue;
+        }
+        for (i, raw) in text.lines().enumerate() {
+            if raw.trim_start().starts_with("#[cfg(test)]") {
+                break;
+            }
+            let code = strip_comment(raw);
+            for b in banned {
+                if code.contains(b) {
+                    out.push((label.clone(), (i + 1) as u32, b.to_string()));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watchlist_scoping_misses_unwatched_files() {
+        let files = vec![
+            (
+                "root.rs".to_string(),
+                "fn root() { helper(); }\n".to_string(),
+            ),
+            (
+                "helper.rs".to_string(),
+                "fn helper() { let t = Instant::now(); }\n".to_string(),
+            ),
+        ];
+        let hits = scan(&files, &["root.rs".to_string()], &["Instant::now"]);
+        assert!(hits.is_empty(), "the old model cannot see past the glob");
+    }
+
+    #[test]
+    fn block_comments_false_positive() {
+        let files = vec![(
+            "root.rs".to_string(),
+            "fn f() {\n    /* Instant::now() is banned here */\n}\n".to_string(),
+        )];
+        let hits = scan(&files, &["root.rs".to_string()], &["Instant::now"]);
+        assert_eq!(hits.len(), 1, "the old model fires inside /* */");
+    }
+
+    #[test]
+    fn string_slashes_false_negative() {
+        let files = vec![(
+            "root.rs".to_string(),
+            "fn f() { let u = \"http://x\"; let t = Instant::now(); }\n".to_string(),
+        )];
+        let hits = scan(&files, &["root.rs".to_string()], &["Instant::now"]);
+        assert!(
+            hits.is_empty(),
+            "the old model cuts the line at the // inside the string"
+        );
+    }
+}

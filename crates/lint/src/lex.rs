@@ -1,0 +1,485 @@
+//! A minimal Rust lexer — just enough fidelity for static analysis.
+//!
+//! The old xtask checks were line-based: they stripped `//` comments and
+//! matched substrings, which meant a violation *mentioned* inside a
+//! `/* block comment */` false-positived and a real violation hiding
+//! behind a `//` that sits inside a string literal false-negatived
+//! (`strip_comment` cut the line at the `//` of `"http://…"`). This
+//! lexer closes both holes: it produces a token stream in which comments
+//! and literals are fully delimited, so checks match *code tokens* only.
+//!
+//! Fidelity covered (everything this workspace actually uses):
+//! * line comments `//`, doc comments `///` `//!`
+//! * block comments `/* … */`, **nested**, doc forms `/** … */`
+//! * string literals with escapes, byte strings `b"…"`
+//! * raw strings `r"…"`, `r#"…"#` (any hash count), `br#"…"#`
+//! * char literals (`'a'`, `'\n'`, `'\u{1F600}'`) vs lifetimes (`'a`)
+//! * raw identifiers `r#ident`
+//! * numbers (loosely — one token per literal, suffixes included)
+//!
+//! Comments are not discarded: they are returned per line so the
+//! exemption grammar (`// lint: allow(check): why`) and the `// SAFETY:`
+//! adjacency check can read them, while the token stream stays pure code.
+
+/// One lexed token. `line` is 1-based.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `HashMap`, …).
+    Ident,
+    /// Single punctuation character (`.`, `(`, `:`, …).
+    Punct,
+    /// String / raw-string / byte-string literal (text excludes quotes).
+    Str,
+    /// Char literal.
+    Char,
+    /// Lifetime or loop label (`'a`), without the quote.
+    Lifetime,
+    /// Numeric literal.
+    Num,
+}
+
+/// The lexed form of one source file: code tokens plus per-line comment
+/// text (all comments on a line concatenated, `//`/`/*` markers kept).
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    /// `(line, comment text)` — one entry per comment, in file order.
+    /// Multi-line block comments contribute one entry per line so
+    /// line-anchored lookups (SAFETY windows, exemptions) stay simple.
+    pub comments: Vec<(u32, String)>,
+}
+
+impl Lexed {
+    /// All comment text attached to `line`, concatenated.
+    pub fn comment_on(&self, line: u32) -> Option<String> {
+        let mut out = String::new();
+        for (l, c) in &self.comments {
+            if *l == line {
+                if !out.is_empty() {
+                    out.push(' ');
+                }
+                out.push_str(c);
+            }
+        }
+        if out.is_empty() {
+            None
+        } else {
+            Some(out)
+        }
+    }
+}
+
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    macro_rules! push {
+        ($kind:expr, $text:expr, $line:expr) => {
+            out.tokens.push(Token {
+                kind: $kind,
+                text: $text,
+                line: $line,
+            })
+        };
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments
+                    .push((line, String::from_utf8_lossy(&b[start..i]).into_owned()));
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                // Nested block comment; record text per line.
+                let mut depth = 1usize;
+                i += 2;
+                let mut seg_start = i - 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else if b[i] == b'\n' {
+                        out.comments
+                            .push((line, String::from_utf8_lossy(&b[seg_start..i]).into_owned()));
+                        line += 1;
+                        i += 1;
+                        seg_start = i;
+                    } else {
+                        i += 1;
+                    }
+                }
+                if seg_start < i {
+                    out.comments
+                        .push((line, String::from_utf8_lossy(&b[seg_start..i]).into_owned()));
+                }
+            }
+            b'"' => {
+                let (text, nl, ni) = lex_string(b, i + 1);
+                push!(TokKind::Str, text, line);
+                line += nl;
+                i = ni;
+            }
+            b'b' | b'r' if starts_string_prefix(b, i) => {
+                // b"…", br"…", r"…", r#"…"#, br#"…"#, or a raw ident r#x.
+                let mut j = i;
+                if b[j] == b'b' {
+                    j += 1;
+                }
+                let raw = j < b.len() && b[j] == b'r';
+                if raw {
+                    j += 1;
+                }
+                let mut hashes = 0usize;
+                while j < b.len() && b[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if raw && hashes > 0 && j < b.len() && b[j] != b'"' {
+                    // r#ident — a raw identifier, not a string.
+                    let start = j;
+                    while j < b.len() && is_ident_char(b[j]) {
+                        j += 1;
+                    }
+                    push!(
+                        TokKind::Ident,
+                        String::from_utf8_lossy(&b[start..j]).into_owned(),
+                        line
+                    );
+                    i = j;
+                    continue;
+                }
+                // Past the opening quote.
+                j += 1;
+                if raw {
+                    let (text, nl, ni) = lex_raw_string(b, j, hashes);
+                    push!(TokKind::Str, text, line);
+                    line += nl;
+                    i = ni;
+                } else {
+                    let (text, nl, ni) = lex_string(b, j);
+                    push!(TokKind::Str, text, line);
+                    line += nl;
+                    i = ni;
+                }
+            }
+            b'\'' => {
+                // Lifetime ('a not followed by ') vs char literal.
+                let is_lifetime = i + 1 < b.len()
+                    && (is_ident_start(b[i + 1]))
+                    && !(i + 2 < b.len() && b[i + 2] == b'\'');
+                if is_lifetime {
+                    let start = i + 1;
+                    let mut j = start;
+                    while j < b.len() && is_ident_char(b[j]) {
+                        j += 1;
+                    }
+                    push!(
+                        TokKind::Lifetime,
+                        String::from_utf8_lossy(&b[start..j]).into_owned(),
+                        line
+                    );
+                    i = j;
+                } else {
+                    // Char literal: 'x', '\n', '\u{..}', '\''.
+                    let mut j = i + 1;
+                    if j < b.len() && b[j] == b'\\' {
+                        j += 1;
+                        if j < b.len() && b[j] == b'u' {
+                            while j < b.len() && b[j] != b'}' {
+                                j += 1;
+                            }
+                        }
+                        j += 1;
+                    } else {
+                        // Possibly multi-byte UTF-8; advance to closing quote.
+                        while j < b.len() && b[j] != b'\'' && b[j] != b'\n' {
+                            j += 1;
+                        }
+                        // leave j at the quote
+                        push!(
+                            TokKind::Char,
+                            String::from_utf8_lossy(&b[i + 1..j]).into_owned(),
+                            line
+                        );
+                        i = j + 1;
+                        continue;
+                    }
+                    let text = String::from_utf8_lossy(&b[i + 1..j.min(b.len())]).into_owned();
+                    // Expect closing quote.
+                    while j < b.len() && b[j] != b'\'' && b[j] != b'\n' {
+                        j += 1;
+                    }
+                    push!(TokKind::Char, text, line);
+                    i = j + 1;
+                }
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                while i < b.len() && is_ident_char(b[i]) {
+                    i += 1;
+                }
+                push!(
+                    TokKind::Ident,
+                    String::from_utf8_lossy(&b[start..i]).into_owned(),
+                    line
+                );
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                while i < b.len() {
+                    let d = b[i];
+                    // A dot continues the literal only when followed by
+                    // a digit and not doubled (`0..n` is a range).
+                    let frac_dot = d == b'.'
+                        && i + 1 < b.len()
+                        && b[i + 1].is_ascii_digit()
+                        && b[i - 1] != b'.';
+                    if is_ident_char(d) || frac_dot {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                push!(
+                    TokKind::Num,
+                    String::from_utf8_lossy(&b[start..i]).into_owned(),
+                    line
+                );
+            }
+            _ => {
+                push!(TokKind::Punct, (c as char).to_string(), line);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Can position `i` (at `b` or `r`) start a string/byte/raw-string prefix
+/// or a raw identifier? Requires the prefix chars to be followed by a
+/// quote or `#`, otherwise it's a plain identifier like `radius`.
+fn starts_string_prefix(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+        if j >= b.len() {
+            return false;
+        }
+        if b[j] == b'"' {
+            return true;
+        }
+        if b[j] != b'r' {
+            return false;
+        }
+    }
+    // At `r`. `r#…` is a raw string `r#"…"` or raw ident `r#x`; `r"…"`
+    // is a raw string without hashes.
+    j += 1;
+    j < b.len() && (b[j] == b'#' || b[j] == b'"')
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Lex a normal (escaped) string starting just past the opening quote.
+/// Returns `(text, newlines consumed, next index)`.
+fn lex_string(b: &[u8], mut i: usize) -> (String, u32, usize) {
+    let start = i;
+    let mut nl = 0u32;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => {
+                let text = String::from_utf8_lossy(&b[start..i]).into_owned();
+                return (text, nl, i + 1);
+            }
+            b'\n' => {
+                nl += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (String::from_utf8_lossy(&b[start..]).into_owned(), nl, i)
+}
+
+/// Lex a raw string starting just past `r#…#"`; closes at `"` + `hashes`
+/// hash marks. Returns `(text, newlines consumed, next index)`.
+fn lex_raw_string(b: &[u8], mut i: usize, hashes: usize) -> (String, u32, usize) {
+    let start = i;
+    let mut nl = 0u32;
+    while i < b.len() {
+        if b[i] == b'"' {
+            let mut k = 0usize;
+            while k < hashes && i + 1 + k < b.len() && b[i + 1 + k] == b'#' {
+                k += 1;
+            }
+            if k == hashes {
+                let text = String::from_utf8_lossy(&b[start..i]).into_owned();
+                return (text, nl, i + 1 + hashes);
+            }
+        }
+        if b[i] == b'\n' {
+            nl += 1;
+        }
+        i += 1;
+    }
+    (String::from_utf8_lossy(&b[start..]).into_owned(), nl, i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn block_comments_produce_no_tokens() {
+        let src = "fn f() { /* Instant::now() HashMap */ }";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["fn", "f"]);
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let src = "/* a /* b */ still comment */ fn g() {}";
+        assert_eq!(idents(src), vec!["fn", "g"]);
+    }
+
+    #[test]
+    fn string_with_slashes_does_not_hide_following_code() {
+        // The old line-based checks cut this line at the `//` inside the
+        // string, hiding the `.unwrap()` — the classic false negative.
+        let src = "let url = \"http://example.org\"; x.lock().unwrap();";
+        let ids = idents(src);
+        assert!(ids.contains(&"unwrap".to_string()), "{ids:?}");
+        let strs: Vec<_> = lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .collect();
+        assert_eq!(strs.len(), 1);
+        assert_eq!(strs[0].text, "http://example.org");
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_newlines() {
+        let src = "let s = r#\"multi\nline \"quoted\" Instant::now()\"#; done();";
+        let toks = lex(src);
+        let strs = toks
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .count();
+        assert_eq!(strs, 1);
+        let ids: Vec<_> = toks
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(ids.contains(&"done"));
+        assert!(!ids.contains(&"Instant"));
+        // `done` sits on line 2 (the raw string spans a newline).
+        let done = toks.tokens.iter().find(|t| t.text == "done").unwrap();
+        assert_eq!(done.line, 2);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { let c = 'x'; let n = '\\n'; x }";
+        let toks = lex(src);
+        let lifetimes = toks
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        let chars = toks
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .count();
+        assert_eq!(lifetimes, 3);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let src = "let r#fn = 1; let radius = r#fn;";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "fn", "let", "radius", "fn"]);
+    }
+
+    #[test]
+    fn comments_are_recorded_per_line() {
+        let src = "// SAFETY: one\nlet x = 1; // lint: allow(unwrap): two\n/* three\nfour */\n";
+        let l = lex(src);
+        assert!(l.comment_on(1).unwrap().contains("SAFETY: one"));
+        assert!(l.comment_on(2).unwrap().contains("allow(unwrap)"));
+        assert!(l.comment_on(3).unwrap().contains("three"));
+        assert!(l.comment_on(4).unwrap().contains("four"));
+    }
+
+    #[test]
+    fn byte_and_b_prefixed_idents_disambiguate() {
+        let src = "let b = buf; let s = b\"bytes\"; let r = rate;";
+        let ids = idents(src);
+        assert!(ids.contains(&"buf".to_string()));
+        assert!(ids.contains(&"rate".to_string()));
+        let strs: Vec<_> = lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(strs, vec!["bytes"]);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let src = "for i in 0..128 { let f = 1.5e3; let h = 0xff_u32; }";
+        let toks = lex(src);
+        let nums: Vec<_> = toks
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["0", "128", "1.5e3", "0xff_u32"]);
+    }
+}

@@ -1,0 +1,394 @@
+//! Static lock-acquisition-order graph, mirroring bfly-san's dynamic
+//! one: nodes are heuristic lock names (`self.jobs.lock()` → `jobs`,
+//! `locked(&cache)` → `cache`), edges mean "B acquired while A held",
+//! cycles (Tarjan SCC) are potential AB-BA deadlocks.
+//!
+//! Within-function edges come straight from the parser's guard-scope
+//! tracking. Cross-function edges use the call graph: a call made while
+//! holding `a` contributes `a → b` for every lock `b` in the callee's
+//! *transitive* acquire set (fixpoint over call edges).
+//!
+//! The cross-check against a `SAN_<exp>.json` compares the two graphs'
+//! summary shapes: static cycles that dynamic runs never exhibited are
+//! warnings (latent order inversions), and dynamic cycles beyond what
+//! the static pass found prove a coverage gap (lock identity the
+//! heuristics could not see — e.g. sim-side `SpinLock`s, which acquire
+//! through `chrysalis::spin` rather than `.lock()`/`locked()`).
+
+use crate::graph::{FileMeta, Graph};
+use crate::json::Value;
+use crate::parse::FnItem;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One static lock-order edge with its first witness site.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LockEdge {
+    pub from: String,
+    pub to: String,
+    /// Qualified name of the function providing the witness.
+    pub in_fn: String,
+    pub file: String,
+    pub line: u32,
+    /// True when the edge needed a call-graph hop (caller holds `from`,
+    /// callee acquires `to`).
+    pub cross_fn: bool,
+}
+
+/// The assembled static lock graph.
+#[derive(Debug, Default)]
+pub struct LockGraph {
+    /// Sorted lock names.
+    pub locks: Vec<String>,
+    pub edges: Vec<LockEdge>,
+    /// Cycles as sorted lock-name lists (SCCs of size > 1, plus
+    /// self-loops — a self-loop is a re-entrant double-acquire).
+    pub cycles: Vec<Vec<String>>,
+}
+
+/// Build the graph from parsed functions + the call graph.
+pub fn build(fns: &[FnItem], files: &[FileMeta], g: &Graph) -> LockGraph {
+    // 1. Transitive acquire sets, fixpoint over call edges.
+    let mut acq: Vec<BTreeSet<String>> = fns
+        .iter()
+        .map(|f| f.lock_acquires.iter().map(|l| l.name.clone()).collect())
+        .collect();
+    let mut dirty: Vec<usize> = (0..fns.len()).filter(|&i| !acq[i].is_empty()).collect();
+    while let Some(f) = dirty.pop() {
+        let add: Vec<String> = acq[f].iter().cloned().collect();
+        for &(caller, _) in &g.redges[f] {
+            let before = acq[caller].len();
+            acq[caller].extend(add.iter().cloned());
+            if acq[caller].len() > before {
+                dirty.push(caller);
+            }
+        }
+    }
+
+    // 2. Edges: within-fn first, then cross-fn. First witness wins per
+    // (from, to) pair; BTreeMap keeps emission deterministic.
+    let mut edges: BTreeMap<(String, String), LockEdge> = BTreeMap::new();
+    let mut note = |e: LockEdge| {
+        edges.entry((e.from.clone(), e.to.clone())).or_insert(e);
+    };
+    for (fi, f) in fns.iter().enumerate() {
+        if f.in_test {
+            continue;
+        }
+        let file = &files[f.file].label;
+        for (a, b, line) in &f.lock_edges {
+            note(LockEdge {
+                from: a.clone(),
+                to: b.clone(),
+                in_fn: f.qualified(),
+                file: file.clone(),
+                line: *line,
+                cross_fn: false,
+            });
+        }
+        for call in &f.calls {
+            if call.holding.is_empty() {
+                continue;
+            }
+            for &(callee, line) in g.edges[fi].iter().filter(|(_, l)| *l == call.line) {
+                for a in &call.holding {
+                    for b in acq[callee].iter() {
+                        // Same-lock cross-fn edge = re-entrant acquire;
+                        // keep it (self-loop cycle below).
+                        note(LockEdge {
+                            from: a.clone(),
+                            to: b.clone(),
+                            in_fn: f.qualified(),
+                            file: file.clone(),
+                            line,
+                            cross_fn: true,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // 3. Node set + Tarjan SCC over lock names.
+    let mut names: BTreeSet<String> = BTreeSet::new();
+    for f in fns.iter().filter(|f| !f.in_test) {
+        for l in &f.lock_acquires {
+            names.insert(l.name.clone());
+        }
+    }
+    for e in edges.values() {
+        names.insert(e.from.clone());
+        names.insert(e.to.clone());
+    }
+    let locks: Vec<String> = names.into_iter().collect();
+    let idx: BTreeMap<&str, usize> = locks
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), i))
+        .collect();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); locks.len()];
+    let mut self_loops: BTreeSet<usize> = BTreeSet::new();
+    for e in edges.values() {
+        let (a, b) = (idx[e.from.as_str()], idx[e.to.as_str()]);
+        if a == b {
+            self_loops.insert(a);
+        } else {
+            adj[a].push(b);
+        }
+    }
+
+    let sccs = tarjan(&adj);
+    let mut cycles: Vec<Vec<String>> = sccs
+        .into_iter()
+        .filter(|c| c.len() > 1)
+        .map(|c| {
+            let mut v: Vec<String> = c.into_iter().map(|i| locks[i].clone()).collect();
+            v.sort();
+            v
+        })
+        .collect();
+    for s in self_loops {
+        cycles.push(vec![locks[s].clone()]);
+    }
+    cycles.sort();
+
+    LockGraph {
+        locks,
+        edges: edges.into_values().collect(),
+        cycles,
+    }
+}
+
+/// Iterative Tarjan SCC (no recursion: real call graphs get deep).
+fn tarjan(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = adj.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        // Explicit DFS frame: (node, next child position).
+        let mut frames: Vec<(usize, usize)> = vec![(start, 0)];
+        index[start] = next_index;
+        low[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+
+        while let Some(&mut (v, ref mut ci)) = frames.last_mut() {
+            if *ci < adj[v].len() {
+                let w = adj[v][*ci];
+                *ci += 1;
+                if index[w] == usize::MAX {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack");
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(comp);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+/// Summary comparison against a san report's `lock_graph` section.
+#[derive(Debug, Clone)]
+pub struct CrossCheck {
+    pub san_schema: String,
+    pub experiment: String,
+    pub dynamic_locks: u64,
+    pub dynamic_edges: u64,
+    pub dynamic_cycles: u64,
+    pub static_locks: u64,
+    pub static_edges: u64,
+    pub static_cycles: u64,
+    /// Dynamic cycles the static pass did not account for.
+    pub coverage_gap: bool,
+}
+
+/// Run the cross-check. `san` is a parsed `SAN_<exp>.json`; fails with a
+/// message when the report predates the `lock_graph` export.
+pub fn cross_check(lg: &LockGraph, san: &Value) -> Result<CrossCheck, String> {
+    let schema = san
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("SAN report missing \"schema\"")?;
+    if !schema.starts_with("bfly-san/") {
+        return Err(format!("not a bfly-san report (schema {schema:?})"));
+    }
+    let experiment = san
+        .get("experiment")
+        .and_then(Value::as_str)
+        .unwrap_or("?")
+        .to_string();
+    let dyn_lg = san
+        .get("lock_graph")
+        .ok_or("SAN report has no \"lock_graph\" section (pre-PR10 schema?)")?;
+    let arr_len = |k: &str| -> u64 {
+        dyn_lg
+            .get(k)
+            .and_then(Value::as_arr)
+            .map(|a| a.len() as u64)
+            .unwrap_or(0)
+    };
+    let dynamic_locks = arr_len("locks");
+    let dynamic_edges = arr_len("edges");
+    let dynamic_cycles = arr_len("cycles");
+    Ok(CrossCheck {
+        san_schema: schema.to_string(),
+        experiment,
+        dynamic_locks,
+        dynamic_edges,
+        dynamic_cycles,
+        static_locks: lg.locks.len() as u64,
+        static_edges: lg.edges.len() as u64,
+        static_cycles: lg.cycles.len() as u64,
+        coverage_gap: dynamic_cycles > lg.cycles.len() as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+    use crate::parse::parse;
+    use std::collections::BTreeMap as Map;
+
+    fn setup(src: &str) -> (Vec<FnItem>, Vec<FileMeta>, Graph) {
+        let parsed = parse(&lex(src));
+        let fns: Vec<FnItem> = parsed.fns;
+        let files = vec![FileMeta {
+            label: "crates/x/src/a.rs".into(),
+            krate: "x".into(),
+            stem: "a".into(),
+        }];
+        let g = crate::graph::build(&fns, &files, &Map::new());
+        (fns, files, g)
+    }
+
+    #[test]
+    fn ab_ba_cycle_is_found() {
+        let (fns, files, g) = setup(
+            "
+fn ab() { let a = self.alpha.lock(); let b = self.beta.lock(); }
+fn ba() { let b = self.beta.lock(); let a = self.alpha.lock(); }
+",
+        );
+        let lg = build(&fns, &files, &g);
+        assert_eq!(
+            lg.cycles,
+            vec![vec!["alpha".to_string(), "beta".to_string()]]
+        );
+    }
+
+    #[test]
+    fn consistent_order_has_no_cycle() {
+        let (fns, files, g) = setup(
+            "
+fn one() { let a = self.alpha.lock(); let b = self.beta.lock(); }
+fn two() { let a = self.alpha.lock(); let b = self.beta.lock(); }
+",
+        );
+        let lg = build(&fns, &files, &g);
+        assert_eq!(lg.edges.len(), 1);
+        assert!(lg.cycles.is_empty());
+    }
+
+    #[test]
+    fn cross_fn_edge_via_transitive_acquires() {
+        let (fns, files, g) = setup(
+            "
+fn outer() { let a = self.alpha.lock(); helper(); }
+fn helper() { middle(); }
+fn middle() { let b = self.beta.lock(); }
+fn reverse() { let b = self.beta.lock(); let a = self.alpha.lock(); }
+",
+        );
+        let lg = build(&fns, &files, &g);
+        let cross = lg
+            .edges
+            .iter()
+            .find(|e| e.from == "alpha" && e.to == "beta")
+            .expect("cross-fn edge");
+        assert!(cross.cross_fn);
+        assert_eq!(lg.cycles.len(), 1, "{:?}", lg.cycles);
+    }
+
+    #[test]
+    fn reentrant_acquire_is_a_self_loop_cycle() {
+        let (fns, files, g) = setup(
+            "
+fn outer() { let a = self.alpha.lock(); inner_helper(); }
+fn inner_helper() { let a = self.alpha.lock(); }
+",
+        );
+        let lg = build(&fns, &files, &g);
+        assert_eq!(lg.cycles, vec![vec!["alpha".to_string()]]);
+    }
+
+    #[test]
+    fn test_fns_do_not_contribute() {
+        let (fns, files, g) = setup(
+            "
+#[cfg(test)]
+mod tests {
+    fn t() { let a = self.alpha.lock(); let b = self.beta.lock(); }
+    fn u() { let b = self.beta.lock(); let a = self.alpha.lock(); }
+}
+",
+        );
+        let lg = build(&fns, &files, &g);
+        assert!(lg.edges.is_empty());
+        assert!(lg.cycles.is_empty());
+    }
+
+    #[test]
+    fn cross_check_reads_san_shape() {
+        let (fns, files, g) = setup("fn f() { let a = self.alpha.lock(); }");
+        let lg = build(&fns, &files, &g);
+        let san = crate::json::parse(
+            r#"{"schema": "bfly-san/1", "experiment": "tab18", "lock_graph": {"locks": [{"id": 0}, {"id": 1}], "edges": [{"from": 0, "to": 1}], "cycles": [[0, 1]]}}"#,
+        )
+        .unwrap();
+        let cc = cross_check(&lg, &san).unwrap();
+        assert_eq!(cc.dynamic_locks, 2);
+        assert_eq!(cc.dynamic_edges, 1);
+        assert_eq!(cc.dynamic_cycles, 1);
+        assert_eq!(cc.static_cycles, 0);
+        assert!(cc.coverage_gap);
+    }
+
+    #[test]
+    fn cross_check_rejects_old_schema() {
+        let (fns, files, g) = setup("fn f() {}");
+        let lg = build(&fns, &files, &g);
+        let san = crate::json::parse(r#"{"schema": "bfly-san/1", "experiment": "x"}"#).unwrap();
+        assert!(cross_check(&lg, &san).unwrap_err().contains("lock_graph"));
+    }
+}

@@ -1,0 +1,8 @@
+//! Corpus fixture: a reactor-root file (label in `blocking_root_files`)
+//! whose callback reaches a blocking sleep through a helper in
+//! `blocking_helper.rs`. Expected finding: check `blocking`, anchored
+//! at the sleep in the helper file.
+
+pub fn on_readable(conn: &mut Conn) {
+    throttle(conn);
+}

@@ -1,0 +1,6 @@
+//! Corpus fixture: the blocking helper the reactor callback reaches.
+
+pub fn throttle(conn: &mut Conn) {
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    conn.touch();
+}

@@ -1,0 +1,18 @@
+//! Corpus fixture: the helper chain. `helper_mid` → `helper_deep` →
+//! `stamp`, and `stamp` reads the wall clock. None of these files is a
+//! determinism root, so a path-glob check that only scans the root
+//! files misses the violation entirely; call-graph reachability taints
+//! the root through three hops.
+
+pub fn helper_mid(w: &mut Window) {
+    helper_deep(w);
+}
+
+fn helper_deep(w: &mut Window) {
+    w.mark = stamp();
+}
+
+fn stamp() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}

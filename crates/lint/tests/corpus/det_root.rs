@@ -1,0 +1,8 @@
+//! Corpus fixture: a determinism-critical root (stands in for the
+//! `pdes*` executor family). It contains no taint source itself — the
+//! wall-clock read lives three call hops away in `det_helpers.rs`,
+//! a file no path glob ever watched.
+
+pub fn advance_window(w: &mut Window) {
+    helper_mid(w);
+}

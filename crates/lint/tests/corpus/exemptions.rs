@@ -1,0 +1,18 @@
+//! Corpus fixture: the exemption grammar, good and bad. The justified
+//! allow suppresses its unwrap; the two malformed comments each produce
+//! an `exemption` error finding.
+
+pub fn suppressed(x: Option<u32>) -> u32 {
+    // lint: allow(unwrap): fixture — a poisoned mutex here means a prior panic already failed the run
+    x.unwrap()
+}
+
+pub fn missing_reason(x: Option<u32>) -> u32 {
+    // lint: allow(unwrap)
+    x.unwrap()
+}
+
+pub fn unknown_check(x: Option<u32>) -> u32 {
+    // lint: allow(telepathy): not a real check
+    x.unwrap()
+}

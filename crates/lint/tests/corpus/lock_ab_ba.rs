@@ -1,0 +1,15 @@
+//! Corpus fixture: a static AB-BA lock-order inversion. `transfer`
+//! takes `ledger` then `audit`; `reconcile` takes them in the opposite
+//! order. Expected: a `lock_order` warning naming both locks.
+
+pub fn transfer(&self) {
+    let a = self.ledger.lock();
+    let b = self.audit.lock();
+    a.apply(&b);
+}
+
+pub fn reconcile(&self) {
+    let b = self.audit.lock();
+    let a = self.ledger.lock();
+    b.check(&a);
+}

@@ -1,0 +1,11 @@
+//! Corpus fixture: `unsafe` without a SAFETY comment, in an allowlisted
+//! crate. Expected finding: check `safety`, error, at the `unsafe` line.
+
+// SAFETY: documented — this one is fine.
+pub fn documented(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+pub fn undocumented(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -1,0 +1,6 @@
+//! Corpus fixture: `thread::spawn` inside a reactor module (the label
+//! is in `no_spawn_files`). Expected finding: check `thread_spawn`.
+
+pub fn rogue_executor() {
+    std::thread::spawn(|| {});
+}

@@ -1,0 +1,8 @@
+//! Corpus fixture: `unsafe` in a crate OUTSIDE the unsafe allowlist.
+//! Expected finding: check `unsafe_crate`, error — even with a SAFETY
+//! comment, because the crate itself is not sanctioned.
+
+// SAFETY: irrelevant; the crate is not allowlisted.
+pub fn sneaky(p: *const u8) -> u8 {
+    unsafe { *p }
+}

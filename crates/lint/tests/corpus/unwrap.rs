@@ -1,0 +1,16 @@
+//! Corpus fixture: bare `.unwrap()` in a serving-path file (the file's
+//! label is in `no_unwrap_files`). Expected finding: check `unwrap`.
+//! The test-scoped unwrap below must NOT be flagged.
+
+pub fn serving(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fine_here() {
+        let v: Option<u32> = Some(1);
+        v.unwrap();
+    }
+}

@@ -1,0 +1,101 @@
+//! Golden tests: `LINT_report.json` is schema-pinned (`bfly-lint/1`)
+//! and byte-stable — the same inputs must serialize to identical bytes
+//! on every run, because CI diffs two consecutive runs and the report
+//! is archived as an artifact.
+
+use bfly_lint::{analyze, analyze_with_san, Config, SourceFile};
+
+fn sample() -> (Vec<SourceFile>, Config) {
+    let files = vec![
+        SourceFile {
+            label: "crates/alpha/src/root.rs".into(),
+            text: "pub fn root() { helper(); }\n".into(),
+        },
+        SourceFile {
+            label: "crates/alpha/src/helper.rs".into(),
+            text: "pub fn helper() { let t = std::time::Instant::now(); }\n\
+                   pub fn ab(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); }\n\
+                   pub fn ba(&self) { let b = self.beta.lock(); let a = self.alpha.lock(); }\n"
+                .into(),
+        },
+    ];
+    let mut cfg = Config::bare();
+    cfg.det_root_files = vec!["crates/alpha/src/root.rs".into()];
+    (files, cfg)
+}
+
+#[test]
+fn report_is_byte_stable_across_runs() {
+    let (files, cfg) = sample();
+    let a = analyze(&files, &cfg).to_json();
+    let b = analyze(&files, &cfg).to_json();
+    assert_eq!(a, b, "two runs over identical inputs must be bit-identical");
+    assert!(!a.is_empty());
+}
+
+#[test]
+fn report_schema_and_key_order_are_pinned() {
+    let (files, cfg) = sample();
+    let json = analyze(&files, &cfg).to_json();
+    // Self-parse: the emitter and the reader agree.
+    let v = bfly_lint::json::parse(&json).expect("report parses");
+    assert_eq!(
+        v.get("schema").and_then(bfly_lint::json::Value::as_str),
+        Some("bfly-lint/1")
+    );
+    // Key order is part of the schema contract (byte-stability).
+    let keys = [
+        "\"schema\"",
+        "\"files\"",
+        "\"functions\"",
+        "\"call_edges\"",
+        "\"use_edges\"",
+        "\"errors\"",
+        "\"warnings\"",
+        "\"exempt_count\"",
+        "\"findings\"",
+        "\"exempt\"",
+        "\"lock_graph\"",
+        "\"san_cross_check\"",
+    ];
+    let mut last = 0usize;
+    for k in keys {
+        let at = json.find(k).unwrap_or_else(|| panic!("missing key {k}"));
+        assert!(at > last || k == "\"schema\"", "{k} out of order\n{json}");
+        last = at;
+    }
+    // The sample has one determinism error and one AB-BA warning.
+    let errors = v.get("errors").and_then(bfly_lint::json::Value::as_u64);
+    let warnings = v.get("warnings").and_then(bfly_lint::json::Value::as_u64);
+    assert_eq!(errors, Some(1));
+    assert_eq!(warnings, Some(1));
+}
+
+#[test]
+fn san_cross_check_round_trips_through_the_report() {
+    let (files, cfg) = sample();
+    let san = r#"{"schema": "bfly-san/1", "experiment": "tab18", "lock_graph": {"locks": [{"id": 0}], "edges": [], "cycles": [], "locksets": [[]]}}"#;
+    let report = analyze_with_san(&files, &cfg, san).expect("cross-check");
+    let json = report.to_json();
+    let v = bfly_lint::json::parse(&json).unwrap();
+    let cc = v.get("san_cross_check").expect("cross-check section");
+    assert_eq!(
+        cc.get("experiment")
+            .and_then(bfly_lint::json::Value::as_str),
+        Some("tab18")
+    );
+    // Static side saw 2 locks (alpha, beta) and 1 cycle; dynamic saw 1
+    // lock, no cycles — so no coverage gap.
+    let stat = cc.get("static").expect("static summary");
+    assert_eq!(
+        stat.get("locks").and_then(bfly_lint::json::Value::as_u64),
+        Some(2)
+    );
+    assert_eq!(
+        stat.get("cycles").and_then(bfly_lint::json::Value::as_u64),
+        Some(1)
+    );
+    // Byte-stability holds with the cross-check section present too.
+    let again = analyze_with_san(&files, &cfg, san).unwrap().to_json();
+    assert_eq!(json, again);
+}

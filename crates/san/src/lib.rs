@@ -1244,7 +1244,82 @@ impl Sanitizer {
                     .join(",")
             ));
         }
-        out.push_str("]}\n}\n");
+        out.push_str("]},\n");
+
+        // Machine-readable lock-graph export (PR10): the observed locks,
+        // acquisition-order edges, cycles, and interned locksets, in a
+        // stable shape `bfly-lint` cross-checks its static graph against.
+        // Everything is emitted in interner/BTreeMap order, so two runs
+        // of the same schedule produce identical bytes.
+        out.push_str("  \"lock_graph\": {\n    \"locks\": [");
+        {
+            let locks = self.inner.locks.borrow();
+            for (i, l) in locks.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let alloc = self
+                    .alloc_site_of(l.node, l.offset)
+                    .map(|s| json_str(&self.string(s)))
+                    .unwrap_or_else(|| "null".into());
+                out.push_str(&format!(
+                    "\n      {{\"id\": {}, \"node\": {}, \"offset\": {}, \"acquires\": {}, \"alloc_site\": {}}}",
+                    i, l.node, l.offset, l.acquires, alloc
+                ));
+            }
+            if !locks.is_empty() {
+                out.push_str("\n    ");
+            }
+        }
+        out.push_str("],\n    \"edges\": [");
+        {
+            let edges = self.inner.lock_edges.borrow();
+            for (i, (&(a, b), e)) in edges.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "\n      {{\"from\": {}, \"to\": {}, \"count\": {}, \"site\": {}}}",
+                    a,
+                    b,
+                    e.count,
+                    json_str(&self.string(e.site))
+                ));
+            }
+            if !edges.is_empty() {
+                out.push_str("\n    ");
+            }
+        }
+        out.push_str("],\n    \"cycles\": [");
+        for (i, scc) in cycles.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "[{}]",
+                scc.iter()
+                    .map(|l| l.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ));
+        }
+        out.push_str("],\n    \"locksets\": [");
+        {
+            let sets = self.inner.locksets.borrow();
+            for (i, s) in sets.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "[{}]",
+                    s.iter()
+                        .map(|l| l.to_string())
+                        .collect::<Vec<_>>()
+                        .join(",")
+                ));
+            }
+        }
+        out.push_str("]\n  }\n}\n");
         out
     }
 }

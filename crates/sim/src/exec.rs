@@ -828,6 +828,7 @@ impl Sim {
     /// on. The target is *cumulative*, counted from simulation start, so
     /// restore paths can fast-forward to an absolute snapshot cut.
     pub fn run_events(&self, target_events: u64) -> StepOutcome {
+        // lint: allow(determinism): wall time feeds only RunStats telemetry (events/sec); no simulation state ever reads it
         let wall_start = Instant::now();
         // Entries at the current instant, drained one at a time with the
         // ready queue emptied in between. Safe to hold across polls: once
@@ -1293,7 +1294,7 @@ impl Sim {
         // canonical capture is the live set: entries minus their matching
         // cancellation records. (A record with no matching entry is stale —
         // its entry already fired — and matches nothing here.)
-        let dead: std::collections::HashSet<(SimTime, u64)> =
+        let dead: std::collections::BTreeSet<(SimTime, u64)> =
             timers.cancelled.iter().copied().collect();
         let mut wheel: Vec<(SimTime, u64)> = timers
             .wheel

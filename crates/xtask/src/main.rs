@@ -1,132 +1,107 @@
 //! # xtask — workspace lint gates
 //!
 //! `cargo xtask lint` enforces the repository's structural invariants,
-//! the ones `rustc` and `clippy` cannot see:
+//! the ones `rustc` and `clippy` cannot see. Two layers:
 //!
-//! 1. **Dependency edges** — `bfly-farmd` is the serving substrate and
-//!    must stay std-only: `bench -> farmd`, never the reverse. A single
-//!    `bfly-*` line in farmd's `[dependencies]` would invert the layering
-//!    and drag the whole simulation stack into the daemon. Likewise
-//!    `bfly-farm-router` may depend on exactly `bfly-farmd` (protocol +
-//!    content keys) and nothing else: the router routes jobs, it cannot
-//!    run them, so `bench -> router -> farmd` stays acyclic.
-//! 2. **SAFETY comments** — every `unsafe` keyword must have a
-//!    `// SAFETY:` justification within the five preceding lines.
-//! 3. **Unsafe allowlist** — `unsafe` may appear only in `sim`,
-//!    `collections`, and `farmd`. New crates are born `#![forbid(unsafe_code)]`.
-//! 4. **Daemon unwrap ban** — no bare `.unwrap()` in farmd's
-//!    `server.rs`/`cache.rs`/`reactor.rs` hot paths or anywhere in the
-//!    router's sources (outside `#[cfg(test)]`): a poisoned lock or a
-//!    flaky shard must degrade, not kill the serving layer.
-//! 5. **Reactor thread ban** — no `thread::spawn` (or `thread::Builder`)
-//!    in farmd's reactor modules: the reactor's whole contract is one
-//!    thread multiplexing every connection, and a thread quietly spawned
-//!    per connection or per request would reintroduce exactly the
-//!    unbounded-threads regime `--io-mode reactor` exists to replace.
-//! 6. **Snapshot purity** — no `SystemTime` or `Instant::now` in the
-//!    modules that produce serialized snapshot state (DESIGN.md §16):
-//!    snapshot bytes must be a pure function of simulated state, and the
-//!    restore proof (`verify_prefix`) turns one smuggled wall-clock read
-//!    into a `Divergent` error on every resume. Host timing that must
-//!    exist (e.g. `RunStats::wall`) lives outside these modules and
-//!    outside the captured sections.
-//! 7. **PDES purity** — the bit-identical parallel-executor contract
-//!    (DESIGN.md §17) holds only if the PDES modules are deterministic
-//!    pure functions of simulated state. In `crates/sim/src/pdes*`:
-//!    no wall-clock sources, no `HashMap`/`HashSet` (their iteration
-//!    order is randomized per process, and one order-dependent fold
-//!    breaks serial ≡ parallel silently), and no `thread::` anywhere
-//!    except `pdes_pool.rs`, the one sanctioned scoped-thread pool —
-//!    a thread spawned elsewhere is an unsynchronized executor escaping
-//!    the three-barrier window protocol.
+//! 1. **Dependency edges** (checked here, over manifests) — `bfly-farmd`
+//!    is the serving substrate and must stay std-only: `bench -> farmd`,
+//!    never the reverse. A single `bfly-*` line in farmd's
+//!    `[dependencies]` would invert the layering and drag the whole
+//!    simulation stack into the daemon. Likewise `bfly-farm-router` may
+//!    depend on exactly `bfly-farmd` (protocol + content keys) and
+//!    nothing else: the router routes jobs, it cannot run them, so
+//!    `bench -> router -> farmd` stays acyclic.
+//! 2. **Everything else** (delegated to the `bfly-lint` engine,
+//!    DESIGN.md §18) — SAFETY-comment discipline, the unsafe allowlist,
+//!    the daemon unwrap ban, the reactor thread ban, and — replacing the
+//!    old path-glob purity checks — *transitive* purity inference over
+//!    the workspace call graph: wall-clock reads, `HashMap`/`HashSet`,
+//!    ambient randomness, and unsanctioned `thread::spawn` reachable
+//!    from the PDES/snapshot modules, plus blocking calls reachable from
+//!    reactor callbacks, are flagged wherever they live. The engine also
+//!    builds a static lock-acquisition-order graph and (with `--san`)
+//!    cross-checks it against bfly-san's dynamically observed one.
 //!
-//! Each check is a pure function over `(path label, file contents)` so the
-//! unit tests below can feed deliberate violations without touching disk.
-//! The checks are line-based and intentionally unclever: they strip `//`
-//! comments before matching, which is enough for this codebase and keeps
-//! the gate auditable. `crates/xtask` itself is excluded from the walk —
-//! its test fixtures contain the very violations the gate exists to catch.
+//! Violations are suppressed only by a reasoned exemption comment,
+//! `// lint: allow(<check>): <why>` — see `crates/lint/src/checks.rs`.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo xtask lint                  # gate: exit 1 on any non-exempt error
+//! cargo xtask lint --json [PATH]    # also write LINT_report.json (bfly-lint/1)
+//! cargo xtask lint --san SAN.json   # cross-check static vs dynamic lock graph
+//! ```
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-/// Crates allowed to contain the `unsafe` keyword at all.
-const UNSAFE_ALLOWLIST: &[&str] = &["sim", "collections", "farmd"];
-
-/// Serving-layer files where bare `.unwrap()` is banned outside
-/// `#[cfg(test)]`: farmd's hot paths plus every router source — a
-/// router thread that panics on a poisoned lock takes the whole
-/// cluster's front door with it.
-const NO_UNWRAP_FILES: &[&str] = &[
-    "crates/farmd/src/server.rs",
-    "crates/farmd/src/cache.rs",
-    "crates/farmd/src/reactor.rs",
-    "crates/farm-router/src/conn.rs",
-    "crates/farm-router/src/health.rs",
-    "crates/farm-router/src/lib.rs",
-    "crates/farm-router/src/main.rs",
-    "crates/farm-router/src/rebalance.rs",
-    "crates/farm-router/src/ring.rs",
-    "crates/farm-router/src/router.rs",
-];
-
 /// The only dependency `bfly-farm-router` may declare.
 const ROUTER_ALLOWED_DEP: &str = "bfly-farmd";
-
-/// Farmd reactor modules where spawning threads is banned outside
-/// `#[cfg(test)]`: one reactor thread owns every connection, and the
-/// worker pool is sized and spawned by `server.rs` — a spawn here is a
-/// per-connection or per-request thread sneaking back in.
-const NO_THREAD_SPAWN_FILES: &[&str] = &["crates/farmd/src/reactor.rs"];
-
-/// Modules whose output becomes serialized snapshot state (the `bfly-snap`
-/// container, the engine state sections, the RNG stream, and the sweep
-/// checkpointer): wall-clock reads are banned outside `#[cfg(test)]`.
-/// A snapshot that embeds host time is unreproducible — the restore
-/// proof would reject every resume as divergent.
-const SNAPSHOT_PURE_FILES: &[&str] = &[
-    "crates/snap/src/lib.rs",
-    "crates/sim/src/snap.rs",
-    "crates/sim/src/rng.rs",
-    "crates/bench/src/snapshot.rs",
-];
-
-/// The PDES executor modules (DESIGN.md §17). Serial ≡ parallel is a
-/// bit-identity contract, so everything here must be a deterministic
-/// pure function of simulated state: no wall clocks, no randomized-order
-/// containers. `pdes_pool.rs` is the one module allowed to touch
-/// `thread::` — it hosts the sanctioned scoped worker pool that the
-/// window protocol drives.
-const PDES_PURE_FILES: &[&str] = &[
-    "crates/sim/src/pdes.rs",
-    "crates/sim/src/pdes_pool.rs",
-    "crates/sim/src/pdes_snap.rs",
-    "crates/sim/src/pdes_window.rs",
-];
-
-/// The single PDES module where `thread::` is sanctioned.
-const PDES_POOL_FILE: &str = "crates/sim/src/pdes_pool.rs";
-
-/// How far back (in lines) a `// SAFETY:` comment may sit from its
-/// `unsafe` keyword and still count as adjacent.
-const SAFETY_WINDOW: usize = 5;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => lint(),
+        Some("lint") => lint(&args[1..]),
         Some(other) => {
             eprintln!("xtask: unknown command `{other}` (try `cargo xtask lint`)");
             ExitCode::FAILURE
         }
         None => {
-            eprintln!("usage: cargo xtask lint");
+            eprintln!("usage: cargo xtask lint [--json [PATH]] [--san SAN_report.json]");
             ExitCode::FAILURE
         }
     }
 }
 
-fn lint() -> ExitCode {
+/// Parsed `lint` subcommand options.
+#[derive(Debug, Default, PartialEq)]
+struct LintOpts {
+    /// `Some(path)` when `--json [PATH]` was given.
+    json: Option<String>,
+    /// `Some(path)` when `--san PATH` was given.
+    san: Option<String>,
+}
+
+fn parse_opts(args: &[String]) -> Result<LintOpts, String> {
+    let mut opts = LintOpts::default();
+    let mut i = 0usize;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => {
+                let next = args.get(i + 1).filter(|a| !a.starts_with("--"));
+                match next {
+                    Some(p) => {
+                        opts.json = Some(p.clone());
+                        i += 2;
+                    }
+                    None => {
+                        opts.json = Some("LINT_report.json".to_string());
+                        i += 1;
+                    }
+                }
+            }
+            "--san" => {
+                let p = args
+                    .get(i + 1)
+                    .ok_or_else(|| "--san requires a path to a SAN_<exp>.json".to_string())?;
+                opts.san = Some(p.clone());
+                i += 2;
+            }
+            other => return Err(format!("unknown lint option `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let opts = match parse_opts(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let root = workspace_root();
     let mut violations: Vec<String> = Vec::new();
 
@@ -147,47 +122,60 @@ fn lint() -> ExitCode {
         Err(e) => violations.push(format!("crates/farm-router/Cargo.toml: unreadable: {e}")),
     }
 
-    // Checks 2–4 walk every Rust source under crates/ (xtask excluded).
-    for path in rust_sources(&root.join("crates")) {
-        let label = path
-            .strip_prefix(&root)
-            .unwrap_or(&path)
-            .to_string_lossy()
-            .replace('\\', "/");
-        let text = match std::fs::read_to_string(&path) {
-            Ok(t) => t,
-            Err(e) => {
-                violations.push(format!("{label}: unreadable: {e}"));
-                continue;
+    // Everything else: the bfly-lint engine over the full workspace.
+    let ws = match bfly_lint::load_workspace(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("xtask lint: cannot load workspace sources: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut cfg = bfly_lint::Config::workspace_default();
+    cfg.deps = ws.deps.clone();
+
+    let report = match &opts.san {
+        None => bfly_lint::analyze(&ws.files, &cfg),
+        Some(san_path) => {
+            let san_text = match std::fs::read_to_string(san_path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("xtask lint: cannot read SAN report {san_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match bfly_lint::analyze_with_san(&ws.files, &cfg, &san_text) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("xtask lint: san cross-check failed: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
-        };
-        violations.extend(check_safety_comments(&label, &text));
-        violations.extend(check_unsafe_allowlist(&label, &text));
-        if NO_UNWRAP_FILES.contains(&label.as_str()) {
-            violations.extend(check_no_bare_unwrap(&label, &text));
         }
-        if NO_THREAD_SPAWN_FILES.contains(&label.as_str()) {
-            violations.extend(check_no_thread_spawn(&label, &text));
+    };
+
+    print!("{}", report.render_text());
+    if let Some(json_path) = &opts.json {
+        let json = report.to_json();
+        if let Err(e) = std::fs::write(json_path, &json) {
+            eprintln!("xtask lint: cannot write {json_path}: {e}");
+            return ExitCode::FAILURE;
         }
-        if SNAPSHOT_PURE_FILES.contains(&label.as_str()) {
-            violations.extend(check_snapshot_purity(&label, &text));
-        }
-        if PDES_PURE_FILES.contains(&label.as_str()) {
-            violations.extend(check_pdes_purity(&label, &text));
-        }
+        println!("xtask lint: wrote {json_path} ({} bytes)", json.len());
     }
 
-    if violations.is_empty() {
-        println!(
-            "xtask lint: ok (dependency edges, SAFETY comments, unsafe allowlist, daemon \
-             unwraps, reactor thread ban, snapshot purity, PDES purity)"
-        );
+    let errors = report.errors();
+    if violations.is_empty() && errors == 0 {
+        println!("xtask lint: ok (dependency edges + bfly-lint engine)");
         ExitCode::SUCCESS
     } else {
         for v in &violations {
             eprintln!("xtask lint: {v}");
         }
-        eprintln!("xtask lint: {} violation(s)", violations.len());
+        eprintln!(
+            "xtask lint: {} manifest violation(s), {} engine error(s)",
+            violations.len(),
+            errors
+        );
         ExitCode::FAILURE
     }
 }
@@ -203,35 +191,8 @@ fn workspace_root() -> PathBuf {
         .to_path_buf()
 }
 
-/// Recursively collect `.rs` files under `dir`, skipping build output and
-/// this crate (whose test fixtures are deliberate violations).
-fn rust_sources(dir: &Path) -> Vec<PathBuf> {
-    let mut out = Vec::new();
-    let mut stack = vec![dir.to_path_buf()];
-    while let Some(d) = stack.pop() {
-        let Ok(entries) = std::fs::read_dir(&d) else {
-            continue;
-        };
-        for entry in entries.flatten() {
-            let path = entry.path();
-            let name = entry.file_name();
-            let name = name.to_string_lossy();
-            if path.is_dir() {
-                if name == "target" || name == "xtask" {
-                    continue;
-                }
-                stack.push(path);
-            } else if name.ends_with(".rs") {
-                out.push(path);
-            }
-        }
-    }
-    out.sort();
-    out
-}
-
 // ---------------------------------------------------------------------------
-// Check 1: dependency edges
+// Check 1: dependency edges (manifest-level; stays here, not in the engine)
 // ---------------------------------------------------------------------------
 
 /// farmd's `[dependencies]` section must be empty: the daemon is std-only,
@@ -296,461 +257,97 @@ fn check_router_isolation(label: &str, manifest: &str) -> Vec<String> {
     violations
 }
 
-// ---------------------------------------------------------------------------
-// Check 2: SAFETY comments
-// ---------------------------------------------------------------------------
-
-/// Every `unsafe` keyword needs a `// SAFETY:` comment on the same line or
-/// within the [`SAFETY_WINDOW`] preceding lines. Attribute spellings
-/// (`unsafe_code`, `unsafe_op_in_unsafe_fn`) are not uses of unsafe.
-fn check_safety_comments(label: &str, text: &str) -> Vec<String> {
-    let mut violations = Vec::new();
-    let lines: Vec<&str> = text.lines().collect();
-    for (i, raw) in lines.iter().enumerate() {
-        if !line_uses_unsafe(raw) {
-            continue;
-        }
-        let start = i.saturating_sub(SAFETY_WINDOW);
-        let justified = lines[start..=i].iter().any(|l| l.contains("SAFETY:"));
-        if !justified {
-            violations.push(format!(
-                "{label}:{}: `unsafe` without a `// SAFETY:` comment within {SAFETY_WINDOW} lines",
-                i + 1
-            ));
-        }
-    }
-    violations
-}
-
-// ---------------------------------------------------------------------------
-// Check 3: unsafe allowlist
-// ---------------------------------------------------------------------------
-
-/// `unsafe` may only appear in the allowlisted crates. `label` is a
-/// workspace-relative path like `crates/sim/src/exec.rs`.
-fn check_unsafe_allowlist(label: &str, text: &str) -> Vec<String> {
-    let crate_name = label
-        .strip_prefix("crates/")
-        .and_then(|rest| rest.split('/').next())
-        .unwrap_or("");
-    if UNSAFE_ALLOWLIST.contains(&crate_name) {
-        return Vec::new();
-    }
-    let mut violations = Vec::new();
-    for (i, raw) in text.lines().enumerate() {
-        if line_uses_unsafe(raw) {
-            violations.push(format!(
-                "{label}:{}: `unsafe` outside the allowlist ({}); new crates stay \
-                 `#![forbid(unsafe_code)]`",
-                i + 1,
-                UNSAFE_ALLOWLIST.join(", ")
-            ));
-        }
-    }
-    violations
-}
-
-// ---------------------------------------------------------------------------
-// Check 4: daemon unwrap ban
-// ---------------------------------------------------------------------------
-
-/// No bare `.unwrap()` before the first `#[cfg(test)]`: a poisoned lock or
-/// missing cache entry in the daemon's hot path must degrade gracefully
-/// (see `bfly_farmd::locked`), never abort the process. `.unwrap_or*` and
-/// `.unwrap_or_else` are fine — only the exact panicking form is banned.
-fn check_no_bare_unwrap(label: &str, text: &str) -> Vec<String> {
-    let mut violations = Vec::new();
-    for (i, raw) in text.lines().enumerate() {
-        if raw.trim_start().starts_with("#[cfg(test)]") {
-            break;
-        }
-        if strip_comment(raw, "//").contains(".unwrap()") {
-            violations.push(format!(
-                "{label}:{}: bare `.unwrap()` in a daemon path; use `crate::locked`, \
-                 `.unwrap_or_else`, or `.expect(\"why this cannot fail\")`",
-                i + 1
-            ));
-        }
-    }
-    violations
-}
-
-/// Check 5: no thread spawning in the reactor modules (outside
-/// `#[cfg(test)]`). `std::thread::sleep` and comments discussing threads
-/// are fine; `thread::spawn` and `thread::Builder` are not — the reactor
-/// exists so that one thread multiplexes every connection, and workers
-/// are spawned by `server.rs` only.
-fn check_no_thread_spawn(label: &str, text: &str) -> Vec<String> {
-    let mut violations = Vec::new();
-    for (i, raw) in text.lines().enumerate() {
-        if raw.trim_start().starts_with("#[cfg(test)]") {
-            break;
-        }
-        let code = strip_comment(raw, "//");
-        if code.contains("thread::spawn") || code.contains("thread::Builder") {
-            violations.push(format!(
-                "{label}:{}: thread spawn in a reactor module; the poll loop owns all \
-                 connection I/O and worker threads belong to server.rs",
-                i + 1
-            ));
-        }
-    }
-    violations
-}
-
-/// Check 6: snapshot purity — no wall-clock sources in the modules that
-/// produce serialized snapshot state (outside `#[cfg(test)]`; tests may
-/// time themselves). Both `SystemTime` and `Instant::now` are matched as
-/// substrings of comment-stripped code: the former is banned in any
-/// position (even a type mention invites storing one), the latter as the
-/// only way to *read* an `Instant` (passing one in as data stays legal —
-/// it cannot originate here).
-fn check_snapshot_purity(label: &str, text: &str) -> Vec<String> {
-    let mut violations = Vec::new();
-    for (i, raw) in text.lines().enumerate() {
-        if raw.trim_start().starts_with("#[cfg(test)]") {
-            break;
-        }
-        let code = strip_comment(raw, "//");
-        if code.contains("SystemTime") || code.contains("Instant::now") {
-            violations.push(format!(
-                "{label}:{}: wall-clock source in a snapshot-state module; snapshot bytes \
-                 must be a pure function of simulated state (DESIGN.md §16)",
-                i + 1
-            ));
-        }
-    }
-    violations
-}
-
-/// Check 7: PDES purity — the parallel executor's bit-identity contract
-/// (DESIGN.md §17) bans, outside `#[cfg(test)]`, in every PDES module:
-/// wall-clock sources (`SystemTime`, `Instant::now`) and the std hash
-/// containers (`HashMap`, `HashSet` — iteration order is randomized per
-/// process, so one order-dependent fold silently breaks serial ≡
-/// parallel; use `BTreeMap` or dense `Vec` indexing). `thread::` is
-/// additionally banned everywhere except [`PDES_POOL_FILE`], the one
-/// sanctioned scoped-thread pool driven by the window barrier protocol.
-fn check_pdes_purity(label: &str, text: &str) -> Vec<String> {
-    let mut violations = Vec::new();
-    let threads_allowed = label == PDES_POOL_FILE;
-    for (i, raw) in text.lines().enumerate() {
-        if raw.trim_start().starts_with("#[cfg(test)]") {
-            break;
-        }
-        let code = strip_comment(raw, "//");
-        if code.contains("SystemTime") || code.contains("Instant::now") {
-            violations.push(format!(
-                "{label}:{}: wall-clock source in a PDES module; parallel results must be \
-                 bit-identical to serial (DESIGN.md §17)",
-                i + 1
-            ));
-        }
-        if code.contains("HashMap") || code.contains("HashSet") {
-            violations.push(format!(
-                "{label}:{}: randomized-iteration container in a PDES module; use BTreeMap \
-                 or dense Vec indexing so event order is deterministic (DESIGN.md §17)",
-                i + 1
-            ));
-        }
-        if !threads_allowed && code.contains("thread::") {
-            violations.push(format!(
-                "{label}:{}: `thread::` outside the sanctioned pool ({PDES_POOL_FILE}); \
-                 workers are spawned only by the window protocol's scoped pool",
-                i + 1
-            ));
-        }
-    }
-    violations
-}
-
-// ---------------------------------------------------------------------------
-// Shared line helpers
-// ---------------------------------------------------------------------------
-
-/// Does this line use the `unsafe` keyword in code (not in a comment, not
-/// as part of an attribute/lint name)?
-fn line_uses_unsafe(raw: &str) -> bool {
-    if raw.contains("unsafe_code") || raw.contains("unsafe_op_in_unsafe_fn") {
-        return false;
-    }
-    let code = strip_comment(raw, "//");
-    contains_word(code, "unsafe")
-}
-
-/// Strip a trailing line comment introduced by `marker`. Line-based and
-/// string-literal-naive, which is sufficient for this codebase.
+/// Cut `raw` at the first occurrence of `marker` (TOML `#` comments).
+/// Manifest lines never contain `#` inside strings, so line-level
+/// stripping is sound here — unlike for Rust sources, which is exactly
+/// why the source checks moved onto bfly-lint's token stream.
 fn strip_comment<'a>(raw: &'a str, marker: &str) -> &'a str {
     match raw.find(marker) {
-        Some(pos) => &raw[..pos],
+        Some(i) => &raw[..i],
         None => raw,
     }
 }
-
-/// Whole-word containment: `needle` bounded by non-identifier characters.
-fn contains_word(haystack: &str, needle: &str) -> bool {
-    let mut from = 0;
-    while let Some(rel) = haystack[from..].find(needle) {
-        let start = from + rel;
-        let end = start + needle.len();
-        let pre_ok = start == 0
-            || !haystack[..start]
-                .chars()
-                .next_back()
-                .is_some_and(|c| c.is_alphanumeric() || c == '_');
-        let post_ok = !haystack[end..]
-            .chars()
-            .next()
-            .is_some_and(|c| c.is_alphanumeric() || c == '_');
-        if pre_ok && post_ok {
-            return true;
-        }
-        from = end;
-    }
-    false
-}
-
-// ---------------------------------------------------------------------------
-// Tests: each check must fire on a deliberate violation and stay quiet on
-// the compliant form.
-// ---------------------------------------------------------------------------
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    // -- option parsing ----------------------------------------------------
+
     #[test]
-    fn farmd_isolation_flags_bfly_dependency() {
-        let bad =
-            "[package]\nname = \"bfly-farmd\"\n\n[dependencies]\nbfly-sim = { workspace = true }\n";
-        let v = check_farmd_isolation("crates/farmd/Cargo.toml", bad);
-        assert_eq!(v.len(), 1, "{v:?}");
-        assert!(v[0].contains("bfly-sim"), "{v:?}");
+    fn parse_opts_variants() {
+        let a = |xs: &[&str]| xs.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(parse_opts(&a(&[])).unwrap(), LintOpts::default());
+        assert_eq!(
+            parse_opts(&a(&["--json"])).unwrap(),
+            LintOpts {
+                json: Some("LINT_report.json".into()),
+                san: None
+            }
+        );
+        assert_eq!(
+            parse_opts(&a(&["--json", "out.json", "--san", "SAN_t18.json"])).unwrap(),
+            LintOpts {
+                json: Some("out.json".into()),
+                san: Some("SAN_t18.json".into())
+            }
+        );
+        // --json directly followed by --san: default path, san consumed.
+        assert_eq!(
+            parse_opts(&a(&["--json", "--san", "S.json"])).unwrap(),
+            LintOpts {
+                json: Some("LINT_report.json".into()),
+                san: Some("S.json".into())
+            }
+        );
+        assert!(parse_opts(&a(&["--san"])).is_err());
+        assert!(parse_opts(&a(&["--bogus"])).is_err());
+    }
+
+    // -- check 1: farmd isolation ------------------------------------------
+
+    #[test]
+    fn farmd_isolation_accepts_empty_deps() {
+        let manifest = "[package]\nname = \"bfly-farmd\"\n\n[dependencies]\n\n[dev-dependencies]\n";
+        assert!(check_farmd_isolation("l", manifest).is_empty());
     }
 
     #[test]
-    fn farmd_isolation_flags_any_dependency_not_just_bfly() {
-        let bad = "[dependencies]\nserde = \"1\"\n";
-        let v = check_farmd_isolation("crates/farmd/Cargo.toml", bad);
-        assert_eq!(v.len(), 1, "{v:?}");
-        assert!(v[0].contains("serde"), "{v:?}");
+    fn farmd_isolation_rejects_any_dependency() {
+        let manifest = "[dependencies]\nbfly-sim = { path = \"../sim\" }\n";
+        let v = check_farmd_isolation("l", manifest);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("bfly-sim"));
     }
 
     #[test]
-    fn farmd_isolation_accepts_empty_section_with_comments() {
-        let good = "[package]\nname = \"bfly-farmd\"\n\n# bench -> farmd, never the reverse\n[dependencies]\n# (deliberately empty)\n\n[dev-dependencies]\n";
-        assert!(check_farmd_isolation("crates/farmd/Cargo.toml", good).is_empty());
+    fn farmd_isolation_ignores_comments_and_other_sections() {
+        let manifest = "[dependencies]\n# bfly-sim = would be bad\n\n[dev-dependencies]\nbfly-bench.workspace = true\n";
+        assert!(check_farmd_isolation("l", manifest).is_empty());
+    }
+
+    // -- check 1b: router isolation ----------------------------------------
+
+    #[test]
+    fn router_isolation_accepts_exactly_farmd() {
+        let manifest = "[dependencies]\nbfly-farmd = { path = \"../farmd\" }\n";
+        assert!(check_router_isolation("l", manifest).is_empty());
     }
 
     #[test]
-    fn router_isolation_flags_simulation_dependency() {
-        let bad = "[package]\nname = \"bfly-farm-router\"\n\n[dependencies]\n\
-                   bfly-farmd = { workspace = true }\nbfly-sim = { workspace = true }\n";
-        let v = check_router_isolation("crates/farm-router/Cargo.toml", bad);
-        assert_eq!(v.len(), 1, "{v:?}");
-        assert!(v[0].contains("bfly-sim"), "{v:?}");
+    fn router_isolation_rejects_extra_deps() {
+        let manifest =
+            "[dependencies]\nbfly-farmd = { path = \"../farmd\" }\nbfly-sim.workspace = true\n";
+        let v = check_router_isolation("l", manifest);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("bfly-sim"));
     }
 
     #[test]
     fn router_isolation_requires_the_farmd_edge() {
-        let bad = "[package]\nname = \"bfly-farm-router\"\n\n[dependencies]\n\n[dev-dependencies]\nproptest = { workspace = true }\n";
-        let v = check_router_isolation("crates/farm-router/Cargo.toml", bad);
-        assert_eq!(v.len(), 1, "{v:?}");
-        assert!(v[0].contains("bfly-farmd"), "{v:?}");
-    }
-
-    #[test]
-    fn router_isolation_accepts_exactly_farmd() {
-        let good = "[package]\nname = \"bfly-farm-router\"\n\n# router -> farmd only\n\
-                    [dependencies]\nbfly-farmd = { workspace = true }\n\n\
-                    [dev-dependencies]\nproptest = { workspace = true }\n";
-        assert!(check_router_isolation("crates/farm-router/Cargo.toml", good).is_empty());
-    }
-
-    #[test]
-    fn unwrap_ban_covers_router_sources() {
-        // The gate is wired to every router source file; a bare unwrap
-        // in any of them must trip it.
-        for f in NO_UNWRAP_FILES {
-            assert!(
-                f.starts_with("crates/farmd/") || f.starts_with("crates/farm-router/"),
-                "{f} is not a serving-layer file"
-            );
-        }
-        assert!(NO_UNWRAP_FILES.contains(&"crates/farm-router/src/router.rs"));
-        let text = "fn route() {\n    let g = shards.lock().unwrap();\n}\n";
-        let v = check_no_bare_unwrap("crates/farm-router/src/router.rs", text);
-        assert_eq!(v.len(), 1, "{v:?}");
-    }
-
-    #[test]
-    fn safety_check_flags_unjustified_unsafe() {
-        let bad = "fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
-        let v = check_safety_comments("crates/sim/src/x.rs", bad);
-        assert_eq!(v.len(), 1, "{v:?}");
-        assert!(v[0].contains(":2:"), "{v:?}");
-    }
-
-    #[test]
-    fn safety_check_accepts_adjacent_justification() {
-        let good = "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid.\n    unsafe { *p }\n}\n";
-        assert!(check_safety_comments("crates/sim/src/x.rs", good).is_empty());
-    }
-
-    #[test]
-    fn safety_check_rejects_justification_beyond_window() {
-        let mut bad = String::from("// SAFETY: too far away to count.\n");
-        for _ in 0..SAFETY_WINDOW {
-            bad.push_str("fn pad() {}\n");
-        }
-        bad.push_str("fn f(p: *const u8) -> u8 { unsafe { *p } }\n");
-        let v = check_safety_comments("crates/sim/src/x.rs", &bad);
-        assert_eq!(v.len(), 1, "{v:?}");
-    }
-
-    #[test]
-    fn safety_check_ignores_attributes_and_comments() {
-        let good = "#![deny(unsafe_op_in_unsafe_fn)]\n#![forbid(unsafe_code)]\n// unsafe is discussed here but not used\n";
-        assert!(check_safety_comments("crates/x/src/lib.rs", good).is_empty());
-    }
-
-    #[test]
-    fn allowlist_flags_unsafe_in_foreign_crate() {
-        let bad = "// SAFETY: justified, but in the wrong crate entirely.\nlet x = unsafe { transmute(y) };\n";
-        let v = check_unsafe_allowlist("crates/apps/src/gauss.rs", bad);
-        assert_eq!(v.len(), 1, "{v:?}");
-        assert!(v[0].contains("allowlist"), "{v:?}");
-    }
-
-    #[test]
-    fn allowlist_accepts_unsafe_in_sim() {
-        let text = "// SAFETY: fine here.\nlet x = unsafe { transmute(y) };\n";
-        assert!(check_unsafe_allowlist("crates/sim/src/exec.rs", text).is_empty());
-    }
-
-    #[test]
-    fn allowlist_does_not_match_identifiers_containing_unsafe() {
-        let text = "fn unsafely_named() {}\nlet not_unsafe_here = 1;\n";
-        assert!(check_unsafe_allowlist("crates/apps/src/x.rs", text).is_empty());
-    }
-
-    #[test]
-    fn unwrap_ban_flags_bare_unwrap_before_tests_only() {
-        let text = "fn hot() {\n    let g = m.lock().unwrap();\n}\n#[cfg(test)]\nmod tests {\n    fn t() { m.lock().unwrap(); }\n}\n";
-        let v = check_no_bare_unwrap("crates/farmd/src/server.rs", text);
-        assert_eq!(v.len(), 1, "{v:?}");
-        assert!(v[0].contains(":2:"), "{v:?}");
-    }
-
-    #[test]
-    fn unwrap_ban_accepts_recovering_forms() {
-        let text = "fn hot() {\n    let g = crate::locked(&m);\n    let v = o.unwrap_or_else(|p| p.into_inner());\n    let w = o.unwrap_or(0); // and a comment saying .unwrap() is banned\n}\n";
-        assert!(check_no_bare_unwrap("crates/farmd/src/server.rs", text).is_empty());
-    }
-
-    #[test]
-    fn thread_spawn_ban_flags_spawn_and_builder() {
-        let text = "fn accept(&mut self) {\n    std::thread::spawn(move || serve(conn));\n    thread::Builder::new().name(\"conn\".into()).spawn(f);\n}\n";
-        let v = check_no_thread_spawn("crates/farmd/src/reactor.rs", text);
-        assert_eq!(v.len(), 2, "{v:?}");
-        assert!(v[0].contains(":2:"), "{v:?}");
-        assert!(v[1].contains(":3:"), "{v:?}");
-    }
-
-    #[test]
-    fn thread_spawn_ban_ignores_sleep_comments_and_test_modules() {
-        let text = "//! one reactor thread owns the poll loop; thread::spawn is banned\nfn run(&mut self) {\n    std::thread::sleep(Duration::from_millis(1));\n    // unlike the thread::spawn-per-conn mode, we park here\n}\n#[cfg(test)]\nmod tests {\n    fn t() { std::thread::spawn(|| {}); }\n}\n";
-        assert!(check_no_thread_spawn("crates/farmd/src/reactor.rs", text).is_empty());
-    }
-
-    #[test]
-    fn thread_spawn_ban_covers_the_reactor_module() {
-        assert!(NO_THREAD_SPAWN_FILES.contains(&"crates/farmd/src/reactor.rs"));
-    }
-
-    #[test]
-    fn snapshot_purity_flags_wall_clock_reads() {
-        let text = "fn state_section() {\n    let t0 = std::time::Instant::now();\n    let epoch = SystemTime::now().duration_since(UNIX_EPOCH);\n}\n";
-        let v = check_snapshot_purity("crates/sim/src/snap.rs", text);
-        assert_eq!(v.len(), 2, "{v:?}");
-        assert!(v[0].contains(":2:"), "{v:?}");
-        assert!(v[1].contains(":3:"), "{v:?}");
-    }
-
-    #[test]
-    fn snapshot_purity_flags_a_stored_system_time_type() {
-        // Even an un-read SystemTime field is a violation: it exists to
-        // be read eventually, and then the snapshot is wall-dependent.
-        let text = "struct Snap {\n    taken_at: std::time::SystemTime,\n}\n";
-        let v = check_snapshot_purity("crates/snap/src/lib.rs", text);
-        assert_eq!(v.len(), 1, "{v:?}");
-    }
-
-    #[test]
-    fn snapshot_purity_ignores_comments_and_test_modules() {
-        let text = "//! the gate bans SystemTime and Instant::now here\nfn pure(now: u64) -> u64 {\n    now // simulated time passed in as data, not read from the host\n}\n#[cfg(test)]\nmod tests {\n    fn t() { let _ = std::time::Instant::now(); }\n}\n";
-        assert!(check_snapshot_purity("crates/sim/src/rng.rs", text).is_empty());
-    }
-
-    #[test]
-    fn snapshot_purity_covers_the_serialized_state_modules() {
-        for f in ["crates/snap/src/lib.rs", "crates/sim/src/snap.rs"] {
-            assert!(SNAPSHOT_PURE_FILES.contains(&f), "{f} must stay gated");
-        }
-    }
-
-    #[test]
-    fn pdes_purity_flags_wall_clock_and_hash_containers() {
-        let text = "fn window(&mut self) {\n    let t0 = std::time::Instant::now();\n    let mut inbox: HashMap<u32, Vec<Ev>> = HashMap::new();\n    let seen: HashSet<u64> = HashSet::new();\n}\n";
-        let v = check_pdes_purity("crates/sim/src/pdes_window.rs", text);
-        assert_eq!(v.len(), 3, "{v:?}");
-        assert!(v[0].contains("wall-clock"), "{v:?}");
-        assert!(v[1].contains("randomized-iteration"), "{v:?}");
-        assert!(v[2].contains("randomized-iteration"), "{v:?}");
-    }
-
-    #[test]
-    fn pdes_purity_flags_threads_outside_the_pool() {
-        let text =
-            "fn run_parallel(&mut self) {\n    std::thread::spawn(move || self.partition(0));\n}\n";
-        let v = check_pdes_purity("crates/sim/src/pdes.rs", text);
-        assert_eq!(v.len(), 1, "{v:?}");
-        assert!(v[0].contains("sanctioned pool"), "{v:?}");
-    }
-
-    #[test]
-    fn pdes_purity_sanctions_threads_in_the_pool_module_only() {
-        let text = "pub fn run<F: Fn(usize) + Sync>(n: usize, f: F) {\n    std::thread::scope(|s| {\n        for w in 0..n { s.spawn(|| f(w)); }\n    });\n}\n";
-        assert!(check_pdes_purity(PDES_POOL_FILE, text).is_empty());
-        // The same text in any other PDES module trips the thread ban.
-        let v = check_pdes_purity("crates/sim/src/pdes_window.rs", text);
-        assert_eq!(v.len(), 1, "{v:?}");
-    }
-
-    #[test]
-    fn pdes_purity_still_bans_clocks_and_hashes_in_the_pool() {
-        // pdes_pool.rs is exempt from the thread ban only; a wall-clock
-        // read or a HashMap in the pool is as fatal as anywhere else.
-        let text = "fn drive() {\n    let t = SystemTime::now();\n    let m = HashMap::new();\n}\n";
-        let v = check_pdes_purity(PDES_POOL_FILE, text);
-        assert_eq!(v.len(), 2, "{v:?}");
-    }
-
-    #[test]
-    fn pdes_purity_ignores_comments_and_test_modules() {
-        let text = "//! lint check 7 bans thread::, HashMap, and Instant::now here\nfn merge(&mut self) {\n    // BTreeMap, not HashMap: iteration order is part of the contract\n    self.inbox.iter().for_each(|e| self.push(e));\n}\n#[cfg(test)]\nmod tests {\n    fn t() { let _ = std::collections::HashMap::<u32, u32>::new(); }\n}\n";
-        assert!(check_pdes_purity("crates/sim/src/pdes.rs", text).is_empty());
-    }
-
-    #[test]
-    fn pdes_purity_covers_every_pdes_module() {
-        for f in [
-            "crates/sim/src/pdes.rs",
-            "crates/sim/src/pdes_pool.rs",
-            "crates/sim/src/pdes_snap.rs",
-            "crates/sim/src/pdes_window.rs",
-        ] {
-            assert!(PDES_PURE_FILES.contains(&f), "{f} must stay gated");
-        }
+        let manifest = "[dependencies]\n";
+        let v = check_router_isolation("l", manifest);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("must declare"));
     }
 }
